@@ -1,0 +1,142 @@
+(* The benchmark harness.
+
+   Two layers:
+
+   1. The experiment tables — one per figure/table/quantitative claim of
+      the paper (E1..E14), printed in full.  These are the reproduction's
+      primary output; pass experiment keys (or E-ids) as arguments to run a
+      subset, e.g. `dune exec bench/main.exe -- fastpath frame_alloc`.
+
+   2. Bechamel micro-benchmarks of the simulator itself (host wall-clock),
+      so regressions in the reproduction's own code are visible: the
+      interpreter under each engine, the AV allocator, the return stack and
+      the bank file.  Enabled with the `micro` argument. *)
+
+let run_experiments filter =
+  let wanted (key, _) =
+    match filter with [] -> true | names -> List.mem key names
+  in
+  let selected = List.filter wanted Fpc_experiments.Registry.all in
+  let selected =
+    if selected = [] && filter <> [] then
+      (* maybe ids like E4 were given *)
+      List.filter_map
+        (fun name ->
+          Option.map (fun f -> (name, f)) (Fpc_experiments.Registry.find name))
+        filter
+    else selected
+  in
+  List.iter
+    (fun (_, f) ->
+      print_string (Fpc_experiments.Exp.render (f ()));
+      print_newline ())
+    selected
+
+(* ------------------------------------------------------------------ *)
+
+let fib_image engine =
+  let convention = Fpc_compiler.Convention.for_engine engine in
+  match Fpc_compiler.Compile.image ~convention (Fpc_workload.Programs.find "fib") with
+  | Ok image -> image
+  | Error m -> failwith m
+
+let bench_engine name engine =
+  let image = fib_image engine in
+  Bechamel.Test.make ~name:(Printf.sprintf "interp/fib/%s" name)
+    (Bechamel.Staged.stage (fun () ->
+         let st =
+           Fpc_interp.Interp.run_program ~image ~engine ~instance:"Main"
+             ~proc:"main" ~args:[] ()
+         in
+         assert (st.Fpc_core.State.status = Fpc_core.State.Halted)))
+
+let bench_allocator =
+  Bechamel.Test.make ~name:"allocator/alloc+free"
+    (Bechamel.Staged.stage (fun () ->
+         let open Fpc_machine in
+         let cost = Cost.create () in
+         let mem = Memory.create ~cost ~size_words:65536 () in
+         let av =
+           Fpc_frames.Alloc_vector.create ~mem ~ladder:Fpc_frames.Size_class.default
+             ~av_base:16 ~heap_base:1024 ~heap_limit:65536 ()
+         in
+         for _ = 1 to 1000 do
+           let lf = Fpc_frames.Alloc_vector.alloc_words av ~cost ~body_words:8 in
+           Fpc_frames.Alloc_vector.free av ~cost ~lf
+         done))
+
+let bench_return_stack =
+  Bechamel.Test.make ~name:"return_stack/push+pop"
+    (Bechamel.Staged.stage (fun () ->
+         let rs = Fpc_ifu.Return_stack.create ~depth:16 in
+         let e =
+           {
+             Fpc_ifu.Return_stack.r_lf = 8192;
+             r_gf = 4096;
+             r_cb = Some 32768;
+             r_pc_abs = 65536;
+             r_bank = None;
+           }
+         in
+         for _ = 1 to 1000 do
+           Fpc_ifu.Return_stack.push rs e;
+           ignore (Fpc_ifu.Return_stack.pop rs)
+         done))
+
+let bench_banks =
+  Bechamel.Test.make ~name:"bank_file/call+return"
+    (Bechamel.Staged.stage (fun () ->
+         let open Fpc_machine in
+         let cost = Cost.create () in
+         let mem = Memory.create ~cost ~size_words:65536 () in
+         let bf =
+           Fpc_regbank.Bank_file.create ~mem ~cost
+             ~ladder:Fpc_frames.Size_class.default ()
+         in
+         Memory.poke mem 8192 0;
+         let lf = 8196 in
+         for _ = 1 to 1000 do
+           Fpc_regbank.Bank_file.on_call bf ~callee_lf:lf ~payload_words:8
+             ~args:[| 1; 2 |];
+           Fpc_regbank.Bank_file.release_frame bf ~lf
+         done))
+
+let run_micro () =
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"fpc"
+      [
+        bench_engine "I1" Fpc_core.Engine.i1;
+        bench_engine "I2" Fpc_core.Engine.i2;
+        bench_engine "I3" (Fpc_core.Engine.i3 ());
+        bench_engine "I4" (Fpc_core.Engine.i4 ());
+        bench_allocator;
+        bench_return_stack;
+        bench_banks;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances tests in
+  let per_instance = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances per_instance in
+  Printf.printf "== micro-benchmarks (host ns/run, monotonic clock) ==\n";
+  Hashtbl.iter
+    (fun _instance table ->
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns\n" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+        table)
+    results
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let micro = List.mem "micro" args in
+  let filter = List.filter (fun a -> a <> "micro") args in
+  run_experiments filter;
+  if micro || filter = [] then run_micro ()

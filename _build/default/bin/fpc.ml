@@ -1,0 +1,278 @@
+(* The fpc command-line tool: compile, run, disassemble and measure
+   mini-Mesa programs on the Fast Procedure Calls machine. *)
+
+open Cmdliner
+
+let read_source path_or_name =
+  if Sys.file_exists path_or_name then
+    let ic = open_in_bin path_or_name in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  else
+    match Fpc_workload.Programs.find path_or_name with
+    | src -> src
+    | exception Not_found ->
+      failwith
+        (Printf.sprintf
+           "%s: not a file and not a suite program (suite: %s)" path_or_name
+           (String.concat ", " Fpc_workload.Programs.names))
+
+let engine_of_string = function
+  | "i1" | "I1" -> Fpc_core.Engine.i1
+  | "i2" | "I2" -> Fpc_core.Engine.i2
+  | "i3" | "I3" -> Fpc_core.Engine.i3 ()
+  | "i4" | "I4" -> Fpc_core.Engine.i4 ()
+  | s -> failwith (Printf.sprintf "unknown engine %s (use i1, i2, i3 or i4)" s)
+
+let engine_arg =
+  Arg.(value & opt string "i2" & info [ "e"; "engine" ] ~docv:"ENGINE"
+         ~doc:"Transfer engine: i1 (simple), i2 (Mesa), i3 (+IFU return \
+               stack), i4 (+register banks).")
+
+let source_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE"
+         ~doc:"A mini-Mesa source file, or the name of a built-in suite \
+               program (e.g. fib, coroutine).")
+
+let handle f = try `Ok (f ()) with Failure m | Invalid_argument m -> `Error (false, m)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let action source engine_name steps stats =
+    handle (fun () ->
+        let engine = engine_of_string engine_name in
+        let convention = Fpc_compiler.Convention.for_engine engine in
+        let src = read_source source in
+        let image =
+          match Fpc_compiler.Compile.image ~convention src with
+          | Ok i -> i
+          | Error m -> failwith m
+        in
+        let st =
+          Fpc_interp.Interp.run_program ~max_steps:steps ~image ~engine
+            ~instance:"Main" ~proc:"main" ~args:[] ()
+        in
+        let o = Fpc_interp.Interp.outcome st in
+        List.iter (fun v -> Printf.printf "%d\n" v) o.o_output;
+        (match o.o_status with
+        | Fpc_core.State.Halted -> ()
+        | Fpc_core.State.Running -> failwith "still running"
+        | Fpc_core.State.Trapped r ->
+          failwith ("trapped: " ^ Fpc_core.State.trap_reason_to_string r));
+        if stats then prerr_string (Fpc_interp.Report.render st)
+        else
+          Printf.eprintf "engine=%s instructions=%d cycles=%d storage-refs=%d\n"
+            engine_name o.o_instructions o.o_cycles o.o_mem_refs)
+  in
+  let steps =
+    Arg.(value & opt int 20_000_000 & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Step limit before the run is abandoned.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the full machine-statistics table (to stderr).")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and execute Main.main, printing OUTPUT words.")
+    Term.(ret (const action $ source_arg $ engine_arg $ steps $ stats))
+
+(* ---- disasm ---- *)
+
+let disasm_cmd =
+  let action source =
+    handle (fun () ->
+        let src = read_source source in
+        match Fpc_compiler.Compile.modules src with
+        | Error m -> failwith m
+        | Ok modules ->
+          List.iter
+            (fun (m : Fpc_mesa.Compiled.t) ->
+              Printf.printf "MODULE %s (globals %d words, %d imports)\n"
+                m.m_name m.m_globals_words (Array.length m.m_imports);
+              Array.iteri
+                (fun i (tm, tp) -> Printf.printf "  LV[%d] = %s.%s\n" i tm tp)
+                m.m_imports;
+              List.iter
+                (fun (p : Fpc_mesa.Compiled.proc) ->
+                  Printf.printf "PROC %s (args %d, frame payload %d words, \
+                                 %d bytes)\n%s\n"
+                    p.p_name p.p_nargs p.p_locals_words (Bytes.length p.p_body)
+                    (Fpc_isa.Disasm.of_bytes p.p_body))
+                m.m_procs)
+            modules)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Compile and print the byte-code listing.")
+    Term.(ret (const action $ source_arg))
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let action source engine_name steps =
+    handle (fun () ->
+        let engine = engine_of_string engine_name in
+        let convention = Fpc_compiler.Convention.for_engine engine in
+        let src = read_source source in
+        let image =
+          match Fpc_compiler.Compile.image ~convention src with
+          | Ok i -> i
+          | Error m -> failwith m
+        in
+        let st =
+          Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+            ~args:[]
+        in
+        Printf.printf "%6s %7s %6s %5s %5s  %s\n" "step" "pc" "LF" "GF" "stk"
+          "instruction";
+        let n = ref 0 in
+        Fpc_interp.Interp.run_traced ~max_steps:steps st
+          ~on_step:(fun ~pc_abs op (s : Fpc_core.State.t) ->
+            incr n;
+            Printf.printf "%6d %7d %6d %5d %5d  %s\n" !n pc_abs s.lf s.gf
+              (Fpc_core.Eval_stack.depth s.stack)
+              (Fpc_isa.Opcode.to_string op));
+        (match st.Fpc_core.State.status with
+        | Fpc_core.State.Running ->
+          Printf.printf "... stopped after %d steps (still running)\n" steps
+        | Fpc_core.State.Halted -> Printf.printf "halted\n"
+        | Fpc_core.State.Trapped r ->
+          Printf.printf "trapped: %s\n" (Fpc_core.State.trap_reason_to_string r));
+        match Fpc_core.State.output st with
+        | [] -> ()
+        | out ->
+          Printf.printf "output: %s\n"
+            (String.concat " " (List.map string_of_int out)))
+  in
+  let steps =
+    Arg.(value & opt int 200 & info [ "n"; "steps" ] ~docv:"N"
+           ~doc:"Maximum instructions to trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Execute Main.main printing every instruction with the machine \
+             registers (LF, GF, stack depth).")
+    Term.(ret (const action $ source_arg $ engine_arg $ steps))
+
+(* ---- image ---- *)
+
+let image_cmd =
+  let action source linkage_name =
+    handle (fun () ->
+        let convention =
+          match linkage_name with
+          | "external" -> Fpc_compiler.Convention.external_
+          | "direct" -> Fpc_compiler.Convention.direct
+          | "short" -> Fpc_compiler.Convention.short_direct
+          | s -> failwith (Printf.sprintf "unknown linkage %s" s)
+        in
+        let src = read_source source in
+        let image =
+          match Fpc_compiler.Compile.image ~convention src with
+          | Ok i -> i
+          | Error m -> failwith m
+        in
+        let open Fpc_mesa in
+        let l = image.Image.layout in
+        Printf.printf "memory map (%d words):\n" l.Layout.memory_words;
+        Printf.printf "  %6d..%6d  reserved (trap handler word at %d)\n" 0 15
+          l.trap_handler_addr;
+        Printf.printf "  %6d..%6d  global frame table (%d entries used)\n"
+          l.gft_base (l.av_base - 1) (image.gfi_cursor - 1);
+        Printf.printf "  %6d..%6d  allocation vector\n" l.av_base (l.static_base - 1);
+        Printf.printf "  %6d..%6d  static (global frames, link vectors); used to %d\n"
+          l.static_base (l.heap_base - 1) image.static_cursor;
+        Printf.printf "  %6d..%6d  frame heap\n" l.heap_base (l.heap_limit - 1);
+        Printf.printf "  %6d..%6d  code; used to %d\n" l.code_region_base
+          (l.memory_words - 1) image.code_cursor;
+        Printf.printf "\ninstances:\n";
+        List.iter
+          (fun (ii : Image.instance_info) ->
+            Printf.printf
+              "  %-12s gfi=%d..%d  GF@%d  LV@%d (%d imports)  code base %d\n"
+              ii.ii_name ii.ii_gfi
+              (ii.ii_gfi + ii.ii_gfi_count - 1)
+              ii.ii_gf_addr ii.ii_lv_base
+              (Array.length ii.ii_imports)
+              ii.ii_code_base;
+            Array.iteri
+              (fun i (tm, tp) ->
+                let word =
+                  Fpc_machine.Memory.peek image.mem (ii.ii_gf_addr - 1 - i)
+                in
+                Printf.printf "      LV[%d] = %s.%s  (0x%04X %s)\n" i tm tp word
+                  (Descriptor.to_string (Descriptor.unpack word)))
+              ii.ii_imports)
+          image.instances;
+        Printf.printf "\nprocedures:\n";
+        Hashtbl.iter
+          (fun (inst, proc) (pi : Image.proc_info) ->
+            Printf.printf
+              "  %-12s.%-10s ev=%-3d entry@%-5d fsi=%-2d payload=%-3d body=%dB%s\n"
+              inst proc pi.pi_ev pi.pi_entry_offset pi.pi_fsi pi.pi_locals_words
+              pi.pi_body_bytes
+              (match pi.pi_direct_offset with
+              | Some off -> Printf.sprintf "  direct-header@%d" off
+              | None -> ""))
+          image.procs;
+        print_newline ();
+        print_string (Space.render ~title:"space report" (Space.measure image)))
+  in
+  let linkage =
+    Arg.(value & opt string "external" & info [ "l"; "linkage" ] ~docv:"LINKAGE"
+           ~doc:"external, direct or short.")
+  in
+  Cmd.v
+    (Cmd.info "image"
+       ~doc:"Compile and link, then dump the memory map, tables and space \
+             report of the resulting image.")
+    Term.(ret (const action $ source_arg $ linkage))
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let action name =
+    handle (fun () ->
+        match name with
+        | None ->
+          List.iter
+            (fun (key, f) ->
+              print_string (Fpc_experiments.Exp.render (f ()));
+              print_newline ();
+              ignore key)
+            Fpc_experiments.Registry.all
+        | Some name -> (
+          match Fpc_experiments.Registry.find name with
+          | Some f -> print_string (Fpc_experiments.Exp.render (f ()))
+          | None ->
+            failwith
+              (Printf.sprintf "unknown experiment %s (known: %s)" name
+                 (String.concat ", " Fpc_experiments.Registry.keys))))
+  in
+  let exp_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Experiment key (fastpath, bank_overflow, ...) or id \
+                 (E1..E14).  Omit to run all.")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Reproduce a paper table/figure (or all of them).")
+    Term.(ret (const action $ exp_name))
+
+(* ---- suite ---- *)
+
+let suite_cmd =
+  let action () =
+    handle (fun () ->
+        List.iter
+          (fun name -> Printf.printf "%s\n" name)
+          Fpc_workload.Programs.names)
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List the built-in benchmark programs.")
+    Term.(ret (const action $ const ()))
+
+let main_cmd =
+  let doc = "the Fast Procedure Calls (Lampson, ASPLOS 1982) reproduction" in
+  Cmd.group (Cmd.info "fpc" ~doc) [ run_cmd; disasm_cmd; trace_cmd; image_cmd; experiment_cmd; suite_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/linkage_migration.ml: Array Fpc_compiler Fpc_core Fpc_interp Fpc_mesa Fpc_workload List Printf String

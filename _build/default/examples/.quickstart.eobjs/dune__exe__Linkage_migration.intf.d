@@ -1,0 +1,1 @@
+examples/linkage_migration.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fpc_compiler Fpc_core List Printf String

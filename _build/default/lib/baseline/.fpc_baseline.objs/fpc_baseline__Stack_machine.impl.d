@@ -1,0 +1,1 @@
+lib/baseline/stack_machine.ml: Fpc_machine List Memory

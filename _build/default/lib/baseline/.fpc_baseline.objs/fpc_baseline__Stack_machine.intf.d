@@ -1,0 +1,1 @@
+lib/baseline/stack_machine.mli: Fpc_machine

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Builder Convention Fpc_isa Fpc_lang Fpc_mesa Hashtbl List Opcode Option Printf String

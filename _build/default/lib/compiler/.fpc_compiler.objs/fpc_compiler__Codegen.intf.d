@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Convention Fpc_lang Fpc_mesa

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Codegen Convention Fpc_core Fpc_interp Fpc_lang Fpc_mesa List Lower Printf Result

@@ -1,0 +1,1 @@
+lib/compiler/convention.ml: Bool Fpc_core Fpc_mesa

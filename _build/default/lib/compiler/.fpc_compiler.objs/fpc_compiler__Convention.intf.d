@@ -1,0 +1,1 @@
+lib/compiler/convention.mli: Fpc_core Fpc_mesa

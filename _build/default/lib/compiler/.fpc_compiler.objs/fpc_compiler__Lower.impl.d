@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Fpc_lang List Printf String

@@ -1,0 +1,351 @@
+open Fpc_lang.Ast
+open Fpc_isa
+
+type slot = { s_idx : int; s_var_param : bool }
+
+type proc_ctx = {
+  env : Fpc_lang.Typecheck.env;
+  current : string;
+  conv : Convention.t;
+  imports : (string * string, int) Hashtbl.t;
+  globals : (string, int) Hashtbl.t;
+  proc_evs : (string, int) Hashtbl.t;
+  slots : (string, slot) Hashtbl.t;
+  mutable nslots : int;
+  b : Builder.t;
+  mutable dfc_fixups : (int * int) list;
+  mutable lpd_fixups : (int * int) list;
+}
+
+let resolve_callee ctx (c : callee) =
+  match c.c_module with
+  | None -> `Local (Hashtbl.find ctx.proc_evs c.c_proc)
+  | Some m when String.equal m ctx.current -> `Local (Hashtbl.find ctx.proc_evs c.c_proc)
+  | Some m -> `Import (Hashtbl.find ctx.imports (m, c.c_proc))
+
+(* Descriptor literals always go through the link vector, own procedures
+   included (a self-import). *)
+let descriptor_lv ctx (c : callee) =
+  let m = Option.value c.c_module ~default:ctx.current in
+  Hashtbl.find ctx.imports (m, c.c_proc)
+
+let new_slot ?(words = 1) ctx name ~var_param =
+  if Hashtbl.mem ctx.slots name then
+    invalid_arg (Printf.sprintf "Codegen: duplicate slot %s" name);
+  let idx = ctx.nslots in
+  if idx + words > 256 then invalid_arg "Codegen: more than 256 local words";
+  ctx.nslots <- idx + words;
+  Hashtbl.replace ctx.slots name { s_idx = idx; s_var_param = var_param };
+  idx
+
+let lookup ctx name =
+  match Hashtbl.find_opt ctx.slots name with
+  | Some slot -> `Slot slot
+  | None -> (
+    match Hashtbl.find_opt ctx.globals name with
+    | Some idx -> `Global idx
+    | None -> invalid_arg (Printf.sprintf "Codegen: unknown variable %s" name))
+
+let binop_ops = function
+  | Badd -> [ Opcode.Add ]
+  | Bsub -> [ Opcode.Sub ]
+  | Bmul -> [ Opcode.Mul ]
+  | Bdiv -> [ Opcode.Div ]
+  | Bmod -> [ Opcode.Mod ]
+  | Blt -> [ Opcode.Lt ]
+  | Ble -> [ Opcode.Le ]
+  | Beq -> [ Opcode.Eq ]
+  | Bne -> [ Opcode.Ne ]
+  | Bge -> [ Opcode.Ge ]
+  | Bgt -> [ Opcode.Gt ]
+  | Band -> [ Opcode.Band ]
+  | Bor -> [ Opcode.Bor ]
+
+let rec gen_expr ctx (e : expr) =
+  match e with
+  | Int v -> Builder.emit ctx.b (Opcode.Li v)
+  | Bool bv -> Builder.emit ctx.b (Opcode.Li (if bv then 1 else 0))
+  | Nil -> Builder.emit ctx.b (Opcode.Li 0)
+  | Retctx -> Builder.emit ctx.b Opcode.Lrc
+  | Var name -> (
+    match lookup ctx name with
+    | `Slot { s_idx; s_var_param = false } -> Builder.emit ctx.b (Opcode.Ll s_idx)
+    | `Slot { s_idx; s_var_param = true } ->
+      Builder.emit ctx.b (Opcode.Ll s_idx);
+      Builder.emit ctx.b Opcode.Rload
+    | `Global idx -> Builder.emit ctx.b (Opcode.Lg idx))
+  | Index (name, i) -> (
+    gen_expr ctx i;
+    match lookup ctx name with
+    | `Slot { s_idx; _ } -> Builder.emit ctx.b (Opcode.Llx s_idx)
+    | `Global idx -> Builder.emit ctx.b (Opcode.Lgx idx))
+  | ProcVal c ->
+    let lv = descriptor_lv ctx c in
+    let pos = Builder.emit_placeholder ctx.b (Opcode.Lpd 0) in
+    ctx.lpd_fixups <- (pos, lv) :: ctx.lpd_fixups
+  | Unop (Uneg, a) ->
+    gen_expr ctx a;
+    Builder.emit ctx.b Opcode.Neg
+  | Unop (Unot, a) ->
+    gen_expr ctx a;
+    Builder.emit ctx.b (Opcode.Li 1);
+    Builder.emit ctx.b Opcode.Bxor
+  | Binop (op, a, b) ->
+    gen_expr ctx a;
+    gen_expr ctx b;
+    List.iter (Builder.emit ctx.b) (binop_ops op)
+  | Call (c, args) -> gen_call ctx c args
+  | Transfer (dest, values) ->
+    List.iter (gen_expr ctx) values;
+    gen_expr ctx dest;
+    Builder.emit ctx.b Opcode.Xf
+
+and gen_arg ctx (is_var : bool) (arg : expr) =
+  if not is_var then gen_expr ctx arg
+  else
+    match arg with
+    | Var name -> (
+      match lookup ctx name with
+      | `Slot { s_idx; s_var_param = false } -> Builder.emit ctx.b (Opcode.Lla s_idx)
+      | `Slot { s_idx; s_var_param = true } ->
+        (* Forward the address we already hold. *)
+        Builder.emit ctx.b (Opcode.Ll s_idx)
+      | `Global idx -> Builder.emit ctx.b (Opcode.Lga idx))
+    | _ -> invalid_arg "Codegen: VAR argument must be a variable"
+
+and gen_call ctx (c : callee) args =
+  let s = Fpc_lang.Typecheck.find_sig ctx.env ~current:ctx.current c in
+  List.iter2 (fun (_, is_var) arg -> gen_arg ctx is_var arg) s.ps_params args;
+  let direct_via lv =
+    let pos = Builder.emit_placeholder ctx.b (Opcode.Dfc 0) in
+    ctx.dfc_fixups <- (pos, lv) :: ctx.dfc_fixups
+  in
+  match (resolve_callee ctx c, ctx.conv.Convention.linkage) with
+  | `Local ev, Fpc_mesa.Image.External -> Builder.emit ctx.b (Opcode.Lfc ev)
+  | `Local _, (Fpc_mesa.Image.Direct | Fpc_mesa.Image.Short_direct) ->
+    (* §6's early binding applies to any well-known procedure, own module
+       included: the address is known at link time, so the IFU can follow
+       the call.  The target is named through a self-import. *)
+    direct_via (descriptor_lv ctx c)
+  | `Import lv, Fpc_mesa.Image.External -> Builder.emit ctx.b (Opcode.Efc lv)
+  | `Import lv, (Fpc_mesa.Image.Direct | Fpc_mesa.Image.Short_direct) ->
+    direct_via lv
+
+let rec gen_stmt ctx (s : stmt) =
+  match s with
+  | Local (name, t, init) -> (
+    let idx = new_slot ~words:(typ_words t) ctx name ~var_param:false in
+    match init with
+    | None -> ()
+    | Some e ->
+      gen_expr ctx e;
+      Builder.emit ctx.b (Opcode.Sl idx))
+  | Assign (name, e) -> (
+    match lookup ctx name with
+    | `Slot { s_idx; s_var_param = false } ->
+      gen_expr ctx e;
+      Builder.emit ctx.b (Opcode.Sl s_idx)
+    | `Slot { s_idx; s_var_param = true } ->
+      (* Store through the held address; the value may itself be a call,
+         so it is evaluated with an empty stack and swapped under. *)
+      gen_expr ctx e;
+      Builder.emit ctx.b (Opcode.Ll s_idx);
+      Builder.emit ctx.b Opcode.Swap;
+      Builder.emit ctx.b Opcode.Rstore
+    | `Global idx ->
+      gen_expr ctx e;
+      Builder.emit ctx.b (Opcode.Sg idx))
+  | AssignIdx (name, i, e) -> (
+    gen_expr ctx i;
+    gen_expr ctx e;
+    match lookup ctx name with
+    | `Slot { s_idx; _ } -> Builder.emit ctx.b (Opcode.Slx s_idx)
+    | `Global idx -> Builder.emit ctx.b (Opcode.Sgx idx))
+  | If (cond, then_, else_) ->
+    let l_else = Builder.new_label ctx.b in
+    let l_end = Builder.new_label ctx.b in
+    gen_expr ctx cond;
+    Builder.jump ctx.b `Jz l_else;
+    List.iter (gen_stmt ctx) then_;
+    Builder.jump ctx.b `J l_end;
+    Builder.place ctx.b l_else;
+    List.iter (gen_stmt ctx) else_;
+    Builder.place ctx.b l_end
+  | While (cond, body) ->
+    let l_loop = Builder.new_label ctx.b in
+    let l_end = Builder.new_label ctx.b in
+    Builder.place ctx.b l_loop;
+    gen_expr ctx cond;
+    Builder.jump ctx.b `Jz l_end;
+    List.iter (gen_stmt ctx) body;
+    Builder.jump ctx.b `J l_loop;
+    Builder.place ctx.b l_end
+  | Return None -> Builder.emit ctx.b Opcode.Ret
+  | Return (Some e) ->
+    gen_expr ctx e;
+    Builder.emit ctx.b Opcode.Ret
+  | Output e ->
+    gen_expr ctx e;
+    Builder.emit ctx.b Opcode.Out
+  | CallS (c, args) ->
+    gen_call ctx c args;
+    let s = Fpc_lang.Typecheck.find_sig ctx.env ~current:ctx.current c in
+    if s.ps_result <> None then Builder.emit ctx.b Opcode.Drop
+  | TransferS (dest, values) ->
+    List.iter (gen_expr ctx) values;
+    gen_expr ctx dest;
+    Builder.emit ctx.b Opcode.Xf;
+    Builder.emit ctx.b Opcode.Drop
+  | ForkS (c, args) ->
+    let s = Fpc_lang.Typecheck.find_sig ctx.env ~current:ctx.current c in
+    List.iter2 (fun (_, is_var) arg -> gen_arg ctx is_var arg) s.ps_params args;
+    let lv = descriptor_lv ctx c in
+    let pos = Builder.emit_placeholder ctx.b (Opcode.Lpd 0) in
+    ctx.lpd_fixups <- (pos, lv) :: ctx.lpd_fixups;
+    Builder.emit ctx.b (Opcode.Fork (List.length args))
+  | YieldS -> Builder.emit ctx.b Opcode.Yield
+  | StopS -> Builder.emit ctx.b Opcode.Stopproc
+
+(* ---- static import-frequency ordering (one-byte EFC allocation) ---- *)
+
+(* Whether the module is being compiled with direct linkage, in which case
+   own-module call targets also need link-vector entries. *)
+let current_direct = ref false
+
+let rec count_expr ~current tally (e : expr) =
+  match e with
+  | Int _ | Bool _ | Nil | Retctx | Var _ -> ()
+  | Index (_, i) -> count_expr ~current tally i
+  | Unop (_, a) -> count_expr ~current tally a
+  | Binop (_, a, b) ->
+    count_expr ~current tally a;
+    count_expr ~current tally b
+  | ProcVal c -> count_callee ~current tally c ~weight:1
+  | Call (c, args) ->
+    count_callee ~current tally c ~weight:3;
+    List.iter (count_expr ~current tally) args
+  | Transfer (dest, values) ->
+    count_expr ~current tally dest;
+    List.iter (count_expr ~current tally) values
+
+and count_callee ~current tally (c : callee) ~weight =
+  let m = Option.value c.c_module ~default:current in
+  let key = (m, c.c_proc) in
+  let needs_lv = not (String.equal m current) in
+  (* Own procedures enter the LV when used as descriptor values (weight 1)
+     or, under direct linkage, as early-bound call targets (the tally's
+     [direct] flag is threaded through [current_direct]). *)
+  if needs_lv || weight = 1 || !current_direct then
+    Hashtbl.replace tally key (weight + Option.value (Hashtbl.find_opt tally key) ~default:0)
+
+let rec count_stmt ~current tally (s : stmt) =
+  match s with
+  | Local (_, _, Some e) | Assign (_, e) | Return (Some e) | Output e ->
+    count_expr ~current tally e
+  | AssignIdx (_, i, e) ->
+    count_expr ~current tally i;
+    count_expr ~current tally e
+  | Local (_, _, None) | Return None | YieldS | StopS -> ()
+  | If (c, a, b) ->
+    count_expr ~current tally c;
+    List.iter (count_stmt ~current tally) a;
+    List.iter (count_stmt ~current tally) b
+  | While (c, body) ->
+    count_expr ~current tally c;
+    List.iter (count_stmt ~current tally) body
+  | CallS (c, args) ->
+    count_callee ~current tally c ~weight:3;
+    List.iter (count_expr ~current tally) args
+  | TransferS (dest, values) ->
+    count_expr ~current tally dest;
+    List.iter (count_expr ~current tally) values
+  | ForkS (c, args) ->
+    count_callee ~current tally c ~weight:1;
+    List.iter (count_expr ~current tally) args
+
+let import_order ~current ~direct (m : module_decl) =
+  current_direct := direct;
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun p -> List.iter (count_stmt ~current tally) p.pr_body)
+    m.md_procs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort (fun (ka, va) (kb, vb) ->
+         if va <> vb then compare vb va else compare ka kb)
+  |> List.map fst
+
+(* ---- module assembly ---- *)
+
+let gen_proc ~env ~conv ~current ~imports ~globals ~proc_evs (p : proc) =
+  let ctx =
+    {
+      env;
+      current;
+      conv;
+      imports;
+      globals;
+      proc_evs;
+      slots = Hashtbl.create 16;
+      nslots = 0;
+      b = Builder.create ();
+      dfc_fixups = [];
+      lpd_fixups = [];
+    }
+  in
+  let nparams = List.length p.pr_params in
+  List.iter (fun prm -> ignore (new_slot ctx prm.prm_name ~var_param:prm.prm_var)) p.pr_params;
+  if not conv.Convention.args_in_place then
+    for i = nparams - 1 downto 0 do
+      Builder.emit ctx.b (Opcode.Sl i)
+    done;
+  List.iter (gen_stmt ctx) p.pr_body;
+  (* Fall-off-the-end epilogue; a value-returning procedure yields 0. *)
+  if p.pr_result <> None then Builder.emit ctx.b (Opcode.Li 0);
+  Builder.emit ctx.b Opcode.Ret;
+  {
+    Fpc_mesa.Compiled.p_name = p.pr_name;
+    p_body = Builder.to_bytes ctx.b;
+    p_locals_words = max 1 ctx.nslots;
+    p_nargs = nparams;
+    p_dfc_fixups = List.rev ctx.dfc_fixups;
+    p_lpd_fixups = List.rev ctx.lpd_fixups;
+  }
+
+let module_decl ~env ~convention (m : module_decl) =
+  let current = m.md_name in
+  let direct =
+    match convention.Convention.linkage with
+    | Fpc_mesa.Image.External -> false
+    | Fpc_mesa.Image.Direct | Fpc_mesa.Image.Short_direct -> true
+  in
+  let import_list = import_order ~current ~direct m in
+  if List.length import_list > 256 then invalid_arg "Codegen: more than 256 imports";
+  let imports = Hashtbl.create 16 in
+  List.iteri (fun i key -> Hashtbl.replace imports key i) import_list;
+  let globals = Hashtbl.create 16 in
+  let globals_words = ref 0 in
+  List.iter
+    (fun g ->
+      Hashtbl.replace globals g.g_name !globals_words;
+      globals_words := !globals_words + typ_words g.g_type)
+    m.md_globals;
+  let proc_evs = Hashtbl.create 16 in
+  List.iteri (fun i p -> Hashtbl.replace proc_evs p.pr_name i) m.md_procs;
+  let procs =
+    List.map
+      (gen_proc ~env ~conv:convention ~current ~imports ~globals ~proc_evs)
+      m.md_procs
+  in
+  let global_init =
+    List.concat
+      (List.mapi
+         (fun i g -> match g.g_init with None -> [] | Some v -> [ (i, v) ])
+         m.md_globals)
+  in
+  {
+    Fpc_mesa.Compiled.m_name = current;
+    m_globals_words = max 1 !globals_words;
+    m_global_init = global_init;
+    m_imports = Array.of_list import_list;
+    m_procs = procs;
+  }

@@ -1,0 +1,21 @@
+(** Code generation: lowered mini-Mesa AST to byte-coded modules.
+
+    Frame layout per procedure: parameters occupy local slots 0..n-1
+    (value parameters hold the word, VAR parameters hold the address),
+    followed by declared locals and compiler temporaries.  Unless the
+    convention is args-in-place, a prologue of SL instructions stores the
+    argument record off the evaluation stack — the movement §5.2 calls
+    wasteful and §7.2 eliminates.
+
+    Link-vector indices are assigned by descending static call frequency,
+    so the most frequently called externals land in the sixteen one-byte
+    EXTERNALCALL opcodes (§5.1). *)
+
+val module_decl :
+  env:Fpc_lang.Typecheck.env ->
+  convention:Convention.t ->
+  Fpc_lang.Ast.module_decl ->
+  Fpc_mesa.Compiled.t
+(** The module must already be type-checked and lowered.  Raises
+    [Invalid_argument] on capacity violations (too many locals, imports or
+    entry points for the encoding). *)

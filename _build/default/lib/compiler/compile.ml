@@ -1,0 +1,32 @@
+let ( let* ) = Result.bind
+
+let front_end src =
+  let* prog = Fpc_lang.Parser.parse src in
+  let* env = Fpc_lang.Typecheck.check prog in
+  Ok (prog, env)
+
+let modules ?(convention = Convention.external_) src =
+  let* prog, env = front_end src in
+  let lowered = Lower.program prog in
+  match List.map (Codegen.module_decl ~env ~convention) lowered with
+  | compiled -> Ok compiled
+  | exception Invalid_argument msg -> Error msg
+
+let image ?(convention = Convention.external_) ?memory_words ?extra_instances src =
+  let* compiled = modules ~convention src in
+  Fpc_mesa.Linker.link ~linkage:convention.Convention.linkage ?memory_words
+    ?extra_instances compiled
+
+let image_for_engine ~engine ?memory_words src =
+  image ~convention:(Convention.for_engine engine) ?memory_words src
+
+let run ?(engine = Fpc_core.Engine.i2) ?max_steps ?(instance = "Main")
+    ?(proc = "main") ?(args = []) src =
+  let* img = image_for_engine ~engine src in
+  match
+    Fpc_interp.Interp.run_program ?max_steps ~image:img ~engine ~instance ~proc
+      ~args ()
+  with
+  | st -> Ok (Fpc_interp.Interp.outcome st)
+  | exception Not_found ->
+    Error (Printf.sprintf "no procedure %s.%s" instance proc)

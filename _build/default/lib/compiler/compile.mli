@@ -1,0 +1,40 @@
+(** The compilation pipeline: source text -> checked AST -> lowered AST ->
+    byte-coded modules -> linked image. *)
+
+val front_end : string -> (Fpc_lang.Ast.program * Fpc_lang.Typecheck.env, string) result
+(** Parse and type-check. *)
+
+val modules :
+  ?convention:Convention.t ->
+  string ->
+  (Fpc_mesa.Compiled.t list, string) result
+(** Compile every module in the source (default convention
+    {!Convention.external_}). *)
+
+val image :
+  ?convention:Convention.t ->
+  ?memory_words:int ->
+  ?extra_instances:string list ->
+  string ->
+  (Fpc_mesa.Image.t, string) result
+(** Compile and link in one step; the image's linkage follows the
+    convention. *)
+
+val image_for_engine :
+  engine:Fpc_core.Engine.t ->
+  ?memory_words:int ->
+  string ->
+  (Fpc_mesa.Image.t, string) result
+(** Compile with {!Convention.for_engine} so the image matches the engine
+    it will run on. *)
+
+val run :
+  ?engine:Fpc_core.Engine.t ->
+  ?max_steps:int ->
+  ?instance:string ->
+  ?proc:string ->
+  ?args:int list ->
+  string ->
+  (Fpc_interp.Interp.outcome, string) result
+(** Compile, link and execute ["Main.main"] (defaults) under the given
+    engine (default I2) — the one-call quickstart. *)

@@ -1,0 +1,15 @@
+type t = { linkage : Fpc_mesa.Image.linkage; args_in_place : bool }
+
+let external_ = { linkage = Fpc_mesa.Image.External; args_in_place = false }
+let direct = { linkage = Fpc_mesa.Image.Direct; args_in_place = false }
+let short_direct = { linkage = Fpc_mesa.Image.Short_direct; args_in_place = false }
+
+let banked ?(linkage = Fpc_mesa.Image.Direct) () = { linkage; args_in_place = true }
+
+let for_engine (e : Fpc_core.Engine.t) =
+  if Fpc_core.Engine.args_in_place e then banked ()
+  else if e.return_stack_depth > 0 then direct
+  else external_
+
+let compatible t (e : Fpc_core.Engine.t) =
+  Bool.equal t.args_in_place (Fpc_core.Engine.args_in_place e)

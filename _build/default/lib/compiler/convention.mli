@@ -1,0 +1,32 @@
+(** Calling conventions: the compiler-visible half of an engine choice.
+
+    [linkage] decides how inter-module calls are encoded (§5's compact
+    EXTERNALCALL vs §6's early-bound DIRECTCALL / SHORTDIRECTCALL);
+    [args_in_place] elides the argument-store prologue because the renamed
+    stack bank already delivers arguments as the first locals (§7.2) — it
+    must match the engine the image will run on ({!Fpc_core.Engine}).
+
+    §2's point is exactly this split: changing the {e encoding} requires
+    recompilation but not source changes; changing the {e interpreter}
+    requires neither. *)
+
+type t = { linkage : Fpc_mesa.Image.linkage; args_in_place : bool }
+
+val external_ : t
+(** §5 encoding with the prologue: pairs with engines I1, I2, I3. *)
+
+val direct : t
+(** §6 early binding, prologue kept: pairs with I2/I3 (the IFU makes it
+    fast under I3). *)
+
+val short_direct : t
+
+val banked : ?linkage:Fpc_mesa.Image.linkage -> unit -> t
+(** args-in-place for bank engines (I4); default linkage [Direct]. *)
+
+val for_engine : Fpc_core.Engine.t -> t
+(** The natural pairing: I1/I2 external, I3 direct, I4 banked-direct. *)
+
+val compatible : t -> Fpc_core.Engine.t -> bool
+(** True when an image compiled this way can run on that engine
+    (args_in_place must agree with the engine's banks). *)

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Fpc_regbank Printf

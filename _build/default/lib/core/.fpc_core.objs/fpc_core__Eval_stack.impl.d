@@ -1,0 +1,1 @@
+lib/core/eval_stack.ml: Array Fpc_util

@@ -1,0 +1,1 @@
+lib/core/interface.ml: Array Descriptor Fpc_isa Fpc_machine Fpc_mesa Image String

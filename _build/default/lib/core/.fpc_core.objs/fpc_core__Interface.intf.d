@@ -1,0 +1,1 @@
+lib/core/interface.mli: Fpc_isa Fpc_mesa

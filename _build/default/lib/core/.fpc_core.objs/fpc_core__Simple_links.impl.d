@@ -1,0 +1,1 @@
+lib/core/simple_links.ml: Array Compiled Fpc_machine Fpc_mesa Hashtbl Image List Memory

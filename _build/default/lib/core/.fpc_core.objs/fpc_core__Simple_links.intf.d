@@ -1,0 +1,1 @@
+lib/core/simple_links.mli: Fpc_mesa

@@ -1,0 +1,1 @@
+lib/core/state.ml: Cost Engine Eval_stack Fpc_frames Fpc_ifu Fpc_machine Fpc_mesa Fpc_regbank Fpc_util Image Layout List Memory Option Printf Queue Simple_links Stack

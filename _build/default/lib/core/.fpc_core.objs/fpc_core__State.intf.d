@@ -1,0 +1,1 @@
+lib/core/state.mli: Engine Eval_stack Fpc_frames Fpc_ifu Fpc_machine Fpc_mesa Fpc_regbank Fpc_util Queue Simple_links Stack

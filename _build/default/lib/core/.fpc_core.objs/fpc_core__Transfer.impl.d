@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Alloc_vector Array Cost Descriptor Engine Eval_stack Fpc_frames Fpc_ifu Fpc_machine Fpc_mesa Fpc_regbank Frame Gft Image List Memory Queue Simple_links Size_class Stack State

@@ -1,0 +1,49 @@
+type kind = Simple | Mesa
+
+type t = {
+  kind : kind;
+  return_stack_depth : int;
+  banks : Fpc_regbank.Bank_file.config option;
+  free_frame_stack_depth : int;
+  free_frame_payload_words : int;
+  collect_data_trace : bool;
+}
+
+let i1 =
+  {
+    kind = Simple;
+    return_stack_depth = 0;
+    banks = None;
+    free_frame_stack_depth = 0;
+    free_frame_payload_words = 40;
+    collect_data_trace = false;
+  }
+
+let i2 = { i1 with kind = Mesa }
+
+let i3 ?(return_stack_depth = 8) () =
+  { i2 with return_stack_depth }
+
+let i4 ?(return_stack_depth = 16)
+    ?(bank_config =
+      { Fpc_regbank.Bank_file.default_config with bank_count = 8 })
+    ?(free_frame_stack_depth = 32) () =
+  {
+    kind = Mesa;
+    return_stack_depth;
+    banks = Some bank_config;
+    free_frame_stack_depth;
+    free_frame_payload_words = 40;
+    collect_data_trace = false;
+  }
+
+let args_in_place t = t.banks <> None
+
+let name t =
+  match (t.kind, t.return_stack_depth, t.banks) with
+  | Simple, _, _ -> "I1"
+  | Mesa, 0, None -> "I2"
+  | Mesa, d, None -> Printf.sprintf "I3(d=%d)" d
+  | Mesa, d, Some b ->
+    Printf.sprintf "I4(b=%dx%d,d=%d)" b.Fpc_regbank.Bank_file.bank_count
+      b.Fpc_regbank.Bank_file.bank_words d

@@ -1,0 +1,48 @@
+(** Transfer-engine configurations: which of the paper's implementations
+    runs a program.
+
+    - {!i1} — §4's straightforward implementation: full-width (two-word)
+      descriptor tables, no packing, and a general-purpose heap whose every
+      allocation goes through the software allocator.
+    - {!i2} — §5's Mesa implementation: the packed-descriptor indirection
+      chain (LV → GFT → global frame → EV) and the AV fast frame heap.
+    - {!i3} — I2 plus §6: the IFU follows DIRECTCALLs, and a return stack
+      lets LIFO returns (and the deferred overhead stores) ride the fast
+      path.
+    - {!i4} — I3 plus §7: register banks shadowing frames, stack-bank
+      renaming for free argument passing, and a processor free-frame stack
+      making allocation of common-size frames free.
+
+    A program compiled with [args_in_place = true] (no argument-store
+    prologue) must run on an engine with banks, and vice versa; see
+    {!Fpc_compiler.Convention}. *)
+
+type kind = Simple | Mesa
+
+type t = {
+  kind : kind;
+  return_stack_depth : int;  (** 0 disables the I3 return stack *)
+  banks : Fpc_regbank.Bank_file.config option;
+  free_frame_stack_depth : int;  (** 0 disables the §7.1 free-frame stack *)
+  free_frame_payload_words : int;
+      (** payload size the free-frame stack serves: §7.1 makes "the
+          smallest frame size the 80 bytes just cited" — 40 words *)
+  collect_data_trace : bool;  (** record the data-reference stream for E9 *)
+}
+
+val i1 : t
+val i2 : t
+val i3 : ?return_stack_depth:int -> unit -> t
+
+val i4 :
+  ?return_stack_depth:int ->
+  ?bank_config:Fpc_regbank.Bank_file.config ->
+  ?free_frame_stack_depth:int ->
+  unit ->
+  t
+
+val name : t -> string
+(** "I1", "I2", "I3(d=8)", "I4(b=4x16,d=8)". *)
+
+val args_in_place : t -> bool
+(** True exactly when banks are configured. *)

@@ -1,0 +1,33 @@
+exception Overflow
+exception Underflow
+
+type t = { data : int array; mutable depth : int }
+
+let create ?(capacity = 16) () =
+  if capacity <= 0 then invalid_arg "Eval_stack.create";
+  { data = Array.make capacity 0; depth = 0 }
+
+let capacity t = Array.length t.data
+let depth t = t.depth
+
+let push t v =
+  if t.depth >= Array.length t.data then raise Overflow;
+  t.data.(t.depth) <- Fpc_util.Bits.to_word v;
+  t.depth <- t.depth + 1
+
+let pop t =
+  if t.depth = 0 then raise Underflow;
+  t.depth <- t.depth - 1;
+  t.data.(t.depth)
+
+let peek t =
+  if t.depth = 0 then raise Underflow;
+  t.data.(t.depth - 1)
+
+let clear t = t.depth <- 0
+let contents t = Array.sub t.data 0 t.depth
+
+let replace t values =
+  if Array.length values > Array.length t.data then raise Overflow;
+  Array.blit values 0 t.data 0 (Array.length values);
+  t.depth <- Array.length values

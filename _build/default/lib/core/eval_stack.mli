@@ -1,0 +1,30 @@
+(** The evaluation stack: "a stack or some working registers for evaluating
+    expressions, or for passing arguments and results" (§4).
+
+    It is register-resident (under I4 it lives in a register bank, §7.2),
+    so pushes and pops cost no storage references.  The compiler keeps the
+    invariant that at every call the stack holds exactly the outgoing
+    argument record — §5.2's observation that [f[g[], h[]]] "requires the
+    results of g to be saved before h is called" — which is what makes the
+    rename-the-stack-bank trick sound. *)
+
+exception Overflow
+exception Underflow
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 16 words, the Mesa-processor scale. *)
+
+val capacity : t -> int
+val depth : t -> int
+val push : t -> int -> unit
+val pop : t -> int
+val peek : t -> int
+val clear : t -> unit
+
+val contents : t -> int array
+(** Bottom first. *)
+
+val replace : t -> int array -> unit
+(** Set the whole stack (process resume). *)

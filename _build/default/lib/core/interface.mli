@@ -1,0 +1,36 @@
+(** Interface records (§3).
+
+    "Some languages, including Mesa, have a notion of a cluster, package,
+    or interface, which is a collection of procedures grouped under a
+    common name...  Then the client needs only a pointer to the interface
+    record in order to call any of its procedures.  The components of an
+    interface record will be contexts for the various procedures."
+
+    An interface record is an array of packed context words in storage; a
+    client calls component [k] with the §4 sequence LOADLITERAL(record);
+    READFIELD(k); XFER — in this ISA: [Li record; Ldfld k; Xf]. *)
+
+type t = { if_addr : int; if_slots : (string * string) array }
+
+val create :
+  Fpc_mesa.Image.t -> slots:(string * string) array -> t
+(** Build an interface record in the image's static region; each slot
+    names an (instance, procedure).  Raises [Not_found] for unknown
+    names, [Invalid_argument] if the static region is full. *)
+
+val address : t -> int
+
+val slot_index : t -> proc:string -> int
+(** Position of the first slot whose procedure name is [proc].  Raises
+    [Not_found]. *)
+
+val rebind :
+  Fpc_mesa.Image.t -> t -> slot:int -> target:string * string -> unit
+(** Repoint one component, unmetered — interfaces "simplify the task of
+    linking up a reference to an external procedure" precisely because
+    rebinding is one store. *)
+
+val call_sequence : t -> slot:int -> Fpc_isa.Opcode.t list
+(** The client-side instructions that invoke component [slot] (arguments
+    must already be on the evaluation stack):
+    [Li record-address; Ldfld slot; Xf]. *)

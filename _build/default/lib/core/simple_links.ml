@@ -1,0 +1,83 @@
+open Fpc_machine
+open Fpc_mesa
+
+type t = {
+  slv : (string, int) Hashtbl.t;
+  sev : (string, int) Hashtbl.t;
+  by_gf : (int, string) Hashtbl.t;
+  mutable words : int;
+}
+
+let pack_entry image ~target_instance ~target_proc =
+  let abs = Image.entry_byte_address image ~instance:target_instance ~proc:target_proc in
+  let ii = Image.find_instance image target_instance in
+  (abs land 0xFFFF, ii.ii_gf_addr lor ((abs lsr 16) land 1))
+
+let unpack_entry (w0, w1) =
+  let gf = w1 land 0xFFFC in
+  let abs = ((w1 land 1) lsl 16) lor w0 in
+  (abs, gf)
+
+let install image =
+  let t =
+    { slv = Hashtbl.create 8; sev = Hashtbl.create 8; by_gf = Hashtbl.create 8; words = 0 }
+  in
+  List.iter
+    (fun (ii : Image.instance_info) ->
+      let m = Image.find_module image ii.ii_module in
+      let n_imports = Array.length ii.ii_imports in
+      let n_procs = List.length m.Compiled.m_procs in
+      let slv_base = Image.alloc_static image ~words:(max 1 (2 * n_imports)) ~quad:false in
+      let sev_base = Image.alloc_static image ~words:(2 * n_procs) ~quad:false in
+      t.words <- t.words + max 1 (2 * n_imports) + (2 * n_procs);
+      Array.iteri
+        (fun i (tm, tp) ->
+          let w0, w1 = pack_entry image ~target_instance:tm ~target_proc:tp in
+          Memory.poke image.mem (slv_base + (2 * i)) w0;
+          Memory.poke image.mem (slv_base + (2 * i) + 1) w1)
+        ii.ii_imports;
+      List.iteri
+        (fun i (p : Compiled.proc) ->
+          let w0, w1 = pack_entry image ~target_instance:ii.ii_name ~target_proc:p.p_name in
+          Memory.poke image.mem (sev_base + (2 * i)) w0;
+          Memory.poke image.mem (sev_base + (2 * i) + 1) w1)
+        m.Compiled.m_procs;
+      Hashtbl.replace t.slv ii.ii_name slv_base;
+      Hashtbl.replace t.sev ii.ii_name sev_base;
+      Hashtbl.replace t.by_gf ii.ii_gf_addr ii.ii_name)
+    image.instances;
+  t
+
+let read_pair image base index =
+  let w0 = Memory.read image.Image.mem (base + (2 * index)) in
+  let w1 = Memory.read image.Image.mem (base + (2 * index) + 1) in
+  unpack_entry (w0, w1)
+
+let resolve_import t image ~instance ~lv_index =
+  read_pair image (Hashtbl.find t.slv instance) lv_index
+
+let resolve_own t image ~instance ~ev_index =
+  read_pair image (Hashtbl.find t.sev instance) ev_index
+
+let instance_of_gf t ~gf = Hashtbl.find t.by_gf gf
+
+let resolve_import_by_gf t image ~gf ~lv_index =
+  resolve_import t image ~instance:(instance_of_gf t ~gf) ~lv_index
+
+let resolve_own_by_gf t image ~gf ~ev_index =
+  resolve_own t image ~instance:(instance_of_gf t ~gf) ~ev_index
+
+let resolve_descriptor t image ~gfi ~ev =
+  (* Identify the instance owning this gfi (directory lookup models the
+     one-reference-to-a-record structure of §4; the two metered reads below
+     are the record fetch itself). *)
+  let ii =
+    List.find
+      (fun (ii : Image.instance_info) ->
+        gfi >= ii.ii_gfi && gfi < ii.ii_gfi + ii.ii_gfi_count)
+      image.Image.instances
+  in
+  let bias = gfi - ii.ii_gfi in
+  resolve_own t image ~instance:ii.ii_name ~ev_index:((bias * 32) + ev)
+
+let table_words t = t.words

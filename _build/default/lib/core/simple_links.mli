@@ -1,0 +1,51 @@
+(** Full-width descriptor tables for the simple implementation I1 (§4).
+
+    The natural implementation represents a procedure descriptor as an
+    unpacked pair (pointer to code, pointer to environment) — two words
+    instead of the Mesa encoding's one, and with no GFT or entry-vector
+    indirection.  [install] materialises, for every instance, a
+    {e simple link vector} (imports) and a {e simple entry vector} (its own
+    procedures), each entry two words:
+
+    {v
+    word 0:  absolute entry byte address, low 16 bits
+    word 1:  environment (global frame) address | (entry address bit 16)
+    v}
+
+    (The global frame is quad-aligned so its two low bits are free; bit 0
+    carries the 17th address bit a 128 KB code space needs — exactly the
+    kind of width pressure §5's packing exists to relieve.)
+
+    Resolution therefore costs two storage reads and lands directly on the
+    procedure: fewer references than the Mesa chain, at twice the table
+    width and with none of its relocation freedoms. *)
+
+type t
+
+val install : Fpc_mesa.Image.t -> t
+(** Builds the tables in the image's static region.  Call once per image
+    before running under the [Simple] engine. *)
+
+val resolve_import :
+  t -> Fpc_mesa.Image.t -> instance:string -> lv_index:int -> int * int
+(** [(entry_abs_byte, gf_addr)], charging two metered reads. *)
+
+val resolve_own :
+  t -> Fpc_mesa.Image.t -> instance:string -> ev_index:int -> int * int
+(** Same, for the instance's own procedure [ev_index]. *)
+
+val resolve_import_by_gf :
+  t -> Fpc_mesa.Image.t -> gf:int -> lv_index:int -> int * int
+(** As {!resolve_import}, identifying the instance by its global-frame
+    address (the machine's GF register). *)
+
+val resolve_own_by_gf : t -> Fpc_mesa.Image.t -> gf:int -> ev_index:int -> int * int
+
+val resolve_descriptor :
+  t -> Fpc_mesa.Image.t -> gfi:int -> ev:int -> int * int
+(** Resolve a packed descriptor context under I1 semantics (an XFER with a
+    first-class procedure value): the descriptor record is read at
+    full width — two metered reads. *)
+
+val table_words : t -> int
+(** Total words the simple tables occupy (space accounting for E2). *)

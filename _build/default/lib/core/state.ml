@@ -1,0 +1,261 @@
+open Fpc_machine
+open Fpc_mesa
+
+type trap_reason =
+  | Div_zero
+  | Eval_overflow
+  | Eval_underflow
+  | Illegal_instruction of int
+  | Break
+  | Nil_context
+  | Frame_heap_exhausted
+  | Step_limit
+
+let trap_code = function
+  | Div_zero -> 1
+  | Eval_overflow -> 2
+  | Eval_underflow -> 3
+  | Illegal_instruction _ -> 4
+  | Break -> 5
+  | Nil_context -> 6
+  | Frame_heap_exhausted -> 7
+  | Step_limit -> 8
+
+let trap_reason_to_string = function
+  | Div_zero -> "division by zero"
+  | Eval_overflow -> "evaluation stack overflow"
+  | Eval_underflow -> "evaluation stack underflow"
+  | Illegal_instruction b -> Printf.sprintf "illegal instruction 0x%02X" b
+  | Break -> "BRK"
+  | Nil_context -> "XFER to NIL context"
+  | Frame_heap_exhausted -> "frame heap exhausted"
+  | Step_limit -> "step limit exceeded"
+
+type status = Running | Halted | Trapped of trap_reason
+
+type metrics = {
+  mutable instructions : int;
+  mutable calls : int;
+  mutable returns : int;
+  mutable other_xfers : int;
+  mutable jumps_taken : int;
+  mutable fast_transfers : int;
+  mutable slow_transfers : int;
+  mutable local_refs : int;
+  mutable global_refs : int;
+  mutable indirect_refs : int;
+  mutable arg_words_stored : int;
+  mutable arg_words_renamed : int;
+  mutable ff_hits : int;
+  mutable ff_misses : int;
+  mutable frame_allocs : int;
+  mutable frame_frees : int;
+  mutable call_depth : int;
+  mutable run_length : int;  (* consecutive same-direction transfers *)
+  mutable run_dir : int;  (* +1 call run, -1 return run, 0 none *)
+}
+
+let fresh_metrics () =
+  {
+    instructions = 0;
+    calls = 0;
+    returns = 0;
+    other_xfers = 0;
+    jumps_taken = 0;
+    fast_transfers = 0;
+    slow_transfers = 0;
+    local_refs = 0;
+    global_refs = 0;
+    indirect_refs = 0;
+    arg_words_stored = 0;
+    arg_words_renamed = 0;
+    ff_hits = 0;
+    ff_misses = 0;
+    frame_allocs = 0;
+    frame_frees = 0;
+    call_depth = 0;
+    run_length = 0;
+    run_dir = 0;
+  }
+
+type process = { p_id : int; p_lf : int; p_stack : int array }
+
+type t = {
+  image : Image.t;
+  mem : Memory.t;
+  cost : Cost.t;
+  allocator : Fpc_frames.Alloc_vector.t;
+  engine : Engine.t;
+  simple : Simple_links.t option;
+  rstack : Fpc_ifu.Return_stack.t option;
+  banks : Fpc_regbank.Bank_file.t option;
+  free_frames : int Stack.t;
+  ff_fsi : int;
+  mutable lf : int;
+  mutable gf : int;
+  mutable cb : int option;
+  mutable pc_abs : int;
+  mutable return_ctx : int;
+  stack : Eval_stack.t;
+  mutable status : status;
+  mutable output_rev : int list;
+  metrics : metrics;
+  ready : process Queue.t;
+  mutable next_pid : int;
+  mutable current_pid : int;
+  data_trace : (int * bool) Queue.t option;
+  depth_hist : Fpc_util.Histogram.t;
+  run_hist : Fpc_util.Histogram.t;  (** lengths of same-direction transfer runs *)
+}
+
+let create ~image ~engine =
+  let cost = image.Image.cost in
+  Cost.reset cost;
+  let layout = image.Image.layout in
+  let ladder = Fpc_frames.Alloc_vector.ladder image.Image.allocator in
+  let mode =
+    match engine.Engine.kind with
+    | Engine.Simple -> Fpc_frames.Alloc_vector.Software_only
+    | Engine.Mesa -> Fpc_frames.Alloc_vector.Fast
+  in
+  let allocator =
+    Fpc_frames.Alloc_vector.create ~mode ~mem:image.Image.mem ~ladder
+      ~av_base:layout.Layout.av_base ~heap_base:layout.Layout.heap_base
+      ~heap_limit:layout.Layout.heap_limit ()
+  in
+  let simple =
+    match engine.Engine.kind with
+    | Engine.Simple -> Some (Simple_links.install image)
+    | Engine.Mesa -> None
+  in
+  let rstack =
+    if engine.Engine.return_stack_depth > 0 then
+      Some (Fpc_ifu.Return_stack.create ~depth:engine.Engine.return_stack_depth)
+    else None
+  in
+  let banks =
+    Option.map
+      (fun config ->
+        Fpc_regbank.Bank_file.create ~config ~mem:image.Image.mem ~cost ~ladder ())
+      engine.Engine.banks
+  in
+  let ff_fsi =
+    if engine.Engine.free_frame_stack_depth > 0 then
+      Fpc_frames.Alloc_vector.fsi_for_locals allocator engine.Engine.free_frame_payload_words
+    else -1
+  in
+  {
+    image;
+    mem = image.Image.mem;
+    cost;
+    allocator;
+    engine;
+    simple;
+    rstack;
+    banks;
+    free_frames = Stack.create ();
+    ff_fsi;
+    lf = 0;
+    gf = 0;
+    cb = None;
+    pc_abs = 0;
+    return_ctx = 0;
+    stack = Eval_stack.create ();
+    status = Running;
+    output_rev = [];
+    metrics = fresh_metrics ();
+    ready = Queue.create ();
+    next_pid = 1;
+    current_pid = 0;
+    data_trace = (if engine.Engine.collect_data_trace then Some (Queue.create ()) else None);
+    depth_hist = Fpc_util.Histogram.create ();
+    run_hist = Fpc_util.Histogram.create ();
+  }
+
+let output t = List.rev t.output_rev
+let emit t v = t.output_rev <- Fpc_util.Bits.to_word v :: t.output_rev
+
+let ensure_cb t =
+  match t.cb with
+  | Some cb -> cb
+  | None ->
+    let cb = Memory.read t.mem t.gf in
+    t.cb <- Some cb;
+    cb
+
+let pc_rel t = t.pc_abs - (2 * ensure_cb t)
+
+let set_pc_rel t ~cb rel =
+  t.cb <- Some cb;
+  t.pc_abs <- (2 * cb) + rel
+
+let trace t addr ~write =
+  match t.data_trace with
+  | Some q -> Queue.add (addr, write) q
+  | None -> ()
+
+let read_local t n =
+  t.metrics.local_refs <- t.metrics.local_refs + 1;
+  trace t (t.lf + n) ~write:false;
+  match t.banks with
+  | Some banks -> Fpc_regbank.Bank_file.read_local banks ~lf:t.lf ~index:n
+  | None -> Memory.read t.mem (t.lf + n)
+
+let write_local t n v =
+  t.metrics.local_refs <- t.metrics.local_refs + 1;
+  trace t (t.lf + n) ~write:true;
+  match t.banks with
+  | Some banks -> Fpc_regbank.Bank_file.write_local banks ~lf:t.lf ~index:n v
+  | None -> Memory.write t.mem (t.lf + n) v
+
+let read_global t n =
+  t.metrics.global_refs <- t.metrics.global_refs + 1;
+  trace t (t.gf + Image.global_base + n) ~write:false;
+  Memory.read t.mem (t.gf + Image.global_base + n)
+
+let write_global t n v =
+  t.metrics.global_refs <- t.metrics.global_refs + 1;
+  trace t (t.gf + Image.global_base + n) ~write:true;
+  Memory.write t.mem (t.gf + Image.global_base + n) v
+
+let local_addr t n =
+  (match t.banks with
+  | Some banks -> Fpc_regbank.Bank_file.flag_frame banks ~lf:t.lf
+  | None -> ());
+  t.lf + n
+
+let global_addr t n = t.gf + Image.global_base + n
+
+let data_read t ~addr =
+  t.metrics.indirect_refs <- t.metrics.indirect_refs + 1;
+  trace t addr ~write:false;
+  match t.banks with
+  | Some banks -> Fpc_regbank.Bank_file.data_read banks ~addr
+  | None -> Memory.read t.mem addr
+
+let data_write t ~addr v =
+  t.metrics.indirect_refs <- t.metrics.indirect_refs + 1;
+  trace t addr ~write:true;
+  match t.banks with
+  | Some banks -> Fpc_regbank.Bank_file.data_write banks ~addr v
+  | None -> Memory.write t.mem addr v
+
+(* Depth and run-length bookkeeping for calls (+1) and returns (-1): the
+   section 7.1 locality measurements. *)
+let note_transfer_direction t dir =
+  let m = t.metrics in
+  m.call_depth <- max 0 (m.call_depth + dir);
+  Fpc_util.Histogram.add t.depth_hist m.call_depth;
+  if m.run_dir = dir then m.run_length <- m.run_length + 1
+  else begin
+    if m.run_length > 0 then Fpc_util.Histogram.add t.run_hist m.run_length;
+    m.run_dir <- dir;
+    m.run_length <- 1
+  end
+
+let meter_transfer t thunk =
+  let before = Cost.mem_refs t.cost in
+  thunk ();
+  if Cost.mem_refs t.cost = before then
+    t.metrics.fast_transfers <- t.metrics.fast_transfers + 1
+  else t.metrics.slow_transfers <- t.metrics.slow_transfers + 1

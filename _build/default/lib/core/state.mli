@@ -1,0 +1,136 @@
+(** The running machine: registers, evaluation stack, process queue, and the
+    per-run metering every experiment reads.
+
+    Registers (§4): LF (current local frame), GF (current global frame),
+    the PC — kept here as an {e absolute} byte address, with the code base
+    CB tracked separately and possibly invalid ([None]) after a DIRECTCALL
+    whose fast path never needed it — the returnContext, and the evaluation
+    stack.
+
+    Local and global variable access routes through {!read_local} /
+    {!write_local} so the register banks of §7 can intercept it; pointer
+    dereferences route through {!data_read} / {!data_write} so §7.4's
+    diversion logic applies. *)
+
+type trap_reason =
+  | Div_zero
+  | Eval_overflow
+  | Eval_underflow
+  | Illegal_instruction of int
+  | Break
+  | Nil_context
+  | Frame_heap_exhausted
+  | Step_limit
+
+val trap_code : trap_reason -> int
+(** Small integer passed to an installed trap handler. *)
+
+val trap_reason_to_string : trap_reason -> string
+
+type status = Running | Halted | Trapped of trap_reason
+
+type metrics = {
+  mutable instructions : int;
+  mutable calls : int;
+  mutable returns : int;
+  mutable other_xfers : int;  (** XF, FORK, YIELD, process switches *)
+  mutable jumps_taken : int;
+  mutable fast_transfers : int;  (** calls/returns completed with no storage reference *)
+  mutable slow_transfers : int;
+  mutable local_refs : int;
+  mutable global_refs : int;
+  mutable indirect_refs : int;
+  mutable arg_words_stored : int;  (** argument words moved by prologue stores (I2 path) *)
+  mutable arg_words_renamed : int;  (** argument words delivered by bank renaming (I4 path) *)
+  mutable ff_hits : int;  (** free-frame-stack allocations *)
+  mutable ff_misses : int;
+  mutable frame_allocs : int;
+  mutable frame_frees : int;
+  mutable call_depth : int;  (** current dynamic nesting depth *)
+  mutable run_length : int;
+  mutable run_dir : int;
+}
+
+type process = { p_id : int; p_lf : int; p_stack : int array }
+
+type t = {
+  image : Fpc_mesa.Image.t;
+  mem : Fpc_machine.Memory.t;
+  cost : Fpc_machine.Cost.t;
+  allocator : Fpc_frames.Alloc_vector.t;
+  engine : Engine.t;
+  simple : Simple_links.t option;  (** present iff engine kind is Simple *)
+  rstack : Fpc_ifu.Return_stack.t option;
+  banks : Fpc_regbank.Bank_file.t option;
+  free_frames : int Stack.t;
+  ff_fsi : int;  (** class the free-frame stack serves; -1 when disabled *)
+  mutable lf : int;
+  mutable gf : int;
+  mutable cb : int option;
+  mutable pc_abs : int;
+  mutable return_ctx : int;  (** packed context word; 0 is NIL *)
+  stack : Eval_stack.t;
+  mutable status : status;
+  mutable output_rev : int list;
+  metrics : metrics;
+  ready : process Queue.t;
+  mutable next_pid : int;
+  mutable current_pid : int;
+  data_trace : (int * bool) Queue.t option;
+  depth_hist : Fpc_util.Histogram.t;
+      (** call depth observed at every call/return (the paper's locality argument) *)
+  run_hist : Fpc_util.Histogram.t;
+      (** lengths of uninterrupted call-runs / return-runs — the paper's
+          "long runs ... are quite rare" made measurable *)
+}
+
+val create : image:Fpc_mesa.Image.t -> engine:Engine.t -> t
+(** Fresh machine over [image]: resets the cost meters, rebuilds the frame
+    allocator (software-only mode for I1), installs simple-link tables for
+    I1 and the return stack / bank file / free-frame stack the engine asks
+    for. *)
+
+val output : t -> int list
+(** Values OUTput so far, in order. *)
+
+val emit : t -> int -> unit
+
+(** {1 Code base management} *)
+
+val ensure_cb : t -> int
+(** The current code base, reading it from GF word 0 (one metered
+    reference) if the register is invalid. *)
+
+val pc_rel : t -> int
+(** Current PC relative to the (ensured) code base. *)
+
+val set_pc_rel : t -> cb:int -> int -> unit
+
+(** {1 Variable access} *)
+
+val read_local : t -> int -> int
+val write_local : t -> int -> int -> unit
+val read_global : t -> int -> int
+val write_global : t -> int -> int -> unit
+
+val local_addr : t -> int -> int
+(** LLA: the storage address of local [n]; flags the frame when banks are
+    on (§7.4 C1). *)
+
+val global_addr : t -> int -> int
+
+val data_read : t -> addr:int -> int
+(** RLOAD: diverted through the banks when the address hits a shadowed
+    frame window. *)
+
+val data_write : t -> addr:int -> int -> unit
+
+(** {1 Metering helpers} *)
+
+val note_transfer_direction : t -> int -> unit
+(** [+1] for a call, [-1] for a return; feeds the depth and run
+    histograms. *)
+
+val meter_transfer : t -> (unit -> unit) -> unit
+(** Run a transfer thunk and classify it fast (no storage references) or
+    slow. *)

@@ -1,0 +1,481 @@
+open Fpc_machine
+open Fpc_frames
+open Fpc_mesa
+
+exception Machine_trap of State.trap_reason
+
+(* A resolved destination: everything needed to enter a procedure. *)
+type resolved = {
+  d_gf : int;
+  d_cb : int option;  (* None = lazy (DIRECTCALL fast path never needs it) *)
+  d_entry_pc_abs : int;  (* first instruction byte, after the fsi byte *)
+  d_fsi : int;
+}
+
+let ladder (st : State.t) = Alloc_vector.ladder st.allocator
+let payload_of_fsi st fsi = Size_class.block_words (ladder st) fsi - Frame.overhead_words
+
+let simple (st : State.t) =
+  match st.simple with
+  | Some s -> s
+  | None -> invalid_arg "Transfer: Simple engine state missing"
+
+(* ------------------------------------------------------------------ *)
+(* Frame allocation: the §7.1 processor free-frame stack serves classes
+   up to [ff_fsi] with no storage references ("in parallel with the rest
+   of an XFER"); everything else takes the AV (or, under I1, software)
+   path. *)
+
+let alloc_frame (st : State.t) ~fsi =
+  let m = st.metrics in
+  m.frame_allocs <- m.frame_allocs + 1;
+  let via_av fsi =
+    try (Alloc_vector.alloc_fsi st.allocator ~cost:st.cost ~fsi, fsi)
+    with Alloc_vector.Out_of_frame_heap -> raise (Machine_trap State.Frame_heap_exhausted)
+  in
+  if st.ff_fsi >= 0 && fsi <= st.ff_fsi then
+    match Stack.pop_opt st.free_frames with
+    | Some lf ->
+      m.ff_hits <- m.ff_hits + 1;
+      (lf, st.ff_fsi)
+    | None ->
+      m.ff_misses <- m.ff_misses + 1;
+      via_av st.ff_fsi
+  else via_av fsi
+
+let free_frame (st : State.t) ~lf =
+  st.metrics.frame_frees <- st.metrics.frame_frees + 1;
+  (match st.banks with
+  | Some b -> Fpc_regbank.Bank_file.release_frame b ~lf
+  | None -> ());
+  (* The processor knows the class of frames it hands out, so returning a
+     common-size frame to its free-frame stack costs nothing. *)
+  let fsi = Frame.peek_fsi st.mem ~lf in
+  if
+    st.ff_fsi >= 0 && fsi = st.ff_fsi
+    && Stack.length st.free_frames < st.engine.Engine.free_frame_stack_depth
+  then Stack.push lf st.free_frames
+  else Alloc_vector.free st.allocator ~cost:st.cost ~lf
+
+(* ------------------------------------------------------------------ *)
+(* Deferred overhead stores (§6).  While a call's return information sits
+   in the IFU return stack, neither the caller's PC nor the callee's
+   returnLink/globalFrame have been stored; flushing performs exactly the
+   paper's recipe: "the frame pointer LF goes into the returnLink
+   component of the next higher frame, and the PC goes into the PC
+   component of LF.  The global frame pointer can be discarded, since it
+   can be recovered from the local frame" — which is why we must store it
+   into the frame here. *)
+
+let cb_of_entry (st : State.t) (e : Fpc_ifu.Return_stack.entry) =
+  match e.r_cb with Some cb -> cb | None -> Memory.read st.mem e.r_gf
+
+let flush_rstack (st : State.t) =
+  match st.rstack with
+  | None -> ()
+  | Some rs ->
+    let above = ref st.lf in
+    Fpc_ifu.Return_stack.flush rs ~f:(fun e ->
+        Frame.write_return_link st.mem ~lf:!above
+          (Descriptor.pack (Descriptor.Frame e.r_lf));
+        let cb = cb_of_entry st e in
+        Frame.write_pc st.mem ~lf:e.r_lf (e.r_pc_abs - (2 * cb));
+        Frame.write_global_frame st.mem ~lf:e.r_lf e.r_gf;
+        above := e.r_lf)
+
+let deferred (st : State.t) = st.rstack <> None
+
+(* Overflow: spill only the oldest entry — the recent window stays hot, so
+   LIFO-local oscillation (the common case) keeps riding the fast path.
+   The spilled entry's deferred stores go to storage now; the frame just
+   above it is the second-oldest entry (or the running frame if the stack
+   had a single entry). *)
+let spill_oldest (st : State.t) rs =
+  let above_lf =
+    match Fpc_ifu.Return_stack.second_oldest rs with
+    | Some e -> e.r_lf
+    | None -> st.lf
+  in
+  match Fpc_ifu.Return_stack.drop_oldest rs with
+  | None -> ()
+  | Some e ->
+    Frame.write_return_link st.mem ~lf:above_lf
+      (Descriptor.pack (Descriptor.Frame e.r_lf));
+    let cb = cb_of_entry st e in
+    Frame.write_pc st.mem ~lf:e.r_lf (e.r_pc_abs - (2 * cb));
+    Frame.write_global_frame st.mem ~lf:e.r_lf e.r_gf
+
+(* Leaving the current context by a slow transfer: save the PC (always)
+   and, in deferred mode, the globalFrame word that eager entry would have
+   written at creation. *)
+let suspend_current (st : State.t) =
+  let cb = State.ensure_cb st in
+  Frame.write_pc st.mem ~lf:st.lf (st.pc_abs - (2 * cb));
+  if deferred st then Frame.write_global_frame st.mem ~lf:st.lf st.gf
+
+(* ------------------------------------------------------------------ *)
+(* Destination resolution. *)
+
+let resolve_descriptor (st : State.t) ~gfi ~ev5 =
+  match st.engine.Engine.kind with
+  | Engine.Mesa ->
+    (* Figure 1's chain: GFT -> global frame (code base) -> EV -> code. *)
+    let gf, bias = Gft.read_entry st.image.Image.gft ~cost_mem_read:true ~gfi in
+    let cb = Memory.read st.mem gf in
+    let entry_off = Memory.read st.mem (cb + (bias * 32) + ev5) in
+    let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:entry_off in
+    { d_gf = gf; d_cb = Some cb; d_entry_pc_abs = (2 * cb) + entry_off + 1; d_fsi = fsi }
+  | Engine.Simple ->
+    let abs, gf = Simple_links.resolve_descriptor (simple st) st.image ~gfi ~ev:ev5 in
+    let cb = Memory.read st.mem gf in
+    let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:(abs - (2 * cb)) in
+    { d_gf = gf; d_cb = Some cb; d_entry_pc_abs = abs + 1; d_fsi = fsi }
+
+let resolve_simple_pair (st : State.t) (abs, gf) =
+  let cb = Memory.read st.mem gf in
+  let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:(abs - (2 * cb)) in
+  { d_gf = gf; d_cb = Some cb; d_entry_pc_abs = abs + 1; d_fsi = fsi }
+
+let resolve_local (st : State.t) ~ev_index =
+  match st.engine.Engine.kind with
+  | Engine.Mesa ->
+    (* "This kind of call keeps the same environment and code base, and
+       has only one level of indirection" (§5.1). *)
+    let cb = State.ensure_cb st in
+    let entry_off = Memory.read st.mem (cb + ev_index) in
+    let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:entry_off in
+    { d_gf = st.gf; d_cb = Some cb; d_entry_pc_abs = (2 * cb) + entry_off + 1; d_fsi = fsi }
+  | Engine.Simple ->
+    resolve_simple_pair st
+      (Simple_links.resolve_own_by_gf (simple st) st.image ~gf:st.gf ~ev_index)
+
+(* ------------------------------------------------------------------ *)
+(* Entering a procedure: the common creation-context behaviour of §3's
+   WHILE TRUE DO CreateNewContext; XFER loop, specialised as every real
+   implementation must. *)
+
+let enter_proc (st : State.t) ~(r : resolved) ~ret_word ~fast =
+  let lf_new, granted_fsi = alloc_frame st ~fsi:r.d_fsi in
+  if not fast then begin
+    Frame.write_return_link st.mem ~lf:lf_new ret_word;
+    Frame.write_global_frame st.mem ~lf:lf_new r.d_gf
+  end;
+  (match st.banks with
+  | Some banks ->
+    (* §7.2: the stack bank is renamed to shadow the new frame, so the
+       argument record becomes the first locals with no data movement. *)
+    let args = Eval_stack.contents st.stack in
+    Eval_stack.clear st.stack;
+    st.metrics.arg_words_renamed <- st.metrics.arg_words_renamed + Array.length args;
+    Fpc_regbank.Bank_file.on_call banks ~callee_lf:lf_new
+      ~payload_words:(payload_of_fsi st granted_fsi) ~args
+  | None ->
+    (* The argument record stays on the evaluation stack; the callee's
+       prologue stores it into locals — §5.2's "wasteful" path. *)
+    st.metrics.arg_words_stored <- st.metrics.arg_words_stored + Eval_stack.depth st.stack);
+  st.return_ctx <- ret_word;
+  st.lf <- lf_new;
+  st.gf <- r.d_gf;
+  st.cb <- r.d_cb;
+  st.pc_abs <- r.d_entry_pc_abs;
+  Cost.jump st.cost
+
+let resume_frame (st : State.t) ~dest_lf =
+  let pc = Frame.read_pc st.mem ~lf:dest_lf in
+  let gf = Frame.read_global_frame st.mem ~lf:dest_lf in
+  let cb = Memory.read st.mem gf in
+  st.lf <- dest_lf;
+  st.gf <- gf;
+  st.cb <- Some cb;
+  st.pc_abs <- (2 * cb) + pc;
+  (match st.banks with
+  | Some b -> Fpc_regbank.Bank_file.ensure_bank b ~lf:dest_lf
+  | None -> ());
+  Cost.jump st.cost
+
+(* Coroutine resume: transfer to an existing frame, leaving the current
+   one alive (F2/F3). *)
+let transfer_to_frame (st : State.t) ~dest_lf =
+  flush_rstack st;
+  (match st.banks with
+  | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
+  | None -> ());
+  suspend_current st;
+  let me = Descriptor.pack (Descriptor.Frame st.lf) in
+  resume_frame st ~dest_lf;
+  st.return_ctx <- me
+
+(* ------------------------------------------------------------------ *)
+(* Calls. *)
+
+let classify (st : State.t) before =
+  if Cost.mem_refs st.cost = before then
+    st.metrics.fast_transfers <- st.metrics.fast_transfers + 1
+  else st.metrics.slow_transfers <- st.metrics.slow_transfers + 1
+
+let do_call (st : State.t) ~before resolve =
+  st.metrics.calls <- st.metrics.calls + 1;
+  State.note_transfer_direction st 1;
+  (match st.banks with
+  | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
+  | None -> ());
+  let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
+  (match st.rstack with
+  | Some rs ->
+    if Fpc_ifu.Return_stack.is_full rs then spill_oldest st rs;
+    let entry =
+      {
+        Fpc_ifu.Return_stack.r_lf = st.lf;
+        r_gf = st.gf;
+        r_cb = st.cb;
+        r_pc_abs = st.pc_abs;
+        r_bank =
+          (match st.banks with
+          | Some b -> Fpc_regbank.Bank_file.bank_id b ~lf:st.lf
+          | None -> None);
+      }
+    in
+    let r = resolve () in
+    Fpc_ifu.Return_stack.push rs entry;
+    enter_proc st ~r ~ret_word ~fast:true
+  | None ->
+    let r = resolve () in
+    suspend_current st;
+    enter_proc st ~r ~ret_word ~fast:false);
+  classify st before
+
+let unpack_or_trap w =
+  match Descriptor.unpack w with
+  | d -> d
+  | exception Invalid_argument _ -> raise (Machine_trap State.Nil_context)
+
+let call_external (st : State.t) ~lv_index =
+  let before = Cost.mem_refs st.cost in
+  match st.engine.Engine.kind with
+  | Engine.Simple ->
+    do_call st ~before (fun () ->
+        resolve_simple_pair st
+          (Simple_links.resolve_import_by_gf (simple st) st.image ~gf:st.gf ~lv_index))
+  | Engine.Mesa -> (
+    (* The link vector lives just below the global frame: entry i is the
+       word at gf - 1 - i, so one reference reaches the context. *)
+    let lv_word = Memory.read st.mem (st.gf - 1 - lv_index) in
+    match unpack_or_trap lv_word with
+    | Descriptor.Proc { gfi; ev } ->
+      do_call st ~before (fun () -> resolve_descriptor st ~gfi ~ev5:ev)
+    | Descriptor.Frame dest_lf ->
+      (* A rebound link naming an existing context: the destination makes
+         this a coroutine resume, not a call — F3. *)
+      st.metrics.other_xfers <- st.metrics.other_xfers + 1;
+      transfer_to_frame st ~dest_lf;
+      classify st before
+    | Descriptor.Nil -> raise (Machine_trap State.Nil_context))
+
+let call_local (st : State.t) ~ev_index =
+  let before = Cost.mem_refs st.cost in
+  do_call st ~before (fun () -> resolve_local st ~ev_index)
+
+let call_direct (st : State.t) ~target_abs =
+  let before = Cost.mem_refs st.cost in
+  (* The header (SETGLOBALFRAME gf; ALLOCATEFRAME fsi) is part of the
+     instruction stream.  With an IFU return stack the prefetcher has
+     already consumed it; without one, the machine pays the fetches. *)
+  let b =
+    if deferred st then fun pc -> Memory.peek_code_byte st.mem ~code_base:0 ~pc
+    else fun pc -> Memory.read_code_byte st.mem ~code_base:0 ~pc
+  in
+  let gf = (b target_abs lsl 8) lor b (target_abs + 1) in
+  let fsi = b (target_abs + 2) in
+  do_call st ~before (fun () ->
+      { d_gf = gf; d_cb = None; d_entry_pc_abs = target_abs + 3; d_fsi = fsi })
+
+(* ------------------------------------------------------------------ *)
+(* Processes. *)
+
+let resume_process (st : State.t) (p : State.process) =
+  st.current_pid <- p.p_id;
+  (* State-vector restore: the saved evaluation stack returns from
+     storage. *)
+  Array.iter (fun _ -> Cost.mem_read st.cost) p.p_stack;
+  Eval_stack.replace st.stack p.p_stack;
+  st.return_ctx <- 0;
+  resume_frame st ~dest_lf:p.p_lf
+
+let end_process (st : State.t) =
+  match Queue.take_opt st.ready with
+  | None -> st.status <- State.Halted
+  | Some p ->
+    st.metrics.other_xfers <- st.metrics.other_xfers + 1;
+    resume_process st p
+
+(* ------------------------------------------------------------------ *)
+(* RETURN: free the frame, returnContext := NIL, XFER[returnLink]. *)
+
+let return_ (st : State.t) =
+  st.metrics.returns <- st.metrics.returns + 1;
+  State.note_transfer_direction st (-1);
+  let before = Cost.mem_refs st.cost in
+  let returning = st.lf in
+  let fast_entry =
+    match st.rstack with Some rs -> Fpc_ifu.Return_stack.pop rs | None -> None
+  in
+  (match fast_entry with
+  | Some e ->
+    free_frame st ~lf:returning;
+    st.lf <- e.r_lf;
+    st.gf <- e.r_gf;
+    st.cb <- e.r_cb;
+    st.pc_abs <- e.r_pc_abs;
+    st.return_ctx <- 0;
+    (match st.banks with
+    | Some b -> Fpc_regbank.Bank_file.ensure_bank b ~lf:e.r_lf
+    | None -> ());
+    Cost.jump st.cost
+  | None -> (
+    let rl = Frame.read_return_link st.mem ~lf:returning in
+    if rl = 0 then begin
+      free_frame st ~lf:returning;
+      end_process st
+    end
+    else
+      match unpack_or_trap rl with
+      | Descriptor.Frame dest_lf ->
+        free_frame st ~lf:returning;
+        st.return_ctx <- 0;
+        resume_frame st ~dest_lf
+      | Descriptor.Proc { gfi; ev } ->
+        (* A creation context as return link (F3): returning constructs a
+           fresh activation of it. *)
+        free_frame st ~lf:returning;
+        st.return_ctx <- 0;
+        let r = resolve_descriptor st ~gfi ~ev5:ev in
+        enter_proc st ~r ~ret_word:0 ~fast:false
+      | Descriptor.Nil -> assert false));
+  classify st before
+
+(* ------------------------------------------------------------------ *)
+(* Raw XFER. *)
+
+let xfer (st : State.t) ~dest_word =
+  st.metrics.other_xfers <- st.metrics.other_xfers + 1;
+  match unpack_or_trap dest_word with
+  | Descriptor.Nil -> raise (Machine_trap State.Nil_context)
+  | Descriptor.Frame dest_lf -> transfer_to_frame st ~dest_lf
+  | Descriptor.Proc { gfi; ev } ->
+    flush_rstack st;
+    (match st.banks with
+    | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
+    | None -> ());
+    suspend_current st;
+    let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
+    let r = resolve_descriptor st ~gfi ~ev5:ev in
+    enter_proc st ~r ~ret_word ~fast:false
+
+let fork (st : State.t) ~nargs =
+  st.metrics.other_xfers <- st.metrics.other_xfers + 1;
+  let desc = Eval_stack.pop st.stack in
+  let args = Array.make nargs 0 in
+  for i = nargs - 1 downto 0 do
+    args.(i) <- Eval_stack.pop st.stack
+  done;
+  match unpack_or_trap desc with
+  | Descriptor.Nil -> raise (Machine_trap State.Nil_context)
+  | Descriptor.Frame lf ->
+    Queue.add { State.p_id = st.next_pid; p_lf = lf; p_stack = args } st.ready;
+    st.next_pid <- st.next_pid + 1
+  | Descriptor.Proc { gfi; ev } ->
+    let r = resolve_descriptor st ~gfi ~ev5:ev in
+    let lf_new, _granted = alloc_frame st ~fsi:r.d_fsi in
+    Frame.write_return_link st.mem ~lf:lf_new 0;
+    Frame.write_global_frame st.mem ~lf:lf_new r.d_gf;
+    let cb =
+      match r.d_cb with Some cb -> cb | None -> Memory.read st.mem r.d_gf
+    in
+    Frame.write_pc st.mem ~lf:lf_new (r.d_entry_pc_abs - (2 * cb));
+    let p_stack =
+      if Engine.args_in_place st.engine then begin
+        Array.iteri (fun i v -> Memory.write st.mem (lf_new + i) v) args;
+        [||]
+      end
+      else args
+    in
+    Queue.add { State.p_id = st.next_pid; p_lf = lf_new; p_stack } st.ready;
+    st.next_pid <- st.next_pid + 1
+
+let yield (st : State.t) =
+  if not (Queue.is_empty st.ready) then begin
+    st.metrics.other_xfers <- st.metrics.other_xfers + 1;
+    flush_rstack st;
+    (match st.banks with
+    | Some b -> Fpc_regbank.Bank_file.flush_all b
+    | None -> ());
+    suspend_current st;
+    let stack = Eval_stack.contents st.stack in
+    Array.iter (fun _ -> Cost.mem_write st.cost) stack;
+    Queue.add { State.p_id = st.current_pid; p_lf = st.lf; p_stack = stack } st.ready;
+    match Queue.take_opt st.ready with
+    | Some p -> resume_process st p
+    | None -> assert false
+  end
+
+let stop_process (st : State.t) =
+  st.metrics.other_xfers <- st.metrics.other_xfers + 1;
+  flush_rstack st;
+  (match st.banks with
+  | Some b -> Fpc_regbank.Bank_file.flush_all b
+  | None -> ());
+  free_frame st ~lf:st.lf;
+  end_process st
+
+(* ------------------------------------------------------------------ *)
+(* Traps: one more XFER client (§5.1: "several other instructions which
+   combine an XFER with other operations, to support traps, coroutine
+   linkages, and multiple processes"). *)
+
+let catchable = function
+  | State.Div_zero | State.Break | State.Eval_overflow | State.Eval_underflow -> true
+  | State.Illegal_instruction _ | State.Nil_context | State.Frame_heap_exhausted
+  | State.Step_limit ->
+    false
+
+let trap (st : State.t) reason =
+  Cost.trap st.cost;
+  match Image.trap_handler st.image with
+  | Descriptor.Proc { gfi; ev } when catchable reason ->
+    flush_rstack st;
+    (match st.banks with
+    | Some b -> Fpc_regbank.Bank_file.flush_all b
+    | None -> ());
+    suspend_current st;
+    Eval_stack.clear st.stack;
+    Eval_stack.push st.stack (State.trap_code reason);
+    let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
+    let r = resolve_descriptor st ~gfi ~ev5:ev in
+    enter_proc st ~r ~ret_word ~fast:false
+  | Descriptor.Proc _ | Descriptor.Frame _ | Descriptor.Nil ->
+    st.status <- State.Trapped reason
+
+(* ------------------------------------------------------------------ *)
+(* Boot. *)
+
+let start (st : State.t) ~instance ~proc ~args =
+  let pi = Image.find_proc st.image ~instance ~proc in
+  let ii = Image.find_instance st.image instance in
+  let lf, granted_fsi = alloc_frame st ~fsi:pi.pi_fsi in
+  Frame.write_return_link st.mem ~lf 0;
+  Frame.write_global_frame st.mem ~lf ii.ii_gf_addr;
+  st.lf <- lf;
+  st.gf <- ii.ii_gf_addr;
+  st.cb <- Some ii.ii_code_base;
+  st.pc_abs <- (2 * ii.ii_code_base) + pi.pi_entry_offset + 1;
+  st.return_ctx <- 0;
+  (match st.banks with
+  | Some banks ->
+    let args = Array.of_list args in
+    st.metrics.arg_words_renamed <- st.metrics.arg_words_renamed + Array.length args;
+    Fpc_regbank.Bank_file.on_call banks ~callee_lf:lf
+      ~payload_words:(payload_of_fsi st granted_fsi) ~args
+  | None ->
+    st.metrics.arg_words_stored <- st.metrics.arg_words_stored + List.length args;
+    List.iter (Eval_stack.push st.stack) args);
+  st.status <- State.Running

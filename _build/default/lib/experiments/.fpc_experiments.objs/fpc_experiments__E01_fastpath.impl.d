@@ -1,0 +1,1 @@
+lib/experiments/e01_fastpath.ml: Cost Exp Fpc_core Fpc_machine Fpc_util Harness List Printf Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e02_indirection_space.ml: Exp Fpc_core Fpc_mesa Fpc_util Harness List Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e03_indirection_chain.ml: Buffer Convention Cost Descriptor Exp Fpc_compiler Fpc_core Fpc_interp Fpc_machine Fpc_mesa Fpc_util Gft Harness Image List Printf Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e04_frame_alloc.ml: Alloc_vector Buffer Cost Exp Fpc_frames Fpc_machine Fpc_util Fpc_workload Lazy List Memory Printf Size_class String Tablefmt

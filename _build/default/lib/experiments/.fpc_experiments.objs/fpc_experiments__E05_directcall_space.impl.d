@@ -1,0 +1,1 @@
+lib/experiments/e05_directcall_space.ml: Convention Exp Fpc_compiler Fpc_mesa Fpc_util Harness List Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e06_bank_overflow.ml: Buffer Cost Exp Fpc_core Fpc_frames Fpc_machine Fpc_regbank Fpc_util Fpc_workload Harness Hashtbl Histogram List Memory Printf Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e07_frame_sizes.ml: Exp Fpc_core Fpc_mesa Fpc_util Fpc_workload Harness Hashtbl Histogram List Printf Tablefmt

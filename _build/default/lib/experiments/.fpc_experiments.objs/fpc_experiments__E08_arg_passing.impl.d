@@ -1,0 +1,1 @@
+lib/experiments/e08_arg_passing.ml: Exp Fpc_core Fpc_util Fpc_workload Harness List Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e09_bank_vs_cache.ml: Cache Cost Exp Fpc_core Fpc_machine Fpc_mesa Fpc_util Fpc_workload Harness List Printf Queue Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e10_call_density.ml: Exp Fpc_core Fpc_util Fpc_workload Harness List Printf Tablefmt

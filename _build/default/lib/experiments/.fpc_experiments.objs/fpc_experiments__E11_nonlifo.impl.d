@@ -1,0 +1,1 @@
+lib/experiments/e11_nonlifo.ml: Array Exp Fpc_core Fpc_frames Fpc_util Fpc_workload Harness List Printf Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e12_ptr_locals.ml: Cost Exp Fpc_compiler Fpc_core Fpc_interp Fpc_machine Fpc_regbank Fpc_util Harness List String Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e13_short_reach.ml: Exp Fpc_compiler Fpc_mesa Fpc_util Harness List Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e14_equivalence.ml: Array Convention Exp Fpc_compiler Fpc_core Fpc_interp Fpc_mesa Fpc_util Fpc_workload Harness Image Linker List Printf Tablefmt

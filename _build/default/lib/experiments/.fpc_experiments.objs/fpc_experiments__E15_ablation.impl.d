@@ -1,0 +1,1 @@
+lib/experiments/e15_ablation.ml: Cost Exp Fpc_core Fpc_machine Fpc_regbank Fpc_util Harness List Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Fpc_compiler Fpc_core Fpc_interp Fpc_workload List Printf

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Fpc_compiler Fpc_core Fpc_mesa

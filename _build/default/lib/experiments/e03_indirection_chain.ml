@@ -1,0 +1,191 @@
+(** E3 — Figure 1: levels of indirection in a procedure call.
+
+    §5.1 diagrams the external-call chain (call byte -> link vector ->
+    GFT -> global frame -> entry vector -> code) and notes the cost: "it
+    takes a considerable amount of unpacking, and a number of memory
+    references, to get from the EXTERNALCALL instruction to an address
+    which can be used for fetching the next instruction"; a LOCALCALL "has
+    only one level of indirection", and §6's DIRECTCALL is followed by the
+    IFU like a jump.
+
+    Methodology: the same loop body is run with and without a
+    cross-module call to an empty procedure; the per-call storage-read /
+    write / cycle costs are the deltas divided by the iteration count.
+    The second table renders Figure 1 concretely by walking a real image's
+    tables for one call. *)
+
+open Fpc_util
+
+let iterations = 1000
+
+let src_with_call =
+  {|
+MODULE Leaf;
+PROC nothing() =
+END;
+END;
+
+MODULE Main;
+IMPORT Leaf;
+PROC main() =
+  VAR i: INT := 0;
+  WHILE i < 1000 DO
+    Leaf.nothing();
+    i := i + 1;
+  END;
+END;
+END;
+|}
+
+let src_without_call =
+  {|
+MODULE Leaf;
+PROC nothing() =
+END;
+END;
+
+MODULE Main;
+IMPORT Leaf;
+PROC main() =
+  VAR i: INT := 0;
+  WHILE i < 1000 DO
+    i := i + 1;
+  END;
+END;
+END;
+|}
+
+(* Same-module (LOCALCALL) variant. *)
+let src_local_call =
+  {|
+MODULE Main;
+PROC nothing() =
+END;
+PROC main() =
+  VAR i: INT := 0;
+  WHILE i < 1000 DO
+    nothing();
+    i := i + 1;
+  END;
+END;
+END;
+|}
+
+let measure ~engine ~convention src_call src_base =
+  let open Fpc_machine in
+  let run src =
+    let image =
+      match Fpc_compiler.Compile.image ~convention src with
+      | Ok i -> i
+      | Error m -> failwith m
+    in
+    let st =
+      Fpc_interp.Interp.run_program ~image ~engine ~instance:"Main" ~proc:"main"
+        ~args:[] ()
+    in
+    Harness.must_halt st;
+    st
+  in
+  let a = run src_call and b = run src_base in
+  let per x y = float_of_int (x - y) /. float_of_int iterations in
+  ( per (Cost.mem_reads a.Fpc_core.State.cost) (Cost.mem_reads b.Fpc_core.State.cost),
+    per (Cost.mem_writes a.cost) (Cost.mem_writes b.cost),
+    per (Cost.cycles a.cost) (Cost.cycles b.cost) )
+
+let chain_figure () =
+  (* Walk the Mesa tables for Main's most frequent import, exactly as the
+     machine would. *)
+  let image = Harness.image_of ~program:"leafcalls" () in
+  let open Fpc_mesa in
+  let main = Image.find_instance image "Main" in
+  let mem = image.Image.mem in
+  let gf = main.ii_gf_addr in
+  let lv_addr = gf - 1 in
+  let word = Fpc_machine.Memory.peek mem lv_addr in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "== Figure 1: levels of indirection (measured) ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf "EXTERNALCALL 0 in Main          (1-byte opcode 0x80)\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  LV entry      @%5d -> 0x%04X  (descriptor word)\n" lv_addr word);
+  (match Descriptor.unpack word with
+  | Descriptor.Proc { gfi; ev } ->
+    let gf_t, bias = Gft.read_entry image.gft ~cost_mem_read:false ~gfi in
+    Buffer.add_string buf
+      (Printf.sprintf "  unpack: tag=proc gfi=%d ev=%d\n" gfi ev);
+    Buffer.add_string buf
+      (Printf.sprintf "  GFT[%d]       @%5d -> GF=%d bias=%d\n" gfi
+         (Gft.base image.gft + gfi) gf_t bias);
+    let cb = Fpc_machine.Memory.peek mem gf_t in
+    Buffer.add_string buf
+      (Printf.sprintf "  GF[0]         @%5d -> code base %d\n" gf_t cb);
+    let entry = Fpc_machine.Memory.peek mem (cb + (bias * 32) + ev) in
+    Buffer.add_string buf
+      (Printf.sprintf "  EV[%d]         @%5d -> entry byte offset %d\n"
+         ((bias * 32) + ev) (cb + (bias * 32) + ev) entry);
+    let fsi = Fpc_machine.Memory.peek_code_byte mem ~code_base:cb ~pc:entry in
+    Buffer.add_string buf
+      (Printf.sprintf "  code[%d]      fsi byte = %d; PC = %d\n" entry fsi (entry + 1))
+  | _ -> Buffer.add_string buf "  (unexpected LV content)\n");
+  Buffer.contents buf
+
+let run () =
+  let t =
+    Tablefmt.create ~title:"Storage references per call+return, by mechanism"
+      ~columns:
+        [
+          ("mechanism", Tablefmt.Left);
+          ("reads/call", Tablefmt.Right);
+          ("writes/call", Tablefmt.Right);
+          ("cycles/call", Tablefmt.Right);
+        ]
+  in
+  let open Fpc_compiler in
+  let rows =
+    [
+      ("I1 EXTERNALCALL (2-word desc, software heap)", Fpc_core.Engine.i1,
+       Convention.external_, src_with_call, src_without_call);
+      ("I2 EXTERNALCALL (4-level chain, AV heap)", Fpc_core.Engine.i2,
+       Convention.external_, src_with_call, src_without_call);
+      ("I2 LOCALCALL (1 level)", Fpc_core.Engine.i2, Convention.external_,
+       src_local_call, src_without_call);
+      ("I2 DIRECTCALL (no IFU)", Fpc_core.Engine.i2, Convention.direct,
+       src_with_call, src_without_call);
+      ("I3 DIRECTCALL (IFU + return stack)", Fpc_core.Engine.i3 (),
+       Convention.direct, src_with_call, src_without_call);
+      ("I4 DIRECTCALL (banks + free frames)", Fpc_core.Engine.i4 (),
+       Convention.banked (), src_with_call, src_without_call);
+    ]
+  in
+  let results =
+    List.map
+      (fun (label, engine, conv, a, b) ->
+        let reads, writes, cycles = measure ~engine ~convention:conv a b in
+        Tablefmt.add_row t
+          [
+            label;
+            Tablefmt.cell_float reads;
+            Tablefmt.cell_float writes;
+            Tablefmt.cell_float cycles;
+          ];
+        (label, reads +. writes))
+      rows
+  in
+  let find label = List.assoc label results in
+  {
+    Exp.id = "E3";
+    key = "indirection_chain";
+    title = "Figure 1: indirection levels and per-call storage traffic";
+    paper_claim =
+      "an external call takes four levels of indirection; a local call \
+       one; a DIRECTCALL none (\xC2\xA75.1, Figure 1, \xC2\xA76)";
+    tables = [ Tablefmt.render t; chain_figure () ];
+    headlines =
+      [
+        ("i2_external_refs_per_call",
+         find "I2 EXTERNALCALL (4-level chain, AV heap)");
+        ("i2_local_refs_per_call", find "I2 LOCALCALL (1 level)");
+        ("i3_direct_refs_per_call", find "I3 DIRECTCALL (IFU + return stack)");
+        ("i4_direct_refs_per_call", find "I4 DIRECTCALL (banks + free frames)");
+      ];
+  }

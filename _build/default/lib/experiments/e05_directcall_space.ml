@@ -1,0 +1,100 @@
+(** E5 — §6 D1: the space price of DIRECTCALL.
+
+    "The call instruction is larger: four bytes instead of one... two
+    bytes of LV entry are saved, so the space is only 30% more if the
+    procedure is called only once from the module."  With
+    SHORTDIRECTCALL: "the space is the same as in the current scheme for
+    a single call of p from a module, and 50% more (6 bytes instead of 4)
+    for two calls." *)
+
+open Fpc_util
+
+let analytic () =
+  let t =
+    Tablefmt.create ~title:"Bytes per imported procedure vs call-site count"
+      ~columns:
+        [
+          ("call sites k", Tablefmt.Right);
+          ("EFC: k*1 + 2 (LV)", Tablefmt.Right);
+          ("DFC: k*4", Tablefmt.Right);
+          ("DFC/EFC", Tablefmt.Right);
+          ("SDFC: k*3", Tablefmt.Right);
+          ("SDFC/EFC", Tablefmt.Right);
+        ]
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun k ->
+      let efc = k + 2 and dfc = 4 * k and sdfc = 3 * k in
+      ratios := (k, (Harness.ratio dfc efc, Harness.ratio sdfc efc)) :: !ratios;
+      Tablefmt.add_row t
+        [
+          Tablefmt.cell_int k;
+          Tablefmt.cell_int efc;
+          Tablefmt.cell_int dfc;
+          Tablefmt.cell_ratio (Harness.ratio dfc efc);
+          Tablefmt.cell_int sdfc;
+          Tablefmt.cell_ratio (Harness.ratio sdfc efc);
+        ])
+    [ 1; 2; 3; 4; 8 ];
+  Tablefmt.add_note t
+    "paper: one call site costs 30% more under DFC (4 vs 3 bytes); SDFC \
+     matches EFC at one site and is 50% more at two (6 vs 4)";
+  (t, List.assoc 1 !ratios, List.assoc 2 !ratios)
+
+let measured () =
+  let t =
+    Tablefmt.create ~title:"Measured image space by linkage (whole suite)"
+      ~columns:
+        [
+          ("program", Tablefmt.Left);
+          ("linkage", Tablefmt.Left);
+          ("call-site bytes", Tablefmt.Right);
+          ("headers", Tablefmt.Right);
+          ("LV words", Tablefmt.Right);
+          ("code bytes", Tablefmt.Right);
+        ]
+  in
+  let open Fpc_compiler in
+  List.iter
+    (fun program ->
+      List.iter
+        (fun (label, conv) ->
+          let image = Harness.image_of ~convention:conv ~program () in
+          let r = Fpc_mesa.Space.measure image in
+          Tablefmt.add_row t
+            [
+              program;
+              label;
+              Tablefmt.cell_int (Fpc_mesa.Space.call_site_bytes r.call_sites);
+              Tablefmt.cell_int r.header_bytes;
+              Tablefmt.cell_int r.lv_words;
+              Tablefmt.cell_int r.code_bytes;
+            ])
+        [
+          ("external", Convention.external_);
+          ("direct", Convention.direct);
+          ("short", Convention.short_direct);
+        ])
+    [ "callchain"; "leafcalls"; "fib" ];
+  t
+
+let run () =
+  let t1, (dfc1, sdfc1), (dfc2, sdfc2) = analytic () in
+  let t2 = measured () in
+  {
+    Exp.id = "E5";
+    key = "directcall_space";
+    title = "DIRECTCALL space cost (D1)";
+    paper_claim =
+      "DFC: +30% at one call site; SDFC: parity at one site, +50% at two \
+       (\xC2\xA76 D1)";
+    tables = [ Tablefmt.render t1; Tablefmt.render t2 ];
+    headlines =
+      [
+        ("dfc_ratio_1_site", dfc1);
+        ("sdfc_ratio_1_site", sdfc1);
+        ("dfc_ratio_2_sites", dfc2);
+        ("sdfc_ratio_2_sites", sdfc2);
+      ];
+  }

@@ -1,0 +1,50 @@
+(** E10 — §1: call density of well-structured programs.
+
+    "Well-structured programs typically make a large number of procedure
+    calls; one call or return for every 10 instructions executed is not
+    uncommon."  Measured over the compiled suite's dynamic instruction
+    streams. *)
+
+open Fpc_util
+
+let run () =
+  let t =
+    Tablefmt.create ~title:"Dynamic instructions per call-or-return (engine I2)"
+      ~columns:
+        [
+          ("program", Tablefmt.Left);
+          ("instructions", Tablefmt.Right);
+          ("calls", Tablefmt.Right);
+          ("returns", Tablefmt.Right);
+          ("instr / transfer", Tablefmt.Right);
+        ]
+  in
+  let ti = ref 0 and tc = ref 0 in
+  List.iter
+    (fun (program, (st : Fpc_core.State.t)) ->
+      let m = st.metrics in
+      let transfers = m.calls + m.returns in
+      ti := !ti + m.instructions;
+      tc := !tc + transfers;
+      Tablefmt.add_row t
+        [
+          program;
+          Tablefmt.cell_int m.instructions;
+          Tablefmt.cell_int m.calls;
+          Tablefmt.cell_int m.returns;
+          Tablefmt.cell_float (Harness.ratio m.instructions transfers);
+        ])
+    (Harness.run_suite ~engine:Fpc_core.Engine.i2 ());
+  let overall = Harness.ratio !ti !tc in
+  Tablefmt.add_note t
+    (Printf.sprintf "suite aggregate: %.1f instructions per call-or-return \
+                     (paper: ~%.0f)"
+       overall Fpc_workload.Distributions.paper_call_density);
+  {
+    Exp.id = "E10";
+    key = "call_density";
+    title = "One call or return per ~10 instructions";
+    paper_claim = "one call or return for every 10 instructions executed (\xC2\xA71)";
+    tables = [ Tablefmt.render t ];
+    headlines = [ ("instructions_per_transfer", overall) ];
+  }

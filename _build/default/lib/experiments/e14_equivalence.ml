@@ -1,0 +1,182 @@
+(** E14 — §2/§8: behavioural identity across implementations and bindings.
+
+    "With either linkage the program behaves identically (except for space
+    and speed), so changing between them only changes the balance among
+    space, speed of execution, and speed of changing the linkage."  And
+    §2: changing the interpreter does not affect the encoding; changing
+    the encoding requires recompilation but not source changes.
+
+    Differential runs: every suite program under every engine and every
+    compatible linkage; plus, for External images, the §5.1 relocation
+    freedoms applied mid-flight (rebind, move global frame, move code
+    segment, move procedure, instantiate) with outputs compared. *)
+
+open Fpc_util
+
+let engine_matrix () =
+  let t =
+    Tablefmt.create ~title:"Outputs across engines and linkages"
+      ~columns:
+        [
+          ("program", Tablefmt.Left);
+          ("configurations run", Tablefmt.Right);
+          ("agreeing", Tablefmt.Right);
+        ]
+  in
+  let open Fpc_compiler in
+  let configurations =
+    [
+      ("I1/ext", Fpc_core.Engine.i1, Convention.external_);
+      ("I2/ext", Fpc_core.Engine.i2, Convention.external_);
+      ("I2/direct", Fpc_core.Engine.i2, Convention.direct);
+      ("I3/ext", Fpc_core.Engine.i3 (), Convention.external_);
+      ("I3/direct", Fpc_core.Engine.i3 (), Convention.direct);
+      ("I3/short", Fpc_core.Engine.i3 (), Convention.short_direct);
+      ("I4/direct", Fpc_core.Engine.i4 (), Convention.banked ());
+      ("I4/ext", Fpc_core.Engine.i4 (),
+       Convention.banked ~linkage:Fpc_mesa.Image.External ());
+    ]
+  in
+  let mismatches = ref 0 in
+  List.iter
+    (fun program ->
+      let outputs =
+        List.map
+          (fun (label, engine, convention) ->
+            let image = Harness.image_of ~convention ~program () in
+            let st =
+              Fpc_interp.Interp.run_program ~image ~engine ~instance:"Main"
+                ~proc:"main" ~args:[] ()
+            in
+            Harness.must_halt st;
+            (label, Fpc_core.State.output st))
+          configurations
+      in
+      let reference = snd (List.hd outputs) in
+      let agreeing = List.length (List.filter (fun (_, o) -> o = reference) outputs) in
+      if agreeing <> List.length outputs then incr mismatches;
+      Tablefmt.add_row t
+        [
+          program;
+          Tablefmt.cell_int (List.length outputs);
+          Tablefmt.cell_int agreeing;
+        ])
+    Fpc_workload.Programs.names;
+  (t, !mismatches)
+
+let relocation_table () =
+  let t =
+    Tablefmt.create ~title:"\xC2\xA75.1 relocation freedoms preserve behaviour"
+      ~columns:
+        [ ("operation", Tablefmt.Left); ("program", Tablefmt.Left); ("ok", Tablefmt.Left) ]
+  in
+  let failures = ref 0 in
+  let check op program f =
+    let reference =
+      Fpc_core.State.output (Harness.run_one ~engine:Fpc_core.Engine.i2 ~program ())
+    in
+    let image = Harness.image_of ~program () in
+    (match f image with
+    | Ok _ -> ()
+    | Error m -> failwith (op ^ ": " ^ m));
+    let st =
+      Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2
+        ~instance:"Main" ~proc:"main" ~args:[] ()
+    in
+    Harness.must_halt st;
+    let ok = Fpc_core.State.output st = reference in
+    if not ok then incr failures;
+    Tablefmt.add_row t [ op; program; (if ok then "yes" else "NO") ]
+  in
+  let open Fpc_mesa in
+  check "move_global_frame Main" "callchain" (fun image ->
+      Linker.move_global_frame image ~instance:"Main");
+  check "move_code_segment CLeaf" "callchain" (fun image ->
+      Linker.move_code_segment image ~module_name:"CLeaf");
+  check "move_procedure CLeaf.leaf" "callchain" (fun image ->
+      Linker.move_procedure image ~module_name:"CLeaf" ~proc:"leaf");
+  check "move_procedure Main.fib" "fib" (fun image ->
+      Linker.move_procedure image ~module_name:"Main" ~proc:"fib");
+  check "rebind_lv to same target" "leafcalls" (fun image ->
+      let main = Image.find_instance image "Main" in
+      Array.iteri
+        (fun i target -> Linker.rebind_lv image ~instance:"Main" ~lv_index:i ~target)
+        main.ii_imports;
+      Ok ());
+  (t, !failures)
+
+let instance_table () =
+  (* Two instances of a stateful module keep independent globals over one
+     shared code segment (T3). *)
+  let src =
+    {|
+MODULE Counter;
+VAR n: INT := 0;
+PROC bump(): INT =
+  n := n + 1;
+  RETURN n;
+END;
+END;
+
+MODULE Main;
+IMPORT Counter;
+PROC main() =
+  OUTPUT Counter.bump();
+  OUTPUT Counter.bump();
+END;
+END;
+|}
+  in
+  let t =
+    Tablefmt.create ~title:"Module instances: shared code, private globals"
+      ~columns:[ ("check", Tablefmt.Left); ("result", Tablefmt.Left) ]
+  in
+  let image =
+    match Fpc_compiler.Compile.image src with Ok i -> i | Error m -> failwith m
+  in
+  let second =
+    match Fpc_mesa.Linker.instantiate image ~module_name:"Counter" with
+    | Ok name -> name
+    | Error m -> failwith m
+  in
+  let engine = Fpc_core.Engine.i2 in
+  let st = Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main" ~args:[] in
+  Fpc_interp.Interp.run st;
+  Harness.must_halt st;
+  let run_bump instance =
+    let st = Fpc_core.State.create ~image ~engine in
+    Fpc_core.Transfer.start st ~instance ~proc:"bump" ~args:[];
+    Fpc_interp.Interp.run st;
+    Harness.must_halt st;
+    match Fpc_interp.Interp.(outcome st).o_stack with
+    | [ v ] -> v
+    | other -> failwith (Printf.sprintf "unexpected stack depth %d" (List.length other))
+  in
+  (* Main already bumped instance 0 twice; the fresh instance starts at 0. *)
+  let v_second = run_bump second in
+  let v_first = run_bump "Counter" in
+  let ok = v_second = 1 && v_first = 3 in
+  Tablefmt.add_row t
+    [ "instance Counter#1 counts from scratch"; string_of_int v_second ];
+  Tablefmt.add_row t [ "instance Counter continues"; string_of_int v_first ];
+  (t, ok)
+
+let run () =
+  let t1, mismatches = engine_matrix () in
+  let t2, reloc_failures = relocation_table () in
+  let t3, instances_ok = instance_table () in
+  {
+    Exp.id = "E14";
+    key = "equivalence";
+    title = "Behavioural identity across engines, linkages and relocations";
+    paper_claim =
+      "with either linkage the program behaves identically, except for \
+       space and speed (\xC2\xA76, \xC2\xA78; levels of abstraction, \xC2\xA72)";
+    tables = [ Tablefmt.render t1; Tablefmt.render t2; Tablefmt.render t3 ];
+    headlines =
+      [
+        ("program_mismatches", float_of_int mismatches);
+        ("relocation_failures", float_of_int reloc_failures);
+        ("instances_ok", if instances_ok then 1.0 else 0.0);
+      ];
+  }

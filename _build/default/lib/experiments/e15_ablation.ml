@@ -1,0 +1,110 @@
+(** E15 — ablation of the fast-path mechanisms (extension).
+
+    The paper presents I3/I4 as a bundle; this experiment turns each
+    mechanism off in isolation to show where the speed actually comes
+    from: the IFU return stack (§6), the register banks (§7.1), the
+    free-frame stack (§7.1), dirty-word tracking on bank flushes (§7.1's
+    "it may be worthwhile to keep track of which registers have been
+    written"), and the sizing knobs (bank count/width, return-stack
+    depth).  Run over the typical call-intensive programs. *)
+
+open Fpc_util
+
+let programs = [ "fib"; "callchain"; "leafcalls" ]
+
+let configs =
+  let banks ?(count = 8) ?(words = 16) ?(dirty = true) () =
+    {
+      Fpc_regbank.Bank_file.default_config with
+      bank_count = count;
+      bank_words = words;
+      track_dirty = dirty;
+    }
+  in
+  [
+    ("I2 (baseline Mesa)", Fpc_core.Engine.i2);
+    ("I4 full", Fpc_core.Engine.i4 ());
+    ("I4 without return stack",
+     { (Fpc_core.Engine.i4 ()) with return_stack_depth = 0 });
+    ("I4 without banks", Fpc_core.Engine.i3 ());
+    ("I4 without free-frame stack",
+     { (Fpc_core.Engine.i4 ()) with free_frame_stack_depth = 0 });
+    ("I4 without dirty tracking",
+     Fpc_core.Engine.i4 ~bank_config:(banks ~dirty:false ()) ());
+    ("I4 with 4 banks", Fpc_core.Engine.i4 ~bank_config:(banks ~count:4 ()) ());
+    ("I4 with 2 banks", Fpc_core.Engine.i4 ~bank_config:(banks ~count:2 ()) ());
+    ("I4 with 8-word banks", Fpc_core.Engine.i4 ~bank_config:(banks ~words:8 ()) ());
+    ("I4 with 32-word banks", Fpc_core.Engine.i4 ~bank_config:(banks ~words:32 ()) ());
+    ("I4 with 4-deep return stack",
+     Fpc_core.Engine.i4 ~return_stack_depth:4 ());
+  ]
+
+let run () =
+  let open Fpc_machine in
+  let t =
+    Tablefmt.create ~title:"Ablation: cycles and storage refs per transfer"
+      ~columns:
+        [
+          ("configuration", Tablefmt.Left);
+          ("cycles", Tablefmt.Right);
+          ("refs/transfer", Tablefmt.Right);
+          ("fast fraction", Tablefmt.Right);
+          ("vs I4 full", Tablefmt.Right);
+        ]
+  in
+  let full_cycles = ref 0 in
+  let results =
+    List.map
+      (fun (label, engine) ->
+        let runs = Harness.run_suite ~engine ~programs () in
+        let cycles =
+          List.fold_left (fun acc (_, st) -> acc + Cost.cycles st.Fpc_core.State.cost) 0 runs
+        in
+        let refs =
+          List.fold_left (fun acc (_, st) -> acc + Cost.mem_refs st.Fpc_core.State.cost) 0 runs
+        in
+        let fast, slow =
+          List.fold_left
+            (fun (f, s) (_, (st : Fpc_core.State.t)) ->
+              (f + st.metrics.fast_transfers, s + st.metrics.slow_transfers))
+            (0, 0) runs
+        in
+        if label = "I4 full" then full_cycles := cycles;
+        (label, cycles, refs, fast, slow))
+      configs
+  in
+  List.iter
+    (fun (label, cycles, refs, fast, slow) ->
+      Tablefmt.add_row t
+        [
+          label;
+          Tablefmt.cell_int cycles;
+          Tablefmt.cell_float (Harness.ratio refs (fast + slow));
+          Tablefmt.cell_pct (Harness.ratio fast (fast + slow));
+          Tablefmt.cell_ratio (Harness.ratio cycles !full_cycles);
+        ])
+    results;
+  Tablefmt.add_note t
+    "each row removes or resizes one mechanism; the bundle is needed for \
+     the jump-speed fast path, but banks carry most of the cycle win";
+  let cycles_of name =
+    let _, c, _, _, _ = List.find (fun (l, _, _, _, _) -> l = name) results in
+    c
+  in
+  let ratio name = Harness.ratio (cycles_of name) !full_cycles in
+  {
+    Exp.id = "E15";
+    key = "ablation";
+    title = "Ablating the fast-path mechanisms";
+    paper_claim =
+      "extension: decompose the I3+I4 bundle into its mechanisms (\xC2\xA76, \
+       \xC2\xA77)";
+    tables = [ Tablefmt.render t ];
+    headlines =
+      [
+        ("i2_over_i4", ratio "I2 (baseline Mesa)");
+        ("no_return_stack_over_i4", ratio "I4 without return stack");
+        ("no_banks_over_i4", ratio "I4 without banks");
+        ("no_free_frames_over_i4", ratio "I4 without free-frame stack");
+      ];
+  }

@@ -1,0 +1,27 @@
+type result = {
+  id : string;
+  key : string;
+  title : string;
+  paper_claim : string;
+  tables : string list;
+  headlines : (string * float) list;
+}
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "### %s [%s] %s\n" r.id r.key r.title);
+  Buffer.add_string buf (Printf.sprintf "paper: %s\n\n" r.paper_claim);
+  List.iter
+    (fun t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n')
+    r.tables;
+  if r.headlines <> [] then begin
+    Buffer.add_string buf "headlines:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %.4f\n" k v))
+      r.headlines
+  end;
+  Buffer.contents buf
+
+let headline r name = List.assoc name r.headlines

@@ -1,0 +1,20 @@
+(** Common shape of an experiment result.
+
+    Each experiment renders one or more tables (the reproduction of a
+    figure or of the paper's quantitative claims) and reports {e headline
+    numbers}: named scalars that EXPERIMENTS.md records and the test suite
+    asserts against the paper's claimed values. *)
+
+type result = {
+  id : string;  (** e.g. "E6" *)
+  key : string;  (** bench-target key, e.g. "bank_overflow" *)
+  title : string;
+  paper_claim : string;  (** the sentence of the paper being reproduced *)
+  tables : string list;  (** rendered tables / figures *)
+  headlines : (string * float) list;
+}
+
+val render : result -> string
+
+val headline : result -> string -> float
+(** Raises [Not_found]. *)

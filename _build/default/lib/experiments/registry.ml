@@ -1,0 +1,38 @@
+let all =
+  [
+    ("fastpath", E01_fastpath.run);
+    ("indirection_space", E02_indirection_space.run);
+    ("indirection_chain", E03_indirection_chain.run);
+    ("frame_alloc", E04_frame_alloc.run);
+    ("directcall_space", E05_directcall_space.run);
+    ("bank_overflow", E06_bank_overflow.run);
+    ("frame_sizes", E07_frame_sizes.run);
+    ("arg_passing", E08_arg_passing.run);
+    ("bank_vs_cache", E09_bank_vs_cache.run);
+    ("call_density", E10_call_density.run);
+    ("nonlifo", E11_nonlifo.run);
+    ("ptr_locals", E12_ptr_locals.run);
+    ("short_reach", E13_short_reach.run);
+    ("equivalence", E14_equivalence.run);
+    ("ablation", E15_ablation.run);
+  ]
+
+let keys = List.map fst all
+
+let ids =
+  [
+    ("e1", "fastpath"); ("e2", "indirection_space"); ("e3", "indirection_chain");
+    ("e4", "frame_alloc"); ("e5", "directcall_space"); ("e6", "bank_overflow");
+    ("e7", "frame_sizes"); ("e8", "arg_passing"); ("e9", "bank_vs_cache");
+    ("e10", "call_density"); ("e11", "nonlifo"); ("e12", "ptr_locals");
+    ("e13", "short_reach"); ("e14", "equivalence"); ("e15", "ablation");
+  ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  match List.assoc_opt lower all with
+  | Some f -> Some f
+  | None -> (
+    match List.assoc_opt lower ids with
+    | Some key -> List.assoc_opt key all
+    | None -> None)

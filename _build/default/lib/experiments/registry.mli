@@ -1,0 +1,12 @@
+(** The experiment registry: every table and figure of the paper, keyed by
+    the bench-target name used by [bench/main.exe] and
+    [bin/fpc.exe experiment]. *)
+
+val all : (string * (unit -> Exp.result)) list
+(** In E1..E15 order (E15 is the ablation extension). *)
+
+val find : string -> (unit -> Exp.result) option
+(** Look up by key (e.g. "bank_overflow") or id (e.g. "E6",
+    case-insensitive). *)
+
+val keys : string list

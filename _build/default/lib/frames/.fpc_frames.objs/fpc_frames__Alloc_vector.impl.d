@@ -1,0 +1,1 @@
+lib/frames/alloc_vector.ml: Cost Fpc_machine Frame Hashtbl Memory Printf Result Size_class

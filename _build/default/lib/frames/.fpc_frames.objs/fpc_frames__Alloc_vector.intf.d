@@ -1,0 +1,1 @@
+lib/frames/alloc_vector.mli: Fpc_machine Size_class

@@ -1,0 +1,1 @@
+lib/frames/frame.ml: Fpc_machine Memory

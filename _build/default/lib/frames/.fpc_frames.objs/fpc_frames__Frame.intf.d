@@ -1,0 +1,1 @@
+lib/frames/frame.mli: Fpc_machine

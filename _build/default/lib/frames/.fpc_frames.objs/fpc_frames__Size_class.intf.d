@@ -1,0 +1,1 @@
+lib/frames/size_class.mli:

@@ -1,0 +1,217 @@
+open Fpc_machine
+
+type mode = Fast | Software_only
+
+type t = {
+  mode : mode;
+  mem : Memory.t;
+  ladder : Size_class.t;
+  av_base : int;
+  heap_base : int;
+  heap_limit : int;
+  replenish_count : int;
+  live : (int, int * int) Hashtbl.t; (* lf -> (fsi, requested block words) *)
+  mutable wilderness : int;
+  mutable fast_allocs : int;
+  mutable frees : int;
+  mutable software_traps : int;
+  mutable live_words : int;
+  mutable requested_words : int;
+  mutable free_pool_words : int;
+}
+
+exception Out_of_frame_heap
+
+let create ?(mode = Fast) ?(replenish_count = 8) ~mem ~ladder ~av_base ~heap_base
+    ~heap_limit () =
+  if heap_base land 3 <> 0 then invalid_arg "Alloc_vector.create: heap_base not quad-aligned";
+  if heap_limit > Memory.size mem then invalid_arg "Alloc_vector.create: heap beyond memory";
+  if av_base + Size_class.class_count ladder > heap_base then
+    invalid_arg "Alloc_vector.create: AV overlaps heap";
+  for i = 0 to Size_class.class_count ladder - 1 do
+    Memory.poke mem (av_base + i) 0
+  done;
+  {
+    mode;
+    mem;
+    ladder;
+    av_base;
+    heap_base;
+    heap_limit;
+    replenish_count;
+    live = Hashtbl.create 256;
+    wilderness = heap_base;
+    fast_allocs = 0;
+    frees = 0;
+    software_traps = 0;
+    live_words = 0;
+    requested_words = 0;
+    free_pool_words = 0;
+  }
+
+let ladder t = t.ladder
+
+(* Carve one block of class [fsi] from the wilderness (software path;
+   unmetered pokes — the trap's own references are folded into the
+   software_alloc charge). *)
+let carve t ~fsi =
+  let words = Size_class.block_words t.ladder fsi in
+  let block = t.wilderness in
+  if block + words > t.heap_limit then raise Out_of_frame_heap;
+  t.wilderness <- block + words;
+  Memory.poke t.mem block fsi;
+  block
+
+let replenish t ~cost ~fsi =
+  Cost.software_alloc cost;
+  t.software_traps <- t.software_traps + 1;
+  let words = Size_class.block_words t.ladder fsi in
+  (* Batch small classes generously, rare big ones sparingly: the software
+     allocator balances pool space against trap frequency. *)
+  let batch = max 1 (min t.replenish_count (2048 / words)) in
+  for _ = 1 to batch do
+    let block = carve t ~fsi in
+    let head = Memory.peek t.mem (t.av_base + fsi) in
+    Memory.poke t.mem (block + 1) head;
+    Memory.poke t.mem (t.av_base + fsi) block;
+    t.free_pool_words <- t.free_pool_words + words
+  done
+
+let record_alloc t ~lf ~fsi ~requested =
+  let words = Size_class.block_words t.ladder fsi in
+  Hashtbl.replace t.live lf (fsi, requested);
+  t.live_words <- t.live_words + words;
+  t.requested_words <- t.requested_words + requested
+
+(* The I1 general heap: every allocation and deallocation goes through the
+   software allocator; no AV fast path exists. *)
+let alloc_software t ~cost ~fsi ~requested =
+  Cost.software_alloc cost;
+  t.software_traps <- t.software_traps + 1;
+  let block = carve t ~fsi in
+  let lf = Frame.lf_of_block block in
+  record_alloc t ~lf ~fsi ~requested;
+  lf
+
+let rec alloc_fast t ~cost ~fsi ~requested =
+  let head = Memory.read t.mem (t.av_base + fsi) in
+  if head = 0 then begin
+    replenish t ~cost ~fsi;
+    alloc_fast t ~cost ~fsi ~requested
+  end
+  else begin
+    let next = Memory.read t.mem (head + 1) in
+    Memory.write t.mem (t.av_base + fsi) next;
+    t.fast_allocs <- t.fast_allocs + 1;
+    t.free_pool_words <- t.free_pool_words - Size_class.block_words t.ladder fsi;
+    let lf = Frame.lf_of_block head in
+    record_alloc t ~lf ~fsi ~requested;
+    lf
+  end
+
+let alloc_fsi_requested t ~cost ~fsi ~requested =
+  if fsi < 0 || fsi >= Size_class.class_count t.ladder then
+    invalid_arg (Printf.sprintf "Alloc_vector.alloc_fsi: bad class %d" fsi);
+  match t.mode with
+  | Fast -> alloc_fast t ~cost ~fsi ~requested
+  | Software_only -> alloc_software t ~cost ~fsi ~requested
+
+let alloc_fsi t ~cost ~fsi =
+  alloc_fsi_requested t ~cost ~fsi ~requested:(Size_class.block_words t.ladder fsi)
+
+let fsi_for_locals t n =
+  match Size_class.index_for_block t.ladder (Frame.block_words_for_locals n) with
+  | Some fsi -> fsi
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Alloc_vector.fsi_for_locals: %d words exceed the ladder" n)
+
+let alloc_words t ~cost ~body_words =
+  let request = Frame.block_words_for_locals body_words in
+  match Size_class.index_for_block t.ladder request with
+  | None -> invalid_arg "Alloc_vector.alloc_words: request exceeds the ladder"
+  | Some fsi -> alloc_fsi_requested t ~cost ~fsi ~requested:request
+
+let free t ~cost ~lf =
+  match Hashtbl.find_opt t.live lf with
+  | None -> invalid_arg (Printf.sprintf "Alloc_vector.free: %d is not allocated" lf)
+  | Some (fsi_known, requested) ->
+    Hashtbl.remove t.live lf;
+    let block = Frame.block_of_lf lf in
+    let words = Size_class.block_words t.ladder fsi_known in
+    t.live_words <- t.live_words - words;
+    t.requested_words <- t.requested_words - requested;
+    t.frees <- t.frees + 1;
+    (match t.mode with
+    | Software_only ->
+      (* The I1 heap frees through the software allocator too; the block is
+         recycled onto the (never fast-read) free list for accounting. *)
+      Cost.software_alloc cost;
+      t.software_traps <- t.software_traps + 1;
+      let head = Memory.peek t.mem (t.av_base + fsi_known) in
+      Memory.poke t.mem (block + 1) head;
+      Memory.poke t.mem (t.av_base + fsi_known) block
+    | Fast ->
+      let fsi = Frame.read_fsi t.mem ~lf in
+      let head = Memory.read t.mem (t.av_base + fsi) in
+      Memory.write t.mem (block + 1) head;
+      Memory.write t.mem (t.av_base + fsi) block);
+    t.free_pool_words <- t.free_pool_words + words
+
+let is_live t ~lf = Hashtbl.mem t.live lf
+
+type stats = {
+  fast_allocs : int;
+  frees : int;
+  software_traps : int;
+  live_blocks : int;
+  live_words : int;
+  requested_words : int;
+  free_pool_words : int;
+  wilderness_used : int;
+}
+
+let stats (t : t) =
+  {
+    fast_allocs = t.fast_allocs;
+    frees = t.frees;
+    software_traps = t.software_traps;
+    live_blocks = Hashtbl.length t.live;
+    live_words = t.live_words;
+    requested_words = t.requested_words;
+    free_pool_words = t.free_pool_words;
+    wilderness_used = t.wilderness - t.heap_base;
+  }
+
+let internal_fragmentation (t : t) =
+  if t.live_words = 0 then 0.0
+  else 1.0 -. (float_of_int t.requested_words /. float_of_int t.live_words)
+
+let check_invariants t =
+  let ( let* ) r f = Result.bind r f in
+  let check_list fsi =
+    let seen = Hashtbl.create 16 in
+    let rec walk node =
+      if node = 0 then Ok ()
+      else if Hashtbl.mem seen node then Error (Printf.sprintf "cycle in class %d" fsi)
+      else if node < t.heap_base || node >= t.wilderness then
+        Error (Printf.sprintf "class %d: node %d outside carved heap" fsi node)
+      else if Memory.peek t.mem node <> fsi then
+        Error
+          (Printf.sprintf "class %d: node %d has fsi %d" fsi node (Memory.peek t.mem node))
+      else if Hashtbl.mem t.live (Frame.lf_of_block node) then
+        Error (Printf.sprintf "class %d: node %d is both free and live" fsi node)
+      else begin
+        Hashtbl.add seen node ();
+        walk (Memory.peek t.mem (node + 1))
+      end
+    in
+    walk (Memory.peek t.mem (t.av_base + fsi))
+  in
+  let rec all fsi =
+    if fsi >= Size_class.class_count t.ladder then Ok ()
+    else
+      let* () = check_list fsi in
+      all (fsi + 1)
+  in
+  all 0

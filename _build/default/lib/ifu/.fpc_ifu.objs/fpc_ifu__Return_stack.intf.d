@@ -1,0 +1,1 @@
+lib/ifu/return_stack.mli:

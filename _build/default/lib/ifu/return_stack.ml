@@ -1,0 +1,101 @@
+type entry = {
+  r_lf : int;
+  r_gf : int;
+  r_cb : int option;
+  r_pc_abs : int;
+  r_bank : int option;
+}
+
+type t = {
+  entries : entry option array;
+  mutable top : int;
+  mutable pushes : int;
+  mutable fast_pops : int;
+  mutable empty_pops : int;
+  mutable flushes : int;
+  mutable flushed_entries : int;
+  mutable spills : int;
+}
+
+let create ~depth =
+  if depth <= 0 then invalid_arg "Return_stack.create: depth must be positive";
+  {
+    entries = Array.make depth None;
+    top = 0;
+    pushes = 0;
+    fast_pops = 0;
+    empty_pops = 0;
+    flushes = 0;
+    flushed_entries = 0;
+    spills = 0;
+  }
+
+let depth t = Array.length t.entries
+let length t = t.top
+let is_empty t = t.top = 0
+let is_full t = t.top = Array.length t.entries
+
+let push t e =
+  if is_full t then invalid_arg "Return_stack.push: full (flush first)";
+  t.entries.(t.top) <- Some e;
+  t.top <- t.top + 1;
+  t.pushes <- t.pushes + 1
+
+let pop t =
+  if t.top = 0 then begin
+    t.empty_pops <- t.empty_pops + 1;
+    None
+  end
+  else begin
+    t.top <- t.top - 1;
+    let e = t.entries.(t.top) in
+    t.entries.(t.top) <- None;
+    t.fast_pops <- t.fast_pops + 1;
+    e
+  end
+
+let peek t = if t.top = 0 then None else t.entries.(t.top - 1)
+
+let to_list t =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1) (match t.entries.(i) with Some e -> e :: acc | None -> acc)
+  in
+  List.rev (go (t.top - 1) [])
+
+let second_oldest t = if t.top < 2 then None else t.entries.(1)
+
+let drop_oldest t =
+  if t.top = 0 then None
+  else begin
+    let e = t.entries.(0) in
+    for i = 0 to t.top - 2 do
+      t.entries.(i) <- t.entries.(i + 1)
+    done;
+    t.top <- t.top - 1;
+    t.entries.(t.top) <- None;
+    t.spills <- t.spills + 1;
+    e
+  end
+
+let flush t ~f =
+  if t.top > 0 then begin
+    t.flushes <- t.flushes + 1;
+    for i = t.top - 1 downto 0 do
+      (match t.entries.(i) with
+      | Some e ->
+        f e;
+        t.flushed_entries <- t.flushed_entries + 1
+      | None -> ());
+      t.entries.(i) <- None
+    done;
+    t.top <- 0
+  end
+
+let pushes t = t.pushes
+let fast_pops t = t.fast_pops
+let empty_pops t = t.empty_pops
+let flushes t = t.flushes
+let flushed_entries t = t.flushed_entries
+let spills t = t.spills

@@ -1,0 +1,78 @@
+(** The IFU return stack of §6.
+
+    "The IFU can keep a small stack of return information: frame pointer,
+    global frame pointer GF and PC.  As long as calls and returns follow a
+    LIFO discipline this allows returns to be handled as fast as calls."
+
+    Each entry remembers how to resume a caller without touching main
+    storage: its frame, global frame, code base, resume PC, and (for §7.1)
+    the register bank shadowing its frame.  While an entry lives here, the
+    caller's PC and the callee's returnLink have {e not} been written to
+    memory — those stores are exactly what the fast path elides — so on any
+    non-LIFO event the stack must be flushed through a writer that performs
+    the deferred stores ("the frame pointer LF goes into the returnLink
+    component of the next higher frame, and the PC goes into the PC
+    component of LF").
+
+    The stack stores entries and statistics; flush orchestration (who is
+    the next-higher frame) belongs to the transfer engine, which passes a
+    writer to {!flush}. *)
+
+type entry = {
+  r_lf : int;  (** caller frame pointer *)
+  r_gf : int;  (** caller global frame address *)
+  r_cb : int option;
+      (** caller code base (word address); [None] when the caller itself
+          was entered by a DIRECTCALL and never had to materialise its
+          code base (it is recovered from the global frame on demand) *)
+  r_pc_abs : int;  (** caller resume PC as an absolute byte address *)
+  r_bank : int option;  (** register bank shadowing [r_lf], if any (§7.1) *)
+}
+
+type t
+
+val create : depth:int -> t
+(** [depth] must be positive (the paper contemplates a small stack, ~4–16
+    entries). *)
+
+val depth : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+
+val push : t -> entry -> unit
+(** Raises [Invalid_argument] when full — the caller must flush first. *)
+
+val pop : t -> entry option
+(** The fast return path; [None] means fall back to the general scheme. *)
+
+val peek : t -> entry option
+
+val to_list : t -> entry list
+(** Oldest first. *)
+
+val second_oldest : t -> entry option
+(** The entry just above the oldest, i.e. the frame that was called from
+    the oldest entry's context. *)
+
+val drop_oldest : t -> entry option
+(** Remove and return the {e bottom} entry, making room without touching
+    the hot top — the engine performs its deferred stores (a partial
+    spill).  Counted in {!spills}. *)
+
+val flush : t -> f:(entry -> unit) -> unit
+(** Drain every entry, {e newest first} (so the writer can chain each
+    caller to the frame above it), emptying the stack.  Counted as one
+    flush event. *)
+
+(** {1 Statistics for experiment E1/E11} *)
+
+val pushes : t -> int
+val fast_pops : t -> int
+val empty_pops : t -> int  (** returns that had to take the slow path *)
+
+val flushes : t -> int
+val flushed_entries : t -> int
+
+val spills : t -> int
+(** Oldest-entry spills caused by overflow. *)

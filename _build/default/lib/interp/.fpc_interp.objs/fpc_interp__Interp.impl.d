@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Cost Eval_stack Fpc_core Fpc_frames Fpc_isa Fpc_machine Fpc_util Memory State Transfer

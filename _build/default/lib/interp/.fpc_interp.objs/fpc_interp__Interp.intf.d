@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Fpc_core Fpc_isa Fpc_mesa

@@ -1,0 +1,1 @@
+lib/interp/report.ml: Cost Fpc_core Fpc_ifu Fpc_machine Fpc_regbank Fpc_util Histogram Printf Tablefmt

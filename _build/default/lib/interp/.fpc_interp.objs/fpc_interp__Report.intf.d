@@ -1,0 +1,1 @@
+lib/interp/report.mli: Fpc_core

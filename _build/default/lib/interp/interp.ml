@@ -1,0 +1,204 @@
+open Fpc_machine
+open Fpc_core
+
+type outcome = {
+  o_status : State.status;
+  o_output : int list;
+  o_stack : int list;
+  o_instructions : int;
+  o_cycles : int;
+  o_mem_refs : int;
+}
+
+let boot ~image ~engine ~instance ~proc ~args =
+  let st = State.create ~image ~engine in
+  Transfer.start st ~instance ~proc ~args;
+  st
+
+let signed v = Fpc_util.Bits.signed_of_unsigned ~width:16 v
+let word v = Fpc_util.Bits.to_word v
+
+let exec (st : State.t) ~instr_pc (op : Fpc_isa.Opcode.t) =
+  let push v = Eval_stack.push st.stack v in
+  let pop () = Eval_stack.pop st.stack in
+  let binop f =
+    let b = pop () in
+    let a = pop () in
+    push (word (f (signed a) (signed b)))
+  in
+  let cmp f =
+    let b = pop () in
+    let a = pop () in
+    push (if f (signed a) (signed b) then 1 else 0)
+  in
+  let taken target =
+    st.metrics.jumps_taken <- st.metrics.jumps_taken + 1;
+    Cost.jump st.cost;
+    st.pc_abs <- target
+  in
+  match op with
+  | Li n -> push n
+  | Lpd w -> push w
+  | Ll n -> push (State.read_local st n)
+  | Sl n -> State.write_local st n (pop ())
+  | Lg n -> push (State.read_global st n)
+  | Sg n -> State.write_global st n (pop ())
+  | Lla n -> push (State.local_addr st n)
+  | Lga n -> push (State.global_addr st n)
+  | Llx n ->
+    let i = pop () in
+    push (State.read_local st (n + i))
+  | Slx n ->
+    let v = pop () in
+    let i = pop () in
+    State.write_local st (n + i) v
+  | Lgx n ->
+    let i = pop () in
+    push (State.read_global st (n + i))
+  | Sgx n ->
+    let v = pop () in
+    let i = pop () in
+    State.write_global st (n + i) v
+  | Rload ->
+    let a = pop () in
+    push (State.data_read st ~addr:a)
+  | Rstore ->
+    let v = pop () in
+    let a = pop () in
+    State.data_write st ~addr:a v
+  | Ldfld i ->
+    let a = pop () in
+    push (State.data_read st ~addr:(a + i))
+  | Stfld i ->
+    let v = pop () in
+    let a = Eval_stack.peek st.stack in
+    State.data_write st ~addr:(a + i) v
+  | Newrec n -> (
+    (* Long argument records and other heap records come from the same
+       frame allocator (§5.3). *)
+    match Fpc_frames.Alloc_vector.alloc_words st.allocator ~cost:st.cost ~body_words:n with
+    | lf -> push lf
+    | exception Fpc_frames.Alloc_vector.Out_of_frame_heap ->
+      raise (Transfer.Machine_trap State.Frame_heap_exhausted))
+  | Freerec ->
+    let a = pop () in
+    Fpc_frames.Alloc_vector.free st.allocator ~cost:st.cost ~lf:a
+  | Dup -> push (Eval_stack.peek st.stack)
+  | Drop -> ignore (pop ())
+  | Swap ->
+    let b = pop () in
+    let a = pop () in
+    push b;
+    push a
+  | Over ->
+    let b = pop () in
+    let a = Eval_stack.peek st.stack in
+    push b;
+    push a
+  | Add -> binop ( + )
+  | Sub -> binop ( - )
+  | Mul -> binop ( * )
+  | Div ->
+    let b = pop () in
+    let a = pop () in
+    if signed b = 0 then raise (Transfer.Machine_trap State.Div_zero);
+    push (word (signed a / signed b))
+  | Mod ->
+    let b = pop () in
+    let a = pop () in
+    if signed b = 0 then raise (Transfer.Machine_trap State.Div_zero);
+    push (word (signed a mod signed b))
+  | Neg -> push (word (-signed (pop ())))
+  | Band ->
+    let b = pop () in
+    push (pop () land b)
+  | Bor ->
+    let b = pop () in
+    push (pop () lor b)
+  | Bxor ->
+    let b = pop () in
+    push (pop () lxor b)
+  | Bnot -> push (pop () lxor 0xFFFF)
+  | Lt -> cmp ( < )
+  | Le -> cmp ( <= )
+  | Eq -> cmp ( = )
+  | Ne -> cmp ( <> )
+  | Ge -> cmp ( >= )
+  | Gt -> cmp ( > )
+  | J d -> taken (instr_pc + d)
+  | Jz d -> if pop () = 0 then taken (instr_pc + d)
+  | Jnz d -> if pop () <> 0 then taken (instr_pc + d)
+  | Efc n -> Transfer.call_external st ~lv_index:n
+  | Lfc n -> Transfer.call_local st ~ev_index:n
+  | Dfc a -> Transfer.call_direct st ~target_abs:a
+  | Sdfc d -> Transfer.call_direct st ~target_abs:(instr_pc + d)
+  | Xf ->
+    let w = pop () in
+    Transfer.xfer st ~dest_word:w
+  | Ret -> Transfer.return_ st
+  | Lrc -> push st.return_ctx
+  | Fork n -> Transfer.fork st ~nargs:n
+  | Yield -> Transfer.yield st
+  | Stopproc -> Transfer.stop_process st
+  | Out -> State.emit st (pop ())
+  | Nop -> ()
+  | Brk -> raise (Transfer.Machine_trap State.Break)
+  | Halt -> st.status <- State.Halted
+
+let step (st : State.t) =
+  if st.status = State.Running then begin
+    st.metrics.instructions <- st.metrics.instructions + 1;
+    Cost.dispatch st.cost;
+    let instr_pc = st.pc_abs in
+    let fetch pc = Memory.peek_code_byte st.mem ~code_base:0 ~pc in
+    match Fpc_isa.Opcode.decode ~fetch ~pc:instr_pc with
+    | exception Invalid_argument _ ->
+      Transfer.trap st (State.Illegal_instruction (fetch instr_pc))
+    | op, len -> (
+      st.pc_abs <- instr_pc + len;
+      try exec st ~instr_pc op with
+      | Eval_stack.Overflow -> Transfer.trap st State.Eval_overflow
+      | Eval_stack.Underflow -> Transfer.trap st State.Eval_underflow
+      | Transfer.Machine_trap reason -> Transfer.trap st reason)
+  end
+
+let run_traced ?(max_steps = 20_000_000) st ~on_step =
+  let fetch pc = Memory.peek_code_byte st.State.mem ~code_base:0 ~pc in
+  let rec go remaining =
+    if st.State.status = State.Running then
+      if remaining = 0 then st.status <- State.Trapped State.Step_limit
+      else begin
+        (match Fpc_isa.Opcode.decode ~fetch ~pc:st.pc_abs with
+        | op, _ -> on_step ~pc_abs:st.pc_abs op st
+        | exception Invalid_argument _ -> ());
+        step st;
+        go (remaining - 1)
+      end
+  in
+  go max_steps
+
+let run ?(max_steps = 20_000_000) st =
+  let rec go remaining =
+    if st.State.status = State.Running then
+      if remaining = 0 then st.status <- State.Trapped State.Step_limit
+      else begin
+        step st;
+        go (remaining - 1)
+      end
+  in
+  go max_steps
+
+let outcome (st : State.t) =
+  {
+    o_status = st.status;
+    o_output = State.output st;
+    o_stack = Array.to_list (Eval_stack.contents st.stack);
+    o_instructions = st.metrics.instructions;
+    o_cycles = Cost.cycles st.cost;
+    o_mem_refs = Cost.mem_refs st.cost;
+  }
+
+let run_program ?max_steps ~image ~engine ~instance ~proc ~args () =
+  let st = boot ~image ~engine ~instance ~proc ~args in
+  run ?max_steps st;
+  st

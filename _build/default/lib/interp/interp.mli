@@ -1,0 +1,55 @@
+(** The byte-code interpreter: fetch, decode, dispatch.
+
+    Instruction fetch itself is unmetered in every engine (the machines of
+    interest all have an instruction-fetch unit; its bandwidth is not what
+    the paper varies) — what distinguishes I1..I4 is the {e data}
+    references and redirects performed by transfers, frame allocation and
+    variable access, all charged through {!Fpc_core.Transfer} and
+    {!Fpc_core.State}. *)
+
+type outcome = {
+  o_status : Fpc_core.State.status;
+  o_output : int list;  (** words OUTput, in order *)
+  o_stack : int list;  (** final evaluation stack, bottom first *)
+  o_instructions : int;
+  o_cycles : int;
+  o_mem_refs : int;
+}
+
+val boot :
+  image:Fpc_mesa.Image.t ->
+  engine:Fpc_core.Engine.t ->
+  instance:string ->
+  proc:string ->
+  args:int list ->
+  Fpc_core.State.t
+(** A machine ready to execute [instance.proc args].  Raises [Not_found]
+    for an unknown procedure. *)
+
+val step : Fpc_core.State.t -> unit
+(** Execute one instruction (no-op unless the status is [Running]). *)
+
+val run : ?max_steps:int -> Fpc_core.State.t -> unit
+(** Step until the machine halts or traps; [max_steps] (default 20
+    million) guards against runaways, recording a [Step_limit] trap. *)
+
+val run_traced :
+  ?max_steps:int ->
+  Fpc_core.State.t ->
+  on_step:(pc_abs:int -> Fpc_isa.Opcode.t -> Fpc_core.State.t -> unit) ->
+  unit
+(** As {!run}, invoking [on_step] with each instruction about to execute —
+    the debugger/teaching hook behind [fpc trace]. *)
+
+val outcome : Fpc_core.State.t -> outcome
+
+val run_program :
+  ?max_steps:int ->
+  image:Fpc_mesa.Image.t ->
+  engine:Fpc_core.Engine.t ->
+  instance:string ->
+  proc:string ->
+  args:int list ->
+  unit ->
+  Fpc_core.State.t
+(** [boot] then [run]; returns the final state for inspection. *)

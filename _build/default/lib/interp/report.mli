@@ -1,0 +1,6 @@
+(** Human-readable machine statistics after a run: the dynamic instruction
+    mix, transfer counts and fast-path share, storage traffic, frame-heap
+    activity, and (when configured) return-stack and register-bank
+    behaviour.  Backs [fpc run --stats]. *)
+
+val render : Fpc_core.State.t -> string

@@ -1,0 +1,1 @@
+lib/isa/builder.ml: Buffer Bytes Char Fpc_util List Opcode Printf

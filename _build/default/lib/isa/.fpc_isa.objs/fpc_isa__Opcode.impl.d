@@ -1,0 +1,1 @@
+lib/isa/opcode.ml: Array Buffer Char Fpc_util Printf

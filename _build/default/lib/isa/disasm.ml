@@ -1,0 +1,19 @@
+let decode_range ~fetch ~start ~stop =
+  let rec go pc acc =
+    if pc >= stop then List.rev acc
+    else
+      let op, len = Opcode.decode ~fetch ~pc in
+      go (pc + len) ((pc, op) :: acc)
+  in
+  go start []
+
+let render listing =
+  listing
+  |> List.map (fun (pc, op) -> Printf.sprintf "%5d: %s" pc (Opcode.to_string op))
+  |> String.concat "\n"
+
+let of_bytes code =
+  render
+    (decode_range
+       ~fetch:(fun i -> Char.code (Bytes.get code i))
+       ~start:0 ~stop:(Bytes.length code))

@@ -1,0 +1,13 @@
+(** Disassembler for the byte-coded instruction stream. *)
+
+val decode_range :
+  fetch:(int -> int) -> start:int -> stop:int -> (int * Opcode.t) list
+(** [decode_range ~fetch ~start ~stop] decodes instructions from byte offset
+    [start] (inclusive) until [stop] (exclusive), returning each with its
+    offset.  Raises [Invalid_argument] on an illegal opcode. *)
+
+val render : (int * Opcode.t) list -> string
+(** Listing with one ["offset: MNEMONIC"] line per instruction. *)
+
+val of_bytes : bytes -> string
+(** Convenience: disassemble a whole byte buffer. *)

@@ -1,0 +1,92 @@
+(** Abstract syntax of mini-Mesa, the Algol-family source language of the
+    reproduction (§1 limits the paper's claims to Algol-like languages:
+    Pascal, Mesa, Ada).
+
+    The subset covers what the paper's machinery needs to be exercised:
+    modules with global variables and imports; procedures with value and
+    VAR (by-reference — the §7.4 pointers-to-locals case) parameters;
+    integers, booleans and first-class CONTEXT values; coroutine TRANSFER
+    and RETCTX (the returnContext register, §3); FORK/YIELD/STOP for
+    multiple processes; and OUTPUT for observable behaviour. *)
+
+type typ = Tint | Tbool | Tcontext | Tarray of int
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Blt
+  | Ble
+  | Beq
+  | Bne
+  | Bge
+  | Bgt
+  | Band
+  | Bor
+
+type unop = Uneg | Unot
+
+(** A procedure reference: [f] (same module) or [M.f]. *)
+type callee = { c_module : string option; c_proc : string }
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Nil  (** the NIL context *)
+  | Var of string
+  | Index of string * expr  (** [a\[i\]] — element of a local or global array *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of callee * expr list
+  | Transfer of expr * expr list
+      (** [TRANSFER(ctx, v1..vn)]: XFER to [ctx] passing the values; the
+          expression's value is the single word the partner sends back *)
+  | ProcVal of callee  (** [@f] — the procedure descriptor as a CONTEXT value *)
+  | Retctx  (** [RETCTX] — who transferred here last (§3's returnContext) *)
+
+type stmt =
+  | Local of string * typ * expr option
+  | Assign of string * expr
+  | AssignIdx of string * expr * expr  (** [a\[i\] := e] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Output of expr
+  | CallS of callee * expr list
+  | TransferS of expr * expr list  (** TRANSFER whose returned value is dropped *)
+  | ForkS of callee * expr list
+  | YieldS
+  | StopS
+
+type param = { prm_name : string; prm_type : typ; prm_var : bool }
+
+type proc = {
+  pr_name : string;
+  pr_params : param list;
+  pr_result : typ option;
+  pr_body : stmt list;
+}
+
+type global = { g_name : string; g_type : typ; g_init : int option }
+
+type module_decl = {
+  md_name : string;
+  md_imports : string list;
+  md_globals : global list;
+  md_procs : proc list;
+}
+
+type program = module_decl list
+
+let typ_to_string = function
+  | Tint -> "INT"
+  | Tbool -> "BOOL"
+  | Tcontext -> "CONTEXT"
+  | Tarray n -> Printf.sprintf "ARRAY %d OF INT" n
+
+let typ_words = function Tint | Tbool | Tcontext -> 1 | Tarray n -> n
+
+let callee_to_string c =
+  match c.c_module with None -> c.c_proc | Some m -> m ^ "." ^ c.c_proc

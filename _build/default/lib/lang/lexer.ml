@@ -1,0 +1,97 @@
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type positioned = { tok : token; line : int; col : int }
+
+exception Lex_error of string
+
+let keywords =
+  [
+    "MODULE"; "IMPORT"; "VAR"; "PROC"; "END"; "IF"; "THEN"; "ELSE"; "WHILE";
+    "DO"; "RETURN"; "OUTPUT"; "YIELD"; "STOP"; "FORK"; "TRANSFER"; "RETCTX";
+    "INT"; "BOOL"; "CONTEXT"; "TRUE"; "FALSE"; "NIL"; "AND"; "OR"; "NOT"; "MOD";
+    "ARRAY"; "OF";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let out = ref [] in
+  let fail msg = raise (Lex_error (Printf.sprintf "%d:%d: %s" !line !col msg)) in
+  (* Token positions point at the first character, so capture before the
+     scanners below consume it. *)
+  let emit_at (l, c) tok = out := { tok; line = l; col = c } :: !out in
+  let emit tok = emit_at (!line, !col) tok in
+  let i = ref 0 in
+  let advance k =
+    for _ = 1 to k do
+      (if !i < n && src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+      incr i
+    done
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '-' && peek 1 = Some '-' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if is_digit c then begin
+      let pos = (!line, !col) in
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance 1
+      done;
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v when v >= 0 && v <= 0xFFFF -> emit_at pos (INT_LIT v)
+      | Some _ -> fail (Printf.sprintf "integer literal %s exceeds 16 bits" text)
+      | None -> fail ("bad integer literal " ^ text)
+    end
+    else if is_ident_start c then begin
+      let pos = (!line, !col) in
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance 1
+      done;
+      let text = String.sub src start (!i - start) in
+      if List.mem text keywords then emit_at pos (KW text) else emit_at pos (IDENT text)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | ":=" | "<=" | ">=" ->
+        emit (PUNCT two);
+        advance 2
+      | _ -> (
+        match c with
+        | ';' | ',' | ':' | '.' | '(' | ')' | '[' | ']' | '+' | '-' | '*' | '/'
+        | '<' | '=' | '#' | '>' | '@' ->
+          emit (PUNCT (String.make 1 c));
+          advance 1
+        | _ -> fail (Printf.sprintf "illegal character %C" c))
+    end
+  done;
+  emit EOF;
+  List.rev !out
+
+let token_to_string = function
+  | INT_LIT v -> string_of_int v
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "%S" s
+  | EOF -> "<eof>"

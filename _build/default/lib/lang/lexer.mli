@@ -1,0 +1,23 @@
+(** Tokeniser for mini-Mesa source text.
+
+    Comments run from ["--"] to end of line.  Keywords are upper-case, in
+    the Mesa style. *)
+
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW of string  (** one of the reserved words *)
+  | PUNCT of string  (** ; , : := . ( ) [ ] + - * / < <= = # >= > @ *)
+  | EOF
+
+type positioned = { tok : token; line : int; col : int }
+
+exception Lex_error of string
+(** Message includes the position. *)
+
+val keywords : string list
+
+val tokenize : string -> positioned list
+(** Raises {!Lex_error} on an illegal character or malformed number. *)
+
+val token_to_string : token -> string

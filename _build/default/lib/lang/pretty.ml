@@ -1,0 +1,99 @@
+open Ast
+
+let binop_str = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Bmod -> "MOD"
+  | Blt -> "<"
+  | Ble -> "<="
+  | Beq -> "="
+  | Bne -> "#"
+  | Bge -> ">="
+  | Bgt -> ">"
+  | Band -> "AND"
+  | Bor -> "OR"
+
+(* Everything below binds through parentheses, so emitting fully
+   parenthesised operator expressions keeps the round trip exact. *)
+let rec expr_to_string = function
+  | Int v -> string_of_int v
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+  | Nil -> "NIL"
+  | Retctx -> "RETCTX"
+  | Var name -> name
+  | Index (name, i) -> Printf.sprintf "%s[%s]" name (expr_to_string i)
+  | ProcVal c -> "@" ^ callee_to_string c
+  | Unop (Uneg, e) -> Printf.sprintf "(-%s)" (expr_to_string e)
+  | Unop (Unot, e) -> Printf.sprintf "(NOT %s)" (expr_to_string e)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_str op) (expr_to_string b)
+  | Call (c, args) -> Printf.sprintf "%s(%s)" (callee_to_string c) (args_to_string args)
+  | Transfer (ctx, values) ->
+    Printf.sprintf "TRANSFER(%s)" (args_to_string (ctx :: values))
+
+and args_to_string args = String.concat ", " (List.map expr_to_string args)
+
+let rec stmt_to_string ?(indent = 1) s =
+  let pad = String.make (2 * indent) ' ' in
+  let block stmts =
+    String.concat "" (List.map (fun s -> stmt_to_string ~indent:(indent + 1) s) stmts)
+  in
+  match s with
+  | Local (name, t, init) ->
+    let init_str =
+      match init with None -> "" | Some e -> " := " ^ expr_to_string e
+    in
+    Printf.sprintf "%sVAR %s: %s%s;\n" pad name (typ_to_string t) init_str
+  | Assign (name, e) -> Printf.sprintf "%s%s := %s;\n" pad name (expr_to_string e)
+  | AssignIdx (name, i, e) ->
+    Printf.sprintf "%s%s[%s] := %s;\n" pad name (expr_to_string i) (expr_to_string e)
+  | If (cond, then_, []) ->
+    Printf.sprintf "%sIF %s THEN\n%s%sEND;\n" pad (expr_to_string cond) (block then_) pad
+  | If (cond, then_, else_) ->
+    Printf.sprintf "%sIF %s THEN\n%s%sELSE\n%s%sEND;\n" pad (expr_to_string cond)
+      (block then_) pad (block else_) pad
+  | While (cond, body) ->
+    Printf.sprintf "%sWHILE %s DO\n%s%sEND;\n" pad (expr_to_string cond) (block body) pad
+  | Return None -> Printf.sprintf "%sRETURN;\n" pad
+  | Return (Some e) -> Printf.sprintf "%sRETURN %s;\n" pad (expr_to_string e)
+  | Output e -> Printf.sprintf "%sOUTPUT %s;\n" pad (expr_to_string e)
+  | CallS (c, args) ->
+    Printf.sprintf "%s%s(%s);\n" pad (callee_to_string c) (args_to_string args)
+  | TransferS (ctx, values) ->
+    Printf.sprintf "%sTRANSFER(%s);\n" pad (args_to_string (ctx :: values))
+  | ForkS (c, args) ->
+    Printf.sprintf "%sFORK %s(%s);\n" pad (callee_to_string c) (args_to_string args)
+  | YieldS -> Printf.sprintf "%sYIELD;\n" pad
+  | StopS -> Printf.sprintf "%sSTOP;\n" pad
+
+let param_to_string p =
+  Printf.sprintf "%s%s: %s"
+    (if p.prm_var then "VAR " else "")
+    p.prm_name (typ_to_string p.prm_type)
+
+let proc_to_string p =
+  let params = String.concat ", " (List.map param_to_string p.pr_params) in
+  let result =
+    match p.pr_result with None -> "" | Some t -> ": " ^ typ_to_string t
+  in
+  Printf.sprintf "PROC %s(%s)%s =\n%sEND;\n" p.pr_name params result
+    (String.concat "" (List.map stmt_to_string p.pr_body))
+
+let global_to_string g =
+  let init = match g.g_init with None -> "" | Some v -> Printf.sprintf " := %d" v in
+  Printf.sprintf "VAR %s: %s%s;\n" g.g_name (typ_to_string g.g_type) init
+
+let module_to_string m =
+  let imports =
+    match m.md_imports with
+    | [] -> ""
+    | names -> Printf.sprintf "IMPORT %s;\n" (String.concat ", " names)
+  in
+  Printf.sprintf "MODULE %s;\n%s%s%sEND;\n" m.md_name imports
+    (String.concat "" (List.map global_to_string m.md_globals))
+    (String.concat "" (List.map proc_to_string m.md_procs))
+
+let program_to_string prog = String.concat "\n" (List.map module_to_string prog)

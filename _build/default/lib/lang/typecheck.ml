@@ -1,0 +1,237 @@
+open Ast
+
+type proc_sig = { ps_params : (typ * bool) list; ps_result : typ option }
+
+type module_env = {
+  me_globals : (string * typ) list;
+  me_procs : (string * proc_sig) list;
+  me_imports : string list;
+}
+
+type env = (string * module_env) list
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+(* Per-procedure variable scope: parameters and locals shadow globals. *)
+type scope = {
+  vars : (string, typ * [ `Value | `Var_param | `Global ]) Hashtbl.t;
+  globals : (string * typ) list;
+}
+
+let lookup_var scope name =
+  match Hashtbl.find_opt scope.vars name with
+  | Some (t, kind) -> (t, kind)
+  | None -> (
+    match List.assoc_opt name scope.globals with
+    | Some t -> (t, `Global)
+    | None -> err "unknown variable %s" name)
+
+let sig_of env ~current (c : callee) =
+  let module_name = Option.value c.c_module ~default:current in
+  match List.assoc_opt module_name env with
+  | None -> err "unknown module %s" module_name
+  | Some me -> (
+    (match c.c_module with
+    | Some m when not (String.equal m current) ->
+      let this = List.assoc current env in
+      if not (List.mem m this.me_imports) then
+        err "module %s is not imported by %s" m current
+    | Some _ | None -> ());
+    match List.assoc_opt c.c_proc me.me_procs with
+    | Some s -> s
+    | None -> err "module %s has no procedure %s" module_name c.c_proc)
+
+let find_sig env ~current c =
+  match sig_of env ~current c with s -> s | exception Type_error _ -> raise Not_found
+
+let rec expr_type env ~current scope (e : expr) : typ =
+  match e with
+  | Int _ -> Tint
+  | Bool _ -> Tbool
+  | Nil -> Tcontext
+  | Retctx -> Tcontext
+  | Var name -> (
+    match lookup_var scope name with
+    | Tarray _, _ -> err "array %s cannot be used as a value; index it" name
+    | t, _ -> t)
+  | Index (name, i) -> (
+    match lookup_var scope name with
+    | Tarray _, _ ->
+      expect env ~current scope i Tint "array index";
+      Tint
+    | t, _ -> err "%s has type %s and cannot be indexed" name (typ_to_string t))
+  | ProcVal c ->
+    ignore (sig_of env ~current c);
+    Tcontext
+  | Unop (Uneg, e) ->
+    expect env ~current scope e Tint "operand of unary -";
+    Tint
+  | Unop (Unot, e) ->
+    expect env ~current scope e Tbool "operand of NOT";
+    Tbool
+  | Binop (op, a, b) -> (
+    match op with
+    | Badd | Bsub | Bmul | Bdiv | Bmod ->
+      expect env ~current scope a Tint "arithmetic operand";
+      expect env ~current scope b Tint "arithmetic operand";
+      Tint
+    | Blt | Ble | Bge | Bgt ->
+      expect env ~current scope a Tint "comparison operand";
+      expect env ~current scope b Tint "comparison operand";
+      Tbool
+    | Beq | Bne -> (
+      let ta = expr_type env ~current scope a in
+      let tb = expr_type env ~current scope b in
+      if ta <> tb then
+        err "cannot compare %s with %s" (typ_to_string ta) (typ_to_string tb);
+      match ta with
+      | Tarray _ -> err "arrays cannot be compared"
+      | Tint | Tbool | Tcontext -> Tbool)
+    | Band | Bor ->
+      expect env ~current scope a Tbool "boolean operand";
+      expect env ~current scope b Tbool "boolean operand";
+      Tbool)
+  | Call (c, args) -> (
+    check_call env ~current scope c args;
+    match (sig_of env ~current c).ps_result with
+    | Some t -> t
+    | None -> err "procedure %s returns no value" (callee_to_string c))
+  | Transfer (ctx, values) ->
+    expect env ~current scope ctx Tcontext "TRANSFER destination";
+    List.iter (fun v -> expect env ~current scope v Tint "TRANSFER value") values;
+    Tint
+
+and expect env ~current scope e t what =
+  let t' = expr_type env ~current scope e in
+  if t' <> t then
+    err "%s has type %s, expected %s" what (typ_to_string t') (typ_to_string t)
+
+and check_call env ~current scope (c : callee) args =
+  let s = sig_of env ~current c in
+  if List.length args <> List.length s.ps_params then
+    err "%s expects %d arguments, got %d" (callee_to_string c)
+      (List.length s.ps_params) (List.length args);
+  List.iter2
+    (fun arg (t, is_var) ->
+      if is_var then begin
+        match arg with
+        | Var name ->
+          let t', _ = lookup_var scope name in
+          if t' <> t then
+            err "VAR argument %s has type %s, expected %s" name (typ_to_string t')
+              (typ_to_string t)
+        | _ -> err "VAR parameter of %s needs a variable argument" (callee_to_string c)
+      end
+      else expect env ~current scope arg t "argument")
+    args s.ps_params
+
+let rec check_stmt env ~current ~result scope (s : stmt) =
+  match s with
+  | Local (name, t, init) ->
+    if Hashtbl.mem scope.vars name then err "duplicate local %s" name;
+    Option.iter (fun e -> expect env ~current scope e t "initialiser") init;
+    Hashtbl.add scope.vars name (t, `Value)
+  | Assign (name, e) -> (
+    match lookup_var scope name with
+    | Tarray _, _ -> err "cannot assign a whole array"
+    | t, _ -> expect env ~current scope e t "assigned value")
+  | AssignIdx (name, i, e) -> (
+    match lookup_var scope name with
+    | Tarray _, _ ->
+      expect env ~current scope i Tint "array index";
+      expect env ~current scope e Tint "array element"
+    | t, _ -> err "%s has type %s and cannot be indexed" name (typ_to_string t))
+  | If (cond, then_, else_) ->
+    expect env ~current scope cond Tbool "IF condition";
+    List.iter (check_stmt env ~current ~result scope) then_;
+    List.iter (check_stmt env ~current ~result scope) else_
+  | While (cond, body) ->
+    expect env ~current scope cond Tbool "WHILE condition";
+    List.iter (check_stmt env ~current ~result scope) body
+  | Return None ->
+    if result <> None then err "RETURN needs a value here"
+  | Return (Some e) -> (
+    match result with
+    | None -> err "this procedure returns no value"
+    | Some t -> expect env ~current scope e t "RETURN value")
+  | Output e -> ignore (expr_type env ~current scope e)
+  | CallS (c, args) -> check_call env ~current scope c args
+  | TransferS (ctx, values) ->
+    expect env ~current scope ctx Tcontext "TRANSFER destination";
+    List.iter (fun v -> expect env ~current scope v Tint "TRANSFER value") values
+  | ForkS (c, args) ->
+    let s = sig_of env ~current c in
+    if List.exists snd s.ps_params then
+      err "FORK %s: VAR parameters cannot cross a process boundary"
+        (callee_to_string c);
+    check_call env ~current scope c args
+  | YieldS | StopS -> ()
+
+let check_proc env ~current globals (p : proc) =
+  let scope = { vars = Hashtbl.create 16; globals } in
+  List.iter
+    (fun prm ->
+      (match prm.prm_type with
+      | Tarray _ -> err "parameter %s: arrays cannot be passed" prm.prm_name
+      | Tint | Tbool | Tcontext -> ());
+      if Hashtbl.mem scope.vars prm.prm_name then
+        err "duplicate parameter %s" prm.prm_name;
+      Hashtbl.add scope.vars prm.prm_name
+        (prm.prm_type, if prm.prm_var then `Var_param else `Value))
+    p.pr_params;
+  List.iter (check_stmt env ~current ~result:p.pr_result scope) p.pr_body
+
+let build_env (prog : program) : env =
+  List.map
+    (fun m ->
+      ( m.md_name,
+        {
+          me_globals = List.map (fun g -> (g.g_name, g.g_type)) m.md_globals;
+          me_procs =
+            List.map
+              (fun p ->
+                ( p.pr_name,
+                  {
+                    ps_params =
+                      List.map (fun prm -> (prm.prm_type, prm.prm_var)) p.pr_params;
+                    ps_result = p.pr_result;
+                  } ))
+              m.md_procs;
+          me_imports = m.md_imports;
+        } ))
+    prog
+
+let distinct what names =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then err "duplicate %s %s" what n;
+      Hashtbl.add seen n ())
+    names
+
+let check prog =
+  try
+    distinct "module" (List.map (fun m -> m.md_name) prog);
+    let env = build_env prog in
+    List.iter
+      (fun m ->
+        distinct "global" (List.map (fun g -> g.g_name) m.md_globals);
+        List.iter
+          (fun g ->
+            match (g.g_type, g.g_init) with
+            | Tarray _, Some _ -> err "array global %s cannot have an initialiser" g.g_name
+            | _ -> ())
+          m.md_globals;
+        distinct "procedure" (List.map (fun p -> p.pr_name) m.md_procs);
+        List.iter
+          (fun i ->
+            if not (List.mem_assoc i env) then
+              err "module %s imports unknown module %s" m.md_name i)
+          m.md_imports;
+        let globals = List.map (fun g -> (g.g_name, g.g_type)) m.md_globals in
+        List.iter (check_proc env ~current:m.md_name globals) m.md_procs)
+      prog;
+    Ok env
+  with Type_error msg -> Error msg

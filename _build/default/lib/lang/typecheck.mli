@@ -1,0 +1,28 @@
+(** Static checks for mini-Mesa programs, and the signature tables the code
+    generator consumes.
+
+    Beyond ordinary scoping/typing, two rules protect machine-level
+    invariants:
+    - a VAR (by-reference) argument must be a variable, so the compiler can
+      take its address (LLA/LGA — the §7.4 pointer cases);
+    - FORK may not pass VAR parameters: the pointer would outlive the
+      forking frame. *)
+
+type proc_sig = {
+  ps_params : (Ast.typ * bool) list;  (** (type, is-VAR) in order *)
+  ps_result : Ast.typ option;
+}
+
+type module_env = {
+  me_globals : (string * Ast.typ) list;  (** in declaration order *)
+  me_procs : (string * proc_sig) list;  (** in declaration (entry-vector) order *)
+  me_imports : string list;
+}
+
+type env = (string * module_env) list
+
+val check : Ast.program -> (env, string) result
+
+val find_sig : env -> current:string -> Ast.callee -> proc_sig
+(** Resolve a callee's signature (assumes a checked program).  Raises
+    [Not_found] otherwise. *)

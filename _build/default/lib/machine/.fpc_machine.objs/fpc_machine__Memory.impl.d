@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Bytes Char Cost Fpc_util Printf

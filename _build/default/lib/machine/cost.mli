@@ -1,0 +1,69 @@
+(** The cycle-level cost model for the simulated Mesa-style processor.
+
+    The paper's machines (Alto, Dorado) are microcoded processors we do not
+    have; per the reproduction plan we substitute a cost-accounting
+    simulation.  Every architectural event of interest — main-storage
+    reference, register-bank reference, instruction dispatch, IFU-followed
+    transfer — is charged here.  Experiments report ratios of these counts,
+    so the defaults only need to respect the *relationships* the paper
+    states (§7.3: a register bank reference is one cycle, a cache access
+    two, main storage several). *)
+
+type params = {
+  mem_ref_cycles : int;  (** one main-storage word reference *)
+  cache_hit_cycles : int;  (** data cache hit (§7.3 comparison) *)
+  bank_ref_cycles : int;  (** register / register-bank reference *)
+  dispatch_cycles : int;  (** per-instruction decode and dispatch *)
+  jump_cycles : int;  (** taken jump the IFU can follow (§6 target speed) *)
+  trap_cycles : int;  (** entering a software trap handler *)
+  software_alloc_cycles : int;
+      (** the software allocator invoked when an AV free list is empty
+          (§5.3) or a frame is larger than the fast classes *)
+}
+
+val default_params : params
+(** mem_ref 4, cache_hit 2, bank_ref 1, dispatch 1, jump 1, trap 50,
+    software_alloc 100. *)
+
+type t
+(** A mutable bundle of counters charged against one execution. *)
+
+val create : ?params:params -> unit -> t
+val params : t -> params
+
+(** {1 Charging} *)
+
+val mem_read : t -> unit
+val mem_write : t -> unit
+val bank_ref : t -> unit
+val dispatch : t -> unit
+val jump : t -> unit
+val trap : t -> unit
+val software_alloc : t -> unit
+val add_cycles : t -> int -> unit
+
+(** {1 Reading the meters} *)
+
+val cycles : t -> int
+val mem_reads : t -> int
+val mem_writes : t -> int
+val mem_refs : t -> int
+(** [mem_reads + mem_writes]. *)
+
+val bank_refs : t -> int
+val dispatches : t -> int
+
+val reset : t -> unit
+
+type snapshot = {
+  s_cycles : int;
+  s_mem_reads : int;
+  s_mem_writes : int;
+  s_bank_refs : int;
+  s_dispatches : int;
+}
+
+val snapshot : t -> snapshot
+
+val delta : before:snapshot -> after:snapshot -> snapshot
+(** Component-wise difference, for metering a region of execution. *)

@@ -1,0 +1,58 @@
+type address = int
+
+type t = { store : int array; mutable cost : Cost.t option }
+
+let create ?cost ~size_words () =
+  if size_words <= 0 then invalid_arg "Memory.create: size must be positive";
+  { store = Array.make size_words 0; cost }
+
+let size t = Array.length t.store
+let set_cost t c = t.cost <- Some c
+let cost t = t.cost
+
+let check t addr what =
+  if addr < 0 || addr >= Array.length t.store then
+    invalid_arg (Printf.sprintf "Memory.%s: address %d out of range" what addr)
+
+let peek t addr =
+  check t addr "peek";
+  t.store.(addr)
+
+let poke t addr v =
+  check t addr "poke";
+  t.store.(addr) <- Fpc_util.Bits.to_word v
+
+let charge_read t = match t.cost with Some c -> Cost.mem_read c | None -> ()
+let charge_write t = match t.cost with Some c -> Cost.mem_write c | None -> ()
+
+let read t addr =
+  charge_read t;
+  peek t addr
+
+let write t addr v =
+  charge_write t;
+  poke t addr v
+
+let byte_of_word ~pc w =
+  if pc land 1 = 0 then Fpc_util.Bits.byte_high w else Fpc_util.Bits.byte_low w
+
+let peek_code_byte t ~code_base ~pc =
+  byte_of_word ~pc (peek t (code_base + (pc lsr 1)))
+
+let read_code_byte t ~code_base ~pc =
+  charge_read t;
+  peek_code_byte t ~code_base ~pc
+
+let poke_code_byte t ~code_base ~pc b =
+  let addr = code_base + (pc lsr 1) in
+  let w = peek t addr in
+  let w' =
+    if pc land 1 = 0 then Fpc_util.Bits.word_of_bytes ~high:b ~low:(Fpc_util.Bits.byte_low w)
+    else Fpc_util.Bits.word_of_bytes ~high:(Fpc_util.Bits.byte_high w) ~low:b
+  in
+  poke t addr w'
+
+let blit_bytes t ~code_base bytes =
+  Bytes.iteri (fun i b -> poke_code_byte t ~code_base ~pc:i (Char.code b)) bytes
+
+let words_for_bytes n = (n + 1) / 2

@@ -1,0 +1,55 @@
+(** Word-addressed simulated main storage.
+
+    The machine is the 16-bit-word Mesa-style processor of the paper.  All
+    runtime structures — frames, the GFT, link vectors, entry vectors,
+    global frames, the AV allocation vector, code segments — live in this
+    one store, so the experiments measure real memory-reference counts
+    rather than asserted ones.
+
+    Two access planes are provided:
+    - {e metered} ([read]/[write]): charge the supplied {!Cost.t}; used by
+      the interpreter and runtime machinery.
+    - {e unmetered} ([peek]/[poke]): free; used by the linker to build the
+      initial image, by tests, and by display code.
+
+    Code is byte-granular (instructions are 1–3 bytes): bytes are packed two
+    per word, high byte first, addressed by a word-aligned [code_base] plus
+    a byte offset — exactly the [code base + PC] addressing of §5. *)
+
+type address = int
+(** A word address. *)
+
+type t
+
+val create : ?cost:Cost.t -> size_words:int -> unit -> t
+(** Fresh zeroed storage.  When [cost] is given, metered accesses charge it;
+    it can be replaced later with {!set_cost}. *)
+
+val size : t -> int
+val set_cost : t -> Cost.t -> unit
+val cost : t -> Cost.t option
+
+(** {1 Metered access} *)
+
+val read : t -> address -> int
+val write : t -> address -> int -> unit
+(** Values are truncated to 16 bits.  Out-of-range addresses raise
+    [Invalid_argument]. *)
+
+val read_code_byte : t -> code_base:address -> pc:int -> int
+(** Fetch the byte at byte-offset [pc] from [code_base].  Charges one
+    storage reference (the word containing the byte). *)
+
+(** {1 Unmetered access} *)
+
+val peek : t -> address -> int
+val poke : t -> address -> int -> unit
+val peek_code_byte : t -> code_base:address -> pc:int -> int
+val poke_code_byte : t -> code_base:address -> pc:int -> int -> unit
+
+val blit_bytes : t -> code_base:address -> bytes -> unit
+(** Unmetered copy of a code segment's bytes into storage starting at
+    [code_base] (byte offset 0). *)
+
+val words_for_bytes : int -> int
+(** Number of words needed to hold [n] code bytes. *)

@@ -1,0 +1,1 @@
+lib/mesa/compiled.ml: Array Bytes Hashtbl List Printf Result String

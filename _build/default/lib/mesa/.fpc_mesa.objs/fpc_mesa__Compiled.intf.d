@@ -1,0 +1,1 @@
+lib/mesa/compiled.mli:

@@ -1,0 +1,1 @@
+lib/mesa/descriptor.mli:

@@ -1,0 +1,1 @@
+lib/mesa/gft.ml: Fpc_machine Memory Printf

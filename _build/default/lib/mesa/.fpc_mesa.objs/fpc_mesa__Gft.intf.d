@@ -1,0 +1,1 @@
+lib/mesa/gft.mli: Fpc_machine

@@ -1,0 +1,1 @@
+lib/mesa/image.ml: Compiled Cost Descriptor Fpc_frames Fpc_machine Gft Hashtbl Layout List Memory Option String

@@ -1,0 +1,1 @@
+lib/mesa/image.mli: Compiled Descriptor Fpc_frames Fpc_machine Gft Hashtbl Layout

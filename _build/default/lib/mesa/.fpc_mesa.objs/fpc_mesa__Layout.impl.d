@@ -1,0 +1,1 @@
+lib/mesa/layout.ml: Fpc_frames Gft

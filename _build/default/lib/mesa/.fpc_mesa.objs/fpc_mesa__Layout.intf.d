@@ -1,0 +1,1 @@
+lib/mesa/layout.mli: Fpc_frames

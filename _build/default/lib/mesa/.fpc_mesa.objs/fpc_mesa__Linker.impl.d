@@ -1,0 +1,1 @@
+lib/mesa/linker.ml: Alloc_vector Array Bytes Char Compiled Cost Descriptor Fpc_frames Fpc_isa Fpc_machine Gft Hashtbl Image Layout List Memory Printf Result Size_class String

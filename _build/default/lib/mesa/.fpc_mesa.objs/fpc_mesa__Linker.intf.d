@@ -1,0 +1,1 @@
+lib/mesa/linker.mli: Compiled Fpc_frames Fpc_machine Image

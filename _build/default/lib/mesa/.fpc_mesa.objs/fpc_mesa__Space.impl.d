@@ -1,0 +1,1 @@
+lib/mesa/space.ml: Array Compiled Fpc_isa Fpc_machine Fpc_util Image List Memory String

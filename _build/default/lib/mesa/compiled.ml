@@ -1,0 +1,78 @@
+type proc = {
+  p_name : string;
+  p_body : bytes;
+  p_locals_words : int;
+  p_nargs : int;
+  p_dfc_fixups : (int * int) list;
+  p_lpd_fixups : (int * int) list;
+}
+
+type t = {
+  m_name : string;
+  m_globals_words : int;
+  m_global_init : (int * int) list;
+  m_imports : (string * string) array;
+  m_procs : proc list;
+}
+
+let max_entry_points = 128
+
+let proc_index t name =
+  let rec find i = function
+    | [] -> raise Not_found
+    | p :: _ when String.equal p.p_name name -> i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 t.m_procs
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Printf.ksprintf (fun s -> Error (t.m_name ^ ": " ^ s)) fmt in
+  let* () =
+    if List.length t.m_procs = 0 then err "module has no procedures" else Ok ()
+  in
+  let* () =
+    if List.length t.m_procs > max_entry_points then
+      err "more than %d entry points" max_entry_points
+    else Ok ()
+  in
+  let* () =
+    if Array.length t.m_imports > 256 then err "more than 256 imports" else Ok ()
+  in
+  let names = Hashtbl.create 16 in
+  let* () =
+    List.fold_left
+      (fun acc p ->
+        let* () = acc in
+        if Hashtbl.mem names p.p_name then err "duplicate procedure %s" p.p_name
+        else begin
+          Hashtbl.add names p.p_name ();
+          Ok ()
+        end)
+      (Ok ()) t.m_procs
+  in
+  let* () =
+    List.fold_left
+      (fun acc (i, v) ->
+        let* () = acc in
+        if i < 0 || i >= t.m_globals_words then err "global init index %d out of range" i
+        else if v < 0 || v > 0xFFFF then err "global init value %d not a word" v
+        else Ok ())
+      (Ok ()) t.m_global_init
+  in
+  List.fold_left
+    (fun acc p ->
+      let check_fixups acc ~width fixups =
+        List.fold_left
+          (fun acc (pos, lv) ->
+            let* () = acc in
+            if pos < 0 || pos + width > Bytes.length p.p_body then
+              err "%s: fixup at %d outside body" p.p_name pos
+            else if lv < 0 || lv >= Array.length t.m_imports then
+              err "%s: fixup names LV index %d" p.p_name lv
+            else Ok ())
+          acc fixups
+      in
+      let acc = check_fixups acc ~width:4 p.p_dfc_fixups in
+      check_fixups acc ~width:3 p.p_lpd_fixups)
+    (Ok ()) t.m_procs

@@ -1,0 +1,35 @@
+open Fpc_machine
+
+let capacity = 1024
+
+type t = { mem : Memory.t; base : int }
+
+let create ~mem ~base =
+  if base + capacity > Memory.size mem then invalid_arg "Gft.create: table beyond memory";
+  { mem; base }
+
+let base t = t.base
+
+let pack_entry ~gf_addr ~bias =
+  if gf_addr land 3 <> 0 || gf_addr < 0 || gf_addr > 0xFFFF then
+    invalid_arg (Printf.sprintf "Gft.pack_entry: bad global frame address %d" gf_addr);
+  if bias < 0 || bias > 3 then invalid_arg "Gft.pack_entry: bias out of range";
+  gf_addr lor bias
+
+let unpack_entry w = (w land 0xFFFC, w land 3)
+
+let check_gfi gfi =
+  if gfi < 1 || gfi >= capacity then
+    invalid_arg (Printf.sprintf "Gft: gfi %d out of range" gfi)
+
+let set_entry t ~gfi ~gf_addr ~bias =
+  check_gfi gfi;
+  Memory.poke t.mem (t.base + gfi) (pack_entry ~gf_addr ~bias)
+
+let read_entry t ~cost_mem_read ~gfi =
+  check_gfi gfi;
+  let w =
+    if cost_mem_read then Memory.read t.mem (t.base + gfi)
+    else Memory.peek t.mem (t.base + gfi)
+  in
+  unpack_entry w

@@ -1,0 +1,91 @@
+open Fpc_machine
+
+type linkage = External | Direct | Short_direct
+
+type proc_info = {
+  pi_instance : string;
+  pi_proc : string;
+  pi_ev : int;
+  pi_entry_offset : int;
+  pi_direct_offset : int option;
+  pi_fsi : int;
+  pi_locals_words : int;
+  pi_nargs : int;
+  pi_body_bytes : int;
+}
+
+type instance_info = {
+  ii_name : string;
+  ii_module : string;
+  ii_gfi : int;
+  ii_gfi_count : int;
+  mutable ii_gf_addr : int;
+  mutable ii_lv_base : int;
+  mutable ii_code_base : int;
+  ii_imports : (string * string) array;
+}
+
+type t = {
+  mem : Memory.t;
+  cost : Cost.t;
+  allocator : Fpc_frames.Alloc_vector.t;
+  gft : Gft.t;
+  layout : Layout.t;
+  linkage : linkage;
+  mutable instances : instance_info list;
+  procs : (string * string, proc_info) Hashtbl.t;
+  source : Compiled.t list;
+  mutable static_cursor : int;
+  mutable code_cursor : int;
+  mutable gfi_cursor : int;
+}
+
+let find_instance t name =
+  match List.find_opt (fun i -> String.equal i.ii_name name) t.instances with
+  | Some i -> i
+  | None -> raise Not_found
+
+let find_proc t ~instance ~proc = Hashtbl.find t.procs (instance, proc)
+
+let find_module t name =
+  match List.find_opt (fun (m : Compiled.t) -> String.equal m.m_name name) t.source with
+  | Some m -> m
+  | None -> raise Not_found
+
+let descriptor_of t ~instance ~proc =
+  let ii = find_instance t instance in
+  let pi = find_proc t ~instance ~proc in
+  Descriptor.Proc { gfi = ii.ii_gfi + (pi.pi_ev / 32); ev = pi.pi_ev mod 32 }
+
+let direct_address t ~instance ~proc =
+  let ii = find_instance t instance in
+  let pi = find_proc t ~instance ~proc in
+  Option.map (fun off -> (ii.ii_code_base * 2) + off) pi.pi_direct_offset
+
+let entry_byte_address t ~instance ~proc =
+  let ii = find_instance t instance in
+  let pi = find_proc t ~instance ~proc in
+  (ii.ii_code_base * 2) + pi.pi_entry_offset
+
+let set_trap_handler t d =
+  Memory.poke t.mem t.layout.Layout.trap_handler_addr (Descriptor.pack d)
+
+let trap_handler t =
+  Descriptor.unpack (Memory.peek t.mem t.layout.Layout.trap_handler_addr)
+
+let global_base = 2
+let gf_code_base t ~instance = Memory.peek t.mem (find_instance t instance).ii_gf_addr
+
+let alloc_static t ~words ~quad =
+  let base = if quad then (t.static_cursor + 3) land lnot 3 else t.static_cursor in
+  if base + words > t.layout.Layout.heap_base then
+    invalid_arg "Image.alloc_static: static region exhausted";
+  t.static_cursor <- base + words;
+  base
+
+let alloc_code t ~words =
+  let base = t.code_cursor in
+  if base + words > t.layout.Layout.memory_words then
+    invalid_arg "Image.alloc_code: code region exhausted";
+  t.code_cursor <- base + words;
+  base

@@ -1,0 +1,89 @@
+(** A linked program image: simulated memory populated with the GFT, AV,
+    global frames, link vectors, entry vectors and code segments, plus the
+    OCaml-side directory the tools use to find things again.
+
+    Global frame layout: word 0 = code base (word address of the module's
+    code segment), word 1 = link vector base, globals from word 2.  The
+    entry vector occupies the first [nprocs] words of the code segment, so
+    "EV starts at the code base" (§5.1); each entry is the byte offset,
+    relative to the code base, of the procedure's frame-size-index byte,
+    and "the procedure's code starts at the following byte" (§5.1).  Under
+    direct linkage each single-instance procedure is preceded by a two-byte
+    header holding its global frame address — the DIRECTCALL landing pad of
+    §6 whose contents the IFU turns into SETGLOBALFRAME and ALLOCATEFRAME
+    pseudo-instructions. *)
+
+type linkage = External | Direct | Short_direct
+
+type proc_info = {
+  pi_instance : string;
+  pi_proc : string;
+  pi_ev : int;  (** full entry index (bias x 32 + descriptor ev field) *)
+  pi_entry_offset : int;  (** byte offset of the fsi byte, relative to code base *)
+  pi_direct_offset : int option;  (** byte offset of the 2-byte GF header *)
+  pi_fsi : int;
+  pi_locals_words : int;
+  pi_nargs : int;
+  pi_body_bytes : int;  (** instruction bytes, excluding fsi/header *)
+}
+
+type instance_info = {
+  ii_name : string;  (** module name, or "module#k" for extra instances *)
+  ii_module : string;
+  ii_gfi : int;  (** first of [ii_gfi_count] consecutive GFT entries *)
+  ii_gfi_count : int;
+  mutable ii_gf_addr : int;
+  mutable ii_lv_base : int;
+  mutable ii_code_base : int;  (** word address; shared by instances of a module *)
+  ii_imports : (string * string) array;
+}
+
+type t = {
+  mem : Fpc_machine.Memory.t;
+  cost : Fpc_machine.Cost.t;
+  allocator : Fpc_frames.Alloc_vector.t;
+  gft : Gft.t;
+  layout : Layout.t;
+  linkage : linkage;
+  mutable instances : instance_info list;
+  procs : (string * string, proc_info) Hashtbl.t;  (** (instance, proc) *)
+  source : Compiled.t list;
+  mutable static_cursor : int;  (** next free word in the static region *)
+  mutable code_cursor : int;  (** next free word in the code region *)
+  mutable gfi_cursor : int;  (** next unassigned GFT index *)
+}
+
+val find_instance : t -> string -> instance_info
+(** Raises [Not_found]. *)
+
+val find_proc : t -> instance:string -> proc:string -> proc_info
+(** Raises [Not_found]. *)
+
+val find_module : t -> string -> Compiled.t
+(** The compiled source of a module.  Raises [Not_found]. *)
+
+val descriptor_of : t -> instance:string -> proc:string -> Descriptor.t
+(** The packed-able procedure descriptor, bias folded into the gfi. *)
+
+val direct_address : t -> instance:string -> proc:string -> int option
+(** Absolute byte address of the procedure's DIRECTCALL header, when it has
+    one. *)
+
+val entry_byte_address : t -> instance:string -> proc:string -> int
+(** Absolute byte address of the fsi byte. *)
+
+val set_trap_handler : t -> Descriptor.t -> unit
+val trap_handler : t -> Descriptor.t
+
+val global_base : int
+(** Offset of global 0 within a global frame (2). *)
+
+val gf_code_base : t -> instance:string -> int
+(** Unmetered read of the instance's code base. *)
+
+val alloc_static : t -> words:int -> quad:bool -> int
+(** Carve words from the static region (link-time).  Raises
+    [Invalid_argument] when it would collide with the frame heap. *)
+
+val alloc_code : t -> words:int -> int
+(** Carve words from the code region. *)

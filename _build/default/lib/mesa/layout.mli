@@ -1,0 +1,34 @@
+(** The memory map of the simulated machine.
+
+    An Alto-class 16-bit machine: at most 64 K words of storage, all
+    word-addressable structures (frames, global frames, tables) within it so
+    that a 16-bit word can name any of them.
+
+    {v
+    0      .. 15          reserved (word 2 = trap-handler context)
+    16     .. 1039        GFT (1024 entries)
+    1040   .. 1040+C-1    AV (one word per frame size class)
+    static .. heap_base   global frames, link vectors, interface records
+    heap_base..heap_limit the frame heap (the "frame region" of §7.4)
+    code   .. mem_end     code segments
+    v} *)
+
+type t = {
+  memory_words : int;
+  trap_handler_addr : int;  (** reserved word 2 *)
+  gft_base : int;
+  av_base : int;
+  static_base : int;  (** first word available for global frames / LVs *)
+  heap_base : int;
+  heap_limit : int;
+  code_region_base : int;  (** first word of the code region *)
+}
+
+val make : ?memory_words:int -> ladder:Fpc_frames.Size_class.t -> unit -> t
+(** Default [memory_words] = 65536.  Raises [Invalid_argument] if the map
+    does not fit (needs at least 16 K words). *)
+
+val in_frame_region : t -> int -> bool
+(** §7.4: "by confining frames to a fixed frame region of the address
+    space, we can be sure for most storage references that C2 has not
+    arisen". *)

@@ -1,0 +1,110 @@
+open Fpc_machine
+
+type call_sites = {
+  efc_one_byte : int;
+  efc_two_byte : int;
+  lfc : int;
+  dfc : int;
+  sdfc : int;
+  xf : int;
+}
+
+let call_site_bytes c =
+  c.efc_one_byte + (2 * c.efc_two_byte) + (2 * c.lfc) + (4 * c.dfc) + (3 * c.sdfc)
+  + c.xf
+
+type report = {
+  code_bytes : int;
+  ev_bytes : int;
+  header_bytes : int;
+  fsi_bytes : int;
+  body_bytes : int;
+  lv_words : int;
+  gft_entries_used : int;
+  global_frame_overhead_words : int;
+  call_sites : call_sites;
+}
+
+let empty_sites = { efc_one_byte = 0; efc_two_byte = 0; lfc = 0; dfc = 0; sdfc = 0; xf = 0 }
+
+let scan_body image ~code_base ~(pi : Image.proc_info) sites =
+  let fetch pc = Memory.peek_code_byte image.Image.mem ~code_base ~pc in
+  let start = pi.pi_entry_offset + 1 in
+  let stop = start + pi.pi_body_bytes in
+  List.fold_left
+    (fun acc (_, op) ->
+      match (op : Fpc_isa.Opcode.t) with
+      | Efc n when n <= Fpc_isa.Opcode.max_short_efc ->
+        { acc with efc_one_byte = acc.efc_one_byte + 1 }
+      | Efc _ -> { acc with efc_two_byte = acc.efc_two_byte + 1 }
+      | Lfc _ -> { acc with lfc = acc.lfc + 1 }
+      | Dfc _ -> { acc with dfc = acc.dfc + 1 }
+      | Sdfc _ -> { acc with sdfc = acc.sdfc + 1 }
+      | Xf -> { acc with xf = acc.xf + 1 }
+      | _ -> acc)
+    sites
+    (Fpc_isa.Disasm.decode_range ~fetch ~start ~stop)
+
+let measure (image : Image.t) =
+  let modules =
+    (* One representative instance per module: code is shared. *)
+    List.filter
+      (fun (ii : Image.instance_info) -> String.equal ii.ii_name ii.ii_module)
+      image.instances
+  in
+  let per_module (acc_code, acc_ev, acc_hdr, acc_fsi, acc_body, sites)
+      (ii : Image.instance_info) =
+    let m = Image.find_module image ii.ii_module in
+    let nprocs = List.length m.m_procs in
+    let ev = 2 * nprocs in
+    let hdr, fsi, body, code_end, sites =
+      List.fold_left
+        (fun (hdr, fsi, body, code_end, sites) (p : Compiled.proc) ->
+          let pi = Image.find_proc image ~instance:ii.ii_name ~proc:p.p_name in
+          let hdr = hdr + match pi.pi_direct_offset with Some _ -> 2 | None -> 0 in
+          let stop = pi.pi_entry_offset + 1 + pi.pi_body_bytes in
+          let sites = scan_body image ~code_base:ii.ii_code_base ~pi sites in
+          (hdr, fsi + 1, body + pi.pi_body_bytes, max code_end stop, sites))
+        (0, 0, 0, ev, sites) m.m_procs
+    in
+    (acc_code + code_end, acc_ev + ev, acc_hdr + hdr, acc_fsi + fsi, acc_body + body, sites)
+  in
+  let code, ev, hdr, fsi, body, sites =
+    List.fold_left per_module (0, 0, 0, 0, 0, empty_sites) modules
+  in
+  let lv_words =
+    List.fold_left
+      (fun acc (ii : Image.instance_info) -> acc + max 1 (Array.length ii.ii_imports))
+      0 image.instances
+  in
+  {
+    code_bytes = code;
+    ev_bytes = ev;
+    header_bytes = hdr;
+    fsi_bytes = fsi;
+    body_bytes = body;
+    lv_words;
+    gft_entries_used = image.gfi_cursor - 1;
+    global_frame_overhead_words = 2 * List.length image.instances;
+    call_sites = sites;
+  }
+
+let render ~title r =
+  let open Fpc_util.Tablefmt in
+  let t = create ~title ~columns:[ ("component", Left); ("amount", Right) ] in
+  add_row t [ "code bytes (total)"; cell_int r.code_bytes ];
+  add_row t [ "  entry vectors"; cell_int r.ev_bytes ];
+  add_row t [ "  direct-call headers"; cell_int r.header_bytes ];
+  add_row t [ "  fsi bytes"; cell_int r.fsi_bytes ];
+  add_row t [ "  instruction bytes"; cell_int r.body_bytes ];
+  add_row t [ "link vector words"; cell_int r.lv_words ];
+  add_row t [ "GFT entries used"; cell_int r.gft_entries_used ];
+  add_row t [ "global frame overhead words"; cell_int r.global_frame_overhead_words ];
+  add_row t [ "call sites: 1-byte EFC"; cell_int r.call_sites.efc_one_byte ];
+  add_row t [ "call sites: 2-byte EFC"; cell_int r.call_sites.efc_two_byte ];
+  add_row t [ "call sites: LFC"; cell_int r.call_sites.lfc ];
+  add_row t [ "call sites: DFC"; cell_int r.call_sites.dfc ];
+  add_row t [ "call sites: SDFC"; cell_int r.call_sites.sdfc ];
+  add_row t [ "call sites: XF"; cell_int r.call_sites.xf ];
+  add_row t [ "call-site bytes"; cell_int (call_site_bytes r.call_sites) ];
+  Fpc_util.Tablefmt.render t

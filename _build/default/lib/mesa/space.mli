@@ -1,0 +1,35 @@
+(** Static space accounting over a linked image.
+
+    §5's design criterion is economy of space; §6's D1 prices DIRECTCALL
+    against it.  This module measures the real bytes an image spends on
+    code, tables and descriptors, and counts call-site encodings by form,
+    so experiments E2/E5/E13 report measured rather than hand-computed
+    numbers. *)
+
+type call_sites = {
+  efc_one_byte : int;  (** one-byte EXTERNALCALLs (LV index <= 15) *)
+  efc_two_byte : int;
+  lfc : int;
+  dfc : int;  (** four-byte DIRECTCALLs *)
+  sdfc : int;  (** three-byte SHORTDIRECTCALLs *)
+  xf : int;  (** raw XFERs (computed / coroutine transfers) *)
+}
+
+val call_site_bytes : call_sites -> int
+
+type report = {
+  code_bytes : int;  (** all code segments, EV and headers included *)
+  ev_bytes : int;
+  header_bytes : int;  (** two-byte DIRECTCALL landing pads *)
+  fsi_bytes : int;
+  body_bytes : int;
+  lv_words : int;
+  gft_entries_used : int;
+  global_frame_overhead_words : int;  (** code-base and LV-base words *)
+  call_sites : call_sites;
+}
+
+val measure : Image.t -> report
+
+val render : title:string -> report -> string
+(** A table for the experiment output. *)

@@ -1,0 +1,1 @@
+lib/regbank/bank_file.ml: Array Cost Fpc_frames Fpc_machine Fpc_util Hashtbl Memory Printf Result

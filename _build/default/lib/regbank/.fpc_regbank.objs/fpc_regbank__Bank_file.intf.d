@@ -1,0 +1,1 @@
+lib/regbank/bank_file.mli: Fpc_frames Fpc_machine

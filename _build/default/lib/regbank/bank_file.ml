@@ -1,0 +1,361 @@
+open Fpc_machine
+
+type pointer_policy = Flush_flagged | Divert
+
+type config = {
+  bank_count : int;
+  bank_words : int;
+  track_dirty : bool;
+  pointer_policy : pointer_policy;
+  divert_penalty_cycles : int;
+}
+
+let default_config =
+  {
+    bank_count = 4;
+    bank_words = 16;
+    track_dirty = true;
+    pointer_policy = Flush_flagged;
+    divert_penalty_cycles = 4;
+  }
+
+type owner = Free | Stack | Local of int
+
+type bank = {
+  id : int;
+  data : int array;
+  dirty : bool array;
+  mutable owner : owner;
+  mutable shadow_len : int;
+  mutable age : int;
+}
+
+type stats = {
+  xfers : int;
+  overflows : int;
+  underflows : int;
+  words_written_back : int;
+  words_loaded : int;
+  flush_events : int;
+  flagged_flushes : int;
+  diversions : int;
+  c2_violations : int;
+}
+
+type t = {
+  cfg : config;
+  mem : Memory.t;
+  cost : Cost.t;
+  ladder : Fpc_frames.Size_class.t;
+  banks : bank array;
+  by_frame : (int, int) Hashtbl.t;
+  flagged : (int, unit) Hashtbl.t;
+  mutable stack_bank : int option;
+  mutable clock : int;
+  mutable s_xfers : int;
+  mutable s_overflows : int;
+  mutable s_underflows : int;
+  mutable s_written_back : int;
+  mutable s_loaded : int;
+  mutable s_flush_events : int;
+  mutable s_flagged_flushes : int;
+  mutable s_diversions : int;
+  mutable s_c2 : int;
+}
+
+let create ?(config = default_config) ~mem ~cost ~ladder () =
+  if config.bank_count <= 0 || config.bank_words <= 0 then
+    invalid_arg "Bank_file.create: bad configuration";
+  {
+    cfg = config;
+    mem;
+    cost;
+    ladder;
+    banks =
+      Array.init config.bank_count (fun id ->
+          {
+            id;
+            data = Array.make config.bank_words 0;
+            dirty = Array.make config.bank_words false;
+            owner = Free;
+            shadow_len = 0;
+            age = 0;
+          });
+    by_frame = Hashtbl.create 16;
+    flagged = Hashtbl.create 16;
+    stack_bank = None;
+    clock = 0;
+    s_xfers = 0;
+    s_overflows = 0;
+    s_underflows = 0;
+    s_written_back = 0;
+    s_loaded = 0;
+    s_flush_events = 0;
+    s_flagged_flushes = 0;
+    s_diversions = 0;
+    s_c2 = 0;
+  }
+
+let config t = t.cfg
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* Write a bank's shadow back to its frame.  Dirty tracking lets the
+   machine skip registers that were never written (§7.1). *)
+let write_back t bank =
+  match bank.owner with
+  | Local lf ->
+    for i = 0 to bank.shadow_len - 1 do
+      if (not t.cfg.track_dirty) || bank.dirty.(i) then begin
+        Memory.write t.mem (lf + i) bank.data.(i);
+        t.s_written_back <- t.s_written_back + 1
+      end
+    done
+  | Free | Stack -> ()
+
+let detach t bank =
+  (match bank.owner with
+  | Local lf -> Hashtbl.remove t.by_frame lf
+  | Stack -> if t.stack_bank = Some bank.id then t.stack_bank <- None
+  | Free -> ());
+  bank.owner <- Free;
+  bank.shadow_len <- 0;
+  Array.fill bank.dirty 0 (Array.length bank.dirty) false
+
+(* Find a bank to use: a free one, else evict the oldest local bank.  The
+   current stack bank is never a victim.  Raises if every bank is the
+   stack bank (bank_count = 0 is rejected at create). *)
+let acquire t =
+  let free = Array.fold_left (fun acc b -> match acc with
+      | Some _ -> acc
+      | None -> if b.owner = Free then Some b else None) None t.banks
+  in
+  match free with
+  | Some b ->
+    b.age <- tick t;
+    b
+  | None ->
+    let victim =
+      Array.fold_left
+        (fun acc b ->
+          match b.owner with
+          | Local _ -> (
+            match acc with
+            | Some v when v.age <= b.age -> acc
+            | _ -> Some b)
+          | Stack | Free -> acc)
+        None t.banks
+    in
+    (match victim with
+    | None -> invalid_arg "Bank_file.acquire: no evictable bank"
+    | Some b ->
+      t.s_overflows <- t.s_overflows + 1;
+      write_back t b;
+      detach t b;
+      b.age <- tick t;
+      b)
+
+let shadow_len_for t ~payload_words = min t.cfg.bank_words payload_words
+
+let bank_of t ~lf =
+  match Hashtbl.find_opt t.by_frame lf with
+  | Some id -> Some t.banks.(id)
+  | None -> None
+
+let assign t bank ~lf ~payload_words =
+  bank.owner <- Local lf;
+  bank.shadow_len <- shadow_len_for t ~payload_words;
+  Array.fill bank.dirty 0 (Array.length bank.dirty) false;
+  Hashtbl.replace t.by_frame lf bank.id;
+  bank.age <- tick t
+
+let on_call t ~callee_lf ~payload_words ~args =
+  t.s_xfers <- t.s_xfers + 1;
+  (* Rename the stack bank (or a fresh one if no stack bank exists, e.g.
+     right after a flush) into the callee's local bank. *)
+  let bank =
+    match t.stack_bank with
+    | Some id ->
+      let b = t.banks.(id) in
+      t.stack_bank <- None;
+      b.age <- tick t;
+      b
+    | None -> acquire t
+  in
+  assign t bank ~lf:callee_lf ~payload_words;
+  Array.iteri
+    (fun i v ->
+      if i < bank.shadow_len then begin
+        bank.data.(i) <- v;
+        bank.dirty.(i) <- true
+      end
+      else
+        (* The argument record overflows the bank window: the excess words
+           go straight to the frame in storage. *)
+        Memory.write t.mem (callee_lf + i) v)
+    args;
+  (* A fresh stack bank for the callee's expression evaluation. *)
+  let sb = acquire t in
+  sb.owner <- Stack;
+  sb.shadow_len <- 0;
+  t.stack_bank <- Some sb.id
+
+let load_bank t bank ~lf =
+  for i = 0 to bank.shadow_len - 1 do
+    bank.data.(i) <- Memory.read t.mem (lf + i);
+    bank.dirty.(i) <- false;
+    t.s_loaded <- t.s_loaded + 1
+  done
+
+let ensure_bank t ~lf =
+  t.s_xfers <- t.s_xfers + 1;
+  match bank_of t ~lf with
+  | Some b -> b.age <- tick t
+  | None ->
+    t.s_underflows <- t.s_underflows + 1;
+    (* The frame's payload size comes from its fsi word — one storage
+       reference, part of the underflow cost. *)
+    let fsi = Memory.read t.mem (lf + Fpc_frames.Frame.off_fsi) in
+    let payload_words =
+      Fpc_frames.Size_class.block_words t.ladder fsi - Fpc_frames.Frame.overhead_words
+    in
+    let b = acquire t in
+    assign t b ~lf ~payload_words;
+    load_bank t b ~lf
+
+let release_frame t ~lf =
+  (match bank_of t ~lf with
+  | Some b -> detach t b
+  | None -> ());
+  Hashtbl.remove t.flagged lf
+
+let flag_frame t ~lf = Hashtbl.replace t.flagged lf ()
+let is_flagged t ~lf = Hashtbl.mem t.flagged lf
+
+let on_leave t ~lf =
+  match t.cfg.pointer_policy with
+  | Divert -> ()
+  | Flush_flagged -> (
+    if is_flagged t ~lf then
+      match bank_of t ~lf with
+      | Some b ->
+        t.s_flagged_flushes <- t.s_flagged_flushes + 1;
+        write_back t b;
+        detach t b
+      | None -> ())
+
+let flush_all t =
+  t.s_flush_events <- t.s_flush_events + 1;
+  Array.iter
+    (fun b ->
+      match b.owner with
+      | Local _ ->
+        write_back t b;
+        detach t b
+      | Stack -> detach t b
+      | Free -> ())
+    t.banks
+
+let read_local t ~lf ~index =
+  match bank_of t ~lf with
+  | Some b when index < b.shadow_len ->
+    Cost.bank_ref t.cost;
+    b.data.(index)
+  | Some _ | None -> Memory.read t.mem (lf + index)
+
+let write_local t ~lf ~index v =
+  let v = Fpc_util.Bits.to_word v in
+  match bank_of t ~lf with
+  | Some b when index < b.shadow_len ->
+    Cost.bank_ref t.cost;
+    b.data.(index) <- v;
+    b.dirty.(index) <- true
+  | Some _ | None -> Memory.write t.mem (lf + index) v
+
+(* Locate the shadowed window containing [addr], if any.  With at most
+   eight banks a linear scan is exactly the hardware comparator of §7.4. *)
+let window_of t addr =
+  let hit = ref None in
+  Array.iter
+    (fun b ->
+      match b.owner with
+      | Local lf when addr >= lf && addr < lf + b.shadow_len ->
+        hit := Some (b, addr - lf)
+      | Local _ | Stack | Free -> ())
+    t.banks;
+  !hit
+
+let data_read t ~addr =
+  match window_of t addr with
+  | None -> Memory.read t.mem addr
+  | Some (b, i) ->
+    (match t.cfg.pointer_policy with
+    | Flush_flagged -> t.s_c2 <- t.s_c2 + 1
+    | Divert -> ());
+    t.s_diversions <- t.s_diversions + 1;
+    Cost.bank_ref t.cost;
+    Cost.add_cycles t.cost t.cfg.divert_penalty_cycles;
+    b.data.(i)
+
+let data_write t ~addr v =
+  let v = Fpc_util.Bits.to_word v in
+  match window_of t addr with
+  | None -> Memory.write t.mem addr v
+  | Some (b, i) ->
+    (match t.cfg.pointer_policy with
+    | Flush_flagged -> t.s_c2 <- t.s_c2 + 1
+    | Divert -> ());
+    t.s_diversions <- t.s_diversions + 1;
+    Cost.bank_ref t.cost;
+    Cost.add_cycles t.cost t.cfg.divert_penalty_cycles;
+    b.data.(i) <- v;
+    b.dirty.(i) <- true
+
+let has_bank t ~lf = Hashtbl.mem t.by_frame lf
+let bank_id t ~lf = Hashtbl.find_opt t.by_frame lf
+
+let shadow_words t ~lf =
+  match bank_of t ~lf with
+  | None -> None
+  | Some b -> Some (Array.sub b.data 0 b.shadow_len)
+
+let stats t =
+  {
+    xfers = t.s_xfers;
+    overflows = t.s_overflows;
+    underflows = t.s_underflows;
+    words_written_back = t.s_written_back;
+    words_loaded = t.s_loaded;
+    flush_events = t.s_flush_events;
+    flagged_flushes = t.s_flagged_flushes;
+    diversions = t.s_diversions;
+    c2_violations = t.s_c2;
+  }
+
+let check_coherence t =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    Hashtbl.fold
+      (fun lf id acc ->
+        let* () = acc in
+        match t.banks.(id).owner with
+        | Local lf' when lf' = lf -> Ok ()
+        | _ -> Error (Printf.sprintf "by_frame maps %d to bank %d with wrong owner" lf id))
+      t.by_frame (Ok ())
+  in
+  let* () =
+    Array.fold_left
+      (fun acc b ->
+        let* () = acc in
+        match b.owner with
+        | Local lf when Hashtbl.find_opt t.by_frame lf <> Some b.id ->
+          Error (Printf.sprintf "bank %d owns frame %d but map disagrees" b.id lf)
+        | _ -> Ok ())
+      (Ok ()) t.banks
+  in
+  match t.stack_bank with
+  | Some id when t.banks.(id).owner <> Stack ->
+    Error (Printf.sprintf "stack bank %d has non-stack owner" id)
+  | _ -> Ok ()

@@ -1,0 +1,125 @@
+(** The register-bank file of §7.
+
+    A small number of register banks (4–8 of ~16 words) each shadow the
+    first words of some local frame.  The evaluation stack also lives in a
+    bank; on a call that bank is {e renamed} to become the callee's local
+    bank, so "the arguments will automatically appear as the first few
+    local variables, without any actual data movement" (§7.2, after
+    Patterson).  On return the freed frame's bank is released — "its
+    contents are unimportant, and never need to be saved in storage".
+
+    Overflow (a frame needs a bank and none is free) writes the {e oldest}
+    bank out to its frame; underflow (an XFER lands on a frame with no
+    bank) assigns and loads one.  §7.1 reports both happen on under 5 % of
+    XFERs with four banks — experiment E6 sweeps this.
+
+    Coherence invariant: while a frame is shadowed, the bank holds the
+    truth for its first [shadow_len] words and the frame's storage copy is
+    stale; an unshadowed frame is authoritative in storage.  Eviction,
+    flush and flagged-frame exits restore storage; release (frame freed)
+    discards the bank contents.
+
+    Pointers to locals (§7.4) are served two ways, chosen by
+    [pointer_policy]:
+    - [Flush_flagged]: frames whose address has been taken (LLA) are
+      flushed whenever control leaves them and reloaded on re-entry, so
+      ordinary storage instructions see correct data from outside; a
+      pointer dereference that hits a {e currently shadowed} frame (a
+      same-context pointer, which Pascal-level languages can outlaw) is
+      still diverted for safety and counted as a C2 violation.
+    - [Divert]: every data reference into the frame region is compared
+      against the banks and diverted to the matching register, at
+      [divert_penalty_cycles] apiece. *)
+
+type pointer_policy = Flush_flagged | Divert
+
+type config = {
+  bank_count : int;
+  bank_words : int;
+  track_dirty : bool;
+      (** "keep track of which registers have been written, to avoid the
+          cost of dumping registers which have never been written" *)
+  pointer_policy : pointer_policy;
+  divert_penalty_cycles : int;
+}
+
+val default_config : config
+(** 4 banks of 16 words, dirty tracking on, [Flush_flagged], penalty 4. *)
+
+type t
+
+val create :
+  ?config:config ->
+  mem:Fpc_machine.Memory.t ->
+  cost:Fpc_machine.Cost.t ->
+  ladder:Fpc_frames.Size_class.t ->
+  unit ->
+  t
+
+val config : t -> config
+
+(** {1 Transfer-path hooks (called by the transfer engine)} *)
+
+val on_call : t -> callee_lf:int -> payload_words:int -> args:int array -> unit
+(** Rename the current stack bank into the callee's local bank, deposit the
+    argument record in its first words (words beyond the shadow spill to
+    storage), and acquire a fresh stack bank.  May evict. *)
+
+val ensure_bank : t -> lf:int -> unit
+(** Transfer-in: if [lf] has no bank, assign one (possibly evicting) and
+    load it from storage — the underflow path.  The shadow window size is
+    recovered from the frame's fsi word (one storage reference). *)
+
+val release_frame : t -> lf:int -> unit
+(** The frame was freed: drop its bank with no write-back. *)
+
+val on_leave : t -> lf:int -> unit
+(** Control is leaving [lf]'s context by a transfer that keeps the frame
+    alive.  Under [Flush_flagged], a flagged frame is written back and its
+    bank released. *)
+
+val flush_all : t -> unit
+(** Process switch or trap: write every bank back and free them all. *)
+
+val flag_frame : t -> lf:int -> unit
+(** A pointer to one of [lf]'s locals now exists (LLA executed). *)
+
+val is_flagged : t -> lf:int -> bool
+
+(** {1 Data paths} *)
+
+val read_local : t -> lf:int -> index:int -> int
+(** Local variable read: bank reference if shadowed, else storage. *)
+
+val write_local : t -> lf:int -> index:int -> int -> unit
+
+val data_read : t -> addr:int -> int
+(** Pointer dereference (RLOAD): diverted to a bank when [addr] falls in a
+    shadowed frame's window, else a storage read. *)
+
+val data_write : t -> addr:int -> int -> unit
+
+val has_bank : t -> lf:int -> bool
+val bank_id : t -> lf:int -> int option
+
+val shadow_words : t -> lf:int -> int array option
+(** Copy of the shadowed window (tests). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  xfers : int;  (** on_call + ensure_bank invocations *)
+  overflows : int;  (** evictions to make room *)
+  underflows : int;  (** loads of unshadowed frames on transfer-in *)
+  words_written_back : int;
+  words_loaded : int;
+  flush_events : int;
+  flagged_flushes : int;
+  diversions : int;
+  c2_violations : int;  (** same-context pointer hits under Flush_flagged *)
+}
+
+val stats : t -> stats
+
+val check_coherence : t -> (unit, string) result
+(** Verify internal maps and bank ownership are consistent (tests). *)

@@ -1,0 +1,56 @@
+type t = {
+  cells : (int, int ref) Hashtbl.t;
+  mutable count : int;
+  mutable total : int;
+}
+
+let create () = { cells = Hashtbl.create 64; count = 0; total = 0 }
+
+let add_many t v ~count =
+  if count < 0 then invalid_arg "Histogram.add_many: negative count";
+  (match Hashtbl.find_opt t.cells v with
+  | Some r -> r := !r + count
+  | None -> Hashtbl.add t.cells v (ref count));
+  t.count <- t.count + count;
+  t.total <- t.total + (v * count)
+
+let add t v = add_many t v ~count:1
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
+
+let to_sorted_list t =
+  Hashtbl.fold (fun v r acc -> (v, !r) :: acc) t.cells []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let min_value t =
+  match to_sorted_list t with
+  | [] -> invalid_arg "Histogram.min_value: empty"
+  | (v, _) :: _ -> v
+
+let max_value t =
+  match List.rev (to_sorted_list t) with
+  | [] -> invalid_arg "Histogram.max_value: empty"
+  | (v, _) :: _ -> v
+
+let percentile t p =
+  if t.count = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: bad p";
+  let threshold = p /. 100.0 *. float_of_int t.count in
+  let rec scan seen = function
+    | [] -> max_value t
+    | (v, c) :: rest ->
+      let seen = seen + c in
+      if float_of_int seen >= threshold then v else scan seen rest
+  in
+  scan 0 (to_sorted_list t)
+
+let fraction_le t v =
+  if t.count = 0 then 0.0
+  else begin
+    let seen = ref 0 in
+    Hashtbl.iter (fun value r -> if value <= v then seen := !seen + !r) t.cells;
+    float_of_int !seen /. float_of_int t.count
+  end
+
+let iter t f = List.iter (fun (v, c) -> f v c) (to_sorted_list t)

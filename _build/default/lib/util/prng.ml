@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64: fast, well distributed, and trivially portable; exactly the
+   reference constants. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod bound
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t ~bound:(hi - lo + 1)
+
+let float t = Stdlib.float_of_int (next t) /. 4611686018427387904.0
+let bool t = next t land 1 = 1
+let chance t ~p = float t < p
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t ~bound:(Array.length arr))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Prng.weighted: weights sum to zero";
+  let x = float t *. total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Prng.weighted: empty list"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+  in
+  pick 0.0 choices
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric";
+  let rec loop n = if chance t ~p then n else loop (n + 1) in
+  loop 0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

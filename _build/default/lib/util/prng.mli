@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every workload generator in the reproduction draws from this PRNG so
+    experiment tables are bit-for-bit reproducible across runs.  The state
+    is explicit; there is no hidden global. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** A fresh generator.  Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** An independent generator with the same current state. *)
+
+val next : t -> int
+(** The next raw value, a non-negative 62-bit integer. *)
+
+val int : t -> bound:int -> int
+(** Uniform integer in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform integer in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val chance : t -> p:float -> bool
+(** True with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val weighted : t -> (float * 'a) list -> 'a
+(** Choice from a non-empty list of (weight, value) pairs, with probability
+    proportional to weight.  Weights must be non-negative and not all zero. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success of a Bernoulli([p]) trial;
+    mean [(1-p)/p].  Requires [0 < p <= 1]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,68 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : string list list;
+  mutable notes : string list;
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Tablefmt.add_row: expected %d cells, got %d"
+         (List.length t.columns) (List.length row));
+  t.rows <- row :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render t =
+  let headers = List.map fst t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let aligns = List.map snd t.columns in
+  let fmt_row cells =
+    let padded =
+      List.map2 (fun (cell, align) w -> pad align w cell)
+        (List.combine cells aligns) widths
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (fmt_row headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (fmt_row row ^ "\n")) rows;
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter
+    (fun note -> Buffer.add_string buf ("  note: " ^ note ^ "\n"))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+let cell_int n = string_of_int n
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+let cell_pct ?(decimals = 1) f = Printf.sprintf "%.*f%%" decimals (100.0 *. f)
+let cell_ratio ?(decimals = 2) f = Printf.sprintf "%.*fx" decimals f

@@ -1,0 +1,34 @@
+(** Aligned plain-text tables for experiment output.
+
+    Every experiment in the reproduction renders its result as one of these
+    tables, so EXPERIMENTS.md, [bench/main.exe] and [bin/fpc.exe] share one
+    formatting path. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** A table with the given title and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Raises [Invalid_argument] on column-count mismatch. *)
+
+val add_note : t -> string -> unit
+(** Append a free-form note printed under the table. *)
+
+val render : t -> string
+(** The table as a string, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+(** Cell formatting helpers, so experiments format numbers uniformly. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_pct : ?decimals:int -> float -> string
+(** [cell_pct f] renders the fraction [f] as a percentage, e.g. 0.95 -> "95.0%". *)
+
+val cell_ratio : ?decimals:int -> float -> string
+(** e.g. 3.2 -> "3.2x". *)

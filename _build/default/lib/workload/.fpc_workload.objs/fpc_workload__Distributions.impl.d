@@ -1,0 +1,1 @@
+lib/workload/distributions.ml: Fpc_util Histogram Prng

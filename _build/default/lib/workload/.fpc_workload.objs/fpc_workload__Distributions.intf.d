@@ -1,0 +1,1 @@
+lib/workload/distributions.mli: Fpc_util

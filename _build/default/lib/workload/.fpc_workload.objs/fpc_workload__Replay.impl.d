@@ -1,0 +1,1 @@
+lib/workload/replay.ml: Alloc_vector Array Cost Fpc_baseline Fpc_frames Fpc_ifu Fpc_machine Fpc_regbank Frame Hashtbl List Memory Return_stack Size_class Stack_machine Synthetic

@@ -1,0 +1,1 @@
+lib/workload/replay.mli: Fpc_baseline Fpc_frames Fpc_regbank Synthetic

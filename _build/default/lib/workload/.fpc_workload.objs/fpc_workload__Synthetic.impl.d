@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Distributions Fpc_util List Prng

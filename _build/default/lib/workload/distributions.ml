@@ -1,0 +1,22 @@
+let paper_call_density = 10.0
+let paper_frame_p95_words = 40
+
+(* Mixture: mostly small frames (a handful of locals), a modest band of
+   medium frames, and a rare large tail.  Calibrated so the 95th
+   percentile is 40 words. *)
+let frame_payload_words rng =
+  let open Fpc_util in
+  let bucket = Prng.float rng in
+  if bucket < 0.70 then Prng.int_in rng ~lo:2 ~hi:12
+  else if bucket < 0.95 then Prng.int_in rng ~lo:13 ~hi:40
+  else if bucket < 0.995 then Prng.int_in rng ~lo:41 ~hi:200
+  else Prng.int_in rng ~lo:201 ~hi:1000
+
+let sample_histogram ~seed ~samples =
+  let open Fpc_util in
+  let rng = Prng.create ~seed in
+  let h = Histogram.create () in
+  for _ = 1 to samples do
+    Histogram.add h (frame_payload_words rng)
+  done;
+  h

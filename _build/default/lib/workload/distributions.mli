@@ -1,0 +1,21 @@
+(** Empirical distributions quoted by the paper, synthesised.
+
+    §7.1: "Mesa statistics suggest that 95% of all frames allocated are
+    smaller than 80 bytes" (40 of our 16-bit words).  The frame-size
+    sampler below is a mixture calibrated so its 95th percentile sits at
+    40 words, with a realistic small-frame mode and a long tail up to a
+    few KB.  §1: "one call or return for every 10 instructions executed is
+    not uncommon". *)
+
+val frame_payload_words : Fpc_util.Prng.t -> int
+(** Sample a frame payload (arguments + locals), in words; P95 = 40. *)
+
+val sample_histogram :
+  seed:int -> samples:int -> Fpc_util.Histogram.t
+(** A histogram of {!frame_payload_words} draws. *)
+
+val paper_call_density : float
+(** Instructions per call-or-return the paper quotes (10.0). *)
+
+val paper_frame_p95_words : int
+(** 40 (= 80 bytes). *)

@@ -1,0 +1,433 @@
+let fib =
+  {|
+MODULE Main;
+PROC fib(n: INT): INT =
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+PROC main() =
+  OUTPUT fib(14);
+END;
+END;
+|}
+
+let ackermann =
+  {|
+MODULE Main;
+PROC ack(m: INT, n: INT): INT =
+  IF m = 0 THEN RETURN n + 1; END;
+  IF n = 0 THEN RETURN ack(m - 1, 1); END;
+  RETURN ack(m - 1, ack(m, n - 1));
+END;
+PROC main() =
+  OUTPUT ack(2, 5);
+  OUTPUT ack(3, 3);
+END;
+END;
+|}
+
+let sieve =
+  {|
+MODULE Main;
+PROC sieve(n: INT): INT =
+  VAR flags: ARRAY 180 OF INT;
+  VAR i: INT := 0;
+  VAR count: INT := 0;
+  WHILE i < n DO
+    flags[i] := 1;
+    i := i + 1;
+  END;
+  i := 2;
+  WHILE i < n DO
+    IF flags[i] = 1 THEN
+      count := count + 1;
+      VAR j: INT := i + i;
+      WHILE j < n DO
+        flags[j] := 0;
+        j := j + i;
+      END;
+    END;
+    i := i + 1;
+  END;
+  RETURN count;
+END;
+PROC main() =
+  OUTPUT sieve(180);
+END;
+END;
+|}
+
+let isort =
+  {|
+MODULE Main;
+PROC main() =
+  VAR a: ARRAY 40 OF INT;
+  VAR seed: INT := 1234;
+  VAR i: INT := 0;
+  WHILE i < 40 DO
+    seed := (seed * 31 + 17) MOD 997;
+    a[i] := seed;
+    i := i + 1;
+  END;
+  i := 1;
+  WHILE i < 40 DO
+    VAR key: INT := a[i];
+    VAR j: INT := i;
+    VAR moving: BOOL := TRUE;
+    WHILE moving DO
+      IF j > 0 THEN
+        IF a[j - 1] > key THEN
+          a[j] := a[j - 1];
+          j := j - 1;
+        ELSE
+          moving := FALSE;
+        END;
+      ELSE
+        moving := FALSE;
+      END;
+    END;
+    a[j] := key;
+    i := i + 1;
+  END;
+  OUTPUT a[0];
+  OUTPUT a[39];
+  VAR sum: INT := 0;
+  i := 0;
+  WHILE i < 40 DO
+    sum := (sum + a[i]) MOD 10000;
+    i := i + 1;
+  END;
+  OUTPUT sum;
+END;
+END;
+|}
+
+let callchain =
+  {|
+MODULE CLeaf;
+VAR hits: INT := 0;
+PROC leaf(x: INT): INT =
+  hits := hits + 1;
+  RETURN x + 1;
+END;
+PROC count(): INT =
+  RETURN hits;
+END;
+END;
+
+MODULE BMid;
+IMPORT CLeaf;
+PROC step(x: INT): INT =
+  RETURN CLeaf.leaf(x) + CLeaf.leaf(x + 1);
+END;
+END;
+
+MODULE AMid;
+IMPORT BMid;
+PROC step(x: INT): INT =
+  RETURN BMid.step(x) + 1;
+END;
+END;
+
+MODULE Main;
+IMPORT AMid, CLeaf;
+PROC main() =
+  VAR i: INT := 0;
+  VAR acc: INT := 0;
+  WHILE i < 300 DO
+    acc := (acc + AMid.step(i)) MOD 10000;
+    i := i + 1;
+  END;
+  OUTPUT acc;
+  OUTPUT CLeaf.count();
+END;
+END;
+|}
+
+let leafcalls =
+  {|
+MODULE Leaf;
+PROC bump(x: INT): INT =
+  RETURN x + 1;
+END;
+END;
+
+MODULE Main;
+IMPORT Leaf;
+VAR total: INT := 0;
+PROC main() =
+  VAR i: INT := 0;
+  WHILE i < 2000 DO
+    total := (total + Leaf.bump(i)) MOD 30000;
+    i := i + 1;
+  END;
+  OUTPUT total;
+END;
+END;
+|}
+
+let coroutine =
+  {|
+MODULE Main;
+PROC producer(start: INT) =
+  VAR who: CONTEXT := RETCTX;
+  VAR n: INT := start;
+  WHILE TRUE DO
+    TRANSFER(who, n * n);
+    who := RETCTX;
+    n := n + 1;
+  END;
+END;
+PROC main() =
+  VAR sum: INT := 0;
+  VAR i: INT := 1;
+  VAR v: INT := TRANSFER(@producer, 1);
+  VAR co: CONTEXT := RETCTX;
+  sum := v;
+  WHILE i < 20 DO
+    v := TRANSFER(co, 0);
+    co := RETCTX;
+    sum := sum + v;
+    i := i + 1;
+  END;
+  OUTPUT sum;
+END;
+END;
+|}
+
+let processes =
+  {|
+MODULE Main;
+VAR finished: INT := 0;
+PROC worker(id: INT, items: INT) =
+  VAR i: INT := 0;
+  WHILE i < items DO
+    OUTPUT id * 100 + i;
+    i := i + 1;
+    YIELD;
+  END;
+  finished := finished + 1;
+END;
+PROC main() =
+  FORK worker(1, 3);
+  FORK worker(2, 3);
+  FORK worker(3, 3);
+  WHILE finished < 3 DO
+    YIELD;
+  END;
+  OUTPUT finished;
+END;
+END;
+|}
+
+let mixed =
+  {|
+MODULE Main;
+PROC gcd(a: INT, b: INT): INT =
+  WHILE b # 0 DO
+    VAR t: INT := b;
+    b := a MOD b;
+    a := t;
+  END;
+  RETURN a;
+END;
+PROC step(VAR n: INT, VAR steps: INT) =
+  IF n MOD 2 = 0 THEN
+    n := n / 2;
+  ELSE
+    n := 3 * n + 1;
+  END;
+  steps := steps + 1;
+END;
+PROC collatz(n0: INT): INT =
+  VAR n: INT := n0;
+  VAR s: INT := 0;
+  WHILE n # 1 DO
+    step(n, s);
+  END;
+  RETURN s;
+END;
+PROC main() =
+  OUTPUT gcd(8064, 3528);
+  OUTPUT collatz(27);
+  OUTPUT gcd(collatz(97), 30);
+END;
+END;
+|}
+
+let deep =
+  {|
+MODULE Main;
+PROC depth(n: INT): INT =
+  IF n = 0 THEN
+    RETURN 0;
+  END;
+  RETURN depth(n - 1) + 1;
+END;
+PROC main() =
+  OUTPUT depth(200);
+END;
+END;
+|}
+
+let hanoi =
+  {|
+MODULE Main;
+VAR moves: INT := 0;
+PROC solve(n: INT, src: INT, dst: INT, via: INT) =
+  IF n = 0 THEN
+    RETURN;
+  END;
+  solve(n - 1, src, via, dst);
+  moves := moves + 1;
+  solve(n - 1, via, dst, src);
+END;
+PROC main() =
+  solve(7, 1, 3, 2);
+  OUTPUT moves;
+END;
+END;
+|}
+
+let bsearch =
+  {|
+MODULE Main;
+PROC main() =
+  VAR a: ARRAY 64 OF INT;
+  VAR i: INT := 0;
+  WHILE i < 64 DO
+    a[i] := i * 3 + 1;
+    i := i + 1;
+  END;
+  VAR probes: INT := 0;
+  VAR target: INT := 0;
+  WHILE target < 192 DO
+    VAR lo: INT := 0;
+    VAR hi: INT := 63;
+    VAR found: INT := 0;
+    WHILE lo <= hi DO
+      VAR mid: INT := (lo + hi) / 2;
+      probes := probes + 1;
+      IF a[mid] = target THEN
+        found := 1;
+        lo := hi + 1;
+      ELSE
+        IF a[mid] < target THEN
+          lo := mid + 1;
+        ELSE
+          hi := mid - 1;
+        END;
+      END;
+    END;
+    IF found = 1 THEN
+      OUTPUT target;
+    END;
+    target := target + 37;
+  END;
+  OUTPUT probes;
+END;
+END;
+|}
+
+let matmul =
+  {|
+MODULE Main;
+VAR a: ARRAY 36 OF INT;
+VAR b: ARRAY 36 OF INT;
+VAR c: ARRAY 36 OF INT;
+PROC idx(r: INT, col: INT): INT =
+  RETURN r * 6 + col;
+END;
+PROC main() =
+  VAR i: INT := 0;
+  WHILE i < 36 DO
+    a[i] := i MOD 7;
+    b[i] := (i * 5) MOD 11;
+    i := i + 1;
+  END;
+  VAR r: INT := 0;
+  WHILE r < 6 DO
+    VAR col: INT := 0;
+    WHILE col < 6 DO
+      VAR acc: INT := 0;
+      VAR k: INT := 0;
+      WHILE k < 6 DO
+        acc := acc + a[idx(r, k)] * b[idx(k, col)];
+        k := k + 1;
+      END;
+      c[idx(r, col)] := acc;
+      col := col + 1;
+    END;
+    r := r + 1;
+  END;
+  VAR sum: INT := 0;
+  i := 0;
+  WHILE i < 36 DO
+    sum := (sum + c[i]) MOD 10000;
+    i := i + 1;
+  END;
+  OUTPUT sum;
+  OUTPUT c[0];
+  OUTPUT c[35];
+END;
+END;
+|}
+
+let knapsack =
+  {|
+MODULE Main;
+VAR weight: ARRAY 8 OF INT;
+VAR value: ARRAY 8 OF INT;
+PROC best(i: INT, cap: INT): INT =
+  IF i = 8 THEN
+    RETURN 0;
+  END;
+  VAR skip: INT := best(i + 1, cap);
+  IF weight[i] > cap THEN
+    RETURN skip;
+  END;
+  VAR take: INT := value[i] + best(i + 1, cap - weight[i]);
+  IF take > skip THEN
+    RETURN take;
+  END;
+  RETURN skip;
+END;
+PROC main() =
+  VAR i: INT := 0;
+  WHILE i < 8 DO
+    weight[i] := (i * 7) MOD 9 + 1;
+    value[i] := (i * 11) MOD 13 + 2;
+    i := i + 1;
+  END;
+  OUTPUT best(0, 15);
+END;
+END;
+|}
+
+let all =
+  [
+    ("fib", fib);
+    ("ackermann", ackermann);
+    ("sieve", sieve);
+    ("isort", isort);
+    ("callchain", callchain);
+    ("leafcalls", leafcalls);
+    ("coroutine", coroutine);
+    ("processes", processes);
+    ("mixed", mixed);
+    ("deep", deep);
+    ("hanoi", hanoi);
+    ("bsearch", bsearch);
+    ("matmul", matmul);
+    ("knapsack", knapsack);
+  ]
+
+let find name = List.assoc name all
+let names = List.map fst all
+let call_intensive = [ "fib"; "ackermann"; "callchain"; "leafcalls"; "deep"; "hanoi"; "knapsack" ]
+
+let sequential =
+  [
+    "fib"; "ackermann"; "sieve"; "isort"; "callchain"; "leafcalls"; "mixed";
+    "deep"; "hanoi"; "bsearch"; "matmul"; "knapsack";
+  ]

@@ -1,0 +1,22 @@
+(** The benchmark-program suite: mini-Mesa sources exercising the paper's
+    workload space — recursion, cross-module call chains, array crunching,
+    coroutines, processes, VAR-parameter pointers, and deep call stacks.
+
+    Every program defines [Main.main()] taking no arguments and OUTPUTs a
+    deterministic sequence of words, so differential runs across engines
+    and linkages can compare behaviour exactly. *)
+
+val all : (string * string) list
+(** (name, source) pairs, in a stable order. *)
+
+val find : string -> string
+(** Raises [Not_found]. *)
+
+val names : string list
+
+val call_intensive : string list
+(** Subset suited to call-cost experiments (E1, E3, E10). *)
+
+val sequential : string list
+(** Programs without FORK/YIELD (usable where process switches would
+    perturb the measurement). *)

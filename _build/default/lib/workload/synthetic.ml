@@ -1,0 +1,86 @@
+type event = Call of int | Return | Coroutine_switch | Process_switch
+
+type profile = {
+  target_depth : int;
+  pull : float;
+  run_bias : float;
+  leaf_rate : float;
+  coroutine_rate : float;
+  process_rate : float;
+  max_depth : int;
+}
+
+let default_profile =
+  {
+    target_depth = 8;
+    pull = 0.25;
+    run_bias = 0.1;
+    leaf_rate = 0.6;
+    coroutine_rate = 0.0;
+    process_rate = 0.0;
+    max_depth = 64;
+  }
+
+let generate ~seed ?(profile = default_profile) ~length () =
+  let open Fpc_util in
+  let rng = Prng.create ~seed in
+  let depth = ref 1 in
+  let last_was_call = ref true in
+  let events = ref [] in
+  let pending_leaf_return = ref false in
+  for _ = 1 to length do
+    let event =
+      if !pending_leaf_return then begin
+        pending_leaf_return := false;
+        Return
+      end
+      else if Prng.chance rng ~p:profile.process_rate then Process_switch
+      else if Prng.chance rng ~p:profile.coroutine_rate then Coroutine_switch
+      else if
+        (* Leaf call/return pairs: the dominant pattern of procedure-heavy
+           code — call a small leaf, come straight back. *)
+        Prng.chance rng ~p:profile.leaf_rate && !depth < profile.max_depth
+      then begin
+        pending_leaf_return := true;
+        Call (Distributions.frame_payload_words rng)
+      end
+      else begin
+        let p_call =
+          if Prng.chance rng ~p:profile.run_bias then
+            if !last_was_call then 1.0 else 0.0
+          else begin
+            let drift =
+              profile.pull *. float_of_int (profile.target_depth - !depth)
+            in
+            min 0.95 (max 0.05 (0.5 +. drift))
+          end
+        in
+        if (Prng.chance rng ~p:p_call || !depth <= 1) && !depth < profile.max_depth
+        then Call (Distributions.frame_payload_words rng)
+        else Return
+      end
+    in
+    (match event with
+    | Call _ ->
+      incr depth;
+      last_was_call := true
+    | Return ->
+      decr depth;
+      last_was_call := false
+    | Coroutine_switch | Process_switch -> ());
+    events := event :: !events
+  done;
+  List.rev !events
+
+let depth_profile events =
+  let h = Fpc_util.Histogram.create () in
+  let depth = ref 1 in
+  List.iter
+    (fun e ->
+      (match e with
+      | Call _ -> incr depth
+      | Return -> decr depth
+      | Coroutine_switch | Process_switch -> ());
+      Fpc_util.Histogram.add h !depth)
+    events;
+  h

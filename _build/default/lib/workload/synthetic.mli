@@ -1,0 +1,38 @@
+(** Synthetic transfer traces.
+
+    A trace is the sequence of control transfers a running program would
+    produce, abstracted away from code: calls (with the new frame's payload
+    size), returns, coroutine transfers, and process switches.  The
+    generator models call depth as a mean-reverting random walk — §7.1's
+    observation that "long runs of calls nearly uninterrupted by returns,
+    or vice versa, are quite rare" — with an optional run-bias knob to
+    create exactly those pathological runs for the sweeps in E6. *)
+
+type event =
+  | Call of int  (** payload words of the new frame *)
+  | Return
+  | Coroutine_switch  (** XFER to another live context *)
+  | Process_switch
+
+type profile = {
+  target_depth : int;  (** the walk reverts toward this depth *)
+  pull : float;  (** strength of reversion (0 = pure random walk) *)
+  run_bias : float;  (** probability of repeating the previous call/return *)
+  leaf_rate : float;
+      (** probability of an immediate call/return pair — the dominant
+          pattern of leaf-procedure-heavy code *)
+  coroutine_rate : float;  (** per-event probability of a coroutine switch *)
+  process_rate : float;
+  max_depth : int;
+}
+
+val default_profile : profile
+(** depth 8, pull 0.25, run_bias 0.1, leaf_rate 0.6, no coroutines or
+    processes — calibrated so bank behaviour matches the compiled suite. *)
+
+val generate : seed:int -> ?profile:profile -> length:int -> unit -> event list
+(** Frame payloads are drawn from {!Distributions.frame_payload_words}.
+    Depth never leaves [1, max_depth]. *)
+
+val depth_profile : event list -> Fpc_util.Histogram.t
+(** Distribution of call depth over the trace. *)

@@ -1,0 +1,14 @@
+  $ fpc run fib 2>/dev/null
+  $ fpc run mixed -e i4 2>/dev/null
+  $ fpc suite | head -4
+  $ cat > tiny.fpc <<'SRC'
+  > MODULE Main;
+  > PROC main() =
+  >   OUTPUT 6 * 7;
+  > END;
+  > END;
+  > SRC
+  $ fpc disasm tiny.fpc
+  $ fpc run tiny.fpc 2>/dev/null
+  $ fpc run no_such_program 2>&1 | head -1
+  $ fpc experiment E10 2>/dev/null | head -2

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Buffer Fpc_compiler Fpc_core Fpc_interp Fpc_lang Fpc_util List Printf QCheck QCheck_alcotest String

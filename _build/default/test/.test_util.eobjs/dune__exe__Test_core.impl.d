@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cost Fpc_core Fpc_frames Fpc_ifu Fpc_machine Fpc_regbank Fun Gen Hashtbl List Memory Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Fpc_experiments Lazy List String

@@ -1,0 +1,1 @@
+test/test_frames.ml: Alcotest Alloc_vector Array Cost Fpc_frames Fpc_machine Frame Gen List Memory Printf QCheck QCheck_alcotest Size_class

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Bytes Char Fpc_core Fpc_interp Fpc_isa Fpc_machine Fpc_mesa Hashtbl List Opcode

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Buffer Builder Bytes Char Disasm Fpc_isa Gen List Opcode Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Buffer Fpc_compiler Fpc_core Fpc_lang Lexer List Parser Pretty Printf QCheck QCheck_alcotest String Typecheck

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes Cache Cost Fpc_machine Gen List Memory Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mesa.ml: Alcotest Compiled Cost Descriptor Fpc_frames Fpc_isa Fpc_machine Fpc_mesa Gft Image Layout Linker List Memory Printf QCheck QCheck_alcotest Space String

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Fpc_compiler Fpc_core Fpc_interp Fpc_mesa Fpc_regbank Fpc_workload List

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Fpc_util Fun Gen Hashtbl Histogram List Option Prng QCheck QCheck_alcotest String Tablefmt

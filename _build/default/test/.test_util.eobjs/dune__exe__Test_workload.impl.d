@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fpc_baseline Fpc_compiler Fpc_core Fpc_interp Fpc_machine Fpc_util Fpc_workload List Printf QCheck QCheck_alcotest Stack_machine

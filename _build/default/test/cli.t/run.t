@@ -1,0 +1,50 @@
+The fpc binary end to end.  Run a suite program:
+
+  $ fpc run fib 2>/dev/null
+  377
+
+Pick an engine:
+
+  $ fpc run mixed -e i4 2>/dev/null
+  504
+  111
+  2
+
+List the built-in suite:
+
+  $ fpc suite | head -4
+  fib
+  ackermann
+  sieve
+  isort
+
+Disassemble a tiny program:
+
+  $ cat > tiny.fpc <<'SRC'
+  > MODULE Main;
+  > PROC main() =
+  >   OUTPUT 6 * 7;
+  > END;
+  > END;
+  > SRC
+  $ fpc disasm tiny.fpc
+  MODULE Main (globals 1 words, 0 imports)
+  PROC main (args 0, frame payload 1 words, 5 bytes)
+      0: LI 6
+      1: LI 7
+      2: MUL
+      3: OUT
+      4: RET
+  $ fpc run tiny.fpc 2>/dev/null
+  42
+
+Unknown programs fail cleanly:
+
+  $ fpc run no_such_program 2>&1 | head -1
+  fpc: no_such_program: not a file and not a suite program (suite: fib, ackermann, sieve, isort, callchain, leafcalls, coroutine, processes, mixed, deep, hanoi, bsearch, matmul, knapsack)
+
+An experiment renders:
+
+  $ fpc experiment E10 2>/dev/null | head -2
+  ### E10 [call_density] One call or return per ~10 instructions
+  paper: one call or return for every 10 instructions executed (§1)

@@ -1,0 +1,598 @@
+(* Source-level end-to-end tests: parse -> check -> lower -> codegen ->
+   link -> run, under every engine. *)
+
+let fib_src =
+  {|
+MODULE Main;
+PROC fib(n: INT): INT =
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+PROC main() =
+  OUTPUT fib(12);
+END;
+END;
+|}
+
+let cross_module_src =
+  {|
+MODULE Math;
+VAR calls: INT := 0;
+PROC square(x: INT): INT =
+  calls := calls + 1;
+  RETURN x * x;
+END;
+PROC count(): INT =
+  RETURN calls;
+END;
+END;
+
+MODULE Main;
+IMPORT Math;
+PROC main() =
+  OUTPUT Math.square(7);
+  OUTPUT Math.square(3);
+  OUTPUT Math.count();
+END;
+END;
+|}
+
+let var_param_src =
+  {|
+MODULE Main;
+PROC bump(VAR x: INT, by: INT) =
+  x := x + by;
+END;
+PROC main() =
+  VAR v: INT := 10;
+  bump(v, 5);
+  bump(v, 1);
+  OUTPUT v;
+END;
+END;
+|}
+
+let coroutine_src =
+  {|
+MODULE Main;
+VAR co: CONTEXT;
+PROC counter(start: INT) =
+  VAR n: INT := start;
+  VAR caller: CONTEXT := RETCTX;
+  WHILE TRUE DO
+    TRANSFER(caller, n);
+    caller := RETCTX;
+    n := n + 1;
+  END;
+END;
+PROC main() =
+  OUTPUT TRANSFER(@counter, 100);
+  co := RETCTX;
+  OUTPUT TRANSFER(co, 0);
+  co := RETCTX;
+  OUTPUT TRANSFER(co, 0);
+END;
+END;
+|}
+
+let process_src =
+  {|
+MODULE Main;
+VAR done: INT := 0;
+PROC worker(id: INT, n: INT) =
+  VAR i: INT := 0;
+  WHILE i < n DO
+    OUTPUT id * 100 + i;
+    i := i + 1;
+    YIELD;
+  END;
+  done := done + 1;
+END;
+PROC main() =
+  FORK worker(1, 2);
+  FORK worker(2, 2);
+  WHILE done < 2 DO
+    YIELD;
+  END;
+  OUTPUT done;
+END;
+END;
+|}
+
+let nested_call_src =
+  {|
+MODULE Main;
+PROC add(a: INT, b: INT): INT =
+  RETURN a + b;
+END;
+PROC main() =
+  OUTPUT add(add(1, 2), add(3, add(4, 5)));
+END;
+END;
+|}
+
+let engines =
+  [
+    ("I1", Fpc_core.Engine.i1);
+    ("I2", Fpc_core.Engine.i2);
+    ("I3", Fpc_core.Engine.i3 ());
+    ("I4", Fpc_core.Engine.i4 ());
+  ]
+
+let run_ok ?(engine = Fpc_core.Engine.i2) src =
+  match Fpc_compiler.Compile.run ~engine src with
+  | Error msg -> Alcotest.fail msg
+  | Ok o -> (
+    match o.Fpc_interp.Interp.o_status with
+    | Fpc_core.State.Halted -> o
+    | Fpc_core.State.Running -> Alcotest.fail "still running"
+    | Fpc_core.State.Trapped r ->
+      Alcotest.fail ("trapped: " ^ Fpc_core.State.trap_reason_to_string r))
+
+let check_output ~src ~expected () =
+  List.iter
+    (fun (name, engine) ->
+      let o = run_ok ~engine src in
+      Alcotest.(check (list int)) name expected o.o_output)
+    engines
+
+let test_linkage_variants () =
+  (* The same source behaves identically under every linkage: §8's point
+     that converting between representations only changes space/speed. *)
+  List.iter
+    (fun conv ->
+      let image =
+        match Fpc_compiler.Compile.image ~convention:conv cross_module_src with
+        | Ok i -> i
+        | Error m -> Alcotest.fail m
+      in
+      let engine = Fpc_core.Engine.i3 () in
+      let st =
+        Fpc_interp.Interp.run_program ~image ~engine ~instance:"Main" ~proc:"main"
+          ~args:[] ()
+      in
+      let o = Fpc_interp.Interp.outcome st in
+      Alcotest.(check (list int)) "output" [ 49; 9; 2 ] o.o_output)
+    [
+      Fpc_compiler.Convention.external_;
+      Fpc_compiler.Convention.direct;
+      Fpc_compiler.Convention.short_direct;
+    ]
+
+let test_pretty_roundtrip () =
+  List.iter
+    (fun src ->
+      match Fpc_lang.Parser.parse src with
+      | Error m -> Alcotest.fail m
+      | Ok prog -> (
+        let printed = Fpc_lang.Pretty.program_to_string prog in
+        match Fpc_lang.Parser.parse printed with
+        | Error m -> Alcotest.fail ("reparse: " ^ m)
+        | Ok prog' ->
+          Alcotest.(check bool) "round trip" true (prog = prog')))
+    [ fib_src; cross_module_src; var_param_src; coroutine_src; process_src ]
+
+let test_type_errors () =
+  let cases =
+    [
+      ("MODULE M; PROC f() = RETURN 1; END; END;", "returns no value");
+      ("MODULE M; PROC f() = x := 1; END; END;", "unknown variable");
+      ("MODULE M; PROC f() = OUTPUT g(); END; END;", "no procedure");
+      ( "MODULE M; PROC f(VAR x: INT) = END; PROC g() = f(3); END; END;",
+        "needs a variable" );
+      ("MODULE M; PROC f() = IF 3 THEN END; END; END;", "IF condition");
+    ]
+  in
+  List.iter
+    (fun (src, _fragment) ->
+      match Fpc_compiler.Compile.front_end src with
+      | Ok _ -> Alcotest.fail ("should not typecheck: " ^ src)
+      | Error _ -> ())
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing: random programs evaluated by an OCaml reference
+   interpreter with the machine's 16-bit semantics, compared against the
+   compiled program running under I2 and I4.  This is the broad-spectrum
+   check that the whole pipeline — parser, typechecker, lowering, codegen,
+   linker, transfer engines — computes the right answers. *)
+
+let word v = v land 0xFFFF
+let signed v = if v land 0x8000 <> 0 then v - 65536 else v
+
+type rexpr =
+  | RLit of int
+  | RVar of int
+  | RBin of [ `Add | `Sub | `Mul | `Div of int | `Mod of int ] * rexpr * rexpr
+
+type rstmt =
+  | RAssign of int * rexpr
+  | ROutput of rexpr
+  | RIf of [ `Lt | `Eq ] * rexpr * rexpr * rstmt list * rstmt list
+
+let nvars = 4
+
+let rec gen_expr rng depth =
+  let open Fpc_util.Prng in
+  if depth = 0 || chance rng ~p:0.4 then
+    if bool rng then RLit (int rng ~bound:200) else RVar (int rng ~bound:nvars)
+  else
+    let op =
+      match int rng ~bound:5 with
+      | 0 -> `Add
+      | 1 -> `Sub
+      | 2 -> `Mul
+      | 3 -> `Div (1 + int rng ~bound:9)
+      | _ -> `Mod (1 + int rng ~bound:9)
+    in
+    RBin (op, gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+
+let rec gen_stmt rng depth =
+  let open Fpc_util.Prng in
+  match int rng ~bound:(if depth = 0 then 2 else 3) with
+  | 0 -> RAssign (int rng ~bound:nvars, gen_expr rng 3)
+  | 1 -> ROutput (gen_expr rng 3)
+  | _ ->
+    let cmp = if bool rng then `Lt else `Eq in
+    RIf
+      ( cmp,
+        gen_expr rng 2,
+        gen_expr rng 2,
+        [ gen_stmt rng (depth - 1) ],
+        [ gen_stmt rng (depth - 1) ] )
+
+let gen_program seed =
+  let rng = Fpc_util.Prng.create ~seed in
+  let inits = Array.init nvars (fun _ -> Fpc_util.Prng.int rng ~bound:100) in
+  let n = 4 + Fpc_util.Prng.int rng ~bound:8 in
+  (inits, List.init n (fun _ -> gen_stmt rng 2))
+
+(* Reference evaluation with the machine's wrap-around semantics. *)
+let rec eval_expr env = function
+  | RLit v -> word v
+  | RVar i -> env.(i)
+  | RBin (op, a, b) -> (
+    let x = signed (eval_expr env a) and y = signed (eval_expr env b) in
+    match op with
+    | `Add -> word (x + y)
+    | `Sub -> word (x - y)
+    | `Mul -> word (x * y)
+    | `Div d -> word (x / d)
+    | `Mod d -> word (x mod d))
+
+let rec eval_stmt env out = function
+  | RAssign (i, e) -> env.(i) <- eval_expr env e
+  | ROutput e -> out := eval_expr env e :: !out
+  | RIf (cmp, a, b, then_, else_) ->
+    let x = signed (eval_expr env a) and y = signed (eval_expr env b) in
+    let taken = match cmp with `Lt -> x < y | `Eq -> x = y in
+    List.iter (eval_stmt env out) (if taken then then_ else else_)
+
+let reference (inits, stmts) =
+  let env = Array.copy inits in
+  let out = ref [] in
+  List.iter (eval_stmt env out) stmts;
+  List.rev !out
+
+(* Render to mini-Mesa.  Division needs care: the machine divides signed
+   values, matching the reference, and divisors are non-zero literals. *)
+let rec render_expr = function
+  | RLit v -> string_of_int v
+  | RVar i -> Printf.sprintf "x%d" i
+  | RBin (op, a, b) ->
+    let sym, rhs =
+      match op with
+      | `Add -> ("+", render_expr b)
+      | `Sub -> ("-", render_expr b)
+      | `Mul -> ("*", render_expr b)
+      | `Div d -> ("/", string_of_int d)
+      | `Mod d -> ("MOD", string_of_int d)
+    in
+    (* Div/Mod ignore the generated right operand in favour of the literal
+       divisor, mirroring the reference evaluator. *)
+    Printf.sprintf "(%s %s %s)" (render_expr a) sym rhs
+
+let rec render_stmt buf indent = function
+  | RAssign (i, e) ->
+    Buffer.add_string buf (Printf.sprintf "%sx%d := %s;\n" indent i (render_expr e))
+  | ROutput e ->
+    Buffer.add_string buf (Printf.sprintf "%sOUTPUT %s;\n" indent (render_expr e))
+  | RIf (cmp, a, b, then_, else_) ->
+    let sym = match cmp with `Lt -> "<" | `Eq -> "=" in
+    Buffer.add_string buf
+      (Printf.sprintf "%sIF %s %s %s THEN\n" indent (render_expr a) sym (render_expr b));
+    List.iter (render_stmt buf (indent ^ "  ")) then_;
+    Buffer.add_string buf (indent ^ "ELSE\n");
+    List.iter (render_stmt buf (indent ^ "  ")) else_;
+    Buffer.add_string buf (indent ^ "END;\n")
+
+let render_program (inits, stmts) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "MODULE Main;\nPROC main() =\n";
+  Array.iteri
+    (fun i v -> Buffer.add_string buf (Printf.sprintf "  VAR x%d: INT := %d;\n" i v))
+    inits;
+  List.iter (render_stmt buf "  ") stmts;
+  Buffer.add_string buf "END;\nEND;\n";
+  Buffer.contents buf
+
+let prop_random_programs_match_reference =
+  QCheck.Test.make ~count:150 ~name:"random programs: machine = reference, all engines"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = gen_program seed in
+      let expected = reference prog in
+      let src = render_program prog in
+      List.for_all
+        (fun (_, engine) ->
+          match Fpc_compiler.Compile.run ~engine src with
+          | Error m -> QCheck.Test.fail_report (m ^ "\n" ^ src)
+          | Ok o -> (
+            match o.Fpc_interp.Interp.o_status with
+            | Fpc_core.State.Halted ->
+              if o.o_output <> expected then
+                QCheck.Test.fail_report
+                  (Printf.sprintf "mismatch on:\n%s\nexpected %s got %s" src
+                     (String.concat "," (List.map string_of_int expected))
+                     (String.concat "," (List.map string_of_int o.o_output)))
+              else true
+            | Fpc_core.State.Running -> QCheck.Test.fail_report "still running"
+            | Fpc_core.State.Trapped r ->
+              QCheck.Test.fail_report
+                (Fpc_core.State.trap_reason_to_string r ^ "\n" ^ src)))
+        engines)
+
+
+
+
+
+(* ------------------------------------------------------------------ *)
+(* Second differential generator: random acyclic call graphs.  Procedure
+   p_i may call p_j only for j > i, so programs terminate; calls appear
+   nested inside expressions, exercising the lowering pass, prologue
+   conventions, frame allocation and every engine's transfer machinery. *)
+
+type cexpr =
+  | CLit of int
+  | CVar of int  (** 0,1 = params; 2,3 = locals *)
+  | CBin of [ `Add | `Sub | `Mul ] * cexpr * cexpr
+  | CCall of int * cexpr * cexpr  (** callee index, two arguments *)
+
+type cstmt = CAssign of int * cexpr | COut of cexpr
+
+type cproc = { cp_body : cstmt list; cp_ret : cexpr }
+
+type cprog = { procs : cproc array; main_body : cstmt list }
+
+let gen_cexpr rng ~self ~nprocs depth =
+  let open Fpc_util.Prng in
+  let rec go depth =
+    if depth = 0 then
+      if bool rng then CLit (int rng ~bound:50) else CVar (int rng ~bound:4)
+    else
+      match int rng ~bound:5 with
+      | 0 | 1 ->
+        let op = match int rng ~bound:3 with 0 -> `Add | 1 -> `Sub | _ -> `Mul in
+        CBin (op, go (depth - 1), go (depth - 1))
+      | 2 when self + 1 < nprocs ->
+        CCall (self + 1 + int rng ~bound:(nprocs - self - 1), go (depth - 1), go (depth - 1))
+      | _ ->
+        if bool rng then CLit (int rng ~bound:50) else CVar (int rng ~bound:4)
+  in
+  go depth
+
+let gen_cprog seed =
+  let open Fpc_util.Prng in
+  let rng = create ~seed in
+  let nprocs = 3 in
+  let gen_body ~self =
+    List.init
+      (1 + int rng ~bound:3)
+      (fun _ ->
+        if chance rng ~p:0.5 then
+          CAssign (2 + int rng ~bound:2, gen_cexpr rng ~self ~nprocs 2)
+        else COut (gen_cexpr rng ~self ~nprocs 2))
+  in
+  {
+    procs =
+      Array.init nprocs (fun self ->
+          { cp_body = gen_body ~self; cp_ret = gen_cexpr rng ~self ~nprocs 2 });
+    main_body =
+      List.init
+        (2 + int rng ~bound:3)
+        (fun _ -> COut (gen_cexpr rng ~self:(-1) ~nprocs 2));
+  }
+
+let rec ceval prog env out (e : cexpr) =
+  match e with
+  | CLit v -> word v
+  | CVar i -> env.(i)
+  | CBin (op, a, b) -> (
+    (* Left to right, exactly like the generated code. *)
+    let x = signed (ceval prog env out a) in
+    let y = signed (ceval prog env out b) in
+    match op with `Add -> word (x + y) | `Sub -> word (x - y) | `Mul -> word (x * y))
+  | CCall (j, a, b) ->
+    (* Argument order matters: left to right, like the machine. *)
+    let x = ceval prog env out a in
+    let y = ceval prog env out b in
+    let p = prog.procs.(j) in
+    let env' = [| x; y; 0; 0 |] in
+    List.iter
+      (fun s ->
+        match s with
+        | CAssign (i, e) -> env'.(i) <- ceval prog env' out e
+        | COut e ->
+          (* Bind first: the cons cell must see the inner outputs the
+             evaluation itself appends. *)
+          let v = ceval prog env' out e in
+          out := v :: !out)
+      p.cp_body;
+    ceval prog env' out p.cp_ret
+
+let creference prog =
+  let out = ref [] in
+  let env = [| 0; 0; 0; 0 |] in
+  List.iter
+    (fun s ->
+      match s with
+      | CAssign _ -> ()
+      | COut e ->
+        let v = ceval prog env out e in
+        out := v :: !out)
+    prog.main_body;
+  List.rev !out
+
+let rec render_cexpr = function
+  | CLit v -> string_of_int v
+  | CVar 0 -> "a"
+  | CVar 1 -> "b"
+  | CVar i -> Printf.sprintf "v%d" i
+  | CBin (op, x, y) ->
+    let sym = match op with `Add -> "+" | `Sub -> "-" | `Mul -> "*" in
+    Printf.sprintf "(%s %s %s)" (render_cexpr x) sym (render_cexpr y)
+  | CCall (j, x, y) ->
+    Printf.sprintf "p%d(%s, %s)" j (render_cexpr x) (render_cexpr y)
+
+let render_cstmt buf = function
+  | CAssign (i, e) ->
+    Buffer.add_string buf (Printf.sprintf "  v%d := %s;\n" i (render_cexpr e))
+  | COut e -> Buffer.add_string buf (Printf.sprintf "  OUTPUT %s;\n" (render_cexpr e))
+
+let render_cprog prog =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "MODULE Main;\n";
+  (* Declare in reverse so calls are forward references?  Mini-Mesa allows
+     any order within a module, so declaration order is free. *)
+  Array.iteri
+    (fun i p ->
+      Buffer.add_string buf (Printf.sprintf "PROC p%d(a: INT, b: INT): INT =\n" i);
+      Buffer.add_string buf "  VAR v2: INT := 0;\n  VAR v3: INT := 0;\n";
+      List.iter (render_cstmt buf) p.cp_body;
+      Buffer.add_string buf (Printf.sprintf "  RETURN %s;\nEND;\n" (render_cexpr p.cp_ret)))
+    prog.procs;
+  Buffer.add_string buf "PROC main() =\n";
+  List.iter
+    (fun s ->
+      match s with
+      | CAssign _ -> ()
+      | COut e -> Buffer.add_string buf (Printf.sprintf "  OUTPUT %s;\n" (render_cexpr e)))
+    prog.main_body;
+  Buffer.add_string buf "END;\nEND;\n";
+  Buffer.contents buf
+
+(* In main, CVar references are undefined; replace them by literals during
+   generation instead: regenerate with self = -1 ensures no params...  but
+   CVar can still appear.  Guard: rewrite main-body vars to literals. *)
+let rec devar = function
+  | CVar _ -> CLit 1
+  | CLit v -> CLit v
+  | CBin (op, a, b) -> CBin (op, devar a, devar b)
+  | CCall (j, a, b) -> CCall (j, devar a, devar b)
+
+let sanitize prog =
+  {
+    prog with
+    main_body =
+      List.map
+        (function COut e -> COut (devar e) | CAssign (i, e) -> CAssign (i, devar e))
+        prog.main_body;
+  }
+
+let prop_random_call_graphs_match_reference =
+  QCheck.Test.make ~count:120 ~name:"random call graphs: machine = reference, all engines"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = sanitize (gen_cprog seed) in
+      let expected = creference prog in
+      let src = render_cprog prog in
+      List.for_all
+        (fun (_, engine) ->
+          match Fpc_compiler.Compile.run ~engine src with
+          | Error m -> QCheck.Test.fail_report (m ^ "\n" ^ src)
+          | Ok o -> (
+            match o.Fpc_interp.Interp.o_status with
+            | Fpc_core.State.Halted ->
+              if o.o_output <> expected then
+                QCheck.Test.fail_report
+                  (Printf.sprintf "mismatch on:\n%s\nexpected %s got %s" src
+                     (String.concat "," (List.map string_of_int expected))
+                     (String.concat "," (List.map string_of_int o.o_output)))
+              else true
+            | Fpc_core.State.Running -> QCheck.Test.fail_report "still running"
+            | Fpc_core.State.Trapped r ->
+              QCheck.Test.fail_report
+                (Fpc_core.State.trap_reason_to_string r ^ "\n" ^ src)))
+        engines)
+
+
+(* Cost-ordering invariant: on pure call/return programs the optimized
+   engines never lose to their less-optimized bases (small slack for
+   boot-time noise on tiny programs). *)
+let prop_cost_ordering =
+  QCheck.Test.make ~count:60 ~name:"random call graphs: I4 <= I3 <= I2 cycles"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = render_cprog (sanitize (gen_cprog seed)) in
+      let cycles engine =
+        match Fpc_compiler.Compile.run ~engine src with
+        | Ok o when o.Fpc_interp.Interp.o_status = Fpc_core.State.Halted ->
+          o.o_cycles
+        | _ -> QCheck.Test.fail_report ("bad run\n" ^ src)
+      in
+      let i2 = cycles Fpc_core.Engine.i2 in
+      let i3 = cycles (Fpc_core.Engine.i3 ()) in
+      let i4 = cycles (Fpc_core.Engine.i4 ()) in
+      let leq a b = float_of_int a <= (1.05 *. float_of_int b) +. 50.0 in
+      if not (leq i3 i2) then
+        QCheck.Test.fail_report (Printf.sprintf "I3 %d > I2 %d\n%s" i3 i2 src)
+      else if not (leq i4 i3) then
+        QCheck.Test.fail_report (Printf.sprintf "I4 %d > I3 %d\n%s" i4 i3 src)
+      else true)
+
+(* Lowering is idempotent: once the stack discipline holds, re-lowering
+   changes nothing. *)
+let prop_lowering_idempotent =
+  QCheck.Test.make ~count:100 ~name:"lowering: idempotent"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = render_cprog (sanitize (gen_cprog seed)) in
+      match Fpc_lang.Parser.parse src with
+      | Error m -> QCheck.Test.fail_report m
+      | Ok prog ->
+        let once = Fpc_compiler.Lower.program prog in
+        let twice = Fpc_compiler.Lower.program once in
+        once = twice)
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "programs",
+        [
+          Alcotest.test_case "fib 12 on all engines" `Quick
+            (check_output ~src:fib_src ~expected:[ 144 ]);
+          Alcotest.test_case "cross-module state" `Quick
+            (check_output ~src:cross_module_src ~expected:[ 49; 9; 2 ]);
+          Alcotest.test_case "var params" `Quick
+            (check_output ~src:var_param_src ~expected:[ 16 ]);
+          Alcotest.test_case "coroutines" `Quick
+            (check_output ~src:coroutine_src ~expected:[ 100; 101; 102 ]);
+          Alcotest.test_case "processes" `Quick
+            (check_output ~src:process_src ~expected:[ 100; 200; 101; 201; 2 ]);
+          Alcotest.test_case "nested calls hoisted" `Quick
+            (check_output ~src:nested_call_src ~expected:[ 15 ]);
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "linkage variants agree" `Quick test_linkage_variants;
+          Alcotest.test_case "pretty round trip" `Quick test_pretty_roundtrip;
+          Alcotest.test_case "type errors rejected" `Quick test_type_errors;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_random_programs_match_reference;
+          QCheck_alcotest.to_alcotest prop_random_call_graphs_match_reference;
+          QCheck_alcotest.to_alcotest prop_cost_ordering;
+          QCheck_alcotest.to_alcotest prop_lowering_idempotent;
+        ] );
+    ]

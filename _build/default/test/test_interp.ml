@@ -1,0 +1,547 @@
+(* End-to-end machine tests over hand-assembled modules: the interpreter,
+   transfer engines, linker and allocator working together. *)
+
+open Fpc_isa
+
+let build_proc ops =
+  let b = Builder.create () in
+  List.iter (Builder.emit b) ops;
+  Builder.to_bytes b
+
+let proc ?(fixups = []) ?(lpd = []) ~name ~locals ~nargs ops =
+  {
+    Fpc_mesa.Compiled.p_name = name;
+    p_body = build_proc ops;
+    p_locals_words = locals;
+    p_nargs = nargs;
+    p_dfc_fixups = fixups;
+    p_lpd_fixups = lpd;
+  }
+
+(* fib as hand-written byte code; fib is entry 1 of the module. *)
+let fib_body ~args_in_place =
+  let open Opcode in
+  let prologue = if args_in_place then [] else [ Sl 0 ] in
+  prologue
+  @ [
+      Ll 0; Li 2; Lt; Jz 5 (* -> else at +5 from this Jz *);
+      (* then: return n *)
+      Ll 0; Ret;
+      (* else: t := fib(n-1); return fib(n-2) + t *)
+      Ll 0; Li 1; Sub; Lfc 1; Sl 1;
+      Ll 0; Li 2; Sub; Lfc 1;
+      Ll 1; Add; Ret;
+    ]
+
+(* Jump displacements are relative to the first byte of the jump; compute
+   the layout by hand is fragile, so use a builder with labels instead. *)
+let fib_proc ~args_in_place =
+  let open Opcode in
+  let b = Builder.create () in
+  let else_ = Builder.new_label b in
+  if not args_in_place then Builder.emit b (Sl 0);
+  Builder.emit b (Ll 0);
+  Builder.emit b (Li 2);
+  Builder.emit b Lt;
+  Builder.jump b `Jz else_;
+  Builder.emit b (Ll 0);
+  Builder.emit b Ret;
+  Builder.place b else_;
+  List.iter (Builder.emit b)
+    [ Ll 0; Li 1; Sub; Lfc 1; Sl 1; Ll 0; Li 2; Sub; Lfc 1; Ll 1; Add; Ret ];
+  {
+    Fpc_mesa.Compiled.p_name = "fib";
+    p_body = Builder.to_bytes b;
+    p_locals_words = 2;
+    p_nargs = 1;
+    p_dfc_fixups = [];
+    p_lpd_fixups = [];
+  }
+
+let fib_module ~args_in_place =
+  let open Opcode in
+  let main =
+    proc ~name:"main" ~locals:0 ~nargs:0 [ Li 10; Lfc 1; Out; Ret ]
+  in
+  {
+    Fpc_mesa.Compiled.m_name = "Main";
+    m_globals_words = 0;
+    m_global_init = [];
+    m_imports = [||];
+    m_procs = [ main; fib_proc ~args_in_place ];
+  }
+
+let link_exn ?linkage modules =
+  match Fpc_mesa.Linker.link ?linkage modules with
+  | Ok image -> image
+  | Error msg -> Alcotest.fail ("link failed: " ^ msg)
+
+let run_fib engine ~args_in_place =
+  let image = link_exn [ fib_module ~args_in_place ] in
+  let st =
+    Fpc_interp.Interp.run_program ~image ~engine ~instance:"Main" ~proc:"main"
+      ~args:[] ()
+  in
+  Fpc_interp.Interp.outcome st
+
+let check_halted o =
+  match o.Fpc_interp.Interp.o_status with
+  | Fpc_core.State.Halted -> ()
+  | Fpc_core.State.Running -> Alcotest.fail "still running"
+  | Fpc_core.State.Trapped r ->
+    Alcotest.fail ("trapped: " ^ Fpc_core.State.trap_reason_to_string r)
+
+let test_fib_engine engine ~args_in_place () =
+  let o = run_fib engine ~args_in_place in
+  check_halted o;
+  Alcotest.(check (list int)) "fib 10 output" [ 55 ] o.o_output
+
+let test_fib_engines_agree () =
+  let i2 = run_fib Fpc_core.Engine.i2 ~args_in_place:false in
+  let i3 = run_fib (Fpc_core.Engine.i3 ()) ~args_in_place:false in
+  let i1 = run_fib Fpc_core.Engine.i1 ~args_in_place:false in
+  let i4 = run_fib (Fpc_core.Engine.i4 ()) ~args_in_place:true in
+  Alcotest.(check (list int)) "I1 = I2 output" i2.o_output i1.o_output;
+  Alcotest.(check (list int)) "I3 = I2 output" i2.o_output i3.o_output;
+  Alcotest.(check (list int)) "I4 = I2 output" i2.o_output i4.o_output
+
+let test_fib_costs_ordered () =
+  let cycles e ~args_in_place = (run_fib e ~args_in_place).o_cycles in
+  let i1 = cycles Fpc_core.Engine.i1 ~args_in_place:false in
+  let i2 = cycles Fpc_core.Engine.i2 ~args_in_place:false in
+  let i3 = cycles (Fpc_core.Engine.i3 ()) ~args_in_place:false in
+  let i4 = cycles (Fpc_core.Engine.i4 ()) ~args_in_place:true in
+  Alcotest.(check bool) "I2 cheaper than I1" true (i2 < i1);
+  Alcotest.(check bool) "I3 cheaper than I2" true (i3 < i2);
+  Alcotest.(check bool) "I4 cheaper than I3" true (i4 < i3)
+
+(* ------------------------------------------------------------------ *)
+(* Single-module machines for ISA-level behaviours. *)
+
+let one_module ?(imports = [||]) ?(globals = 0) procs =
+  { Fpc_mesa.Compiled.m_name = "M"; m_globals_words = globals; m_global_init = [];
+    m_imports = imports; m_procs = procs }
+
+let run_ops ?(engine = Fpc_core.Engine.i2) ?(locals = 4) ?(setup = fun _ -> ())
+    ?(args = []) ops =
+  let image = link_exn [ one_module [ proc ~name:"main" ~locals ~nargs:(List.length args) ops ] ] in
+  setup image;
+  let st =
+    Fpc_interp.Interp.run_program ~image ~engine ~instance:"M" ~proc:"main" ~args ()
+  in
+  Fpc_interp.Interp.outcome st
+
+let status_is expected (o : Fpc_interp.Interp.outcome) =
+  match (expected, o.o_status) with
+  | `Halted, Fpc_core.State.Halted -> ()
+  | `Trap r, Fpc_core.State.Trapped r' when r = r' -> ()
+  | _, Fpc_core.State.Halted -> Alcotest.fail "halted unexpectedly"
+  | _, Fpc_core.State.Running -> Alcotest.fail "still running"
+  | _, Fpc_core.State.Trapped r ->
+    Alcotest.fail ("unexpected trap: " ^ Fpc_core.State.trap_reason_to_string r)
+
+(* ---- arithmetic and 16-bit semantics ---- *)
+
+let test_arithmetic_wraps () =
+  let open Opcode in
+  let o = run_ops [ Li 30000; Li 30000; Add; Out; Halt ] in
+  status_is `Halted o;
+  (* 60000 as a raw word. *)
+  Alcotest.(check (list int)) "wraps to word" [ 60000 ] o.o_output;
+  let o = run_ops [ Li 1; Li 2; Sub; Out; Halt ] in
+  Alcotest.(check (list int)) "negative two's complement" [ 0xFFFF ] o.o_output
+
+let test_signed_comparison () =
+  let open Opcode in
+  (* 0xFFFF is -1, so -1 < 1. *)
+  let o = run_ops [ Li 0xFFFF; Li 1; Lt; Out; Halt ] in
+  Alcotest.(check (list int)) "signed lt" [ 1 ] o.o_output
+
+let test_division_signed () =
+  let open Opcode in
+  let o = run_ops [ Li 0xFFF9 (* -7 *); Li 2; Div; Out; Halt ] in
+  (* OCaml-style truncation: -7 / 2 = -3 -> 0xFFFD *)
+  Alcotest.(check (list int)) "signed division" [ 0xFFFD ] o.o_output
+
+let test_indexed_locals () =
+  let open Opcode in
+  let o =
+    run_ops ~locals:8
+      [ Li 2; Li 77; Slx 3 (* local[3+2] := 77 *); Li 2; Llx 3; Out; Halt ]
+  in
+  Alcotest.(check (list int)) "indexed store/load" [ 77 ] o.o_output
+
+(* ---- traps ---- *)
+
+let test_div_zero_trap () =
+  let open Opcode in
+  let o = run_ops [ Li 4; Li 0; Div; Out; Halt ] in
+  status_is (`Trap Fpc_core.State.Div_zero) o
+
+let test_break_trap () =
+  let o = run_ops [ Opcode.Brk; Opcode.Halt ] in
+  status_is (`Trap Fpc_core.State.Break) o
+
+let test_eval_overflow_trap () =
+  let open Opcode in
+  let b = Builder.create () in
+  let loop = Builder.new_label b in
+  Builder.place b loop;
+  Builder.emit b (Li 1);
+  Builder.jump b `J loop;
+  let image =
+    link_exn
+      [ one_module
+          [ { Fpc_mesa.Compiled.p_name = "main"; p_body = Builder.to_bytes b;
+              p_locals_words = 1; p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = [] } ] ]
+  in
+  let st =
+    Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
+      ~proc:"main" ~args:[] ()
+  in
+  status_is (`Trap Fpc_core.State.Eval_overflow) (Fpc_interp.Interp.outcome st)
+
+let test_trap_handler_resumes () =
+  (* Install a handler that supplies 9999 for the failed division; the
+     faulting context resumes after DIV with the handler's result — a trap
+     is just another XFER (§5.1). *)
+  let open Opcode in
+  let handler = proc ~name:"handler" ~locals:1 ~nargs:1 [ Sl 0; Li 9999; Ret ] in
+  let main =
+    proc ~name:"main" ~locals:1 ~nargs:0 [ Li 4; Li 0; Div; Out; Li 5; Out; Halt ]
+  in
+  let image = link_exn [ one_module [ main; handler ] ] in
+  Fpc_mesa.Image.set_trap_handler image
+    (Fpc_mesa.Image.descriptor_of image ~instance:"M" ~proc:"handler");
+  let st =
+    Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
+      ~proc:"main" ~args:[] ()
+  in
+  let o = Fpc_interp.Interp.outcome st in
+  status_is `Halted o;
+  Alcotest.(check (list int)) "handler result replaces quotient" [ 9999; 5 ] o.o_output
+
+let test_trap_handler_sees_code () =
+  let open Opcode in
+  (* The handler OUTPUTs the trap code it received as its argument. *)
+  let handler = proc ~name:"handler" ~locals:1 ~nargs:1 [ Sl 0; Ll 0; Out; Li 0; Ret ] in
+  let main = proc ~name:"main" ~locals:1 ~nargs:0 [ Brk; Drop; Halt ] in
+  let image = link_exn [ one_module [ main; handler ] ] in
+  Fpc_mesa.Image.set_trap_handler image
+    (Fpc_mesa.Image.descriptor_of image ~instance:"M" ~proc:"handler");
+  let st =
+    Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
+      ~proc:"main" ~args:[] ()
+  in
+  let o = Fpc_interp.Interp.outcome st in
+  status_is `Halted o;
+  Alcotest.(check (list int)) "BRK code is 5"
+    [ Fpc_core.State.trap_code Fpc_core.State.Break ]
+    o.o_output
+
+let test_illegal_instruction_fatal () =
+  (* 0xFF is not an opcode; no handler can catch it. *)
+  let body = Bytes.of_string "\xFF" in
+  let image =
+    link_exn
+      [ one_module
+          [ { Fpc_mesa.Compiled.p_name = "main"; p_body = body; p_locals_words = 1;
+              p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = [] } ] ]
+  in
+  let st =
+    Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
+      ~proc:"main" ~args:[] ()
+  in
+  status_is (`Trap (Fpc_core.State.Illegal_instruction 0xFF))
+    (Fpc_interp.Interp.outcome st)
+
+let test_step_limit () =
+  let open Opcode in
+  let b = Builder.create () in
+  let loop = Builder.new_label b in
+  Builder.place b loop;
+  Builder.emit b Nop;
+  Builder.jump b `J loop;
+  let image =
+    link_exn
+      [ one_module
+          [ { Fpc_mesa.Compiled.p_name = "main"; p_body = Builder.to_bytes b;
+              p_locals_words = 1; p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = [] } ] ]
+  in
+  let st =
+    Fpc_interp.Interp.run_program ~max_steps:1000 ~image ~engine:Fpc_core.Engine.i2
+      ~instance:"M" ~proc:"main" ~args:[] ()
+  in
+  status_is (`Trap Fpc_core.State.Step_limit) (Fpc_interp.Interp.outcome st)
+
+(* ---- long argument records (§4) ---- *)
+
+let test_long_argument_record () =
+  let open Opcode in
+  (* Caller builds a 3-field record on the frame heap and passes its
+     address; the callee reads the fields and frees the record. *)
+  let callee =
+    proc ~name:"sum3" ~locals:2 ~nargs:1
+      [
+        Sl 0; (* record address *)
+        Ll 0; Ldfld 0; Ll 0; Ldfld 1; Add; Ll 0; Ldfld 2; Add; Sl 1;
+        Ll 0; Freerec;
+        Ll 1; Ret;
+      ]
+  in
+  let main =
+    proc ~name:"main" ~locals:1 ~nargs:0
+      [
+        Newrec 3;
+        Li 10; Stfld 0;
+        Li 20; Stfld 1;
+        Li 12; Stfld 2;
+        Lfc 1; Out; Halt;
+      ]
+  in
+  let image = link_exn [ one_module [ main; callee ] ] in
+  let st =
+    Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
+      ~proc:"main" ~args:[] ()
+  in
+  let o = Fpc_interp.Interp.outcome st in
+  status_is `Halted o;
+  Alcotest.(check (list int)) "record fields summed" [ 42 ] o.o_output
+
+(* ---- interface records (§3/§4: LOADLITERAL i; READFIELD f; XFER) ---- *)
+
+let test_interface_record_call () =
+  let open Opcode in
+  (* Two procedures published through a two-slot interface record; the
+     client calls slot 1 knowing only the record's address. *)
+  let double = proc ~name:"double" ~locals:1 ~nargs:1 [ Sl 0; Ll 0; Li 2; Mul; Ret ] in
+  let triple = proc ~name:"triple" ~locals:1 ~nargs:1 [ Sl 0; Ll 0; Li 3; Mul; Ret ] in
+  let main =
+    proc ~name:"main" ~locals:1 ~nargs:0
+      [ Li 7; Li 8; Ldfld 1; Xf; Out; Halt ]
+    (* stack: [7, iface@8+1 -> descriptor]; XF creates the activation *)
+  in
+  let image = link_exn [ one_module [ main; double; triple ] ] in
+  (* Build the interface record in the reserved low words (8 and 9). *)
+  let d1 = Fpc_mesa.Image.descriptor_of image ~instance:"M" ~proc:"double" in
+  let d2 = Fpc_mesa.Image.descriptor_of image ~instance:"M" ~proc:"triple" in
+  Fpc_machine.Memory.poke image.mem 8 (Fpc_mesa.Descriptor.pack d1);
+  Fpc_machine.Memory.poke image.mem 9 (Fpc_mesa.Descriptor.pack d2);
+  let st =
+    Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
+      ~proc:"main" ~args:[] ()
+  in
+  let o = Fpc_interp.Interp.outcome st in
+  status_is `Halted o;
+  (* Slot 1 is triple; the procedure returns to main because XF set the
+     returnContext, and RET follows it (F1/F3). *)
+  Alcotest.(check (list int)) "triple via interface" [ 21 ] o.o_output
+
+let test_interface_module_api () =
+  let open Opcode in
+  (* Same scenario through the public Fpc_core.Interface API, including a
+     rebind between runs. *)
+  let double = proc ~name:"double" ~locals:1 ~nargs:1 [ Sl 0; Ll 0; Li 2; Mul; Ret ] in
+  let triple = proc ~name:"triple" ~locals:1 ~nargs:1 [ Sl 0; Ll 0; Li 3; Mul; Ret ] in
+  (* The client body is assembled after the interface exists, since the
+     record address is a literal in the call sequence. *)
+  let dummy_main = proc ~name:"main" ~locals:1 ~nargs:0 [ Halt ] in
+  let image = link_exn [ one_module [ dummy_main; double; triple ] ] in
+  let iface =
+    Fpc_core.Interface.create image
+      ~slots:[| ("M", "double"); ("M", "triple") |]
+  in
+  Alcotest.(check int) "slot lookup" 1
+    (Fpc_core.Interface.slot_index iface ~proc:"triple");
+  (* Write a fresh client body; main's dummy body is 1 byte, so park the
+     new one in fresh code space and repoint main's EV entry. *)
+  let b = Builder.create () in
+  Builder.emit b (Li 7);
+  List.iter (Builder.emit b) (Fpc_core.Interface.call_sequence iface ~slot:0);
+  Builder.emit b Out;
+  Builder.emit b Halt;
+  let body = Builder.to_bytes b in
+  let pi = Fpc_mesa.Image.find_proc image ~instance:"M" ~proc:"main" in
+  let cb = (Fpc_mesa.Image.find_instance image "M").ii_code_base in
+  let words = Fpc_machine.Memory.words_for_bytes (Bytes.length body + 1) in
+  let new_base = Fpc_mesa.Image.alloc_code image ~words in
+  let new_off = (new_base * 2) - (cb * 2) in
+  Fpc_machine.Memory.poke_code_byte image.mem ~code_base:new_base ~pc:0 pi.pi_fsi;
+  Bytes.iteri
+    (fun i c ->
+      Fpc_machine.Memory.poke_code_byte image.mem ~code_base:new_base ~pc:(i + 1)
+        (Char.code c))
+    body;
+  Fpc_machine.Memory.poke image.mem (cb + pi.pi_ev) new_off;
+  Hashtbl.replace image.procs ("M", "main")
+    { pi with Fpc_mesa.Image.pi_entry_offset = new_off;
+      pi_body_bytes = Bytes.length body };
+  let run () =
+    let st =
+      Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
+        ~proc:"main" ~args:[] ()
+    in
+    let o = Fpc_interp.Interp.outcome st in
+    status_is `Halted o;
+    o.o_output
+  in
+  Alcotest.(check (list int)) "slot 0 is double" [ 14 ] (run ());
+  Fpc_core.Interface.rebind image iface ~slot:0 ~target:("M", "triple");
+  Alcotest.(check (list int)) "rebound to triple, no code change" [ 21 ] (run ())
+
+(* ---- F3: a rebound LV entry turns a call into a coroutine resume ---- *)
+
+(* The partner context word lands in main's local 0; rebinding LV[0] to
+   that frame mid-run exercises Linker.rebind_lv_to_frame: the subsequent
+   EXTERNALCALL resumes the coroutine — the destination decides. *)
+let test_lv_rebind_to_frame_full () =
+  let open Opcode in
+  let partner =
+    proc ~name:"partner" ~locals:1 ~nargs:0
+      [ Li 1; Out; Lrc; Xf; Li 2; Out; Halt ]
+  in
+  let main =
+    proc ~name:"main" ~locals:1 ~nargs:0
+      [ Lpd 0; Xf; Lrc; Sl 0 (* partner ctx *); Li 0; Out; Efc 0; Halt ]
+  in
+  let m =
+    { Fpc_mesa.Compiled.m_name = "M"; m_globals_words = 0; m_global_init = [];
+      m_imports = [| ("M", "partner") |];
+      m_procs = [ { main with p_lpd_fixups = [ (0, 0) ] }; partner ] }
+  in
+  let image = link_exn [ m ] in
+  let st =
+    Fpc_interp.Interp.boot ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
+      ~proc:"main" ~args:[]
+  in
+  (* Step until main has emitted the 0 marker (partner suspended). *)
+  let rec go () =
+    if Fpc_core.State.output st <> [ 1; 0 ] && st.status = Fpc_core.State.Running
+    then begin
+      Fpc_interp.Interp.step st;
+      go ()
+    end
+  in
+  go ();
+  (* The partner's frame context is in main's local 0. *)
+  let partner_lf = Fpc_machine.Memory.peek image.mem (st.lf + 0) in
+  Fpc_mesa.Linker.rebind_lv_to_frame image ~instance:"M" ~lv_index:0 ~lf:partner_lf;
+  Fpc_interp.Interp.run st;
+  let o = Fpc_interp.Interp.outcome st in
+  status_is `Halted o;
+  Alcotest.(check (list int)) "EFC became a coroutine resume (F3)" [ 1; 0; 2 ]
+    o.o_output
+
+(* ---- retained frames: the coroutine partner outlives many returns ---- *)
+
+let test_retained_frame_across_engines () =
+  let open Opcode in
+  let co =
+    proc ~name:"co" ~locals:2 ~nargs:1
+      [
+        Sl 0; (* v *)
+        Lrc; Sl 1; (* partner *)
+        Ll 0; Li 1; Add; Ll 1; Xf; (* send v+1 back *)
+        Sl 0; Lrc; Sl 1;
+        Ll 0; Li 10; Mul; Ll 1; Xf;
+        Drop; Li 0; Ret;
+      ]
+  in
+  let main =
+    proc ~name:"main" ~locals:1 ~nargs:0
+      [
+        Li 5; Lpd 0; Xf; (* start co with 5 -> get 6 *)
+        Out;
+        Li 7; Lrc; Xf; (* resume with 7 -> get 70 *)
+        Out; Halt;
+      ]
+  in
+  let m =
+    { Fpc_mesa.Compiled.m_name = "M"; m_globals_words = 0; m_global_init = [];
+      m_imports = [| ("M", "co") |];
+      m_procs = [ { main with p_lpd_fixups = [ (1, 0) ] }; co ] }
+  in
+  List.iter
+    (fun engine ->
+      (* Hand-built code stores arguments itself, so only non-banked
+         engines apply. *)
+      let image = link_exn [ m ] in
+      let st =
+        Fpc_interp.Interp.run_program ~image ~engine ~instance:"M" ~proc:"main"
+          ~args:[] ()
+      in
+      let o = Fpc_interp.Interp.outcome st in
+      status_is `Halted o;
+      Alcotest.(check (list int)) "retained frame" [ 6; 70 ] o.o_output)
+    [ Fpc_core.Engine.i1; Fpc_core.Engine.i2; Fpc_core.Engine.i3 () ]
+
+(* ---- arguments appear for boot ---- *)
+
+let test_boot_args () =
+  let open Opcode in
+  let o = run_ops ~args:[ 30; 12 ] ~locals:2 [ Sl 1; Sl 0; Ll 0; Ll 1; Sub; Out; Halt ] in
+  status_is `Halted o;
+  Alcotest.(check (list int)) "args arrive" [ 18 ] o.o_output
+
+(* ---- frame heap exhaustion is a clean stop ---- *)
+
+let test_runaway_recursion_stops () =
+  let open Opcode in
+  let b = Builder.create () in
+  Builder.emit b (Lfc 0);
+  Builder.emit b Ret;
+  let image =
+    link_exn
+      [ one_module
+          [ { Fpc_mesa.Compiled.p_name = "main"; p_body = Builder.to_bytes b;
+              p_locals_words = 1; p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = [] } ] ]
+  in
+  let st =
+    Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
+      ~proc:"main" ~args:[] ()
+  in
+  status_is (`Trap Fpc_core.State.Frame_heap_exhausted) (Fpc_interp.Interp.outcome st)
+
+let () =
+  ignore fib_body;
+  Alcotest.run "interp"
+    [
+      ( "fib",
+        [
+          Alcotest.test_case "I1" `Quick (test_fib_engine Fpc_core.Engine.i1 ~args_in_place:false);
+          Alcotest.test_case "I2" `Quick (test_fib_engine Fpc_core.Engine.i2 ~args_in_place:false);
+          Alcotest.test_case "I3" `Quick
+            (test_fib_engine (Fpc_core.Engine.i3 ()) ~args_in_place:false);
+          Alcotest.test_case "I4" `Quick
+            (test_fib_engine (Fpc_core.Engine.i4 ()) ~args_in_place:true);
+          Alcotest.test_case "engines agree" `Quick test_fib_engines_agree;
+          Alcotest.test_case "cost ordering I4<I3<I2<I1" `Quick test_fib_costs_ordered;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "16-bit wrap" `Quick test_arithmetic_wraps;
+          Alcotest.test_case "signed comparison" `Quick test_signed_comparison;
+          Alcotest.test_case "signed division" `Quick test_division_signed;
+          Alcotest.test_case "indexed locals" `Quick test_indexed_locals;
+          Alcotest.test_case "boot args" `Quick test_boot_args;
+        ] );
+      ( "traps",
+        [
+          Alcotest.test_case "div by zero" `Quick test_div_zero_trap;
+          Alcotest.test_case "BRK" `Quick test_break_trap;
+          Alcotest.test_case "eval overflow" `Quick test_eval_overflow_trap;
+          Alcotest.test_case "handler resumes" `Quick test_trap_handler_resumes;
+          Alcotest.test_case "handler sees code" `Quick test_trap_handler_sees_code;
+          Alcotest.test_case "illegal instruction" `Quick test_illegal_instruction_fatal;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "runaway recursion" `Quick test_runaway_recursion_stops;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "long argument record" `Quick test_long_argument_record;
+          Alcotest.test_case "interface record call" `Quick test_interface_record_call;
+          Alcotest.test_case "Interface API + rebind" `Quick test_interface_module_api;
+          Alcotest.test_case "LV rebound to frame (F3)" `Quick test_lv_rebind_to_frame_full;
+          Alcotest.test_case "retained frames" `Quick test_retained_frame_across_engines;
+        ] );
+    ]

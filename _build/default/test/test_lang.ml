@@ -1,0 +1,320 @@
+(* Tests for the mini-Mesa front end: lexer, parser, typechecker,
+   pretty-printer, and a few whole-pipeline edge cases. *)
+
+open Fpc_lang
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- lexer ---- *)
+
+let toks src = List.map (fun p -> p.Lexer.tok) (Lexer.tokenize src)
+
+let test_lexer_basic () =
+  Alcotest.(check bool) "tokens" true
+    (toks "x := fib(2); -- comment\ny"
+    = [
+        Lexer.IDENT "x"; Lexer.PUNCT ":="; Lexer.IDENT "fib"; Lexer.PUNCT "(";
+        Lexer.INT_LIT 2; Lexer.PUNCT ")"; Lexer.PUNCT ";"; Lexer.IDENT "y";
+        Lexer.EOF;
+      ])
+
+let test_lexer_keywords_vs_idents () =
+  Alcotest.(check bool) "IF is keyword" true (toks "IF" = [ Lexer.KW "IF"; Lexer.EOF ]);
+  Alcotest.(check bool) "If is ident" true (toks "If" = [ Lexer.IDENT "If"; Lexer.EOF ]);
+  Alcotest.(check bool) "MODab is ident" true
+    (toks "MODab" = [ Lexer.IDENT "MODab"; Lexer.EOF ])
+
+let test_lexer_two_char_puncts () =
+  Alcotest.(check bool) "<= >= :=" true
+    (toks "a<=b>=c:=d"
+    = [
+        Lexer.IDENT "a"; Lexer.PUNCT "<="; Lexer.IDENT "b"; Lexer.PUNCT ">=";
+        Lexer.IDENT "c"; Lexer.PUNCT ":="; Lexer.IDENT "d"; Lexer.EOF;
+      ])
+
+let test_lexer_positions () =
+  let ps = Lexer.tokenize "ab\n  cd" in
+  match ps with
+  | [ a; c; _eof ] ->
+    Alcotest.(check (pair int int)) "first" (1, 1) (a.Lexer.line, a.Lexer.col);
+    Alcotest.(check (pair int int)) "second" (2, 3) (c.Lexer.line, c.Lexer.col)
+  | _ -> Alcotest.fail "unexpected token count"
+
+let test_lexer_errors () =
+  let rejects s =
+    match Lexer.tokenize s with
+    | exception Lexer.Lex_error _ -> ()
+    | _ -> Alcotest.fail ("should reject " ^ s)
+  in
+  rejects "a ? b";
+  rejects "99999999";
+  rejects "70000"
+
+(* ---- parser ---- *)
+
+let parse_exn src =
+  match Parser.parse src with Ok p -> p | Error m -> Alcotest.fail m
+
+let parse_expr_of src =
+  (* Wrap in a minimal module to reuse the program parser. *)
+  match parse_exn (Printf.sprintf "MODULE M; PROC f() = OUTPUT %s; END; END;" src) with
+  | [ { md_procs = [ { pr_body = [ Ast.Output e ]; _ } ]; _ } ] -> e
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parser_precedence () =
+  let open Ast in
+  Alcotest.(check bool) "mul binds tighter" true
+    (parse_expr_of "1 + 2 * 3"
+    = Binop (Badd, Int 1, Binop (Bmul, Int 2, Int 3)));
+  Alcotest.(check bool) "left assoc" true
+    (parse_expr_of "1 - 2 - 3"
+    = Binop (Bsub, Binop (Bsub, Int 1, Int 2), Int 3));
+  Alcotest.(check bool) "cmp above add" true
+    (parse_expr_of "1 + 2 < 3 * 4"
+    = Binop (Blt, Binop (Badd, Int 1, Int 2), Binop (Bmul, Int 3, Int 4)));
+  Alcotest.(check bool) "AND above OR" true
+    (parse_expr_of "TRUE OR FALSE AND TRUE"
+    = Binop (Bor, Bool true, Binop (Band, Bool false, Bool true)));
+  Alcotest.(check bool) "NOT above AND" true
+    (parse_expr_of "NOT TRUE AND FALSE"
+    = Binop (Band, Unop (Unot, Bool true), Bool false));
+  Alcotest.(check bool) "unary minus" true
+    (parse_expr_of "-1 * 2" = Binop (Bmul, Unop (Uneg, Int 1), Int 2));
+  Alcotest.(check bool) "parens override" true
+    (parse_expr_of "(1 + 2) * 3" = Binop (Bmul, Binop (Badd, Int 1, Int 2), Int 3))
+
+let test_parser_calls_and_values () =
+  let open Ast in
+  Alcotest.(check bool) "qualified call" true
+    (parse_expr_of "IO.read(1, 2)"
+    = Call ({ c_module = Some "IO"; c_proc = "read" }, [ Int 1; Int 2 ]));
+  Alcotest.(check bool) "proc value" true
+    (parse_expr_of "@f" = ProcVal { c_module = None; c_proc = "f" });
+  Alcotest.(check bool) "qualified proc value" true
+    (parse_expr_of "@M.g" = ProcVal { c_module = Some "M"; c_proc = "g" });
+  Alcotest.(check bool) "transfer" true
+    (parse_expr_of "TRANSFER(NIL, 1)" = Transfer (Nil, [ Int 1 ]));
+  Alcotest.(check bool) "index" true (parse_expr_of "a[i]" = Index ("a", Var "i"))
+
+let test_parser_errors () =
+  let rejects src =
+    match Parser.parse src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should reject: " ^ src)
+  in
+  rejects "MODULE M; PROC f() = x := ; END; END;";
+  rejects "MODULE M; PROC f() = IF x THEN END END;";
+  rejects "MODULE ; END;";
+  rejects "MODULE M; PROC f( = END; END;";
+  rejects "MODULE M; PROC f() = TRANSFER(); END; END;";
+  rejects "MODULE M; VAR a: ARRAY 0 OF INT; END;"
+
+(* ---- typecheck ---- *)
+
+let check_ok src =
+  match Parser.parse src with
+  | Error m -> Alcotest.fail ("parse: " ^ m)
+  | Ok prog -> (
+    match Typecheck.check prog with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail ("typecheck: " ^ m))
+
+let check_rejects src =
+  match Parser.parse src with
+  | Error _ -> Alcotest.fail ("should parse: " ^ src)
+  | Ok prog -> (
+    match Typecheck.check prog with
+    | Ok _ -> Alcotest.fail ("should reject: " ^ src)
+    | Error _ -> ())
+
+let test_typecheck_positive () =
+  check_ok
+    {|
+MODULE A;
+VAR g: INT := 3;
+PROC f(x: INT, VAR y: INT): INT =
+  y := x + g;
+  RETURN y * 2;
+END;
+END;
+MODULE Main;
+IMPORT A;
+PROC main() =
+  VAR v: INT := 0;
+  OUTPUT A.f(1, v);
+END;
+END;
+|};
+  check_ok
+    "MODULE M; PROC f() = VAR c: CONTEXT := NIL; IF c = NIL THEN OUTPUT 1; END; END; END;";
+  check_ok "MODULE M; PROC f() = VAR a: ARRAY 4 OF INT; a[0] := a[1] + 2; END; END;"
+
+let test_typecheck_negative () =
+  check_rejects "MODULE M; PROC f() = OUTPUT TRUE + 1; END; END;";
+  check_rejects "MODULE M; PROC f() = VAR b: BOOL := 3; END; END;";
+  check_rejects "MODULE M; PROC f() = VAR c: CONTEXT := NIL; OUTPUT c + 1; END; END;";
+  check_rejects "MODULE M; PROC f(x: INT) = x := TRUE; END; END;";
+  check_rejects "MODULE M; PROC f() = WHILE 1 DO END; END; END;";
+  check_rejects "MODULE M; PROC f(): INT = RETURN; END; END;";
+  check_rejects "MODULE M; PROC f() = RETURN 3; END; END;";
+  check_rejects "MODULE M; PROC f() = OUTPUT M2.g(); END; END;";
+  check_rejects "MODULE M; VAR a: ARRAY 4 OF INT; PROC f() = OUTPUT a; END; END;";
+  check_rejects "MODULE M; VAR a: ARRAY 4 OF INT; PROC f() = a := 1; END; END;";
+  check_rejects "MODULE M; PROC f() = VAR x: INT := 0; VAR x: INT := 1; END; END;";
+  check_rejects
+    "MODULE M; PROC g(VAR x: INT) = END; PROC f() = FORK g(1); END; END;";
+  check_rejects
+    "MODULE A; PROC g() = END; END; MODULE M; PROC f() = A.g(); END; END;"
+  (* A not imported *)
+
+let test_typecheck_arrays_not_params () =
+  check_rejects "MODULE M; PROC f(a: ARRAY 4 OF INT) = END; END;"
+
+(* ---- pretty round trips on deliberately gnarly ASTs ---- *)
+
+let gen_expr_arb =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun v -> Ast.Int v) (int_bound 65535);
+        map (fun b -> Ast.Bool b) bool;
+        return Ast.Nil;
+        return Ast.Retctx;
+        return (Ast.Var "x");
+        return (Ast.Index ("arr", Ast.Int 1));
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 3,
+            map3
+              (fun op a b -> Ast.Binop (op, a, b))
+              (oneofl
+                 Ast.[ Badd; Bsub; Bmul; Bdiv; Bmod; Blt; Beq; Band; Bor ])
+              (go (depth - 1)) (go (depth - 1)) );
+          (1, map (fun e -> Ast.Unop (Ast.Uneg, e)) (go (depth - 1)));
+          (1, map (fun e -> Ast.Unop (Ast.Unot, e)) (go (depth - 1)));
+          ( 1,
+            map
+              (fun args -> Ast.Call ({ c_module = None; c_proc = "f" }, args))
+              (list_size (int_bound 3) (go (depth - 1))) );
+          ( 1,
+            map
+              (fun vs -> Ast.Transfer (Ast.Var "x", vs))
+              (list_size (int_bound 2) (go (depth - 1))) );
+        ]
+  in
+  QCheck.make ~print:Pretty.expr_to_string (go 4)
+
+let prop_pretty_expr_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"pretty: expression round trip" gen_expr_arb
+    (fun e ->
+      let src =
+        Printf.sprintf "MODULE M; PROC f() = OUTPUT %s; END; END;"
+          (Pretty.expr_to_string e)
+      in
+      match Parser.parse src with
+      | Error _ -> false
+      | Ok [ { md_procs = [ { pr_body = [ Ast.Output e' ]; _ } ]; _ } ] -> e = e'
+      | Ok _ -> false)
+
+(* ---- whole-pipeline edge cases ---- *)
+
+let test_module_with_40_procs_runs () =
+  (* Exercises the GFT bias machinery from source level: procedure 35 of a
+     40-procedure module is called across a module boundary. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "MODULE Big;\n";
+  for i = 0 to 39 do
+    Buffer.add_string buf
+      (Printf.sprintf "PROC p%d(x: INT): INT = RETURN x + %d; END;\n" i i)
+  done;
+  Buffer.add_string buf "END;\nMODULE Main;\nIMPORT Big;\nPROC main() =\n";
+  Buffer.add_string buf "  OUTPUT Big.p35(1000);\n  OUTPUT Big.p0(1);\nEND;\nEND;\n";
+  let src = Buffer.contents buf in
+  List.iter
+    (fun engine ->
+      match Fpc_compiler.Compile.run ~engine src with
+      | Error m -> Alcotest.fail m
+      | Ok o -> Alcotest.(check (list int)) "outputs" [ 1035; 1 ] o.o_output)
+    [ Fpc_core.Engine.i1; Fpc_core.Engine.i2; Fpc_core.Engine.i3 ();
+      Fpc_core.Engine.i4 () ]
+
+let test_deep_expression_spills () =
+  (* A long left-leaning sum stays within the 16-word evaluation stack. *)
+  let sum = String.concat " + " (List.init 40 string_of_int) in
+  let src = Printf.sprintf "MODULE Main; PROC main() = OUTPUT %s; END; END;" sum in
+  match Fpc_compiler.Compile.run src with
+  | Error m -> Alcotest.fail m
+  | Ok o -> Alcotest.(check (list int)) "sum 0..39" [ 780 ] o.o_output
+
+let test_while_condition_with_call () =
+  (* The lowering pass must replay the condition's hoisted call at the end
+     of the loop body. *)
+  let src =
+    {|
+MODULE Main;
+VAR n: INT := 0;
+PROC tick(): INT =
+  n := n + 1;
+  RETURN n;
+END;
+PROC main() =
+  WHILE tick() < 4 DO
+    OUTPUT n;
+  END;
+  OUTPUT 100 + n;
+END;
+END;
+|}
+  in
+  match Fpc_compiler.Compile.run src with
+  | Error m -> Alcotest.fail m
+  | Ok o -> Alcotest.(check (list int)) "loop with call condition" [ 1; 2; 3; 104 ] o.o_output
+
+let test_empty_procedure_bodies () =
+  let src =
+    "MODULE Main; PROC noop() = END; PROC main() = noop(); OUTPUT 1; END; END;"
+  in
+  match Fpc_compiler.Compile.run src with
+  | Error m -> Alcotest.fail m
+  | Ok o -> Alcotest.(check (list int)) "noop" [ 1 ] o.o_output
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basic;
+          Alcotest.test_case "keywords vs idents" `Quick test_lexer_keywords_vs_idents;
+          Alcotest.test_case "two-char puncts" `Quick test_lexer_two_char_puncts;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "calls and values" `Quick test_parser_calls_and_values;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "positive" `Quick test_typecheck_positive;
+          Alcotest.test_case "negative" `Quick test_typecheck_negative;
+          Alcotest.test_case "arrays not params" `Quick test_typecheck_arrays_not_params;
+        ] );
+      ( "pretty",
+        [ qtest prop_pretty_expr_roundtrip ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "40-proc module (bias)" `Quick test_module_with_40_procs_runs;
+          Alcotest.test_case "deep expression" `Quick test_deep_expression_spills;
+          Alcotest.test_case "call in WHILE condition" `Quick test_while_condition_with_call;
+          Alcotest.test_case "empty bodies" `Quick test_empty_procedure_bodies;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Tests for the machine substrate: cost model, memory, cache. *)
+
+open Fpc_machine
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Cost ---- *)
+
+let test_cost_charges () =
+  let c = Cost.create () in
+  Cost.mem_read c;
+  Cost.mem_read c;
+  Cost.mem_write c;
+  Cost.dispatch c;
+  Cost.jump c;
+  Alcotest.(check int) "reads" 2 (Cost.mem_reads c);
+  Alcotest.(check int) "writes" 1 (Cost.mem_writes c);
+  Alcotest.(check int) "refs" 3 (Cost.mem_refs c);
+  let p = Cost.params c in
+  Alcotest.(check int) "cycles"
+    ((3 * p.mem_ref_cycles) + p.dispatch_cycles + p.jump_cycles)
+    (Cost.cycles c)
+
+let test_cost_snapshot_delta () =
+  let c = Cost.create () in
+  Cost.mem_read c;
+  let before = Cost.snapshot c in
+  Cost.mem_write c;
+  Cost.bank_ref c;
+  let d = Cost.delta ~before ~after:(Cost.snapshot c) in
+  Alcotest.(check int) "delta writes" 1 d.s_mem_writes;
+  Alcotest.(check int) "delta reads" 0 d.s_mem_reads;
+  Alcotest.(check int) "delta banks" 1 d.s_bank_refs
+
+let test_cost_reset () =
+  let c = Cost.create () in
+  Cost.mem_read c;
+  Cost.reset c;
+  Alcotest.(check int) "cycles zero" 0 (Cost.cycles c);
+  Alcotest.(check int) "refs zero" 0 (Cost.mem_refs c)
+
+(* ---- Memory ---- *)
+
+let test_memory_rw () =
+  let c = Cost.create () in
+  let m = Memory.create ~cost:c ~size_words:256 () in
+  Memory.write m 10 0x1234;
+  Alcotest.(check int) "read back" 0x1234 (Memory.read m 10);
+  Alcotest.(check int) "metered" 2 (Cost.mem_refs c);
+  Memory.poke m 11 0xFFFF;
+  Alcotest.(check int) "peek unmetered" 0xFFFF (Memory.peek m 11);
+  Alcotest.(check int) "still 2 refs" 2 (Cost.mem_refs c)
+
+let test_memory_truncates () =
+  let m = Memory.create ~size_words:16 () in
+  Memory.poke m 0 0x1FFFF;
+  Alcotest.(check int) "16-bit truncation" 0xFFFF (Memory.peek m 0)
+
+let test_memory_bounds () =
+  let m = Memory.create ~size_words:16 () in
+  Alcotest.check_raises "oob" (Invalid_argument "Memory.peek: address 16 out of range")
+    (fun () -> ignore (Memory.peek m 16))
+
+let test_code_bytes () =
+  let m = Memory.create ~size_words:64 () in
+  let code = Bytes.of_string "\x01\x02\x03\x04\x05" in
+  Memory.blit_bytes m ~code_base:8 code;
+  for i = 0 to 4 do
+    Alcotest.(check int)
+      (Printf.sprintf "byte %d" i)
+      (i + 1)
+      (Memory.peek_code_byte m ~code_base:8 ~pc:i)
+  done;
+  (* Bytes pack two per word, high byte first. *)
+  Alcotest.(check int) "word 8" 0x0102 (Memory.peek m 8);
+  Alcotest.(check int) "word 9" 0x0304 (Memory.peek m 9);
+  Alcotest.(check int) "word 10 high" 0x0500 (Memory.peek m 10)
+
+let test_poke_code_byte () =
+  let m = Memory.create ~size_words:64 () in
+  Memory.poke m 4 0xAABB;
+  Memory.poke_code_byte m ~code_base:4 ~pc:0 0x11;
+  Alcotest.(check int) "high replaced" 0x11BB (Memory.peek m 4);
+  Memory.poke_code_byte m ~code_base:4 ~pc:1 0x22;
+  Alcotest.(check int) "low replaced" 0x1122 (Memory.peek m 4)
+
+let prop_code_byte_roundtrip =
+  QCheck.Test.make ~name:"memory: code byte roundtrip"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_bound 255))
+    (fun bytes ->
+      let m = Memory.create ~size_words:64 () in
+      List.iteri (fun i b -> Memory.poke_code_byte m ~code_base:0 ~pc:i b) bytes;
+      List.for_all2
+        (fun i b -> Memory.peek_code_byte m ~code_base:0 ~pc:i = b)
+        (List.mapi (fun i _ -> i) bytes)
+        bytes)
+
+let test_words_for_bytes () =
+  Alcotest.(check int) "0" 0 (Memory.words_for_bytes 0);
+  Alcotest.(check int) "1" 1 (Memory.words_for_bytes 1);
+  Alcotest.(check int) "2" 1 (Memory.words_for_bytes 2);
+  Alcotest.(check int) "3" 2 (Memory.words_for_bytes 3)
+
+(* ---- Cache ---- *)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create () in
+  Alcotest.(check bool) "first is miss" true (Cache.access c ~address:100 ~write:false = `Miss);
+  Alcotest.(check bool) "second is hit" true (Cache.access c ~address:100 ~write:false = `Hit);
+  Alcotest.(check bool) "same line hits" true (Cache.access c ~address:101 ~write:false = `Hit)
+
+let test_cache_lru_eviction () =
+  (* 1 set x 2 ways x 1-word lines: third distinct block evicts the LRU. *)
+  let c = Cache.create ~config:{ Cache.line_words = 1; sets = 1; ways = 2 } () in
+  ignore (Cache.access c ~address:0 ~write:false);
+  ignore (Cache.access c ~address:1 ~write:false);
+  ignore (Cache.access c ~address:0 ~write:false);
+  (* 0 is MRU; inserting 2 evicts 1. *)
+  ignore (Cache.access c ~address:2 ~write:false);
+  Alcotest.(check bool) "0 still resident" true (Cache.access c ~address:0 ~write:false = `Hit);
+  Alcotest.(check bool) "1 evicted" true (Cache.access c ~address:1 ~write:false = `Miss)
+
+let test_cache_rates_and_cycles () =
+  let c = Cache.create () in
+  for _ = 1 to 4 do
+    for a = 0 to 63 do
+      ignore (Cache.access c ~address:a ~write:false)
+    done
+  done;
+  Alcotest.(check bool) "looping working set mostly hits" true (Cache.hit_rate c > 0.9);
+  let p = Cost.default_params in
+  Alcotest.(check bool) "cycles positive" true (Cache.cycles c ~params:p > 0);
+  Cache.reset c;
+  Alcotest.(check int) "reset" 0 (Cache.accesses c)
+
+let test_cache_rejects_bad_config () =
+  Alcotest.check_raises "non-pow2"
+    (Invalid_argument "Cache.create: line_words and sets must be powers of two")
+    (fun () -> ignore (Cache.create ~config:{ Cache.line_words = 3; sets = 4; ways = 1 } ()))
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "charges" `Quick test_cost_charges;
+          Alcotest.test_case "snapshot delta" `Quick test_cost_snapshot_delta;
+          Alcotest.test_case "reset" `Quick test_cost_reset;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "read/write metered" `Quick test_memory_rw;
+          Alcotest.test_case "16-bit truncation" `Quick test_memory_truncates;
+          Alcotest.test_case "bounds" `Quick test_memory_bounds;
+          Alcotest.test_case "code bytes" `Quick test_code_bytes;
+          Alcotest.test_case "poke code byte" `Quick test_poke_code_byte;
+          Alcotest.test_case "words_for_bytes" `Quick test_words_for_bytes;
+          qtest prop_code_byte_roundtrip;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "rates and cycles" `Quick test_cache_rates_and_cycles;
+          Alcotest.test_case "rejects bad config" `Quick test_cache_rejects_bad_config;
+        ] );
+    ]

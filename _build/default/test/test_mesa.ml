@@ -1,0 +1,310 @@
+(* Tests for the Mesa tables: descriptors, GFT, layout, linker, space. *)
+
+open Fpc_mesa
+open Fpc_machine
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Descriptor ---- *)
+
+let test_descriptor_cases () =
+  Alcotest.(check int) "nil packs to 0" 0 (Descriptor.pack Descriptor.Nil);
+  let d = Descriptor.Proc { gfi = 513; ev = 17 } in
+  Alcotest.(check bool) "proc roundtrip" true
+    (Descriptor.equal d (Descriptor.unpack (Descriptor.pack d)));
+  let f = Descriptor.Frame 8192 in
+  Alcotest.(check bool) "frame roundtrip" true
+    (Descriptor.equal f (Descriptor.unpack (Descriptor.pack f)));
+  Alcotest.(check bool) "tag bit distinguishes" true
+    (Descriptor.pack d land 1 = 1 && Descriptor.pack f land 1 = 0)
+
+let test_descriptor_rejects () =
+  let invalid f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "unaligned frame" true
+    (invalid (fun () -> Descriptor.pack (Descriptor.Frame 8193)));
+  Alcotest.(check bool) "gfi 0" true
+    (invalid (fun () -> Descriptor.pack (Descriptor.Proc { gfi = 0; ev = 0 })));
+  Alcotest.(check bool) "gfi too big" true
+    (invalid (fun () -> Descriptor.pack (Descriptor.Proc { gfi = 1024; ev = 0 })));
+  Alcotest.(check bool) "ev too big" true
+    (invalid (fun () -> Descriptor.pack (Descriptor.Proc { gfi = 1; ev = 32 })));
+  Alcotest.(check bool) "malformed word" true
+    (invalid (fun () -> Descriptor.unpack 0x0006))
+
+let prop_descriptor_roundtrip =
+  QCheck.Test.make ~name:"descriptor: pack/unpack roundtrip"
+    QCheck.(pair (int_range 1 1023) (int_range 0 31))
+    (fun (gfi, ev) ->
+      let d = Descriptor.Proc { gfi; ev } in
+      Descriptor.equal d (Descriptor.unpack (Descriptor.pack d)))
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"descriptor: frame context roundtrip"
+    QCheck.(int_range 1 16383)
+    (fun q ->
+      let lf = q * 4 in
+      Descriptor.equal (Descriptor.Frame lf)
+        (Descriptor.unpack (Descriptor.pack (Descriptor.Frame lf))))
+
+(* ---- Gft ---- *)
+
+let test_gft_roundtrip () =
+  let mem = Memory.create ~size_words:4096 () in
+  let g = Gft.create ~mem ~base:16 in
+  Gft.set_entry g ~gfi:5 ~gf_addr:2048 ~bias:3;
+  Alcotest.(check (pair int int)) "entry" (2048, 3)
+    (Gft.read_entry g ~cost_mem_read:false ~gfi:5)
+
+let test_gft_metered () =
+  let cost = Cost.create () in
+  let mem = Memory.create ~cost ~size_words:4096 () in
+  let g = Gft.create ~mem ~base:16 in
+  Gft.set_entry g ~gfi:1 ~gf_addr:1024 ~bias:0;
+  ignore (Gft.read_entry g ~cost_mem_read:true ~gfi:1);
+  Alcotest.(check int) "one reference" 1 (Cost.mem_refs cost);
+  ignore (Gft.read_entry g ~cost_mem_read:false ~gfi:1);
+  Alcotest.(check int) "peek free" 1 (Cost.mem_refs cost)
+
+(* ---- a hand-built two-module program for linker tests ---- *)
+
+let leaf_module =
+  let open Fpc_isa.Opcode in
+  let b = Fpc_isa.Builder.create () in
+  List.iter (Fpc_isa.Builder.emit b) [ Sl 0; Ll 0; Li 1; Add; Ret ];
+  {
+    Compiled.m_name = "Leaf";
+    m_globals_words = 1;
+    m_global_init = [ (0, 7) ];
+    m_imports = [||];
+    m_procs =
+      [
+        {
+          Compiled.p_name = "inc";
+          p_body = Fpc_isa.Builder.to_bytes b;
+          p_locals_words = 1;
+          p_nargs = 1;
+          p_dfc_fixups = [];
+          p_lpd_fixups = [];
+        };
+      ];
+  }
+
+let main_module =
+  let open Fpc_isa.Opcode in
+  let b = Fpc_isa.Builder.create () in
+  List.iter (Fpc_isa.Builder.emit b) [ Li 41; Efc 0; Out; Ret ];
+  {
+    Compiled.m_name = "Main";
+    m_globals_words = 0;
+    m_global_init = [];
+    m_imports = [| ("Leaf", "inc") |];
+    m_procs =
+      [
+        {
+          Compiled.p_name = "main";
+          p_body = Fpc_isa.Builder.to_bytes b;
+          p_locals_words = 1;
+          p_nargs = 0;
+          p_dfc_fixups = [];
+          p_lpd_fixups = [];
+        };
+      ];
+  }
+
+let link_exn ?linkage ?extra_instances modules =
+  match Linker.link ?linkage ?extra_instances modules with
+  | Ok image -> image
+  | Error m -> Alcotest.fail m
+
+let test_link_layout () =
+  let image = link_exn [ leaf_module; main_module ] in
+  let leaf = Image.find_instance image "Leaf" in
+  let main = Image.find_instance image "Main" in
+  Alcotest.(check bool) "distinct gfis" true (leaf.ii_gfi <> main.ii_gfi);
+  Alcotest.(check int) "gf quad aligned" 0 (leaf.ii_gf_addr land 3);
+  Alcotest.(check int) "code base in GF" leaf.ii_code_base
+    (Memory.peek image.mem leaf.ii_gf_addr);
+  Alcotest.(check int) "global init" 7
+    (Memory.peek image.mem (leaf.ii_gf_addr + Image.global_base));
+  (* Main's LV entry 0 sits at gf-1 and holds Leaf.inc's descriptor. *)
+  let lv_word = Memory.peek image.mem (main.ii_gf_addr - 1) in
+  let expected = Image.descriptor_of image ~instance:"Leaf" ~proc:"inc" in
+  Alcotest.(check int) "LV binds import" (Descriptor.pack expected) lv_word
+
+let test_link_entry_vector () =
+  let image = link_exn [ leaf_module; main_module ] in
+  let leaf = Image.find_instance image "Leaf" in
+  let pi = Image.find_proc image ~instance:"Leaf" ~proc:"inc" in
+  let ev0 = Memory.peek image.mem leaf.ii_code_base in
+  Alcotest.(check int) "EV[0]" pi.pi_entry_offset ev0;
+  let fsi = Memory.peek_code_byte image.mem ~code_base:leaf.ii_code_base ~pc:ev0 in
+  Alcotest.(check int) "fsi byte" pi.pi_fsi fsi
+
+let test_link_rejects_bad_import () =
+  let bad = { main_module with Compiled.m_imports = [| ("Nowhere", "x") |] } in
+  match Linker.link [ leaf_module; bad ] with
+  | Ok _ -> Alcotest.fail "should reject"
+  | Error m -> Alcotest.(check bool) "has message" true (String.length m > 0)
+
+let test_link_duplicate_module () =
+  match Linker.link [ leaf_module; leaf_module ] with
+  | Ok _ -> Alcotest.fail "should reject duplicates"
+  | Error _ -> ()
+
+(* A module with 40 entry points exercises the GFT bias mechanism. *)
+let big_module =
+  let proc i =
+    let b = Fpc_isa.Builder.create () in
+    Fpc_isa.Builder.emit b (Fpc_isa.Opcode.Li (i mod 11));
+    Fpc_isa.Builder.emit b Fpc_isa.Opcode.Ret;
+    {
+      Compiled.p_name = Printf.sprintf "p%d" i;
+      p_body = Fpc_isa.Builder.to_bytes b;
+      p_locals_words = 1;
+      p_nargs = 0;
+      p_dfc_fixups = [];
+      p_lpd_fixups = [];
+    }
+  in
+  {
+    Compiled.m_name = "Big";
+    m_globals_words = 0;
+    m_global_init = [];
+    m_imports = [||];
+    m_procs = List.init 40 proc;
+  }
+
+let test_bias_for_many_entry_points () =
+  let image = link_exn [ big_module ] in
+  let big = Image.find_instance image "Big" in
+  Alcotest.(check int) "two gfis (40 > 32 entries)" 2 big.ii_gfi_count;
+  let d = Image.descriptor_of image ~instance:"Big" ~proc:"p35" in
+  (match d with
+  | Descriptor.Proc { gfi; ev } ->
+    Alcotest.(check int) "gfi biased" (big.ii_gfi + 1) gfi;
+    Alcotest.(check int) "ev mod 32" 3 ev
+  | Descriptor.Frame _ | Descriptor.Nil -> Alcotest.fail "expected proc descriptor");
+  let gf0, b0 = Gft.read_entry image.gft ~cost_mem_read:false ~gfi:big.ii_gfi in
+  let gf1, b1 = Gft.read_entry image.gft ~cost_mem_read:false ~gfi:(big.ii_gfi + 1) in
+  Alcotest.(check int) "same GF" gf0 gf1;
+  Alcotest.(check (pair int int)) "biases 0 and 1" (0, 1) (b0, b1)
+
+let test_too_many_entry_points () =
+  let over =
+    {
+      big_module with
+      Compiled.m_procs =
+        List.init 129 (fun i ->
+            { (List.nth big_module.m_procs (i mod 40)) with
+              Compiled.p_name = Printf.sprintf "q%d" i });
+    }
+  in
+  match Compiled.validate over with
+  | Ok () -> Alcotest.fail "129 entry points should be rejected"
+  | Error _ -> ()
+
+let test_instantiate () =
+  let image = link_exn [ leaf_module; main_module ] in
+  (match Linker.instantiate image ~module_name:"Leaf" with
+  | Error m -> Alcotest.fail m
+  | Ok name ->
+    Alcotest.(check string) "instance name" "Leaf#1" name;
+    let i0 = Image.find_instance image "Leaf" in
+    let i1 = Image.find_instance image "Leaf#1" in
+    Alcotest.(check int) "shared code" i0.ii_code_base i1.ii_code_base;
+    Alcotest.(check bool) "separate globals" true (i0.ii_gf_addr <> i1.ii_gf_addr);
+    Alcotest.(check int) "fresh instance initialised" 7
+      (Memory.peek image.mem (i1.ii_gf_addr + Image.global_base)));
+  let direct = link_exn ~linkage:Image.Direct [ leaf_module; main_module ] in
+  match Linker.instantiate direct ~module_name:"Leaf" with
+  | Ok _ -> Alcotest.fail "direct image must refuse new instances"
+  | Error _ -> ()
+
+let test_direct_headers () =
+  let image = link_exn ~linkage:Image.Direct [ leaf_module; main_module ] in
+  let leaf = Image.find_instance image "Leaf" in
+  match Image.direct_address image ~instance:"Leaf" ~proc:"inc" with
+  | None -> Alcotest.fail "expected a direct header"
+  | Some abs ->
+    let hi = Memory.peek_code_byte image.mem ~code_base:0 ~pc:abs in
+    let lo = Memory.peek_code_byte image.mem ~code_base:0 ~pc:(abs + 1) in
+    Alcotest.(check int) "header GF" leaf.ii_gf_addr ((hi lsl 8) lor lo);
+    let pi = Image.find_proc image ~instance:"Leaf" ~proc:"inc" in
+    Alcotest.(check int) "fsi follows" pi.pi_fsi
+      (Memory.peek_code_byte image.mem ~code_base:0 ~pc:(abs + 2))
+
+let test_multi_instance_gets_no_headers () =
+  let image =
+    link_exn ~linkage:Image.Direct ~extra_instances:[ "Leaf" ]
+      [ leaf_module; main_module ]
+  in
+  Alcotest.(check (option int)) "no header under D2 fallback" None
+    (Image.direct_address image ~instance:"Leaf" ~proc:"inc")
+
+let test_relocations_refused_when_direct () =
+  let image = link_exn ~linkage:Image.Direct [ leaf_module; main_module ] in
+  (match Linker.move_code_segment image ~module_name:"Leaf" with
+  | Ok _ -> Alcotest.fail "D3: direct linkage freezes code"
+  | Error _ -> ());
+  match Linker.move_global_frame image ~instance:"Leaf" with
+  | Ok _ -> Alcotest.fail "D3 for global frames too"
+  | Error _ -> ()
+
+let test_space_measure () =
+  let image = link_exn [ leaf_module; main_module ] in
+  let r = Space.measure image in
+  Alcotest.(check int) "EV bytes: 2 procs" 4 r.ev_bytes;
+  Alcotest.(check int) "no headers external" 0 r.header_bytes;
+  Alcotest.(check int) "fsi bytes = procs" 2 r.fsi_bytes;
+  Alcotest.(check int) "one 1-byte EFC" 1 r.call_sites.efc_one_byte;
+  Alcotest.(check int) "gft entries" 2 r.gft_entries_used;
+  Alcotest.(check bool) "code accounted" true
+    (r.code_bytes = r.ev_bytes + r.header_bytes + r.fsi_bytes + r.body_bytes)
+
+let test_layout_regions () =
+  let ladder = Fpc_frames.Size_class.default in
+  let l = Layout.make ~ladder () in
+  Alcotest.(check bool) "regions ordered" true
+    (l.gft_base < l.av_base && l.av_base < l.static_base
+    && l.static_base < l.heap_base && l.heap_base < l.heap_limit
+    && l.heap_limit <= l.code_region_base
+    && l.code_region_base < l.memory_words);
+  Alcotest.(check bool) "frame region test" true
+    (Layout.in_frame_region l l.heap_base
+    && (not (Layout.in_frame_region l (l.heap_base - 1)))
+    && not (Layout.in_frame_region l l.heap_limit))
+
+let () =
+  Alcotest.run "mesa"
+    [
+      ( "descriptor",
+        [
+          Alcotest.test_case "cases" `Quick test_descriptor_cases;
+          Alcotest.test_case "rejects" `Quick test_descriptor_rejects;
+          qtest prop_descriptor_roundtrip;
+          qtest prop_frame_roundtrip;
+        ] );
+      ( "gft",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_gft_roundtrip;
+          Alcotest.test_case "metered read" `Quick test_gft_metered;
+        ] );
+      ( "linker",
+        [
+          Alcotest.test_case "layout" `Quick test_link_layout;
+          Alcotest.test_case "entry vector" `Quick test_link_entry_vector;
+          Alcotest.test_case "bad import" `Quick test_link_rejects_bad_import;
+          Alcotest.test_case "duplicate module" `Quick test_link_duplicate_module;
+          Alcotest.test_case "bias >32 entries" `Quick test_bias_for_many_entry_points;
+          Alcotest.test_case "129 entries rejected" `Quick test_too_many_entry_points;
+          Alcotest.test_case "instantiate" `Quick test_instantiate;
+          Alcotest.test_case "direct headers" `Quick test_direct_headers;
+          Alcotest.test_case "D2 fallback" `Quick test_multi_instance_gets_no_headers;
+          Alcotest.test_case "D3 refusals" `Quick test_relocations_refused_when_direct;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "measure" `Quick test_space_measure;
+          Alcotest.test_case "layout regions" `Quick test_layout_regions;
+        ] );
+    ]

@@ -1,0 +1,289 @@
+(* Stress and interaction tests: coroutines inside processes, traps under
+   every engine, extreme engine configurations, small-memory images.  The
+   invariant throughout: behaviour is identical whatever the machinery
+   underneath (F-properties + §2's levels of abstraction). *)
+
+let engines =
+  [
+    ("I1", Fpc_core.Engine.i1);
+    ("I2", Fpc_core.Engine.i2);
+    ("I3", Fpc_core.Engine.i3 ());
+    ("I4", Fpc_core.Engine.i4 ());
+  ]
+
+let run_engine ~engine src =
+  match Fpc_compiler.Compile.run ~engine src with
+  | Error m -> Alcotest.fail m
+  | Ok o -> (
+    match o.Fpc_interp.Interp.o_status with
+    | Fpc_core.State.Halted -> o.o_output
+    | Fpc_core.State.Running -> Alcotest.fail "still running"
+    | Fpc_core.State.Trapped r ->
+      Alcotest.fail ("trapped: " ^ Fpc_core.State.trap_reason_to_string r))
+
+let all_engines_agree ?expected src () =
+  let reference = run_engine ~engine:Fpc_core.Engine.i2 src in
+  (match expected with
+  | Some e -> Alcotest.(check (list int)) "reference output" e reference
+  | None -> ());
+  List.iter
+    (fun (name, engine) ->
+      Alcotest.(check (list int)) name reference (run_engine ~engine src))
+    engines
+
+(* Each forked process spins up its own coroutine partner: frame heaps,
+   banks, return stacks and the scheduler all interleave. *)
+let coroutines_in_processes =
+  {|
+MODULE Main;
+VAR finished: INT := 0;
+PROC gen(start: INT) =
+  VAR who: CONTEXT := RETCTX;
+  VAR n: INT := start;
+  WHILE TRUE DO
+    TRANSFER(who, n);
+    who := RETCTX;
+    n := n + 10;
+  END;
+END;
+PROC worker(id: INT) =
+  VAR v: INT := TRANSFER(@gen, id * 100);
+  VAR co: CONTEXT := RETCTX;
+  VAR i: INT := 0;
+  WHILE i < 3 DO
+    OUTPUT v;
+    YIELD;
+    v := TRANSFER(co, 0);
+    co := RETCTX;
+    i := i + 1;
+  END;
+  finished := finished + 1;
+END;
+PROC main() =
+  FORK worker(1);
+  FORK worker(2);
+  WHILE finished < 2 DO
+    YIELD;
+  END;
+  OUTPUT 9999;
+END;
+END;
+|}
+
+(* Mutual recursion across a module boundary. *)
+let mutual_recursion =
+  {|
+MODULE Odd;
+IMPORT Even;
+PROC odd(n: INT): INT =
+  IF n = 0 THEN
+    RETURN 0;
+  END;
+  RETURN Even.even(n - 1);
+END;
+END;
+
+MODULE Even;
+IMPORT Odd;
+PROC even(n: INT): INT =
+  IF n = 0 THEN
+    RETURN 1;
+  END;
+  RETURN Odd.odd(n - 1);
+END;
+END;
+
+MODULE Main;
+IMPORT Odd, Even;
+PROC main() =
+  OUTPUT Odd.odd(11);
+  OUTPUT Even.even(10);
+  OUTPUT Odd.odd(40);
+END;
+END;
+|}
+
+(* A procedure value passed between processes and TRANSFERred to. *)
+let proc_values_across_processes =
+  {|
+MODULE Main;
+VAR done_count: INT := 0;
+PROC helper(x: INT) =
+  OUTPUT x * 2;
+  TRANSFER(RETCTX, 0);
+END;
+PROC worker(which: INT) =
+  TRANSFER(@helper, which + 5);
+  done_count := done_count + 1;
+END;
+PROC main() =
+  FORK worker(10);
+  FORK worker(20);
+  WHILE done_count < 2 DO
+    YIELD;
+  END;
+  OUTPUT done_count;
+END;
+END;
+|}
+
+let test_trap_handler_all_engines () =
+  (* A source-level handler procedure installed as the machine's trap
+     context; the faulting division resumes with the handler's value. *)
+  let src =
+    {|
+MODULE Main;
+PROC handler(code: INT): INT =
+  OUTPUT 7000 + code;
+  RETURN 5555;
+END;
+PROC main() =
+  VAR zero: INT := 0;
+  OUTPUT 100 / (zero + 1);
+  OUTPUT 200 / zero;
+  OUTPUT 300;
+END;
+END;
+|}
+  in
+  List.iter
+    (fun (name, engine) ->
+      let convention = Fpc_compiler.Convention.for_engine engine in
+      let image =
+        match Fpc_compiler.Compile.image ~convention src with
+        | Ok i -> i
+        | Error m -> Alcotest.fail m
+      in
+      Fpc_mesa.Image.set_trap_handler image
+        (Fpc_mesa.Image.descriptor_of image ~instance:"Main" ~proc:"handler");
+      let st =
+        Fpc_interp.Interp.run_program ~image ~engine ~instance:"Main" ~proc:"main"
+          ~args:[] ()
+      in
+      let o = Fpc_interp.Interp.outcome st in
+      (match o.o_status with
+      | Fpc_core.State.Halted -> ()
+      | _ -> Alcotest.fail (name ^ ": did not halt"));
+      Alcotest.(check (list int)) name
+        [ 100; 7000 + Fpc_core.State.trap_code Fpc_core.State.Div_zero; 5555; 300 ]
+        o.o_output)
+    engines
+
+let test_extreme_engine_configs () =
+  (* Degenerate configurations must still be correct, only slower. *)
+  let src = Fpc_workload.Programs.find "fib" in
+  let reference = run_engine ~engine:Fpc_core.Engine.i2 src in
+  let configs =
+    [
+      ("1-deep return stack", Fpc_core.Engine.i3 ~return_stack_depth:1 ());
+      ("2 banks", Fpc_core.Engine.i4
+         ~bank_config:{ Fpc_regbank.Bank_file.default_config with bank_count = 2 } ());
+      ("4-word banks", Fpc_core.Engine.i4
+         ~bank_config:{ Fpc_regbank.Bank_file.default_config with bank_words = 4 } ());
+      ("64-word banks", Fpc_core.Engine.i4
+         ~bank_config:{ Fpc_regbank.Bank_file.default_config with bank_words = 64 } ());
+      ("no dirty tracking", Fpc_core.Engine.i4
+         ~bank_config:{ Fpc_regbank.Bank_file.default_config with track_dirty = false } ());
+      ("tiny free-frame stack", Fpc_core.Engine.i4 ~free_frame_stack_depth:1 ());
+      ("divert policy", Fpc_core.Engine.i4
+         ~bank_config:{ Fpc_regbank.Bank_file.default_config with
+                        pointer_policy = Fpc_regbank.Bank_file.Divert } ());
+    ]
+  in
+  List.iter
+    (fun (name, engine) ->
+      Alcotest.(check (list int)) name reference (run_engine ~engine src))
+    configs
+
+let test_extreme_configs_whole_suite () =
+  (* The brutal configuration (1 bank beyond the stack bank, 1-deep return
+     stack) over every sequential suite program. *)
+  let engine =
+    Fpc_core.Engine.i4 ~return_stack_depth:1
+      ~bank_config:{ Fpc_regbank.Bank_file.default_config with bank_count = 2 }
+      ~free_frame_stack_depth:1 ()
+  in
+  List.iter
+    (fun program ->
+      let src = Fpc_workload.Programs.find program in
+      let reference = run_engine ~engine:Fpc_core.Engine.i2 src in
+      Alcotest.(check (list int)) program reference (run_engine ~engine src))
+    Fpc_workload.Programs.sequential
+
+let test_small_memory_image () =
+  let src = Fpc_workload.Programs.find "fib" in
+  match
+    Fpc_compiler.Compile.image ~memory_words:16384 src
+  with
+  | Error m -> Alcotest.fail m
+  | Ok image ->
+    let st =
+      Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2
+        ~instance:"Main" ~proc:"main" ~args:[] ()
+    in
+    Alcotest.(check (list int)) "fib in 16K words" [ 377 ]
+      (Fpc_core.State.output st)
+
+let test_var_params_through_deep_calls () =
+  (* A pointer to main's local threads through three call levels and is
+     written at the bottom — C2 machinery under banks. *)
+  let src =
+    {|
+MODULE Main;
+PROC c(VAR x: INT) =
+  x := x + 100;
+END;
+PROC b(VAR x: INT) =
+  c(x);
+  x := x + 10;
+END;
+PROC a(VAR x: INT) =
+  b(x);
+  x := x + 1;
+END;
+PROC main() =
+  VAR v: INT := 0;
+  a(v);
+  OUTPUT v;
+  a(v);
+  OUTPUT v;
+END;
+END;
+|}
+  in
+  all_engines_agree ~expected:[ 111; 222 ] src ()
+
+let test_outputs_inside_coroutine_bodies () =
+  all_engines_agree coroutines_in_processes ()
+
+let test_mutual_recursion () =
+  all_engines_agree ~expected:[ 1; 1; 0 ] mutual_recursion ()
+
+let test_proc_values_across_processes () =
+  all_engines_agree proc_values_across_processes ()
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "interaction",
+        [
+          Alcotest.test_case "coroutines inside processes" `Quick
+            test_outputs_inside_coroutine_bodies;
+          Alcotest.test_case "mutual recursion across modules" `Quick
+            test_mutual_recursion;
+          Alcotest.test_case "procedure values across processes" `Quick
+            test_proc_values_across_processes;
+          Alcotest.test_case "VAR params through deep calls" `Quick
+            test_var_params_through_deep_calls;
+          Alcotest.test_case "trap handler on all engines" `Quick
+            test_trap_handler_all_engines;
+        ] );
+      ( "configurations",
+        [
+          Alcotest.test_case "degenerate engine configs" `Quick
+            test_extreme_engine_configs;
+          Alcotest.test_case "brutal config, whole suite" `Quick
+            test_extreme_configs_whole_suite;
+          Alcotest.test_case "16K-word image" `Quick test_small_memory_image;
+        ] );
+    ]
