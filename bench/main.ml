@@ -10,7 +10,33 @@
    2. Bechamel micro-benchmarks of the simulator itself (host wall-clock),
       so regressions in the reproduction's own code are visible: the
       interpreter under each engine, the AV allocator, the return stack and
-      the bank file.  Enabled with the `micro` argument. *)
+      the bank file.  Enabled with the `micro` argument.
+
+   3. The execution-service throughput benchmark (`svc` argument): the
+      whole workload suite x all four engines pushed through an
+      Fpc_svc.Pool at 1, 2, 4 and 8 worker domains, reporting jobs/sec
+      and the speedup over one domain.
+
+   With no arguments all three layers run.  `--json` additionally writes
+   every recorded (name, metric, value) measurement to
+   BENCH_results.json, the perf-trajectory file tracked across PRs. *)
+
+(* Measurements destined for BENCH_results.json, in recording order. *)
+let recorded : (string * string * float) list ref = ref []
+let record name metric value = recorded := (name, metric, value) :: !recorded
+
+let write_json path =
+  let open Fpc_util.Jsonout in
+  let entries =
+    List.rev_map
+      (fun (name, metric, value) ->
+        Obj [ ("name", String name); ("metric", String metric); ("value", Float value) ])
+      !recorded
+  in
+  let oc = open_out path in
+  output_string oc (pretty (List entries));
+  close_out oc;
+  Printf.printf "wrote %d measurements to %s\n" (List.length entries) path
 
 let run_experiments filter =
   let wanted (key, _) =
@@ -101,6 +127,58 @@ let bench_banks =
            Fpc_regbank.Bank_file.release_frame bf ~lf
          done))
 
+(* ------------------------------------------------------------------ *)
+
+(* Pool throughput: the full suite x all four engines, twice over (so the
+   compilation cache gets both cold and warm traffic), at increasing
+   domain counts.  Simulated results are deterministic, so the run also
+   double-checks that every job succeeds at every width. *)
+let run_svc () =
+  let specs =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun engine -> Fpc_svc.Job.spec ~engine (Fpc_svc.Job.Suite name))
+          [ "i1"; "i2"; "i3"; "i4" ])
+      Fpc_workload.Programs.names
+  in
+  let specs = specs @ specs in
+  let njobs = List.length specs in
+  let open Fpc_util.Tablefmt in
+  let tb =
+    create ~title:"svc pool throughput (suite x 4 engines, x2)"
+      ~columns:
+        [ ("domains", Right); ("jobs", Right); ("wall", Right);
+          ("jobs/sec", Right); ("speedup", Right); ("cache hit", Right) ]
+  in
+  let base = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let t0 = Unix.gettimeofday () in
+      let results, metrics = Fpc_svc.Pool.run_jobs ~domains specs in
+      let wall = Unix.gettimeofday () -. t0 in
+      List.iter
+        (fun (r : Fpc_svc.Job.result) ->
+          match r.outcome with
+          | Fpc_svc.Job.Output _ -> ()
+          | Fpc_svc.Job.Failed (_, m) ->
+            failwith (Printf.sprintf "svc bench job %d failed: %s" r.id m))
+        results;
+      let jps = float_of_int njobs /. wall in
+      if !base = 0.0 then base := jps;
+      record (Printf.sprintf "svc/throughput/%dd" domains) "jobs_per_sec" jps;
+      record (Printf.sprintf "svc/throughput/%dd" domains) "speedup" (jps /. !base);
+      add_row tb
+        [ cell_int domains; cell_int njobs; Printf.sprintf "%.3fs" wall;
+          cell_float ~decimals:1 jps; cell_ratio ~decimals:2 (jps /. !base);
+          cell_pct (Fpc_svc.Image_cache.hit_rate metrics.Fpc_svc.Metrics.cache) ])
+    [ 1; 2; 4; 8 ];
+  add_note tb
+    (Printf.sprintf "host reports %d recommended domain(s)"
+       (Fpc_svc.Pool.recommended_domains ()));
+  print tb;
+  print_newline ()
+
 let run_micro () =
   let open Bechamel in
   let tests =
@@ -129,14 +207,23 @@ let run_micro () =
       Hashtbl.iter
         (fun name result ->
           match Bechamel.Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns\n" name est
+          | Some [ est ] ->
+            record ("micro/" ^ name) "ns_per_run" est;
+            Printf.printf "  %-28s %12.1f ns\n" name est
           | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
         table)
     results
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
   let micro = List.mem "micro" args in
-  let filter = List.filter (fun a -> a <> "micro") args in
-  run_experiments filter;
-  if micro || filter = [] then run_micro ()
+  let svc = List.mem "svc" args in
+  let filter =
+    List.filter (fun a -> not (List.mem a [ "micro"; "svc"; "--json" ])) args
+  in
+  let everything = filter = [] && (not micro) && not svc in
+  if everything || filter <> [] then run_experiments filter;
+  if micro || everything then run_micro ();
+  if svc || everything then run_svc ();
+  if json then write_json "BENCH_results.json"

@@ -271,8 +271,160 @@ let suite_cmd =
   Cmd.v (Cmd.info "suite" ~doc:"List the built-in benchmark programs.")
     Term.(ret (const action $ const ()))
 
+(* ---- batch ---- *)
+
+let domains_arg =
+  Arg.(value & opt int 0 & info [ "j"; "domains" ] ~docv:"N"
+         ~doc:"Worker domains in the pool; 0 (the default) picks the \
+               host's recommended domain count.")
+
+let resolve_domains n = if n <= 0 then Fpc_svc.Pool.recommended_domains () else n
+
+let suite_specs ~engines ~fuel =
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun engine ->
+          Fpc_svc.Job.spec ~engine ~fuel (Fpc_svc.Job.Suite name))
+        engines)
+    Fpc_workload.Programs.names
+
+let read_jobfile path =
+  let ic = open_in path in
+  let specs = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let trimmed = String.trim line in
+       if trimmed <> "" && trimmed.[0] <> '#' then
+         match Fpc_svc.Job.parse_request trimmed with
+         | Ok spec -> specs := spec :: !specs
+         | Error m ->
+           close_in ic;
+           failwith (Printf.sprintf "%s:%d: %s" path !lineno m)
+     done
+   with End_of_file -> close_in ic);
+  List.rev !specs
+
+let batch_cmd =
+  let action jobfile domains engines_csv fuel json =
+    handle (fun () ->
+        let engines =
+          String.split_on_char ',' engines_csv
+          |> List.map String.trim
+          |> List.filter (fun e -> e <> "")
+        in
+        List.iter
+          (fun e ->
+            match Fpc_svc.Job.engine_of_name e with
+            | Ok _ -> ()
+            | Error m -> failwith m)
+          engines;
+        let specs =
+          match jobfile with
+          | Some path when Sys.file_exists path -> read_jobfile path
+          | Some path -> failwith (Printf.sprintf "%s: no such jobfile" path)
+          | None -> suite_specs ~engines ~fuel
+        in
+        if specs = [] then failwith "no jobs to run";
+        let results, metrics =
+          Fpc_svc.Pool.run_jobs ~domains:(resolve_domains domains) specs
+        in
+        List.iter
+          (fun r ->
+            if json then
+              print_endline
+                (Fpc_util.Jsonout.to_string
+                   (Fpc_svc.Job.result_to_json ~times:false r))
+            else print_endline (Fpc_svc.Job.result_line r))
+          results;
+        prerr_string (Fpc_svc.Metrics.render metrics))
+  in
+  let jobfile =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"JOBFILE"
+           ~doc:"A file of job request lines (prog=NAME or src=TEXT, plus \
+                 optional engine= and fuel=; blank lines and # comments \
+                 ignored).  Omit to run the whole built-in suite.")
+  in
+  let engines =
+    Arg.(value & opt string "i1,i2,i3,i4" & info [ "engines" ] ~docv:"LIST"
+           ~doc:"Comma-separated engines used when running the built-in \
+                 suite (ignored with a JOBFILE).")
+  in
+  let fuel =
+    Arg.(value & opt int Fpc_svc.Job.default_fuel & info [ "fuel" ] ~docv:"N"
+           ~doc:"Step budget for suite jobs (ignored with a JOBFILE).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print each result as a JSON line (deterministic fields \
+                 only) instead of the text summary.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run many jobs across a pool of worker domains, with a shared \
+             compilation cache; per-job results (stdout, in submission \
+             order) are byte-identical at any domain count.  Pool metrics \
+             go to stderr.")
+    Term.(ret (const action $ jobfile $ domains_arg $ engines $ fuel $ json))
+
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let action domains no_times =
+    handle (fun () ->
+        let pool = Fpc_svc.Pool.create ~domains:(resolve_domains domains) () in
+        let print_result r =
+          print_endline
+            (Fpc_util.Jsonout.to_string
+               (Fpc_svc.Job.result_to_json ~times:(not no_times) r));
+          flush stdout
+        in
+        let drain () = List.iter print_result (Fpc_svc.Pool.poll pool) in
+        (try
+           while true do
+             let line = String.trim (input_line stdin) in
+             (if line <> "" && line.[0] <> '#' then
+                match Fpc_svc.Job.parse_request line with
+                | Ok spec -> ignore (Fpc_svc.Pool.submit pool spec)
+                | Error m ->
+                  print_endline
+                    (Fpc_util.Jsonout.to_string
+                       (Fpc_util.Jsonout.Obj
+                          [
+                            ("id", Fpc_util.Jsonout.Null);
+                            ("status", Fpc_util.Jsonout.String "error");
+                            ("error", Fpc_util.Jsonout.String "bad-request");
+                            ("message", Fpc_util.Jsonout.String m);
+                          ]));
+                  flush stdout);
+             drain ()
+           done
+         with End_of_file -> ());
+        List.iter print_result (Fpc_svc.Pool.await pool);
+        let metrics = Fpc_svc.Pool.metrics pool in
+        Fpc_svc.Pool.shutdown pool;
+        prerr_string (Fpc_svc.Metrics.render metrics))
+  in
+  let no_times =
+    Arg.(value & flag & info [ "no-times" ]
+           ~doc:"Omit host timing and cache-hit fields from responses, \
+                 leaving only deterministic ones.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"A minimal job server: read newline-delimited job requests \
+             (prog=NAME or src=TEXT, optional engine= and fuel=) from \
+             stdin, execute them on a worker-domain pool, and write one \
+             JSON result per line to stdout as jobs complete.")
+    Term.(ret (const action $ domains_arg $ no_times))
+
 let main_cmd =
   let doc = "the Fast Procedure Calls (Lampson, ASPLOS 1982) reproduction" in
-  Cmd.group (Cmd.info "fpc" ~doc) [ run_cmd; disasm_cmd; trace_cmd; image_cmd; experiment_cmd; suite_cmd ]
+  Cmd.group (Cmd.info "fpc" ~doc)
+    [ run_cmd; disasm_cmd; trace_cmd; image_cmd; experiment_cmd; suite_cmd;
+      batch_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

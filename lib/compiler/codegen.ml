@@ -208,66 +208,65 @@ let rec gen_stmt ctx (s : stmt) =
 
 (* ---- static import-frequency ordering (one-byte EFC allocation) ---- *)
 
-(* Whether the module is being compiled with direct linkage, in which case
-   own-module call targets also need link-vector entries. *)
-let current_direct = ref false
-
-let rec count_expr ~current tally (e : expr) =
+(* [direct]: whether the module is being compiled with direct linkage, in
+   which case own-module call targets also need link-vector entries.
+   Threaded explicitly (no global state) so modules can be compiled
+   concurrently from several domains. *)
+let rec count_expr ~current ~direct tally (e : expr) =
   match e with
   | Int _ | Bool _ | Nil | Retctx | Var _ -> ()
-  | Index (_, i) -> count_expr ~current tally i
-  | Unop (_, a) -> count_expr ~current tally a
+  | Index (_, i) -> count_expr ~current ~direct tally i
+  | Unop (_, a) -> count_expr ~current ~direct tally a
   | Binop (_, a, b) ->
-    count_expr ~current tally a;
-    count_expr ~current tally b
-  | ProcVal c -> count_callee ~current tally c ~weight:1
+    count_expr ~current ~direct tally a;
+    count_expr ~current ~direct tally b
+  | ProcVal c -> count_callee ~current ~direct tally c ~weight:1
   | Call (c, args) ->
-    count_callee ~current tally c ~weight:3;
-    List.iter (count_expr ~current tally) args
+    count_callee ~current ~direct tally c ~weight:3;
+    List.iter (count_expr ~current ~direct tally) args
   | Transfer (dest, values) ->
-    count_expr ~current tally dest;
-    List.iter (count_expr ~current tally) values
+    count_expr ~current ~direct tally dest;
+    List.iter (count_expr ~current ~direct tally) values
 
-and count_callee ~current tally (c : callee) ~weight =
+and count_callee ~current ~direct tally (c : callee) ~weight =
   let m = Option.value c.c_module ~default:current in
   let key = (m, c.c_proc) in
   let needs_lv = not (String.equal m current) in
   (* Own procedures enter the LV when used as descriptor values (weight 1)
      or, under direct linkage, as early-bound call targets (the tally's
-     [direct] flag is threaded through [current_direct]). *)
-  if needs_lv || weight = 1 || !current_direct then
+     [direct] flag). *)
+  if needs_lv || weight = 1 || direct then
     Hashtbl.replace tally key (weight + Option.value (Hashtbl.find_opt tally key) ~default:0)
 
-let rec count_stmt ~current tally (s : stmt) =
+let rec count_stmt ~current ~direct tally (s : stmt) =
   match s with
   | Local (_, _, Some e) | Assign (_, e) | Return (Some e) | Output e ->
-    count_expr ~current tally e
+    count_expr ~current ~direct tally e
   | AssignIdx (_, i, e) ->
-    count_expr ~current tally i;
-    count_expr ~current tally e
+    count_expr ~current ~direct tally i;
+    count_expr ~current ~direct tally e
   | Local (_, _, None) | Return None | YieldS | StopS -> ()
   | If (c, a, b) ->
-    count_expr ~current tally c;
-    List.iter (count_stmt ~current tally) a;
-    List.iter (count_stmt ~current tally) b
+    count_expr ~current ~direct tally c;
+    List.iter (count_stmt ~current ~direct tally) a;
+    List.iter (count_stmt ~current ~direct tally) b
   | While (c, body) ->
-    count_expr ~current tally c;
-    List.iter (count_stmt ~current tally) body
+    count_expr ~current ~direct tally c;
+    List.iter (count_stmt ~current ~direct tally) body
   | CallS (c, args) ->
-    count_callee ~current tally c ~weight:3;
-    List.iter (count_expr ~current tally) args
+    count_callee ~current ~direct tally c ~weight:3;
+    List.iter (count_expr ~current ~direct tally) args
   | TransferS (dest, values) ->
-    count_expr ~current tally dest;
-    List.iter (count_expr ~current tally) values
+    count_expr ~current ~direct tally dest;
+    List.iter (count_expr ~current ~direct tally) values
   | ForkS (c, args) ->
-    count_callee ~current tally c ~weight:1;
-    List.iter (count_expr ~current tally) args
+    count_callee ~current ~direct tally c ~weight:1;
+    List.iter (count_expr ~current ~direct tally) args
 
 let import_order ~current ~direct (m : module_decl) =
-  current_direct := direct;
   let tally = Hashtbl.create 16 in
   List.iter
-    (fun p -> List.iter (count_stmt ~current tally) p.pr_body)
+    (fun p -> List.iter (count_stmt ~current ~direct tally) p.pr_body)
     m.md_procs;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
   |> List.sort (fun (ka, va) (kb, vb) ->

@@ -6,6 +6,10 @@ let create ?cost ~size_words () =
   if size_words <= 0 then invalid_arg "Memory.create: size must be positive";
   { store = Array.make size_words 0; cost }
 
+let clone ?cost t =
+  { store = Array.copy t.store;
+    cost = (match cost with Some _ -> cost | None -> t.cost) }
+
 let size t = Array.length t.store
 let set_cost t c = t.cost <- Some c
 let cost t = t.cost

@@ -25,6 +25,12 @@ val create : ?cost:Cost.t -> size_words:int -> unit -> t
 (** Fresh zeroed storage.  When [cost] is given, metered accesses charge it;
     it can be replaced later with {!set_cost}. *)
 
+val clone : ?cost:Cost.t -> t -> t
+(** An independent copy of the store: same contents, its own word array.
+    Metered accesses on the copy charge [cost] (default: the original's
+    meter).  This is what lets a linked image be cached and re-run — each
+    execution works on a clone, leaving the pristine store untouched. *)
+
 val size : t -> int
 val set_cost : t -> Cost.t -> unit
 val cost : t -> Cost.t option

@@ -40,6 +40,32 @@ type t = {
   mutable gfi_cursor : int;
 }
 
+let clone t =
+  let cost = Cost.create ~params:(Cost.params t.cost) () in
+  let mem = Memory.clone ~cost t.mem in
+  let layout = t.layout in
+  let allocator =
+    Fpc_frames.Alloc_vector.create ~mem
+      ~ladder:(Fpc_frames.Alloc_vector.ladder t.allocator)
+      ~av_base:layout.Layout.av_base ~heap_base:layout.Layout.heap_base
+      ~heap_limit:layout.Layout.heap_limit ()
+  in
+  {
+    mem;
+    cost;
+    allocator;
+    gft = Gft.create ~mem ~base:(Gft.base t.gft);
+    layout;
+    linkage = t.linkage;
+    instances =
+      List.map (fun ii -> { ii with ii_gf_addr = ii.ii_gf_addr }) t.instances;
+    procs = Hashtbl.copy t.procs;
+    source = t.source;
+    static_cursor = t.static_cursor;
+    code_cursor = t.code_cursor;
+    gfi_cursor = t.gfi_cursor;
+  }
+
 let find_instance t name =
   match List.find_opt (fun i -> String.equal i.ii_name name) t.instances with
   | Some i -> i

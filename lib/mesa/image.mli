@@ -53,6 +53,14 @@ type t = {
   mutable gfi_cursor : int;  (** next unassigned GFT index *)
 }
 
+val clone : t -> t
+(** An independent copy of the image: the simulated store is duplicated and
+    the copy gets a fresh cost meter (same parameters) and a fresh frame
+    allocator over the duplicated store.  Running a program {e mutates} its
+    image (frames are carved from the heap, globals are written, I1 installs
+    its link tables in the static region), so a cached pristine image must
+    be cloned once per execution; the original is never touched. *)
+
 val find_instance : t -> string -> instance_info
 (** Raises [Not_found]. *)
 

@@ -1,0 +1,47 @@
+(** A content-addressed cache of linked program images.
+
+    Keyed by the MD5 digest of the source text plus the calling
+    convention (linkage × args-in-place) — the two inputs that determine
+    the compiled image.  A hit skips the whole pipeline: lexer, parser,
+    typechecker, lowering, codegen and linker.
+
+    The cache stores {e pristine} images and never runs one: executing a
+    program mutates its image (frames, globals, I1's link tables), so
+    every lookup — hit or miss — hands back a private
+    {!Fpc_mesa.Image.clone} that the caller may run and discard.
+
+    All operations are thread-safe (one internal mutex); entries are
+    LRU-evicted beyond [capacity].  Failed compilations are not cached —
+    resubmitting a broken source pays the front-end again, which keeps
+    error messages fresh and the cache free of dead entries. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 64) is the maximum number of cached images; each
+    holds a full simulated store (64 K words by default). *)
+
+val capacity : t -> int
+
+type stats = {
+  hits : int;
+  misses : int;  (** lookups that had to compile (including failures) *)
+  evictions : int;
+  entries : int;  (** currently cached *)
+}
+
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; 0.0 when the cache is untouched. *)
+
+val find_or_compile :
+  t ->
+  convention:Fpc_compiler.Convention.t ->
+  source:string ->
+  (Fpc_mesa.Image.t * bool * float, string) result
+(** [(image, hit, compile_s)]: a private runnable clone, whether it was
+    served from the cache, and the host seconds spent compiling (0.0 on a
+    hit).  On a miss the compiled pristine image is inserted; two domains
+    racing on the same key may both compile, and the loser's image is
+    dropped — wasted work, never wrong results. *)

@@ -1,0 +1,207 @@
+type source = Suite of string | Inline of string
+
+type spec = { source : source; engine : string; fuel : int }
+
+let default_fuel = 20_000_000
+
+let spec ?(engine = "i2") ?(fuel = default_fuel) source =
+  { source; engine; fuel }
+
+type error_kind =
+  | Bad_request
+  | Compile_error
+  | Trapped of string
+  | Fuel_exhausted
+  | Internal
+
+let error_kind_to_string = function
+  | Bad_request -> "bad-request"
+  | Compile_error -> "compile-error"
+  | Trapped r -> Printf.sprintf "trapped(%s)" r
+  | Fuel_exhausted -> "fuel-exhausted"
+  | Internal -> "internal"
+
+type outcome = Output of int list | Failed of error_kind * string
+
+type stats = {
+  cache_hit : bool;
+  compile_s : float;
+  run_s : float;
+  instructions : int;
+  cycles : int;
+  mem_refs : int;
+}
+
+let no_stats =
+  {
+    cache_hit = false;
+    compile_s = 0.0;
+    run_s = 0.0;
+    instructions = 0;
+    cycles = 0;
+    mem_refs = 0;
+  }
+
+type result = { id : int; spec : spec; outcome : outcome; stats : stats }
+
+let engine_of_name name =
+  match String.lowercase_ascii name with
+  | "i1" -> Ok Fpc_core.Engine.i1
+  | "i2" -> Ok Fpc_core.Engine.i2
+  | "i3" -> Ok (Fpc_core.Engine.i3 ())
+  | "i4" -> Ok (Fpc_core.Engine.i4 ())
+  | s -> Error (Printf.sprintf "unknown engine %s (use i1, i2, i3 or i4)" s)
+
+let source_text = function
+  | Inline src -> Ok src
+  | Suite name -> (
+    match Fpc_workload.Programs.find name with
+    | src -> Ok src
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown suite program %s (suite: %s)" name
+           (String.concat ", " Fpc_workload.Programs.names)))
+
+let source_label = function
+  | Suite name -> name
+  | Inline src ->
+    "inline:" ^ String.sub (Digest.to_hex (Digest.string src)) 0 8
+
+let outcome_equal a b =
+  match (a, b) with
+  | Output xs, Output ys -> xs = ys
+  | Failed (ka, ma), Failed (kb, mb) -> ka = kb && String.equal ma mb
+  | _ -> false
+
+(* ---- request lines ---- *)
+
+let escape_src s =
+  let buf = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ' ' -> Buffer.add_string buf "\\s"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_src s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then (
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 't' -> Buffer.add_char buf '\t'
+       | 's' -> Buffer.add_char buf ' '
+       | c -> Buffer.add_char buf c);
+       incr i)
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_request line =
+  let fields =
+    String.split_on_char ' ' (String.trim line)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun f -> f <> "")
+  in
+  let ( let* ) = Result.bind in
+  let parse_field (src, engine, fuel) field =
+    match String.index_opt field '=' with
+    | None -> Error (Printf.sprintf "malformed field %S (want key=value)" field)
+    | Some eq -> (
+      let key = String.sub field 0 eq in
+      let value = String.sub field (eq + 1) (String.length field - eq - 1) in
+      match key with
+      | "prog" -> Ok (Some (Suite value), engine, fuel)
+      | "src" -> Ok (Some (Inline (unescape_src value)), engine, fuel)
+      | "engine" -> Ok (src, value, fuel)
+      | "fuel" -> (
+        match int_of_string_opt value with
+        | Some n when n > 0 -> Ok (src, engine, Some n)
+        | Some _ | None ->
+          Error (Printf.sprintf "fuel=%s is not a positive integer" value))
+      | k -> Error (Printf.sprintf "unknown key %s (use prog, src, engine, fuel)" k))
+  in
+  let* src, engine, fuel =
+    List.fold_left
+      (fun acc field ->
+        let* acc = acc in
+        parse_field acc field)
+      (Ok (None, "i2", None))
+      fields
+  in
+  match src with
+  | None -> Error "request needs prog=NAME or src=TEXT"
+  | Some source ->
+    Ok { source; engine; fuel = Option.value fuel ~default:default_fuel }
+
+let request_of_spec s =
+  let src =
+    match s.source with
+    | Suite name -> "prog=" ^ name
+    | Inline text -> "src=" ^ escape_src text
+  in
+  Printf.sprintf "%s engine=%s fuel=%d" src s.engine s.fuel
+
+(* ---- rendering ---- *)
+
+let result_line r =
+  let head =
+    Printf.sprintf "#%d %s %s" r.id (source_label r.spec.source)
+      (String.lowercase_ascii r.spec.engine)
+  in
+  match r.outcome with
+  | Output words ->
+    Printf.sprintf "%s ok output=%s instructions=%d cycles=%d mem-refs=%d" head
+      (String.concat "," (List.map string_of_int words))
+      r.stats.instructions r.stats.cycles r.stats.mem_refs
+  | Failed (kind, msg) ->
+    Printf.sprintf "%s error %s: %s" head (error_kind_to_string kind) msg
+
+let result_to_json ?(times = true) r =
+  let open Fpc_util.Jsonout in
+  let outcome_fields =
+    match r.outcome with
+    | Output words ->
+      [
+        ("status", String "ok");
+        ("output", List (List.map (fun w -> Int w) words));
+      ]
+    | Failed (kind, msg) ->
+      [
+        ("status", String "error");
+        ("error", String (error_kind_to_string kind));
+        ("message", String msg);
+      ]
+  in
+  let sim_fields =
+    [
+      ("instructions", Int r.stats.instructions);
+      ("cycles", Int r.stats.cycles);
+      ("mem_refs", Int r.stats.mem_refs);
+    ]
+  in
+  let time_fields =
+    if times then
+      [
+        ("cache_hit", Bool r.stats.cache_hit);
+        ("compile_s", Float r.stats.compile_s);
+        ("run_s", Float r.stats.run_s);
+      ]
+    else []
+  in
+  Obj
+    ([
+       ("id", Int r.id);
+       ("source", String (source_label r.spec.source));
+       ("engine", String (String.lowercase_ascii r.spec.engine));
+       ("fuel", Int r.spec.fuel);
+     ]
+    @ outcome_fields @ sim_fields @ time_fields)

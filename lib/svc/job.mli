@@ -1,0 +1,89 @@
+(** A unit of work for the execution service: what to run, on which
+    engine, with how much fuel — and the structured result that comes
+    back.
+
+    A job's {e simulated} effects (OUTPUT words, instruction / cycle /
+    storage-reference counts) are deterministic: they depend only on the
+    spec, never on which domain ran the job, whether the image came from
+    the {!Image_cache}, or how many workers the pool had.  Host-side
+    timings ([compile_s], [run_s]) and [cache_hit] are observations about
+    {e this} execution and are excluded from {!result_line} so that batch
+    output is byte-identical at any domain count. *)
+
+type source =
+  | Suite of string  (** a built-in workload program, by name *)
+  | Inline of string  (** mini-Mesa source text *)
+
+type spec = {
+  source : source;
+  engine : string;  (** "i1".."i4" (case-insensitive) *)
+  fuel : int;  (** interpreter step budget; exhausting it fails the job *)
+}
+
+val default_fuel : int
+(** 20 million steps, matching [fpc run]'s default. *)
+
+val spec : ?engine:string -> ?fuel:int -> source -> spec
+(** Defaults: engine ["i2"], fuel {!default_fuel}. *)
+
+type error_kind =
+  | Bad_request  (** unparseable request, unknown engine or suite program *)
+  | Compile_error  (** lexer / parser / typechecker / linker rejection *)
+  | Trapped of string  (** the machine trapped (div-zero, heap exhausted, ...) *)
+  | Fuel_exhausted  (** the step budget ran out (runaway loop) *)
+  | Internal  (** unexpected exception; a bug, but isolated to the job *)
+
+val error_kind_to_string : error_kind -> string
+
+type outcome =
+  | Output of int list  (** halted normally; the OUTPUT words in order *)
+  | Failed of error_kind * string
+
+type stats = {
+  cache_hit : bool;  (** the image came from the cache (no compile) *)
+  compile_s : float;  (** host seconds spent compiling; 0.0 on a hit *)
+  run_s : float;  (** host seconds spent executing *)
+  instructions : int;  (** simulated instructions executed *)
+  cycles : int;  (** simulated cycles (the paper's cost model) *)
+  mem_refs : int;  (** simulated storage references *)
+}
+
+val no_stats : stats
+(** All-zero stats, for jobs that failed before reaching the machine. *)
+
+type result = { id : int; spec : spec; outcome : outcome; stats : stats }
+
+val engine_of_name : string -> (Fpc_core.Engine.t, string) Stdlib.result
+
+val source_text : source -> (string, string) Stdlib.result
+(** The mini-Mesa text to compile; [Error] for an unknown suite name. *)
+
+val source_label : source -> string
+(** ["fib"] for a suite program, ["inline:<digest-prefix>"] for source
+    text — a stable, short display name. *)
+
+val outcome_equal : outcome -> outcome -> bool
+
+(** {1 The request line format}
+
+    [fpc serve] and [fpc batch] jobfiles use one line per job:
+    whitespace-separated [key=value] fields.  Keys: [prog] (suite program
+    name) or [src] (inline source, with [\n] [\t] [\s] [\\] escapes for
+    newline, tab, space and backslash), plus optional [engine] and
+    [fuel].  Blank lines and lines starting with [#] are skipped by
+    callers. *)
+
+val parse_request : string -> (spec, string) Stdlib.result
+
+val request_of_spec : spec -> string
+(** Renders a spec back into a request line ([parse_request] inverse). *)
+
+(** {1 Rendering results} *)
+
+val result_line : result -> string
+(** One-line, fully deterministic summary (no host timings, no cache
+    bit): id, source label, engine, outcome, simulated counters. *)
+
+val result_to_json : ?times:bool -> result -> Fpc_util.Jsonout.t
+(** The full result as JSON.  [times:false] (default [true]) omits the
+    host-time and cache-hit fields, leaving only deterministic ones. *)

@@ -1,0 +1,124 @@
+type t = {
+  domains : int;
+  mutable jobs : int;
+  mutable succeeded : int;
+  mutable failed : int;
+  mutable fuel_exhausted : int;
+  mutable compile_s : float;
+  mutable run_s : float;
+  mutable instructions : int;
+  mutable cycles : int;
+  mutable mem_refs : int;
+}
+
+let create ~domains =
+  {
+    domains;
+    jobs = 0;
+    succeeded = 0;
+    failed = 0;
+    fuel_exhausted = 0;
+    compile_s = 0.0;
+    run_s = 0.0;
+    instructions = 0;
+    cycles = 0;
+    mem_refs = 0;
+  }
+
+let record t (r : Job.result) =
+  t.jobs <- t.jobs + 1;
+  (match r.outcome with
+  | Job.Output _ -> t.succeeded <- t.succeeded + 1
+  | Job.Failed (kind, _) ->
+    t.failed <- t.failed + 1;
+    if kind = Job.Fuel_exhausted then t.fuel_exhausted <- t.fuel_exhausted + 1);
+  t.compile_s <- t.compile_s +. r.stats.Job.compile_s;
+  t.run_s <- t.run_s +. r.stats.Job.run_s;
+  t.instructions <- t.instructions + r.stats.Job.instructions;
+  t.cycles <- t.cycles + r.stats.Job.cycles;
+  t.mem_refs <- t.mem_refs + r.stats.Job.mem_refs
+
+type snapshot = {
+  domains : int;
+  jobs : int;
+  succeeded : int;
+  failed : int;
+  fuel_exhausted : int;
+  cache : Image_cache.stats;
+  compile_s : float;
+  run_s : float;
+  wall_s : float;
+  jobs_per_sec : float;
+  instructions : int;
+  cycles : int;
+  mem_refs : int;
+}
+
+let snapshot (t : t) ~wall_s ~cache =
+  {
+    domains = t.domains;
+    jobs = t.jobs;
+    succeeded = t.succeeded;
+    failed = t.failed;
+    fuel_exhausted = t.fuel_exhausted;
+    cache;
+    compile_s = t.compile_s;
+    run_s = t.run_s;
+    wall_s;
+    jobs_per_sec =
+      (if wall_s > 0.0 then float_of_int t.jobs /. wall_s else 0.0);
+    instructions = t.instructions;
+    cycles = t.cycles;
+    mem_refs = t.mem_refs;
+  }
+
+let render (s : snapshot) =
+  let open Fpc_util.Tablefmt in
+  let tb = create ~title:"pool metrics" ~columns:[ ("", Left); ("value", Right) ] in
+  let row k v = add_row tb [ k; v ] in
+  row "domains" (cell_int s.domains);
+  row "jobs" (cell_int s.jobs);
+  row "  succeeded" (cell_int s.succeeded);
+  row "  failed" (cell_int s.failed);
+  row "    of which fuel-exhausted" (cell_int s.fuel_exhausted);
+  row "cache hits / misses"
+    (Printf.sprintf "%d / %d" s.cache.Image_cache.hits s.cache.Image_cache.misses);
+  row "cache hit rate" (cell_pct (Image_cache.hit_rate s.cache));
+  row "cache entries (evictions)"
+    (Printf.sprintf "%d (%d)" s.cache.Image_cache.entries
+       s.cache.Image_cache.evictions);
+  row "compile time (summed)" (Printf.sprintf "%.3fs" s.compile_s);
+  row "run time (summed)" (Printf.sprintf "%.3fs" s.run_s);
+  row "wall time" (Printf.sprintf "%.3fs" s.wall_s);
+  row "throughput" (Printf.sprintf "%s jobs/s" (cell_float ~decimals:1 s.jobs_per_sec));
+  row "simulated instructions" (cell_int s.instructions);
+  row "simulated cycles" (cell_int s.cycles);
+  row "simulated storage refs" (cell_int s.mem_refs);
+  render tb
+
+let to_json (s : snapshot) =
+  let open Fpc_util.Jsonout in
+  Obj
+    [
+      ("domains", Int s.domains);
+      ("jobs", Int s.jobs);
+      ("succeeded", Int s.succeeded);
+      ("failed", Int s.failed);
+      ("fuel_exhausted", Int s.fuel_exhausted);
+      ( "cache",
+        Obj
+          [
+            ("hits", Int s.cache.Image_cache.hits);
+            ("misses", Int s.cache.Image_cache.misses);
+            ("evictions", Int s.cache.Image_cache.evictions);
+            ("entries", Int s.cache.Image_cache.entries);
+            ("hit_rate", Float (Image_cache.hit_rate s.cache));
+          ] );
+      ("compile_s", Float s.compile_s);
+      ("run_s", Float s.run_s);
+      ("wall_s", Float s.wall_s);
+      ("jobs_per_sec", Float s.jobs_per_sec);
+      ("instructions", Int s.instructions);
+      ("cycles", Int s.cycles);
+      ("mem_refs", Int s.mem_refs);
+    ]

@@ -1,0 +1,40 @@
+(** Aggregate accounting for a pool: job counts by outcome, host time
+    split compile/run/wall, cache behaviour, and the total simulated work
+    done (instructions, cycles, storage references).
+
+    A {!t} is a mutable accumulator the pool feeds under its own lock
+    ({!record} itself is not synchronized); {!snapshot} freezes it
+    together with the wall clock and cache counters into the immutable
+    record that {!render} (a {!Fpc_util.Tablefmt} table) and {!to_json}
+    consume. *)
+
+type t
+
+val create : domains:int -> t
+
+val record : t -> Job.result -> unit
+(** Fold one completed job in.  Not thread-safe; callers serialize. *)
+
+type snapshot = {
+  domains : int;
+  jobs : int;
+  succeeded : int;
+  failed : int;  (** all failures, {e including} fuel exhaustion *)
+  fuel_exhausted : int;
+  cache : Image_cache.stats;
+  compile_s : float;  (** summed across jobs (overlaps across domains) *)
+  run_s : float;  (** summed across jobs (overlaps across domains) *)
+  wall_s : float;
+  jobs_per_sec : float;  (** jobs / wall_s; 0 when wall_s is 0 *)
+  instructions : int;  (** total simulated instructions *)
+  cycles : int;  (** total simulated cycles *)
+  mem_refs : int;  (** total simulated storage references *)
+}
+
+val snapshot : t -> wall_s:float -> cache:Image_cache.stats -> snapshot
+
+val render : snapshot -> string
+(** An aligned plain-text table, same formatting path as the
+    experiments. *)
+
+val to_json : snapshot -> Fpc_util.Jsonout.t

@@ -1,0 +1,180 @@
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;  (** queue non-empty, or stopping *)
+  job_done : Condition.t;  (** a result landed / the pool drained *)
+  queue : (int * Job.spec) Queue.t;
+  mutable completed_rev : Job.result list;  (** since the last poll/await *)
+  mutable next_id : int;
+  mutable active : int;  (** jobs currently executing *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  n_domains : int;
+  cache : Image_cache.t;
+  metrics : Metrics.t;  (** guarded by [mutex] *)
+  started_at : float;
+}
+
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* ---- executing one job (never raises) ---- *)
+
+let now = Unix.gettimeofday
+
+let failed ?(stats = Job.no_stats) id spec kind msg =
+  { Job.id; spec; outcome = Job.Failed (kind, msg); stats }
+
+let execute cache id (spec : Job.spec) =
+  match (Job.engine_of_name spec.engine, Job.source_text spec.source) with
+  | Error m, _ | _, Error m -> failed id spec Job.Bad_request m
+  | Ok engine, Ok source -> (
+    let convention = Fpc_compiler.Convention.for_engine engine in
+    match Image_cache.find_or_compile cache ~convention ~source with
+    | Error m -> failed id spec Job.Compile_error m
+    | exception e -> failed id spec Job.Internal (Printexc.to_string e)
+    | Ok (image, cache_hit, compile_s) -> (
+      let t0 = now () in
+      match
+        Fpc_interp.Interp.run_program ~max_steps:spec.fuel ~image ~engine
+          ~instance:"Main" ~proc:"main" ~args:[] ()
+      with
+      | exception Not_found ->
+        failed id spec Job.Compile_error "program has no Main.main()"
+      | exception e -> failed id spec Job.Internal (Printexc.to_string e)
+      | st ->
+        let o = Fpc_interp.Interp.outcome st in
+        let stats =
+          {
+            Job.cache_hit;
+            compile_s;
+            run_s = now () -. t0;
+            instructions = o.o_instructions;
+            cycles = o.o_cycles;
+            mem_refs = o.o_mem_refs;
+          }
+        in
+        let outcome =
+          match o.o_status with
+          | Fpc_core.State.Halted -> Job.Output o.o_output
+          | Fpc_core.State.Running ->
+            Job.Failed (Job.Internal, "interpreter stopped while still running")
+          | Fpc_core.State.Trapped Fpc_core.State.Step_limit ->
+            Job.Failed
+              ( Job.Fuel_exhausted,
+                Printf.sprintf "step budget of %d exhausted" spec.fuel )
+          | Fpc_core.State.Trapped r ->
+            Job.Failed
+              (Job.Trapped (Fpc_core.State.trap_reason_to_string r), "machine trap")
+        in
+        { Job.id; spec; outcome; stats }))
+
+(* ---- the worker loop ---- *)
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work_available t.mutex
+  done;
+  if Queue.is_empty t.queue then (* stopping, queue drained *)
+    Mutex.unlock t.mutex
+  else begin
+    let id, spec = Queue.pop t.queue in
+    t.active <- t.active + 1;
+    Mutex.unlock t.mutex;
+    let result = execute t.cache id spec in
+    Mutex.lock t.mutex;
+    t.active <- t.active - 1;
+    t.completed_rev <- result :: t.completed_rev;
+    Metrics.record t.metrics result;
+    Condition.broadcast t.job_done;
+    Mutex.unlock t.mutex;
+    worker_loop t
+  end
+
+let create ?domains ?cache () =
+  let domains = Option.value domains ~default:(recommended_domains ()) in
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let cache = match cache with Some c -> c | None -> Image_cache.create () in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      job_done = Condition.create ();
+      queue = Queue.create ();
+      completed_rev = [];
+      next_id = 0;
+      active = 0;
+      stopping = false;
+      workers = [];
+      n_domains = domains;
+      cache;
+      metrics = Metrics.create ~domains;
+      started_at = now ();
+    }
+  in
+  t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.n_domains
+let cache t = t.cache
+
+let submit t spec =
+  Mutex.lock t.mutex;
+  if t.stopping then (
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down");
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Queue.push (id, spec) t.queue;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex;
+  id
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue + t.active in
+  Mutex.unlock t.mutex;
+  n
+
+let take_completed t =
+  let rs = t.completed_rev in
+  t.completed_rev <- [];
+  List.rev rs
+
+let poll t =
+  Mutex.lock t.mutex;
+  let rs = take_completed t in
+  Mutex.unlock t.mutex;
+  rs
+
+let await t =
+  Mutex.lock t.mutex;
+  while not (Queue.is_empty t.queue && t.active = 0) do
+    Condition.wait t.job_done t.mutex
+  done;
+  let rs = take_completed t in
+  Mutex.unlock t.mutex;
+  List.sort (fun (a : Job.result) b -> compare a.id b.id) rs
+
+let metrics t =
+  Mutex.lock t.mutex;
+  let wall_s = now () -. t.started_at in
+  let s = Metrics.snapshot t.metrics ~wall_s ~cache:(Image_cache.stats t.cache) in
+  Mutex.unlock t.mutex;
+  s
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let run_jobs ?domains ?cache specs =
+  let t = create ?domains ?cache () in
+  List.iter (fun spec -> ignore (submit t spec)) specs;
+  let results = await t in
+  let snapshot = metrics t in
+  shutdown t;
+  (results, snapshot)

@@ -1,0 +1,59 @@
+(** A fixed pool of OCaml 5 domains executing jobs from a shared queue.
+
+    Workers pull specs from a mutex+condition work queue, compile through
+    a shared {!Image_cache} (each execution gets a private image clone),
+    and run the program to completion or until its fuel budget trips the
+    [Step_limit] trap.  Every per-job failure mode — malformed source,
+    type errors, machine traps, runaway loops, even unexpected
+    exceptions — degrades to a [Job.Failed] result; nothing a job does
+    can kill a worker or the pool.
+
+    Simulated results are deterministic: a given spec produces the same
+    {!Job.outcome} and simulated counters whatever the domain count and
+    whatever else is in flight.  Only completion {e order} and host
+    timings vary; {!await} and {!run_jobs} return results sorted by
+    submission id, so their output is reproducible. *)
+
+type t
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val create : ?domains:int -> ?cache:Image_cache.t -> unit -> t
+(** Spawns [domains] workers (default {!recommended_domains}) sharing
+    [cache] (default: a fresh one).  Raises [Invalid_argument] for
+    [domains < 1]. *)
+
+val domains : t -> int
+val cache : t -> Image_cache.t
+
+val submit : t -> Job.spec -> int
+(** Enqueue a job; returns its id (dense, starting at 0).  Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val pending : t -> int
+(** Jobs queued or currently executing. *)
+
+val poll : t -> Job.result list
+(** Results completed since the last [poll]/[await], in completion
+    order, without blocking. *)
+
+val await : t -> Job.result list
+(** Block until no job is queued or running, then return the results
+    completed since the last [poll]/[await], sorted by id. *)
+
+val metrics : t -> Metrics.snapshot
+(** Aggregate over every job completed so far; wall time is measured
+    since [create]. *)
+
+val shutdown : t -> unit
+(** Drain the queue, then stop and join all workers.  Idempotent.
+    Completed results remain available via {!poll}/{!await}. *)
+
+val run_jobs :
+  ?domains:int ->
+  ?cache:Image_cache.t ->
+  Job.spec list ->
+  Job.result list * Metrics.snapshot
+(** One-shot convenience: create a pool, run every spec, shut down.
+    Results come back sorted by id — the order the specs were given. *)

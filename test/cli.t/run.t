@@ -48,3 +48,32 @@ An experiment renders:
   $ fpc experiment E10 2>/dev/null | head -2
   ### E10 [call_density] One call or return per ~10 instructions
   paper: one call or return for every 10 instructions executed (§1)
+
+Batch execution: a jobfile over a 2-domain pool, results deterministic
+and in submission order (metrics go to stderr):
+
+  $ cat > jobs.txt <<'EOF'
+  > # two suite programs and an inline one
+  > prog=fib engine=i2
+  > prog=hanoi engine=i4 fuel=1000000
+  > src=MODULE\sMain;\nPROC\smain()\s=\n\sOUTPUT\s6\s*\s7;\nEND;\nEND; engine=i3
+  > EOF
+  $ fpc batch jobs.txt -j 2 2>/dev/null
+  #0 fib i2 ok output=377 instructions=15845 cycles=123964 mem-refs=26218
+  #1 hanoi i4 ok output=127 instructions=3569 cycles=7045 mem-refs=342
+  #2 inline:015ae353 i3 ok output=42 instructions=5 cycles=149 mem-refs=11
+
+A poisoned job fails alone; the pool keeps serving:
+
+  $ cat > poison.txt <<'EOF'
+  > src=MODULE\sMain;\sPROC
+  > prog=fib engine=i2
+  > EOF
+  $ fpc batch poison.txt 2>/dev/null | sed 's/error .*/error .../'
+  #0 inline:eacc5c73 i2 error ...
+  #1 fib i2 ok output=377 instructions=15845 cycles=123964 mem-refs=26218
+
+The server reads request lines and answers in JSON:
+
+  $ printf 'prog=fib engine=i2\n' | fpc serve --no-times 2>/dev/null
+  {"id":0,"source":"fib","engine":"i2","fuel":20000000,"status":"ok","output":[377],"instructions":15845,"cycles":123964,"mem_refs":26218}

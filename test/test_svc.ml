@@ -1,0 +1,235 @@
+(* Tests for the execution service: the worker pool, the compilation
+   cache, and the job/request plumbing.
+
+   The load-bearing properties:
+   - determinism: simulated results depend only on the spec, never on the
+     domain count or cache state;
+   - the cache actually short-circuits compilation;
+   - poisoned jobs (parse errors, runaway loops) fail as results, not as
+     pool casualties. *)
+
+open Fpc_svc
+
+let suite_specs () =
+  List.concat_map
+    (fun name ->
+      List.map (fun engine -> Job.spec ~engine (Job.Suite name))
+        [ "i1"; "i2"; "i3"; "i4" ])
+    Fpc_workload.Programs.names
+
+(* The deterministic projection of a result: everything except host
+   timings and the cache bit. *)
+let fingerprint (r : Job.result) =
+  ( r.id,
+    Job.result_line r,
+    r.stats.Job.instructions,
+    r.stats.Job.cycles,
+    r.stats.Job.mem_refs )
+
+let test_determinism_across_domain_counts () =
+  let specs = suite_specs () in
+  let r1, m1 = Pool.run_jobs ~domains:1 specs in
+  let r4, m4 = Pool.run_jobs ~domains:4 specs in
+  Alcotest.(check int) "all jobs ran (1 domain)" (List.length specs) m1.Metrics.jobs;
+  Alcotest.(check int) "all jobs ran (4 domains)" (List.length specs) m4.Metrics.jobs;
+  Alcotest.(check int) "none failed" 0 (m1.Metrics.failed + m4.Metrics.failed);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "job %d identical at 1 and 4 domains" a.Job.id)
+        true
+        (fingerprint a = fingerprint b))
+    r1 r4
+
+let test_results_in_submission_order () =
+  let specs = suite_specs () in
+  let results, _ = Pool.run_jobs ~domains:4 specs in
+  List.iteri
+    (fun i (r : Job.result) -> Alcotest.(check int) "id order" i r.id)
+    results
+
+let test_cache_hit_skips_compilation () =
+  let cache = Image_cache.create () in
+  let spec = Job.spec ~engine:"i2" (Job.Suite "fib") in
+  let pool = Pool.create ~domains:1 ~cache () in
+  ignore (Pool.submit pool spec);
+  ignore (Pool.submit pool spec);
+  let results = Pool.await pool in
+  Pool.shutdown pool;
+  match results with
+  | [ first; second ] ->
+    Alcotest.(check bool) "first is a miss" false first.Job.stats.Job.cache_hit;
+    Alcotest.(check bool) "first paid the compiler" true
+      (first.Job.stats.Job.compile_s > 0.0);
+    Alcotest.(check bool) "second is a hit" true second.Job.stats.Job.cache_hit;
+    Alcotest.(check (float 0.0)) "hit compiles for free" 0.0
+      second.Job.stats.Job.compile_s;
+    Alcotest.(check bool) "identical simulated outcome" true
+      (Job.outcome_equal first.Job.outcome second.Job.outcome);
+    let s = Image_cache.stats cache in
+    Alcotest.(check int) "one hit" 1 s.Image_cache.hits;
+    Alcotest.(check int) "one miss" 1 s.Image_cache.misses;
+    Alcotest.(check int) "one entry" 1 s.Image_cache.entries
+  | rs -> Alcotest.failf "expected 2 results, got %d" (List.length rs)
+
+let test_cache_shared_across_engines_of_one_convention () =
+  (* I1 and I2 compile under the same (external) convention, so they share
+     a cache entry; I3 (direct) and I4 (banked) each need their own. *)
+  let cache = Image_cache.create () in
+  let specs =
+    List.map (fun engine -> Job.spec ~engine (Job.Suite "fib"))
+      [ "i1"; "i2"; "i3"; "i4" ]
+  in
+  let results, _ = Pool.run_jobs ~domains:1 ~cache specs in
+  Alcotest.(check int) "all ok" 4 (List.length results);
+  let s = Image_cache.stats cache in
+  Alcotest.(check int) "three distinct images" 3 s.Image_cache.entries;
+  Alcotest.(check int) "i2 reused i1's image" 1 s.Image_cache.hits
+
+let infinite_loop_src =
+  {|
+MODULE Main;
+PROC main() =
+  VAR i: INT := 0;
+  WHILE 0 < 1 DO
+    i := i + 1;
+  END;
+END;
+END;
+|}
+
+let test_poisoned_jobs_do_not_kill_the_pool () =
+  let pool = Pool.create ~domains:2 () in
+  let bad = Pool.submit pool (Job.spec (Job.Inline "MODULE Main; PROC")) in
+  let runaway =
+    Pool.submit pool (Job.spec ~fuel:50_000 (Job.Inline infinite_loop_src))
+  in
+  let good = Pool.submit pool (Job.spec (Job.Suite "fib")) in
+  let results = Pool.await pool in
+  let find id = List.find (fun (r : Job.result) -> r.id = id) results in
+  (match (find bad).Job.outcome with
+  | Job.Failed (Job.Compile_error, _) -> ()
+  | _ ->
+    Alcotest.failf "bad source: expected compile error, got %s"
+      (Job.result_line (find bad)));
+  (match (find runaway).Job.outcome with
+  | Job.Failed (Job.Fuel_exhausted, _) -> ()
+  | _ -> Alcotest.fail "runaway loop should exhaust its fuel");
+  (match (find good).Job.outcome with
+  | Job.Output [ 377 ] -> ()
+  | _ -> Alcotest.fail "good job should still produce fib's output");
+  (* the pool is still alive and serving after the failures *)
+  let again = Pool.submit pool (Job.spec (Job.Suite "hanoi")) in
+  let results = Pool.await pool in
+  (match (List.find (fun (r : Job.result) -> r.id = again) results).Job.outcome with
+  | Job.Output [ 127 ] -> ()
+  | _ -> Alcotest.fail "pool must keep serving after poisoned jobs");
+  let m = Pool.metrics pool in
+  Pool.shutdown pool;
+  Alcotest.(check int) "four jobs total" 4 m.Metrics.jobs;
+  Alcotest.(check int) "two failed" 2 m.Metrics.failed;
+  Alcotest.(check int) "one by fuel" 1 m.Metrics.fuel_exhausted
+
+let test_unknown_engine_and_program_degrade () =
+  let results, m =
+    Pool.run_jobs ~domains:1
+      [
+        Job.spec ~engine:"i9" (Job.Suite "fib");
+        Job.spec (Job.Suite "no_such_program");
+      ]
+  in
+  List.iter
+    (fun (r : Job.result) ->
+      match r.Job.outcome with
+      | Job.Failed (Job.Bad_request, _) -> ()
+      | _ -> Alcotest.fail "expected bad-request failures")
+    results;
+  Alcotest.(check int) "both failed" 2 m.Metrics.failed
+
+let test_request_line_roundtrip () =
+  let specs =
+    [
+      Job.spec ~engine:"i3" ~fuel:1234 (Job.Suite "fib");
+      Job.spec (Job.Inline "MODULE Main;\nPROC main() =\n  OUTPUT 1;\nEND;\nEND;\n");
+    ]
+  in
+  List.iter
+    (fun spec ->
+      match Job.parse_request (Job.request_of_spec spec) with
+      | Ok parsed ->
+        Alcotest.(check bool) "round-trips" true (parsed = spec)
+      | Error m -> Alcotest.fail m)
+    specs;
+  (match Job.parse_request "fuel=10" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a request without a source must be rejected");
+  match Job.parse_request "prog=fib fuel=banana" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric fuel must be rejected"
+
+let test_lru_eviction () =
+  let cache = Image_cache.create ~capacity:2 () in
+  let conv = Fpc_compiler.Convention.external_ in
+  let src n =
+    Printf.sprintf "MODULE Main;\nPROC main() =\n  OUTPUT %d;\nEND;\nEND;\n" n
+  in
+  let get n =
+    match Image_cache.find_or_compile cache ~convention:conv ~source:(src n) with
+    | Ok (_, hit, _) -> hit
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "1 cold" false (get 1);
+  Alcotest.(check bool) "2 cold" false (get 2);
+  Alcotest.(check bool) "1 warm" true (get 1);
+  (* inserting 3 must evict 2 (least recently used), not 1 *)
+  Alcotest.(check bool) "3 cold" false (get 3);
+  Alcotest.(check bool) "1 still warm" true (get 1);
+  Alcotest.(check bool) "2 evicted" false (get 2);
+  let s = Image_cache.stats cache in
+  Alcotest.(check int) "two evictions" 2 s.Image_cache.evictions;
+  Alcotest.(check int) "bounded" 2 s.Image_cache.entries
+
+let test_metrics_json_shape () =
+  let _, m = Pool.run_jobs ~domains:1 [ Job.spec (Job.Suite "fib") ] in
+  let json = Fpc_util.Jsonout.to_string (Metrics.to_json m) in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec at i =
+      i + n <= h && (String.sub json i n = needle || at (i + 1))
+    in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains needle))
+    [ "\"jobs\":1"; "\"succeeded\":1"; "\"domains\":1"; "\"cache\"" ]
+
+let () =
+  Alcotest.run "svc"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "determinism across domain counts" `Slow
+            test_determinism_across_domain_counts;
+          Alcotest.test_case "results in submission order" `Quick
+            test_results_in_submission_order;
+          Alcotest.test_case "poisoned jobs do not kill the pool" `Quick
+            test_poisoned_jobs_do_not_kill_the_pool;
+          Alcotest.test_case "unknown engine/program degrade" `Quick
+            test_unknown_engine_and_program_degrade;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "second submission hits" `Quick
+            test_cache_hit_skips_compilation;
+          Alcotest.test_case "one convention, one entry" `Quick
+            test_cache_shared_across_engines_of_one_convention;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+        ] );
+      ( "job",
+        [
+          Alcotest.test_case "request line round-trip" `Quick
+            test_request_line_roundtrip;
+          Alcotest.test_case "metrics JSON shape" `Quick test_metrics_json_shape;
+        ] );
+    ]
