@@ -17,26 +17,70 @@
       Fpc_svc.Pool at 1, 2, 4 and 8 worker domains, reporting jobs/sec
       and the speedup over one domain.
 
-   With no arguments all three layers run.  `--json` additionally writes
+   4. The tracing-overhead benchmark (`trace` argument): the call-heavy
+      fib run with the XFER tracer absent (the null-sink path every
+      ordinary run takes) versus attached with a streaming profile, so
+      the cost of the lib/trace subsystem — off and on — is a recorded
+      number rather than a claim.
+
+   With no arguments all four layers run.  `--json` additionally writes
    every recorded (name, metric, value) measurement to
-   BENCH_results.json, the perf-trajectory file tracked across PRs. *)
+   BENCH_results.json, the perf-trajectory file tracked across PRs:
+   prior entries are carried over and only re-measured (name, metric)
+   pairs are replaced, so the file accumulates instead of resetting. *)
 
 (* Measurements destined for BENCH_results.json, in recording order. *)
 let recorded : (string * string * float) list ref = ref []
 let record name metric value = recorded := (name, metric, value) :: !recorded
 
+let read_prior path =
+  if not (Sys.file_exists path) then []
+  else
+    match Fpc_util.Jsonin.parse_file path with
+    | Ok (Fpc_util.Jsonout.List entries) ->
+      List.filter_map
+        (function
+          | Fpc_util.Jsonout.Obj fields -> (
+            match
+              ( List.assoc_opt "name" fields,
+                List.assoc_opt "metric" fields,
+                List.assoc_opt "value" fields )
+            with
+            | ( Some (Fpc_util.Jsonout.String n),
+                Some (Fpc_util.Jsonout.String m),
+                Some v ) -> (
+              match v with
+              | Fpc_util.Jsonout.Float f -> Some (n, m, f)
+              | Fpc_util.Jsonout.Int i -> Some (n, m, float_of_int i)
+              | _ -> None)
+            | _ -> None)
+          | _ -> None)
+        entries
+    | Ok _ | Error _ -> []
+
+let prior_value prior name metric =
+  List.find_map
+    (fun (n, m, v) -> if n = name && m = metric then Some v else None)
+    prior
+
 let write_json path =
   let open Fpc_util.Jsonout in
+  let fresh = List.rev !recorded in
+  let remeasured = List.map (fun (n, m, _) -> (n, m)) fresh in
+  let carried =
+    List.filter (fun (n, m, _) -> not (List.mem (n, m) remeasured)) (read_prior path)
+  in
   let entries =
-    List.rev_map
+    List.map
       (fun (name, metric, value) ->
         Obj [ ("name", String name); ("metric", String metric); ("value", Float value) ])
-      !recorded
+      (carried @ fresh)
   in
   let oc = open_out path in
   output_string oc (pretty (List entries));
   close_out oc;
-  Printf.printf "wrote %d measurements to %s\n" (List.length entries) path
+  Printf.printf "wrote %d measurements to %s (%d carried over, %d new)\n"
+    (List.length entries) path (List.length carried) (List.length fresh)
 
 let run_experiments filter =
   let wanted (key, _) =
@@ -179,6 +223,83 @@ let run_svc () =
   print tb;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+
+(* Tracing overhead, off and on.  The off side is the path every
+   untraced run takes — instrumentation reduces to one match on
+   [State.tracer] per transfer — and is recorded so the cross-PR
+   trajectory shows whether carrying the subsystem costs anything
+   ([off_drift_pct] against the previous recorded run).  The on side
+   attaches a full streaming profile, the worst case [trace=1] pays. *)
+let median_run_s f =
+  f ();
+  (* warm up caches and the minor heap *)
+  let samples =
+    List.init 7 (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to 5 do
+          f ()
+        done;
+        (Unix.gettimeofday () -. t0) /. 5.)
+  in
+  List.nth (List.sort compare samples) 3
+
+let run_trace () =
+  let prior = read_prior "BENCH_results.json" in
+  let open Fpc_util.Tablefmt in
+  let tb =
+    create ~title:"tracing overhead (fib, host wall-clock)"
+      ~columns:
+        [ ("engine", Left); ("off", Right); ("on", Right);
+          ("on overhead", Right); ("off drift vs last", Right) ]
+  in
+  List.iter
+    (fun (name, engine) ->
+      let image = fib_image engine in
+      let off () =
+        let st =
+          Fpc_interp.Interp.run_program ~image ~engine ~instance:"Main"
+            ~proc:"main" ~args:[] ()
+        in
+        assert (st.Fpc_core.State.status = Fpc_core.State.Halted)
+      in
+      let on () =
+        let p = Fpc_interp.Profiler.create ~capacity:1024 ~image ~engine () in
+        let st, _ =
+          Fpc_interp.Profiler.run p ~image ~engine ~instance:"Main"
+            ~proc:"main" ~args:[]
+        in
+        assert (st.Fpc_core.State.status = Fpc_core.State.Halted)
+      in
+      let bench = "trace/fib/" ^ name in
+      let off_s = median_run_s off in
+      let on_s = median_run_s on in
+      let on_pct = (on_s -. off_s) /. off_s *. 100.0 in
+      let drift =
+        Option.map
+          (fun last -> ((off_s *. 1e9) -. last) /. last *. 100.0)
+          (prior_value prior bench "off_ns_per_run")
+      in
+      record bench "off_ns_per_run" (off_s *. 1e9);
+      record bench "on_ns_per_run" (on_s *. 1e9);
+      record bench "on_overhead_pct" on_pct;
+      Option.iter (record bench "off_drift_pct") drift;
+      add_row tb
+        [ name;
+          Printf.sprintf "%.2f ms" (off_s *. 1e3);
+          Printf.sprintf "%.2f ms" (on_s *. 1e3);
+          Printf.sprintf "%+.1f%%" on_pct;
+          (match drift with
+          | Some d -> Printf.sprintf "%+.1f%%" d
+          | None -> "(first run)") ])
+    [ ("I1", Fpc_core.Engine.i1); ("I2", Fpc_core.Engine.i2);
+      ("I3", Fpc_core.Engine.i3 ()); ("I4", Fpc_core.Engine.i4 ()) ];
+  add_note tb
+    "off = run with no tracer installed (the default); on = sink + \
+     streaming per-procedure profile";
+  print tb;
+  print_newline ()
+
 let run_micro () =
   let open Bechamel in
   let tests =
@@ -219,11 +340,15 @@ let () =
   let json = List.mem "--json" args in
   let micro = List.mem "micro" args in
   let svc = List.mem "svc" args in
+  let trace = List.mem "trace" args in
   let filter =
-    List.filter (fun a -> not (List.mem a [ "micro"; "svc"; "--json" ])) args
+    List.filter
+      (fun a -> not (List.mem a [ "micro"; "svc"; "trace"; "--json" ]))
+      args
   in
-  let everything = filter = [] && (not micro) && not svc in
+  let everything = filter = [] && (not micro) && (not svc) && not trace in
   if everything || filter <> [] then run_experiments filter;
   if micro || everything then run_micro ();
   if svc || everything then run_svc ();
+  if trace || everything then run_trace ();
   if json then write_json "BENCH_results.json"

@@ -119,9 +119,22 @@ let trace_cmd =
           | Ok i -> i
           | Error m -> failwith m
         in
+        (* A tiny sink whose listener prints the architectural events
+           interleaved with the instruction listing; the noisy per-call
+           sub-events are elided. *)
+        let sink = Fpc_trace.Sink.create ~capacity:1 ~engine:engine_name () in
+        Fpc_trace.Sink.set_listener sink
+          (Some
+             (fun (e : Fpc_trace.Event.t) ->
+               match e.kind with
+               | Fpc_trace.Event.Rs_push | Fpc_trace.Event.Rs_hit
+               | Fpc_trace.Event.Frame_alloc _ | Fpc_trace.Event.Frame_free _
+                 ->
+                 ()
+               | _ -> Printf.printf "      * %s\n" (Fpc_trace.Event.to_string e)));
         let st =
-          Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
-            ~args:[]
+          Fpc_interp.Interp.boot ~tracer:sink ~image ~engine ~instance:"Main"
+            ~proc:"main" ~args:[] ()
         in
         Printf.printf "%6s %7s %6s %5s %5s  %s\n" "step" "pc" "LF" "GF" "stk"
           "instruction";
@@ -153,6 +166,78 @@ let trace_cmd =
        ~doc:"Execute Main.main printing every instruction with the machine \
              registers (LF, GF, stack depth).")
     Term.(ret (const action $ source_arg $ engine_arg $ steps))
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let action source engine_name steps capacity chrome_out folded_out =
+    handle (fun () ->
+        let engine = engine_of_string engine_name in
+        let convention = Fpc_compiler.Convention.for_engine engine in
+        let src = read_source source in
+        let image =
+          match Fpc_compiler.Compile.image ~convention src with
+          | Ok i -> i
+          | Error m -> failwith m
+        in
+        let p = Fpc_interp.Profiler.create ~capacity ~image ~engine () in
+        let _st, o =
+          Fpc_interp.Profiler.run ~max_steps:steps p ~image ~engine
+            ~instance:"Main" ~proc:"main" ~args:[]
+        in
+        print_string (Fpc_interp.Profiler.render p);
+        (match chrome_out with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Fpc_util.Jsonout.to_string
+               (Fpc_interp.Profiler.chrome ~final_cycles:o.o_cycles p));
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "wrote Chrome trace-event JSON to %s\n" path);
+        (match folded_out with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Fpc_interp.Profiler.folded ~final_cycles:o.o_cycles p);
+          close_out oc;
+          Printf.eprintf "wrote folded flamegraph stacks to %s\n" path);
+        match o.o_status with
+        | Fpc_core.State.Halted -> ()
+        | Fpc_core.State.Running -> failwith "still running (raise --max-steps)"
+        | Fpc_core.State.Trapped r ->
+          failwith ("trapped: " ^ Fpc_core.State.trap_reason_to_string r))
+  in
+  let steps =
+    Arg.(value & opt int 20_000_000 & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Step limit before the run is abandoned.")
+  in
+  let capacity =
+    Arg.(value & opt int 65536 & info [ "capacity" ] ~docv:"N"
+           ~doc:"Event ring capacity for the exports; the profile table \
+                 itself streams and never drops.")
+  in
+  let chrome_out =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Also write a Chrome trace-event JSON file (load it in \
+                 chrome://tracing or Perfetto).")
+  in
+  let folded_out =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE"
+           ~doc:"Also write collapsed flamegraph stacks (feed to \
+                 flamegraph.pl).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Execute Main.main under the XFER tracer and print the \
+             per-procedure cost profile; cycle and storage-reference \
+             totals match the run's meters exactly.")
+    Term.(
+      ret
+        (const action $ source_arg $ engine_arg $ steps $ capacity
+        $ chrome_out $ folded_out))
 
 (* ---- image ---- *)
 
@@ -424,7 +509,7 @@ let serve_cmd =
 let main_cmd =
   let doc = "the Fast Procedure Calls (Lampson, ASPLOS 1982) reproduction" in
   Cmd.group (Cmd.info "fpc" ~doc)
-    [ run_cmd; disasm_cmd; trace_cmd; image_cmd; experiment_cmd; suite_cmd;
-      batch_cmd; serve_cmd ]
+    [ run_cmd; disasm_cmd; trace_cmd; profile_cmd; image_cmd; experiment_cmd;
+      suite_cmd; batch_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -106,9 +106,33 @@ type t = {
   data_trace : (int * bool) Queue.t option;
   depth_hist : Fpc_util.Histogram.t;
   run_hist : Fpc_util.Histogram.t;  (** lengths of same-direction transfer runs *)
+  tracer : Fpc_trace.Sink.t option;
 }
 
-let create ~image ~engine =
+(* Sub-events arrive from the frame allocator, IFU return stack and bank
+   file, which know only what happened — the machine stamps where (PC,
+   depth) and when (the cumulative meters).  Their deltas are zero: the
+   cost of the work they describe is part of the enclosing transfer's
+   delta. *)
+let emit_sub t kind =
+  match t.tracer with
+  | None -> ()
+  | Some sink ->
+    Fpc_trace.Sink.emit sink
+      {
+        Fpc_trace.Event.seq = 0;
+        kind;
+        pc = t.pc_abs;
+        target = -1;
+        depth = t.metrics.call_depth;
+        fast = false;
+        cycles = Cost.cycles t.cost;
+        mem_refs = Cost.mem_refs t.cost;
+        d_cycles = 0;
+        d_mem_refs = 0;
+      }
+
+let create ?tracer ~image ~engine () =
   let cost = image.Image.cost in
   Cost.reset cost;
   let layout = image.Image.layout in
@@ -144,7 +168,7 @@ let create ~image ~engine =
       Fpc_frames.Alloc_vector.fsi_for_locals allocator engine.Engine.free_frame_payload_words
     else -1
   in
-  {
+  let t = {
     image;
     mem = image.Image.mem;
     cost;
@@ -170,7 +194,17 @@ let create ~image ~engine =
     data_trace = (if engine.Engine.collect_data_trace then Some (Queue.create ()) else None);
     depth_hist = Fpc_util.Histogram.create ();
     run_hist = Fpc_util.Histogram.create ();
+    tracer;
   }
+  in
+  (match tracer with
+  | None -> ()
+  | Some _ ->
+    let hook = Some (fun kind -> emit_sub t kind) in
+    Fpc_frames.Alloc_vector.set_on_event allocator hook;
+    Option.iter (fun rs -> Fpc_ifu.Return_stack.set_on_event rs hook) rstack;
+    Option.iter (fun b -> Fpc_regbank.Bank_file.set_on_event b hook) banks);
+  t
 
 let output t = List.rev t.output_rev
 let emit t v = t.output_rev <- Fpc_util.Bits.to_word v :: t.output_rev

@@ -82,13 +82,22 @@ type t = {
   run_hist : Fpc_util.Histogram.t;
       (** lengths of uninterrupted call-runs / return-runs — the paper's
           "long runs ... are quite rare" made measurable *)
+  tracer : Fpc_trace.Sink.t option;
+      (** event sink; [None] (the default) keeps every instrumentation
+          site down to one branch *)
 }
 
-val create : image:Fpc_mesa.Image.t -> engine:Engine.t -> t
+val create :
+  ?tracer:Fpc_trace.Sink.t -> image:Fpc_mesa.Image.t -> engine:Engine.t -> unit -> t
 (** Fresh machine over [image]: resets the cost meters, rebuilds the frame
     allocator (software-only mode for I1), installs simple-link tables for
     I1 and the return stack / bank file / free-frame stack the engine asks
-    for. *)
+    for.  With [tracer], the allocator / return stack / bank file hooks are
+    wired to emit their sub-events through it. *)
+
+val emit_sub : t -> Fpc_trace.Event.kind -> unit
+(** Emit a sub-event (zero deltas) stamped with the current PC, depth and
+    meters; no-op without a tracer. *)
 
 val output : t -> int list
 (** Values OUTput so far, in order. *)

@@ -12,6 +12,50 @@ type resolved = {
   d_fsi : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Transfer-event instrumentation.  A snapshot is taken where the cost
+   classification baseline is taken, so an event's [fast] flag and deltas
+   agree exactly with [classify]; every [metrics] increment emits exactly
+   one event, which is what lets a profile's transfer counts equal the
+   machine's.  All of it is skipped — one option match — when no tracer is
+   installed. *)
+
+type snap = { s_pc : int; s_cycles : int; s_refs : int }
+
+let snap (st : State.t) =
+  match st.State.tracer with
+  | None -> None
+  | Some _ ->
+    Some { s_pc = st.pc_abs; s_cycles = Cost.cycles st.cost; s_refs = Cost.mem_refs st.cost }
+
+let emit_xfer (st : State.t) s kind ~target =
+  match (st.State.tracer, s) with
+  | Some sink, Some s ->
+    let cycles = Cost.cycles st.cost and refs = Cost.mem_refs st.cost in
+    Fpc_trace.Sink.emit sink
+      {
+        Fpc_trace.Event.seq = 0;
+        kind;
+        pc = s.s_pc;
+        target;
+        depth = st.metrics.call_depth;
+        fast = refs = s.s_refs;
+        cycles;
+        mem_refs = refs;
+        d_cycles = cycles - s.s_cycles;
+        d_mem_refs = refs - s.s_refs;
+      }
+  | _ -> ()
+
+(* Run [body]; emit [kind] even when it escapes by exception (a trap
+   mid-transfer), so event counts stay one-to-one with the metrics. *)
+let guarded st s kind body =
+  match body () with
+  | () -> emit_xfer st s kind ~target:st.State.pc_abs
+  | exception e ->
+    emit_xfer st s kind ~target:(-1);
+    raise e
+
 let ladder (st : State.t) = Alloc_vector.ladder st.allocator
 let payload_of_fsi st fsi = Size_class.block_words (ladder st) fsi - Frame.overhead_words
 
@@ -37,6 +81,13 @@ let alloc_frame (st : State.t) ~fsi =
     match Stack.pop_opt st.free_frames with
     | Some lf ->
       m.ff_hits <- m.ff_hits + 1;
+      State.emit_sub st
+        (Fpc_trace.Event.Frame_alloc
+           {
+             words = Size_class.block_words (ladder st) st.ff_fsi;
+             via_ff = true;
+             software = false;
+           });
       (lf, st.ff_fsi)
     | None ->
       m.ff_misses <- m.ff_misses + 1;
@@ -54,7 +105,12 @@ let free_frame (st : State.t) ~lf =
   if
     st.ff_fsi >= 0 && fsi = st.ff_fsi
     && Stack.length st.free_frames < st.engine.Engine.free_frame_stack_depth
-  then Stack.push lf st.free_frames
+  then begin
+    Stack.push lf st.free_frames;
+    State.emit_sub st
+      (Fpc_trace.Event.Frame_free
+         { words = Size_class.block_words (ladder st) fsi; to_ff = true })
+  end
   else Alloc_vector.free st.allocator ~cost:st.cost ~lf
 
 (* ------------------------------------------------------------------ *)
@@ -213,36 +269,37 @@ let classify (st : State.t) before =
     st.metrics.fast_transfers <- st.metrics.fast_transfers + 1
   else st.metrics.slow_transfers <- st.metrics.slow_transfers + 1
 
-let do_call (st : State.t) ~before resolve =
+let do_call (st : State.t) ~before ~s resolve =
   st.metrics.calls <- st.metrics.calls + 1;
   State.note_transfer_direction st 1;
-  (match st.banks with
-  | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
-  | None -> ());
-  let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
-  (match st.rstack with
-  | Some rs ->
-    if Fpc_ifu.Return_stack.is_full rs then spill_oldest st rs;
-    let entry =
-      {
-        Fpc_ifu.Return_stack.r_lf = st.lf;
-        r_gf = st.gf;
-        r_cb = st.cb;
-        r_pc_abs = st.pc_abs;
-        r_bank =
-          (match st.banks with
-          | Some b -> Fpc_regbank.Bank_file.bank_id b ~lf:st.lf
-          | None -> None);
-      }
-    in
-    let r = resolve () in
-    Fpc_ifu.Return_stack.push rs entry;
-    enter_proc st ~r ~ret_word ~fast:true
-  | None ->
-    let r = resolve () in
-    suspend_current st;
-    enter_proc st ~r ~ret_word ~fast:false);
-  classify st before
+  guarded st s Fpc_trace.Event.Call (fun () ->
+      (match st.banks with
+      | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
+      | None -> ());
+      let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
+      (match st.rstack with
+      | Some rs ->
+        if Fpc_ifu.Return_stack.is_full rs then spill_oldest st rs;
+        let entry =
+          {
+            Fpc_ifu.Return_stack.r_lf = st.lf;
+            r_gf = st.gf;
+            r_cb = st.cb;
+            r_pc_abs = st.pc_abs;
+            r_bank =
+              (match st.banks with
+              | Some b -> Fpc_regbank.Bank_file.bank_id b ~lf:st.lf
+              | None -> None);
+          }
+        in
+        let r = resolve () in
+        Fpc_ifu.Return_stack.push rs entry;
+        enter_proc st ~r ~ret_word ~fast:true
+      | None ->
+        let r = resolve () in
+        suspend_current st;
+        enter_proc st ~r ~ret_word ~fast:false);
+      classify st before)
 
 let unpack_or_trap w =
   match Descriptor.unpack w with
@@ -251,9 +308,10 @@ let unpack_or_trap w =
 
 let call_external (st : State.t) ~lv_index =
   let before = Cost.mem_refs st.cost in
+  let s = snap st in
   match st.engine.Engine.kind with
   | Engine.Simple ->
-    do_call st ~before (fun () ->
+    do_call st ~before ~s (fun () ->
         resolve_simple_pair st
           (Simple_links.resolve_import_by_gf (simple st) st.image ~gf:st.gf ~lv_index))
   | Engine.Mesa -> (
@@ -262,21 +320,24 @@ let call_external (st : State.t) ~lv_index =
     let lv_word = Memory.read st.mem (st.gf - 1 - lv_index) in
     match unpack_or_trap lv_word with
     | Descriptor.Proc { gfi; ev } ->
-      do_call st ~before (fun () -> resolve_descriptor st ~gfi ~ev5:ev)
+      do_call st ~before ~s (fun () -> resolve_descriptor st ~gfi ~ev5:ev)
     | Descriptor.Frame dest_lf ->
       (* A rebound link naming an existing context: the destination makes
          this a coroutine resume, not a call — F3. *)
       st.metrics.other_xfers <- st.metrics.other_xfers + 1;
-      transfer_to_frame st ~dest_lf;
-      classify st before
+      guarded st s Fpc_trace.Event.Coroutine (fun () ->
+          transfer_to_frame st ~dest_lf;
+          classify st before)
     | Descriptor.Nil -> raise (Machine_trap State.Nil_context))
 
 let call_local (st : State.t) ~ev_index =
   let before = Cost.mem_refs st.cost in
-  do_call st ~before (fun () -> resolve_local st ~ev_index)
+  let s = snap st in
+  do_call st ~before ~s (fun () -> resolve_local st ~ev_index)
 
 let call_direct (st : State.t) ~target_abs =
   let before = Cost.mem_refs st.cost in
+  let s = snap st in
   (* The header (SETGLOBALFRAME gf; ALLOCATEFRAME fsi) is part of the
      instruction stream.  With an IFU return stack the prefetcher has
      already consumed it; without one, the machine pays the fetches. *)
@@ -286,7 +347,7 @@ let call_direct (st : State.t) ~target_abs =
   in
   let gf = (b target_abs lsl 8) lor b (target_abs + 1) in
   let fsi = b (target_abs + 2) in
-  do_call st ~before (fun () ->
+  do_call st ~before ~s (fun () ->
       { d_gf = gf; d_cb = None; d_entry_pc_abs = target_abs + 3; d_fsi = fsi })
 
 (* ------------------------------------------------------------------ *)
@@ -306,73 +367,91 @@ let end_process (st : State.t) =
   | None -> st.status <- State.Halted
   | Some p ->
     st.metrics.other_xfers <- st.metrics.other_xfers + 1;
-    resume_process st p
+    let s = snap st in
+    guarded st s Fpc_trace.Event.Switch (fun () -> resume_process st p)
 
 (* ------------------------------------------------------------------ *)
 (* RETURN: free the frame, returnContext := NIL, XFER[returnLink]. *)
 
 let return_ (st : State.t) =
+  let s = snap st in
   st.metrics.returns <- st.metrics.returns + 1;
   State.note_transfer_direction st (-1);
   let before = Cost.mem_refs st.cost in
   let returning = st.lf in
-  let fast_entry =
-    match st.rstack with Some rs -> Fpc_ifu.Return_stack.pop rs | None -> None
-  in
-  (match fast_entry with
-  | Some e ->
-    free_frame st ~lf:returning;
-    st.lf <- e.r_lf;
-    st.gf <- e.r_gf;
-    st.cb <- e.r_cb;
-    st.pc_abs <- e.r_pc_abs;
-    st.return_ctx <- 0;
-    (match st.banks with
-    | Some b -> Fpc_regbank.Bank_file.ensure_bank b ~lf:e.r_lf
-    | None -> ());
-    Cost.jump st.cost
-  | None -> (
-    let rl = Frame.read_return_link st.mem ~lf:returning in
-    if rl = 0 then begin
-      free_frame st ~lf:returning;
-      end_process st
+  (* The process-ending return emits before [end_process] so the event
+     stream reads Return-then-Switch, matching what happened. *)
+  let emitted = ref false in
+  let emit_ret ~target =
+    if not !emitted then begin
+      emitted := true;
+      emit_xfer st s Fpc_trace.Event.Return ~target
     end
-    else
-      match unpack_or_trap rl with
-      | Descriptor.Frame dest_lf ->
-        free_frame st ~lf:returning;
-        st.return_ctx <- 0;
-        resume_frame st ~dest_lf
-      | Descriptor.Proc { gfi; ev } ->
-        (* A creation context as return link (F3): returning constructs a
-           fresh activation of it. *)
-        free_frame st ~lf:returning;
-        st.return_ctx <- 0;
-        let r = resolve_descriptor st ~gfi ~ev5:ev in
-        enter_proc st ~r ~ret_word:0 ~fast:false
-      | Descriptor.Nil -> assert false));
-  classify st before
+  in
+  (try
+     let fast_entry =
+       match st.rstack with Some rs -> Fpc_ifu.Return_stack.pop rs | None -> None
+     in
+     match fast_entry with
+     | Some e ->
+       free_frame st ~lf:returning;
+       st.lf <- e.r_lf;
+       st.gf <- e.r_gf;
+       st.cb <- e.r_cb;
+       st.pc_abs <- e.r_pc_abs;
+       st.return_ctx <- 0;
+       (match st.banks with
+       | Some b -> Fpc_regbank.Bank_file.ensure_bank b ~lf:e.r_lf
+       | None -> ());
+       Cost.jump st.cost
+     | None -> (
+       let rl = Frame.read_return_link st.mem ~lf:returning in
+       if rl = 0 then begin
+         free_frame st ~lf:returning;
+         emit_ret ~target:(-1);
+         end_process st
+       end
+       else
+         match unpack_or_trap rl with
+         | Descriptor.Frame dest_lf ->
+           free_frame st ~lf:returning;
+           st.return_ctx <- 0;
+           resume_frame st ~dest_lf
+         | Descriptor.Proc { gfi; ev } ->
+           (* A creation context as return link (F3): returning constructs a
+              fresh activation of it. *)
+           free_frame st ~lf:returning;
+           st.return_ctx <- 0;
+           let r = resolve_descriptor st ~gfi ~ev5:ev in
+           enter_proc st ~r ~ret_word:0 ~fast:false
+         | Descriptor.Nil -> assert false)
+   with e ->
+     emit_ret ~target:(-1);
+     raise e);
+  classify st before;
+  emit_ret ~target:st.pc_abs
 
 (* ------------------------------------------------------------------ *)
 (* Raw XFER. *)
 
 let xfer (st : State.t) ~dest_word =
   st.metrics.other_xfers <- st.metrics.other_xfers + 1;
-  match unpack_or_trap dest_word with
-  | Descriptor.Nil -> raise (Machine_trap State.Nil_context)
-  | Descriptor.Frame dest_lf -> transfer_to_frame st ~dest_lf
-  | Descriptor.Proc { gfi; ev } ->
-    flush_rstack st;
-    (match st.banks with
-    | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
-    | None -> ());
-    suspend_current st;
-    let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
-    let r = resolve_descriptor st ~gfi ~ev5:ev in
-    enter_proc st ~r ~ret_word ~fast:false
+  let s = snap st in
+  guarded st s Fpc_trace.Event.Coroutine (fun () ->
+      match unpack_or_trap dest_word with
+      | Descriptor.Nil -> raise (Machine_trap State.Nil_context)
+      | Descriptor.Frame dest_lf -> transfer_to_frame st ~dest_lf
+      | Descriptor.Proc { gfi; ev } ->
+        flush_rstack st;
+        (match st.banks with
+        | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
+        | None -> ());
+        suspend_current st;
+        let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
+        let r = resolve_descriptor st ~gfi ~ev5:ev in
+        enter_proc st ~r ~ret_word ~fast:false)
 
-let fork (st : State.t) ~nargs =
-  st.metrics.other_xfers <- st.metrics.other_xfers + 1;
+let fork_body (st : State.t) ~nargs =
   let desc = Eval_stack.pop st.stack in
   let args = Array.make nargs 0 in
   for i = nargs - 1 downto 0 do
@@ -402,29 +481,46 @@ let fork (st : State.t) ~nargs =
     Queue.add { State.p_id = st.next_pid; p_lf = lf_new; p_stack } st.ready;
     st.next_pid <- st.next_pid + 1
 
+(* FORK queues a context without transferring control, so its event
+   carries no destination. *)
+let fork (st : State.t) ~nargs =
+  st.metrics.other_xfers <- st.metrics.other_xfers + 1;
+  let s = snap st in
+  match fork_body st ~nargs with
+  | () -> emit_xfer st s Fpc_trace.Event.Fork ~target:(-1)
+  | exception e ->
+    emit_xfer st s Fpc_trace.Event.Fork ~target:(-1);
+    raise e
+
 let yield (st : State.t) =
   if not (Queue.is_empty st.ready) then begin
     st.metrics.other_xfers <- st.metrics.other_xfers + 1;
-    flush_rstack st;
-    (match st.banks with
-    | Some b -> Fpc_regbank.Bank_file.flush_all b
-    | None -> ());
-    suspend_current st;
-    let stack = Eval_stack.contents st.stack in
-    Array.iter (fun _ -> Cost.mem_write st.cost) stack;
-    Queue.add { State.p_id = st.current_pid; p_lf = st.lf; p_stack = stack } st.ready;
-    match Queue.take_opt st.ready with
-    | Some p -> resume_process st p
-    | None -> assert false
+    let s = snap st in
+    guarded st s Fpc_trace.Event.Switch (fun () ->
+        flush_rstack st;
+        (match st.banks with
+        | Some b -> Fpc_regbank.Bank_file.flush_all b
+        | None -> ());
+        suspend_current st;
+        let stack = Eval_stack.contents st.stack in
+        Array.iter (fun _ -> Cost.mem_write st.cost) stack;
+        Queue.add { State.p_id = st.current_pid; p_lf = st.lf; p_stack = stack } st.ready;
+        match Queue.take_opt st.ready with
+        | Some p -> resume_process st p
+        | None -> assert false)
   end
 
 let stop_process (st : State.t) =
   st.metrics.other_xfers <- st.metrics.other_xfers + 1;
+  let s = snap st in
   flush_rstack st;
   (match st.banks with
   | Some b -> Fpc_regbank.Bank_file.flush_all b
   | None -> ());
   free_frame st ~lf:st.lf;
+  (* The departure is its own event; a resumed successor adds a second
+     Switch from [end_process]. *)
+  emit_xfer st s Fpc_trace.Event.Switch ~target:(-1);
   end_process st
 
 (* ------------------------------------------------------------------ *)
@@ -439,26 +535,30 @@ let catchable = function
     false
 
 let trap (st : State.t) reason =
+  let s = snap st in
   Cost.trap st.cost;
   match Image.trap_handler st.image with
   | Descriptor.Proc { gfi; ev } when catchable reason ->
-    flush_rstack st;
-    (match st.banks with
-    | Some b -> Fpc_regbank.Bank_file.flush_all b
-    | None -> ());
-    suspend_current st;
-    Eval_stack.clear st.stack;
-    Eval_stack.push st.stack (State.trap_code reason);
-    let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
-    let r = resolve_descriptor st ~gfi ~ev5:ev in
-    enter_proc st ~r ~ret_word ~fast:false
+    guarded st s (Fpc_trace.Event.Trap (State.trap_code reason)) (fun () ->
+        flush_rstack st;
+        (match st.banks with
+        | Some b -> Fpc_regbank.Bank_file.flush_all b
+        | None -> ());
+        suspend_current st;
+        Eval_stack.clear st.stack;
+        Eval_stack.push st.stack (State.trap_code reason);
+        let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
+        let r = resolve_descriptor st ~gfi ~ev5:ev in
+        enter_proc st ~r ~ret_word ~fast:false)
   | Descriptor.Proc _ | Descriptor.Frame _ | Descriptor.Nil ->
-    st.status <- State.Trapped reason
+    st.status <- State.Trapped reason;
+    emit_xfer st s (Fpc_trace.Event.Trap (State.trap_code reason)) ~target:(-1)
 
 (* ------------------------------------------------------------------ *)
 (* Boot. *)
 
 let start (st : State.t) ~instance ~proc ~args =
+  let s = snap st in
   let pi = Image.find_proc st.image ~instance ~proc in
   let ii = Image.find_instance st.image instance in
   let lf, granted_fsi = alloc_frame st ~fsi:pi.pi_fsi in
@@ -478,4 +578,5 @@ let start (st : State.t) ~instance ~proc ~args =
   | None ->
     st.metrics.arg_words_stored <- st.metrics.arg_words_stored + List.length args;
     List.iter (Eval_stack.push st.stack) args);
-  st.status <- State.Running
+  st.status <- State.Running;
+  emit_xfer st s Fpc_trace.Event.Begin ~target:st.pc_abs

@@ -140,11 +140,11 @@ END;
     | Error m -> failwith m
   in
   let engine = Fpc_core.Engine.i2 in
-  let st = Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main" ~args:[] in
+  let st = Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main" ~args:[] () in
   Fpc_interp.Interp.run st;
   Harness.must_halt st;
   let run_bump instance =
-    let st = Fpc_core.State.create ~image ~engine in
+    let st = Fpc_core.State.create ~image ~engine () in
     Fpc_core.Transfer.start st ~instance ~proc:"bump" ~args:[];
     Fpc_interp.Interp.run st;
     Harness.must_halt st;

@@ -18,6 +18,7 @@ type t = {
   mutable live_words : int;
   mutable requested_words : int;
   mutable free_pool_words : int;
+  mutable on_event : (Fpc_trace.Event.kind -> unit) option;
 }
 
 exception Out_of_frame_heap
@@ -47,9 +48,12 @@ let create ?(mode = Fast) ?(replenish_count = 8) ~mem ~ladder ~av_base ~heap_bas
     live_words = 0;
     requested_words = 0;
     free_pool_words = 0;
+    on_event = None;
   }
 
 let ladder t = t.ladder
+let set_on_event t f = t.on_event <- f
+let fire t k = match t.on_event with Some f -> f k | None -> ()
 
 (* Carve one block of class [fsi] from the wilderness (software path;
    unmetered pokes — the trap's own references are folded into the
@@ -91,13 +95,18 @@ let alloc_software t ~cost ~fsi ~requested =
   let block = carve t ~fsi in
   let lf = Frame.lf_of_block block in
   record_alloc t ~lf ~fsi ~requested;
+  fire t
+    (Fpc_trace.Event.Frame_alloc
+       { words = Size_class.block_words t.ladder fsi; via_ff = false; software = true });
   lf
 
-let rec alloc_fast t ~cost ~fsi ~requested =
+(* [trapped] records whether this allocation had to replenish its free
+   list — that is, whether the fast path degraded to the software one. *)
+let rec alloc_fast ?(trapped = false) t ~cost ~fsi ~requested =
   let head = Memory.read t.mem (t.av_base + fsi) in
   if head = 0 then begin
     replenish t ~cost ~fsi;
-    alloc_fast t ~cost ~fsi ~requested
+    alloc_fast ~trapped:true t ~cost ~fsi ~requested
   end
   else begin
     let next = Memory.read t.mem (head + 1) in
@@ -106,6 +115,13 @@ let rec alloc_fast t ~cost ~fsi ~requested =
     t.free_pool_words <- t.free_pool_words - Size_class.block_words t.ladder fsi;
     let lf = Frame.lf_of_block head in
     record_alloc t ~lf ~fsi ~requested;
+    fire t
+      (Fpc_trace.Event.Frame_alloc
+         {
+           words = Size_class.block_words t.ladder fsi;
+           via_ff = false;
+           software = trapped;
+         });
     lf
   end
 
@@ -156,7 +172,8 @@ let free t ~cost ~lf =
       let head = Memory.read t.mem (t.av_base + fsi) in
       Memory.write t.mem (block + 1) head;
       Memory.write t.mem (t.av_base + fsi) block);
-    t.free_pool_words <- t.free_pool_words + words
+    t.free_pool_words <- t.free_pool_words + words;
+    fire t (Fpc_trace.Event.Frame_free { words; to_ff = false })
 
 let is_live t ~lf = Hashtbl.mem t.live lf
 

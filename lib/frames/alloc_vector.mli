@@ -45,6 +45,11 @@ val create :
 
 val ladder : t -> Size_class.t
 
+val set_on_event : t -> (Fpc_trace.Event.kind -> unit) option -> unit
+(** Tracing hook: each allocation fires [Frame_alloc] (with [software]
+    marking the I1 path or a replenish trap) and each free fires
+    [Frame_free].  No-op when unset. *)
+
 val alloc_fsi : t -> cost:Fpc_machine.Cost.t -> fsi:int -> int
 (** Allocate a block of class [fsi]; returns the frame pointer LF
     (block + 4, quad-aligned).  Raises [Out_of_frame_heap] when the

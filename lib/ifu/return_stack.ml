@@ -15,6 +15,7 @@ type t = {
   mutable flushes : int;
   mutable flushed_entries : int;
   mutable spills : int;
+  mutable on_event : (Fpc_trace.Event.kind -> unit) option;
 }
 
 let create ~depth =
@@ -28,7 +29,11 @@ let create ~depth =
     flushes = 0;
     flushed_entries = 0;
     spills = 0;
+    on_event = None;
   }
+
+let set_on_event t f = t.on_event <- f
+let fire t k = match t.on_event with Some f -> f k | None -> ()
 
 let depth t = Array.length t.entries
 let length t = t.top
@@ -39,7 +44,8 @@ let push t e =
   if is_full t then invalid_arg "Return_stack.push: full (flush first)";
   t.entries.(t.top) <- Some e;
   t.top <- t.top + 1;
-  t.pushes <- t.pushes + 1
+  t.pushes <- t.pushes + 1;
+  fire t Fpc_trace.Event.Rs_push
 
 let pop t =
   if t.top = 0 then begin
@@ -51,6 +57,7 @@ let pop t =
     let e = t.entries.(t.top) in
     t.entries.(t.top) <- None;
     t.fast_pops <- t.fast_pops + 1;
+    fire t Fpc_trace.Event.Rs_hit;
     e
   end
 
@@ -76,21 +83,25 @@ let drop_oldest t =
     t.top <- t.top - 1;
     t.entries.(t.top) <- None;
     t.spills <- t.spills + 1;
+    fire t Fpc_trace.Event.Rs_spill;
     e
   end
 
 let flush t ~f =
   if t.top > 0 then begin
     t.flushes <- t.flushes + 1;
+    let n = ref 0 in
     for i = t.top - 1 downto 0 do
       (match t.entries.(i) with
       | Some e ->
         f e;
-        t.flushed_entries <- t.flushed_entries + 1
+        t.flushed_entries <- t.flushed_entries + 1;
+        incr n
       | None -> ());
       t.entries.(i) <- None
     done;
-    t.top <- 0
+    t.top <- 0;
+    fire t (Fpc_trace.Event.Rs_flush !n)
   end
 
 let pushes t = t.pushes

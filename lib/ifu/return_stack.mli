@@ -40,6 +40,10 @@ val length : t -> int
 val is_empty : t -> bool
 val is_full : t -> bool
 
+val set_on_event : t -> (Fpc_trace.Event.kind -> unit) option -> unit
+(** Tracing hook: pushes, fast pops, flushes (with entry counts) and
+    spills fire [Rs_*] events.  No-op when unset. *)
+
 val push : t -> entry -> unit
 (** Raises [Invalid_argument] when full — the caller must flush first. *)
 

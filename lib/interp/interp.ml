@@ -1,6 +1,45 @@
 open Fpc_machine
 open Fpc_core
 
+type fastpath = {
+  f_fast_transfers : int;
+  f_slow_transfers : int;
+  f_rs_pushes : int;
+  f_rs_hits : int;
+  f_rs_empty_pops : int;
+  f_rs_flushes : int;
+  f_rs_flushed_entries : int;
+  f_rs_spills : int;
+  f_bank_underflows : int;
+  f_bank_overflows : int;
+  f_bank_words_loaded : int;
+  f_bank_words_spilled : int;
+  f_ff_hits : int;
+  f_ff_misses : int;
+  f_frame_allocs : int;
+  f_frame_frees : int;
+}
+
+let no_fastpath =
+  {
+    f_fast_transfers = 0;
+    f_slow_transfers = 0;
+    f_rs_pushes = 0;
+    f_rs_hits = 0;
+    f_rs_empty_pops = 0;
+    f_rs_flushes = 0;
+    f_rs_flushed_entries = 0;
+    f_rs_spills = 0;
+    f_bank_underflows = 0;
+    f_bank_overflows = 0;
+    f_bank_words_loaded = 0;
+    f_bank_words_spilled = 0;
+    f_ff_hits = 0;
+    f_ff_misses = 0;
+    f_frame_allocs = 0;
+    f_frame_frees = 0;
+  }
+
 type outcome = {
   o_status : State.status;
   o_output : int list;
@@ -8,10 +47,14 @@ type outcome = {
   o_instructions : int;
   o_cycles : int;
   o_mem_refs : int;
+  o_calls : int;
+  o_returns : int;
+  o_other_xfers : int;
+  o_fastpath : fastpath;
 }
 
-let boot ~image ~engine ~instance ~proc ~args =
-  let st = State.create ~image ~engine in
+let boot ?tracer ~image ~engine ~instance ~proc ~args () =
+  let st = State.create ?tracer ~image ~engine () in
   Transfer.start st ~instance ~proc ~args;
   st
 
@@ -189,16 +232,61 @@ let run ?(max_steps = 20_000_000) st =
   go max_steps
 
 let outcome (st : State.t) =
+  let m = st.metrics in
+  let rs f = match st.rstack with Some rs -> f rs | None -> 0 in
+  let bk f =
+    match st.banks with
+    | Some b -> f (Fpc_regbank.Bank_file.stats b)
+    | None -> 0
+  in
   {
     o_status = st.status;
     o_output = State.output st;
     o_stack = Array.to_list (Eval_stack.contents st.stack);
-    o_instructions = st.metrics.instructions;
+    o_instructions = m.instructions;
     o_cycles = Cost.cycles st.cost;
     o_mem_refs = Cost.mem_refs st.cost;
+    o_calls = m.calls;
+    o_returns = m.returns;
+    o_other_xfers = m.other_xfers;
+    o_fastpath =
+      {
+        f_fast_transfers = m.fast_transfers;
+        f_slow_transfers = m.slow_transfers;
+        f_rs_pushes = rs Fpc_ifu.Return_stack.pushes;
+        f_rs_hits = rs Fpc_ifu.Return_stack.fast_pops;
+        f_rs_empty_pops = rs Fpc_ifu.Return_stack.empty_pops;
+        f_rs_flushes = rs Fpc_ifu.Return_stack.flushes;
+        f_rs_flushed_entries = rs Fpc_ifu.Return_stack.flushed_entries;
+        f_rs_spills = rs Fpc_ifu.Return_stack.spills;
+        f_bank_underflows = bk (fun s -> s.Fpc_regbank.Bank_file.underflows);
+        f_bank_overflows = bk (fun s -> s.Fpc_regbank.Bank_file.overflows);
+        f_bank_words_loaded = bk (fun s -> s.Fpc_regbank.Bank_file.words_loaded);
+        f_bank_words_spilled = bk (fun s -> s.Fpc_regbank.Bank_file.words_written_back);
+        f_ff_hits = m.ff_hits;
+        f_ff_misses = m.ff_misses;
+        f_frame_allocs = m.frame_allocs;
+        f_frame_frees = m.frame_frees;
+      };
   }
 
-let run_program ?max_steps ~image ~engine ~instance ~proc ~args () =
-  let st = boot ~image ~engine ~instance ~proc ~args in
+(* Code ranges for trace attribution: each procedure covers its fsi byte
+   through the end of its body.  Instances of one module share code, so
+   shared ranges are named after the module and deduplicated. *)
+let procmap_of_image (image : Fpc_mesa.Image.t) =
+  let ranges =
+    Hashtbl.fold
+      (fun (_inst, proc) (pi : Fpc_mesa.Image.proc_info) acc ->
+        let ii = Fpc_mesa.Image.find_instance image pi.Fpc_mesa.Image.pi_instance in
+        let lo = (2 * ii.Fpc_mesa.Image.ii_code_base) + pi.Fpc_mesa.Image.pi_entry_offset in
+        let hi = lo + 1 + pi.Fpc_mesa.Image.pi_body_bytes in
+        (ii.Fpc_mesa.Image.ii_module ^ "." ^ proc, lo, hi) :: acc)
+      image.Fpc_mesa.Image.procs []
+    |> List.sort_uniq compare
+  in
+  Fpc_trace.Procmap.create ranges
+
+let run_program ?max_steps ?tracer ~image ~engine ~instance ~proc ~args () =
+  let st = boot ?tracer ~image ~engine ~instance ~proc ~args () in
   run ?max_steps st;
   st

@@ -7,6 +7,30 @@
     variable access, all charged through {!Fpc_core.Transfer} and
     {!Fpc_core.State}. *)
 
+type fastpath = {
+  f_fast_transfers : int;  (** calls/returns completed with no storage reference *)
+  f_slow_transfers : int;
+  f_rs_pushes : int;  (** IFU return stack (§6); zero under I1/I2 *)
+  f_rs_hits : int;
+  f_rs_empty_pops : int;
+  f_rs_flushes : int;
+  f_rs_flushed_entries : int;
+  f_rs_spills : int;
+  f_bank_underflows : int;  (** register banks (§7); zero except under I4 *)
+  f_bank_overflows : int;
+  f_bank_words_loaded : int;
+  f_bank_words_spilled : int;
+  f_ff_hits : int;  (** free-frame-stack allocations (§7.1) *)
+  f_ff_misses : int;
+  f_frame_allocs : int;
+  f_frame_frees : int;
+}
+(** Where the engine's fast paths hit and missed — per run, the counters
+    behind the paper's E1/E11 tables. *)
+
+val no_fastpath : fastpath
+(** All-zero counters, for results that never reached the machine. *)
+
 type outcome = {
   o_status : Fpc_core.State.status;
   o_output : int list;  (** words OUTput, in order *)
@@ -14,14 +38,20 @@ type outcome = {
   o_instructions : int;
   o_cycles : int;
   o_mem_refs : int;
+  o_calls : int;
+  o_returns : int;
+  o_other_xfers : int;  (** XF, FORK, YIELD, process switches *)
+  o_fastpath : fastpath;
 }
 
 val boot :
+  ?tracer:Fpc_trace.Sink.t ->
   image:Fpc_mesa.Image.t ->
   engine:Fpc_core.Engine.t ->
   instance:string ->
   proc:string ->
   args:int list ->
+  unit ->
   Fpc_core.State.t
 (** A machine ready to execute [instance.proc args].  Raises [Not_found]
     for an unknown procedure. *)
@@ -43,8 +73,14 @@ val run_traced :
 
 val outcome : Fpc_core.State.t -> outcome
 
+val procmap_of_image : Fpc_mesa.Image.t -> Fpc_trace.Procmap.t
+(** Code ranges of every linked procedure, for attributing trace PCs.
+    Instances of one module share code and are listed once, under the
+    module's name. *)
+
 val run_program :
   ?max_steps:int ->
+  ?tracer:Fpc_trace.Sink.t ->
   image:Fpc_mesa.Image.t ->
   engine:Fpc_core.Engine.t ->
   instance:string ->

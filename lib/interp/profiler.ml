@@ -1,0 +1,37 @@
+type t = {
+  sink : Fpc_trace.Sink.t;
+  procs : Fpc_trace.Procmap.t;
+  profile : Fpc_trace.Profile.t;
+}
+
+let create ?capacity ~image ~engine () =
+  let name = Fpc_core.Engine.name engine in
+  let sink = Fpc_trace.Sink.create ?capacity ~engine:name () in
+  let procs = Interp.procmap_of_image image in
+  let profile = Fpc_trace.Profile.create ~procs ~engine:name in
+  Fpc_trace.Sink.set_listener sink (Some (Fpc_trace.Profile.record profile));
+  { sink; procs; profile }
+
+let run ?max_steps t ~image ~engine ~instance ~proc ~args =
+  let st =
+    Interp.boot ~tracer:t.sink ~image ~engine ~instance ~proc ~args ()
+  in
+  Interp.run ?max_steps st;
+  let o = Interp.outcome st in
+  ignore
+    (Fpc_trace.Profile.finish t.profile ~cycles:o.Interp.o_cycles
+       ~mem_refs:o.Interp.o_mem_refs);
+  (st, o)
+
+let render t =
+  Fpc_trace.Profile.render ~dropped:(Fpc_trace.Sink.dropped t.sink) t.profile
+
+let chrome ?final_cycles t =
+  Fpc_trace.Export.chrome ~procs:t.procs
+    ~engine:(Fpc_trace.Sink.engine t.sink)
+    ?final_cycles
+    (Fpc_trace.Sink.events t.sink)
+
+let folded ?final_cycles t =
+  Fpc_trace.Export.folded ~procs:t.procs ?final_cycles
+    (Fpc_trace.Sink.events t.sink)

@@ -1,0 +1,40 @@
+(** One-stop profiled execution: sink + procmap + streaming profile.
+
+    Wires a {!Fpc_trace.Sink} whose listener feeds a {!Fpc_trace.Profile},
+    boots the machine with the sink installed, runs to completion and
+    finishes the profile against the machine's final meters — the
+    machinery behind [fpc profile] and the service's [trace=1] option. *)
+
+type t = {
+  sink : Fpc_trace.Sink.t;
+  procs : Fpc_trace.Procmap.t;
+  profile : Fpc_trace.Profile.t;
+}
+
+val create :
+  ?capacity:int -> image:Fpc_mesa.Image.t -> engine:Fpc_core.Engine.t -> unit -> t
+(** [capacity] bounds the sink's ring (default 65536 events); the profile
+    sees every event regardless. *)
+
+val run :
+  ?max_steps:int ->
+  t ->
+  image:Fpc_mesa.Image.t ->
+  engine:Fpc_core.Engine.t ->
+  instance:string ->
+  proc:string ->
+  args:int list ->
+  Fpc_core.State.t * Interp.outcome
+(** Boot with the profiler's sink attached, run, finish the profile.  The
+    profile's cycle / storage-reference / transfer totals equal the
+    returned outcome's exactly. *)
+
+val render : t -> string
+(** The profile table (includes a warning note if the ring dropped
+    events). *)
+
+val chrome : ?final_cycles:int -> t -> Fpc_util.Jsonout.t
+(** Chrome trace-event JSON over the retained ring. *)
+
+val folded : ?final_cycles:int -> t -> string
+(** Collapsed-stack flamegraph lines over the retained ring. *)

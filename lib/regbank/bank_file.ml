@@ -61,6 +61,7 @@ type t = {
   mutable s_flagged_flushes : int;
   mutable s_diversions : int;
   mutable s_c2 : int;
+  mutable on_event : (Fpc_trace.Event.kind -> unit) option;
 }
 
 let create ?(config = default_config) ~mem ~cost ~ladder () =
@@ -94,9 +95,12 @@ let create ?(config = default_config) ~mem ~cost ~ladder () =
     s_flagged_flushes = 0;
     s_diversions = 0;
     s_c2 = 0;
+    on_event = None;
   }
 
 let config t = t.cfg
+let set_on_event t f = t.on_event <- f
+let fire t k = match t.on_event with Some f -> f k | None -> ()
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -107,12 +111,15 @@ let tick t =
 let write_back t bank =
   match bank.owner with
   | Local lf ->
+    let n = ref 0 in
     for i = 0 to bank.shadow_len - 1 do
       if (not t.cfg.track_dirty) || bank.dirty.(i) then begin
         Memory.write t.mem (lf + i) bank.data.(i);
-        t.s_written_back <- t.s_written_back + 1
+        t.s_written_back <- t.s_written_back + 1;
+        incr n
       end
-    done
+    done;
+    if !n > 0 then fire t (Fpc_trace.Event.Bank_spill !n)
   | Free | Stack -> ()
 
 let detach t bank =
@@ -207,7 +214,8 @@ let load_bank t bank ~lf =
     bank.data.(i) <- Memory.read t.mem (lf + i);
     bank.dirty.(i) <- false;
     t.s_loaded <- t.s_loaded + 1
-  done
+  done;
+  if bank.shadow_len > 0 then fire t (Fpc_trace.Event.Bank_load bank.shadow_len)
 
 let ensure_bank t ~lf =
   t.s_xfers <- t.s_xfers + 1;

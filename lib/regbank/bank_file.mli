@@ -58,6 +58,11 @@ val create :
 
 val config : t -> config
 
+val set_on_event : t -> (Fpc_trace.Event.kind -> unit) option -> unit
+(** Tracing hook: bank underflow loads fire [Bank_load n] and write-backs
+    (eviction, flagged flush, flush-all) fire [Bank_spill n], with [n] the
+    words actually moved.  No-op when unset. *)
+
 (** {1 Transfer-path hooks (called by the transfer engine)} *)
 
 val on_call : t -> callee_lf:int -> payload_words:int -> args:int array -> unit

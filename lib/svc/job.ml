@@ -1,11 +1,11 @@
 type source = Suite of string | Inline of string
 
-type spec = { source : source; engine : string; fuel : int }
+type spec = { source : source; engine : string; fuel : int; trace : bool }
 
 let default_fuel = 20_000_000
 
-let spec ?(engine = "i2") ?(fuel = default_fuel) source =
-  { source; engine; fuel }
+let spec ?(engine = "i2") ?(fuel = default_fuel) ?(trace = false) source =
+  { source; engine; fuel; trace }
 
 type error_kind =
   | Bad_request
@@ -30,6 +30,7 @@ type stats = {
   instructions : int;
   cycles : int;
   mem_refs : int;
+  fastpath : Fpc_interp.Interp.fastpath;
 }
 
 let no_stats =
@@ -40,9 +41,16 @@ let no_stats =
     instructions = 0;
     cycles = 0;
     mem_refs = 0;
+    fastpath = Fpc_interp.Interp.no_fastpath;
   }
 
-type result = { id : int; spec : spec; outcome : outcome; stats : stats }
+type result = {
+  id : int;
+  spec : spec;
+  outcome : outcome;
+  stats : stats;
+  profile : Fpc_trace.Profile.summary option;
+}
 
 let engine_of_name name =
   match String.lowercase_ascii name with
@@ -112,35 +120,42 @@ let parse_request line =
     |> List.filter (fun f -> f <> "")
   in
   let ( let* ) = Result.bind in
-  let parse_field (src, engine, fuel) field =
+  let parse_field (src, engine, fuel, trace) field =
     match String.index_opt field '=' with
     | None -> Error (Printf.sprintf "malformed field %S (want key=value)" field)
     | Some eq -> (
       let key = String.sub field 0 eq in
       let value = String.sub field (eq + 1) (String.length field - eq - 1) in
       match key with
-      | "prog" -> Ok (Some (Suite value), engine, fuel)
-      | "src" -> Ok (Some (Inline (unescape_src value)), engine, fuel)
-      | "engine" -> Ok (src, value, fuel)
+      | "prog" -> Ok (Some (Suite value), engine, fuel, trace)
+      | "src" -> Ok (Some (Inline (unescape_src value)), engine, fuel, trace)
+      | "engine" -> Ok (src, value, fuel, trace)
       | "fuel" -> (
         match int_of_string_opt value with
-        | Some n when n > 0 -> Ok (src, engine, Some n)
+        | Some n when n > 0 -> Ok (src, engine, Some n, trace)
         | Some _ | None ->
           Error (Printf.sprintf "fuel=%s is not a positive integer" value))
-      | k -> Error (Printf.sprintf "unknown key %s (use prog, src, engine, fuel)" k))
+      | "trace" -> (
+        match value with
+        | "1" | "true" -> Ok (src, engine, fuel, true)
+        | "0" | "false" -> Ok (src, engine, fuel, false)
+        | v -> Error (Printf.sprintf "trace=%s is not 0/1" v))
+      | k ->
+        Error
+          (Printf.sprintf "unknown key %s (use prog, src, engine, fuel, trace)" k))
   in
-  let* src, engine, fuel =
+  let* src, engine, fuel, trace =
     List.fold_left
       (fun acc field ->
         let* acc = acc in
         parse_field acc field)
-      (Ok (None, "i2", None))
+      (Ok (None, "i2", None, false))
       fields
   in
   match src with
   | None -> Error "request needs prog=NAME or src=TEXT"
   | Some source ->
-    Ok { source; engine; fuel = Option.value fuel ~default:default_fuel }
+    Ok { source; engine; fuel = Option.value fuel ~default:default_fuel; trace }
 
 let request_of_spec s =
   let src =
@@ -148,7 +163,8 @@ let request_of_spec s =
     | Suite name -> "prog=" ^ name
     | Inline text -> "src=" ^ escape_src text
   in
-  Printf.sprintf "%s engine=%s fuel=%d" src s.engine s.fuel
+  Printf.sprintf "%s engine=%s fuel=%d%s" src s.engine s.fuel
+    (if s.trace then " trace=1" else "")
 
 (* ---- rendering ---- *)
 
@@ -181,12 +197,34 @@ let result_to_json ?(times = true) r =
         ("message", String msg);
       ]
   in
+  let fp = r.stats.fastpath in
   let sim_fields =
     [
       ("instructions", Int r.stats.instructions);
       ("cycles", Int r.stats.cycles);
       ("mem_refs", Int r.stats.mem_refs);
+      ( "fastpath",
+        Obj
+          [
+            ("fast_transfers", Int fp.Fpc_interp.Interp.f_fast_transfers);
+            ("slow_transfers", Int fp.f_slow_transfers);
+            ("rs_pushes", Int fp.f_rs_pushes);
+            ("rs_hits", Int fp.f_rs_hits);
+            ("rs_flushes", Int fp.f_rs_flushes);
+            ("rs_spills", Int fp.f_rs_spills);
+            ("bank_words_loaded", Int fp.f_bank_words_loaded);
+            ("bank_words_spilled", Int fp.f_bank_words_spilled);
+            ("ff_hits", Int fp.f_ff_hits);
+            ("ff_misses", Int fp.f_ff_misses);
+            ("frame_allocs", Int fp.f_frame_allocs);
+            ("frame_frees", Int fp.f_frame_frees);
+          ] );
     ]
+  in
+  let profile_fields =
+    match r.profile with
+    | None -> []
+    | Some s -> [ ("profile", Fpc_trace.Profile.summary_to_json s) ]
   in
   let time_fields =
     if times then
@@ -204,4 +242,5 @@ let result_to_json ?(times = true) r =
        ("engine", String (String.lowercase_ascii r.spec.engine));
        ("fuel", Int r.spec.fuel);
      ]
-    @ outcome_fields @ sim_fields @ time_fields)
+    @ (if r.spec.trace then [ ("trace", Bool true) ] else [])
+    @ outcome_fields @ sim_fields @ profile_fields @ time_fields)

@@ -18,13 +18,14 @@ type spec = {
   source : source;
   engine : string;  (** "i1".."i4" (case-insensitive) *)
   fuel : int;  (** interpreter step budget; exhausting it fails the job *)
+  trace : bool;  (** run under the XFER tracer, returning a profile summary *)
 }
 
 val default_fuel : int
 (** 20 million steps, matching [fpc run]'s default. *)
 
-val spec : ?engine:string -> ?fuel:int -> source -> spec
-(** Defaults: engine ["i2"], fuel {!default_fuel}. *)
+val spec : ?engine:string -> ?fuel:int -> ?trace:bool -> source -> spec
+(** Defaults: engine ["i2"], fuel {!default_fuel}, trace [false]. *)
 
 type error_kind =
   | Bad_request  (** unparseable request, unknown engine or suite program *)
@@ -46,12 +47,22 @@ type stats = {
   instructions : int;  (** simulated instructions executed *)
   cycles : int;  (** simulated cycles (the paper's cost model) *)
   mem_refs : int;  (** simulated storage references *)
+  fastpath : Fpc_interp.Interp.fastpath;
+      (** where the engine's fast paths hit and missed (deterministic) *)
 }
 
 val no_stats : stats
 (** All-zero stats, for jobs that failed before reaching the machine. *)
 
-type result = { id : int; spec : spec; outcome : outcome; stats : stats }
+type result = {
+  id : int;
+  spec : spec;
+  outcome : outcome;
+  stats : stats;
+  profile : Fpc_trace.Profile.summary option;
+      (** present iff the spec asked for [trace] and the job reached the
+          machine *)
+}
 
 val engine_of_name : string -> (Fpc_core.Engine.t, string) Stdlib.result
 
@@ -69,9 +80,9 @@ val outcome_equal : outcome -> outcome -> bool
     [fpc serve] and [fpc batch] jobfiles use one line per job:
     whitespace-separated [key=value] fields.  Keys: [prog] (suite program
     name) or [src] (inline source, with [\n] [\t] [\s] [\\] escapes for
-    newline, tab, space and backslash), plus optional [engine] and
-    [fuel].  Blank lines and lines starting with [#] are skipped by
-    callers. *)
+    newline, tab, space and backslash), plus optional [engine], [fuel]
+    and [trace] (0/1: run under the XFER tracer).  Blank lines and lines
+    starting with [#] are skipped by callers. *)
 
 val parse_request : string -> (spec, string) Stdlib.result
 

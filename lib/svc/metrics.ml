@@ -1,3 +1,9 @@
+type proc_agg = {
+  mutable a_calls : int;
+  mutable a_excl_cycles : int;
+  mutable a_excl_refs : int;
+}
+
 type t = {
   domains : int;
   mutable jobs : int;
@@ -9,6 +15,10 @@ type t = {
   mutable instructions : int;
   mutable cycles : int;
   mutable mem_refs : int;
+  mutable traced_jobs : int;
+  mutable trace_events : int;
+  proc_costs : (string, proc_agg) Hashtbl.t;
+      (** per-procedure exclusive cost, summed over traced jobs *)
 }
 
 let create ~domains =
@@ -23,6 +33,9 @@ let create ~domains =
     instructions = 0;
     cycles = 0;
     mem_refs = 0;
+    traced_jobs = 0;
+    trace_events = 0;
+    proc_costs = Hashtbl.create 64;
   }
 
 let record t (r : Job.result) =
@@ -36,7 +49,33 @@ let record t (r : Job.result) =
   t.run_s <- t.run_s +. r.stats.Job.run_s;
   t.instructions <- t.instructions + r.stats.Job.instructions;
   t.cycles <- t.cycles + r.stats.Job.cycles;
-  t.mem_refs <- t.mem_refs + r.stats.Job.mem_refs
+  t.mem_refs <- t.mem_refs + r.stats.Job.mem_refs;
+  match r.profile with
+  | None -> ()
+  | Some s ->
+    t.traced_jobs <- t.traced_jobs + 1;
+    t.trace_events <- t.trace_events + s.Fpc_trace.Profile.s_events;
+    List.iter
+      (fun (p : Fpc_trace.Profile.proc_stat) ->
+        let agg =
+          match Hashtbl.find_opt t.proc_costs p.ps_name with
+          | Some a -> a
+          | None ->
+            let a = { a_calls = 0; a_excl_cycles = 0; a_excl_refs = 0 } in
+            Hashtbl.add t.proc_costs p.ps_name a;
+            a
+        in
+        agg.a_calls <- agg.a_calls + p.ps_calls;
+        agg.a_excl_cycles <- agg.a_excl_cycles + p.ps_excl_cycles;
+        agg.a_excl_refs <- agg.a_excl_refs + p.ps_excl_refs)
+      s.Fpc_trace.Profile.s_procs
+
+type proc_cost = {
+  pc_name : string;
+  pc_calls : int;
+  pc_excl_cycles : int;
+  pc_excl_refs : int;
+}
 
 type snapshot = {
   domains : int;
@@ -52,9 +91,28 @@ type snapshot = {
   instructions : int;
   cycles : int;
   mem_refs : int;
+  traced_jobs : int;
+  trace_events : int;
+  proc_costs : proc_cost list;
 }
 
 let snapshot (t : t) ~wall_s ~cache =
+  let proc_costs =
+    Hashtbl.fold
+      (fun name (a : proc_agg) acc ->
+        {
+          pc_name = name;
+          pc_calls = a.a_calls;
+          pc_excl_cycles = a.a_excl_cycles;
+          pc_excl_refs = a.a_excl_refs;
+        }
+        :: acc)
+      t.proc_costs []
+    |> List.sort (fun a b ->
+           match compare b.pc_excl_cycles a.pc_excl_cycles with
+           | 0 -> compare a.pc_name b.pc_name
+           | c -> c)
+  in
   {
     domains = t.domains;
     jobs = t.jobs;
@@ -70,6 +128,9 @@ let snapshot (t : t) ~wall_s ~cache =
     instructions = t.instructions;
     cycles = t.cycles;
     mem_refs = t.mem_refs;
+    traced_jobs = t.traced_jobs;
+    trace_events = t.trace_events;
+    proc_costs;
   }
 
 let render (s : snapshot) =
@@ -94,6 +155,19 @@ let render (s : snapshot) =
   row "simulated instructions" (cell_int s.instructions);
   row "simulated cycles" (cell_int s.cycles);
   row "simulated storage refs" (cell_int s.mem_refs);
+  if s.traced_jobs > 0 then begin
+    row "traced jobs" (cell_int s.traced_jobs);
+    row "trace events" (cell_int s.trace_events);
+    let top = List.filteri (fun i _ -> i < 8) s.proc_costs in
+    List.iter
+      (fun p ->
+        row ("  " ^ p.pc_name)
+          (Printf.sprintf "%d calls, %d cycles, %d refs" p.pc_calls
+             p.pc_excl_cycles p.pc_excl_refs))
+      top;
+    let rest = List.length s.proc_costs - List.length top in
+    if rest > 0 then row "  ..." (Printf.sprintf "%d more procedures" rest)
+  end;
   render tb
 
 let to_json (s : snapshot) =
@@ -121,4 +195,18 @@ let to_json (s : snapshot) =
       ("instructions", Int s.instructions);
       ("cycles", Int s.cycles);
       ("mem_refs", Int s.mem_refs);
+      ("traced_jobs", Int s.traced_jobs);
+      ("trace_events", Int s.trace_events);
+      ( "proc_costs",
+        List
+          (List.map
+             (fun p ->
+               Obj
+                 [
+                   ("name", String p.pc_name);
+                   ("calls", Int p.pc_calls);
+                   ("excl_cycles", Int p.pc_excl_cycles);
+                   ("excl_refs", Int p.pc_excl_refs);
+                 ])
+             s.proc_costs) );
     ]

@@ -15,6 +15,15 @@ val create : domains:int -> t
 val record : t -> Job.result -> unit
 (** Fold one completed job in.  Not thread-safe; callers serialize. *)
 
+type proc_cost = {
+  pc_name : string;
+  pc_calls : int;
+  pc_excl_cycles : int;
+  pc_excl_refs : int;
+}
+(** Per-procedure exclusive cost aggregated across every traced job in
+    the pool (the service-level view of the paper's cost attribution). *)
+
 type snapshot = {
   domains : int;
   jobs : int;
@@ -29,6 +38,11 @@ type snapshot = {
   instructions : int;  (** total simulated instructions *)
   cycles : int;  (** total simulated cycles *)
   mem_refs : int;  (** total simulated storage references *)
+  traced_jobs : int;  (** jobs run with [trace=1] *)
+  trace_events : int;  (** events folded across traced jobs *)
+  proc_costs : proc_cost list;
+      (** sorted by exclusive cycles descending (name breaks ties);
+          empty when nothing was traced *)
 }
 
 val snapshot : t -> wall_s:float -> cache:Image_cache.stats -> snapshot

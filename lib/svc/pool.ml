@@ -21,7 +21,7 @@ let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 let now = Unix.gettimeofday
 
 let failed ?(stats = Job.no_stats) id spec kind msg =
-  { Job.id; spec; outcome = Job.Failed (kind, msg); stats }
+  { Job.id; spec; outcome = Job.Failed (kind, msg); stats; profile = None }
 
 let execute cache id (spec : Job.spec) =
   match (Job.engine_of_name spec.engine, Job.source_text spec.source) with
@@ -33,14 +33,25 @@ let execute cache id (spec : Job.spec) =
     | exception e -> failed id spec Job.Internal (Printexc.to_string e)
     | Ok (image, cache_hit, compile_s) -> (
       let t0 = now () in
-      match
-        Fpc_interp.Interp.run_program ~max_steps:spec.fuel ~image ~engine
-          ~instance:"Main" ~proc:"main" ~args:[] ()
-      with
+      let go () =
+        if spec.trace then begin
+          let p = Fpc_interp.Profiler.create ~image ~engine () in
+          let st, _ =
+            Fpc_interp.Profiler.run ~max_steps:spec.fuel p ~image ~engine
+              ~instance:"Main" ~proc:"main" ~args:[]
+          in
+          (st, Some (Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile))
+        end
+        else
+          ( Fpc_interp.Interp.run_program ~max_steps:spec.fuel ~image ~engine
+              ~instance:"Main" ~proc:"main" ~args:[] (),
+            None )
+      in
+      match go () with
       | exception Not_found ->
         failed id spec Job.Compile_error "program has no Main.main()"
       | exception e -> failed id spec Job.Internal (Printexc.to_string e)
-      | st ->
+      | st, profile ->
         let o = Fpc_interp.Interp.outcome st in
         let stats =
           {
@@ -50,6 +61,7 @@ let execute cache id (spec : Job.spec) =
             instructions = o.o_instructions;
             cycles = o.o_cycles;
             mem_refs = o.o_mem_refs;
+            fastpath = o.o_fastpath;
           }
         in
         let outcome =
@@ -65,7 +77,7 @@ let execute cache id (spec : Job.spec) =
             Job.Failed
               (Job.Trapped (Fpc_core.State.trap_reason_to_string r), "machine trap")
         in
-        { Job.id; spec; outcome; stats }))
+        { Job.id; spec; outcome; stats; profile }))
 
 (* ---- the worker loop ---- *)
 

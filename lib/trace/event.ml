@@ -1,0 +1,91 @@
+type kind =
+  | Begin
+  | Call
+  | Return
+  | Coroutine
+  | Switch
+  | Fork
+  | Trap of int
+  | Frame_alloc of { words : int; via_ff : bool; software : bool }
+  | Frame_free of { words : int; to_ff : bool }
+  | Rs_push
+  | Rs_hit
+  | Rs_flush of int
+  | Rs_spill
+  | Bank_load of int
+  | Bank_spill of int
+
+type t = {
+  seq : int;
+  kind : kind;
+  pc : int;
+  target : int;
+  depth : int;
+  fast : bool;
+  cycles : int;
+  mem_refs : int;
+  d_cycles : int;
+  d_mem_refs : int;
+}
+
+let is_transfer = function
+  | Begin | Call | Return | Coroutine | Switch -> true
+  | Fork | Trap _ | Frame_alloc _ | Frame_free _ | Rs_push | Rs_hit
+  | Rs_flush _ | Rs_spill | Bank_load _ | Bank_spill _ ->
+    false
+
+let kind_name = function
+  | Begin -> "begin"
+  | Call -> "call"
+  | Return -> "return"
+  | Coroutine -> "coroutine"
+  | Switch -> "switch"
+  | Fork -> "fork"
+  | Trap _ -> "trap"
+  | Frame_alloc _ -> "frame-alloc"
+  | Frame_free _ -> "frame-free"
+  | Rs_push -> "rs-push"
+  | Rs_hit -> "rs-hit"
+  | Rs_flush _ -> "rs-flush"
+  | Rs_spill -> "rs-spill"
+  | Bank_load _ -> "bank-load"
+  | Bank_spill _ -> "bank-spill"
+
+let detail = function
+  | Trap code -> Printf.sprintf " code=%d" code
+  | Frame_alloc { words; via_ff; software } ->
+    Printf.sprintf " words=%d%s%s" words
+      (if via_ff then " via-ff" else "")
+      (if software then " software" else "")
+  | Frame_free { words; to_ff } ->
+    Printf.sprintf " words=%d%s" words (if to_ff then " to-ff" else "")
+  | Rs_flush n -> Printf.sprintf " entries=%d" n
+  | Bank_load n | Bank_spill n -> Printf.sprintf " words=%d" n
+  | Begin | Call | Return | Coroutine | Switch | Fork | Rs_push | Rs_hit
+  | Rs_spill ->
+    ""
+
+let to_string e =
+  let target = if e.target >= 0 then Printf.sprintf " -> %d" e.target else "" in
+  let cost =
+    if is_transfer e.kind then
+      Printf.sprintf " +%dc/%dr%s" e.d_cycles e.d_mem_refs
+        (if e.fast then " fast" else "")
+    else ""
+  in
+  Printf.sprintf "%-10s pc=%d%s depth=%d%s%s" (kind_name e.kind) e.pc target
+    e.depth (detail e.kind) cost
+
+let zero =
+  {
+    seq = 0;
+    kind = Begin;
+    pc = 0;
+    target = -1;
+    depth = 0;
+    fast = false;
+    cycles = 0;
+    mem_refs = 0;
+    d_cycles = 0;
+    d_mem_refs = 0;
+  }

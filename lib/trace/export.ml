@@ -1,0 +1,153 @@
+open Fpc_util
+
+(* Both exporters replay the event list through a shadow stack, the same
+   discipline Profile uses; here the stack holds names.  A ring that
+   wrapped loses the head of the run, so a Return against an empty stack
+   re-syncs on the destination instead of failing. *)
+
+let name_of procs pc = Procmap.name procs (Procmap.id_of_pc procs pc)
+
+let final_of ?final_cycles (events : Event.t list) =
+  match final_cycles with
+  | Some c -> c
+  | None -> (
+    match List.rev events with e :: _ -> e.Event.cycles | [] -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON. *)
+
+let chrome ~procs ~engine ?final_cycles events =
+  let open Jsonout in
+  let final = final_of ?final_cycles events in
+  let out = ref [] in
+  let push_ev j = out := j :: !out in
+  let common = [ ("pid", Int 1); ("tid", Int 1) ] in
+  push_ev
+    (Obj
+       ([ ("name", String "process_name"); ("ph", String "M") ]
+       @ common
+       @ [ ("args", Obj [ ("name", String ("fpc " ^ engine)) ]) ]));
+  push_ev
+    (Obj
+       ([ ("name", String "thread_name"); ("ph", String "M") ]
+       @ common
+       @ [ ("args", Obj [ ("name", String "simulated machine") ]) ]));
+  let duration ph name ts args =
+    push_ev
+      (Obj
+         ([ ("name", String name); ("ph", String ph); ("ts", Int ts) ]
+         @ common
+         @ (match args with [] -> [] | l -> [ ("args", Obj l) ])))
+  in
+  let instant name ts args =
+    push_ev
+      (Obj
+         ([
+            ("name", String name);
+            ("ph", String "i");
+            ("ts", Int ts);
+            ("s", String "t");
+          ]
+         @ common
+         @ (match args with [] -> [] | l -> [ ("args", Obj l) ])))
+  in
+  let stack = ref [] in
+  let open_frame name ts = stack := name :: !stack; duration "B" name ts [] in
+  let close_top ts =
+    match !stack with
+    | [] -> ()
+    | name :: rest ->
+      stack := rest;
+      duration "E" name ts []
+  in
+  let close_all ts = while !stack <> [] do close_top ts done in
+  List.iter
+    (fun (e : Event.t) ->
+      let start = e.cycles - e.d_cycles in
+      match e.kind with
+      | Event.Begin | Event.Call ->
+        open_frame (name_of procs e.target) (max 0 start)
+      | Event.Return ->
+        close_top e.cycles;
+        if !stack = [] && e.target >= 0 then
+          (* wrapped-ring resync: we never saw this frame open *)
+          open_frame (name_of procs e.target) e.cycles
+      | Event.Coroutine | Event.Switch ->
+        close_all (max 0 start);
+        if e.target >= 0 then open_frame (name_of procs e.target) e.cycles
+      | Event.Fork -> instant "fork" e.cycles []
+      | Event.Trap code ->
+        instant "trap" e.cycles [ ("code", Int code) ];
+        if e.target >= 0 then open_frame (name_of procs e.target) e.cycles
+      | Event.Frame_alloc { words; via_ff; software } ->
+        if software then
+          instant "frame-alloc (software)" e.cycles
+            [ ("words", Int words); ("via_ff", Bool via_ff) ]
+      | Event.Frame_free _ -> ()
+      | Event.Rs_push | Event.Rs_hit -> ()
+      | Event.Rs_flush n -> instant "rs-flush" e.cycles [ ("entries", Int n) ]
+      | Event.Rs_spill -> instant "rs-spill" e.cycles []
+      | Event.Bank_load n -> instant "bank-load" e.cycles [ ("words", Int n) ]
+      | Event.Bank_spill n -> instant "bank-spill" e.cycles [ ("words", Int n) ])
+    events;
+  close_all final;
+  Obj
+    [
+      ("traceEvents", List (List.rev !out));
+      ("displayTimeUnit", String "ns");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks for flamegraphs. *)
+
+let folded ~procs ?final_cycles events =
+  let final = final_of ?final_cycles events in
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let stack = ref [] in
+  let path () =
+    match !stack with
+    | [] -> "(outside)"
+    | names -> String.concat ";" (List.rev names)
+  in
+  let charge p n =
+    if n > 0 then
+      match Hashtbl.find_opt counts p with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.add counts p (ref n)
+  in
+  let last = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      let until = e.cycles - e.d_cycles in
+      let span = max 0 (until - !last) in
+      let op = e.cycles - !last - span in
+      charge (path ()) span;
+      (match e.kind with
+      | Event.Begin | Event.Call ->
+        stack := name_of procs e.target :: !stack;
+        charge (path ()) op
+      | Event.Return ->
+        charge (path ()) op;
+        (match !stack with
+        | _ :: rest -> stack := rest
+        | [] -> if e.target >= 0 then stack := [ name_of procs e.target ])
+      | Event.Coroutine | Event.Switch ->
+        stack := (if e.target >= 0 then [ name_of procs e.target ] else []);
+        charge (path ()) op
+      | Event.Trap _ ->
+        if e.target >= 0 then stack := name_of procs e.target :: !stack;
+        charge (path ()) op
+      | Event.Fork | Event.Frame_alloc _ | Event.Frame_free _ | Event.Rs_push
+      | Event.Rs_hit | Event.Rs_flush _ | Event.Rs_spill | Event.Bank_load _
+      | Event.Bank_spill _ ->
+        charge (path ()) op);
+      last := e.cycles)
+    events;
+  charge (path ()) (max 0 (final - !last));
+  let lines =
+    Hashtbl.fold (fun p r acc -> (p, !r) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let buf = Buffer.create 256 in
+  List.iter (fun (p, n) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" p n)) lines;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Rendering retained events for external viewers.
+
+    {!chrome} emits the Chrome trace-event JSON format (load in
+    [chrome://tracing] or [ui.perfetto.dev]): procedure activations become
+    B/E duration events on one thread track, with the simulated cycle
+    meter as the microsecond timestamp, and notable fast-path happenings
+    (traps, return-stack flushes and spills, bank traffic, software frame
+    allocations) become instant events.
+
+    {!folded} emits collapsed-stack lines ([Main;Main.fib;Main.fib 42]) —
+    exclusive cycles per observed stack — the input format of the standard
+    flamegraph tooling.
+
+    Both run over the sink's {e retained} ring, so on a wrapped ring they
+    describe the tail of the run (the profile stays exact regardless). *)
+
+val chrome :
+  procs:Procmap.t ->
+  engine:string ->
+  ?final_cycles:int ->
+  Event.t list ->
+  Fpc_util.Jsonout.t
+(** [final_cycles] closes still-open activations at the end of the run
+    (defaults to the last event's cycle reading). *)
+
+val folded : procs:Procmap.t -> ?final_cycles:int -> Event.t list -> string
+(** One [stack count] line per observed stack with nonzero exclusive
+    cycles, sorted lexicographically; trailing newline included. *)

@@ -1,0 +1,57 @@
+type entry = { e_name : string; e_lo : int; e_hi : int }
+
+type t = { entries : entry array }
+
+let create ranges =
+  let ranges =
+    List.filter (fun (_, lo, hi) -> hi > lo) ranges
+    |> List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b)
+  in
+  (* Drop exact duplicates (instances of one module share code ranges);
+     anything else overlapping is a caller bug. *)
+  let rec dedup = function
+    | (n1, lo1, hi1) :: (_, lo2, hi2) :: rest when lo1 = lo2 && hi1 = hi2 ->
+      dedup ((n1, lo1, hi1) :: rest)
+    | (n1, lo1, hi1) :: ((_, lo2, _) :: _ as rest) ->
+      if lo2 < hi1 then
+        invalid_arg
+          (Printf.sprintf "Procmap.create: %s [%d,%d) overlaps next range at %d"
+             n1 lo1 hi1 lo2);
+      (n1, lo1, hi1) :: dedup rest
+    | short -> short
+  in
+  let ranges = dedup ranges in
+  {
+    entries =
+      Array.of_list
+        (List.map (fun (e_name, e_lo, e_hi) -> { e_name; e_lo; e_hi }) ranges);
+  }
+
+let count t = Array.length t.entries
+
+let id_of_pc t pc =
+  let lo = ref 0 and hi = ref (Array.length t.entries - 1) in
+  let found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let e = t.entries.(mid) in
+    if pc < e.e_lo then hi := mid - 1
+    else if pc >= e.e_hi then lo := mid + 1
+    else begin
+      found := mid;
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+let name t id =
+  if id >= 0 && id < Array.length t.entries then t.entries.(id).e_name
+  else "(unknown)"
+
+let find t n =
+  let rec go i =
+    if i >= Array.length t.entries then None
+    else if String.equal t.entries.(i).e_name n then Some i
+    else go (i + 1)
+  in
+  go 0

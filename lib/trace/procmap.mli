@@ -1,0 +1,29 @@
+(** Procedure identity: mapping code addresses back to names.
+
+    Events carry raw PCs; profiles and exports want ["Main.fib"].  A
+    procmap is built once per image from (name, first byte, limit byte)
+    code ranges — see [Fpc_interp.Interp.procmap_of_image] — and answers
+    point queries by binary search.  Procedures are identified by dense
+    integer ids so profile folding is array-indexed; id [-1] means "no
+    known procedure covers that address". *)
+
+type t
+
+val create : (string * int * int) list -> t
+(** [(name, lo, hi)] ranges, [lo] inclusive, [hi] exclusive, in absolute
+    byte addresses.  Ranges are sorted internally; when two ranges start at
+    the same address (several instances of one module share code) the
+    first listed wins.  Overlapping ranges other than exact duplicates
+    raise [Invalid_argument]. *)
+
+val count : t -> int
+(** Number of distinct procedures (valid ids are [0 .. count-1]). *)
+
+val id_of_pc : t -> int -> int
+(** The procedure whose code range contains the byte address, or -1. *)
+
+val name : t -> int -> string
+(** Name for an id; ["(unknown)"] for -1 or out-of-range. *)
+
+val find : t -> string -> int option
+(** Id for an exact name, if present. *)

@@ -1,0 +1,49 @@
+type t = {
+  engine : string;
+  ring : Event.t array;
+  mutable next : int;  (* write cursor *)
+  mutable len : int;  (* valid entries *)
+  mutable seq : int;
+  mutable dropped : int;
+  mutable listener : (Event.t -> unit) option;
+}
+
+let create ?(capacity = 65536) ~engine () =
+  if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
+  {
+    engine;
+    ring = Array.make capacity Event.zero;
+    next = 0;
+    len = 0;
+    seq = 0;
+    dropped = 0;
+    listener = None;
+  }
+
+let engine t = t.engine
+let capacity t = Array.length t.ring
+
+let emit t (e : Event.t) =
+  let e = { e with Event.seq = t.seq } in
+  t.seq <- t.seq + 1;
+  (match t.listener with Some f -> f e | None -> ());
+  let cap = Array.length t.ring in
+  t.ring.(t.next) <- e;
+  t.next <- (t.next + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+
+let set_listener t f = t.listener <- f
+
+let events t =
+  let cap = Array.length t.ring in
+  let first = (t.next - t.len + cap) mod cap in
+  List.init t.len (fun i -> t.ring.((first + i) mod cap))
+
+let total t = t.seq
+let dropped t = t.dropped
+
+let clear t =
+  t.next <- 0;
+  t.len <- 0;
+  t.seq <- 0;
+  t.dropped <- 0

@@ -1,0 +1,48 @@
+(** Where events go: a bounded ring buffer plus an optional streaming
+    listener.
+
+    The ring keeps the most recent [capacity] events for after-the-fact
+    export (a Chrome trace of the tail of a run is still loadable); once it
+    wraps, overwritten events are counted in {!dropped} rather than
+    silently lost.  Consumers that must see {e every} event — the profiler,
+    whose conservation property (profile totals = machine totals) only
+    holds over the complete stream — attach a {!set_listener} callback,
+    which is invoked synchronously on each emit regardless of ring
+    occupancy.
+
+    The null sink is simply the absence of one: the machine stores a
+    [Sink.t option] and every instrumentation site is guarded by a single
+    match on it, so a tracing-off run pays one branch per {e transfer}
+    (not per instruction) — near-zero cost, measured by the
+    [trace/overhead] bench entry. *)
+
+type t
+
+val create : ?capacity:int -> engine:string -> unit -> t
+(** [capacity] (default 65536) must be positive; [engine] is the engine
+    label ("I1".."I4") stamped on exports and profiles built from this
+    sink. *)
+
+val engine : t -> string
+val capacity : t -> int
+
+val emit : t -> Event.t -> unit
+(** Assigns the event its sequence number, stores it (evicting the oldest
+    when full), and feeds the listener if one is attached. *)
+
+val set_listener : t -> (Event.t -> unit) option -> unit
+(** The streaming consumer; it sees every event with its final sequence
+    number, before ring eviction is applied. *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first.  At most [capacity]; the head of the
+    run is missing iff [dropped > 0]. *)
+
+val total : t -> int
+(** Events emitted over the sink's lifetime. *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around. *)
+
+val clear : t -> unit
+(** Empty the ring and reset the counters (the listener stays). *)

@@ -1,0 +1,230 @@
+exception Fail of int * string
+
+type state = { s : string; mutable pos : int }
+
+let fail st msg = raise (Fail (st.pos, msg))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let n = String.length st.s in
+  while
+    st.pos < n
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %c, found %c" c c')
+  | None -> fail st (Printf.sprintf "expected %c, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "bad hex digit in \\u escape"
+
+(* Encode one Unicode scalar value as UTF-8; surrogate pairs in the input
+   are combined by the caller. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_u16 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    match peek st with
+    | Some c ->
+      v := (!v lsl 4) lor hex_digit st c;
+      advance st
+    | None -> fail st "truncated \\u escape"
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | None -> fail st "truncated escape"
+      | Some c ->
+        advance st;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let hi = parse_u16 st in
+          if hi >= 0xD800 && hi <= 0xDBFF then begin
+            expect st '\\';
+            expect st 'u';
+            let lo = parse_u16 st in
+            if lo < 0xDC00 || lo > 0xDFFF then fail st "unpaired surrogate";
+            add_utf8 buf (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if hi >= 0xDC00 && hi <= 0xDFFF then fail st "unpaired surrogate"
+          else add_utf8 buf hi
+        | _ -> fail st (Printf.sprintf "bad escape \\%c" c)));
+      go ()
+    | Some c when Char.code c < 0x20 -> fail st "control character in string"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let digits () =
+    let seen = ref false in
+    let rec go () =
+      match peek st with
+      | Some '0' .. '9' ->
+        seen := true;
+        advance st;
+        go ()
+      | _ -> if not !seen then fail st "expected digit"
+    in
+    go ()
+  in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  digits ();
+  let fractional = ref false in
+  (match peek st with
+  | Some '.' ->
+    fractional := true;
+    advance st;
+    digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    fractional := true;
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub st.s start (st.pos - start) in
+  if !fractional then Jsonout.Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Jsonout.Int n
+    | None -> Jsonout.Float (float_of_string text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "expected a JSON value"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Jsonout.Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members ()
+        | _ -> expect st '}'
+      in
+      members ();
+      Jsonout.Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      Jsonout.List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements ()
+        | _ -> expect st ']'
+      in
+      elements ();
+      Jsonout.List (List.rev !items)
+    end
+  | Some '"' -> Jsonout.String (parse_string st)
+  | Some 't' -> literal st "true" (Jsonout.Bool true)
+  | Some 'f' -> literal st "false" (Jsonout.Bool false)
+  | Some 'n' -> literal st "null" Jsonout.Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %c" c)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then
+      Error (Printf.sprintf "at offset %d: trailing input" st.pos)
+    else Ok v
+  | exception Fail (pos, msg) -> Error (Printf.sprintf "at offset %d: %s" pos msg)
+  | exception Failure _ -> Error "unrepresentable number"
+
+let parse_file path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    parse s

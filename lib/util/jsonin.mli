@@ -1,0 +1,18 @@
+(** Minimal JSON parsing — the read half of {!Jsonout}.
+
+    The bench harness merges new measurements into the existing
+    [BENCH_results.json] instead of overwriting it, and tests validate the
+    Chrome trace files the trace subsystem emits; both need to read JSON
+    back, and the toolchain deliberately has no external JSON dependency.
+    Accepts the full RFC 8259 grammar (objects, arrays, strings with
+    escapes, numbers, booleans, null); numbers with a fraction, exponent,
+    or magnitude beyond [int] parse as [Float], everything else as
+    [Int]. *)
+
+val parse : string -> (Jsonout.t, string) result
+(** The single JSON value in the string (surrounding whitespace allowed).
+    Trailing garbage, truncation and malformed input yield [Error] with a
+    position-annotated message. *)
+
+val parse_file : string -> (Jsonout.t, string) result
+(** [parse] the contents of a file; I/O errors become [Error]. *)

@@ -72,6 +72,79 @@ let generate ~seed ?(profile = default_profile) ~length () =
   done;
   List.rev !events
 
+(* Random but always-terminating mini-Mesa programs: procedures p0..pN
+   form a DAG (pi only calls pj with j > i) and self-recursion is guarded
+   by a strictly decreasing first argument, so every run halts under any
+   engine.  Expressions stick to +, - and * (no division, no traps). *)
+let random_program ~seed =
+  let open Fpc_util in
+  let rng = Prng.create ~seed in
+  let nprocs = 2 + Prng.int rng ~bound:4 in
+  let buf = Buffer.create 1024 in
+  let atom ~self =
+    ignore self;
+    match Prng.int rng ~bound:5 with
+    | 0 -> string_of_int (Prng.int rng ~bound:10)
+    | 1 -> "a"
+    | 2 -> "b"
+    | 3 -> "v0"
+    | _ -> "v1"
+  in
+  let op () = Prng.choose rng [| " + "; " - "; " * " |] in
+  (* depth bounds the expression tree; calls go strictly deeper in the
+     DAG and pass a small literal or the caller's decremented counter as
+     the recursion budget *)
+  let rec expr ~self ~depth =
+    if depth = 0 then atom ~self
+    else
+      match Prng.int rng ~bound:4 with
+      | 0 when self + 1 < nprocs ->
+        let callee = Prng.int_in rng ~lo:(self + 1) ~hi:(nprocs - 1) in
+        let budget =
+          if self >= 0 && Prng.bool rng then "a - 1"
+          else string_of_int (Prng.int rng ~bound:4)
+        in
+        Printf.sprintf "p%d(%s, %s)" callee budget (expr ~self ~depth:(depth - 1))
+      | 1 ->
+        Printf.sprintf "(%s%s%s)"
+          (expr ~self ~depth:(depth - 1))
+          (op ())
+          (expr ~self ~depth:(depth - 1))
+      | _ -> atom ~self
+  in
+  Buffer.add_string buf "MODULE Main;\n";
+  for self = 0 to nprocs - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "PROC p%d(a: INT, b: INT): INT =\n" self);
+    Buffer.add_string buf
+      (Printf.sprintf "  VAR v0: INT := %d;\n  VAR v1: INT := b;\n"
+         (Prng.int rng ~bound:10));
+    Buffer.add_string buf "  IF a < 1 THEN RETURN v0 + v1; END;\n";
+    for _ = 1 to 1 + Prng.int rng ~bound:2 do
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d := %s;\n" (Prng.int rng ~bound:2)
+           (expr ~self ~depth:2))
+    done;
+    if Prng.chance rng ~p:0.7 then
+      (* the guarded self-recursion that makes the traces call-heavy *)
+      Buffer.add_string buf
+        (Printf.sprintf "  v0 := v0 + p%d(a - 1, %s);\n" self
+           (expr ~self ~depth:1));
+    if Prng.chance rng ~p:0.3 then
+      Buffer.add_string buf (Printf.sprintf "  OUTPUT v%d;\n" (Prng.int rng ~bound:2));
+    Buffer.add_string buf
+      (Printf.sprintf "  RETURN %s;\nEND;\n" (expr ~self ~depth:2))
+  done;
+  Buffer.add_string buf "PROC main() =\n";
+  for _ = 1 to 1 + Prng.int rng ~bound:3 do
+    Buffer.add_string buf
+      (Printf.sprintf "  OUTPUT p0(%d, %d);\n"
+         (3 + Prng.int rng ~bound:4)
+         (Prng.int rng ~bound:10))
+  done;
+  Buffer.add_string buf "END;\nEND;\n";
+  Buffer.contents buf
+
 let depth_profile events =
   let h = Fpc_util.Histogram.create () in
   let depth = ref 1 in

@@ -36,3 +36,8 @@ val generate : seed:int -> ?profile:profile -> length:int -> unit -> event list
 
 val depth_profile : event list -> Fpc_util.Histogram.t
 (** Distribution of call depth over the trace. *)
+
+val random_program : seed:int -> string
+(** A random mini-Mesa program over a DAG of procedures with guarded
+    self-recursion: always compiles, always halts, on every engine —
+    the driver for differential and conservation property tests. *)

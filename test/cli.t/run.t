@@ -76,4 +76,47 @@ A poisoned job fails alone; the pool keeps serving:
 The server reads request lines and answers in JSON:
 
   $ printf 'prog=fib engine=i2\n' | fpc serve --no-times 2>/dev/null
-  {"id":0,"source":"fib","engine":"i2","fuel":20000000,"status":"ok","output":[377],"instructions":15845,"cycles":123964,"mem_refs":26218}
+  {"id":0,"source":"fib","engine":"i2","fuel":20000000,"status":"ok","output":[377],"instructions":15845,"cycles":123964,"mem_refs":26218,"fastpath":{"fast_transfers":0,"slow_transfers":2439,"rs_pushes":0,"rs_hits":0,"rs_flushes":0,"rs_spills":0,"bank_words_loaded":0,"bank_words_spilled":0,"ff_hits":0,"ff_misses":0,"frame_allocs":1220,"frame_frees":1220}}
+
+Profile a run: per-procedure cost attribution whose totals equal the
+machine's meters for the same run (the conservation property):
+
+  $ fpc profile fib -e i2 2>/dev/null
+  == profile (I2) ==
+  +-----------+-------+-------------+-------+-------------+-----------+-----------+------+
+  | procedure | calls | excl cycles |     % | incl cycles | excl refs | incl refs | fast |
+  +-----------+-------+-------------+-------+-------------+-----------+-----------+------+
+  | Main.fib  |  1219 |      123792 | 99.9% |      123792 |     26201 |     26201 | 0.0% |
+  | (outside) |     0 |         116 |  0.1% |           0 |         4 |         0 |    - |
+  | Main.main |     1 |          56 |  0.0% |      123848 |        13 |     26214 | 0.0% |
+  +-----------+-------+-------------+-------+-------------+-----------+-----------+------+
+    note: totals: 123964 cycles, 26218 storage refs, 1219 calls, 1220 returns, 0 other xfers, 0 traps
+    note: fast path: 0/2439 call+return transfers with no storage reference (0.0%)
+    note: return stack: 0 pushes, 0 hits, 0 flushes (0 entries), 0 spills
+    note: banks: 0 loads (0 words), 0 spills (0 words)
+    note: frames: 1220 allocs (0 via free-frame stack, 2 software), 1220 frees (0 to free-frame stack)
+    note: call depth: mean 9.6, p50 10, p90 12, max 14
+
+The exports: Chrome trace-event JSON (chrome://tracing loadable) and
+collapsed flamegraph stacks:
+
+  $ fpc profile fib -e i3 --chrome fib-trace.json --folded fib.folded >/dev/null 2>&1
+  $ head -c 33 fib-trace.json; echo
+  {"traceEvents":[{"name":"process_
+  $ grep -c "^Main.main;Main.fib " fib.folded
+  1
+
+A trace=1 request carries a profile summary into the result JSON:
+
+  $ printf 'prog=fib engine=i2 trace=1\n' | fpc serve --no-times 2>/dev/null | grep -o '"profile":{"engine":"I2","cycles":123964,"mem_refs":26218' 
+  "profile":{"engine":"I2","cycles":123964,"mem_refs":26218
+
+...and the pool metrics aggregate per-procedure cost across traced
+jobs (only the deterministic rows shown):
+
+  $ printf 'prog=fib engine=i2 trace=1\n' > traced.txt
+  $ fpc batch traced.txt 2>&1 >/dev/null | grep -E "traced jobs|trace events|Main\."
+  | traced jobs                 |                                     1 |
+  | trace events                |                                  4880 |
+  |   Main.fib                  | 1219 calls, 123792 cycles, 26201 refs |
+  |   Main.main                 |           1 calls, 56 cycles, 13 refs |

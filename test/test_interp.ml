@@ -412,7 +412,7 @@ let test_lv_rebind_to_frame_full () =
   let image = link_exn [ m ] in
   let st =
     Fpc_interp.Interp.boot ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
-      ~proc:"main" ~args:[]
+      ~proc:"main" ~args:[] ()
   in
   (* Step until main has emitted the 0 marker (partner suspended). *)
   let rec go () =

@@ -150,6 +150,7 @@ let test_request_line_roundtrip () =
   let specs =
     [
       Job.spec ~engine:"i3" ~fuel:1234 (Job.Suite "fib");
+      Job.spec ~trace:true (Job.Suite "hanoi");
       Job.spec (Job.Inline "MODULE Main;\nPROC main() =\n  OUTPUT 1;\nEND;\nEND;\n");
     ]
   in
@@ -204,6 +205,46 @@ let test_metrics_json_shape () =
       Alcotest.(check bool) (needle ^ " present") true (contains needle))
     [ "\"jobs\":1"; "\"succeeded\":1"; "\"domains\":1"; "\"cache\"" ]
 
+let test_traced_job () =
+  let results, m =
+    Pool.run_jobs ~domains:2
+      [
+        Job.spec ~engine:"i3" ~trace:true (Job.Suite "fib");
+        Job.spec ~engine:"i2" (Job.Suite "fib");
+      ]
+  in
+  let traced = List.find (fun (r : Job.result) -> r.id = 0) results in
+  let plain = List.find (fun (r : Job.result) -> r.id = 1) results in
+  (match plain.profile with
+  | None -> ()
+  | Some _ -> Alcotest.fail "untraced job must not carry a profile");
+  (match traced.profile with
+  | None -> Alcotest.fail "traced job lost its profile"
+  | Some s ->
+    (* the profile agrees with the job's own deterministic counters *)
+    Alcotest.(check int) "profile cycles" traced.stats.Job.cycles
+      s.Fpc_trace.Profile.s_cycles;
+    Alcotest.(check int) "profile refs" traced.stats.Job.mem_refs
+      s.Fpc_trace.Profile.s_mem_refs;
+    Alcotest.(check bool) "profile has procedures" true
+      (List.length s.Fpc_trace.Profile.s_procs > 0));
+  (* tracing must not change the simulated outcome *)
+  (match (traced.outcome, plain.outcome) with
+  | Job.Output a, Job.Output b ->
+    Alcotest.(check (list int)) "same output traced or not" b a
+  | _ -> Alcotest.fail "both jobs should succeed");
+  Alcotest.(check int) "metrics counted the traced job" 1
+    m.Metrics.traced_jobs;
+  Alcotest.(check bool) "metrics aggregated events" true
+    (m.Metrics.trace_events > 0);
+  Alcotest.(check bool) "metrics aggregated procedures" true
+    (List.exists
+       (fun (p : Metrics.proc_cost) -> p.pc_name = "Main.fib")
+       m.Metrics.proc_costs);
+  (* fast-path counters surface per job, even untraced *)
+  Alcotest.(check bool) "rs pushes visible on i3" true
+    (traced.stats.Job.fastpath.Fpc_interp.Interp.f_rs_pushes > 0)
+
 let () =
   Alcotest.run "svc"
     [
@@ -231,5 +272,7 @@ let () =
           Alcotest.test_case "request line round-trip" `Quick
             test_request_line_roundtrip;
           Alcotest.test_case "metrics JSON shape" `Quick test_metrics_json_shape;
+          Alcotest.test_case "traced job carries a profile" `Quick
+            test_traced_job;
         ] );
     ]

@@ -1,0 +1,249 @@
+(* lib/trace: sink ring semantics, procmap lookup, the profile's
+   conservation property (exact equality with the machine's meters, the
+   load-bearing guarantee of the subsystem), and the exporters. *)
+
+open Fpc_trace
+
+let ev ?(kind = Event.Call) ?(cycles = 0) ?(d_cycles = 0) () =
+  { Event.zero with kind; cycles; d_cycles }
+
+(* ---- sink ---- *)
+
+let test_sink_ring () =
+  let s = Sink.create ~capacity:16 ~engine:"I2" () in
+  let seen = ref 0 in
+  Sink.set_listener s (Some (fun _ -> incr seen));
+  for i = 1 to 100 do
+    Sink.emit s (ev ~cycles:i ())
+  done;
+  Alcotest.(check int) "total" 100 (Sink.total s);
+  Alcotest.(check int) "dropped" 84 (Sink.dropped s);
+  Alcotest.(check int) "listener saw everything" 100 !seen;
+  let events = Sink.events s in
+  Alcotest.(check int) "ring keeps capacity" 16 (List.length events);
+  (match events with
+  | first :: _ ->
+    Alcotest.(check int) "oldest retained is #85" 85 first.Event.cycles;
+    Alcotest.(check int) "seq assigned" 84 first.Event.seq
+  | [] -> Alcotest.fail "ring empty");
+  Sink.clear s;
+  Alcotest.(check int) "clear resets total" 0 (Sink.total s);
+  Alcotest.(check int) "clear resets dropped" 0 (Sink.dropped s);
+  Sink.emit s (ev ());
+  Alcotest.(check int) "listener survives clear" 101 !seen
+
+(* ---- procmap ---- *)
+
+let test_procmap () =
+  let pm =
+    Procmap.create
+      [ ("b", 20, 30); ("a", 10, 20); ("c", 40, 50); ("b", 20, 30) ]
+  in
+  Alcotest.(check int) "duplicate ranges dedup" 3 (Procmap.count pm);
+  let name_at pc = Procmap.name pm (Procmap.id_of_pc pm pc) in
+  Alcotest.(check string) "first word of a" "a" (name_at 10);
+  Alcotest.(check string) "last word of a" "a" (name_at 19);
+  Alcotest.(check string) "b starts at its lo" "b" (name_at 20);
+  Alcotest.(check string) "gap is unknown" "(unknown)" (name_at 35);
+  Alcotest.(check string) "below is unknown" "(unknown)" (name_at 0);
+  Alcotest.(check string) "above is unknown" "(unknown)" (name_at 99);
+  match Procmap.create [ ("a", 10, 20); ("b", 15, 25) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overlapping ranges must be rejected"
+
+(* ---- conservation ---- *)
+
+let engines () =
+  [
+    ("i1", Fpc_core.Engine.i1);
+    ("i2", Fpc_core.Engine.i2);
+    ("i3", Fpc_core.Engine.i3 ());
+    ("i4", Fpc_core.Engine.i4 ());
+  ]
+
+let run_profiled ~engine src =
+  let convention = Fpc_compiler.Convention.for_engine engine in
+  let image =
+    match Fpc_compiler.Compile.image ~convention src with
+    | Ok i -> i
+    | Error m -> Alcotest.fail m
+  in
+  let p = Fpc_interp.Profiler.create ~image ~engine () in
+  let _st, o =
+    Fpc_interp.Profiler.run p ~image ~engine ~instance:"Main" ~proc:"main"
+      ~args:[]
+  in
+  (p, o)
+
+(* The subsystem's contract: after [finish], the profile's totals equal
+   the interpreter's outcome counters {e exactly} — no sampling error, no
+   double counting, no leakage — and the per-row exclusive costs sum to
+   the same meters. *)
+let check_conserved label (p : Fpc_interp.Profiler.t)
+    (o : Fpc_interp.Interp.outcome) =
+  let t = Profile.totals p.profile in
+  let chk what a b =
+    Alcotest.(check int) (Printf.sprintf "%s: %s" label what) b a
+  in
+  chk "cycles" t.Profile.t_cycles o.o_cycles;
+  chk "mem refs" t.Profile.t_mem_refs o.o_mem_refs;
+  chk "calls" t.Profile.t_calls o.o_calls;
+  chk "returns" t.Profile.t_returns o.o_returns;
+  chk "other xfers" t.Profile.t_other_xfers o.o_other_xfers;
+  chk "fast transfers" t.Profile.t_fast_transfers
+    o.o_fastpath.Fpc_interp.Interp.f_fast_transfers;
+  chk "slow transfers" t.Profile.t_slow_transfers
+    o.o_fastpath.Fpc_interp.Interp.f_slow_transfers;
+  let rows = Profile.rows p.profile in
+  chk "row exclusive cycles sum"
+    (List.fold_left (fun a r -> a + r.Profile.r_excl_cycles) 0 rows)
+    o.o_cycles;
+  chk "row exclusive refs sum"
+    (List.fold_left (fun a r -> a + r.Profile.r_excl_refs) 0 rows)
+    o.o_mem_refs
+
+let test_conservation_suite () =
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun (en, engine) ->
+          let p, o = run_profiled ~engine src in
+          check_conserved (name ^ "/" ^ en) p o)
+        (engines ()))
+    Fpc_workload.Programs.all
+
+let test_conservation_trapped () =
+  (* Conservation holds on the exception path too: the div-zero trap is
+     uncatchable here (no handler installed), the machine stops, and the
+     profile must still account for every cycle up to the stop. *)
+  let src =
+    "MODULE Main;\nPROC f(n: INT): INT =\n  RETURN n / (n - n);\nEND;\n\
+     PROC main() =\n  OUTPUT f(7);\nEND;\nEND;\n"
+  in
+  List.iter
+    (fun (en, engine) ->
+      let p, o = run_profiled ~engine src in
+      (match o.o_status with
+      | Fpc_core.State.Trapped _ -> ()
+      | _ -> Alcotest.fail "expected a trap");
+      check_conserved ("trap/" ^ en) p o)
+    (engines ())
+
+let conservation_random =
+  QCheck.Test.make ~count:40
+    ~name:"profile totals equal outcome counters on random programs"
+    QCheck.(int_range 0 9999)
+    (fun seed ->
+      let src = Fpc_workload.Synthetic.random_program ~seed in
+      List.for_all
+        (fun (en, engine) ->
+          let p, o = run_profiled ~engine src in
+          (match o.o_status with
+          | Fpc_core.State.Halted -> ()
+          | _ ->
+            QCheck.Test.fail_reportf "seed %d did not halt under %s" seed en);
+          let t = Profile.totals p.profile in
+          t.Profile.t_cycles = o.o_cycles
+          && t.Profile.t_mem_refs = o.o_mem_refs
+          && t.Profile.t_calls = o.o_calls
+          && t.Profile.t_returns = o.o_returns
+          && t.Profile.t_other_xfers = o.o_other_xfers)
+        (engines ()))
+
+(* ---- exporters ---- *)
+
+let test_chrome_export () =
+  let engine = Fpc_core.Engine.i3 () in
+  let p, o = run_profiled ~engine (Fpc_workload.Programs.find "fib") in
+  let json =
+    Fpc_util.Jsonout.to_string (Fpc_interp.Profiler.chrome ~final_cycles:o.o_cycles p)
+  in
+  match Fpc_util.Jsonin.parse json with
+  | Error m -> Alcotest.fail ("chrome JSON does not re-parse: " ^ m)
+  | Ok (Fpc_util.Jsonout.Obj fields) ->
+    (match List.assoc_opt "traceEvents" fields with
+    | Some (Fpc_util.Jsonout.List events) ->
+      Alcotest.(check bool) "has events" true (List.length events > 2);
+      let ph v =
+        match v with
+        | Fpc_util.Jsonout.Obj f -> (
+          match List.assoc_opt "ph" f with
+          | Some (Fpc_util.Jsonout.String s) -> s
+          | _ -> "?")
+        | _ -> "?"
+      in
+      let count want = List.length (List.filter (fun e -> ph e = want) events) in
+      Alcotest.(check int) "durations balance" (count "B") (count "E")
+    | _ -> Alcotest.fail "no traceEvents list")
+  | Ok _ -> Alcotest.fail "chrome JSON is not an object"
+
+let test_folded_export () =
+  let engine = Fpc_core.Engine.i2 in
+  let p, o = run_profiled ~engine (Fpc_workload.Programs.find "callchain") in
+  let folded = Fpc_interp.Profiler.folded ~final_cycles:o.o_cycles p in
+  let total =
+    List.fold_left
+      (fun acc line ->
+        if line = "" then acc
+        else
+          let i = String.rindex line ' ' in
+          acc + int_of_string (String.sub line (i + 1) (String.length line - i - 1)))
+      0
+      (String.split_on_char '\n' folded)
+  in
+  (* every simulated cycle lands on exactly one stack *)
+  Alcotest.(check int) "folded counts sum to the cycle meter" o.o_cycles total;
+  Alcotest.(check bool) "stacks start at main" true
+    (List.exists
+       (fun l -> String.length l > 9 && String.sub l 0 9 = "Main.main")
+       (String.split_on_char '\n' folded))
+
+let test_render_mentions_drops () =
+  let engine = Fpc_core.Engine.i2 in
+  let src = Fpc_workload.Programs.find "fib" in
+  let convention = Fpc_compiler.Convention.for_engine engine in
+  let image =
+    match Fpc_compiler.Compile.image ~convention src with
+    | Ok i -> i
+    | Error m -> Alcotest.fail m
+  in
+  let p = Fpc_interp.Profiler.create ~capacity:8 ~image ~engine () in
+  let _st, o =
+    Fpc_interp.Profiler.run p ~image ~engine ~instance:"Main" ~proc:"main"
+      ~args:[]
+  in
+  check_conserved "tiny ring still conserves" p o;
+  Alcotest.(check bool) "ring overflowed" true (Sink.dropped p.sink > 0);
+  let table = Fpc_interp.Profiler.render p in
+  let contains needle =
+    let n = String.length needle and h = String.length table in
+    let rec at i = i + n <= h && (String.sub table i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "render warns about drops" true (contains "dropped")
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "sink",
+        [
+          Alcotest.test_case "ring + dropped + listener" `Quick test_sink_ring;
+        ] );
+      ("procmap", [ Alcotest.test_case "lookup" `Quick test_procmap ]);
+      ( "conservation",
+        [
+          Alcotest.test_case "workload suite x engines" `Slow
+            test_conservation_suite;
+          Alcotest.test_case "trapped run" `Quick test_conservation_trapped;
+          QCheck_alcotest.to_alcotest conservation_random;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome JSON re-parses, B/E balance" `Quick
+            test_chrome_export;
+          Alcotest.test_case "folded stacks conserve cycles" `Quick
+            test_folded_export;
+          Alcotest.test_case "wrapped ring: profile exact, render warns" `Quick
+            test_render_mentions_drops;
+        ] );
+    ]
