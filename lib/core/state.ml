@@ -83,6 +83,7 @@ type process = { p_id : int; p_lf : int; p_stack : int array }
 type t = {
   image : Image.t;
   mem : Memory.t;
+  predecode : Fpc_isa.Predecode.t;
   cost : Cost.t;
   allocator : Fpc_frames.Alloc_vector.t;
   engine : Engine.t;
@@ -118,19 +119,9 @@ let emit_sub t kind =
   match t.tracer with
   | None -> ()
   | Some sink ->
-    Fpc_trace.Sink.emit sink
-      {
-        Fpc_trace.Event.seq = 0;
-        kind;
-        pc = t.pc_abs;
-        target = -1;
-        depth = t.metrics.call_depth;
-        fast = false;
-        cycles = Cost.cycles t.cost;
-        mem_refs = Cost.mem_refs t.cost;
-        d_cycles = 0;
-        d_mem_refs = 0;
-      }
+    Fpc_trace.Sink.emit_fields sink ~kind ~pc:t.pc_abs ~target:(-1)
+      ~depth:t.metrics.call_depth ~fast:false ~cycles:(Cost.cycles t.cost)
+      ~mem_refs:(Cost.mem_refs t.cost) ~d_cycles:0 ~d_mem_refs:0
 
 let create ?tracer ~image ~engine () =
   let cost = image.Image.cost in
@@ -171,6 +162,7 @@ let create ?tracer ~image ~engine () =
   let t = {
     image;
     mem = image.Image.mem;
+    predecode = Image.predecode image;
     cost;
     allocator;
     engine;

@@ -56,6 +56,9 @@ type process = { p_id : int; p_lf : int; p_stack : int array }
 type t = {
   image : Fpc_mesa.Image.t;
   mem : Fpc_machine.Memory.t;
+  predecode : Fpc_isa.Predecode.t;
+      (** the image's shared predecoded instruction table (host-speed
+          only; instruction fetch is unmetered in every engine) *)
   cost : Fpc_machine.Cost.t;
   allocator : Fpc_frames.Alloc_vector.t;
   engine : Engine.t;

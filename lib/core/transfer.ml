@@ -32,19 +32,10 @@ let emit_xfer (st : State.t) s kind ~target =
   match (st.State.tracer, s) with
   | Some sink, Some s ->
     let cycles = Cost.cycles st.cost and refs = Cost.mem_refs st.cost in
-    Fpc_trace.Sink.emit sink
-      {
-        Fpc_trace.Event.seq = 0;
-        kind;
-        pc = s.s_pc;
-        target;
-        depth = st.metrics.call_depth;
-        fast = refs = s.s_refs;
-        cycles;
-        mem_refs = refs;
-        d_cycles = cycles - s.s_cycles;
-        d_mem_refs = refs - s.s_refs;
-      }
+    Fpc_trace.Sink.emit_fields sink ~kind ~pc:s.s_pc ~target
+      ~depth:st.metrics.call_depth ~fast:(refs = s.s_refs) ~cycles
+      ~mem_refs:refs ~d_cycles:(cycles - s.s_cycles)
+      ~d_mem_refs:(refs - s.s_refs)
   | _ -> ()
 
 (* Run [body]; emit [kind] even when it escapes by exception (a trap

@@ -61,148 +61,185 @@ let boot ?tracer ~image ~engine ~instance ~proc ~args () =
 let signed v = Fpc_util.Bits.signed_of_unsigned ~width:16 v
 let word v = Fpc_util.Bits.to_word v
 
+(* The dispatch loop is steady-state allocation-free: helpers are
+   top-level functions (never per-instruction closures), operand plumbing
+   is plain ints, and the decoded instruction comes from the image's
+   shared predecode table.  OCaml 5 minor collections are stop-the-world
+   across every domain, so allocation here is not just a single-domain
+   cost — it is what made the service pool scale negatively. *)
+
+let taken (st : State.t) target =
+  st.metrics.jumps_taken <- st.metrics.jumps_taken + 1;
+  Cost.jump st.cost;
+  st.pc_abs <- target
+
+let div_or_mod (st : State.t) ~is_div =
+  let b = Eval_stack.pop st.stack in
+  let a = Eval_stack.pop st.stack in
+  if signed b = 0 then raise (Transfer.Machine_trap State.Div_zero);
+  Eval_stack.push st.stack
+    (word (if is_div then signed a / signed b else signed a mod signed b))
+
 let exec (st : State.t) ~instr_pc (op : Fpc_isa.Opcode.t) =
-  let push v = Eval_stack.push st.stack v in
-  let pop () = Eval_stack.pop st.stack in
-  let binop f =
-    let b = pop () in
-    let a = pop () in
-    push (word (f (signed a) (signed b)))
-  in
-  let cmp f =
-    let b = pop () in
-    let a = pop () in
-    push (if f (signed a) (signed b) then 1 else 0)
-  in
-  let taken target =
-    st.metrics.jumps_taken <- st.metrics.jumps_taken + 1;
-    Cost.jump st.cost;
-    st.pc_abs <- target
-  in
+  let stack = st.stack in
   match op with
-  | Li n -> push n
-  | Lpd w -> push w
-  | Ll n -> push (State.read_local st n)
-  | Sl n -> State.write_local st n (pop ())
-  | Lg n -> push (State.read_global st n)
-  | Sg n -> State.write_global st n (pop ())
-  | Lla n -> push (State.local_addr st n)
-  | Lga n -> push (State.global_addr st n)
+  | Li n -> Eval_stack.push stack n
+  | Lpd w -> Eval_stack.push stack w
+  | Ll n -> Eval_stack.push stack (State.read_local st n)
+  | Sl n -> State.write_local st n (Eval_stack.pop stack)
+  | Lg n -> Eval_stack.push stack (State.read_global st n)
+  | Sg n -> State.write_global st n (Eval_stack.pop stack)
+  | Lla n -> Eval_stack.push stack (State.local_addr st n)
+  | Lga n -> Eval_stack.push stack (State.global_addr st n)
   | Llx n ->
-    let i = pop () in
-    push (State.read_local st (n + i))
+    let i = Eval_stack.pop stack in
+    Eval_stack.push stack (State.read_local st (n + i))
   | Slx n ->
-    let v = pop () in
-    let i = pop () in
+    let v = Eval_stack.pop stack in
+    let i = Eval_stack.pop stack in
     State.write_local st (n + i) v
   | Lgx n ->
-    let i = pop () in
-    push (State.read_global st (n + i))
+    let i = Eval_stack.pop stack in
+    Eval_stack.push stack (State.read_global st (n + i))
   | Sgx n ->
-    let v = pop () in
-    let i = pop () in
+    let v = Eval_stack.pop stack in
+    let i = Eval_stack.pop stack in
     State.write_global st (n + i) v
   | Rload ->
-    let a = pop () in
-    push (State.data_read st ~addr:a)
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (State.data_read st ~addr:a)
   | Rstore ->
-    let v = pop () in
-    let a = pop () in
+    let v = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
     State.data_write st ~addr:a v
   | Ldfld i ->
-    let a = pop () in
-    push (State.data_read st ~addr:(a + i))
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (State.data_read st ~addr:(a + i))
   | Stfld i ->
-    let v = pop () in
-    let a = Eval_stack.peek st.stack in
+    let v = Eval_stack.pop stack in
+    let a = Eval_stack.peek stack in
     State.data_write st ~addr:(a + i) v
   | Newrec n -> (
     (* Long argument records and other heap records come from the same
        frame allocator (§5.3). *)
     match Fpc_frames.Alloc_vector.alloc_words st.allocator ~cost:st.cost ~body_words:n with
-    | lf -> push lf
+    | lf -> Eval_stack.push stack lf
     | exception Fpc_frames.Alloc_vector.Out_of_frame_heap ->
       raise (Transfer.Machine_trap State.Frame_heap_exhausted))
   | Freerec ->
-    let a = pop () in
+    let a = Eval_stack.pop stack in
     Fpc_frames.Alloc_vector.free st.allocator ~cost:st.cost ~lf:a
-  | Dup -> push (Eval_stack.peek st.stack)
-  | Drop -> ignore (pop ())
+  | Dup -> Eval_stack.push stack (Eval_stack.peek stack)
+  | Drop -> ignore (Eval_stack.pop stack)
   | Swap ->
-    let b = pop () in
-    let a = pop () in
-    push b;
-    push a
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack b;
+    Eval_stack.push stack a
   | Over ->
-    let b = pop () in
-    let a = Eval_stack.peek st.stack in
-    push b;
-    push a
-  | Add -> binop ( + )
-  | Sub -> binop ( - )
-  | Mul -> binop ( * )
-  | Div ->
-    let b = pop () in
-    let a = pop () in
-    if signed b = 0 then raise (Transfer.Machine_trap State.Div_zero);
-    push (word (signed a / signed b))
-  | Mod ->
-    let b = pop () in
-    let a = pop () in
-    if signed b = 0 then raise (Transfer.Machine_trap State.Div_zero);
-    push (word (signed a mod signed b))
-  | Neg -> push (word (-signed (pop ())))
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.peek stack in
+    Eval_stack.push stack b;
+    Eval_stack.push stack a
+  | Add ->
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (word (signed a + signed b))
+  | Sub ->
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (word (signed a - signed b))
+  | Mul ->
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (word (signed a * signed b))
+  | Div -> div_or_mod st ~is_div:true
+  | Mod -> div_or_mod st ~is_div:false
+  | Neg -> Eval_stack.push stack (word (-signed (Eval_stack.pop stack)))
   | Band ->
-    let b = pop () in
-    push (pop () land b)
+    let b = Eval_stack.pop stack in
+    Eval_stack.push stack (Eval_stack.pop stack land b)
   | Bor ->
-    let b = pop () in
-    push (pop () lor b)
+    let b = Eval_stack.pop stack in
+    Eval_stack.push stack (Eval_stack.pop stack lor b)
   | Bxor ->
-    let b = pop () in
-    push (pop () lxor b)
-  | Bnot -> push (pop () lxor 0xFFFF)
-  | Lt -> cmp ( < )
-  | Le -> cmp ( <= )
-  | Eq -> cmp ( = )
-  | Ne -> cmp ( <> )
-  | Ge -> cmp ( >= )
-  | Gt -> cmp ( > )
-  | J d -> taken (instr_pc + d)
-  | Jz d -> if pop () = 0 then taken (instr_pc + d)
-  | Jnz d -> if pop () <> 0 then taken (instr_pc + d)
+    let b = Eval_stack.pop stack in
+    Eval_stack.push stack (Eval_stack.pop stack lxor b)
+  | Bnot -> Eval_stack.push stack (Eval_stack.pop stack lxor 0xFFFF)
+  | Lt ->
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (if signed a < signed b then 1 else 0)
+  | Le ->
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (if signed a <= signed b then 1 else 0)
+  | Eq ->
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (if signed a = signed b then 1 else 0)
+  | Ne ->
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (if signed a <> signed b then 1 else 0)
+  | Ge ->
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (if signed a >= signed b then 1 else 0)
+  | Gt ->
+    let b = Eval_stack.pop stack in
+    let a = Eval_stack.pop stack in
+    Eval_stack.push stack (if signed a > signed b then 1 else 0)
+  | J d -> taken st (instr_pc + d)
+  | Jz d -> if Eval_stack.pop stack = 0 then taken st (instr_pc + d)
+  | Jnz d -> if Eval_stack.pop stack <> 0 then taken st (instr_pc + d)
   | Efc n -> Transfer.call_external st ~lv_index:n
   | Lfc n -> Transfer.call_local st ~ev_index:n
   | Dfc a -> Transfer.call_direct st ~target_abs:a
   | Sdfc d -> Transfer.call_direct st ~target_abs:(instr_pc + d)
   | Xf ->
-    let w = pop () in
+    let w = Eval_stack.pop stack in
     Transfer.xfer st ~dest_word:w
   | Ret -> Transfer.return_ st
-  | Lrc -> push st.return_ctx
+  | Lrc -> Eval_stack.push stack st.return_ctx
   | Fork n -> Transfer.fork st ~nargs:n
   | Yield -> Transfer.yield st
   | Stopproc -> Transfer.stop_process st
-  | Out -> State.emit st (pop ())
+  | Out -> State.emit st (Eval_stack.pop stack)
   | Nop -> ()
   | Brk -> raise (Transfer.Machine_trap State.Break)
   | Halt -> st.status <- State.Halted
+
+let exec_guarded (st : State.t) ~instr_pc op =
+  try exec st ~instr_pc op with
+  | Eval_stack.Overflow -> Transfer.trap st State.Eval_overflow
+  | Eval_stack.Underflow -> Transfer.trap st State.Eval_underflow
+  | Transfer.Machine_trap reason -> Transfer.trap st reason
+
+(* A PC the predecode table cannot answer — outside the carved code
+   region, or bytes that do not decode — takes the original live-decode
+   path, reproducing its behaviour (including the illegal-instruction
+   trap) exactly. *)
+let step_slow (st : State.t) ~instr_pc =
+  let fetch pc = Memory.peek_code_byte st.State.mem ~code_base:0 ~pc in
+  match Fpc_isa.Opcode.decode ~fetch ~pc:instr_pc with
+  | exception Invalid_argument _ ->
+    Transfer.trap st (State.Illegal_instruction (fetch instr_pc))
+  | op, len ->
+    st.pc_abs <- instr_pc + len;
+    exec_guarded st ~instr_pc op
 
 let step (st : State.t) =
   if st.status = State.Running then begin
     st.metrics.instructions <- st.metrics.instructions + 1;
     Cost.dispatch st.cost;
     let instr_pc = st.pc_abs in
-    let fetch pc = Memory.peek_code_byte st.mem ~code_base:0 ~pc in
-    match Fpc_isa.Opcode.decode ~fetch ~pc:instr_pc with
-    | exception Invalid_argument _ ->
-      Transfer.trap st (State.Illegal_instruction (fetch instr_pc))
-    | op, len -> (
+    let len = Fpc_isa.Predecode.len_at st.predecode instr_pc in
+    if len > 0 then begin
       st.pc_abs <- instr_pc + len;
-      try exec st ~instr_pc op with
-      | Eval_stack.Overflow -> Transfer.trap st State.Eval_overflow
-      | Eval_stack.Underflow -> Transfer.trap st State.Eval_underflow
-      | Transfer.Machine_trap reason -> Transfer.trap st reason)
+      exec_guarded st ~instr_pc (Fpc_isa.Predecode.op_at st.predecode instr_pc)
+    end
+    else step_slow st ~instr_pc
   end
 
 let run_traced ?(max_steps = 20_000_000) st ~on_step =
@@ -211,9 +248,13 @@ let run_traced ?(max_steps = 20_000_000) st ~on_step =
     if st.State.status = State.Running then
       if remaining = 0 then st.status <- State.Trapped State.Step_limit
       else begin
-        (match Fpc_isa.Opcode.decode ~fetch ~pc:st.pc_abs with
-        | op, _ -> on_step ~pc_abs:st.pc_abs op st
-        | exception Invalid_argument _ -> ());
+        let pc_abs = st.State.pc_abs in
+        (if Fpc_isa.Predecode.len_at st.predecode pc_abs > 0 then
+           on_step ~pc_abs (Fpc_isa.Predecode.op_at st.predecode pc_abs) st
+         else
+           match Fpc_isa.Opcode.decode ~fetch ~pc:pc_abs with
+           | op, _ -> on_step ~pc_abs op st
+           | exception Invalid_argument _ -> ());
         step st;
         go (remaining - 1)
       end

@@ -1,0 +1,45 @@
+type t = {
+  base : int;
+  limit : int;
+  ops : Opcode.t array;  (* indexed by pc - base; a placeholder where len = 0 *)
+  lens : Bytes.t;  (* encoded length per slot; 0 = not decodable here *)
+}
+
+(* The placeholder stored in undecodable slots.  Never returned to a
+   caller that respects the [len_at] = 0 contract. *)
+let illegal_op = Opcode.Brk
+
+let decode_range ~fetch ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Predecode.decode_range";
+  let n = hi - lo in
+  let ops = Array.make n illegal_op in
+  let lens = Bytes.make n '\000' in
+  for i = 0 to n - 1 do
+    match Opcode.decode ~fetch ~pc:(lo + i) with
+    | op, len ->
+      ops.(i) <- op;
+      Bytes.unsafe_set lens i (Char.unsafe_chr len)
+    | exception Invalid_argument _ -> ()
+    (* an illegal opcode byte, or an operand fetch past the end of
+       storage: the interpreter takes its live-decode trap path *)
+  done;
+  { base = lo; limit = hi; ops; lens }
+
+let base t = t.base
+let limit t = t.limit
+
+let len_at t pc =
+  let i = pc - t.base in
+  if i < 0 || i >= t.limit - t.base then 0 else Char.code (Bytes.unsafe_get t.lens i)
+
+let op_at t pc = Array.unsafe_get t.ops (pc - t.base)
+
+let decoded t =
+  let rec go pc acc =
+    if pc >= t.limit then List.rev acc
+    else
+      match len_at t pc with
+      | 0 -> go (pc + 1) acc
+      | len -> go (pc + 1) ((pc, op_at t pc, len) :: acc)
+  in
+  go t.base []

@@ -1,0 +1,46 @@
+(** A predecoded view of a byte-code region: every byte offset decoded
+    once, up front, into immutable arrays the dispatch loop can index
+    instead of re-parsing 1–3-byte encodings on every visit.
+
+    The table decodes {e every} byte position independently (not just
+    instruction starts — entry points are only known at run time), so any
+    PC the machine can reach inside the covered range is answered without
+    touching simulated storage.  Positions that do not decode — an
+    illegal opcode byte, or an instruction whose operands would run past
+    the end of storage — report {!len_at} = 0 and the interpreter falls
+    back to live decoding, which reproduces the exact trap the
+    un-predecoded machine would take.
+
+    A table is immutable after construction and safe to share read-only
+    across domains; it is built from code bytes that are fixed at link
+    time (nothing writes the code region at run time), so one table
+    serves an image and every {!Fpc_mesa.Image.clone} of it.
+
+    Predecoding is invisible to the simulated cost model: instruction
+    fetch was already unmetered (see {!Fpc_interp}), so cycle and
+    storage-reference meters are bit-identical with and without it. *)
+
+type t
+
+val decode_range : fetch:(int -> int) -> lo:int -> hi:int -> t
+(** Decode byte positions [lo..hi-1], reading bytes through [fetch]
+    (which may raise [Invalid_argument] past the end of storage). *)
+
+val base : t -> int
+(** First byte PC covered. *)
+
+val limit : t -> int
+(** One past the last byte PC covered. *)
+
+val len_at : t -> int -> int
+(** Encoded length of the instruction starting at [pc], or 0 when [pc]
+    is outside the covered range or does not decode — callers must then
+    decode live.  Never raises. *)
+
+val op_at : t -> int -> Opcode.t
+(** The instruction starting at [pc].  Only meaningful when
+    [len_at t pc > 0]; unchecked otherwise. *)
+
+val decoded : t -> (int * Opcode.t * int) list
+(** Every decodable position as [(pc, op, len)], ascending — the whole
+    table, for tests and tools. *)

@@ -38,9 +38,27 @@ type t = {
   mutable static_cursor : int;
   mutable code_cursor : int;
   mutable gfi_cursor : int;
+  mutable predecode : Fpc_isa.Predecode.t option;
 }
 
+let predecode t =
+  match t.predecode with
+  | Some pd -> pd
+  | None ->
+    (* Code bytes are fixed once linking is done, so the table is built
+       over exactly the carved code region.  Racing domains may both
+       build it; the tables are identical and either wins benignly. *)
+    let lo = 2 * t.layout.Layout.code_region_base in
+    let hi = 2 * t.code_cursor in
+    let fetch pc = Memory.peek_code_byte t.mem ~code_base:0 ~pc in
+    let pd = Fpc_isa.Predecode.decode_range ~fetch ~lo ~hi in
+    t.predecode <- Some pd;
+    pd
+
 let clone t =
+  (* Force the table on the source first: a cached pristine image pays
+     the decode once and every per-execution clone shares it. *)
+  let pd = predecode t in
   let cost = Cost.create ~params:(Cost.params t.cost) () in
   let mem = Memory.clone ~cost t.mem in
   let layout = t.layout in
@@ -64,6 +82,9 @@ let clone t =
     static_cursor = t.static_cursor;
     code_cursor = t.code_cursor;
     gfi_cursor = t.gfi_cursor;
+    (* The clone's code bytes are byte-identical to the original's, so
+       the (immutable) predecode table is shared, not copied. *)
+    predecode = Some pd;
   }
 
 let find_instance t name =

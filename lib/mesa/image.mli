@@ -51,7 +51,15 @@ type t = {
   mutable static_cursor : int;  (** next free word in the static region *)
   mutable code_cursor : int;  (** next free word in the code region *)
   mutable gfi_cursor : int;  (** next unassigned GFT index *)
+  mutable predecode : Fpc_isa.Predecode.t option;
+      (** lazily built by {!predecode}; shared (not copied) by {!clone} *)
 }
+
+val predecode : t -> Fpc_isa.Predecode.t
+(** The image's predecoded instruction table, covering the carved code
+    region — built on first demand, cached on the image, and shared
+    read-only by every {!clone} (code bytes are fixed at link time).
+    Purely a host-speed device: simulated meters are unaffected. *)
 
 val clone : t -> t
 (** An independent copy of the image: the simulated store is duplicated and

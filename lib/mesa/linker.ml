@@ -251,6 +251,7 @@ let link ?(linkage = Image.External) ?(memory_words = 65536) ?ladder ?cost_param
           static_cursor = layout.static_base;
           code_cursor = layout.code_region_base;
           gfi_cursor = 1;
+          predecode = None;
         }
       in
       let count_instances name =

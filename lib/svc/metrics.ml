@@ -70,6 +70,33 @@ let record t (r : Job.result) =
         agg.a_excl_refs <- agg.a_excl_refs + p.ps_excl_refs)
       s.Fpc_trace.Profile.s_procs
 
+let merge_into ~src ~into =
+  into.jobs <- into.jobs + src.jobs;
+  into.succeeded <- into.succeeded + src.succeeded;
+  into.failed <- into.failed + src.failed;
+  into.fuel_exhausted <- into.fuel_exhausted + src.fuel_exhausted;
+  into.compile_s <- into.compile_s +. src.compile_s;
+  into.run_s <- into.run_s +. src.run_s;
+  into.instructions <- into.instructions + src.instructions;
+  into.cycles <- into.cycles + src.cycles;
+  into.mem_refs <- into.mem_refs + src.mem_refs;
+  into.traced_jobs <- into.traced_jobs + src.traced_jobs;
+  into.trace_events <- into.trace_events + src.trace_events;
+  Hashtbl.iter
+    (fun name (a : proc_agg) ->
+      let agg =
+        match Hashtbl.find_opt into.proc_costs name with
+        | Some agg -> agg
+        | None ->
+          let agg = { a_calls = 0; a_excl_cycles = 0; a_excl_refs = 0 } in
+          Hashtbl.add into.proc_costs name agg;
+          agg
+      in
+      agg.a_calls <- agg.a_calls + a.a_calls;
+      agg.a_excl_cycles <- agg.a_excl_cycles + a.a_excl_cycles;
+      agg.a_excl_refs <- agg.a_excl_refs + a.a_excl_refs)
+    src.proc_costs
+
 type proc_cost = {
   pc_name : string;
   pc_calls : int;

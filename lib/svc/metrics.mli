@@ -2,11 +2,12 @@
     split compile/run/wall, cache behaviour, and the total simulated work
     done (instructions, cycles, storage references).
 
-    A {!t} is a mutable accumulator the pool feeds under its own lock
-    ({!record} itself is not synchronized); {!snapshot} freezes it
-    together with the wall clock and cache counters into the immutable
-    record that {!render} (a {!Fpc_util.Tablefmt} table) and {!to_json}
-    consume. *)
+    A {!t} is a mutable accumulator ({!record} itself is not
+    synchronized): the pool keeps one per worker domain, feeds each from
+    its own worker only, and {!merge_into}s the shards on demand;
+    {!snapshot} freezes the merged result together with the wall clock
+    and cache counters into the immutable record that {!render} (a
+    {!Fpc_util.Tablefmt} table) and {!to_json} consume. *)
 
 type t
 
@@ -14,6 +15,13 @@ val create : domains:int -> t
 
 val record : t -> Job.result -> unit
 (** Fold one completed job in.  Not thread-safe; callers serialize. *)
+
+val merge_into : src:t -> into:t -> unit
+(** Fold every count of [src] into [into] ([src] is left untouched).
+    The pool keeps one single-writer accumulator per worker domain and
+    merges the shards only when a snapshot is wanted, so recording a
+    completion never touches shared state.  Not thread-safe; callers
+    serialize per accumulator. *)
 
 type proc_cost = {
   pc_name : string;

@@ -1,16 +1,26 @@
+(* Per-worker shard: everything a worker touches on the completion path.
+   The worker is the only writer; poll/await/metrics readers take the
+   shard mutex only to swap the batch out or merge the counters, so a
+   completing job never contends on pool-wide state and never wakes
+   waiters (the drain condition is signaled only on an actual drain). *)
+type shard = {
+  s_mutex : Mutex.t;
+  mutable s_completed_rev : Job.result list;  (** since the last poll/await *)
+  s_metrics : Metrics.t;  (** single-writer; merged on [metrics] *)
+}
+
 type t = {
-  mutex : Mutex.t;
+  mutex : Mutex.t;  (** guards queue / active / stopping / next_id *)
   work_available : Condition.t;  (** queue non-empty, or stopping *)
-  job_done : Condition.t;  (** a result landed / the pool drained *)
+  drained : Condition.t;  (** no job queued or executing *)
   queue : (int * Job.spec) Queue.t;
-  mutable completed_rev : Job.result list;  (** since the last poll/await *)
   mutable next_id : int;
   mutable active : int;  (** jobs currently executing *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
   n_domains : int;
+  shards : shard array;  (** one per worker *)
   cache : Image_cache.t;
-  metrics : Metrics.t;  (** guarded by [mutex] *)
   started_at : float;
 }
 
@@ -81,7 +91,7 @@ let execute cache id (spec : Job.spec) =
 
 (* ---- the worker loop ---- *)
 
-let rec worker_loop t =
+let rec worker_loop t shard =
   Mutex.lock t.mutex;
   while Queue.is_empty t.queue && not t.stopping do
     Condition.wait t.work_available t.mutex
@@ -93,13 +103,17 @@ let rec worker_loop t =
     t.active <- t.active + 1;
     Mutex.unlock t.mutex;
     let result = execute t.cache id spec in
+    (* Publish to this worker's shard before the job stops counting as
+       active, so a woken awaiter is guaranteed to collect it. *)
+    Mutex.lock shard.s_mutex;
+    shard.s_completed_rev <- result :: shard.s_completed_rev;
+    Metrics.record shard.s_metrics result;
+    Mutex.unlock shard.s_mutex;
     Mutex.lock t.mutex;
     t.active <- t.active - 1;
-    t.completed_rev <- result :: t.completed_rev;
-    Metrics.record t.metrics result;
-    Condition.broadcast t.job_done;
+    if t.active = 0 && Queue.is_empty t.queue then Condition.broadcast t.drained;
     Mutex.unlock t.mutex;
-    worker_loop t
+    worker_loop t shard
   end
 
 let create ?domains ?cache () =
@@ -110,20 +124,27 @@ let create ?domains ?cache () =
     {
       mutex = Mutex.create ();
       work_available = Condition.create ();
-      job_done = Condition.create ();
+      drained = Condition.create ();
       queue = Queue.create ();
-      completed_rev = [];
       next_id = 0;
       active = 0;
       stopping = false;
       workers = [];
       n_domains = domains;
+      shards =
+        Array.init domains (fun _ ->
+            {
+              s_mutex = Mutex.create ();
+              s_completed_rev = [];
+              s_metrics = Metrics.create ~domains;
+            });
       cache;
-      metrics = Metrics.create ~domains;
       started_at = now ();
     }
   in
-  t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    Array.to_list
+      (Array.map (fun shard -> Domain.spawn (fun () -> worker_loop t shard)) t.shards);
   t
 
 let domains t = t.n_domains
@@ -147,32 +168,41 @@ let pending t =
   Mutex.unlock t.mutex;
   n
 
+(* Swap every shard's batch out and present one id-sorted list — the
+   deterministic order poll/await guarantee. *)
 let take_completed t =
-  let rs = t.completed_rev in
-  t.completed_rev <- [];
-  List.rev rs
+  let rs =
+    Array.fold_left
+      (fun acc shard ->
+        Mutex.lock shard.s_mutex;
+        let batch = shard.s_completed_rev in
+        shard.s_completed_rev <- [];
+        Mutex.unlock shard.s_mutex;
+        List.rev_append batch acc)
+      [] t.shards
+  in
+  List.sort (fun (a : Job.result) b -> compare a.id b.id) rs
 
-let poll t =
-  Mutex.lock t.mutex;
-  let rs = take_completed t in
-  Mutex.unlock t.mutex;
-  rs
+let poll t = take_completed t
 
 let await t =
   Mutex.lock t.mutex;
   while not (Queue.is_empty t.queue && t.active = 0) do
-    Condition.wait t.job_done t.mutex
+    Condition.wait t.drained t.mutex
   done;
-  let rs = take_completed t in
   Mutex.unlock t.mutex;
-  List.sort (fun (a : Job.result) b -> compare a.id b.id) rs
+  take_completed t
 
 let metrics t =
-  Mutex.lock t.mutex;
+  let merged = Metrics.create ~domains:t.n_domains in
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.s_mutex;
+      Metrics.merge_into ~src:shard.s_metrics ~into:merged;
+      Mutex.unlock shard.s_mutex)
+    t.shards;
   let wall_s = now () -. t.started_at in
-  let s = Metrics.snapshot t.metrics ~wall_s ~cache:(Image_cache.stats t.cache) in
-  Mutex.unlock t.mutex;
-  s
+  Metrics.snapshot merged ~wall_s ~cache:(Image_cache.stats t.cache)
 
 let shutdown t =
   Mutex.lock t.mutex;

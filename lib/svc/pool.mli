@@ -11,8 +11,15 @@
     Simulated results are deterministic: a given spec produces the same
     {!Job.outcome} and simulated counters whatever the domain count and
     whatever else is in flight.  Only completion {e order} and host
-    timings vary; {!await} and {!run_jobs} return results sorted by
-    submission id, so their output is reproducible. *)
+    timings vary; {!poll}, {!await} and {!run_jobs} all return results
+    sorted by submission id, so their output is reproducible.
+
+    Completion bookkeeping is sharded per worker: each domain records
+    its results and metrics into its own shard (single writer, its own
+    tiny mutex) and the shards are only merged when {!poll}, {!await} or
+    {!metrics} ask — completing a job touches no pool-wide state beyond
+    the active-count decrement, and waiters are woken only when the pool
+    actually drains, not once per completion. *)
 
 type t
 
@@ -35,16 +42,19 @@ val pending : t -> int
 (** Jobs queued or currently executing. *)
 
 val poll : t -> Job.result list
-(** Results completed since the last [poll]/[await], in completion
-    order, without blocking. *)
+(** Results completed since the last [poll]/[await], without blocking.
+    {b Guaranteed order}: sorted by submission id, ascending — never
+    completion order, which varies with the domain count.  Ids missing
+    from one poll (still queued or executing) appear in a later
+    [poll]/[await]; each id is returned exactly once overall. *)
 
 val await : t -> Job.result list
 (** Block until no job is queued or running, then return the results
     completed since the last [poll]/[await], sorted by id. *)
 
 val metrics : t -> Metrics.snapshot
-(** Aggregate over every job completed so far; wall time is measured
-    since [create]. *)
+(** Aggregate over every job completed so far (the per-worker shards
+    merged on demand); wall time is measured since [create]. *)
 
 val shutdown : t -> unit
 (** Drain the queue, then stop and join all workers.  Idempotent.

@@ -16,17 +16,19 @@ type kind =
   | Bank_spill of int
 
 type t = {
-  seq : int;
-  kind : kind;
-  pc : int;
-  target : int;
-  depth : int;
-  fast : bool;
-  cycles : int;
-  mem_refs : int;
-  d_cycles : int;
-  d_mem_refs : int;
+  mutable seq : int;
+  mutable kind : kind;
+  mutable pc : int;
+  mutable target : int;
+  mutable depth : int;
+  mutable fast : bool;
+  mutable cycles : int;
+  mutable mem_refs : int;
+  mutable d_cycles : int;
+  mutable d_mem_refs : int;
 }
+
+let copy e = { e with seq = e.seq }
 
 let is_transfer = function
   | Begin | Call | Return | Coroutine | Switch -> true

@@ -10,8 +10,12 @@
     return stack, register banks — emits fine-grained sub-events so a
     profile can explain {e why} a transfer was slow.
 
-    Events are plain data: no pointers into the machine, safe to retain
-    after the run ends. *)
+    Events are plain data: no pointers into the machine.  The fields are
+    mutable because the sink's ring reuses its slot records in place
+    (the hot emit path allocates nothing); anything handed out by
+    {!Sink.events} is a private {!copy} and safe to retain, but a record
+    passed to a sink {e listener} is the live slot — read it
+    synchronously, and {!copy} it if it must outlive the callback. *)
 
 type kind =
   | Begin  (** boot: the initial entry into [Main.main] *)
@@ -34,17 +38,22 @@ type kind =
   | Bank_spill of int  (** bank eviction/flush wrote [n] dirty words back *)
 
 type t = {
-  seq : int;  (** assigned by the sink; monotonically increasing *)
-  kind : kind;
-  pc : int;  (** absolute byte PC of the instruction responsible *)
-  target : int;  (** PC after a transfer completes; -1 for non-transfers *)
-  depth : int;  (** dynamic call depth after the event *)
-  fast : bool;  (** transfer completed with zero storage references *)
-  cycles : int;  (** cumulative cycle meter {e after} the event *)
-  mem_refs : int;  (** cumulative storage references after the event *)
-  d_cycles : int;  (** cycles charged by this operation itself *)
-  d_mem_refs : int;
+  mutable seq : int;  (** assigned by the sink; monotonically increasing *)
+  mutable kind : kind;
+  mutable pc : int;  (** absolute byte PC of the instruction responsible *)
+  mutable target : int;
+      (** PC after a transfer completes; -1 for non-transfers *)
+  mutable depth : int;  (** dynamic call depth after the event *)
+  mutable fast : bool;  (** transfer completed with zero storage references *)
+  mutable cycles : int;  (** cumulative cycle meter {e after} the event *)
+  mutable mem_refs : int;  (** cumulative storage references after the event *)
+  mutable d_cycles : int;  (** cycles charged by this operation itself *)
+  mutable d_mem_refs : int;
 }
+
+val copy : t -> t
+(** A fresh record with the same fields — detach an event from a reused
+    ring slot before retaining it. *)
 
 val is_transfer : kind -> bool
 (** Begin, Call, Return, Coroutine or Switch — the events that move

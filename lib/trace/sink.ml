@@ -1,6 +1,6 @@
 type t = {
   engine : string;
-  ring : Event.t array;
+  ring : Event.t array;  (* distinct records, rewritten in place *)
   mutable next : int;  (* write cursor *)
   mutable len : int;  (* valid entries *)
   mutable seq : int;
@@ -12,7 +12,9 @@ let create ?(capacity = 65536) ~engine () =
   if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
   {
     engine;
-    ring = Array.make capacity Event.zero;
+    (* Array.init, not Array.make: every slot must be its own record so
+       in-place writes to one cannot alias another. *)
+    ring = Array.init capacity (fun _ -> Event.copy Event.zero);
     next = 0;
     len = 0;
     seq = 0;
@@ -23,21 +25,42 @@ let create ?(capacity = 65536) ~engine () =
 let engine t = t.engine
 let capacity t = Array.length t.ring
 
-let emit t (e : Event.t) =
-  let e = { e with Event.seq = t.seq } in
+(* The hot path: overwrite the next slot's fields, no allocation.  The
+   listener is fed the live slot after the fields are final; it must not
+   retain it (Event.copy if it needs to). *)
+let emit_fields t ~kind ~pc ~target ~depth ~fast ~cycles ~mem_refs ~d_cycles
+    ~d_mem_refs =
+  let slot = Array.unsafe_get t.ring t.next in
+  slot.Event.seq <- t.seq;
+  slot.Event.kind <- kind;
+  slot.Event.pc <- pc;
+  slot.Event.target <- target;
+  slot.Event.depth <- depth;
+  slot.Event.fast <- fast;
+  slot.Event.cycles <- cycles;
+  slot.Event.mem_refs <- mem_refs;
+  slot.Event.d_cycles <- d_cycles;
+  slot.Event.d_mem_refs <- d_mem_refs;
   t.seq <- t.seq + 1;
-  (match t.listener with Some f -> f e | None -> ());
+  (match t.listener with Some f -> f slot | None -> ());
   let cap = Array.length t.ring in
-  t.ring.(t.next) <- e;
   t.next <- (t.next + 1) mod cap;
   if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+
+let emit t (e : Event.t) =
+  emit_fields t ~kind:e.Event.kind ~pc:e.Event.pc ~target:e.Event.target
+    ~depth:e.Event.depth ~fast:e.Event.fast ~cycles:e.Event.cycles
+    ~mem_refs:e.Event.mem_refs ~d_cycles:e.Event.d_cycles
+    ~d_mem_refs:e.Event.d_mem_refs
 
 let set_listener t f = t.listener <- f
 
 let events t =
   let cap = Array.length t.ring in
   let first = (t.next - t.len + cap) mod cap in
-  List.init t.len (fun i -> t.ring.((first + i) mod cap))
+  (* Copies: the ring rewrites its slots, handed-out events must not
+     change under the caller. *)
+  List.init t.len (fun i -> Event.copy t.ring.((first + i) mod cap))
 
 let total t = t.seq
 let dropped t = t.dropped

@@ -14,7 +14,13 @@
     [Sink.t option] and every instrumentation site is guarded by a single
     match on it, so a tracing-off run pays one branch per {e transfer}
     (not per instruction) — near-zero cost, measured by the
-    [trace/overhead] bench entry. *)
+    [trace/overhead] bench entry.
+
+    The ring's slots are distinct mutable {!Event.t} records reused in
+    place: {!emit_fields}, the path the machine core uses, allocates
+    nothing in steady state.  {!events} hands out private copies; a
+    listener sees the live slot and must {!Event.copy} anything it
+    retains past the callback. *)
 
 type t
 
@@ -26,17 +32,38 @@ val create : ?capacity:int -> engine:string -> unit -> t
 val engine : t -> string
 val capacity : t -> int
 
+val emit_fields :
+  t ->
+  kind:Event.kind ->
+  pc:int ->
+  target:int ->
+  depth:int ->
+  fast:bool ->
+  cycles:int ->
+  mem_refs:int ->
+  d_cycles:int ->
+  d_mem_refs:int ->
+  unit
+(** The allocation-free emit: writes the next ring slot in place (seq is
+    assigned by the sink), feeds the listener the live slot, then
+    advances the cursor, evicting the oldest entry when full.  The
+    listener must copy the record if it retains it. *)
+
 val emit : t -> Event.t -> unit
-(** Assigns the event its sequence number, stores it (evicting the oldest
-    when full), and feeds the listener if one is attached. *)
+(** [emit_fields] with the fields of [e]; [e.seq] is ignored and
+    reassigned, and [e] itself is never stored, so the caller keeps
+    ownership.  Convenience for tests and cold paths. *)
 
 val set_listener : t -> (Event.t -> unit) option -> unit
 (** The streaming consumer; it sees every event with its final sequence
-    number, before ring eviction is applied. *)
+    number, before ring eviction is applied.  The record it receives is
+    the reused ring slot — read it synchronously, {!Event.copy} to
+    retain. *)
 
 val events : t -> Event.t list
-(** Retained events, oldest first.  At most [capacity]; the head of the
-    run is missing iff [dropped > 0]. *)
+(** Retained events, oldest first, as private copies (safe to keep).
+    At most [capacity]; the head of the run is missing iff
+    [dropped > 0]. *)
 
 val total : t -> int
 (** Events emitted over the sink's lifetime. *)

@@ -130,6 +130,103 @@ let test_poisoned_jobs_do_not_kill_the_pool () =
   Alcotest.(check int) "two failed" 2 m.Metrics.failed;
   Alcotest.(check int) "one by fuel" 1 m.Metrics.fuel_exhausted
 
+(* Soak: several producer domains hammer submit while the main domain
+   polls concurrently, at every pool width.  The properties under load:
+   no deadlock, every submitted id comes back exactly once across the
+   interleaved poll/await calls, every poll batch respects the
+   documented id-sorted order, and the shard-merged metrics agree with
+   the results actually returned. *)
+let test_soak_concurrent_producers () =
+  let engines = [| "i1"; "i2"; "i3"; "i4" |] in
+  let mix rng =
+    (* mostly healthy jobs, seasoned with failures of both kinds *)
+    match Random.State.int rng 10 with
+    | 0 -> Job.spec (Job.Inline "MODULE Main; PROC")  (* compile error *)
+    | 1 -> Job.spec ~fuel:10_000 (Job.Inline infinite_loop_src)
+    | n ->
+      let prog = [| "fib"; "hanoi"; "bsearch"; "leafcalls" |].(n mod 4) in
+      Job.spec ~engine:engines.(n mod 4) (Job.Suite prog)
+  in
+  List.iter
+    (fun domains ->
+      let rng = Random.State.make [| 0x50AC; domains |] in
+      let producers = 3 and per_producer = 10 in
+      let specs =
+        Array.init producers (fun _ ->
+            List.init per_producer (fun _ -> mix rng))
+      in
+      let pool = Pool.create ~domains () in
+      let handles =
+        Array.map
+          (fun specs ->
+            Domain.spawn (fun () ->
+                List.map (fun spec -> Pool.submit pool spec) specs))
+          specs
+      in
+      (* poll while the producers are still submitting *)
+      let polled = ref [] in
+      let check_batch batch =
+        let ids = List.map (fun (r : Job.result) -> r.Job.id) batch in
+        Alcotest.(check (list int))
+          "poll batch sorted by id" (List.sort compare ids) ids
+      in
+      for _ = 1 to 20 do
+        let batch = Pool.poll pool in
+        check_batch batch;
+        polled := !polled @ batch;
+        Domain.cpu_relax ()
+      done;
+      let submitted =
+        Array.fold_left (fun acc h -> acc @ Domain.join h) [] handles
+      in
+      (* all submissions are in; drain the rest *)
+      let rec drain acc =
+        let batch = Pool.await pool in
+        check_batch batch;
+        let acc = acc @ batch in
+        if Pool.pending pool = 0 then acc else drain acc
+      in
+      let results = !polled @ drain [] in
+      let total = producers * per_producer in
+      Alcotest.(check int)
+        (Printf.sprintf "%dd: all ids submitted" domains)
+        total (List.length submitted);
+      let got = List.map (fun (r : Job.result) -> r.Job.id) results in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%dd: every id exactly once" domains)
+        (List.sort compare submitted)
+        (List.sort compare got);
+      (* metrics (merged from the per-worker shards) must agree with the
+         results actually handed back *)
+      let m = Pool.metrics pool in
+      Pool.shutdown pool;
+      let failed =
+        List.length
+          (List.filter
+             (fun (r : Job.result) ->
+               match r.Job.outcome with Job.Failed _ -> true | _ -> false)
+             results)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%dd: metrics jobs" domains)
+        total m.Metrics.jobs;
+      Alcotest.(check int)
+        (Printf.sprintf "%dd: metrics failed" domains)
+        failed m.Metrics.failed;
+      Alcotest.(check int)
+        (Printf.sprintf "%dd: metrics succeeded" domains)
+        (total - failed) m.Metrics.succeeded;
+      let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+      Alcotest.(check int)
+        (Printf.sprintf "%dd: metrics instructions" domains)
+        (sum (fun (r : Job.result) -> r.Job.stats.Job.instructions))
+        m.Metrics.instructions;
+      Alcotest.(check int)
+        (Printf.sprintf "%dd: metrics cycles" domains)
+        (sum (fun (r : Job.result) -> r.Job.stats.Job.cycles))
+        m.Metrics.cycles)
+    [ 1; 2; 4; 8 ]
+
 let test_unknown_engine_and_program_degrade () =
   let results, m =
     Pool.run_jobs ~domains:1
@@ -258,6 +355,8 @@ let () =
             test_poisoned_jobs_do_not_kill_the_pool;
           Alcotest.test_case "unknown engine/program degrade" `Quick
             test_unknown_engine_and_program_degrade;
+          Alcotest.test_case "soak: concurrent producers x widths" `Slow
+            test_soak_concurrent_producers;
         ] );
       ( "cache",
         [

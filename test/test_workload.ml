@@ -215,6 +215,61 @@ let test_new_programs_match_ocaml () =
       ("knapsack", ref_knapsack ());
     ]
 
+(* The predecode table must be an exact mirror of live decoding: for
+   every byte position of every suite image, the table and
+   [Opcode.decode] agree on (op, len), and positions that do not decode
+   (the table's fallback contract) are exactly those where live decoding
+   traps.  Clones must share the source image's table, not rebuild it. *)
+let test_predecode_matches_live_decode () =
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun (cname, conv) ->
+          match Fpc_compiler.Compile.image ~convention:conv src with
+          | Error m -> Alcotest.fail (Printf.sprintf "%s: %s" name m)
+          | Ok image ->
+            let pd = Fpc_mesa.Image.predecode image in
+            let lo = Fpc_isa.Predecode.base pd
+            and hi = Fpc_isa.Predecode.limit pd in
+            if hi <= lo then
+              Alcotest.failf "%s/%s: empty predecode range" name cname;
+            let fetch pc =
+              Fpc_machine.Memory.peek_code_byte image.Fpc_mesa.Image.mem
+                ~code_base:0 ~pc
+            in
+            for pc = lo to hi - 1 do
+              let table_len = Fpc_isa.Predecode.len_at pd pc in
+              match Fpc_isa.Opcode.decode ~fetch ~pc with
+              | exception Invalid_argument _ ->
+                if table_len <> 0 then
+                  Alcotest.failf
+                    "%s/%s pc=%d: live decode traps but table says len=%d"
+                    name cname pc table_len
+              | op, len ->
+                if table_len <> len then
+                  Alcotest.failf "%s/%s pc=%d: len %d (table) <> %d (live)"
+                    name cname pc table_len len;
+                if Fpc_isa.Predecode.op_at pd pc <> op then
+                  Alcotest.failf "%s/%s pc=%d: table op disagrees with live"
+                    name cname pc
+            done;
+            (* outside the covered range the table always defers *)
+            Alcotest.(check int) "below range" 0
+              (Fpc_isa.Predecode.len_at pd (lo - 1));
+            Alcotest.(check int) "above range" 0
+              (Fpc_isa.Predecode.len_at pd hi);
+            (* a clone shares the table instead of rebuilding it *)
+            let clone = Fpc_mesa.Image.clone image in
+            Alcotest.(check bool) "clone shares the table" true
+              (Fpc_mesa.Image.predecode clone == pd))
+        [
+          ("external", Fpc_compiler.Convention.external_);
+          ("direct", Fpc_compiler.Convention.direct);
+          ("short_direct", Fpc_compiler.Convention.short_direct);
+          ("banked", Fpc_compiler.Convention.banked ());
+        ])
+    Fpc_workload.Programs.all
+
 let () =
   Alcotest.run "workload"
     [
@@ -247,5 +302,7 @@ let () =
             test_suite_programs_compile_everywhere;
           Alcotest.test_case "new programs match OCaml references" `Quick
             test_new_programs_match_ocaml;
+          Alcotest.test_case "predecode mirrors live decode" `Quick
+            test_predecode_matches_live_decode;
         ] );
     ]
