@@ -25,8 +25,16 @@
       the cost of the lib/trace subsystem — off and on — is a recorded
       number rather than a claim.
 
-   With no arguments all four layers run.  `--smoke` shrinks the svc
-   and trace layers to a seconds-long CI sanity pass (tiny job set,
+   5. The TCP serving benchmark (`net` argument): an in-process
+      lib/net server driven closed-loop by Fpc_net.Loadgen at 1, 2 and
+      4 connections, recording throughput and round-trip latency
+      percentiles (the `net/latency` section).  With `--port` it
+      targets an already-running `fpc serve --tcp` instead (the CI
+      serve-smoke step), and `--shutdown` sends the server a graceful
+      drain afterwards.
+
+   With no arguments all five layers run.  `--smoke` shrinks the svc,
+   trace and net layers to a seconds-long CI sanity pass (tiny job set,
    widths 1-2, nothing recorded).  `--json` additionally writes
    every recorded (name, metric, value) measurement to
    BENCH_results.json, the perf-trajectory file tracked across PRs:
@@ -383,21 +391,139 @@ let run_micro () =
         table)
     results
 
+(* ------------------------------------------------------------------ *)
+
+(* TCP serving throughput and latency through the full lib/net stack:
+   framing, admission control, pool execution on worker domains, and
+   the ordered writer path back out.  Closed-loop clients, so offered
+   load tracks service rate and the percentiles describe the server.
+   The request is the call-heavy fib on i2 with a warmed image cache —
+   round trips measure serving machinery, not compilation. *)
+let run_net ?(smoke = false) ?port ?(host = "127.0.0.1") ?(shutdown = false) ()
+    =
+  let server, port =
+    match port with
+    | Some p -> (None, p)
+    | None ->
+      let s =
+        Fpc_net.Server.create ~domains:(Fpc_svc.Pool.recommended_domains ())
+          ~max_pending:256 ~times:false ()
+      in
+      (Some s, Fpc_net.Server.port s)
+  in
+  let request_line = "prog=fib engine=i2" in
+  let conn_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let requests = if smoke then 20 else 300 in
+  (* Warm the server's image cache before any measured round trip. *)
+  let warm =
+    Fpc_net.Loadgen.run ~host ~port ~connections:1 ~requests:3 ~request_line ()
+  in
+  if warm.Fpc_net.Loadgen.ok <> 3 then
+    failwith "net bench: warmup round trips did not all come back ok";
+  let open Fpc_util.Tablefmt in
+  let tb =
+    create
+      ~title:
+        (Printf.sprintf "net serving latency (fib/i2, %d round trips per conn)"
+           requests)
+      ~columns:
+        [ ("conns", Right); ("answered", Right); ("jobs/sec", Right);
+          ("p50", Right); ("p95", Right); ("p99", Right) ]
+  in
+  List.iter
+    (fun connections ->
+      let rep =
+        Fpc_net.Loadgen.run ~host ~port ~connections ~requests ~request_line ()
+      in
+      let expected = connections * requests in
+      if rep.Fpc_net.Loadgen.ok <> expected then
+        failwith
+          (Printf.sprintf
+             "net bench: %d connections: %d of %d round trips ok (%d shed, %d \
+              failed)"
+             connections rep.Fpc_net.Loadgen.ok expected
+             rep.Fpc_net.Loadgen.shed rep.Fpc_net.Loadgen.failed);
+      let pct q =
+        float_of_int (Fpc_util.Histogram.percentile rep.Fpc_net.Loadgen.latency_us q)
+      in
+      if not smoke then begin
+        let name = Printf.sprintf "net/latency/%dc" connections in
+        record name "jobs_per_sec" rep.Fpc_net.Loadgen.jobs_per_sec;
+        record name "p50_us" (pct 50.0);
+        record name "p95_us" (pct 95.0);
+        record name "p99_us" (pct 99.0)
+      end;
+      add_row tb
+        [ cell_int connections; cell_int rep.Fpc_net.Loadgen.answered;
+          cell_float ~decimals:1 rep.Fpc_net.Loadgen.jobs_per_sec;
+          Printf.sprintf "%.0fus" (pct 50.0);
+          Printf.sprintf "%.0fus" (pct 95.0);
+          Printf.sprintf "%.0fus" (pct 99.0) ])
+    conn_counts;
+  (match server with
+  | Some s ->
+    Fpc_net.Server.request_drain s;
+    ignore (Fpc_net.Server.wait s)
+  | None ->
+    if shutdown then begin
+      let c = Fpc_net.Client.connect ~host ~port () in
+      Fpc_net.Client.send_line c "shutdown";
+      (match Fpc_net.Client.recv_line c with
+      | Some {|{"status":"draining"}|} -> ()
+      | Some other ->
+        failwith ("net bench: unexpected shutdown response: " ^ other)
+      | None -> failwith "net bench: no shutdown acknowledgement");
+      Fpc_net.Client.close c
+    end);
+  add_note tb
+    "closed-loop round trips over loopback TCP; in-process server unless --port";
+  print tb;
+  print_newline ()
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --port N / --host H take a value; pull them out before the
+     remaining args are treated as experiment filters. *)
+  let extract_opt key args =
+    let rec go acc = function
+      | [] -> (None, List.rev acc)
+      | k :: v :: rest when k = key -> (Some v, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+    in
+    go [] args
+  in
+  let port_s, args = extract_opt "--port" args in
+  let host_s, args = extract_opt "--host" args in
+  let port =
+    Option.map
+      (fun s ->
+        match int_of_string_opt s with
+        | Some p -> p
+        | None -> failwith ("bench: --port expects an integer, got " ^ s))
+      port_s
+  in
+  let host = Option.value host_s ~default:"127.0.0.1" in
+  let shutdown = List.mem "--shutdown" args in
   let json = List.mem "--json" args in
   let smoke = List.mem "--smoke" args in
   let micro = List.mem "micro" args in
   let svc = List.mem "svc" args in
   let trace = List.mem "trace" args in
+  let net = List.mem "net" args in
   let filter =
     List.filter
-      (fun a -> not (List.mem a [ "micro"; "svc"; "trace"; "--json"; "--smoke" ]))
+      (fun a ->
+        not
+          (List.mem a
+             [ "micro"; "svc"; "trace"; "net"; "--json"; "--smoke"; "--shutdown" ]))
       args
   in
-  let everything = filter = [] && (not micro) && (not svc) && not trace in
+  let everything =
+    filter = [] && (not micro) && (not svc) && (not trace) && not net
+  in
   if everything || filter <> [] then run_experiments filter;
   if micro || everything then run_micro ();
   if svc || everything then run_svc ~smoke ();
   if trace || everything then run_trace ~smoke ();
+  if net || everything then run_net ~smoke ?port ~host ~shutdown ();
   if json then write_json "BENCH_results.json"

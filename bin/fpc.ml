@@ -457,54 +457,140 @@ let batch_cmd =
 
 (* ---- serve ---- *)
 
-let serve_cmd =
-  let action domains no_times =
-    handle (fun () ->
-        let pool = Fpc_svc.Pool.create ~domains:(resolve_domains domains) () in
-        let print_result r =
-          print_endline
+(* The stdin transport: same request lines, same refusal shapes
+   (Fpc_net.Protocol) and same line-length discipline (Fpc_net.Framing)
+   as the TCP server, but single-connection and order-relaxed: results
+   stream out as jobs complete. *)
+let serve_stdin ~domains ~times ~max_line =
+  let pool = Fpc_svc.Pool.create ~domains:(resolve_domains domains) () in
+  let emit line =
+    print_endline line;
+    flush stdout
+  in
+  let print_result r =
+    emit (Fpc_util.Jsonout.to_string (Fpc_svc.Job.result_to_json ~times r))
+  in
+  let drain_ready () = List.iter print_result (Fpc_svc.Pool.poll pool) in
+  let framing = Fpc_net.Framing.of_fd ~max_line Unix.stdin in
+  let stop = ref false in
+  while not !stop do
+    (match Fpc_net.Framing.next framing with
+    | Fpc_net.Framing.Eof -> stop := true
+    | Fpc_net.Framing.Overlong n ->
+      emit
+        (Fpc_net.Protocol.error_line ~error:"overlong-line"
+           ~message:
+             (Fpc_net.Protocol.overlong_message ~bytes_discarded:n
+                ~limit:max_line))
+    | Fpc_net.Framing.Line line ->
+      let s = String.trim line in
+      if s <> "" && s.[0] <> '#' then (
+        match Fpc_net.Protocol.admin_of_line s with
+        | Some Fpc_net.Protocol.Stats ->
+          emit
             (Fpc_util.Jsonout.to_string
-               (Fpc_svc.Job.result_to_json ~times:(not no_times) r));
-          flush stdout
-        in
-        let drain () = List.iter print_result (Fpc_svc.Pool.poll pool) in
-        (try
-           while true do
-             let line = String.trim (input_line stdin) in
-             (if line <> "" && line.[0] <> '#' then
-                match Fpc_svc.Job.parse_request line with
-                | Ok spec -> ignore (Fpc_svc.Pool.submit pool spec)
-                | Error m ->
-                  print_endline
-                    (Fpc_util.Jsonout.to_string
-                       (Fpc_util.Jsonout.Obj
-                          [
-                            ("id", Fpc_util.Jsonout.Null);
-                            ("status", Fpc_util.Jsonout.String "error");
-                            ("error", Fpc_util.Jsonout.String "bad-request");
-                            ("message", Fpc_util.Jsonout.String m);
-                          ]));
-                  flush stdout);
-             drain ()
-           done
-         with End_of_file -> ());
-        List.iter print_result (Fpc_svc.Pool.await pool);
-        let metrics = Fpc_svc.Pool.metrics pool in
-        Fpc_svc.Pool.shutdown pool;
-        prerr_string (Fpc_svc.Metrics.render metrics))
+               (Fpc_svc.Metrics.to_json (Fpc_svc.Pool.metrics pool)))
+        | Some Fpc_net.Protocol.Shutdown ->
+          emit Fpc_net.Protocol.draining_line;
+          stop := true
+        | None -> (
+          match Fpc_svc.Job.parse_request s with
+          | Ok spec -> ignore (Fpc_svc.Pool.submit pool spec)
+          | Error m ->
+            emit (Fpc_net.Protocol.error_line ~error:"bad-request" ~message:m))));
+    drain_ready ()
+  done;
+  List.iter print_result (Fpc_svc.Pool.await pool);
+  let metrics = Fpc_svc.Pool.metrics pool in
+  Fpc_svc.Pool.shutdown pool;
+  prerr_string (Fpc_svc.Metrics.render metrics)
+
+let serve_tcp ~domains ~times ~host ~port ~max_connections ~max_pending
+    ~max_line =
+  (* Every server thread blocks in C (select, cond_wait), where a
+     Sys.Signal_handle closure may never get to run.  Instead: block the
+     drain signals before any thread is spawned (threads inherit the
+     mask) and sigwait for them on a dedicated thread. *)
+  ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+  let server =
+    Fpc_net.Server.create ~host ~port ~domains:(resolve_domains domains)
+      ~max_connections ~max_pending ~max_line ~times ()
+  in
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        match Thread.wait_signal [ Sys.sigterm; Sys.sigint ] with
+        | _ -> Fpc_net.Server.request_drain server
+        | exception _ -> ())
+      ()
+  in
+  Printf.eprintf "fpc: serving on %s:%d (%d domains); SIGTERM or a \
+                  'shutdown' line drains gracefully\n%!"
+    host
+    (Fpc_net.Server.port server)
+    (resolve_domains domains);
+  let snap = Fpc_net.Server.wait server in
+  (* the drain protocol's final stats line, then the human table *)
+  Printf.eprintf "%s\n"
+    (Fpc_util.Jsonout.to_string (Fpc_svc.Metrics.to_json snap));
+  prerr_string (Fpc_svc.Metrics.render snap)
+
+let serve_cmd =
+  let action domains no_times tcp host max_connections max_pending max_line =
+    handle (fun () ->
+        let times = not no_times in
+        match tcp with
+        | Some port ->
+          serve_tcp ~domains ~times ~host ~port ~max_connections ~max_pending
+            ~max_line
+        | None ->
+          if host <> "127.0.0.1" then
+            failwith "--host only makes sense with --tcp";
+          serve_stdin ~domains ~times ~max_line)
   in
   let no_times =
     Arg.(value & flag & info [ "no-times" ]
            ~doc:"Omit host timing and cache-hit fields from responses, \
                  leaving only deterministic ones.")
   in
+  let tcp =
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+           ~doc:"Serve over TCP on $(docv) (0 picks an ephemeral port, \
+                 printed to stderr) instead of stdin.  Connections carry \
+                 the same newline-delimited requests; per-connection \
+                 results come back in request order.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+           ~doc:"Address to bind with --tcp.")
+  in
+  let max_connections =
+    Arg.(value & opt int 16 & info [ "max-conns" ] ~docv:"N"
+           ~doc:"With --tcp: connection cap; further connections are shed \
+                 with a structured JSON line and closed.")
+  in
+  let max_pending =
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N"
+           ~doc:"With --tcp: bound on jobs admitted but not yet answered; \
+                 over it, requests are shed instead of queued.")
+  in
+  let max_line =
+    Arg.(value & opt int Fpc_net.Framing.default_max_line
+           & info [ "max-line" ] ~docv:"BYTES"
+               ~doc:"Longest accepted request line; longer lines are \
+                     discarded up to the next newline and reported with a \
+                     structured error.")
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"A minimal job server: read newline-delimited job requests \
-             (prog=NAME or src=TEXT, optional engine= and fuel=) from \
-             stdin, execute them on a worker-domain pool, and write one \
-             JSON result per line to stdout as jobs complete.")
-    Term.(ret (const action $ domains_arg $ no_times))
+       ~doc:"Serve job requests (prog=NAME or src=TEXT, optional engine=, \
+             fuel=, trace= and deadline_ms=) over stdin or --tcp, \
+             executing them on a worker-domain pool with admission \
+             control; one JSON result line per job.  Admin lines: /stats \
+             (counters as JSON), shutdown (graceful drain).")
+    Term.(ret
+            (const action $ domains_arg $ no_times $ tcp $ host
+             $ max_connections $ max_pending $ max_line))
 
 let main_cmd =
   let doc = "the Fast Procedure Calls (Lampson, ASPLOS 1982) reproduction" in

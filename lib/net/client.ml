@@ -1,0 +1,43 @@
+type t = { fd : Unix.file_descr; framing : Framing.t }
+
+let connect ?max_line ~host ~port () =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found | Invalid_argument _ ->
+        invalid_arg (Printf.sprintf "Client.connect: cannot resolve host %S" host))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (addr, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; framing = Framing.of_fd ?max_line fd }
+
+let send_line t line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write t.fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let recv t = Framing.next t.framing
+
+let rec recv_line t =
+  match recv t with
+  | Framing.Line l -> Some l
+  | Framing.Overlong _ -> recv_line t
+  | Framing.Eof -> None
+
+let shutdown_send t =
+  try Unix.shutdown t.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,127 @@
+type item = Line of string | Overlong of int | Eof
+
+let default_max_line = 65536
+
+type t = {
+  read : bytes -> int -> int -> int;
+  max_line : int;
+  line : Buffer.t;  (** the partial line being assembled *)
+  chunk : Bytes.t;
+  mutable pos : int;  (** next unconsumed byte in [chunk] *)
+  mutable len : int;  (** valid bytes in [chunk] *)
+  mutable discarding : int;  (** >0: inside an overlong line; bytes dropped *)
+  mutable eof : bool;
+}
+
+let create ?(max_line = default_max_line) ~read () =
+  if max_line < 1 then invalid_arg "Framing.create: max_line must be positive";
+  {
+    read;
+    max_line;
+    line = Buffer.create 256;
+    chunk = Bytes.create 8192;
+    pos = 0;
+    len = 0;
+    discarding = 0;
+    eof = false;
+  }
+
+let of_fd ?max_line fd =
+  let read buf pos len =
+    let rec go () =
+      match Unix.read fd buf pos len with
+      | n -> n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception
+          Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+        ->
+        0
+    in
+    go ()
+  in
+  create ?max_line ~read ()
+
+let of_string ?max_line s =
+  let cursor = ref 0 in
+  let read buf pos _len =
+    if !cursor >= String.length s then 0
+    else begin
+      Bytes.set buf pos s.[!cursor];
+      incr cursor;
+      1
+    end
+  in
+  create ?max_line ~read ()
+
+let max_line t = t.max_line
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let refill t =
+  if not t.eof then begin
+    let n = t.read t.chunk 0 (Bytes.length t.chunk) in
+    t.pos <- 0;
+    t.len <- n;
+    if n = 0 then t.eof <- true
+  end
+
+let rec next t =
+  if t.pos >= t.len then begin
+    refill t;
+    if t.eof then
+      (* Flush whatever the truncated stream left behind. *)
+      if t.discarding > 0 then begin
+        let n = t.discarding in
+        t.discarding <- 0;
+        Overlong n
+      end
+      else if Buffer.length t.line > 0 then begin
+        let s = strip_cr (Buffer.contents t.line) in
+        Buffer.clear t.line;
+        Line s
+      end
+      else Eof
+    else next t
+  end
+  else begin
+    let nl = Bytes.index_from_opt t.chunk t.pos '\n' in
+    let stop =
+      match nl with Some i when i < t.len -> i | Some _ | None -> t.len
+    in
+    let found = match nl with Some i -> i < t.len | None -> false in
+    let avail = stop - t.pos in
+    if t.discarding > 0 then begin
+      t.discarding <- t.discarding + avail;
+      t.pos <- stop + if found then 1 else 0;
+      if found then begin
+        let n = t.discarding in
+        t.discarding <- 0;
+        Overlong n
+      end
+      else next t
+    end
+    else begin
+      Buffer.add_subbytes t.line t.chunk t.pos avail;
+      t.pos <- stop + if found then 1 else 0;
+      if Buffer.length t.line > t.max_line then begin
+        (* Over the limit: dump the assembled prefix and discard to the
+           next newline (which may already be in hand). *)
+        t.discarding <- Buffer.length t.line;
+        Buffer.clear t.line;
+        if found then begin
+          let n = t.discarding in
+          t.discarding <- 0;
+          Overlong n
+        end
+        else next t
+      end
+      else if found then begin
+        let s = strip_cr (Buffer.contents t.line) in
+        Buffer.clear t.line;
+        Line s
+      end
+      else next t
+    end
+  end

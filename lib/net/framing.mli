@@ -1,0 +1,42 @@
+(** The wire framing shared by every transport: newline-delimited lines
+    with a maximum length, assembled from arbitrary partial reads.
+
+    Both [fpc serve] transports (TCP and stdin) and the {!Client} read
+    through this codec, so their tolerance is identical: a line longer
+    than the limit is {e discarded to the next newline} and reported as
+    {!item.Overlong} — the stream resynchronizes instead of wedging or
+    buffering without bound, and the bytes of one bad line can never leak
+    into the next request.  Trailing [\r] is stripped ([\r\n] clients
+    work); a final unterminated line is returned before [Eof]. *)
+
+type t
+
+val default_max_line : int
+(** 65536 bytes — comfortably above any suite request, far below any
+    memory concern. *)
+
+type item =
+  | Line of string  (** one line, newline (and trailing [\r]) stripped *)
+  | Overlong of int
+      (** a line exceeded the limit; its [n] bytes (excluding the
+          newline) were discarded and the stream is resynchronized *)
+  | Eof
+
+val create : ?max_line:int -> read:(bytes -> int -> int -> int) -> unit -> t
+(** [read buf pos len] must behave like [Unix.read]: block until at least
+    one byte is available, return [0] at end of stream.  Short reads are
+    fine — that is the point. *)
+
+val of_fd : ?max_line:int -> Unix.file_descr -> t
+(** Framing over a file descriptor.  [EINTR] is retried; connection-reset
+    errors read as end-of-stream (a dead peer is an [Eof], not an
+    exception). *)
+
+val of_string : ?max_line:int -> string -> t
+(** Framing over an in-memory string, delivered one byte per read — the
+    worst-case partial-read schedule, for tests. *)
+
+val next : t -> item
+(** The next line, blocking on [read] as needed. *)
+
+val max_line : t -> int

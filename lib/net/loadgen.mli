@@ -1,0 +1,33 @@
+(** A closed-loop load generator for {!Server}, driving [bench net] and
+    the CI serve-smoke step.
+
+    [connections] client threads each open one TCP connection and play
+    the same request line [requests] times, synchronously: send, block
+    for the response, record the round-trip.  Closed-loop means offered
+    load tracks service rate — the numbers measure the server, not a
+    queue exploding in the generator. *)
+
+type report = {
+  connections : int;
+  sent : int;
+  answered : int;  (** responses received (any status) *)
+  ok : int;  (** [status:"ok"] results *)
+  failed : int;  (** job results with a non-ok status *)
+  shed : int;  (** [status:"shed"] refusals *)
+  wall_s : float;
+  jobs_per_sec : float;  (** answered / wall_s *)
+  latency_us : Fpc_util.Histogram.t;
+      (** per-request round-trip times, microseconds *)
+}
+
+val run :
+  host:string ->
+  port:int ->
+  connections:int ->
+  requests:int ->
+  request_line:string ->
+  unit ->
+  report
+(** Raises [Unix.Unix_error] if the server cannot be reached at all; a
+    connection dying mid-run just stops that thread's remaining
+    requests. *)

@@ -1,0 +1,29 @@
+type admin = Stats | Shutdown
+
+let admin_of_line = function
+  | "/stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+let error_line ~error ~message =
+  let open Fpc_util.Jsonout in
+  to_string
+    (Obj
+       [
+         ("id", Null);
+         ("status", String "error");
+         ("error", String error);
+         ("message", String message);
+       ])
+
+let shed_line ~message =
+  let open Fpc_util.Jsonout in
+  to_string
+    (Obj [ ("id", Null); ("status", String "shed"); ("message", String message) ])
+
+let draining_line =
+  Fpc_util.Jsonout.(to_string (Obj [ ("status", String "draining") ]))
+
+let overlong_message ~bytes_discarded ~limit =
+  Printf.sprintf "line of %d bytes exceeds the %d-byte limit" bytes_discarded
+    limit

@@ -1,0 +1,32 @@
+(** The few response and admin line shapes shared by both [fpc serve]
+    transports (TCP and stdin), so the two behave identically.
+
+    Requests are {!Fpc_svc.Job.parse_request} lines; everything that is
+    {e not} a job result is built here: structured refusals (bad request,
+    overlong line, shed) carry [id:null] so a client matching responses
+    to requests can tell them from results, and the two admin commands
+    ([/stats] and [shutdown]) are recognized in one place. *)
+
+type admin =
+  | Stats  (** ["/stats"]: one JSON line of pool + cache + limiter counters *)
+  | Shutdown
+      (** ["shutdown"]: begin a graceful drain — stop accepting, flush
+          in-flight jobs, close *)
+
+val admin_of_line : string -> admin option
+(** [line] must already be trimmed. *)
+
+val error_line : error:string -> message:string -> string
+(** [{"id":null,"status":"error","error":...,"message":...}] *)
+
+val shed_line : message:string -> string
+(** [{"id":null,"status":"shed","message":...}] — the request was
+    refused by admission control (or arrived during a drain) and was
+    {e not} executed. *)
+
+val draining_line : string
+(** [{"status":"draining"}] — acknowledgement of a [shutdown] command. *)
+
+val overlong_message : bytes_discarded:int -> limit:int -> string
+(** The human half of the overlong-line refusal, shared verbatim by both
+    transports. *)

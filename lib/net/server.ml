@@ -1,0 +1,394 @@
+open Fpc_svc
+
+(* One live connection.  [expected] is the submission-order queue of pool
+   job ids this connection is still owed; [ready] holds results that have
+   been delivered but whose turn has not come.  The writer thread blocks
+   on [cond] until the head of [expected] shows up in [ready], keeping
+   responses in request order however the pool reorders completion. *)
+type conn = {
+  c_id : int;
+  fd : Unix.file_descr;
+  m : Mutex.t;
+  cond : Condition.t;
+  expected : int Queue.t;
+  ready : (int, Job.result) Hashtbl.t;
+  mutable no_more : bool;  (** reader finished; writer exits once drained *)
+  out_m : Mutex.t;
+  mutable dead : bool;  (** a write failed; keep consuming, stop writing *)
+}
+
+type t = {
+  pool : Pool.t;
+  limiter : Limiter.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  pipe_rd : Unix.file_descr;
+  pipe_wr : Unix.file_descr;
+  stopping : bool Atomic.t;
+  times : bool;
+  max_line : int;
+  (* accepted sockets waiting for a handler; None is the stop sentinel *)
+  conn_queue : Unix.file_descr option Queue.t;
+  qm : Mutex.t;
+  qc : Condition.t;
+  (* job id -> connection awaiting that result *)
+  routes : (int, conn) Hashtbl.t;
+  routes_m : Mutex.t;
+  live : (int, conn) Hashtbl.t;
+  live_m : Mutex.t;
+  conn_ids : int Atomic.t;
+  (* server-side counters (sheds, pending watermark) folded into the
+     pool tally at snapshot time *)
+  server_metrics : Metrics.t;
+  sm_m : Mutex.t;
+  mutable acceptor : Thread.t option;
+  mutable handlers : Thread.t array;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* All writes to a connection go through here: serialized by [out_m], and
+   a failed write (peer gone) marks the connection dead rather than
+   raising — the reader and writer keep draining so bookkeeping stays
+   consistent. *)
+let conn_write conn line =
+  Mutex.lock conn.out_m;
+  (if not conn.dead then
+     try write_all conn.fd (line ^ "\n")
+     with Unix.Unix_error _ | Sys_error _ -> conn.dead <- true);
+  Mutex.unlock conn.out_m
+
+let port t = t.port
+let draining t = Atomic.get t.stopping
+
+let request_drain t =
+  if Atomic.compare_and_set t.stopping false true then
+    try ignore (Unix.write t.pipe_wr (Bytes.make 1 'x') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let merged_tally t =
+  let tally = Pool.metrics_tally t.pool in
+  Mutex.lock t.sm_m;
+  Metrics.merge_into ~src:t.server_metrics ~into:tally;
+  Mutex.unlock t.sm_m;
+  tally
+
+let snapshot_now t =
+  let tally = merged_tally t in
+  Metrics.snapshot tally
+    ~wall_s:(Unix.gettimeofday () -. Pool.started_at t.pool)
+    ~cache:(Image_cache.stats (Pool.cache t.pool))
+
+let stats_json t =
+  let open Fpc_util.Jsonout in
+  let ls = Limiter.stats t.limiter in
+  Obj
+    [
+      ( "server",
+        Obj
+          [
+            ("port", Int t.port);
+            ("draining", Bool (Atomic.get t.stopping));
+            ("connections", Int ls.connections);
+            ("max_connections", Int ls.max_connections);
+            ("pending", Int ls.pending);
+            ("max_pending", Int ls.max_pending);
+            ("shed_connections", Int ls.shed_connections);
+          ] );
+      ("pool", Metrics.to_json (snapshot_now t));
+    ]
+
+let note_shed t =
+  Mutex.lock t.sm_m;
+  Metrics.note_shed t.server_metrics;
+  Mutex.unlock t.sm_m
+
+let handle_job t conn line =
+  match Job.parse_request line with
+  | Error msg -> conn_write conn (Protocol.error_line ~error:"bad-request" ~message:msg)
+  | Ok spec ->
+    if Atomic.get t.stopping then begin
+      note_shed t;
+      conn_write conn (Protocol.shed_line ~message:"server is draining")
+    end
+    else begin
+      match Limiter.try_admit_job t.limiter with
+      | None ->
+        note_shed t;
+        conn_write conn
+          (Protocol.shed_line ~message:"pending-jobs limit reached")
+      | Some depth ->
+        Mutex.lock t.sm_m;
+        Metrics.observe_pending t.server_metrics depth;
+        Mutex.unlock t.sm_m;
+        (* Register the route and the expected id under both locks
+           before any worker can deliver the result, so delivery never
+           races registration.  Pool.submit takes the pool's own lock
+           inside; lock order is routes_m -> conn.m -> pool, same
+           everywhere. *)
+        Mutex.lock t.routes_m;
+        Mutex.lock conn.m;
+        let id = Pool.submit t.pool spec in
+        Hashtbl.replace t.routes id conn;
+        Queue.push id conn.expected;
+        Mutex.unlock conn.m;
+        Mutex.unlock t.routes_m
+    end
+
+let reader_loop t conn =
+  let fr = Framing.of_fd ~max_line:t.max_line conn.fd in
+  let rec loop () =
+    match Framing.next fr with
+    | Framing.Eof -> ()
+    | Framing.Overlong n ->
+      conn_write conn
+        (Protocol.error_line ~error:"overlong-line"
+           ~message:(Protocol.overlong_message ~bytes_discarded:n ~limit:t.max_line));
+      loop ()
+    | Framing.Line line ->
+      let s = String.trim line in
+      if String.length s = 0 || s.[0] = '#' then loop ()
+      else begin
+        (match Protocol.admin_of_line s with
+        | Some Protocol.Stats ->
+          conn_write conn (Fpc_util.Jsonout.to_string (stats_json t))
+        | Some Protocol.Shutdown ->
+          conn_write conn Protocol.draining_line;
+          request_drain t
+        | None -> handle_job t conn s);
+        loop ()
+      end
+  in
+  loop ()
+
+let writer_loop t conn =
+  let rec next_result () =
+    Mutex.lock conn.m;
+    let rec wait () =
+      if Queue.is_empty conn.expected then
+        if conn.no_more then None
+        else begin
+          Condition.wait conn.cond conn.m;
+          wait ()
+        end
+      else
+        let id = Queue.peek conn.expected in
+        match Hashtbl.find_opt conn.ready id with
+        | Some r ->
+          Hashtbl.remove conn.ready id;
+          ignore (Queue.pop conn.expected);
+          Some r
+        | None ->
+          Condition.wait conn.cond conn.m;
+          wait ()
+    in
+    let r = wait () in
+    Mutex.unlock conn.m;
+    match r with
+    | None -> ()
+    | Some r ->
+      conn_write conn
+        (Fpc_util.Jsonout.to_string (Job.result_to_json ~times:t.times r));
+      next_result ()
+  in
+  next_result ()
+
+let shutdown_receive fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ()
+
+let serve_connection t fd =
+  let conn =
+    {
+      c_id = Atomic.fetch_and_add t.conn_ids 1;
+      fd;
+      m = Mutex.create ();
+      cond = Condition.create ();
+      expected = Queue.create ();
+      ready = Hashtbl.create 16;
+      no_more = false;
+      out_m = Mutex.create ();
+      dead = false;
+    }
+  in
+  Mutex.lock t.live_m;
+  Hashtbl.replace t.live conn.c_id conn;
+  Mutex.unlock t.live_m;
+  (* A drain may have swept [live] between our pop and the registration
+     above; re-check so this connection's read side is shut too. *)
+  if Atomic.get t.stopping then shutdown_receive fd;
+  let writer = Thread.create (fun () -> writer_loop t conn) () in
+  (try reader_loop t conn with _ -> ());
+  Mutex.lock conn.m;
+  conn.no_more <- true;
+  Condition.signal conn.cond;
+  Mutex.unlock conn.m;
+  Thread.join writer;
+  Mutex.lock t.live_m;
+  Hashtbl.remove t.live conn.c_id;
+  Mutex.unlock t.live_m;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Limiter.release_connection t.limiter
+
+let handler_loop t =
+  let rec loop () =
+    Mutex.lock t.qm;
+    while Queue.is_empty t.conn_queue do
+      Condition.wait t.qc t.qm
+    done;
+    let item = Queue.pop t.conn_queue in
+    Mutex.unlock t.qm;
+    match item with
+    | None -> ()
+    | Some fd ->
+      (if Atomic.get t.stopping then begin
+         (* accepted before the drain, never served: shed, don't wedge *)
+         (try write_all fd (Protocol.shed_line ~message:"server is draining" ^ "\n")
+          with Unix.Unix_error _ | Sys_error _ -> ());
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         Limiter.release_connection t.limiter
+       end
+       else serve_connection t fd);
+      loop ()
+  in
+  loop ()
+
+let acceptor_loop t =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.select [ t.listen_fd; t.pipe_rd ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+        if Atomic.get t.stopping || List.mem t.pipe_rd readable then ()
+        else begin
+          (match Unix.accept t.listen_fd with
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            ()
+          | fd, _ ->
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            if Limiter.try_admit_connection t.limiter then begin
+              Mutex.lock t.qm;
+              Queue.push (Some fd) t.conn_queue;
+              Condition.signal t.qc;
+              Mutex.unlock t.qm
+            end
+            else begin
+              (try
+                 write_all fd
+                   (Protocol.shed_line ~message:"connection limit reached" ^ "\n")
+               with Unix.Unix_error _ | Sys_error _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ()
+            end);
+          loop ()
+        end
+  in
+  loop ();
+  (* Drain begins: stop listening, wake every blocked reader by shutting
+     the read side of live connections (their in-flight jobs still
+     flush), and release the handler threads. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.live_m;
+  Hashtbl.iter (fun _ conn -> shutdown_receive conn.fd) t.live;
+  Mutex.unlock t.live_m;
+  Mutex.lock t.qm;
+  Array.iter (fun _ -> Queue.push None t.conn_queue) t.handlers;
+  Condition.broadcast t.qc;
+  Mutex.unlock t.qm
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found | Invalid_argument _ ->
+      invalid_arg (Printf.sprintf "Server.create: cannot resolve host %S" host))
+
+let create ?(host = "127.0.0.1") ?(port = 0) ?domains ?max_connections
+    ?max_pending ?(max_line = Framing.default_max_line) ?(times = true) () =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let limiter = Limiter.create ?max_connections ?max_pending () in
+  let routes = Hashtbl.create 64 in
+  let routes_m = Mutex.create () in
+  (* The zero-copy handoff: the worker domain hands the result record to
+     the owning connection and pokes its writer.  Runs on the execution
+     path, so it is a couple of table operations under short locks. *)
+  let deliver (r : Job.result) =
+    Limiter.release_job limiter;
+    Mutex.lock routes_m;
+    (match Hashtbl.find_opt routes r.Job.id with
+    | Some conn ->
+      Hashtbl.remove routes r.Job.id;
+      Mutex.lock conn.m;
+      Hashtbl.replace conn.ready r.Job.id r;
+      Condition.signal conn.cond;
+      Mutex.unlock conn.m
+    | None -> ());
+    Mutex.unlock routes_m
+  in
+  let pool = Pool.create ?domains ~deliver () in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (resolve_host host, port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Pool.shutdown pool;
+     raise e);
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let pipe_rd, pipe_wr = Unix.pipe () in
+  let t =
+    {
+      pool;
+      limiter;
+      listen_fd;
+      port;
+      pipe_rd;
+      pipe_wr;
+      stopping = Atomic.make false;
+      times;
+      max_line;
+      conn_queue = Queue.create ();
+      qm = Mutex.create ();
+      qc = Condition.create ();
+      routes;
+      routes_m;
+      live = Hashtbl.create 16;
+      live_m = Mutex.create ();
+      conn_ids = Atomic.make 0;
+      server_metrics = Metrics.create ~domains:1;
+      sm_m = Mutex.create ();
+      acceptor = None;
+      handlers = [||];
+    }
+  in
+  let n_handlers = (Limiter.stats limiter).Limiter.max_connections in
+  t.handlers <- Array.init n_handlers (fun _ -> Thread.create handler_loop t);
+  t.acceptor <- Some (Thread.create acceptor_loop t);
+  t
+
+let wait t =
+  (match t.acceptor with Some th -> Thread.join th | None -> ());
+  Array.iter Thread.join t.handlers;
+  Pool.drain t.pool;
+  let snap = snapshot_now t in
+  Pool.shutdown t.pool;
+  (try Unix.close t.pipe_rd with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_wr with Unix.Unix_error _ -> ());
+  snap

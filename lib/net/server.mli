@@ -1,0 +1,71 @@
+(** The TCP front-end over {!Fpc_svc.Pool}: newline-delimited
+    {!Fpc_svc.Job} request lines in, one JSON result line per job out.
+
+    Thread/domain layout: one acceptor thread multiplexes the listening
+    socket against a self-pipe (the drain signal); a fixed set of
+    connection-handler threads (one per admissible connection) runs each
+    connection's read side; each live connection gets one writer thread
+    that emits results {e in submission order}; and the jobs themselves
+    execute on the {!Fpc_svc.Pool}'s worker domains.  Results travel
+    from worker to writer through the pool's [deliver] hook — the record
+    is handed over directly, with no shard list, no sort and no second
+    copy.
+
+    Per connection, job results come back in the order the requests were
+    sent, so a single connection's output for a jobfile is byte-identical
+    to [fpc batch --json] on the same file.  Refusals (bad request,
+    overlong line, shed) and admin responses are written as soon as the
+    offending line is read, and may therefore interleave ahead of
+    earlier jobs' results; they carry [id:null] so clients can tell.
+
+    Admission control ({!Limiter}): over the connection cap, the
+    connection is answered with one shed line and closed; over the
+    pending-jobs bound, the request is answered with a shed line and not
+    executed.  Nothing queues without bound.
+
+    Graceful drain ({!request_drain}, a [shutdown] admin line, or — wired
+    in [bin/fpc] — SIGTERM): stop accepting, shed queued-but-unserved
+    connections, shut the read side of live connections, flush every
+    in-flight job's result, then {!wait} returns the final metrics.
+    {!request_drain} itself only sets a flag and writes the self-pipe, so
+    it is safe from a signal handler. *)
+
+type t
+
+val create :
+  ?host:string ->
+  ?port:int ->
+  ?domains:int ->
+  ?max_connections:int ->
+  ?max_pending:int ->
+  ?max_line:int ->
+  ?times:bool ->
+  unit ->
+  t
+(** Bind, listen and start serving.  Defaults: host ["127.0.0.1"], port
+    [0] (ephemeral — read it back with {!port}), {!Fpc_svc.Pool}'s
+    recommended domain count, {!Limiter}'s caps,
+    {!Framing.default_max_line}, [times:true] (include host timings in
+    result JSON; [false] gives fully deterministic output).  Installs a
+    SIGPIPE-ignore handler (a dead peer must read as an I/O error, not
+    kill the process). *)
+
+val port : t -> int
+(** The bound port (useful with [port:0]). *)
+
+val request_drain : t -> unit
+(** Begin a graceful drain; idempotent, non-blocking, async-signal-safe
+    (one atomic store and one pipe write). *)
+
+val draining : t -> bool
+
+val stats_json : t -> Fpc_util.Jsonout.t
+(** The [/stats] payload: a ["server"] object (port, draining flag,
+    limiter counters) and a ["pool"] object ({!Fpc_svc.Metrics.to_json}
+    of the live tally, shed and pending-watermark counters folded in). *)
+
+val wait : t -> Fpc_svc.Metrics.snapshot
+(** Block until a drain is requested and completes: every accepted
+    request answered, every thread joined, the pool shut down.  Returns
+    the final metrics (the "stats line" of the drain protocol).  Call
+    once. *)

@@ -1,17 +1,25 @@
 type source = Suite of string | Inline of string
 
-type spec = { source : source; engine : string; fuel : int; trace : bool }
+type spec = {
+  source : source;
+  engine : string;
+  fuel : int;
+  trace : bool;
+  deadline_ms : int option;
+}
 
 let default_fuel = 20_000_000
 
-let spec ?(engine = "i2") ?(fuel = default_fuel) ?(trace = false) source =
-  { source; engine; fuel; trace }
+let spec ?(engine = "i2") ?(fuel = default_fuel) ?(trace = false) ?deadline_ms
+    source =
+  { source; engine; fuel; trace; deadline_ms }
 
 type error_kind =
   | Bad_request
   | Compile_error
   | Trapped of string
   | Fuel_exhausted
+  | Deadline_exceeded
   | Internal
 
 let error_kind_to_string = function
@@ -19,6 +27,7 @@ let error_kind_to_string = function
   | Compile_error -> "compile-error"
   | Trapped r -> Printf.sprintf "trapped(%s)" r
   | Fuel_exhausted -> "fuel-exhausted"
+  | Deadline_exceeded -> "deadline-exceeded"
   | Internal -> "internal"
 
 type outcome = Output of int list | Failed of error_kind * string
@@ -120,42 +129,58 @@ let parse_request line =
     |> List.filter (fun f -> f <> "")
   in
   let ( let* ) = Result.bind in
-  let parse_field (src, engine, fuel, trace) field =
+  let parse_field (src, engine, fuel, trace, deadline) field =
     match String.index_opt field '=' with
     | None -> Error (Printf.sprintf "malformed field %S (want key=value)" field)
     | Some eq -> (
       let key = String.sub field 0 eq in
       let value = String.sub field (eq + 1) (String.length field - eq - 1) in
       match key with
-      | "prog" -> Ok (Some (Suite value), engine, fuel, trace)
-      | "src" -> Ok (Some (Inline (unescape_src value)), engine, fuel, trace)
-      | "engine" -> Ok (src, value, fuel, trace)
+      | "prog" -> Ok (Some (Suite value), engine, fuel, trace, deadline)
+      | "src" ->
+        Ok (Some (Inline (unescape_src value)), engine, fuel, trace, deadline)
+      | "engine" -> Ok (src, value, fuel, trace, deadline)
       | "fuel" -> (
         match int_of_string_opt value with
-        | Some n when n > 0 -> Ok (src, engine, Some n, trace)
+        | Some n when n > 0 -> Ok (src, engine, Some n, trace, deadline)
         | Some _ | None ->
           Error (Printf.sprintf "fuel=%s is not a positive integer" value))
       | "trace" -> (
         match value with
-        | "1" | "true" -> Ok (src, engine, fuel, true)
-        | "0" | "false" -> Ok (src, engine, fuel, false)
+        | "1" | "true" -> Ok (src, engine, fuel, true, deadline)
+        | "0" | "false" -> Ok (src, engine, fuel, false, deadline)
         | v -> Error (Printf.sprintf "trace=%s is not 0/1" v))
+      | "deadline_ms" -> (
+        match int_of_string_opt value with
+        | Some n when n > 0 -> Ok (src, engine, fuel, trace, Some n)
+        | Some _ | None ->
+          Error
+            (Printf.sprintf "deadline_ms=%s is not a positive integer" value))
       | k ->
         Error
-          (Printf.sprintf "unknown key %s (use prog, src, engine, fuel, trace)" k))
+          (Printf.sprintf
+             "unknown key %s (use prog, src, engine, fuel, trace, deadline_ms)"
+             k))
   in
-  let* src, engine, fuel, trace =
+  let* src, engine, fuel, trace, deadline =
     List.fold_left
       (fun acc field ->
         let* acc = acc in
         parse_field acc field)
-      (Ok (None, "i2", None, false))
+      (Ok (None, "i2", None, false, None))
       fields
   in
   match src with
   | None -> Error "request needs prog=NAME or src=TEXT"
   | Some source ->
-    Ok { source; engine; fuel = Option.value fuel ~default:default_fuel; trace }
+    Ok
+      {
+        source;
+        engine;
+        fuel = Option.value fuel ~default:default_fuel;
+        trace;
+        deadline_ms = deadline;
+      }
 
 let request_of_spec s =
   let src =
@@ -163,8 +188,11 @@ let request_of_spec s =
     | Suite name -> "prog=" ^ name
     | Inline text -> "src=" ^ escape_src text
   in
-  Printf.sprintf "%s engine=%s fuel=%d%s" src s.engine s.fuel
+  Printf.sprintf "%s engine=%s fuel=%d%s%s" src s.engine s.fuel
     (if s.trace then " trace=1" else "")
+    (match s.deadline_ms with
+    | None -> ""
+    | Some ms -> Printf.sprintf " deadline_ms=%d" ms)
 
 (* ---- rendering ---- *)
 
@@ -242,5 +270,8 @@ let result_to_json ?(times = true) r =
        ("engine", String (String.lowercase_ascii r.spec.engine));
        ("fuel", Int r.spec.fuel);
      ]
+    @ (match r.spec.deadline_ms with
+      | None -> []
+      | Some ms -> [ ("deadline_ms", Int ms) ])
     @ (if r.spec.trace then [ ("trace", Bool true) ] else [])
     @ outcome_fields @ sim_fields @ profile_fields @ time_fields)

@@ -19,19 +19,29 @@ type spec = {
   engine : string;  (** "i1".."i4" (case-insensitive) *)
   fuel : int;  (** interpreter step budget; exhausting it fails the job *)
   trace : bool;  (** run under the XFER tracer, returning a profile summary *)
+  deadline_ms : int option;
+      (** wall-clock budget, measured from the start of execution.  The
+          pool runs deadlined jobs in fuel slices and checks the clock
+          between slices, so a hung or hot job degrades to
+          [Failed Deadline_exceeded] instead of wedging a worker.  A job
+          that completes within its current slice is returned even if it
+          finished marginally late (slice granularity, not a host timer). *)
 }
 
 val default_fuel : int
 (** 20 million steps, matching [fpc run]'s default. *)
 
-val spec : ?engine:string -> ?fuel:int -> ?trace:bool -> source -> spec
-(** Defaults: engine ["i2"], fuel {!default_fuel}, trace [false]. *)
+val spec :
+  ?engine:string -> ?fuel:int -> ?trace:bool -> ?deadline_ms:int -> source -> spec
+(** Defaults: engine ["i2"], fuel {!default_fuel}, trace [false], no
+    deadline. *)
 
 type error_kind =
   | Bad_request  (** unparseable request, unknown engine or suite program *)
   | Compile_error  (** lexer / parser / typechecker / linker rejection *)
   | Trapped of string  (** the machine trapped (div-zero, heap exhausted, ...) *)
   | Fuel_exhausted  (** the step budget ran out (runaway loop) *)
+  | Deadline_exceeded  (** the wall-clock deadline fired mid-run *)
   | Internal  (** unexpected exception; a bug, but isolated to the job *)
 
 val error_kind_to_string : error_kind -> string
@@ -80,8 +90,9 @@ val outcome_equal : outcome -> outcome -> bool
     [fpc serve] and [fpc batch] jobfiles use one line per job:
     whitespace-separated [key=value] fields.  Keys: [prog] (suite program
     name) or [src] (inline source, with [\n] [\t] [\s] [\\] escapes for
-    newline, tab, space and backslash), plus optional [engine], [fuel]
-    and [trace] (0/1: run under the XFER tracer).  Blank lines and lines
+    newline, tab, space and backslash), plus optional [engine], [fuel],
+    [trace] (0/1: run under the XFER tracer) and [deadline_ms]
+    (wall-clock budget for the execution).  Blank lines and lines
     starting with [#] are skipped by callers. *)
 
 val parse_request : string -> (spec, string) Stdlib.result

@@ -10,6 +10,9 @@ type t = {
   mutable succeeded : int;
   mutable failed : int;
   mutable fuel_exhausted : int;
+  mutable deadline_exceeded : int;
+  mutable shed : int;
+  mutable max_pending_observed : int;
   mutable compile_s : float;
   mutable run_s : float;
   mutable instructions : int;
@@ -28,6 +31,9 @@ let create ~domains =
     succeeded = 0;
     failed = 0;
     fuel_exhausted = 0;
+    deadline_exceeded = 0;
+    shed = 0;
+    max_pending_observed = 0;
     compile_s = 0.0;
     run_s = 0.0;
     instructions = 0;
@@ -44,7 +50,9 @@ let record t (r : Job.result) =
   | Job.Output _ -> t.succeeded <- t.succeeded + 1
   | Job.Failed (kind, _) ->
     t.failed <- t.failed + 1;
-    if kind = Job.Fuel_exhausted then t.fuel_exhausted <- t.fuel_exhausted + 1);
+    if kind = Job.Fuel_exhausted then t.fuel_exhausted <- t.fuel_exhausted + 1;
+    if kind = Job.Deadline_exceeded then
+      t.deadline_exceeded <- t.deadline_exceeded + 1);
   t.compile_s <- t.compile_s +. r.stats.Job.compile_s;
   t.run_s <- t.run_s +. r.stats.Job.run_s;
   t.instructions <- t.instructions + r.stats.Job.instructions;
@@ -70,11 +78,20 @@ let record t (r : Job.result) =
         agg.a_excl_refs <- agg.a_excl_refs + p.ps_excl_refs)
       s.Fpc_trace.Profile.s_procs
 
+let note_shed t = t.shed <- t.shed + 1
+
+let observe_pending t pending =
+  if pending > t.max_pending_observed then t.max_pending_observed <- pending
+
 let merge_into ~src ~into =
   into.jobs <- into.jobs + src.jobs;
   into.succeeded <- into.succeeded + src.succeeded;
   into.failed <- into.failed + src.failed;
   into.fuel_exhausted <- into.fuel_exhausted + src.fuel_exhausted;
+  into.deadline_exceeded <- into.deadline_exceeded + src.deadline_exceeded;
+  into.shed <- into.shed + src.shed;
+  into.max_pending_observed <-
+    max into.max_pending_observed src.max_pending_observed;
   into.compile_s <- into.compile_s +. src.compile_s;
   into.run_s <- into.run_s +. src.run_s;
   into.instructions <- into.instructions + src.instructions;
@@ -110,6 +127,9 @@ type snapshot = {
   succeeded : int;
   failed : int;
   fuel_exhausted : int;
+  deadline_exceeded : int;
+  shed : int;
+  max_pending_observed : int;
   cache : Image_cache.stats;
   compile_s : float;
   run_s : float;
@@ -146,6 +166,9 @@ let snapshot (t : t) ~wall_s ~cache =
     succeeded = t.succeeded;
     failed = t.failed;
     fuel_exhausted = t.fuel_exhausted;
+    deadline_exceeded = t.deadline_exceeded;
+    shed = t.shed;
+    max_pending_observed = t.max_pending_observed;
     cache;
     compile_s = t.compile_s;
     run_s = t.run_s;
@@ -169,6 +192,9 @@ let render (s : snapshot) =
   row "  succeeded" (cell_int s.succeeded);
   row "  failed" (cell_int s.failed);
   row "    of which fuel-exhausted" (cell_int s.fuel_exhausted);
+  row "    of which deadline-exceeded" (cell_int s.deadline_exceeded);
+  row "shed (admission control)" (cell_int s.shed);
+  row "max pending observed" (cell_int s.max_pending_observed);
   row "cache hits / misses"
     (Printf.sprintf "%d / %d" s.cache.Image_cache.hits s.cache.Image_cache.misses);
   row "cache hit rate" (cell_pct (Image_cache.hit_rate s.cache));
@@ -206,6 +232,9 @@ let to_json (s : snapshot) =
       ("succeeded", Int s.succeeded);
       ("failed", Int s.failed);
       ("fuel_exhausted", Int s.fuel_exhausted);
+      ("deadline_exceeded", Int s.deadline_exceeded);
+      ("shed", Int s.shed);
+      ("max_pending_observed", Int s.max_pending_observed);
       ( "cache",
         Obj
           [

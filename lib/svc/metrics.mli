@@ -16,9 +16,18 @@ val create : domains:int -> t
 val record : t -> Job.result -> unit
 (** Fold one completed job in.  Not thread-safe; callers serialize. *)
 
+val note_shed : t -> unit
+(** Count one request refused by admission control.  Shed requests never
+    become {!Job.result}s (nothing ran), so they are counted here rather
+    than through {!record}. *)
+
+val observe_pending : t -> int -> unit
+(** Raise the pending-jobs high-water mark if [pending] exceeds it. *)
+
 val merge_into : src:t -> into:t -> unit
 (** Fold every count of [src] into [into] ([src] is left untouched).
-    The pool keeps one single-writer accumulator per worker domain and
+    Counters add; the pending high-water mark merges with [max].  The
+    pool keeps one single-writer accumulator per worker domain and
     merges the shards only when a snapshot is wanted, so recording a
     completion never touches shared state.  Not thread-safe; callers
     serialize per accumulator. *)
@@ -36,8 +45,11 @@ type snapshot = {
   domains : int;
   jobs : int;
   succeeded : int;
-  failed : int;  (** all failures, {e including} fuel exhaustion *)
+  failed : int;  (** all failures, {e including} fuel/deadline exhaustion *)
   fuel_exhausted : int;
+  deadline_exceeded : int;  (** jobs whose wall-clock deadline fired *)
+  shed : int;  (** requests refused by admission control (never ran) *)
+  max_pending_observed : int;  (** pending-jobs high-water mark *)
   cache : Image_cache.stats;
   compile_s : float;  (** summed across jobs (overlaps across domains) *)
   run_s : float;  (** summed across jobs (overlaps across domains) *)

@@ -21,6 +21,9 @@ type t = {
   n_domains : int;
   shards : shard array;  (** one per worker *)
   cache : Image_cache.t;
+  deliver : (Job.result -> unit) option;
+      (** when set, completed results are handed here (on the worker
+          domain) instead of accumulating for poll/await *)
   started_at : float;
 }
 
@@ -33,6 +36,38 @@ let now = Unix.gettimeofday
 let failed ?(stats = Job.no_stats) id spec kind msg =
   { Job.id; spec; outcome = Job.Failed (kind, msg); stats; profile = None }
 
+(* Deadlined jobs run in slices of this many steps, with a wall-clock
+   check between slices.  Small enough for few-ms deadline granularity,
+   large enough that the per-slice overhead (one clock read, one status
+   reset) vanishes against the interpreter loop. *)
+let deadline_slice = 50_000
+
+(* Run [st] for up to [fuel] steps.  With a deadline, run in slices and
+   check the clock between them; returns [true] iff the deadline fired
+   while the program was still running.  [Step_limit] is only ever set by
+   the interpreter's own step counter (the trap machinery never raises
+   it), so a mid-slice [Step_limit] with fuel remaining is safely resumed
+   by resetting the status to [Running]. *)
+let run_with_deadline ?deadline_at ~fuel st =
+  match deadline_at with
+  | None ->
+    Fpc_interp.Interp.run ~max_steps:fuel st;
+    false
+  | Some deadline ->
+    let rec go remaining =
+      let s = min deadline_slice remaining in
+      Fpc_interp.Interp.run ~max_steps:s st;
+      match st.Fpc_core.State.status with
+      | Fpc_core.State.Trapped Fpc_core.State.Step_limit when remaining > s ->
+        if now () > deadline then true
+        else begin
+          st.Fpc_core.State.status <- Fpc_core.State.Running;
+          go (remaining - s)
+        end
+      | _ -> false
+    in
+    if fuel <= 0 then false else go fuel
+
 let execute cache id (spec : Job.spec) =
   match (Job.engine_of_name spec.engine, Job.source_text spec.source) with
   | Error m, _ | _, Error m -> failed id spec Job.Bad_request m
@@ -43,25 +78,40 @@ let execute cache id (spec : Job.spec) =
     | exception e -> failed id spec Job.Internal (Printexc.to_string e)
     | Ok (image, cache_hit, compile_s) -> (
       let t0 = now () in
+      let deadline_at =
+        Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) spec.deadline_ms
+      in
       let go () =
         if spec.trace then begin
           let p = Fpc_interp.Profiler.create ~image ~engine () in
-          let st, _ =
-            Fpc_interp.Profiler.run ~max_steps:spec.fuel p ~image ~engine
-              ~instance:"Main" ~proc:"main" ~args:[]
+          let st =
+            Fpc_interp.Interp.boot ~tracer:p.Fpc_interp.Profiler.sink ~image
+              ~engine ~instance:"Main" ~proc:"main" ~args:[] ()
           in
-          (st, Some (Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile))
+          let deadline_hit = run_with_deadline ?deadline_at ~fuel:spec.fuel st in
+          let o = Fpc_interp.Interp.outcome st in
+          ignore
+            (Fpc_trace.Profile.finish p.Fpc_interp.Profiler.profile
+               ~cycles:o.Fpc_interp.Interp.o_cycles
+               ~mem_refs:o.Fpc_interp.Interp.o_mem_refs);
+          ( st,
+            Some (Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile),
+            deadline_hit )
         end
-        else
-          ( Fpc_interp.Interp.run_program ~max_steps:spec.fuel ~image ~engine
-              ~instance:"Main" ~proc:"main" ~args:[] (),
-            None )
+        else begin
+          let st =
+            Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+              ~args:[] ()
+          in
+          let deadline_hit = run_with_deadline ?deadline_at ~fuel:spec.fuel st in
+          (st, None, deadline_hit)
+        end
       in
       match go () with
       | exception Not_found ->
         failed id spec Job.Compile_error "program has no Main.main()"
       | exception e -> failed id spec Job.Internal (Printexc.to_string e)
-      | st, profile ->
+      | st, profile, deadline_hit ->
         let o = Fpc_interp.Interp.outcome st in
         let stats =
           {
@@ -75,17 +125,23 @@ let execute cache id (spec : Job.spec) =
           }
         in
         let outcome =
-          match o.o_status with
-          | Fpc_core.State.Halted -> Job.Output o.o_output
-          | Fpc_core.State.Running ->
-            Job.Failed (Job.Internal, "interpreter stopped while still running")
-          | Fpc_core.State.Trapped Fpc_core.State.Step_limit ->
+          if deadline_hit then
             Job.Failed
-              ( Job.Fuel_exhausted,
-                Printf.sprintf "step budget of %d exhausted" spec.fuel )
-          | Fpc_core.State.Trapped r ->
-            Job.Failed
-              (Job.Trapped (Fpc_core.State.trap_reason_to_string r), "machine trap")
+              ( Job.Deadline_exceeded,
+                Printf.sprintf "deadline of %d ms exceeded"
+                  (Option.value spec.deadline_ms ~default:0) )
+          else
+            match o.o_status with
+            | Fpc_core.State.Halted -> Job.Output o.o_output
+            | Fpc_core.State.Running ->
+              Job.Failed (Job.Internal, "interpreter stopped while still running")
+            | Fpc_core.State.Trapped Fpc_core.State.Step_limit ->
+              Job.Failed
+                ( Job.Fuel_exhausted,
+                  Printf.sprintf "step budget of %d exhausted" spec.fuel )
+            | Fpc_core.State.Trapped r ->
+              Job.Failed
+                (Job.Trapped (Fpc_core.State.trap_reason_to_string r), "machine trap")
         in
         { Job.id; spec; outcome; stats; profile }))
 
@@ -103,12 +159,20 @@ let rec worker_loop t shard =
     t.active <- t.active + 1;
     Mutex.unlock t.mutex;
     let result = execute t.cache id spec in
-    (* Publish to this worker's shard before the job stops counting as
-       active, so a woken awaiter is guaranteed to collect it. *)
+    (* Publish before the job stops counting as active, so a woken
+       awaiter (or a drain) is guaranteed to observe the result.  With a
+       [deliver] consumer the record itself is handed over directly —
+       no shard list, no sort, no second copy — and only the metrics
+       fold touches the shard. *)
     Mutex.lock shard.s_mutex;
-    shard.s_completed_rev <- result :: shard.s_completed_rev;
+    (match t.deliver with
+    | None -> shard.s_completed_rev <- result :: shard.s_completed_rev
+    | Some _ -> ());
     Metrics.record shard.s_metrics result;
     Mutex.unlock shard.s_mutex;
+    (match t.deliver with
+    | None -> ()
+    | Some f -> ( try f result with _ -> ()));
     Mutex.lock t.mutex;
     t.active <- t.active - 1;
     if t.active = 0 && Queue.is_empty t.queue then Condition.broadcast t.drained;
@@ -116,7 +180,7 @@ let rec worker_loop t shard =
     worker_loop t shard
   end
 
-let create ?domains ?cache () =
+let create ?domains ?cache ?deliver () =
   let domains = Option.value domains ~default:(recommended_domains ()) in
   if domains < 1 then invalid_arg "Pool.create: need at least one domain";
   let cache = match cache with Some c -> c | None -> Image_cache.create () in
@@ -139,6 +203,7 @@ let create ?domains ?cache () =
               s_metrics = Metrics.create ~domains;
             });
       cache;
+      deliver;
       started_at = now ();
     }
   in
@@ -185,15 +250,18 @@ let take_completed t =
 
 let poll t = take_completed t
 
-let await t =
+let drain t =
   Mutex.lock t.mutex;
   while not (Queue.is_empty t.queue && t.active = 0) do
     Condition.wait t.drained t.mutex
   done;
-  Mutex.unlock t.mutex;
+  Mutex.unlock t.mutex
+
+let await t =
+  drain t;
   take_completed t
 
-let metrics t =
+let metrics_tally t =
   let merged = Metrics.create ~domains:t.n_domains in
   Array.iter
     (fun shard ->
@@ -201,8 +269,14 @@ let metrics t =
       Metrics.merge_into ~src:shard.s_metrics ~into:merged;
       Mutex.unlock shard.s_mutex)
     t.shards;
+  merged
+
+let metrics t =
+  let merged = metrics_tally t in
   let wall_s = now () -. t.started_at in
   Metrics.snapshot merged ~wall_s ~cache:(Image_cache.stats t.cache)
+
+let started_at t = t.started_at
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -26,13 +26,31 @@ type t
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)
 
-val create : ?domains:int -> ?cache:Image_cache.t -> unit -> t
+val create :
+  ?domains:int ->
+  ?cache:Image_cache.t ->
+  ?deliver:(Job.result -> unit) ->
+  unit ->
+  t
 (** Spawns [domains] workers (default {!recommended_domains}) sharing
     [cache] (default: a fresh one).  Raises [Invalid_argument] for
-    [domains < 1]. *)
+    [domains < 1].
+
+    [deliver], when given, switches the pool into {e push} mode: each
+    completed result is handed to [deliver] on the worker domain that
+    produced it, before the job stops counting as pending, instead of
+    accumulating for {!poll}/{!await} (which then return [[]]).  This is
+    the zero-copy result handoff the TCP server rides: the result record
+    goes straight from the worker to the consumer, with no shard list, no
+    id sort and no second traversal.  [deliver] must be thread-safe, is
+    called concurrently from every worker, and should be quick — it runs
+    on the execution path.  Exceptions it raises are swallowed. *)
 
 val domains : t -> int
 val cache : t -> Image_cache.t
+
+val started_at : t -> float
+(** [Unix.gettimeofday] at pool creation (for wall-clock reporting). *)
 
 val submit : t -> Job.spec -> int
 (** Enqueue a job; returns its id (dense, starting at 0).  Raises
@@ -52,9 +70,20 @@ val await : t -> Job.result list
 (** Block until no job is queued or running, then return the results
     completed since the last [poll]/[await], sorted by id. *)
 
+val drain : t -> unit
+(** Block until no job is queued or executing, without collecting
+    results — the quiescence hook a [deliver]-mode consumer (the TCP
+    server's graceful drain) waits on.  Every submitted job has been
+    delivered when this returns. *)
+
 val metrics : t -> Metrics.snapshot
 (** Aggregate over every job completed so far (the per-worker shards
     merged on demand); wall time is measured since [create]. *)
+
+val metrics_tally : t -> Metrics.t
+(** The merged per-worker accumulators as a fresh mutable {!Metrics.t} —
+    for callers (the TCP server) that fold in their own counters (sheds,
+    pending watermarks) before taking the snapshot. *)
 
 val shutdown : t -> unit
 (** Drain the queue, then stop and join all workers.  Idempotent.

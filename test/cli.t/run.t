@@ -78,6 +78,25 @@ The server reads request lines and answers in JSON:
   $ printf 'prog=fib engine=i2\n' | fpc serve --no-times 2>/dev/null
   {"id":0,"source":"fib","engine":"i2","fuel":20000000,"status":"ok","output":[377],"instructions":15845,"cycles":123964,"mem_refs":26218,"fastpath":{"fast_transfers":0,"slow_transfers":2439,"rs_pushes":0,"rs_hits":0,"rs_flushes":0,"rs_spills":0,"bank_words_loaded":0,"bank_words_spilled":0,"ff_hits":0,"ff_misses":0,"frame_allocs":1220,"frame_frees":1220}}
 
+An over-long request line is discarded up to the next newline and
+reported as a structured error; the stream resynchronizes and later
+requests still run (same framing as the TCP transport):
+
+  $ { printf 'src=%0100d\n' 0; printf 'prog=fib engine=i2\n'; } | fpc serve --no-times --max-line 64 2>/dev/null | cut -c1-60
+  {"id":null,"status":"error","error":"overlong-line","message
+  {"id":0,"source":"fib","engine":"i2","fuel":20000000,"status
+
+A wall-clock deadline turns a runaway job into a structured failure
+instead of a wedged worker:
+
+  $ printf 'src=MODULE\sMain;\\nPROC\smain()\s=\\n\sWHILE\s0\s<\s1\sDO\sEND;\\nEND;\\nEND; fuel=2000000000 deadline_ms=50\n' | fpc serve --no-times 2>/dev/null | grep -c '"error":"deadline-exceeded"'
+  1
+
+The shutdown admin command is acknowledged, then the server drains:
+
+  $ printf 'prog=fib engine=i2\nshutdown\nprog=hanoi\n' | fpc serve --no-times 2>/dev/null | grep -c '"status":\("draining"\|"ok"\)'
+  2
+
 Profile a run: per-procedure cost attribution whose totals equal the
 machine's meters for the same run (the conservation property):
 
@@ -116,7 +135,7 @@ jobs (only the deterministic rows shown):
 
   $ printf 'prog=fib engine=i2 trace=1\n' > traced.txt
   $ fpc batch traced.txt 2>&1 >/dev/null | grep -E "traced jobs|trace events|Main\."
-  | traced jobs                 |                                     1 |
-  | trace events                |                                  4880 |
-  |   Main.fib                  | 1219 calls, 123792 cycles, 26201 refs |
-  |   Main.main                 |           1 calls, 56 cycles, 13 refs |
+  | traced jobs                    |                                     1 |
+  | trace events                   |                                  4880 |
+  |   Main.fib                     | 1219 calls, 123792 cycles, 26201 refs |
+  |   Main.main                    |           1 calls, 56 cycles, 13 refs |

@@ -1,0 +1,348 @@
+(* Tests for the TCP serving stack: framing, admission control, and the
+   full loopback path through a live server — byte-stable results,
+   concurrent connections, shedding, deadlines, graceful drain.
+
+   Every server here binds port 0 (an ephemeral port) on 127.0.0.1 and
+   is torn down inside the test, so the suite is safe to run in
+   parallel with anything. *)
+
+open Fpc_net
+
+(* ---- framing ---- *)
+
+let items_of_string ?max_line s =
+  let fr = Framing.of_string ?max_line s in
+  let rec go acc =
+    match Framing.next fr with
+    | Framing.Eof -> List.rev acc
+    | item -> go (item :: acc)
+  in
+  go []
+
+let line l = Framing.Line l
+let overlong n = Framing.Overlong n
+
+let item_str = function
+  | Framing.Line l -> Printf.sprintf "Line %S" l
+  | Framing.Overlong n -> Printf.sprintf "Overlong %d" n
+  | Framing.Eof -> "Eof"
+
+let check_items msg expected actual =
+  Alcotest.(check (list string))
+    msg
+    (List.map item_str expected)
+    (List.map item_str actual)
+
+let test_framing_lines () =
+  (* of_string feeds one byte per read: every partial-read path runs *)
+  check_items "plain lines" [ line "a"; line "bc" ] (items_of_string "a\nbc\n");
+  check_items "CRLF stripped" [ line "a"; line "b" ] (items_of_string "a\r\nb\r\n");
+  check_items "unterminated tail still delivered" [ line "a"; line "tail" ]
+    (items_of_string "a\ntail");
+  check_items "empty lines preserved" [ line ""; line "x"; line "" ]
+    (items_of_string "\nx\n\n");
+  check_items "empty input" [] (items_of_string "")
+
+let test_framing_overlong_resync () =
+  (* an overlong line is discarded to the next newline and reported
+     with its size; the stream then resyncs onto good lines *)
+  check_items "overlong then resync"
+    [ line "ok"; overlong 10; line "fine" ]
+    (items_of_string ~max_line:4 "ok\n0123456789\nfine\n");
+  check_items "overlong tail without newline"
+    [ overlong 8 ]
+    (items_of_string ~max_line:4 "01234567");
+  check_items "boundary: exactly max fits"
+    [ line "1234" ]
+    (items_of_string ~max_line:4 "1234\n")
+
+let test_framing_large_random () =
+  (* a big random-ish stream reassembles exactly, whatever the read
+     granularity *)
+  let lines = List.init 200 (fun i -> String.make (i mod 97) 'x') in
+  let s = String.concat "\n" lines ^ "\n" in
+  check_items "200 lines reassembled"
+    (List.map line lines)
+    (items_of_string s)
+
+(* ---- limiter ---- *)
+
+let test_limiter () =
+  let l = Limiter.create ~max_connections:2 ~max_pending:2 () in
+  Alcotest.(check bool) "conn 1" true (Limiter.try_admit_connection l);
+  Alcotest.(check bool) "conn 2" true (Limiter.try_admit_connection l);
+  Alcotest.(check bool) "conn 3 shed" false (Limiter.try_admit_connection l);
+  Limiter.release_connection l;
+  Alcotest.(check bool) "slot freed" true (Limiter.try_admit_connection l);
+  Alcotest.(check (option int)) "job 1" (Some 1) (Limiter.try_admit_job l);
+  Alcotest.(check (option int)) "job 2" (Some 2) (Limiter.try_admit_job l);
+  Alcotest.(check (option int)) "job 3 shed" None (Limiter.try_admit_job l);
+  Limiter.release_job l;
+  Alcotest.(check (option int)) "pending freed" (Some 2) (Limiter.try_admit_job l);
+  let s = Limiter.stats l in
+  Alcotest.(check int) "watermark" 2 s.Limiter.max_pending_observed;
+  Alcotest.(check int) "shed jobs" 1 s.Limiter.shed_jobs;
+  Alcotest.(check int) "shed connections" 1 s.Limiter.shed_connections
+
+(* ---- end-to-end over loopback ---- *)
+
+let with_server ?domains ?max_connections ?max_pending ?max_line f =
+  let server =
+    Server.create ?domains ?max_connections ?max_pending ?max_line
+      ~times:false ()
+  in
+  let finally () =
+    Server.request_drain server;
+    ignore (Server.wait server)
+  in
+  Fun.protect ~finally (fun () -> f server)
+
+let send_and_collect client lines n =
+  List.iter (Client.send_line client) lines;
+  List.init n (fun _ ->
+      match Client.recv_line client with
+      | Some l -> l
+      | None -> Alcotest.fail "connection closed before all responses")
+
+let test_byte_stable_vs_batch () =
+  let lines =
+    List.concat_map
+      (fun prog ->
+        List.map
+          (fun e -> Printf.sprintf "prog=%s engine=%s" prog e)
+          [ "i1"; "i2"; "i3"; "i4" ])
+      [ "fib"; "hanoi"; "bsearch" ]
+  in
+  let specs =
+    List.map
+      (fun l ->
+        match Fpc_svc.Job.parse_request l with
+        | Ok s -> s
+        | Error m -> Alcotest.fail m)
+      lines
+  in
+  let batch_results, _ = Fpc_svc.Pool.run_jobs ~domains:2 specs in
+  let expected =
+    List.map
+      (fun r ->
+        Fpc_util.Jsonout.to_string
+          (Fpc_svc.Job.result_to_json ~times:false r))
+      batch_results
+  in
+  with_server ~domains:2 (fun server ->
+      let client =
+        Client.connect ~host:"127.0.0.1" ~port:(Server.port server) ()
+      in
+      let got = send_and_collect client lines (List.length lines) in
+      Client.close client;
+      List.iteri
+        (fun i (want, have) ->
+          Alcotest.(check string)
+            (Printf.sprintf "line %d byte-identical to batch" i)
+            want have)
+        (List.combine expected got))
+
+let test_concurrent_clients () =
+  (* 4 clients, each pipelining its own distinguishable jobs; every
+     client must get exactly its own answers, in its own send order *)
+  let n_clients = 4 and per_client = 6 in
+  with_server ~domains:2 (fun server ->
+      let port = Server.port server in
+      let answers = Array.make n_clients [] in
+      let threads =
+        Array.init n_clients (fun c ->
+            Thread.create
+              (fun () ->
+                let client = Client.connect ~host:"127.0.0.1" ~port () in
+                let lines =
+                  (* fuel encodes (client, seq) so replies are attributable *)
+                  List.init per_client (fun i ->
+                      Printf.sprintf "prog=fib fuel=%d"
+                        (1_000_000 + (c * 1000) + i))
+                in
+                answers.(c) <- send_and_collect client lines per_client;
+                Client.close client)
+              ())
+      in
+      Array.iter Thread.join threads;
+      let all_ids = ref [] in
+      Array.iteri
+        (fun c got ->
+          List.iteri
+            (fun i resp ->
+              let contains needle =
+                let n = String.length needle and h = String.length resp in
+                let rec at k =
+                  k + n <= h && (String.sub resp k n = needle || at (k + 1))
+                in
+                at 0
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "client %d reply %d is its own job" c i)
+                true
+                (contains
+                   (Printf.sprintf "\"fuel\":%d" (1_000_000 + (c * 1000) + i)));
+              Alcotest.(check bool)
+                (Printf.sprintf "client %d reply %d succeeded" c i)
+                true
+                (contains "\"status\":\"ok\"");
+              (* collect the global job id *)
+              Scanf.sscanf resp "{\"id\":%d," (fun id ->
+                  all_ids := id :: !all_ids))
+            got)
+        answers;
+      let sorted = List.sort compare !all_ids in
+      Alcotest.(check (list int)) "every job id answered exactly once"
+        (List.init (n_clients * per_client) Fun.id)
+        sorted)
+
+(* ~1.5M simulated steps of nested looping: slow enough (tens of ms)
+   that pipelined requests pile up behind it, small enough to finish. *)
+let slow_src =
+  {|
+MODULE Main;
+PROC main() =
+  VAR i: INT := 0;
+  VAR j: INT := 0;
+  VAR n: INT := 0;
+  i := 0;
+  WHILE i < 600 DO
+    j := 0;
+    WHILE j < 600 DO
+      j := j + 1;
+      n := n + 1;
+    END;
+    i := i + 1;
+  END;
+  OUTPUT 1;
+END;
+END;
+|}
+
+let slow_line =
+  Fpc_svc.Job.request_of_spec
+    (Fpc_svc.Job.spec ~fuel:200_000_000 (Fpc_svc.Job.Inline slow_src))
+
+let test_shed_under_tiny_limiter () =
+  let n = 8 in
+  let server = Server.create ~domains:1 ~max_pending:1 ~times:false () in
+  let client = Client.connect ~host:"127.0.0.1" ~port:(Server.port server) () in
+  let got = send_and_collect client (List.init n (fun _ -> slow_line)) n in
+  Client.close client;
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec at k = k + n <= h && (String.sub hay k n = needle || at (k + 1)) in
+    at 0
+  in
+  let ok = List.length (List.filter (fun r -> contains r "\"status\":\"ok\"") got)
+  and shed =
+    List.length (List.filter (fun r -> contains r "\"status\":\"shed\"") got)
+  in
+  Alcotest.(check int) "every request answered" n (ok + shed);
+  Alcotest.(check bool) "at least one executed" true (ok >= 1);
+  Alcotest.(check bool) "at least one shed" true (shed >= 1);
+  (* the server is still healthy after shedding *)
+  let c2 = Client.connect ~host:"127.0.0.1" ~port:(Server.port server) () in
+  (match send_and_collect c2 [ "prog=fib" ] 1 with
+  | [ r ] ->
+    Alcotest.(check bool) "post-shed job runs" true
+      (contains r "\"status\":\"ok\"")
+  | _ -> Alcotest.fail "no response");
+  Client.close c2;
+  Server.request_drain server;
+  let snap = Server.wait server in
+  Alcotest.(check int) "final metrics count the sheds" shed
+    snap.Fpc_svc.Metrics.shed
+
+let test_deadline_over_tcp () =
+  let hung_line =
+    Fpc_svc.Job.request_of_spec
+      (Fpc_svc.Job.spec ~fuel:2_000_000_000 ~deadline_ms:100
+         (Fpc_svc.Job.Inline
+            "MODULE Main;\nPROC main() =\n  VAR i: INT := 0;\n  WHILE 0 < 1 \
+             DO\n    i := i + 1;\n  END;\nEND;\nEND;\n"))
+  in
+  with_server ~domains:1 (fun server ->
+      let client =
+        Client.connect ~host:"127.0.0.1" ~port:(Server.port server) ()
+      in
+      match send_and_collect client [ hung_line; "prog=fib" ] 2 with
+      | [ first; second ] ->
+        let contains hay needle =
+          let n = String.length needle and h = String.length hay in
+          let rec at k =
+            k + n <= h && (String.sub hay k n = needle || at (k + 1))
+          in
+          at 0
+        in
+        Alcotest.(check bool) "runaway came back deadline-exceeded" true
+          (contains first "\"error\":\"deadline-exceeded\"");
+        Alcotest.(check bool) "worker survived to run the next job" true
+          (contains second "\"status\":\"ok\"");
+        Client.close client
+      | _ -> Alcotest.fail "expected two responses")
+
+let test_graceful_drain () =
+  let server = Server.create ~domains:1 ~times:false () in
+  let port = Server.port server in
+  let client = Client.connect ~host:"127.0.0.1" ~port () in
+  (* two in-flight jobs, then the drain command on the same wire *)
+  Client.send_line client slow_line;
+  Client.send_line client "prog=fib";
+  Client.send_line client "shutdown";
+  let responses =
+    List.init 3 (fun _ ->
+        match Client.recv_line client with
+        | Some l -> l
+        | None -> Alcotest.fail "closed before in-flight jobs were flushed")
+  in
+  Alcotest.(check bool) "drain acknowledged" true
+    (List.mem {|{"status":"draining"}|} responses);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec at k = k + n <= h && (String.sub hay k n = needle || at (k + 1)) in
+    at 0
+  in
+  Alcotest.(check int) "both in-flight jobs flushed before close" 2
+    (List.length (List.filter (fun r -> contains r "\"status\":\"ok\"") responses));
+  (match Client.recv_line client with
+  | None -> ()
+  | Some l -> Alcotest.failf "expected EOF after drain, got %s" l);
+  Client.close client;
+  let snap = Server.wait server in
+  Alcotest.(check int) "no job lost in the drain" 2 snap.Fpc_svc.Metrics.jobs;
+  Alcotest.(check int) "all answered ok" 2 snap.Fpc_svc.Metrics.succeeded;
+  (* the port is really closed: a fresh connection must fail *)
+  match Client.connect ~host:"127.0.0.1" ~port () with
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET), _, _) -> ()
+  | client ->
+    (* a TIME_WAIT race can still accept; the server must at least not
+       answer — EOF or nothing *)
+    Client.close client
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "line assembly (1-byte reads)" `Quick
+            test_framing_lines;
+          Alcotest.test_case "overlong discard and resync" `Quick
+            test_framing_overlong_resync;
+          Alcotest.test_case "200-line reassembly" `Quick
+            test_framing_large_random;
+        ] );
+      ("limiter", [ Alcotest.test_case "caps and counters" `Quick test_limiter ]);
+      ( "server",
+        [
+          Alcotest.test_case "byte-stable with fpc batch" `Quick
+            test_byte_stable_vs_batch;
+          Alcotest.test_case "concurrent clients, ids exactly once" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "shed under a tiny limiter" `Quick
+            test_shed_under_tiny_limiter;
+          Alcotest.test_case "deadline over TCP" `Quick test_deadline_over_tcp;
+          Alcotest.test_case "graceful drain flushes in-flight" `Quick
+            test_graceful_drain;
+        ] );
+    ]

@@ -265,6 +265,121 @@ let test_request_line_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "non-numeric fuel must be rejected"
 
+(* Random specs (all engines, suite and inline sources with every escape
+   class, optional fuel/trace/deadline) must render to a request line
+   that parses back to exactly the same spec. *)
+let request_roundtrip_prop =
+  let spec_gen =
+    let open QCheck.Gen in
+    let source =
+      oneof
+        [
+          map (fun n -> Job.Suite n) (oneofl Fpc_workload.Programs.names);
+          map
+            (fun s -> Job.Inline s)
+            (string_size ~gen:
+               (oneofl
+                  [ 'a'; 'Z'; '0'; ' '; '\n'; '\t'; '\\'; '='; '#'; '"' ])
+               (int_range 0 40));
+        ]
+    in
+    let* source = source in
+    let* engine = oneofl [ "i1"; "i2"; "i3"; "i4" ] in
+    let* fuel = int_range 1 10_000_000 in
+    let* trace = bool in
+    let* deadline_ms = opt (int_range 1 100_000) in
+    return (Job.spec ~engine ~fuel ~trace ?deadline_ms source)
+  in
+  let print_spec spec = Job.request_of_spec spec in
+  QCheck.Test.make ~count:500 ~name:"request line round-trips any spec"
+    (QCheck.make ~print:print_spec spec_gen)
+    (fun spec ->
+      match Job.parse_request (Job.request_of_spec spec) with
+      | Ok parsed -> parsed = spec
+      | Error m -> QCheck.Test.fail_report m)
+
+(* A junk tail — any non-empty token that is not a known key=value —
+   must turn the whole line into a clean parse error, never an
+   exception and never a silently-accepted spec. *)
+let request_junk_tail_prop =
+  let gen =
+    let open QCheck.Gen in
+    let* prog = oneofl Fpc_workload.Programs.names in
+    let* junk =
+      string_size ~gen:(oneofl [ 'z'; 'q'; '9'; '='; '-'; '_' ]) (int_range 0 12)
+    in
+    return (Printf.sprintf "prog=%s zz%s" prog junk)
+  in
+  QCheck.Test.make ~count:200 ~name:"junk tails are rejected, not crashed on"
+    (QCheck.make ~print:(fun l -> l) gen)
+    (fun line ->
+      match Job.parse_request line with
+      | Error _ -> true
+      | Ok _ -> QCheck.Test.fail_report ("accepted: " ^ line))
+
+(* Push-mode pool: with [deliver], results bypass the shards (await
+   returns nothing) and every submitted job is handed over exactly
+   once, concurrently, before drain returns. *)
+let test_deliver_mode () =
+  let delivered = ref [] in
+  let dm = Mutex.create () in
+  let deliver (r : Job.result) =
+    Mutex.lock dm;
+    delivered := r :: !delivered;
+    Mutex.unlock dm
+  in
+  let pool = Pool.create ~domains:2 ~deliver () in
+  let n = 20 in
+  for _ = 1 to n do
+    ignore (Pool.submit pool (Job.spec (Job.Suite "fib")))
+  done;
+  Pool.drain pool;
+  let ids =
+    List.sort compare (List.map (fun (r : Job.result) -> r.Job.id) !delivered)
+  in
+  Alcotest.(check (list int)) "every id delivered exactly once"
+    (List.init n Fun.id) ids;
+  Alcotest.(check (list int)) "await returns nothing in push mode" []
+    (List.map (fun (r : Job.result) -> r.Job.id) (Pool.await pool));
+  let metrics = Pool.metrics pool in
+  Pool.shutdown pool;
+  Alcotest.(check int) "metrics still count delivered jobs" n
+    metrics.Metrics.jobs
+
+(* A wall-clock deadline fails the job (not the worker): the runaway
+   loop comes back Deadline_exceeded promptly despite a huge fuel
+   budget, and the pool keeps executing other jobs. *)
+let test_deadline_exceeded () =
+  let pool = Pool.create ~domains:1 () in
+  let hung =
+    Pool.submit pool
+      (Job.spec ~fuel:2_000_000_000 ~deadline_ms:100 (Job.Inline infinite_loop_src))
+  in
+  let good = Pool.submit pool (Job.spec (Job.Suite "fib")) in
+  let t0 = Unix.gettimeofday () in
+  let results = Pool.await pool in
+  let waited = Unix.gettimeofday () -. t0 in
+  let metrics = Pool.metrics pool in
+  Pool.shutdown pool;
+  let find id = List.find (fun (r : Job.result) -> r.id = id) results in
+  (match (find hung).Job.outcome with
+  | Job.Failed (Job.Deadline_exceeded, _) -> ()
+  | _ -> Alcotest.fail "runaway job should fail with Deadline_exceeded");
+  (match (find good).Job.outcome with
+  | Job.Output _ -> ()
+  | Job.Failed (_, m) -> Alcotest.failf "good job failed: %s" m);
+  Alcotest.(check bool) "deadline fired promptly, not at fuel exhaustion" true
+    (waited < 30.0);
+  Alcotest.(check int) "metrics counted the deadline" 1
+    metrics.Metrics.deadline_exceeded;
+  (* a job that finishes in time keeps its deadline without penalty *)
+  let ok, _ =
+    Pool.run_jobs ~domains:1 [ Job.spec ~deadline_ms:60_000 (Job.Suite "fib") ]
+  in
+  match (List.hd ok).Job.outcome with
+  | Job.Output _ -> ()
+  | Job.Failed (_, m) -> Alcotest.failf "deadlined-but-fast job failed: %s" m
+
 let test_lru_eviction () =
   let cache = Image_cache.create ~capacity:2 () in
   let conv = Fpc_compiler.Convention.external_ in
@@ -357,6 +472,10 @@ let () =
             test_unknown_engine_and_program_degrade;
           Alcotest.test_case "soak: concurrent producers x widths" `Slow
             test_soak_concurrent_producers;
+          Alcotest.test_case "deliver mode pushes every result once" `Quick
+            test_deliver_mode;
+          Alcotest.test_case "deadline fails the job, not the worker" `Quick
+            test_deadline_exceeded;
         ] );
       ( "cache",
         [
@@ -370,6 +489,8 @@ let () =
         [
           Alcotest.test_case "request line round-trip" `Quick
             test_request_line_roundtrip;
+          QCheck_alcotest.to_alcotest request_roundtrip_prop;
+          QCheck_alcotest.to_alcotest request_junk_tail_prop;
           Alcotest.test_case "metrics JSON shape" `Quick test_metrics_json_shape;
           Alcotest.test_case "traced job carries a profile" `Quick
             test_traced_job;
