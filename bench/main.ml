@@ -151,18 +151,10 @@ let bench_return_stack =
   Bechamel.Test.make ~name:"return_stack/push+pop"
     (Bechamel.Staged.stage (fun () ->
          let rs = Fpc_ifu.Return_stack.create ~depth:16 in
-         let e =
-           {
-             Fpc_ifu.Return_stack.r_lf = 8192;
-             r_gf = 4096;
-             r_cb = Some 32768;
-             r_pc_abs = 65536;
-             r_bank = None;
-           }
-         in
          for _ = 1 to 1000 do
-           Fpc_ifu.Return_stack.push rs e;
-           ignore (Fpc_ifu.Return_stack.pop rs)
+           Fpc_ifu.Return_stack.push rs ~lf:8192 ~gf:4096 ~cb:32768 ~pc_abs:65536
+             ~bank:Fpc_ifu.Return_stack.no_bank;
+           ignore (Fpc_ifu.Return_stack.try_pop rs)
          done))
 
 let bench_banks =
@@ -267,6 +259,105 @@ let run_svc ?(smoke = false) () =
     (Printf.sprintf
        "measured window is submit->await only; host reports %d recommended domain(s)"
        (Fpc_svc.Pool.recommended_domains ()));
+  print tb;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+(* Per-job allocation: the arena win (reset-per-job vs clone-per-job),
+   from each job's own Gc.minor_words delta.  Steady state is the
+   per-job minimum over the batch: the first job against each arena slot
+   pays the one-time clone, every repeat is the reset path.  The budget
+   assertion makes an allocation regression fail the bench (CI runs
+   `bench svc --smoke`) instead of silently eroding the win. *)
+let alloc_budget_words = 256.0
+
+let run_svc_alloc ?(smoke = false) () =
+  let programs =
+    if smoke then [ "fib"; "hanoi" ] else Fpc_workload.Programs.names
+  in
+  let reps = 4 in
+  let specs =
+    List.concat_map
+      (fun name ->
+        List.concat_map
+          (fun engine ->
+            List.init reps (fun _ ->
+                Fpc_svc.Job.spec ~engine (Fpc_svc.Job.Suite name)))
+          [ "i1"; "i2"; "i3"; "i4" ])
+      programs
+  in
+  let check_all_ok results =
+    List.iter
+      (fun (r : Fpc_svc.Job.result) ->
+        match r.Fpc_svc.Job.outcome with
+        | Fpc_svc.Job.Output _ -> ()
+        | Fpc_svc.Job.Failed (_, m) ->
+          failwith (Printf.sprintf "svc alloc bench job %d failed: %s" r.Fpc_svc.Job.id m))
+      results
+  in
+  (* Compile every image off the books so no job's delta includes the
+     compiler. *)
+  let cache = Fpc_svc.Image_cache.create () in
+  let warm, _ =
+    Fpc_svc.Pool.run_jobs ~domains:1 ~cache
+      (List.filteri (fun i _ -> i mod reps = 0) specs)
+  in
+  check_all_ok warm;
+  let measure ~domains ~arena_reuse =
+    let results, snap = Fpc_svc.Pool.run_jobs ~domains ~cache ~arena_reuse specs in
+    check_all_ok results;
+    let steady =
+      List.fold_left
+        (fun acc (r : Fpc_svc.Job.result) ->
+          min acc r.Fpc_svc.Job.stats.Fpc_svc.Job.minor_words)
+        max_int results
+    in
+    (snap.Fpc_svc.Metrics.minor_words_per_job, float_of_int steady)
+  in
+  let open Fpc_util.Tablefmt in
+  let tb =
+    create ~title:"svc per-job minor allocation (arena vs clone)"
+      ~columns:
+        [ ("domains", Right); ("mode", Left); ("minor w/job (avg)", Right);
+          ("steady-state (min)", Right); ("reduction", Right) ]
+  in
+  List.iter
+    (fun domains ->
+      let clone_avg, clone_steady = measure ~domains ~arena_reuse:false in
+      let arena_avg, arena_steady = measure ~domains ~arena_reuse:true in
+      let reduction =
+        if arena_steady > 0.0 then clone_steady /. arena_steady else 0.0
+      in
+      if not smoke then begin
+        let sec = Printf.sprintf "svc/alloc/%dd" domains in
+        record sec "minor_words_per_job_clone" clone_avg;
+        record sec "minor_words_per_job_arena" arena_avg;
+        record sec "steady_minor_words_per_job_clone" clone_steady;
+        record sec "steady_minor_words_per_job_arena" arena_steady;
+        record sec "steady_reduction_x" reduction
+      end;
+      add_row tb
+        [ cell_int domains; "clone"; cell_float ~decimals:1 clone_avg;
+          cell_float ~decimals:0 clone_steady; "" ];
+      add_row tb
+        [ cell_int domains; "arena"; cell_float ~decimals:1 arena_avg;
+          cell_float ~decimals:0 arena_steady;
+          cell_ratio ~decimals:1 reduction ];
+      if arena_steady > alloc_budget_words then
+        failwith
+          (Printf.sprintf
+             "svc alloc budget exceeded at %d domain(s): steady-state %.0f \
+              minor words/job > budget %.0f"
+             domains arena_steady alloc_budget_words))
+    [ 1; 2 ];
+  if not smoke then
+    record "svc/alloc" "budget_minor_words_per_job" alloc_budget_words;
+  add_note tb
+    (Printf.sprintf
+       "per-job Gc.minor_words deltas, warmed cache; budget (steady-state \
+        arena) = %.0f words/job"
+       alloc_budget_words);
   print tb;
   print_newline ()
 
@@ -523,7 +614,10 @@ let () =
   in
   if everything || filter <> [] then run_experiments filter;
   if micro || everything then run_micro ();
-  if svc || everything then run_svc ~smoke ();
+  if svc || everything then begin
+    run_svc ~smoke ();
+    run_svc_alloc ~smoke ()
+  end;
   if trace || everything then run_trace ~smoke ();
   if net || everything then run_net ~smoke ?port ~host ~shutdown ();
   if json then write_json "BENCH_results.json"

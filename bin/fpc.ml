@@ -263,13 +263,13 @@ let image_cmd =
         Printf.printf "  %6d..%6d  reserved (trap handler word at %d)\n" 0 15
           l.trap_handler_addr;
         Printf.printf "  %6d..%6d  global frame table (%d entries used)\n"
-          l.gft_base (l.av_base - 1) (image.gfi_cursor - 1);
+          l.gft_base (l.av_base - 1) (image.Image.dir.Image.gfi_cursor - 1);
         Printf.printf "  %6d..%6d  allocation vector\n" l.av_base (l.static_base - 1);
         Printf.printf "  %6d..%6d  static (global frames, link vectors); used to %d\n"
           l.static_base (l.heap_base - 1) image.static_cursor;
         Printf.printf "  %6d..%6d  frame heap\n" l.heap_base (l.heap_limit - 1);
         Printf.printf "  %6d..%6d  code; used to %d\n" l.code_region_base
-          (l.memory_words - 1) image.code_cursor;
+          (l.memory_words - 1) image.Image.dir.Image.code_cursor;
         Printf.printf "\ninstances:\n";
         List.iter
           (fun (ii : Image.instance_info) ->
@@ -288,7 +288,7 @@ let image_cmd =
                 Printf.printf "      LV[%d] = %s.%s  (0x%04X %s)\n" i tm tp word
                   (Descriptor.to_string (Descriptor.unpack word)))
               ii.ii_imports)
-          image.instances;
+          image.Image.dir.Image.instances;
         Printf.printf "\nprocedures:\n";
         Hashtbl.iter
           (fun (inst, proc) (pi : Image.proc_info) ->
@@ -299,7 +299,7 @@ let image_cmd =
               (match pi.pi_direct_offset with
               | Some off -> Printf.sprintf "  direct-header@%d" off
               | None -> ""))
-          image.procs;
+          image.Image.dir.Image.procs;
         print_newline ();
         print_string (Space.render ~title:"space report" (Space.measure image)))
   in

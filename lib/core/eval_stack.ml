@@ -27,6 +27,8 @@ let peek t =
 let clear t = t.depth <- 0
 let contents t = Array.sub t.data 0 t.depth
 
+let buffer t = t.data
+
 let replace t values =
   if Array.length values > Array.length t.data then raise Overflow;
   Array.blit values 0 t.data 0 (Array.length values);

@@ -24,7 +24,13 @@ val peek : t -> int
 val clear : t -> unit
 
 val contents : t -> int array
-(** Bottom first. *)
+(** Bottom first; a fresh copy. *)
+
+val buffer : t -> int array
+(** The backing array itself (bottom first; only the first {!depth} words
+    are meaningful).  Read-only view for the transfer engine, which passes
+    it as the argument record without copying — treat it as invalid after
+    any push/pop/clear. *)
 
 val replace : t -> int array -> unit
 (** Set the whole stack (process resume). *)

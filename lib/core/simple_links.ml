@@ -6,6 +6,9 @@ type t = {
   sev : (string, int) Hashtbl.t;
   by_gf : (int, string) Hashtbl.t;
   mutable words : int;
+  mutable replay : int array;
+      (** flattened (addr, word) pairs install wrote, for {!reinstall} *)
+  mutable cursor_after : int;  (** the image's static cursor post-install *)
 }
 
 let pack_entry image ~target_instance ~target_proc =
@@ -13,14 +16,18 @@ let pack_entry image ~target_instance ~target_proc =
   let ii = Image.find_instance image target_instance in
   (abs land 0xFFFF, ii.ii_gf_addr lor ((abs lsr 16) land 1))
 
-let unpack_entry (w0, w1) =
-  let gf = w1 land 0xFFFC in
-  let abs = ((w1 land 1) lsl 16) lor w0 in
-  (abs, gf)
+(* Resolutions return both halves packed into one immediate int —
+   [(abs lsl 16) lor gf] — so the per-call path allocates nothing (abs is
+   17 bits, gf 16; both fit with room to spare). *)
+let pair_abs p = p lsr 16
+let pair_gf p = p land 0xFFFF
 
-let install image =
-  let t =
-    { slv = Hashtbl.create 8; sev = Hashtbl.create 8; by_gf = Hashtbl.create 8; words = 0 }
+let install_into t image =
+  t.words <- 0;
+  let written = ref [] in
+  let poke addr w =
+    Memory.poke image.Image.mem addr w;
+    written := w :: addr :: !written
   in
   List.iter
     (fun (ii : Image.instance_info) ->
@@ -33,25 +40,63 @@ let install image =
       Array.iteri
         (fun i (tm, tp) ->
           let w0, w1 = pack_entry image ~target_instance:tm ~target_proc:tp in
-          Memory.poke image.mem (slv_base + (2 * i)) w0;
-          Memory.poke image.mem (slv_base + (2 * i) + 1) w1)
+          poke (slv_base + (2 * i)) w0;
+          poke (slv_base + (2 * i) + 1) w1)
         ii.ii_imports;
       List.iteri
         (fun i (p : Compiled.proc) ->
           let w0, w1 = pack_entry image ~target_instance:ii.ii_name ~target_proc:p.p_name in
-          Memory.poke image.mem (sev_base + (2 * i)) w0;
-          Memory.poke image.mem (sev_base + (2 * i) + 1) w1)
+          poke (sev_base + (2 * i)) w0;
+          poke (sev_base + (2 * i) + 1) w1)
         m.Compiled.m_procs;
       Hashtbl.replace t.slv ii.ii_name slv_base;
       Hashtbl.replace t.sev ii.ii_name sev_base;
       Hashtbl.replace t.by_gf ii.ii_gf_addr ii.ii_name)
-    image.instances;
+    image.dir.instances;
+  (* [written] is newest-first (word, addr, word, addr, ...): materialise
+     the replay tape oldest-first as addr-then-word pairs. *)
+  let tape = Array.of_list !written in
+  let n = Array.length tape in
+  let replay = Array.make n 0 in
+  for i = 0 to n - 1 do
+    replay.(i) <- tape.(n - 1 - i)
+  done;
+  t.replay <- replay;
+  t.cursor_after <- image.static_cursor;
   t
+
+let install image =
+  install_into
+    {
+      slv = Hashtbl.create 8;
+      sev = Hashtbl.create 8;
+      by_gf = Hashtbl.create 8;
+      words = 0;
+      replay = [||];
+      cursor_after = 0;
+    }
+    image
+
+(* The arena's per-job path: link-table contents and placement are a pure
+   function of the pristine image, so after [Image.clone_into] rewound the
+   store and static cursor, reinstalling is replaying the recorded words —
+   no hashing, no closures, no allocation. *)
+let reinstall t image =
+  let tape = t.replay in
+  let n = Array.length tape in
+  let i = ref 0 in
+  while !i < n do
+    Memory.poke image.Image.mem tape.(!i) tape.(!i + 1);
+    i := !i + 2
+  done;
+  image.Image.static_cursor <- t.cursor_after
 
 let read_pair image base index =
   let w0 = Memory.read image.Image.mem (base + (2 * index)) in
   let w1 = Memory.read image.Image.mem (base + (2 * index) + 1) in
-  unpack_entry (w0, w1)
+  let gf = w1 land 0xFFFC in
+  let abs = ((w1 land 1) lsl 16) lor w0 in
+  (abs lsl 16) lor gf
 
 let resolve_import t image ~instance ~lv_index =
   read_pair image (Hashtbl.find t.slv instance) lv_index
@@ -75,7 +120,7 @@ let resolve_descriptor t image ~gfi ~ev =
     List.find
       (fun (ii : Image.instance_info) ->
         gfi >= ii.ii_gfi && gfi < ii.ii_gfi + ii.ii_gfi_count)
-      image.Image.instances
+      image.Image.dir.instances
   in
   let bias = gfi - ii.ii_gfi in
   resolve_own t image ~instance:ii.ii_name ~ev_index:((bias * 32) + ev)

@@ -26,23 +26,31 @@ val install : Fpc_mesa.Image.t -> t
 (** Builds the tables in the image's static region.  Call once per image
     before running under the [Simple] engine. *)
 
-val resolve_import :
-  t -> Fpc_mesa.Image.t -> instance:string -> lv_index:int -> int * int
-(** [(entry_abs_byte, gf_addr)], charging two metered reads. *)
+val reinstall : t -> Fpc_mesa.Image.t -> unit
+(** Rebuild the tables into a reset image's static region, reusing [t]'s
+    hashtables (arena reuse: a reset erased the static region and rewound
+    the cursor, so the same bases are re-carved and re-poked). *)
 
-val resolve_own :
-  t -> Fpc_mesa.Image.t -> instance:string -> ev_index:int -> int * int
+(** Resolutions return both halves packed into one immediate int —
+    [(entry_abs_byte lsl 16) lor gf_addr] — so the per-call path allocates
+    nothing.  Split them with {!pair_abs} / {!pair_gf}. *)
+
+val pair_abs : int -> int
+val pair_gf : int -> int
+
+val resolve_import : t -> Fpc_mesa.Image.t -> instance:string -> lv_index:int -> int
+(** Packed [(entry_abs_byte, gf_addr)], charging two metered reads. *)
+
+val resolve_own : t -> Fpc_mesa.Image.t -> instance:string -> ev_index:int -> int
 (** Same, for the instance's own procedure [ev_index]. *)
 
-val resolve_import_by_gf :
-  t -> Fpc_mesa.Image.t -> gf:int -> lv_index:int -> int * int
+val resolve_import_by_gf : t -> Fpc_mesa.Image.t -> gf:int -> lv_index:int -> int
 (** As {!resolve_import}, identifying the instance by its global-frame
     address (the machine's GF register). *)
 
-val resolve_own_by_gf : t -> Fpc_mesa.Image.t -> gf:int -> ev_index:int -> int * int
+val resolve_own_by_gf : t -> Fpc_mesa.Image.t -> gf:int -> ev_index:int -> int
 
-val resolve_descriptor :
-  t -> Fpc_mesa.Image.t -> gfi:int -> ev:int -> int * int
+val resolve_descriptor : t -> Fpc_mesa.Image.t -> gfi:int -> ev:int -> int
 (** Resolve a packed descriptor context under I1 semantics (an XFER with a
     first-class procedure value): the descriptor record is read at
     full width — two metered reads. *)

@@ -78,7 +78,30 @@ let fresh_metrics () =
     run_dir = 0;
   }
 
+let zero_metrics m =
+  m.instructions <- 0;
+  m.calls <- 0;
+  m.returns <- 0;
+  m.other_xfers <- 0;
+  m.jumps_taken <- 0;
+  m.fast_transfers <- 0;
+  m.slow_transfers <- 0;
+  m.local_refs <- 0;
+  m.global_refs <- 0;
+  m.indirect_refs <- 0;
+  m.arg_words_stored <- 0;
+  m.arg_words_renamed <- 0;
+  m.ff_hits <- 0;
+  m.ff_misses <- 0;
+  m.frame_allocs <- 0;
+  m.frame_frees <- 0;
+  m.call_depth <- 0;
+  m.run_length <- 0;
+  m.run_dir <- 0
+
 type process = { p_id : int; p_lf : int; p_stack : int array }
+
+let no_cb = -1
 
 type t = {
   image : Image.t;
@@ -90,13 +113,22 @@ type t = {
   simple : Simple_links.t option;
   rstack : Fpc_ifu.Return_stack.t option;
   banks : Fpc_regbank.Bank_file.t option;
-  free_frames : int Stack.t;
+  free_frames : int array;
+  mutable ff_top : int;
   ff_fsi : int;
   mutable lf : int;
   mutable gf : int;
-  mutable cb : int option;
+  mutable cb : int;
   mutable pc_abs : int;
   mutable return_ctx : int;
+  (* Scratch destination registers written by the transfer engine's
+     resolver and consumed by procedure entry — a [resolved] record per
+     call would be a per-call allocation.  [xr_cb] = {!no_cb} means the
+     DIRECTCALL fast path never materialised the code base. *)
+  mutable xr_gf : int;
+  mutable xr_cb : int;
+  mutable xr_pc : int;
+  mutable xr_fsi : int;
   stack : Eval_stack.t;
   mutable status : status;
   mutable output_rev : int list;
@@ -107,7 +139,7 @@ type t = {
   data_trace : (int * bool) Queue.t option;
   depth_hist : Fpc_util.Histogram.t;
   run_hist : Fpc_util.Histogram.t;  (** lengths of same-direction transfer runs *)
-  tracer : Fpc_trace.Sink.t option;
+  mutable tracer : Fpc_trace.Sink.t option;
 }
 
 (* Sub-events arrive from the frame allocator, IFU return stack and bank
@@ -122,6 +154,14 @@ let emit_sub t kind =
     Fpc_trace.Sink.emit_fields sink ~kind ~pc:t.pc_abs ~target:(-1)
       ~depth:t.metrics.call_depth ~fast:false ~cycles:(Cost.cycles t.cost)
       ~mem_refs:(Cost.mem_refs t.cost) ~d_cycles:0 ~d_mem_refs:0
+
+let wire_hooks t =
+  let hook =
+    match t.tracer with None -> None | Some _ -> Some (fun kind -> emit_sub t kind)
+  in
+  Fpc_frames.Alloc_vector.set_on_event t.allocator hook;
+  Option.iter (fun rs -> Fpc_ifu.Return_stack.set_on_event rs hook) t.rstack;
+  Option.iter (fun b -> Fpc_regbank.Bank_file.set_on_event b hook) t.banks
 
 let create ?tracer ~image ~engine () =
   let cost = image.Image.cost in
@@ -169,13 +209,18 @@ let create ?tracer ~image ~engine () =
     simple;
     rstack;
     banks;
-    free_frames = Stack.create ();
+    free_frames = Array.make (max 0 engine.Engine.free_frame_stack_depth) 0;
+    ff_top = 0;
     ff_fsi;
     lf = 0;
     gf = 0;
-    cb = None;
+    cb = no_cb;
     pc_abs = 0;
     return_ctx = 0;
+    xr_gf = 0;
+    xr_cb = no_cb;
+    xr_pc = 0;
+    xr_fsi = 0;
     stack = Eval_stack.create ();
     status = Running;
     output_rev = [];
@@ -189,30 +234,61 @@ let create ?tracer ~image ~engine () =
     tracer;
   }
   in
-  (match tracer with
-  | None -> ()
-  | Some _ ->
-    let hook = Some (fun kind -> emit_sub t kind) in
-    Fpc_frames.Alloc_vector.set_on_event allocator hook;
-    Option.iter (fun rs -> Fpc_ifu.Return_stack.set_on_event rs hook) rstack;
-    Option.iter (fun b -> Fpc_regbank.Bank_file.set_on_event b hook) banks);
+  (match tracer with None -> () | Some _ -> wire_hooks t);
   t
+
+(* Reset must reproduce [create]'s observable initial state exactly over a
+   recycled machine: the arena path calls [Image.clone_into] (store back to
+   pristine, cost/allocator reset) and then this, so a reused machine is
+   indistinguishable — status, meters, histograms, fastpath counters and
+   event hooks included — from a freshly created one. *)
+let reset ?tracer t =
+  Cost.reset t.cost;
+  Fpc_frames.Alloc_vector.reset t.allocator;
+  (* The reset store lost the I1 link tables (the static region reverted
+     to pristine and the cursor rewound); rebuild them exactly where
+     [create]'s install put them. *)
+  (match t.simple with Some sl -> Simple_links.reinstall sl t.image | None -> ());
+  Option.iter Fpc_ifu.Return_stack.reset t.rstack;
+  Option.iter Fpc_regbank.Bank_file.reset t.banks;
+  t.ff_top <- 0;
+  t.lf <- 0;
+  t.gf <- 0;
+  t.cb <- no_cb;
+  t.pc_abs <- 0;
+  t.return_ctx <- 0;
+  t.xr_gf <- 0;
+  t.xr_cb <- no_cb;
+  t.xr_pc <- 0;
+  t.xr_fsi <- 0;
+  Eval_stack.clear t.stack;
+  t.status <- Running;
+  t.output_rev <- [];
+  zero_metrics t.metrics;
+  Queue.clear t.ready;
+  Option.iter Queue.clear t.data_trace;
+  t.next_pid <- 1;
+  t.current_pid <- 0;
+  Fpc_util.Histogram.reset t.depth_hist;
+  Fpc_util.Histogram.reset t.run_hist;
+  t.tracer <- tracer;
+  wire_hooks t
 
 let output t = List.rev t.output_rev
 let emit t v = t.output_rev <- Fpc_util.Bits.to_word v :: t.output_rev
 
 let ensure_cb t =
-  match t.cb with
-  | Some cb -> cb
-  | None ->
+  if t.cb >= 0 then t.cb
+  else begin
     let cb = Memory.read t.mem t.gf in
-    t.cb <- Some cb;
+    t.cb <- cb;
     cb
+  end
 
 let pc_rel t = t.pc_abs - (2 * ensure_cb t)
 
 let set_pc_rel t ~cb rel =
-  t.cb <- Some cb;
+  t.cb <- cb;
   t.pc_abs <- (2 * cb) + rel
 
 let trace t addr ~write =

@@ -3,7 +3,7 @@
 
     Registers (§4): LF (current local frame), GF (current global frame),
     the PC — kept here as an {e absolute} byte address, with the code base
-    CB tracked separately and possibly invalid ([None]) after a DIRECTCALL
+    CB tracked separately and possibly invalid ([-1]) after a DIRECTCALL
     whose fast path never needed it — the returnContext, and the evaluation
     stack.
 
@@ -65,13 +65,24 @@ type t = {
   simple : Simple_links.t option;  (** present iff engine kind is Simple *)
   rstack : Fpc_ifu.Return_stack.t option;
   banks : Fpc_regbank.Bank_file.t option;
-  free_frames : int Stack.t;
+  free_frames : int array;
+      (** the §6 free-frame stack, as a preallocated buffer; live entries
+          are [0 .. ff_top-1] *)
+  mutable ff_top : int;
   ff_fsi : int;  (** class the free-frame stack serves; -1 when disabled *)
   mutable lf : int;
   mutable gf : int;
-  mutable cb : int option;
+  mutable cb : int;  (** current code base; {!no_cb} when invalid *)
   mutable pc_abs : int;
   mutable return_ctx : int;  (** packed context word; 0 is NIL *)
+  mutable xr_gf : int;
+  mutable xr_cb : int;
+  mutable xr_pc : int;
+  mutable xr_fsi : int;
+      (** scratch destination registers: the transfer engine's resolver
+          writes the callee's GF/CB/entry-PC/frame-class here and procedure
+          entry consumes them — a record per call would be a per-call
+          allocation.  [xr_cb = no_cb] marks a lazily-deferred code base. *)
   stack : Eval_stack.t;
   mutable status : status;
   mutable output_rev : int list;
@@ -85,10 +96,13 @@ type t = {
   run_hist : Fpc_util.Histogram.t;
       (** lengths of uninterrupted call-runs / return-runs — the paper's
           "long runs ... are quite rare" made measurable *)
-  tracer : Fpc_trace.Sink.t option;
+  mutable tracer : Fpc_trace.Sink.t option;
       (** event sink; [None] (the default) keeps every instrumentation
           site down to one branch *)
 }
+
+val no_cb : int
+(** Sentinel (-1) marking the CB register (and [xr_cb]) invalid. *)
 
 val create :
   ?tracer:Fpc_trace.Sink.t -> image:Fpc_mesa.Image.t -> engine:Engine.t -> unit -> t
@@ -97,6 +111,15 @@ val create :
     I1 and the return stack / bank file / free-frame stack the engine asks
     for.  With [tracer], the allocator / return stack / bank file hooks are
     wired to emit their sub-events through it. *)
+
+val reset : ?tracer:Fpc_trace.Sink.t -> t -> unit
+(** Recycle the machine for a fresh run over the same (reset) image: the
+    arena path.  Must be called {e after} [Image.clone_into] has restored
+    the store — it reinstalls the I1 link tables, resets the allocator,
+    return stack, bank file and free-frame stack, zeroes every register,
+    meter and histogram, clears the process queues and rewires the event
+    hooks for the (possibly different) [tracer].  The observable state
+    afterwards is exactly that of a fresh {!create}. *)
 
 val emit_sub : t -> Fpc_trace.Event.kind -> unit
 (** Emit a sub-event (zero deltas) stamped with the current PC, depth and

@@ -4,21 +4,14 @@ open Fpc_mesa
 
 exception Machine_trap of State.trap_reason
 
-(* A resolved destination: everything needed to enter a procedure. *)
-type resolved = {
-  d_gf : int;
-  d_cb : int option;  (* None = lazy (DIRECTCALL fast path never needs it) *)
-  d_entry_pc_abs : int;  (* first instruction byte, after the fsi byte *)
-  d_fsi : int;
-}
-
 (* ------------------------------------------------------------------ *)
 (* Transfer-event instrumentation.  A snapshot is taken where the cost
    classification baseline is taken, so an event's [fast] flag and deltas
    agree exactly with [classify]; every [metrics] increment emits exactly
    one event, which is what lets a profile's transfer counts equal the
    machine's.  All of it is skipped — one option match — when no tracer is
-   installed. *)
+   installed, and the hot call/return paths are written without closures
+   so an untraced transfer performs no OCaml allocation at all. *)
 
 type snap = { s_pc : int; s_cycles : int; s_refs : int }
 
@@ -39,7 +32,8 @@ let emit_xfer (st : State.t) s kind ~target =
   | _ -> ()
 
 (* Run [body]; emit [kind] even when it escapes by exception (a trap
-   mid-transfer), so event counts stay one-to-one with the metrics. *)
+   mid-transfer), so event counts stay one-to-one with the metrics.  Only
+   the cold transfers (coroutines, switches, traps) use this closure form. *)
 let guarded st s kind body =
   match body () with
   | () -> emit_xfer st s kind ~target:st.State.pc_abs
@@ -59,31 +53,40 @@ let simple (st : State.t) =
 (* Frame allocation: the §7.1 processor free-frame stack serves classes
    up to [ff_fsi] with no storage references ("in parallel with the rest
    of an XFER"); everything else takes the AV (or, under I1, software)
-   path. *)
+   path.  The result is packed [(lf lsl 8) lor granted_fsi] — returning a
+   pair would be a per-call allocation. *)
+
+let alloc_via_av (st : State.t) fsi =
+  match Alloc_vector.alloc_fsi st.allocator ~cost:st.cost ~fsi with
+  | lf -> (lf lsl 8) lor fsi
+  | exception Alloc_vector.Out_of_frame_heap ->
+    raise (Machine_trap State.Frame_heap_exhausted)
 
 let alloc_frame (st : State.t) ~fsi =
   let m = st.metrics in
   m.frame_allocs <- m.frame_allocs + 1;
-  let via_av fsi =
-    try (Alloc_vector.alloc_fsi st.allocator ~cost:st.cost ~fsi, fsi)
-    with Alloc_vector.Out_of_frame_heap -> raise (Machine_trap State.Frame_heap_exhausted)
-  in
   if st.ff_fsi >= 0 && fsi <= st.ff_fsi then
-    match Stack.pop_opt st.free_frames with
-    | Some lf ->
+    if st.ff_top > 0 then begin
+      st.ff_top <- st.ff_top - 1;
+      let lf = st.free_frames.(st.ff_top) in
       m.ff_hits <- m.ff_hits + 1;
-      State.emit_sub st
-        (Fpc_trace.Event.Frame_alloc
-           {
-             words = Size_class.block_words (ladder st) st.ff_fsi;
-             via_ff = true;
-             software = false;
-           });
-      (lf, st.ff_fsi)
-    | None ->
+      (match st.State.tracer with
+      | None -> ()
+      | Some _ ->
+        State.emit_sub st
+          (Fpc_trace.Event.Frame_alloc
+             {
+               words = Size_class.block_words (ladder st) st.ff_fsi;
+               via_ff = true;
+               software = false;
+             }));
+      (lf lsl 8) lor st.ff_fsi
+    end
+    else begin
       m.ff_misses <- m.ff_misses + 1;
-      via_av st.ff_fsi
-  else via_av fsi
+      alloc_via_av st st.ff_fsi
+    end
+  else alloc_via_av st fsi
 
 let free_frame (st : State.t) ~lf =
   st.metrics.frame_frees <- st.metrics.frame_frees + 1;
@@ -93,14 +96,16 @@ let free_frame (st : State.t) ~lf =
   (* The processor knows the class of frames it hands out, so returning a
      common-size frame to its free-frame stack costs nothing. *)
   let fsi = Frame.peek_fsi st.mem ~lf in
-  if
-    st.ff_fsi >= 0 && fsi = st.ff_fsi
-    && Stack.length st.free_frames < st.engine.Engine.free_frame_stack_depth
+  if st.ff_fsi >= 0 && fsi = st.ff_fsi && st.ff_top < Array.length st.free_frames
   then begin
-    Stack.push lf st.free_frames;
-    State.emit_sub st
-      (Fpc_trace.Event.Frame_free
-         { words = Size_class.block_words (ladder st) fsi; to_ff = true })
+    st.free_frames.(st.ff_top) <- lf;
+    st.ff_top <- st.ff_top + 1;
+    match st.State.tracer with
+    | None -> ()
+    | Some _ ->
+      State.emit_sub st
+        (Fpc_trace.Event.Frame_free
+           { words = Size_class.block_words (ladder st) fsi; to_ff = true })
   end
   else Alloc_vector.free st.allocator ~cost:st.cost ~lf
 
@@ -115,7 +120,7 @@ let free_frame (st : State.t) ~lf =
    into the frame here. *)
 
 let cb_of_entry (st : State.t) (e : Fpc_ifu.Return_stack.entry) =
-  match e.r_cb with Some cb -> cb | None -> Memory.read st.mem e.r_gf
+  if e.r_cb >= 0 then e.r_cb else Memory.read st.mem e.r_gf
 
 let flush_rstack (st : State.t) =
   match st.rstack with
@@ -123,8 +128,8 @@ let flush_rstack (st : State.t) =
   | Some rs ->
     let above = ref st.lf in
     Fpc_ifu.Return_stack.flush rs ~f:(fun e ->
-        Frame.write_return_link st.mem ~lf:!above
-          (Descriptor.pack (Descriptor.Frame e.r_lf));
+        (* [Descriptor.pack (Frame lf)] is [lf] itself. *)
+        Frame.write_return_link st.mem ~lf:!above e.r_lf;
         let cb = cb_of_entry st e in
         Frame.write_pc st.mem ~lf:e.r_lf (e.r_pc_abs - (2 * cb));
         Frame.write_global_frame st.mem ~lf:e.r_lf e.r_gf;
@@ -139,18 +144,15 @@ let deferred (st : State.t) = st.rstack <> None
    had a single entry). *)
 let spill_oldest (st : State.t) rs =
   let above_lf =
-    match Fpc_ifu.Return_stack.second_oldest rs with
-    | Some e -> e.r_lf
-    | None -> st.lf
+    if Fpc_ifu.Return_stack.length rs >= 2 then
+      (Fpc_ifu.Return_stack.second_oldest_slot rs).Fpc_ifu.Return_stack.r_lf
+    else st.lf
   in
-  match Fpc_ifu.Return_stack.drop_oldest rs with
-  | None -> ()
-  | Some e ->
-    Frame.write_return_link st.mem ~lf:above_lf
-      (Descriptor.pack (Descriptor.Frame e.r_lf));
-    let cb = cb_of_entry st e in
-    Frame.write_pc st.mem ~lf:e.r_lf (e.r_pc_abs - (2 * cb));
-    Frame.write_global_frame st.mem ~lf:e.r_lf e.r_gf
+  let e = Fpc_ifu.Return_stack.drop_oldest_slot rs in
+  Frame.write_return_link st.mem ~lf:above_lf e.r_lf;
+  let cb = cb_of_entry st e in
+  Frame.write_pc st.mem ~lf:e.r_lf (e.r_pc_abs - (2 * cb));
+  Frame.write_global_frame st.mem ~lf:e.r_lf e.r_gf
 
 (* Leaving the current context by a slow transfer: save the PC (always)
    and, in deferred mode, the globalFrame word that eager entry would have
@@ -161,70 +163,102 @@ let suspend_current (st : State.t) =
   if deferred st then Frame.write_global_frame st.mem ~lf:st.lf st.gf
 
 (* ------------------------------------------------------------------ *)
-(* Destination resolution. *)
+(* Destination resolution.
 
-let resolve_descriptor (st : State.t) ~gfi ~ev5 =
-  match st.engine.Engine.kind with
-  | Engine.Mesa ->
-    (* Figure 1's chain: GFT -> global frame (code base) -> EV -> code. *)
-    let gf, bias = Gft.read_entry st.image.Image.gft ~cost_mem_read:true ~gfi in
-    let cb = Memory.read st.mem gf in
-    let entry_off = Memory.read st.mem (cb + (bias * 32) + ev5) in
-    let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:entry_off in
-    { d_gf = gf; d_cb = Some cb; d_entry_pc_abs = (2 * cb) + entry_off + 1; d_fsi = fsi }
-  | Engine.Simple ->
-    let abs, gf = Simple_links.resolve_descriptor (simple st) st.image ~gfi ~ev:ev5 in
-    let cb = Memory.read st.mem gf in
-    let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:(abs - (2 * cb)) in
-    { d_gf = gf; d_cb = Some cb; d_entry_pc_abs = abs + 1; d_fsi = fsi }
+   The resolver writes the callee's registers into the machine's scratch
+   destination registers ([xr_gf], [xr_cb], [xr_pc], [xr_fsi]) instead of
+   returning a record — the per-call record was the last allocation on the
+   transfer path.  Callers name the resolution they want with a tag:
 
-let resolve_simple_pair (st : State.t) (abs, gf) =
+     [tag_local]      a = entry-vector index
+     [tag_desc]       a = gfi, b = five-bit ev
+     [tag_import]     a = link-vector index (Simple engine only)
+     [tag_prefilled]  scratch already written (DIRECTCALL header)        *)
+
+let tag_local = 0
+let tag_desc = 1
+let tag_import = 2
+let tag_prefilled = 3
+
+let resolve_simple_pair (st : State.t) p =
+  let abs = Simple_links.pair_abs p and gf = Simple_links.pair_gf p in
   let cb = Memory.read st.mem gf in
   let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:(abs - (2 * cb)) in
-  { d_gf = gf; d_cb = Some cb; d_entry_pc_abs = abs + 1; d_fsi = fsi }
+  st.xr_gf <- gf;
+  st.xr_cb <- cb;
+  st.xr_pc <- abs + 1;
+  st.xr_fsi <- fsi
 
-let resolve_local (st : State.t) ~ev_index =
-  match st.engine.Engine.kind with
-  | Engine.Mesa ->
-    (* "This kind of call keeps the same environment and code base, and
-       has only one level of indirection" (§5.1). *)
-    let cb = State.ensure_cb st in
-    let entry_off = Memory.read st.mem (cb + ev_index) in
-    let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:entry_off in
-    { d_gf = st.gf; d_cb = Some cb; d_entry_pc_abs = (2 * cb) + entry_off + 1; d_fsi = fsi }
-  | Engine.Simple ->
+let resolve_into (st : State.t) ~tag ~a ~b =
+  if tag = tag_prefilled then ()
+  else if tag = tag_desc then
+    match st.engine.Engine.kind with
+    | Engine.Mesa ->
+      (* Figure 1's chain: GFT -> global frame (code base) -> EV -> code. *)
+      let w = Gft.read_entry_word st.image.Image.gft ~cost_mem_read:true ~gfi:a in
+      let gf = w land 0xFFFC and bias = w land 3 in
+      let cb = Memory.read st.mem gf in
+      let entry_off = Memory.read st.mem (cb + (bias * 32) + b) in
+      let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:entry_off in
+      st.xr_gf <- gf;
+      st.xr_cb <- cb;
+      st.xr_pc <- (2 * cb) + entry_off + 1;
+      st.xr_fsi <- fsi
+    | Engine.Simple ->
+      resolve_simple_pair st
+        (Simple_links.resolve_descriptor (simple st) st.image ~gfi:a ~ev:b)
+  else if tag = tag_local then
+    match st.engine.Engine.kind with
+    | Engine.Mesa ->
+      (* "This kind of call keeps the same environment and code base, and
+         has only one level of indirection" (§5.1). *)
+      let cb = State.ensure_cb st in
+      let entry_off = Memory.read st.mem (cb + a) in
+      let fsi = Memory.read_code_byte st.mem ~code_base:cb ~pc:entry_off in
+      st.xr_gf <- st.gf;
+      st.xr_cb <- cb;
+      st.xr_pc <- (2 * cb) + entry_off + 1;
+      st.xr_fsi <- fsi
+    | Engine.Simple ->
+      resolve_simple_pair st
+        (Simple_links.resolve_own_by_gf (simple st) st.image ~gf:st.gf ~ev_index:a)
+  else
     resolve_simple_pair st
-      (Simple_links.resolve_own_by_gf (simple st) st.image ~gf:st.gf ~ev_index)
+      (Simple_links.resolve_import_by_gf (simple st) st.image ~gf:st.gf ~lv_index:a)
 
 (* ------------------------------------------------------------------ *)
 (* Entering a procedure: the common creation-context behaviour of §3's
    WHILE TRUE DO CreateNewContext; XFER loop, specialised as every real
-   implementation must. *)
+   implementation must.  Consumes the scratch destination registers. *)
 
-let enter_proc (st : State.t) ~(r : resolved) ~ret_word ~fast =
-  let lf_new, granted_fsi = alloc_frame st ~fsi:r.d_fsi in
+let enter_proc (st : State.t) ~ret_word ~fast =
+  let packed = alloc_frame st ~fsi:st.xr_fsi in
+  let lf_new = packed lsr 8 and granted_fsi = packed land 0xFF in
   if not fast then begin
     Frame.write_return_link st.mem ~lf:lf_new ret_word;
-    Frame.write_global_frame st.mem ~lf:lf_new r.d_gf
+    Frame.write_global_frame st.mem ~lf:lf_new st.xr_gf
   end;
   (match st.banks with
   | Some banks ->
     (* §7.2: the stack bank is renamed to shadow the new frame, so the
-       argument record becomes the first locals with no data movement. *)
-    let args = Eval_stack.contents st.stack in
-    Eval_stack.clear st.stack;
-    st.metrics.arg_words_renamed <- st.metrics.arg_words_renamed + Array.length args;
-    Fpc_regbank.Bank_file.on_call banks ~callee_lf:lf_new
-      ~payload_words:(payload_of_fsi st granted_fsi) ~args
+       argument record becomes the first locals with no data movement.
+       The raw stack buffer is passed (no copy); only then is the stack
+       emptied. *)
+    let depth = Eval_stack.depth st.stack in
+    st.metrics.arg_words_renamed <- st.metrics.arg_words_renamed + depth;
+    Fpc_regbank.Bank_file.on_call_n banks ~nargs:depth ~callee_lf:lf_new
+      ~payload_words:(payload_of_fsi st granted_fsi)
+      ~args:(Eval_stack.buffer st.stack);
+    Eval_stack.clear st.stack
   | None ->
     (* The argument record stays on the evaluation stack; the callee's
        prologue stores it into locals — §5.2's "wasteful" path. *)
     st.metrics.arg_words_stored <- st.metrics.arg_words_stored + Eval_stack.depth st.stack);
   st.return_ctx <- ret_word;
   st.lf <- lf_new;
-  st.gf <- r.d_gf;
-  st.cb <- r.d_cb;
-  st.pc_abs <- r.d_entry_pc_abs;
+  st.gf <- st.xr_gf;
+  st.cb <- st.xr_cb;
+  st.pc_abs <- st.xr_pc;
   Cost.jump st.cost
 
 let resume_frame (st : State.t) ~dest_lf =
@@ -233,7 +267,7 @@ let resume_frame (st : State.t) ~dest_lf =
   let cb = Memory.read st.mem gf in
   st.lf <- dest_lf;
   st.gf <- gf;
-  st.cb <- Some cb;
+  st.cb <- cb;
   st.pc_abs <- (2 * cb) + pc;
   (match st.banks with
   | Some b -> Fpc_regbank.Bank_file.ensure_bank b ~lf:dest_lf
@@ -248,7 +282,7 @@ let transfer_to_frame (st : State.t) ~dest_lf =
   | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
   | None -> ());
   suspend_current st;
-  let me = Descriptor.pack (Descriptor.Frame st.lf) in
+  let me = st.lf in
   resume_frame st ~dest_lf;
   st.return_ctx <- me
 
@@ -260,71 +294,68 @@ let classify (st : State.t) before =
     st.metrics.fast_transfers <- st.metrics.fast_transfers + 1
   else st.metrics.slow_transfers <- st.metrics.slow_transfers + 1
 
-let do_call (st : State.t) ~before ~s resolve =
+let do_call (st : State.t) ~before ~s ~tag ~a ~b =
   st.metrics.calls <- st.metrics.calls + 1;
   State.note_transfer_direction st 1;
-  guarded st s Fpc_trace.Event.Call (fun () ->
-      (match st.banks with
-      | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
-      | None -> ());
-      let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
-      (match st.rstack with
-      | Some rs ->
-        if Fpc_ifu.Return_stack.is_full rs then spill_oldest st rs;
-        let entry =
-          {
-            Fpc_ifu.Return_stack.r_lf = st.lf;
-            r_gf = st.gf;
-            r_cb = st.cb;
-            r_pc_abs = st.pc_abs;
-            r_bank =
-              (match st.banks with
-              | Some b -> Fpc_regbank.Bank_file.bank_id b ~lf:st.lf
-              | None -> None);
-          }
-        in
-        let r = resolve () in
-        Fpc_ifu.Return_stack.push rs entry;
-        enter_proc st ~r ~ret_word ~fast:true
-      | None ->
-        let r = resolve () in
-        suspend_current st;
-        enter_proc st ~r ~ret_word ~fast:false);
-      classify st before)
-
-let unpack_or_trap w =
-  match Descriptor.unpack w with
-  | d -> d
-  | exception Invalid_argument _ -> raise (Machine_trap State.Nil_context)
+  try
+    (match st.banks with
+    | Some bk -> Fpc_regbank.Bank_file.on_leave bk ~lf:st.lf
+    | None -> ());
+    (* [Descriptor.pack (Frame st.lf)] is [st.lf] itself. *)
+    let ret_word = st.lf in
+    (match st.rstack with
+    | Some rs ->
+      if Fpc_ifu.Return_stack.is_full rs then spill_oldest st rs;
+      (* Capture the caller's registers before resolution: resolving a
+         local destination may materialise CB (mutating [st.cb]), and the
+         entry must record the register file as it was at the call. *)
+      let e_lf = st.lf and e_gf = st.gf and e_cb = st.cb and e_pc = st.pc_abs in
+      let e_bank =
+        match st.banks with
+        | Some bk -> Fpc_regbank.Bank_file.bank_index bk ~lf:st.lf
+        | None -> Fpc_ifu.Return_stack.no_bank
+      in
+      resolve_into st ~tag ~a ~b;
+      Fpc_ifu.Return_stack.push rs ~lf:e_lf ~gf:e_gf ~cb:e_cb ~pc_abs:e_pc
+        ~bank:e_bank;
+      enter_proc st ~ret_word ~fast:true
+    | None ->
+      resolve_into st ~tag ~a ~b;
+      suspend_current st;
+      enter_proc st ~ret_word ~fast:false);
+    classify st before;
+    emit_xfer st s Fpc_trace.Event.Call ~target:st.pc_abs
+  with e ->
+    emit_xfer st s Fpc_trace.Event.Call ~target:(-1);
+    raise e
 
 let call_external (st : State.t) ~lv_index =
   let before = Cost.mem_refs st.cost in
   let s = snap st in
   match st.engine.Engine.kind with
-  | Engine.Simple ->
-    do_call st ~before ~s (fun () ->
-        resolve_simple_pair st
-          (Simple_links.resolve_import_by_gf (simple st) st.image ~gf:st.gf ~lv_index))
-  | Engine.Mesa -> (
+  | Engine.Simple -> do_call st ~before ~s ~tag:tag_import ~a:lv_index ~b:0
+  | Engine.Mesa ->
     (* The link vector lives just below the global frame: entry i is the
        word at gf - 1 - i, so one reference reaches the context. *)
     let lv_word = Memory.read st.mem (st.gf - 1 - lv_index) in
-    match unpack_or_trap lv_word with
-    | Descriptor.Proc { gfi; ev } ->
-      do_call st ~before ~s (fun () -> resolve_descriptor st ~gfi ~ev5:ev)
-    | Descriptor.Frame dest_lf ->
+    let k = Descriptor.word_kind lv_word in
+    if k = Descriptor.word_proc then
+      do_call st ~before ~s ~tag:tag_desc ~a:(Descriptor.word_gfi lv_word)
+        ~b:(Descriptor.word_ev lv_word)
+    else if k = Descriptor.word_frame then begin
       (* A rebound link naming an existing context: the destination makes
          this a coroutine resume, not a call — F3. *)
       st.metrics.other_xfers <- st.metrics.other_xfers + 1;
       guarded st s Fpc_trace.Event.Coroutine (fun () ->
-          transfer_to_frame st ~dest_lf;
+          transfer_to_frame st ~dest_lf:lv_word;
           classify st before)
-    | Descriptor.Nil -> raise (Machine_trap State.Nil_context))
+    end
+    else raise (Machine_trap State.Nil_context)
 
 let call_local (st : State.t) ~ev_index =
   let before = Cost.mem_refs st.cost in
   let s = snap st in
-  do_call st ~before ~s (fun () -> resolve_local st ~ev_index)
+  do_call st ~before ~s ~tag:tag_local ~a:ev_index ~b:0
 
 let call_direct (st : State.t) ~target_abs =
   let before = Cost.mem_refs st.cost in
@@ -332,14 +363,24 @@ let call_direct (st : State.t) ~target_abs =
   (* The header (SETGLOBALFRAME gf; ALLOCATEFRAME fsi) is part of the
      instruction stream.  With an IFU return stack the prefetcher has
      already consumed it; without one, the machine pays the fetches. *)
-  let b =
-    if deferred st then fun pc -> Memory.peek_code_byte st.mem ~code_base:0 ~pc
-    else fun pc -> Memory.read_code_byte st.mem ~code_base:0 ~pc
+  let defer = deferred st in
+  let b0 =
+    if defer then Memory.peek_code_byte st.mem ~code_base:0 ~pc:target_abs
+    else Memory.read_code_byte st.mem ~code_base:0 ~pc:target_abs
   in
-  let gf = (b target_abs lsl 8) lor b (target_abs + 1) in
-  let fsi = b (target_abs + 2) in
-  do_call st ~before ~s (fun () ->
-      { d_gf = gf; d_cb = None; d_entry_pc_abs = target_abs + 3; d_fsi = fsi })
+  let b1 =
+    if defer then Memory.peek_code_byte st.mem ~code_base:0 ~pc:(target_abs + 1)
+    else Memory.read_code_byte st.mem ~code_base:0 ~pc:(target_abs + 1)
+  in
+  let b2 =
+    if defer then Memory.peek_code_byte st.mem ~code_base:0 ~pc:(target_abs + 2)
+    else Memory.read_code_byte st.mem ~code_base:0 ~pc:(target_abs + 2)
+  in
+  st.xr_gf <- (b0 lsl 8) lor b1;
+  st.xr_cb <- State.no_cb;
+  st.xr_pc <- target_abs + 3;
+  st.xr_fsi <- b2;
+  do_call st ~before ~s ~tag:tag_prefilled ~a:0 ~b:0
 
 (* ------------------------------------------------------------------ *)
 (* Processes. *)
@@ -364,63 +405,75 @@ let end_process (st : State.t) =
 (* ------------------------------------------------------------------ *)
 (* RETURN: free the frame, returnContext := NIL, XFER[returnLink]. *)
 
+(* The general scheme, taken when the IFU return stack is absent or empty.
+   The process-ending return emits before [end_process] so the event
+   stream reads Return-then-Switch, matching what happened. *)
+let return_slow (st : State.t) ~s ~before ~returning =
+  let rl =
+    try Frame.read_return_link st.mem ~lf:returning
+    with e ->
+      emit_xfer st s Fpc_trace.Event.Return ~target:(-1);
+      raise e
+  in
+  if rl = 0 then begin
+    (try free_frame st ~lf:returning
+     with e ->
+       emit_xfer st s Fpc_trace.Event.Return ~target:(-1);
+       raise e);
+    emit_xfer st s Fpc_trace.Event.Return ~target:(-1);
+    end_process st;
+    classify st before
+  end
+  else
+    try
+      let k = Descriptor.word_kind rl in
+      if k = Descriptor.word_frame then begin
+        free_frame st ~lf:returning;
+        st.return_ctx <- 0;
+        resume_frame st ~dest_lf:rl
+      end
+      else if k = Descriptor.word_proc then begin
+        (* A creation context as return link (F3): returning constructs a
+           fresh activation of it. *)
+        free_frame st ~lf:returning;
+        st.return_ctx <- 0;
+        resolve_into st ~tag:tag_desc ~a:(Descriptor.word_gfi rl)
+          ~b:(Descriptor.word_ev rl);
+        enter_proc st ~ret_word:0 ~fast:false
+      end
+      else raise (Machine_trap State.Nil_context);
+      classify st before;
+      emit_xfer st s Fpc_trace.Event.Return ~target:st.pc_abs
+    with e ->
+      emit_xfer st s Fpc_trace.Event.Return ~target:(-1);
+      raise e
+
 let return_ (st : State.t) =
   let s = snap st in
   st.metrics.returns <- st.metrics.returns + 1;
   State.note_transfer_direction st (-1);
   let before = Cost.mem_refs st.cost in
   let returning = st.lf in
-  (* The process-ending return emits before [end_process] so the event
-     stream reads Return-then-Switch, matching what happened. *)
-  let emitted = ref false in
-  let emit_ret ~target =
-    if not !emitted then begin
-      emitted := true;
-      emit_xfer st s Fpc_trace.Event.Return ~target
-    end
-  in
-  (try
-     let fast_entry =
-       match st.rstack with Some rs -> Fpc_ifu.Return_stack.pop rs | None -> None
-     in
-     match fast_entry with
-     | Some e ->
-       free_frame st ~lf:returning;
-       st.lf <- e.r_lf;
-       st.gf <- e.r_gf;
-       st.cb <- e.r_cb;
-       st.pc_abs <- e.r_pc_abs;
-       st.return_ctx <- 0;
-       (match st.banks with
-       | Some b -> Fpc_regbank.Bank_file.ensure_bank b ~lf:e.r_lf
-       | None -> ());
-       Cost.jump st.cost
-     | None -> (
-       let rl = Frame.read_return_link st.mem ~lf:returning in
-       if rl = 0 then begin
-         free_frame st ~lf:returning;
-         emit_ret ~target:(-1);
-         end_process st
-       end
-       else
-         match unpack_or_trap rl with
-         | Descriptor.Frame dest_lf ->
-           free_frame st ~lf:returning;
-           st.return_ctx <- 0;
-           resume_frame st ~dest_lf
-         | Descriptor.Proc { gfi; ev } ->
-           (* A creation context as return link (F3): returning constructs a
-              fresh activation of it. *)
-           free_frame st ~lf:returning;
-           st.return_ctx <- 0;
-           let r = resolve_descriptor st ~gfi ~ev5:ev in
-           enter_proc st ~r ~ret_word:0 ~fast:false
-         | Descriptor.Nil -> assert false)
-   with e ->
-     emit_ret ~target:(-1);
-     raise e);
-  classify st before;
-  emit_ret ~target:st.pc_abs
+  match st.rstack with
+  | Some rs when Fpc_ifu.Return_stack.try_pop rs -> (
+    try
+      free_frame st ~lf:returning;
+      let e = Fpc_ifu.Return_stack.popped rs in
+      st.lf <- e.r_lf;
+      st.gf <- e.r_gf;
+      st.cb <- e.r_cb;
+      st.pc_abs <- e.r_pc_abs;
+      st.return_ctx <- 0;
+      (match st.banks with
+      | Some b -> Fpc_regbank.Bank_file.ensure_bank b ~lf:e.r_lf
+      | None -> ());
+      Cost.jump st.cost;
+      classify st before;
+      emit_xfer st s Fpc_trace.Event.Return ~target:st.pc_abs
+    with e ->
+      emit_xfer st s Fpc_trace.Event.Return ~target:(-1);
+      raise e)
+  | _ -> return_slow st ~s ~before ~returning
 
 (* ------------------------------------------------------------------ *)
 (* Raw XFER. *)
@@ -429,18 +482,20 @@ let xfer (st : State.t) ~dest_word =
   st.metrics.other_xfers <- st.metrics.other_xfers + 1;
   let s = snap st in
   guarded st s Fpc_trace.Event.Coroutine (fun () ->
-      match unpack_or_trap dest_word with
-      | Descriptor.Nil -> raise (Machine_trap State.Nil_context)
-      | Descriptor.Frame dest_lf -> transfer_to_frame st ~dest_lf
-      | Descriptor.Proc { gfi; ev } ->
+      let k = Descriptor.word_kind dest_word in
+      if k = Descriptor.word_frame then transfer_to_frame st ~dest_lf:dest_word
+      else if k = Descriptor.word_proc then begin
         flush_rstack st;
         (match st.banks with
         | Some b -> Fpc_regbank.Bank_file.on_leave b ~lf:st.lf
         | None -> ());
         suspend_current st;
-        let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
-        let r = resolve_descriptor st ~gfi ~ev5:ev in
-        enter_proc st ~r ~ret_word ~fast:false)
+        let ret_word = st.lf in
+        resolve_into st ~tag:tag_desc ~a:(Descriptor.word_gfi dest_word)
+          ~b:(Descriptor.word_ev dest_word);
+        enter_proc st ~ret_word ~fast:false
+      end
+      else raise (Machine_trap State.Nil_context))
 
 let fork_body (st : State.t) ~nargs =
   let desc = Eval_stack.pop st.stack in
@@ -448,20 +503,20 @@ let fork_body (st : State.t) ~nargs =
   for i = nargs - 1 downto 0 do
     args.(i) <- Eval_stack.pop st.stack
   done;
-  match unpack_or_trap desc with
-  | Descriptor.Nil -> raise (Machine_trap State.Nil_context)
-  | Descriptor.Frame lf ->
-    Queue.add { State.p_id = st.next_pid; p_lf = lf; p_stack = args } st.ready;
+  let k = Descriptor.word_kind desc in
+  if k = Descriptor.word_frame then begin
+    Queue.add { State.p_id = st.next_pid; p_lf = desc; p_stack = args } st.ready;
     st.next_pid <- st.next_pid + 1
-  | Descriptor.Proc { gfi; ev } ->
-    let r = resolve_descriptor st ~gfi ~ev5:ev in
-    let lf_new, _granted = alloc_frame st ~fsi:r.d_fsi in
+  end
+  else if k = Descriptor.word_proc then begin
+    resolve_into st ~tag:tag_desc ~a:(Descriptor.word_gfi desc)
+      ~b:(Descriptor.word_ev desc);
+    let packed = alloc_frame st ~fsi:st.xr_fsi in
+    let lf_new = packed lsr 8 in
     Frame.write_return_link st.mem ~lf:lf_new 0;
-    Frame.write_global_frame st.mem ~lf:lf_new r.d_gf;
-    let cb =
-      match r.d_cb with Some cb -> cb | None -> Memory.read st.mem r.d_gf
-    in
-    Frame.write_pc st.mem ~lf:lf_new (r.d_entry_pc_abs - (2 * cb));
+    Frame.write_global_frame st.mem ~lf:lf_new st.xr_gf;
+    let cb = if st.xr_cb >= 0 then st.xr_cb else Memory.read st.mem st.xr_gf in
+    Frame.write_pc st.mem ~lf:lf_new (st.xr_pc - (2 * cb));
     let p_stack =
       if Engine.args_in_place st.engine then begin
         Array.iteri (fun i v -> Memory.write st.mem (lf_new + i) v) args;
@@ -471,6 +526,8 @@ let fork_body (st : State.t) ~nargs =
     in
     Queue.add { State.p_id = st.next_pid; p_lf = lf_new; p_stack } st.ready;
     st.next_pid <- st.next_pid + 1
+  end
+  else raise (Machine_trap State.Nil_context)
 
 (* FORK queues a context without transferring control, so its event
    carries no destination. *)
@@ -538,9 +595,9 @@ let trap (st : State.t) reason =
         suspend_current st;
         Eval_stack.clear st.stack;
         Eval_stack.push st.stack (State.trap_code reason);
-        let ret_word = Descriptor.pack (Descriptor.Frame st.lf) in
-        let r = resolve_descriptor st ~gfi ~ev5:ev in
-        enter_proc st ~r ~ret_word ~fast:false)
+        let ret_word = st.lf in
+        resolve_into st ~tag:tag_desc ~a:gfi ~b:ev;
+        enter_proc st ~ret_word ~fast:false)
   | Descriptor.Proc _ | Descriptor.Frame _ | Descriptor.Nil ->
     st.status <- State.Trapped reason;
     emit_xfer st s (Fpc_trace.Event.Trap (State.trap_code reason)) ~target:(-1)
@@ -552,12 +609,13 @@ let start (st : State.t) ~instance ~proc ~args =
   let s = snap st in
   let pi = Image.find_proc st.image ~instance ~proc in
   let ii = Image.find_instance st.image instance in
-  let lf, granted_fsi = alloc_frame st ~fsi:pi.pi_fsi in
+  let packed = alloc_frame st ~fsi:pi.pi_fsi in
+  let lf = packed lsr 8 and granted_fsi = packed land 0xFF in
   Frame.write_return_link st.mem ~lf 0;
   Frame.write_global_frame st.mem ~lf ii.ii_gf_addr;
   st.lf <- lf;
   st.gf <- ii.ii_gf_addr;
-  st.cb <- Some ii.ii_code_base;
+  st.cb <- ii.ii_code_base;
   st.pc_abs <- (2 * ii.ii_code_base) + pi.pi_entry_offset + 1;
   st.return_ctx <- 0;
   (match st.banks with

@@ -43,7 +43,7 @@ let static_table () =
       let payloads =
         Hashtbl.fold
           (fun _ (pi : Fpc_mesa.Image.proc_info) acc -> pi.pi_locals_words :: acc)
-          image.Fpc_mesa.Image.procs []
+          image.Fpc_mesa.Image.dir.Fpc_mesa.Image.procs []
       in
       let n = List.length payloads in
       let small = List.length (List.filter (fun w -> w <= 40) payloads) in

@@ -2,6 +2,13 @@ open Fpc_machine
 
 type mode = Fast | Software_only
 
+(* Live-block bookkeeping is a flat array indexed by quad offset from
+   heap_base: every ladder class is a multiple of 4 words (Size_class
+   rounds up to quads), so LF = block + 4 is always quad-aligned relative
+   to heap_base.  A slot holds [-1] when free, else the packed pair
+   [(requested lsl 8) lor fsi].  This replaces a Hashtbl whose
+   replace/remove pair allocated on every call/return. *)
+
 type t = {
   mode : mode;
   mem : Memory.t;
@@ -10,7 +17,8 @@ type t = {
   heap_base : int;
   heap_limit : int;
   replenish_count : int;
-  live : (int, int * int) Hashtbl.t; (* lf -> (fsi, requested block words) *)
+  live : int array; (* quad-indexed by lf; -1 free, else (requested lsl 8) lor fsi *)
+  mutable live_blocks : int;
   mutable wilderness : int;
   mutable fast_allocs : int;
   mutable frees : int;
@@ -40,7 +48,8 @@ let create ?(mode = Fast) ?(replenish_count = 8) ~mem ~ladder ~av_base ~heap_bas
     heap_base;
     heap_limit;
     replenish_count;
-    live = Hashtbl.create 256;
+    live = Array.make (((heap_limit - heap_base) lsr 2) + 1) (-1);
+    live_blocks = 0;
     wilderness = heap_base;
     fast_allocs = 0;
     frees = 0;
@@ -53,7 +62,28 @@ let create ?(mode = Fast) ?(replenish_count = 8) ~mem ~ladder ~av_base ~heap_bas
 
 let ladder t = t.ladder
 let set_on_event t f = t.on_event <- f
-let fire t k = match t.on_event with Some f -> f k | None -> ()
+
+(* An lf is a plausible frame pointer iff it is quad-offset from heap_base
+   and inside the heap; anything else maps to no live slot. *)
+let live_index t ~lf =
+  if lf < t.heap_base || lf > t.heap_limit || (lf - t.heap_base) land 3 <> 0 then -1
+  else (lf - t.heap_base) lsr 2
+
+let reset t =
+  (* Mirror [create]: empty free lists, untouched wilderness, all counters
+     zero.  Only slots the previous run could have carved need clearing. *)
+  for i = 0 to Size_class.class_count t.ladder - 1 do
+    Memory.poke t.mem (t.av_base + i) 0
+  done;
+  Array.fill t.live 0 (min (Array.length t.live) (((t.wilderness - t.heap_base) lsr 2) + 1)) (-1);
+  t.live_blocks <- 0;
+  t.wilderness <- t.heap_base;
+  t.fast_allocs <- 0;
+  t.frees <- 0;
+  t.software_traps <- 0;
+  t.live_words <- 0;
+  t.requested_words <- 0;
+  t.free_pool_words <- 0
 
 (* Carve one block of class [fsi] from the wilderness (software path;
    unmetered pokes — the trap's own references are folded into the
@@ -83,7 +113,9 @@ let replenish t ~cost ~fsi =
 
 let record_alloc t ~lf ~fsi ~requested =
   let words = Size_class.block_words t.ladder fsi in
-  Hashtbl.replace t.live lf (fsi, requested);
+  let idx = live_index t ~lf in
+  if t.live.(idx) < 0 then t.live_blocks <- t.live_blocks + 1;
+  t.live.(idx) <- (requested lsl 8) lor fsi;
   t.live_words <- t.live_words + words;
   t.requested_words <- t.requested_words + requested
 
@@ -95,9 +127,12 @@ let alloc_software t ~cost ~fsi ~requested =
   let block = carve t ~fsi in
   let lf = Frame.lf_of_block block in
   record_alloc t ~lf ~fsi ~requested;
-  fire t
-    (Fpc_trace.Event.Frame_alloc
-       { words = Size_class.block_words t.ladder fsi; via_ff = false; software = true });
+  (match t.on_event with
+  | Some f ->
+    f
+      (Fpc_trace.Event.Frame_alloc
+         { words = Size_class.block_words t.ladder fsi; via_ff = false; software = true })
+  | None -> ());
   lf
 
 (* [trapped] records whether this allocation had to replenish its free
@@ -115,13 +150,16 @@ let rec alloc_fast ?(trapped = false) t ~cost ~fsi ~requested =
     t.free_pool_words <- t.free_pool_words - Size_class.block_words t.ladder fsi;
     let lf = Frame.lf_of_block head in
     record_alloc t ~lf ~fsi ~requested;
-    fire t
-      (Fpc_trace.Event.Frame_alloc
-         {
-           words = Size_class.block_words t.ladder fsi;
-           via_ff = false;
-           software = trapped;
-         });
+    (match t.on_event with
+    | Some f ->
+      f
+        (Fpc_trace.Event.Frame_alloc
+           {
+             words = Size_class.block_words t.ladder fsi;
+             via_ff = false;
+             software = trapped;
+           })
+    | None -> ());
     lf
   end
 
@@ -149,10 +187,14 @@ let alloc_words t ~cost ~body_words =
   | Some fsi -> alloc_fsi_requested t ~cost ~fsi ~requested:request
 
 let free t ~cost ~lf =
-  match Hashtbl.find_opt t.live lf with
-  | None -> invalid_arg (Printf.sprintf "Alloc_vector.free: %d is not allocated" lf)
-  | Some (fsi_known, requested) ->
-    Hashtbl.remove t.live lf;
+  let idx = live_index t ~lf in
+  let slot = if idx < 0 then -1 else t.live.(idx) in
+  if slot < 0 then invalid_arg (Printf.sprintf "Alloc_vector.free: %d is not allocated" lf)
+  else begin
+    let fsi_known = slot land 0xFF in
+    let requested = slot lsr 8 in
+    t.live.(idx) <- -1;
+    t.live_blocks <- t.live_blocks - 1;
     let block = Frame.block_of_lf lf in
     let words = Size_class.block_words t.ladder fsi_known in
     t.live_words <- t.live_words - words;
@@ -173,9 +215,14 @@ let free t ~cost ~lf =
       Memory.write t.mem (block + 1) head;
       Memory.write t.mem (t.av_base + fsi) block);
     t.free_pool_words <- t.free_pool_words + words;
-    fire t (Fpc_trace.Event.Frame_free { words; to_ff = false })
+    match t.on_event with
+    | Some f -> f (Fpc_trace.Event.Frame_free { words; to_ff = false })
+    | None -> ()
+  end
 
-let is_live t ~lf = Hashtbl.mem t.live lf
+let is_live t ~lf =
+  let idx = live_index t ~lf in
+  idx >= 0 && t.live.(idx) >= 0
 
 type stats = {
   fast_allocs : int;
@@ -193,7 +240,7 @@ let stats (t : t) =
     fast_allocs = t.fast_allocs;
     frees = t.frees;
     software_traps = t.software_traps;
-    live_blocks = Hashtbl.length t.live;
+    live_blocks = t.live_blocks;
     live_words = t.live_words;
     requested_words = t.requested_words;
     free_pool_words = t.free_pool_words;
@@ -216,7 +263,7 @@ let check_invariants t =
       else if Memory.peek t.mem node <> fsi then
         Error
           (Printf.sprintf "class %d: node %d has fsi %d" fsi node (Memory.peek t.mem node))
-      else if Hashtbl.mem t.live (Frame.lf_of_block node) then
+      else if is_live t ~lf:(Frame.lf_of_block node) then
         Error (Printf.sprintf "class %d: node %d is both free and live" fsi node)
       else begin
         Hashtbl.add seen node ();

@@ -70,6 +70,12 @@ val fsi_for_locals : t -> int -> int
 
 val is_live : t -> lf:int -> bool
 
+val reset : t -> unit
+(** Return the allocator to its just-created state over the same memory:
+    AV heads zeroed, no live blocks, wilderness back at [heap_base], all
+    counters zero.  Used by the execution arena to recycle an allocator
+    across jobs after the backing store has been reset to pristine. *)
+
 (** {1 Accounting} *)
 
 type stats = {

@@ -16,18 +16,29 @@
 
     The stack stores entries and statistics; flush orchestration (who is
     the next-higher frame) belongs to the transfer engine, which passes a
-    writer to {!flush}. *)
+    writer to {!flush}.
+
+    Entries are preallocated records rewritten in place, so the hot
+    push/pop pair never touches the OCaml allocator.  "Absent" fields use
+    sentinels ({!no_cb}, {!no_bank}) rather than options for the same
+    reason. *)
 
 type entry = {
-  r_lf : int;  (** caller frame pointer *)
-  r_gf : int;  (** caller global frame address *)
-  r_cb : int option;
-      (** caller code base (word address); [None] when the caller itself
+  mutable r_lf : int;  (** caller frame pointer *)
+  mutable r_gf : int;  (** caller global frame address *)
+  mutable r_cb : int;
+      (** caller code base (word address); {!no_cb} when the caller itself
           was entered by a DIRECTCALL and never had to materialise its
           code base (it is recovered from the global frame on demand) *)
-  r_pc_abs : int;  (** caller resume PC as an absolute byte address *)
-  r_bank : int option;  (** register bank shadowing [r_lf], if any (§7.1) *)
+  mutable r_pc_abs : int;  (** caller resume PC as an absolute byte address *)
+  mutable r_bank : int;  (** bank shadowing [r_lf], or {!no_bank} (§7.1) *)
 }
+
+val no_cb : int
+(** Sentinel (-1) for "code base not materialised". *)
+
+val no_bank : int
+(** Sentinel (-1) for "no register bank". *)
 
 type t
 
@@ -40,34 +51,60 @@ val length : t -> int
 val is_empty : t -> bool
 val is_full : t -> bool
 
+val reset : t -> unit
+(** Empty the stack and zero all statistics (arena reuse across jobs). *)
+
 val set_on_event : t -> (Fpc_trace.Event.kind -> unit) option -> unit
 (** Tracing hook: pushes, fast pops, flushes (with entry counts) and
     spills fire [Rs_*] events.  No-op when unset. *)
 
-val push : t -> entry -> unit
-(** Raises [Invalid_argument] when full — the caller must flush first. *)
+val push : t -> lf:int -> gf:int -> cb:int -> pc_abs:int -> bank:int -> unit
+(** Raises [Invalid_argument] when full — the caller must flush first.
+    Allocation-free. *)
+
+val push_entry : t -> entry -> unit
+(** [push] from an existing entry record (replay, tests). *)
+
+val try_pop : t -> bool
+(** The fast return path, allocation-free: [true] popped an entry — read
+    it with {!popped} {e before the next push} — [false] means fall back
+    to the general scheme (counted as an empty pop). *)
+
+val popped : t -> entry
+(** The slot just vacated by a successful {!try_pop}.  Valid until the
+    next [push]. *)
 
 val pop : t -> entry option
-(** The fast return path; [None] means fall back to the general scheme. *)
+(** Option-returning wrapper over {!try_pop}/{!popped} (replay, tests).
+    The returned entry is the live slot — copy it if it must survive a
+    later push. *)
 
 val peek : t -> entry option
 
 val to_list : t -> entry list
-(** Oldest first. *)
+(** Oldest first; fresh copies, safe to retain. *)
 
 val second_oldest : t -> entry option
 (** The entry just above the oldest, i.e. the frame that was called from
     the oldest entry's context. *)
 
-val drop_oldest : t -> entry option
+val second_oldest_slot : t -> entry
+(** As {!second_oldest}, but the live slot with no option wrapping; raises
+    [Invalid_argument] with fewer than two entries.  Allocation-free. *)
+
+val drop_oldest_slot : t -> entry
 (** Remove and return the {e bottom} entry, making room without touching
     the hot top — the engine performs its deferred stores (a partial
-    spill).  Counted in {!spills}. *)
+    spill).  The stack must be non-empty; the slot stays valid until the
+    next push.  Counted in {!spills}.  Allocation-free. *)
+
+val drop_oldest : t -> entry option
+(** Option-returning wrapper over {!drop_oldest_slot}. *)
 
 val flush : t -> f:(entry -> unit) -> unit
 (** Drain every entry, {e newest first} (so the writer can chain each
     caller to the frame above it), emptying the stack.  Counted as one
-    flush event. *)
+    flush event.  The entries passed to [f] are live slots. *)
 
 (** {1 Statistics for experiment E1/E11} *)
 

@@ -272,13 +272,39 @@ let run ?(max_steps = 20_000_000) st =
   in
   go max_steps
 
+(* One Bank_file.stats call, not one per field: the stats record is an
+   allocation, and [outcome] sits on the service's per-job path. *)
+let no_bank_stats =
+  {
+    Fpc_regbank.Bank_file.xfers = 0;
+    overflows = 0;
+    underflows = 0;
+    words_written_back = 0;
+    words_loaded = 0;
+    flush_events = 0;
+    flagged_flushes = 0;
+    diversions = 0;
+    c2_violations = 0;
+  }
+
 let outcome (st : State.t) =
   let m = st.metrics in
-  let rs f = match st.rstack with Some rs -> f rs | None -> 0 in
-  let bk f =
+  let bs =
     match st.banks with
-    | Some b -> f (Fpc_regbank.Bank_file.stats b)
-    | None -> 0
+    | Some b -> Fpc_regbank.Bank_file.stats b
+    | None -> no_bank_stats
+  in
+  let rs_pushes, rs_hits, rs_empty_pops, rs_flushes, rs_flushed, rs_spills =
+    match st.rstack with
+    | Some rs ->
+      Fpc_ifu.Return_stack.
+        ( pushes rs,
+          fast_pops rs,
+          empty_pops rs,
+          flushes rs,
+          flushed_entries rs,
+          spills rs )
+    | None -> (0, 0, 0, 0, 0, 0)
   in
   {
     o_status = st.status;
@@ -294,16 +320,16 @@ let outcome (st : State.t) =
       {
         f_fast_transfers = m.fast_transfers;
         f_slow_transfers = m.slow_transfers;
-        f_rs_pushes = rs Fpc_ifu.Return_stack.pushes;
-        f_rs_hits = rs Fpc_ifu.Return_stack.fast_pops;
-        f_rs_empty_pops = rs Fpc_ifu.Return_stack.empty_pops;
-        f_rs_flushes = rs Fpc_ifu.Return_stack.flushes;
-        f_rs_flushed_entries = rs Fpc_ifu.Return_stack.flushed_entries;
-        f_rs_spills = rs Fpc_ifu.Return_stack.spills;
-        f_bank_underflows = bk (fun s -> s.Fpc_regbank.Bank_file.underflows);
-        f_bank_overflows = bk (fun s -> s.Fpc_regbank.Bank_file.overflows);
-        f_bank_words_loaded = bk (fun s -> s.Fpc_regbank.Bank_file.words_loaded);
-        f_bank_words_spilled = bk (fun s -> s.Fpc_regbank.Bank_file.words_written_back);
+        f_rs_pushes = rs_pushes;
+        f_rs_hits = rs_hits;
+        f_rs_empty_pops = rs_empty_pops;
+        f_rs_flushes = rs_flushes;
+        f_rs_flushed_entries = rs_flushed;
+        f_rs_spills = rs_spills;
+        f_bank_underflows = bs.Fpc_regbank.Bank_file.underflows;
+        f_bank_overflows = bs.Fpc_regbank.Bank_file.overflows;
+        f_bank_words_loaded = bs.Fpc_regbank.Bank_file.words_loaded;
+        f_bank_words_spilled = bs.Fpc_regbank.Bank_file.words_written_back;
         f_ff_hits = m.ff_hits;
         f_ff_misses = m.ff_misses;
         f_frame_allocs = m.frame_allocs;
@@ -322,7 +348,7 @@ let procmap_of_image (image : Fpc_mesa.Image.t) =
         let lo = (2 * ii.Fpc_mesa.Image.ii_code_base) + pi.Fpc_mesa.Image.pi_entry_offset in
         let hi = lo + 1 + pi.Fpc_mesa.Image.pi_body_bytes in
         (ii.Fpc_mesa.Image.ii_module ^ "." ^ proc, lo, hi) :: acc)
-      image.Fpc_mesa.Image.procs []
+      image.Fpc_mesa.Image.dir.Fpc_mesa.Image.procs []
     |> List.sort_uniq compare
   in
   Fpc_trace.Procmap.create ranges

@@ -1,17 +1,36 @@
 type address = int
 
-type t = { store : int array; mutable cost : Cost.t option }
+(* Dirty tracking granularity: one byte of [dirty] per 256-word page.
+   Every mutation funnels through [poke] (metered writes and code-byte
+   stores included), so the bitmap is a sound over-approximation of the
+   words that differ from any content-identical pristine store. *)
+let page_words_log2 = 8
+let page_words = 1 lsl page_words_log2
+
+type t = { store : int array; dirty : Bytes.t; mutable cost : Cost.t option }
+
+let pages_for size_words = (size_words + page_words - 1) lsr page_words_log2
 
 let create ?cost ~size_words () =
   if size_words <= 0 then invalid_arg "Memory.create: size must be positive";
-  { store = Array.make size_words 0; cost }
+  {
+    store = Array.make size_words 0;
+    dirty = Bytes.make (pages_for size_words) '\000';
+    cost;
+  }
 
-let clone ?cost t =
-  { store = Array.copy t.store;
-    cost = (match cost with Some _ -> cost | None -> t.cost) }
+let clone t =
+  (* The copy starts content-identical to [t], so its dirty map is clean:
+     dirtiness is always relative to the store a reset would blit from. *)
+  {
+    store = Array.copy t.store;
+    dirty = Bytes.make (Bytes.length t.dirty) '\000';
+    cost = t.cost;
+  }
 
 let size t = Array.length t.store
 let set_cost t c = t.cost <- Some c
+let clear_cost t = t.cost <- None
 let cost t = t.cost
 
 let check t addr what =
@@ -24,7 +43,28 @@ let peek t addr =
 
 let poke t addr v =
   check t addr "poke";
+  Bytes.unsafe_set t.dirty (addr lsr page_words_log2) '\001';
   t.store.(addr) <- Fpc_util.Bits.to_word v
+
+let dirty_pages t =
+  let n = ref 0 in
+  for i = 0 to Bytes.length t.dirty - 1 do
+    if Bytes.unsafe_get t.dirty i <> '\000' then incr n
+  done;
+  !n
+
+let reset_from t ~pristine =
+  if Array.length t.store <> Array.length pristine.store then
+    invalid_arg "Memory.reset_from: size mismatch";
+  let size = Array.length t.store in
+  for page = 0 to Bytes.length t.dirty - 1 do
+    if Bytes.unsafe_get t.dirty page <> '\000' then begin
+      let base = page lsl page_words_log2 in
+      let len = min page_words (size - base) in
+      Array.blit pristine.store base t.store base len;
+      Bytes.unsafe_set t.dirty page '\000'
+    end
+  done
 
 let charge_read t = match t.cost with Some c -> Cost.mem_read c | None -> ()
 let charge_write t = match t.cost with Some c -> Cost.mem_write c | None -> ()

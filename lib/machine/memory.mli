@@ -25,15 +25,39 @@ val create : ?cost:Cost.t -> size_words:int -> unit -> t
 (** Fresh zeroed storage.  When [cost] is given, metered accesses charge it;
     it can be replaced later with {!set_cost}. *)
 
-val clone : ?cost:Cost.t -> t -> t
-(** An independent copy of the store: same contents, its own word array.
-    Metered accesses on the copy charge [cost] (default: the original's
-    meter).  This is what lets a linked image be cached and re-run — each
-    execution works on a clone, leaving the pristine store untouched. *)
+val clone : t -> t
+(** An independent copy of the store: same contents, its own word array,
+    charging the original's meter (override with {!set_cost} /
+    {!clear_cost}).  This is what lets a linked image be cached and
+    re-run — each execution works on a clone, leaving the pristine store
+    untouched.  The copy's dirty map starts clean: it is content-identical
+    to [t], so a later {!reset_from} against [t]'s store (or any
+    content-equal pristine) has nothing to undo yet. *)
 
 val size : t -> int
 val set_cost : t -> Cost.t -> unit
+val clear_cost : t -> unit
 val cost : t -> Cost.t option
+
+(** {1 Dirty tracking and reset}
+
+    Every mutation ([write], [poke], [poke_code_byte], [blit_bytes]) marks
+    the containing 256-word page dirty.  [reset_from] blits only dirty
+    pages back from a pristine store and clears the map, so restoring a
+    store to pristine costs time proportional to memory {e touched}, not
+    to image size — the arena analogue of the paper's AV frame heap, where
+    recycling beats general-purpose (re)allocation. *)
+
+val reset_from : t -> pristine:t -> unit
+(** Restore [t]'s store to [pristine]'s contents by copying back the dirty
+    pages, then mark everything clean.  [t] must have been cloned (directly
+    or transitively) from a store content-identical to [pristine]; sizes
+    must match or [Invalid_argument] is raised.  The cost meter is left
+    untouched — reset it separately ({!set_cost} / [Cost.reset]). *)
+
+val dirty_pages : t -> int
+(** Number of 256-word pages written since creation / the last
+    [reset_from].  Exposed for tests and diagnostics. *)
 
 (** {1 Metered access} *)
 

@@ -23,6 +23,23 @@ let unpack w =
   else invalid_arg (Printf.sprintf "Descriptor.unpack: malformed context word 0x%04X" w)
 
 let is_frame_word w = w <> 0 && w land 3 = 0
+
+(* Packed-word accessors for the transfer hot path: classify and split a
+   context word without materialising the variant (whose [Proc]/[Frame]
+   blocks would be a per-call allocation). *)
+let word_nil = 0
+let word_proc = 1
+let word_frame = 2
+let word_malformed = -1
+
+let word_kind w =
+  if w = 0 then word_nil
+  else if w land 1 = 1 then word_proc
+  else if w land 3 = 0 then word_frame
+  else word_malformed
+
+let word_gfi w = (w lsr 6) land 0x3FF
+let word_ev w = (w lsr 1) land 0x1F
 let equal a b = a = b
 
 let to_string = function

@@ -39,6 +39,25 @@ val is_frame_word : int -> bool
 (** True when the packed word denotes an existing frame (not Nil, not a
     descriptor). *)
 
+(** {1 Packed-word accessors}
+
+    Classify and split a context word without materialising the variant —
+    the transfer engine's per-call path must not allocate.  [word_kind]
+    returns one of the codes below; for a {!word_frame} word the frame
+    pointer is the word itself. *)
+
+val word_nil : int  (** 0 *)
+
+val word_proc : int  (** 1 *)
+
+val word_frame : int  (** 2 *)
+
+val word_malformed : int  (** -1 *)
+
+val word_kind : int -> int
+val word_gfi : int -> int
+val word_ev : int -> int
+
 val equal : t -> t -> bool
 val to_string : t -> string
 

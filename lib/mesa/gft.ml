@@ -26,10 +26,9 @@ let set_entry t ~gfi ~gf_addr ~bias =
   check_gfi gfi;
   Memory.poke t.mem (t.base + gfi) (pack_entry ~gf_addr ~bias)
 
-let read_entry t ~cost_mem_read ~gfi =
+let read_entry_word t ~cost_mem_read ~gfi =
   check_gfi gfi;
-  let w =
-    if cost_mem_read then Memory.read t.mem (t.base + gfi)
-    else Memory.peek t.mem (t.base + gfi)
-  in
-  unpack_entry w
+  if cost_mem_read then Memory.read t.mem (t.base + gfi)
+  else Memory.peek t.mem (t.base + gfi)
+
+let read_entry t ~cost_mem_read ~gfi = unpack_entry (read_entry_word t ~cost_mem_read ~gfi)

@@ -26,5 +26,10 @@ val read_entry : t -> cost_mem_read:bool -> gfi:int -> int * int
 (** [(gf_addr, bias)].  With [cost_mem_read] the access is metered (the
     running machine); otherwise it peeks (tools). *)
 
+val read_entry_word : t -> cost_mem_read:bool -> gfi:int -> int
+(** The raw packed entry word — the allocation-free form the transfer
+    engine uses; split it with [w land 0xFFFC] / [w land 3] (see
+    {!unpack_entry}). *)
+
 val pack_entry : gf_addr:int -> bias:int -> int
 val unpack_entry : int -> int * int

@@ -25,6 +25,18 @@ type instance_info = {
   ii_imports : (string * string) array;
 }
 
+(* The OCaml-side directory: everything written at link time and read-only
+   afterwards.  One directory is shared by a pristine image and all its
+   clones — cloning an image copies simulated storage, never this. *)
+type directory = {
+  mutable instances : instance_info list;
+  procs : (string * string, proc_info) Hashtbl.t;
+  source : Compiled.t list;
+  mutable code_cursor : int;
+  mutable gfi_cursor : int;
+  mutable predecode : Fpc_isa.Predecode.t option;
+}
+
 type t = {
   mem : Memory.t;
   cost : Cost.t;
@@ -32,35 +44,32 @@ type t = {
   gft : Gft.t;
   layout : Layout.t;
   linkage : linkage;
-  mutable instances : instance_info list;
-  procs : (string * string, proc_info) Hashtbl.t;
-  source : Compiled.t list;
+  dir : directory;
   mutable static_cursor : int;
-  mutable code_cursor : int;
-  mutable gfi_cursor : int;
-  mutable predecode : Fpc_isa.Predecode.t option;
 }
 
 let predecode t =
-  match t.predecode with
+  match t.dir.predecode with
   | Some pd -> pd
   | None ->
     (* Code bytes are fixed once linking is done, so the table is built
        over exactly the carved code region.  Racing domains may both
        build it; the tables are identical and either wins benignly. *)
     let lo = 2 * t.layout.Layout.code_region_base in
-    let hi = 2 * t.code_cursor in
+    let hi = 2 * t.dir.code_cursor in
     let fetch pc = Memory.peek_code_byte t.mem ~code_base:0 ~pc in
     let pd = Fpc_isa.Predecode.decode_range ~fetch ~lo ~hi in
-    t.predecode <- Some pd;
+    t.dir.predecode <- Some pd;
     pd
 
 let clone t =
   (* Force the table on the source first: a cached pristine image pays
-     the decode once and every per-execution clone shares it. *)
-  let pd = predecode t in
+     the decode once and every per-execution clone shares it (the whole
+     directory is shared — it is immutable once linked). *)
+  ignore (predecode t);
   let cost = Cost.create ~params:(Cost.params t.cost) () in
-  let mem = Memory.clone ~cost t.mem in
+  let mem = Memory.clone t.mem in
+  Memory.set_cost mem cost;
   let layout = t.layout in
   let allocator =
     Fpc_frames.Alloc_vector.create ~mem
@@ -75,27 +84,38 @@ let clone t =
     gft = Gft.create ~mem ~base:(Gft.base t.gft);
     layout;
     linkage = t.linkage;
-    instances =
-      List.map (fun ii -> { ii with ii_gf_addr = ii.ii_gf_addr }) t.instances;
-    procs = Hashtbl.copy t.procs;
-    source = t.source;
+    dir = t.dir;
     static_cursor = t.static_cursor;
-    code_cursor = t.code_cursor;
-    gfi_cursor = t.gfi_cursor;
-    (* The clone's code bytes are byte-identical to the original's, so
-       the (immutable) predecode table is shared, not copied. *)
-    predecode = Some pd;
   }
 
+let clone_into ~arena pristine =
+  (* Reset-in-place: undo exactly what the last run wrote.  [arena] must
+     be a clone of an image content-identical to [pristine] (same cache
+     key ⇒ same deterministic compilation), so blitting back the dirty
+     pages restores pristine storage; allocator and meter are recycled
+     rather than reallocated. *)
+  if Memory.size arena.mem <> Memory.size pristine.mem then
+    invalid_arg "Image.clone_into: image size mismatch";
+  (* The allocator reset pokes the class-head slots, so it must precede
+     the store reset: the blit then restores those words from [pristine]
+     (they are identical — empty free lists) and the image ends with a
+     completely clean dirty bitmap. *)
+  Fpc_frames.Alloc_vector.reset arena.allocator;
+  Memory.reset_from arena.mem ~pristine:pristine.mem;
+  Cost.reset arena.cost;
+  arena.static_cursor <- pristine.static_cursor
+
 let find_instance t name =
-  match List.find_opt (fun i -> String.equal i.ii_name name) t.instances with
+  match List.find_opt (fun i -> String.equal i.ii_name name) t.dir.instances with
   | Some i -> i
   | None -> raise Not_found
 
-let find_proc t ~instance ~proc = Hashtbl.find t.procs (instance, proc)
+let find_proc t ~instance ~proc = Hashtbl.find t.dir.procs (instance, proc)
 
 let find_module t name =
-  match List.find_opt (fun (m : Compiled.t) -> String.equal m.m_name name) t.source with
+  match
+    List.find_opt (fun (m : Compiled.t) -> String.equal m.m_name name) t.dir.source
+  with
   | Some m -> m
   | None -> raise Not_found
 
@@ -131,8 +151,8 @@ let alloc_static t ~words ~quad =
   base
 
 let alloc_code t ~words =
-  let base = t.code_cursor in
+  let base = t.dir.code_cursor in
   if base + words > t.layout.Layout.memory_words then
     invalid_arg "Image.alloc_code: code region exhausted";
-  t.code_cursor <- base + words;
+  t.dir.code_cursor <- base + words;
   base

@@ -38,6 +38,22 @@ type instance_info = {
   ii_imports : (string * string) array;
 }
 
+(** The OCaml-side directory: everything the linker writes and the tools
+    read back — instance list, procedure table, compiled source, link-time
+    cursors, the lazily built predecode table.  Immutable once linking is
+    done, so one directory is {e shared} by a pristine image and every
+    clone of it (the old per-clone [List.map]/[Hashtbl.copy] duplicated it
+    to no effect — no field ever changed after link). *)
+type directory = {
+  mutable instances : instance_info list;
+  procs : (string * string, proc_info) Hashtbl.t;  (** (instance, proc) *)
+  source : Compiled.t list;
+  mutable code_cursor : int;  (** next free word in the code region *)
+  mutable gfi_cursor : int;  (** next unassigned GFT index *)
+  mutable predecode : Fpc_isa.Predecode.t option;
+      (** lazily built by {!predecode}; shared (not copied) by {!clone} *)
+}
+
 type t = {
   mem : Fpc_machine.Memory.t;
   cost : Fpc_machine.Cost.t;
@@ -45,29 +61,36 @@ type t = {
   gft : Gft.t;
   layout : Layout.t;
   linkage : linkage;
-  mutable instances : instance_info list;
-  procs : (string * string, proc_info) Hashtbl.t;  (** (instance, proc) *)
-  source : Compiled.t list;
+  dir : directory;  (** shared across clones *)
   mutable static_cursor : int;  (** next free word in the static region *)
-  mutable code_cursor : int;  (** next free word in the code region *)
-  mutable gfi_cursor : int;  (** next unassigned GFT index *)
-  mutable predecode : Fpc_isa.Predecode.t option;
-      (** lazily built by {!predecode}; shared (not copied) by {!clone} *)
 }
 
 val predecode : t -> Fpc_isa.Predecode.t
 (** The image's predecoded instruction table, covering the carved code
-    region — built on first demand, cached on the image, and shared
-    read-only by every {!clone} (code bytes are fixed at link time).
-    Purely a host-speed device: simulated meters are unaffected. *)
+    region — built on first demand, cached on the shared directory
+    (code bytes are fixed at link time).  Purely a host-speed device:
+    simulated meters are unaffected. *)
 
 val clone : t -> t
 (** An independent copy of the image: the simulated store is duplicated and
     the copy gets a fresh cost meter (same parameters) and a fresh frame
-    allocator over the duplicated store.  Running a program {e mutates} its
-    image (frames are carved from the heap, globals are written, I1 installs
-    its link tables in the static region), so a cached pristine image must
-    be cloned once per execution; the original is never touched. *)
+    allocator over the duplicated store; the directory is shared.  Running
+    a program {e mutates} its image (frames are carved from the heap,
+    globals are written, I1 installs its link tables in the static region),
+    so a cached pristine image must be cloned once per execution; the
+    original is never touched. *)
+
+val clone_into : arena:t -> t -> unit
+(** [clone_into ~arena pristine] resets [arena] — a previously used clone
+    of an image content-identical to [pristine] — back to pristine state
+    {e in place}: dirty pages of the store are blitted back
+    ({!Fpc_machine.Memory.reset_from}), the cost meter and frame allocator
+    are recycled ([Cost.reset] / [Alloc_vector.reset]) and the static
+    cursor rewound.  No allocation proportional to image size; cost is
+    proportional to memory the last run touched.  This is the per-job
+    reset of the execution arena — the serving-layer analogue of the
+    paper's AV frame heap, which recycles frames instead of paying the
+    general allocator per call. *)
 
 val find_instance : t -> string -> instance_info
 (** Raises [Not_found]. *)

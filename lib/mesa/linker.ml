@@ -110,10 +110,10 @@ let create_instance (image : Image.t) (ml : module_layout) ~k =
   let name = instance_name m.m_name k in
   let nprocs = Array.length ml.l_procs in
   let gfi_count = gfi_count_for nprocs in
-  if image.gfi_cursor + gfi_count > Gft.capacity then
+  if image.dir.gfi_cursor + gfi_count > Gft.capacity then
     invalid_arg "Linker: out of GFT entries";
-  let gfi = image.gfi_cursor in
-  image.gfi_cursor <- gfi + gfi_count;
+  let gfi = image.dir.gfi_cursor in
+  image.dir.gfi_cursor <- gfi + gfi_count;
   let n_imports = Array.length m.m_imports in
   let gf = alloc_gf_with_lv image ~n_imports ~globals_words:m.m_globals_words in
   let lv = gf - n_imports in
@@ -137,10 +137,10 @@ let create_instance (image : Image.t) (ml : module_layout) ~k =
       ii_imports = Array.copy m.m_imports;
     }
   in
-  image.instances <- image.instances @ [ ii ];
+  image.dir.instances <- image.dir.instances @ [ ii ];
   Array.iteri
     (fun ev pl ->
-      Hashtbl.replace image.procs (name, pl.l_proc.p_name)
+      Hashtbl.replace image.dir.procs (name, pl.l_proc.p_name)
         {
           Image.pi_instance = name;
           pi_proc = pl.l_proc.p_name;
@@ -237,6 +237,16 @@ let link ?(linkage = Image.External) ?(memory_words = 65536) ?ladder ?cost_param
           ~heap_base:layout.heap_base ~heap_limit:layout.heap_limit ()
       in
       let gft = Gft.create ~mem ~base:layout.gft_base in
+      let dir =
+        {
+          Image.instances = [];
+          procs = Hashtbl.create 64;
+          source = modules;
+          code_cursor = layout.code_region_base;
+          gfi_cursor = 1;
+          predecode = None;
+        }
+      in
       let image =
         {
           Image.mem;
@@ -245,13 +255,8 @@ let link ?(linkage = Image.External) ?(memory_words = 65536) ?ladder ?cost_param
           gft;
           layout;
           linkage;
-          instances = [];
-          procs = Hashtbl.create 64;
-          source = modules;
+          dir;
           static_cursor = layout.static_base;
-          code_cursor = layout.code_region_base;
-          gfi_cursor = 1;
-          predecode = None;
         }
       in
       let count_instances name =
@@ -276,7 +281,7 @@ let link ?(linkage = Image.External) ?(memory_words = 65536) ?ladder ?cost_param
             ignore (create_instance image ml ~k)
           done)
         layouts;
-      List.iter (resolve_lv image) image.instances;
+      List.iter (resolve_lv image) image.dir.instances;
       List.iter (write_segment image ~linkage ~layouts) layouts;
       Ok image
     with Invalid_argument msg -> Error msg)
@@ -290,7 +295,7 @@ let instantiate (image : Image.t) ~module_name =
     | m -> (
       let existing =
         List.filter (fun (i : Image.instance_info) -> String.equal i.ii_module module_name)
-          image.instances
+          image.dir.instances
       in
       let k = List.length existing in
       let code_base =
@@ -301,10 +306,10 @@ let instantiate (image : Image.t) ~module_name =
       try
         let nprocs = List.length m.m_procs in
         let gfi_count = gfi_count_for nprocs in
-        if image.gfi_cursor + gfi_count > Gft.capacity then
+        if image.dir.gfi_cursor + gfi_count > Gft.capacity then
           invalid_arg "instantiate: out of GFT entries";
-        let gfi = image.gfi_cursor in
-        image.gfi_cursor <- gfi + gfi_count;
+        let gfi = image.dir.gfi_cursor in
+        image.dir.gfi_cursor <- gfi + gfi_count;
         let n_imports = Array.length m.m_imports in
         let gf = alloc_gf_with_lv image ~n_imports ~globals_words:m.m_globals_words in
         let lv = gf - n_imports in
@@ -329,13 +334,13 @@ let instantiate (image : Image.t) ~module_name =
             ii_imports = Array.copy m.m_imports;
           }
         in
-        image.instances <- image.instances @ [ ii ];
+        image.dir.instances <- image.dir.instances @ [ ii ];
         (* Mirror the base instance's directory entries. *)
         List.iteri
           (fun ev (p : Compiled.proc) ->
-            let base = Hashtbl.find image.procs (module_name, p.p_name) in
+            let base = Hashtbl.find image.dir.procs (module_name, p.p_name) in
             ignore ev;
-            Hashtbl.replace image.procs (name, p.p_name)
+            Hashtbl.replace image.dir.procs (name, p.p_name)
               { base with Image.pi_instance = name })
           m.m_procs;
         resolve_lv image ii;
@@ -389,7 +394,7 @@ let segment_extent (image : Image.t) module_name =
   let last =
     List.fold_left
       (fun acc (p : Compiled.proc) ->
-        let pi = Hashtbl.find image.procs (module_name, p.p_name) in
+        let pi = Hashtbl.find image.dir.procs (module_name, p.p_name) in
         max acc (pi.Image.pi_entry_offset + 1 + pi.pi_body_bytes))
       (2 * nprocs) m.m_procs
   in
@@ -413,12 +418,12 @@ let move_code_segment (image : Image.t) ~module_name =
               ii.ii_code_base <- new_base;
               Memory.poke image.mem ii.ii_gf_addr new_base
             end)
-          image.instances;
+          image.dir.instances;
         Ok new_base)
 
 let move_procedure (image : Image.t) ~module_name ~proc =
   Result.bind (require_external image "move_procedure") (fun () ->
-      match Hashtbl.find image.procs (module_name, proc) with
+      match Hashtbl.find image.dir.procs (module_name, proc) with
       | exception Not_found ->
         Error (Printf.sprintf "unknown procedure %s.%s" module_name proc)
       | pi ->
@@ -443,11 +448,11 @@ let move_procedure (image : Image.t) ~module_name ~proc =
           List.iter
             (fun (ii : Image.instance_info) ->
               if String.equal ii.ii_module module_name then
-                match Hashtbl.find_opt image.procs (ii.ii_name, proc) with
+                match Hashtbl.find_opt image.dir.procs (ii.ii_name, proc) with
                 | Some p ->
-                  Hashtbl.replace image.procs (ii.ii_name, proc)
+                  Hashtbl.replace image.dir.procs (ii.ii_name, proc)
                     { p with Image.pi_entry_offset = new_off }
                 | None -> ())
-            image.instances;
+            image.dir.instances;
           Ok new_off
         end)

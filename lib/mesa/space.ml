@@ -50,7 +50,7 @@ let measure (image : Image.t) =
     (* One representative instance per module: code is shared. *)
     List.filter
       (fun (ii : Image.instance_info) -> String.equal ii.ii_name ii.ii_module)
-      image.instances
+      image.dir.instances
   in
   let per_module (acc_code, acc_ev, acc_hdr, acc_fsi, acc_body, sites)
       (ii : Image.instance_info) =
@@ -75,7 +75,7 @@ let measure (image : Image.t) =
   let lv_words =
     List.fold_left
       (fun acc (ii : Image.instance_info) -> acc + max 1 (Array.length ii.ii_imports))
-      0 image.instances
+      0 image.dir.instances
   in
   {
     code_bytes = code;
@@ -84,8 +84,8 @@ let measure (image : Image.t) =
     fsi_bytes = fsi;
     body_bytes = body;
     lv_words;
-    gft_entries_used = image.gfi_cursor - 1;
-    global_frame_overhead_words = 2 * List.length image.instances;
+    gft_entries_used = image.dir.gfi_cursor - 1;
+    global_frame_overhead_words = 2 * List.length image.dir.instances;
     call_sites = sites;
   }
 

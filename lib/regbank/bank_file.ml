@@ -19,13 +19,16 @@ let default_config =
     divert_penalty_cycles = 4;
   }
 
-type owner = Free | Stack | Local of int
+(* Owner encoding, kept as an immediate int so ownership changes never
+   allocate: [owner_free], [owner_stack], or the shadowed frame's LF. *)
+let owner_free = -2
+let owner_stack = -1
 
 type bank = {
   id : int;
   data : int array;
   dirty : bool array;
-  mutable owner : owner;
+  mutable owner : int;
   mutable shadow_len : int;
   mutable age : int;
 }
@@ -42,15 +45,17 @@ type stats = {
   c2_violations : int;
 }
 
+(* Frame→bank lookup is a linear scan over the (≤8) banks — exactly the
+   hardware comparator of §7.4, and unlike the Hashtbl it replaced it
+   allocates nothing on the per-local-reference hot path. *)
 type t = {
   cfg : config;
   mem : Memory.t;
   cost : Cost.t;
   ladder : Fpc_frames.Size_class.t;
   banks : bank array;
-  by_frame : (int, int) Hashtbl.t;
   flagged : (int, unit) Hashtbl.t;
-  mutable stack_bank : int option;
+  mutable stack_bank : int; (* bank id, or -1 *)
   mutable clock : int;
   mutable s_xfers : int;
   mutable s_overflows : int;
@@ -78,13 +83,12 @@ let create ?(config = default_config) ~mem ~cost ~ladder () =
             id;
             data = Array.make config.bank_words 0;
             dirty = Array.make config.bank_words false;
-            owner = Free;
+            owner = owner_free;
             shadow_len = 0;
             age = 0;
           });
-    by_frame = Hashtbl.create 16;
     flagged = Hashtbl.create 16;
-    stack_bank = None;
+    stack_bank = -1;
     clock = 0;
     s_xfers = 0;
     s_overflows = 0;
@@ -100,17 +104,48 @@ let create ?(config = default_config) ~mem ~cost ~ladder () =
 
 let config t = t.cfg
 let set_on_event t f = t.on_event <- f
-let fire t k = match t.on_event with Some f -> f k | None -> ()
+
+let reset t =
+  Array.iter
+    (fun b ->
+      b.owner <- owner_free;
+      b.shadow_len <- 0;
+      b.age <- 0;
+      Array.fill b.dirty 0 (Array.length b.dirty) false)
+    t.banks;
+  Hashtbl.reset t.flagged;
+  t.stack_bank <- -1;
+  t.clock <- 0;
+  t.s_xfers <- 0;
+  t.s_overflows <- 0;
+  t.s_underflows <- 0;
+  t.s_written_back <- 0;
+  t.s_loaded <- 0;
+  t.s_flush_events <- 0;
+  t.s_flagged_flushes <- 0;
+  t.s_diversions <- 0;
+  t.s_c2 <- 0
 
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
+(* The scans below are toplevel recursive functions, not local ones: a
+   [let rec] nested inside the lookup would capture its environment and
+   allocate a closure on every per-reference call. *)
+let rec scan_owner banks n target i =
+  if i >= n then -1
+  else if banks.(i).owner = target then i
+  else scan_owner banks n target (i + 1)
+
+(* Index of the bank shadowing [lf], or -1.  Allocation-free. *)
+let bank_index t ~lf = scan_owner t.banks (Array.length t.banks) lf 0
+
 (* Write a bank's shadow back to its frame.  Dirty tracking lets the
    machine skip registers that were never written (§7.1). *)
 let write_back t bank =
-  match bank.owner with
-  | Local lf ->
+  if bank.owner >= 0 then begin
+    let lf = bank.owner in
     let n = ref 0 in
     for i = 0 to bank.shadow_len - 1 do
       if (not t.cfg.track_dirty) || bank.dirty.(i) then begin
@@ -119,95 +154,98 @@ let write_back t bank =
         incr n
       end
     done;
-    if !n > 0 then fire t (Fpc_trace.Event.Bank_spill !n)
-  | Free | Stack -> ()
+    if !n > 0 then
+      match t.on_event with
+      | Some f -> f (Fpc_trace.Event.Bank_spill !n)
+      | None -> ()
+  end
 
 let detach t bank =
-  (match bank.owner with
-  | Local lf -> Hashtbl.remove t.by_frame lf
-  | Stack -> if t.stack_bank = Some bank.id then t.stack_bank <- None
-  | Free -> ());
-  bank.owner <- Free;
+  if bank.owner = owner_stack && t.stack_bank = bank.id then t.stack_bank <- -1;
+  bank.owner <- owner_free;
   bank.shadow_len <- 0;
   Array.fill bank.dirty 0 (Array.length bank.dirty) false
 
 (* Find a bank to use: a free one, else evict the oldest local bank.  The
    current stack bank is never a victim.  Raises if every bank is the
    stack bank (bank_count = 0 is rejected at create). *)
+(* Oldest local-owning bank (ties keep the first), or -1. *)
+let rec scan_victim banks n best i =
+  if i >= n then best
+  else
+    let best =
+      if banks.(i).owner >= 0 && (best < 0 || banks.(i).age < banks.(best).age)
+      then i
+      else best
+    in
+    scan_victim banks n best (i + 1)
+
 let acquire t =
-  let free = Array.fold_left (fun acc b -> match acc with
-      | Some _ -> acc
-      | None -> if b.owner = Free then Some b else None) None t.banks
-  in
-  match free with
-  | Some b ->
+  let n = Array.length t.banks in
+  let fi = scan_owner t.banks n owner_free 0 in
+  if fi >= 0 then begin
+    let b = t.banks.(fi) in
     b.age <- tick t;
     b
-  | None ->
-    let victim =
-      Array.fold_left
-        (fun acc b ->
-          match b.owner with
-          | Local _ -> (
-            match acc with
-            | Some v when v.age <= b.age -> acc
-            | _ -> Some b)
-          | Stack | Free -> acc)
-        None t.banks
-    in
-    (match victim with
-    | None -> invalid_arg "Bank_file.acquire: no evictable bank"
-    | Some b ->
+  end
+  else begin
+    let vi = scan_victim t.banks n (-1) 0 in
+    if vi < 0 then invalid_arg "Bank_file.acquire: no evictable bank"
+    else begin
+      let b = t.banks.(vi) in
       t.s_overflows <- t.s_overflows + 1;
       write_back t b;
       detach t b;
       b.age <- tick t;
-      b)
+      b
+    end
+  end
 
 let shadow_len_for t ~payload_words = min t.cfg.bank_words payload_words
 
-let bank_of t ~lf =
-  match Hashtbl.find_opt t.by_frame lf with
-  | Some id -> Some t.banks.(id)
-  | None -> None
-
 let assign t bank ~lf ~payload_words =
-  bank.owner <- Local lf;
+  bank.owner <- lf;
   bank.shadow_len <- shadow_len_for t ~payload_words;
   Array.fill bank.dirty 0 (Array.length bank.dirty) false;
-  Hashtbl.replace t.by_frame lf bank.id;
   bank.age <- tick t
 
-let on_call t ~callee_lf ~payload_words ~args =
+(* [on_call_n] is the transfer engine's entry point: a plain [nargs]
+   argument, because wrapping it in an option at the call site would be a
+   per-call allocation. *)
+let on_call_n t ~nargs ~callee_lf ~payload_words ~args =
   t.s_xfers <- t.s_xfers + 1;
   (* Rename the stack bank (or a fresh one if no stack bank exists, e.g.
      right after a flush) into the callee's local bank. *)
   let bank =
-    match t.stack_bank with
-    | Some id ->
-      let b = t.banks.(id) in
-      t.stack_bank <- None;
+    if t.stack_bank >= 0 then begin
+      let b = t.banks.(t.stack_bank) in
+      t.stack_bank <- -1;
       b.age <- tick t;
       b
-    | None -> acquire t
+    end
+    else acquire t
   in
   assign t bank ~lf:callee_lf ~payload_words;
-  Array.iteri
-    (fun i v ->
-      if i < bank.shadow_len then begin
-        bank.data.(i) <- v;
-        bank.dirty.(i) <- true
-      end
-      else
-        (* The argument record overflows the bank window: the excess words
-           go straight to the frame in storage. *)
-        Memory.write t.mem (callee_lf + i) v)
-    args;
+  for i = 0 to nargs - 1 do
+    let v = args.(i) in
+    if i < bank.shadow_len then begin
+      bank.data.(i) <- v;
+      bank.dirty.(i) <- true
+    end
+    else
+      (* The argument record overflows the bank window: the excess words
+         go straight to the frame in storage. *)
+      Memory.write t.mem (callee_lf + i) v
+  done;
   (* A fresh stack bank for the callee's expression evaluation. *)
   let sb = acquire t in
-  sb.owner <- Stack;
+  sb.owner <- owner_stack;
   sb.shadow_len <- 0;
-  t.stack_bank <- Some sb.id
+  t.stack_bank <- sb.id
+
+let on_call ?nargs t ~callee_lf ~payload_words ~args =
+  let nargs = match nargs with Some n -> n | None -> Array.length args in
+  on_call_n t ~nargs ~callee_lf ~payload_words ~args
 
 let load_bank t bank ~lf =
   for i = 0 to bank.shadow_len - 1 do
@@ -215,13 +253,16 @@ let load_bank t bank ~lf =
     bank.dirty.(i) <- false;
     t.s_loaded <- t.s_loaded + 1
   done;
-  if bank.shadow_len > 0 then fire t (Fpc_trace.Event.Bank_load bank.shadow_len)
+  if bank.shadow_len > 0 then
+    match t.on_event with
+    | Some f -> f (Fpc_trace.Event.Bank_load bank.shadow_len)
+    | None -> ()
 
 let ensure_bank t ~lf =
   t.s_xfers <- t.s_xfers + 1;
-  match bank_of t ~lf with
-  | Some b -> b.age <- tick t
-  | None ->
+  let bi = bank_index t ~lf in
+  if bi >= 0 then t.banks.(bi).age <- tick t
+  else begin
     t.s_underflows <- t.s_underflows + 1;
     (* The frame's payload size comes from its fsi word — one storage
        reference, part of the underflow cost. *)
@@ -232,12 +273,12 @@ let ensure_bank t ~lf =
     let b = acquire t in
     assign t b ~lf ~payload_words;
     load_bank t b ~lf
+  end
 
 let release_frame t ~lf =
-  (match bank_of t ~lf with
-  | Some b -> detach t b
-  | None -> ());
-  Hashtbl.remove t.flagged lf
+  let bi = bank_index t ~lf in
+  if bi >= 0 then detach t t.banks.(bi);
+  if Hashtbl.length t.flagged > 0 then Hashtbl.remove t.flagged lf
 
 let flag_frame t ~lf = Hashtbl.replace t.flagged lf ()
 let is_flagged t ~lf = Hashtbl.mem t.flagged lf
@@ -245,89 +286,102 @@ let is_flagged t ~lf = Hashtbl.mem t.flagged lf
 let on_leave t ~lf =
   match t.cfg.pointer_policy with
   | Divert -> ()
-  | Flush_flagged -> (
-    if is_flagged t ~lf then
-      match bank_of t ~lf with
-      | Some b ->
+  | Flush_flagged ->
+    if Hashtbl.length t.flagged > 0 && is_flagged t ~lf then begin
+      let bi = bank_index t ~lf in
+      if bi >= 0 then begin
+        let b = t.banks.(bi) in
         t.s_flagged_flushes <- t.s_flagged_flushes + 1;
         write_back t b;
         detach t b
-      | None -> ())
+      end
+    end
 
 let flush_all t =
   t.s_flush_events <- t.s_flush_events + 1;
   Array.iter
     (fun b ->
-      match b.owner with
-      | Local _ ->
+      if b.owner >= 0 then begin
         write_back t b;
         detach t b
-      | Stack -> detach t b
-      | Free -> ())
+      end
+      else if b.owner = owner_stack then detach t b)
     t.banks
 
 let read_local t ~lf ~index =
-  match bank_of t ~lf with
-  | Some b when index < b.shadow_len ->
+  let bi = bank_index t ~lf in
+  if bi >= 0 && index < t.banks.(bi).shadow_len then begin
     Cost.bank_ref t.cost;
-    b.data.(index)
-  | Some _ | None -> Memory.read t.mem (lf + index)
+    t.banks.(bi).data.(index)
+  end
+  else Memory.read t.mem (lf + index)
 
 let write_local t ~lf ~index v =
   let v = Fpc_util.Bits.to_word v in
-  match bank_of t ~lf with
-  | Some b when index < b.shadow_len ->
+  let bi = bank_index t ~lf in
+  if bi >= 0 && index < t.banks.(bi).shadow_len then begin
     Cost.bank_ref t.cost;
-    b.data.(index) <- v;
-    b.dirty.(index) <- true
-  | Some _ | None -> Memory.write t.mem (lf + index) v
+    t.banks.(bi).data.(index) <- v;
+    t.banks.(bi).dirty.(index) <- true
+  end
+  else Memory.write t.mem (lf + index) v
 
-(* Locate the shadowed window containing [addr], if any.  With at most
-   eight banks a linear scan is exactly the hardware comparator of §7.4. *)
-let window_of t addr =
-  let hit = ref None in
-  Array.iter
-    (fun b ->
-      match b.owner with
-      | Local lf when addr >= lf && addr < lf + b.shadow_len ->
-        hit := Some (b, addr - lf)
-      | Local _ | Stack | Free -> ())
-    t.banks;
-  !hit
+(* Locate the shadowed window containing [addr], if any: the hardware
+   comparator of §7.4.  Windows of distinct live frames never overlap
+   (they sit inside disjoint frame blocks), so first hit = only hit.
+   Returns the bank index, or -1. *)
+let rec scan_window banks n addr i =
+  if i >= n then -1
+  else
+    let lf = banks.(i).owner in
+    if lf >= 0 && addr >= lf && addr < lf + banks.(i).shadow_len then i
+    else scan_window banks n addr (i + 1)
+
+let window_index t addr = scan_window t.banks (Array.length t.banks) addr 0
 
 let data_read t ~addr =
-  match window_of t addr with
-  | None -> Memory.read t.mem addr
-  | Some (b, i) ->
+  let bi = window_index t addr in
+  if bi < 0 then Memory.read t.mem addr
+  else begin
+    let b = t.banks.(bi) in
     (match t.cfg.pointer_policy with
     | Flush_flagged -> t.s_c2 <- t.s_c2 + 1
     | Divert -> ());
     t.s_diversions <- t.s_diversions + 1;
     Cost.bank_ref t.cost;
     Cost.add_cycles t.cost t.cfg.divert_penalty_cycles;
-    b.data.(i)
+    let lf = b.owner in
+    assert (lf >= 0);
+    b.data.(addr - lf)
+  end
 
 let data_write t ~addr v =
   let v = Fpc_util.Bits.to_word v in
-  match window_of t addr with
-  | None -> Memory.write t.mem addr v
-  | Some (b, i) ->
+  let bi = window_index t addr in
+  if bi < 0 then Memory.write t.mem addr v
+  else begin
+    let b = t.banks.(bi) in
     (match t.cfg.pointer_policy with
     | Flush_flagged -> t.s_c2 <- t.s_c2 + 1
     | Divert -> ());
     t.s_diversions <- t.s_diversions + 1;
     Cost.bank_ref t.cost;
     Cost.add_cycles t.cost t.cfg.divert_penalty_cycles;
-    b.data.(i) <- v;
-    b.dirty.(i) <- true
+    let lf = b.owner in
+    assert (lf >= 0);
+    b.data.(addr - lf) <- v;
+    b.dirty.(addr - lf) <- true
+  end
 
-let has_bank t ~lf = Hashtbl.mem t.by_frame lf
-let bank_id t ~lf = Hashtbl.find_opt t.by_frame lf
+let has_bank t ~lf = bank_index t ~lf >= 0
+
+let bank_id t ~lf =
+  let bi = bank_index t ~lf in
+  if bi < 0 then None else Some bi
 
 let shadow_words t ~lf =
-  match bank_of t ~lf with
-  | None -> None
-  | Some b -> Some (Array.sub b.data 0 b.shadow_len)
+  let bi = bank_index t ~lf in
+  if bi < 0 then None else Some (Array.sub t.banks.(bi).data 0 t.banks.(bi).shadow_len)
 
 let stats t =
   {
@@ -345,25 +399,17 @@ let stats t =
 let check_coherence t =
   let ( let* ) r f = Result.bind r f in
   let* () =
-    Hashtbl.fold
-      (fun lf id acc ->
-        let* () = acc in
-        match t.banks.(id).owner with
-        | Local lf' when lf' = lf -> Ok ()
-        | _ -> Error (Printf.sprintf "by_frame maps %d to bank %d with wrong owner" lf id))
-      t.by_frame (Ok ())
-  in
-  let* () =
     Array.fold_left
       (fun acc b ->
         let* () = acc in
-        match b.owner with
-        | Local lf when Hashtbl.find_opt t.by_frame lf <> Some b.id ->
-          Error (Printf.sprintf "bank %d owns frame %d but map disagrees" b.id lf)
-        | _ -> Ok ())
+        let lf = b.owner in
+        if lf >= 0 && bank_index t ~lf <> b.id then
+          Error
+            (Printf.sprintf "bank %d owns frame %d but lookup finds bank %d" b.id lf
+               (bank_index t ~lf))
+        else Ok ())
       (Ok ()) t.banks
   in
-  match t.stack_bank with
-  | Some id when t.banks.(id).owner <> Stack ->
-    Error (Printf.sprintf "stack bank %d has non-stack owner" id)
-  | _ -> Ok ()
+  if t.stack_bank >= 0 && t.banks.(t.stack_bank).owner <> owner_stack then
+    Error (Printf.sprintf "stack bank %d has non-stack owner" t.stack_bank)
+  else Ok ()

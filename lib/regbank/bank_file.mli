@@ -65,10 +65,23 @@ val set_on_event : t -> (Fpc_trace.Event.kind -> unit) option -> unit
 
 (** {1 Transfer-path hooks (called by the transfer engine)} *)
 
-val on_call : t -> callee_lf:int -> payload_words:int -> args:int array -> unit
+val reset : t -> unit
+(** Return the file to its just-created state: all banks free, no stack
+    bank, flags dropped, statistics zeroed (arena reuse across jobs). *)
+
+val on_call :
+  ?nargs:int -> t -> callee_lf:int -> payload_words:int -> args:int array -> unit
 (** Rename the current stack bank into the callee's local bank, deposit the
     argument record in its first words (words beyond the shadow spill to
-    storage), and acquire a fresh stack bank.  May evict. *)
+    storage), and acquire a fresh stack bank.  May evict.  Only the first
+    [nargs] words of [args] are the record (default: all of it) — the
+    transfer engine passes the eval stack's backing buffer directly to
+    avoid materialising an argument array per call. *)
+
+val on_call_n :
+  t -> nargs:int -> callee_lf:int -> payload_words:int -> args:int array -> unit
+(** As {!on_call} with a mandatory [nargs] — the transfer engine's form,
+    avoiding the option wrapping a [?nargs] call site would allocate. *)
 
 val ensure_bank : t -> lf:int -> unit
 (** Transfer-in: if [lf] has no bank, assign one (possibly evicting) and
@@ -105,7 +118,13 @@ val data_read : t -> addr:int -> int
 val data_write : t -> addr:int -> int -> unit
 
 val has_bank : t -> lf:int -> bool
+
+val bank_index : t -> lf:int -> int
+(** Index of the bank shadowing [lf], or -1.  Allocation-free — the
+    transfer engine's per-call lookup. *)
+
 val bank_id : t -> lf:int -> int option
+(** Option-returning wrapper over {!bank_index} (experiments, tests). *)
 
 val shadow_words : t -> lf:int -> int array option
 (** Copy of the shadowed window (tests). *)

@@ -1,0 +1,130 @@
+(* A worker-private table of reusable execution contexts.  Single-owner
+   by construction: the pool creates one per worker domain and never
+   shares it, so there is no lock anywhere on this path. *)
+
+type slot = {
+  sl_cache_key : string;  (* the image cache's content key *)
+  sl_engine : string;  (* engine name, the key's second component *)
+  sl_image : Fpc_mesa.Image.t;  (* this slot's private arena clone *)
+  sl_st : Fpc_core.State.t;
+  mutable sl_last_used : int;
+}
+
+type t = {
+  slots : (string, slot) Hashtbl.t;
+  capacity : int;
+  mutable last : slot option;
+      (** the previously acquired slot — workers run streaks of jobs
+          against one hot image, and this memo turns the common repeat
+          acquire into two string compares (no key concat, no hashing) *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable pages_blitted : int;
+}
+
+let create ?(capacity = 32) () =
+  if capacity <= 0 then invalid_arg "Arena.create: capacity must be positive";
+  {
+    slots = Hashtbl.create 32;
+    capacity;
+    last = None;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    pages_blitted = 0;
+  }
+
+let capacity t = t.capacity
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  pages_blitted : int;
+}
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.slots;
+    pages_blitted = t.pages_blitted;
+  }
+
+let slot_key ~key ~engine_name = key ^ "|" ^ engine_name
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key s ->
+      match !victim with
+      | Some (_, oldest) when oldest <= s.sl_last_used -> ()
+      | _ -> victim := Some (key, s.sl_last_used))
+    t.slots;
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.slots key;
+    (match t.last with
+    | Some s when slot_key ~key:s.sl_cache_key ~engine_name:s.sl_engine = key ->
+      t.last <- None
+    | _ -> ());
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+(* Reset the hit slot's image: blit back only the pages the previous run
+   dirtied. *)
+let reset_hit (t : t) slot ~pristine =
+  t.hits <- t.hits + 1;
+  slot.sl_last_used <- t.tick;
+  let dirty = Fpc_machine.Memory.dirty_pages slot.sl_image.Fpc_mesa.Image.mem in
+  t.pages_blitted <- t.pages_blitted + dirty;
+  Fpc_mesa.Image.clone_into ~arena:slot.sl_image pristine
+
+(* The slot's image is left equal to [pristine] (dirty pages blitted back
+   on a hit, a fresh clone on a miss); the slot's state is NOT yet reset —
+   the caller builds its tracer against [image slot] first, then
+   [checkout]s. *)
+let acquire t ~key ~engine ~engine_name ~pristine =
+  t.tick <- t.tick + 1;
+  match t.last with
+  | Some slot
+    when String.equal slot.sl_cache_key key
+         && String.equal slot.sl_engine engine_name ->
+    (* The streak path: same job shape as last time, no hashing at all. *)
+    reset_hit t slot ~pristine;
+    slot
+  | _ -> (
+    let sk = slot_key ~key ~engine_name in
+    match Hashtbl.find_opt t.slots sk with
+    | Some slot ->
+      reset_hit t slot ~pristine;
+      t.last <- Some slot;
+      slot
+    | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.slots >= t.capacity then evict_lru t;
+      let image = Fpc_mesa.Image.clone pristine in
+      let st = Fpc_core.State.create ~image ~engine () in
+      let slot =
+        {
+          sl_cache_key = key;
+          sl_engine = engine_name;
+          sl_image = image;
+          sl_st = st;
+          sl_last_used = t.tick;
+        }
+      in
+      Hashtbl.replace t.slots sk slot;
+      t.last <- Some slot;
+      slot)
+
+let image slot = slot.sl_image
+
+let checkout ?tracer slot =
+  Fpc_core.State.reset ?tracer slot.sl_st;
+  slot.sl_st

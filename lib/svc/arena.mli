@@ -1,0 +1,78 @@
+(** Per-worker reusable execution contexts: reset-per-job instead of
+    clone-per-job.
+
+    The pool's original discipline gave every job a private
+    {!Fpc_mesa.Image.clone} and a fresh {!Fpc_core.State.create} — a full
+    64 K-word store copy plus a constellation of fresh arrays, stacks and
+    hash tables, all minor-heap garbage the moment the job ended.  Under
+    OCaml 5 every minor collection stops {e all} domains, so that garbage
+    was not a private cost: it is what kept the pool from scaling.
+
+    An arena keeps, per (cached image × engine) pair, one long-lived
+    clone and one long-lived machine state.  A repeat job {e resets}
+    them: the image blits back only the pages the previous run dirtied
+    (tracked by {!Fpc_machine.Memory} at 256-word granularity), and the
+    state rewinds its stacks, registers and meters in place.  The analogy
+    is the classic allocator trick of reusing a pooled buffer instead of
+    allocating: the steady-state cost becomes proportional to what the
+    job {e touched}, not to the size of the machine.
+
+    An arena is deliberately {b not} thread-safe — each worker domain
+    owns exactly one and nothing else ever sees it, so the hot path has
+    no lock, no atomic and (on a hit) no allocation beyond the few words
+    the reset itself touches.
+
+    Slots are keyed by the image cache's content key plus the engine
+    name.  Content addressing makes slots safe across cache eviction:
+    if the pristine is evicted and later recompiled, the new pristine is
+    word-identical, so resetting an old slot from it is still exact. *)
+
+type t
+
+type slot
+(** One reusable context: a private image clone plus a machine state. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 32) bounds the number of live slots; beyond it
+    the least-recently-used slot is dropped (its image and state become
+    garbage — correct, just no longer zero-allocation for that key). *)
+
+val capacity : t -> int
+
+val acquire :
+  t ->
+  key:string ->
+  engine:Fpc_core.Engine.t ->
+  engine_name:string ->
+  pristine:Fpc_mesa.Image.t ->
+  slot
+(** Find or build the slot for [(key, engine_name)].  On a hit the
+    slot's image is reset from [pristine] (dirty pages only); on a miss
+    a fresh clone and state are built and cached.  Either way the
+    returned slot's image equals [pristine] word-for-word.  The slot's
+    {e state} is not yet reset — build any tracer against {!image} first,
+    then {!checkout}.  [key] must be [pristine]'s content key
+    (see {!Image_cache.find_pristine}); [engine_name] distinguishes
+    engine configurations sharing an image. *)
+
+val image : slot -> Fpc_mesa.Image.t
+(** The slot's private runnable image (for {!Fpc_interp.Profiler.create}
+    and the interpreter). *)
+
+val checkout : ?tracer:Fpc_trace.Sink.t -> slot -> Fpc_core.State.t
+(** Reset the slot's state ({!Fpc_core.State.reset}) — stacks, registers,
+    meters, link tables — and hand it back ready for
+    [Fpc_core.Transfer.start].  Must be called after {!acquire} restored
+    the image (the reset reinstalls I1's link tables into the store). *)
+
+type stats = {
+  hits : int;  (** acquisitions served by resetting an existing slot *)
+  misses : int;  (** acquisitions that had to clone *)
+  evictions : int;
+  entries : int;  (** currently cached slots *)
+  pages_blitted : int;
+      (** dirty 256-word pages restored across all hits — the work the
+          reset actually did, versus a full store copy per job *)
+}
+
+val stats : t -> stats

@@ -105,10 +105,10 @@ let insert t key image =
   Mutex.unlock t.mutex;
   kept
 
-let find_or_compile t ~convention ~source =
+let find_pristine t ~convention ~source =
   let key = key_of ~convention ~source in
   match lookup t key with
-  | Some image -> Ok (Fpc_mesa.Image.clone image, true, 0.0)
+  | Some image -> Ok (image, key, true, 0.0)
   | None -> (
     let t0 = Unix.gettimeofday () in
     match Fpc_compiler.Compile.image ~convention source with
@@ -116,4 +116,9 @@ let find_or_compile t ~convention ~source =
     | Ok image ->
       let dt = Unix.gettimeofday () -. t0 in
       let image = insert t key image in
-      Ok (Fpc_mesa.Image.clone image, false, dt))
+      Ok (image, key, false, dt))
+
+let find_or_compile t ~convention ~source =
+  match find_pristine t ~convention ~source with
+  | Error m -> Error m
+  | Ok (image, _key, hit, dt) -> Ok (Fpc_mesa.Image.clone image, hit, dt)

@@ -45,3 +45,16 @@ val find_or_compile :
     hit).  On a miss the compiled pristine image is inserted; two domains
     racing on the same key may both compile, and the loser's image is
     dropped — wasted work, never wrong results. *)
+
+val find_pristine :
+  t ->
+  convention:Fpc_compiler.Convention.t ->
+  source:string ->
+  (Fpc_mesa.Image.t * string * bool * float, string) result
+(** [(pristine, key, hit, compile_s)]: the cached pristine image itself
+    (no clone) plus its cache key.  The caller must {e never run} the
+    pristine — it is shared across domains; it is the blit source for
+    {!Fpc_mesa.Image.clone} or the arena's [clone_into] reset.  The key
+    is content-derived, so an arena slot keyed by it stays valid even if
+    the entry is evicted and later recompiled: the recompiled pristine is
+    word-identical. *)

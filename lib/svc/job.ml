@@ -36,6 +36,7 @@ type stats = {
   cache_hit : bool;
   compile_s : float;
   run_s : float;
+  minor_words : int;
   instructions : int;
   cycles : int;
   mem_refs : int;
@@ -47,6 +48,7 @@ let no_stats =
     cache_hit = false;
     compile_s = 0.0;
     run_s = 0.0;
+    minor_words = 0;
     instructions = 0;
     cycles = 0;
     mem_refs = 0;
@@ -260,6 +262,7 @@ let result_to_json ?(times = true) r =
         ("cache_hit", Bool r.stats.cache_hit);
         ("compile_s", Float r.stats.compile_s);
         ("run_s", Float r.stats.run_s);
+        ("minor_words", Int r.stats.minor_words);
       ]
     else []
   in

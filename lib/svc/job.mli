@@ -54,6 +54,13 @@ type stats = {
   cache_hit : bool;  (** the image came from the cache (no compile) *)
   compile_s : float;  (** host seconds spent compiling; 0.0 on a hit *)
   run_s : float;  (** host seconds spent executing *)
+  minor_words : int;
+      (** OCaml minor-heap words allocated executing this job (image
+          reset/clone through boot, run and outcome extraction) — the
+          arena's figure of merit.  A host observation like [run_s]: it
+          depends on whether the worker's arena had a warm slot, so it is
+          excluded from deterministic output ([result_line],
+          [result_to_json ~times:false]). *)
   instructions : int;  (** simulated instructions executed *)
   cycles : int;  (** simulated cycles (the paper's cost model) *)
   mem_refs : int;  (** simulated storage references *)

@@ -15,6 +15,7 @@ type t = {
   mutable max_pending_observed : int;
   mutable compile_s : float;
   mutable run_s : float;
+  mutable minor_words : int;
   mutable instructions : int;
   mutable cycles : int;
   mutable mem_refs : int;
@@ -36,6 +37,7 @@ let create ~domains =
     max_pending_observed = 0;
     compile_s = 0.0;
     run_s = 0.0;
+    minor_words = 0;
     instructions = 0;
     cycles = 0;
     mem_refs = 0;
@@ -55,6 +57,7 @@ let record t (r : Job.result) =
       t.deadline_exceeded <- t.deadline_exceeded + 1);
   t.compile_s <- t.compile_s +. r.stats.Job.compile_s;
   t.run_s <- t.run_s +. r.stats.Job.run_s;
+  t.minor_words <- t.minor_words + r.stats.Job.minor_words;
   t.instructions <- t.instructions + r.stats.Job.instructions;
   t.cycles <- t.cycles + r.stats.Job.cycles;
   t.mem_refs <- t.mem_refs + r.stats.Job.mem_refs;
@@ -94,6 +97,7 @@ let merge_into ~src ~into =
     max into.max_pending_observed src.max_pending_observed;
   into.compile_s <- into.compile_s +. src.compile_s;
   into.run_s <- into.run_s +. src.run_s;
+  into.minor_words <- into.minor_words + src.minor_words;
   into.instructions <- into.instructions + src.instructions;
   into.cycles <- into.cycles + src.cycles;
   into.mem_refs <- into.mem_refs + src.mem_refs;
@@ -135,6 +139,8 @@ type snapshot = {
   run_s : float;
   wall_s : float;
   jobs_per_sec : float;
+  minor_words : int;
+  minor_words_per_job : float;
   instructions : int;
   cycles : int;
   mem_refs : int;
@@ -175,6 +181,10 @@ let snapshot (t : t) ~wall_s ~cache =
     wall_s;
     jobs_per_sec =
       (if wall_s > 0.0 then float_of_int t.jobs /. wall_s else 0.0);
+    minor_words = t.minor_words;
+    minor_words_per_job =
+      (if t.jobs > 0 then float_of_int t.minor_words /. float_of_int t.jobs
+       else 0.0);
     instructions = t.instructions;
     cycles = t.cycles;
     mem_refs = t.mem_refs;
@@ -205,6 +215,9 @@ let render (s : snapshot) =
   row "run time (summed)" (Printf.sprintf "%.3fs" s.run_s);
   row "wall time" (Printf.sprintf "%.3fs" s.wall_s);
   row "throughput" (Printf.sprintf "%s jobs/s" (cell_float ~decimals:1 s.jobs_per_sec));
+  row "minor words (total)" (cell_int s.minor_words);
+  row "minor words / job"
+    (cell_float ~decimals:1 s.minor_words_per_job);
   row "simulated instructions" (cell_int s.instructions);
   row "simulated cycles" (cell_int s.cycles);
   row "simulated storage refs" (cell_int s.mem_refs);
@@ -248,6 +261,8 @@ let to_json (s : snapshot) =
       ("run_s", Float s.run_s);
       ("wall_s", Float s.wall_s);
       ("jobs_per_sec", Float s.jobs_per_sec);
+      ("minor_words", Int s.minor_words);
+      ("minor_words_per_job", Float s.minor_words_per_job);
       ("instructions", Int s.instructions);
       ("cycles", Int s.cycles);
       ("mem_refs", Int s.mem_refs);

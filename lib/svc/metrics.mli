@@ -55,6 +55,11 @@ type snapshot = {
   run_s : float;  (** summed across jobs (overlaps across domains) *)
   wall_s : float;
   jobs_per_sec : float;  (** jobs / wall_s; 0 when wall_s is 0 *)
+  minor_words : int;
+      (** OCaml minor-heap words allocated executing jobs, summed — the
+          GC pressure the service put on every domain (minor collections
+          are stop-the-world across all of them) *)
+  minor_words_per_job : float;  (** minor_words / jobs; 0 with no jobs *)
   instructions : int;  (** total simulated instructions *)
   cycles : int;  (** total simulated cycles *)
   mem_refs : int;  (** total simulated storage references *)

@@ -68,25 +68,49 @@ let run_with_deadline ?deadline_at ~fuel st =
     in
     if fuel <= 0 then false else go fuel
 
-let execute cache id (spec : Job.spec) =
+let execute ?arena cache id (spec : Job.spec) =
   match (Job.engine_of_name spec.engine, Job.source_text spec.source) with
   | Error m, _ | _, Error m -> failed id spec Job.Bad_request m
   | Ok engine, Ok source -> (
     let convention = Fpc_compiler.Convention.for_engine engine in
-    match Image_cache.find_or_compile cache ~convention ~source with
+    match Image_cache.find_pristine cache ~convention ~source with
     | Error m -> failed id spec Job.Compile_error m
     | exception e -> failed id spec Job.Internal (Printexc.to_string e)
-    | Ok (image, cache_hit, compile_s) -> (
+    | Ok (pristine, key, cache_hit, compile_s) -> (
       let t0 = now () in
+      let mw0 = Gc.minor_words () in
       let deadline_at =
         Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) spec.deadline_ms
       in
-      let go () =
+      (* With an arena (the worker's private one), reuse its slot for
+         this (image, engine) pair: dirty-page image reset + in-place
+         state reset.  Without one, fall back to clone-per-job.  The
+         steady-state branch is written flat — no [go]/[boot] closures,
+         no shared [image] binding — because every capture here is a
+         per-job minor allocation the arena exists to eliminate. *)
+      match
         if spec.trace then begin
+          let slot =
+            match arena with
+            | Some a ->
+              Some (Arena.acquire a ~key ~engine ~engine_name:spec.engine ~pristine)
+            | None -> None
+          in
+          let image =
+            match slot with
+            | Some s -> Arena.image s
+            | None -> Fpc_mesa.Image.clone pristine
+          in
           let p = Fpc_interp.Profiler.create ~image ~engine () in
           let st =
-            Fpc_interp.Interp.boot ~tracer:p.Fpc_interp.Profiler.sink ~image
-              ~engine ~instance:"Main" ~proc:"main" ~args:[] ()
+            match slot with
+            | Some s ->
+              let st = Arena.checkout ~tracer:p.Fpc_interp.Profiler.sink s in
+              Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
+              st
+            | None ->
+              Fpc_interp.Interp.boot ~tracer:p.Fpc_interp.Profiler.sink ~image
+                ~engine ~instance:"Main" ~proc:"main" ~args:[] ()
           in
           let deadline_hit = run_with_deadline ?deadline_at ~fuel:spec.fuel st in
           let o = Fpc_interp.Interp.outcome st in
@@ -100,24 +124,35 @@ let execute cache id (spec : Job.spec) =
         end
         else begin
           let st =
-            Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
-              ~args:[] ()
+            match arena with
+            | Some a ->
+              let st =
+                Arena.checkout
+                  (Arena.acquire a ~key ~engine ~engine_name:spec.engine
+                     ~pristine)
+              in
+              Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
+              st
+            | None ->
+              Fpc_interp.Interp.boot ~image:(Fpc_mesa.Image.clone pristine)
+                ~engine ~instance:"Main" ~proc:"main" ~args:[] ()
           in
           let deadline_hit = run_with_deadline ?deadline_at ~fuel:spec.fuel st in
           (st, None, deadline_hit)
         end
-      in
-      match go () with
+      with
       | exception Not_found ->
         failed id spec Job.Compile_error "program has no Main.main()"
       | exception e -> failed id spec Job.Internal (Printexc.to_string e)
       | st, profile, deadline_hit ->
         let o = Fpc_interp.Interp.outcome st in
+        let minor_words = int_of_float (Gc.minor_words () -. mw0) in
         let stats =
           {
             Job.cache_hit;
             compile_s;
             run_s = now () -. t0;
+            minor_words;
             instructions = o.o_instructions;
             cycles = o.o_cycles;
             mem_refs = o.o_mem_refs;
@@ -147,7 +182,7 @@ let execute cache id (spec : Job.spec) =
 
 (* ---- the worker loop ---- *)
 
-let rec worker_loop t shard =
+let rec worker_loop t shard arena =
   Mutex.lock t.mutex;
   while Queue.is_empty t.queue && not t.stopping do
     Condition.wait t.work_available t.mutex
@@ -158,7 +193,7 @@ let rec worker_loop t shard =
     let id, spec = Queue.pop t.queue in
     t.active <- t.active + 1;
     Mutex.unlock t.mutex;
-    let result = execute t.cache id spec in
+    let result = execute ?arena t.cache id spec in
     (* Publish before the job stops counting as active, so a woken
        awaiter (or a drain) is guaranteed to observe the result.  With a
        [deliver] consumer the record itself is handed over directly —
@@ -177,10 +212,10 @@ let rec worker_loop t shard =
     t.active <- t.active - 1;
     if t.active = 0 && Queue.is_empty t.queue then Condition.broadcast t.drained;
     Mutex.unlock t.mutex;
-    worker_loop t shard
+    worker_loop t shard arena
   end
 
-let create ?domains ?cache ?deliver () =
+let create ?domains ?cache ?deliver ?(arena_reuse = true) () =
   let domains = Option.value domains ~default:(recommended_domains ()) in
   if domains < 1 then invalid_arg "Pool.create: need at least one domain";
   let cache = match cache with Some c -> c | None -> Image_cache.create () in
@@ -209,7 +244,14 @@ let create ?domains ?cache ?deliver () =
   in
   t.workers <-
     Array.to_list
-      (Array.map (fun shard -> Domain.spawn (fun () -> worker_loop t shard)) t.shards);
+      (Array.map
+         (fun shard ->
+           Domain.spawn (fun () ->
+               (* The arena lives on the worker's own domain: created
+                  here, seen by nobody else, no lock ever taken. *)
+               let arena = if arena_reuse then Some (Arena.create ()) else None in
+               worker_loop t shard arena))
+         t.shards);
   t
 
 let domains t = t.n_domains
@@ -287,8 +329,8 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join workers
 
-let run_jobs ?domains ?cache specs =
-  let t = create ?domains ?cache () in
+let run_jobs ?domains ?cache ?arena_reuse specs =
+  let t = create ?domains ?cache ?arena_reuse () in
   List.iter (fun spec -> ignore (submit t spec)) specs;
   let results = await t in
   let snapshot = metrics t in

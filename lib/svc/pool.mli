@@ -30,11 +30,21 @@ val create :
   ?domains:int ->
   ?cache:Image_cache.t ->
   ?deliver:(Job.result -> unit) ->
+  ?arena_reuse:bool ->
   unit ->
   t
 (** Spawns [domains] workers (default {!recommended_domains}) sharing
     [cache] (default: a fresh one).  Raises [Invalid_argument] for
     [domains < 1].
+
+    [arena_reuse] (default [true]) gives every worker a private {!Arena}:
+    repeat jobs against a cached image reset a long-lived image clone and
+    machine state in place (dirty pages only) instead of cloning the full
+    store and rebuilding the state per job — the steady state allocates
+    almost nothing, so workers stop triggering the stop-the-world minor
+    collections that made the pool scale negatively.  [false] restores
+    clone-per-job (the arena-vs-clone baseline the benchmarks compare).
+    Results are bit-identical either way.
 
     [deliver], when given, switches the pool into {e push} mode: each
     completed result is handed to [deliver] on the worker domain that
@@ -92,6 +102,7 @@ val shutdown : t -> unit
 val run_jobs :
   ?domains:int ->
   ?cache:Image_cache.t ->
+  ?arena_reuse:bool ->
   Job.spec list ->
   Job.result list * Metrics.snapshot
 (** One-shot convenience: create a pool, run every spec, shut down.

@@ -1,27 +1,56 @@
+(* Small non-negative values (call depths, run lengths — the per-transfer
+   hot path) are counted in a dense array; everything else falls back to a
+   hashtable of refs.  [add] on the dense path touches no allocator, which
+   keeps per-transfer bookkeeping allocation-free. *)
+
+let dense_limit = 256
+
 type t = {
-  cells : (int, int ref) Hashtbl.t;
+  dense : int array; (* counts for values 0 .. dense_limit-1 *)
+  sparse : (int, int ref) Hashtbl.t; (* everything else *)
   mutable count : int;
   mutable total : int;
 }
 
-let create () = { cells = Hashtbl.create 64; count = 0; total = 0 }
+let create () =
+  { dense = Array.make dense_limit 0; sparse = Hashtbl.create 16; count = 0; total = 0 }
 
 let add_many t v ~count =
   if count < 0 then invalid_arg "Histogram.add_many: negative count";
-  (match Hashtbl.find_opt t.cells v with
-  | Some r -> r := !r + count
-  | None -> Hashtbl.add t.cells v (ref count));
+  if v >= 0 && v < dense_limit then t.dense.(v) <- t.dense.(v) + count
+  else begin
+    match Hashtbl.find_opt t.sparse v with
+    | Some r -> r := !r + count
+    | None -> Hashtbl.add t.sparse v (ref count)
+  end;
   t.count <- t.count + count;
   t.total <- t.total + (v * count)
 
-let add t v = add_many t v ~count:1
+let add t v =
+  if v >= 0 && v < dense_limit then begin
+    t.dense.(v) <- t.dense.(v) + 1;
+    t.count <- t.count + 1;
+    t.total <- t.total + v
+  end
+  else add_many t v ~count:1
+
 let count t = t.count
 let total t = t.total
 let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
 
+let reset t =
+  Array.fill t.dense 0 dense_limit 0;
+  Hashtbl.reset t.sparse;
+  t.count <- 0;
+  t.total <- 0
+
 let to_sorted_list t =
-  Hashtbl.fold (fun v r acc -> (v, !r) :: acc) t.cells []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  let sparse = Hashtbl.fold (fun v r acc -> (v, !r) :: acc) t.sparse [] in
+  let dense = ref [] in
+  for v = dense_limit - 1 downto 0 do
+    if t.dense.(v) > 0 then dense := (v, t.dense.(v)) :: !dense
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) (List.rev_append !dense sparse)
 
 let min_value t =
   match to_sorted_list t with
@@ -49,7 +78,10 @@ let fraction_le t v =
   if t.count = 0 then 0.0
   else begin
     let seen = ref 0 in
-    Hashtbl.iter (fun value r -> if value <= v then seen := !seen + !r) t.cells;
+    for value = 0 to min (dense_limit - 1) v do
+      seen := !seen + t.dense.(value)
+    done;
+    Hashtbl.iter (fun value r -> if value <= v then seen := !seen + !r) t.sparse;
     float_of_int !seen /. float_of_int t.count
   end
 

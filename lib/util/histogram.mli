@@ -9,7 +9,11 @@ val create : unit -> t
 (** An empty histogram. *)
 
 val add : t -> int -> unit
-(** Record one observation. *)
+(** Record one observation.  Allocation-free for values in [0, 255] (the
+    per-transfer call-depth / run-length hot path). *)
+
+val reset : t -> unit
+(** Forget all observations, keeping the structure for reuse. *)
 
 val add_many : t -> int -> count:int -> unit
 (** Record [count] observations of the same value. *)

@@ -140,7 +140,13 @@ let replay_return_stack ~depth ?(coroutines = 4) events =
   let open Fpc_ifu in
   let rs = Return_stack.create ~depth in
   let dummy =
-    { Return_stack.r_lf = 4; r_gf = 0; r_cb = None; r_pc_abs = 0; r_bank = None }
+    {
+      Return_stack.r_lf = 4;
+      r_gf = 0;
+      r_cb = Return_stack.no_cb;
+      r_pc_abs = 0;
+      r_bank = Return_stack.no_bank;
+    }
   in
   let flush () = Return_stack.flush rs ~f:(fun _ -> ()) in
   let make_room () = ignore (Return_stack.drop_oldest rs) in
@@ -152,7 +158,7 @@ let replay_return_stack ~depth ?(coroutines = 4) events =
       match e with
       | Synthetic.Call _ ->
         if Return_stack.is_full rs then make_room ();
-        Return_stack.push rs dummy;
+        Return_stack.push_entry rs dummy;
         push_frame acts 0
       | Synthetic.Return -> (
         match pop_frame acts with

@@ -38,15 +38,15 @@ let entry lf =
   {
     Fpc_ifu.Return_stack.r_lf = lf;
     r_gf = 100;
-    r_cb = Some 200;
+    r_cb = 200;
     r_pc_abs = 300;
-    r_bank = None;
+    r_bank = Fpc_ifu.Return_stack.no_bank;
   }
 
 let test_return_stack_lifo () =
   let rs = Fpc_ifu.Return_stack.create ~depth:4 in
-  Fpc_ifu.Return_stack.push rs (entry 4);
-  Fpc_ifu.Return_stack.push rs (entry 8);
+  Fpc_ifu.Return_stack.push_entry rs (entry 4);
+  Fpc_ifu.Return_stack.push_entry rs (entry 8);
   (match Fpc_ifu.Return_stack.pop rs with
   | Some e -> Alcotest.(check int) "LIFO" 8 e.r_lf
   | None -> Alcotest.fail "expected entry");
@@ -57,7 +57,7 @@ let test_return_stack_lifo () =
 
 let test_return_stack_flush_order () =
   let rs = Fpc_ifu.Return_stack.create ~depth:4 in
-  List.iter (fun lf -> Fpc_ifu.Return_stack.push rs (entry lf)) [ 4; 8; 12 ];
+  List.iter (fun lf -> Fpc_ifu.Return_stack.push_entry rs (entry lf)) [ 4; 8; 12 ];
   let seen = ref [] in
   Fpc_ifu.Return_stack.flush rs ~f:(fun e -> seen := e.r_lf :: !seen);
   (* Flush drains newest first; so the accumulated list is oldest first. *)
@@ -68,7 +68,7 @@ let test_return_stack_flush_order () =
 
 let test_return_stack_spill () =
   let rs = Fpc_ifu.Return_stack.create ~depth:3 in
-  List.iter (fun lf -> Fpc_ifu.Return_stack.push rs (entry lf)) [ 4; 8; 12 ];
+  List.iter (fun lf -> Fpc_ifu.Return_stack.push_entry rs (entry lf)) [ 4; 8; 12 ];
   Alcotest.(check bool) "full" true (Fpc_ifu.Return_stack.is_full rs);
   (match Fpc_ifu.Return_stack.second_oldest rs with
   | Some e -> Alcotest.(check int) "second oldest" 8 e.r_lf
@@ -96,7 +96,7 @@ let prop_return_stack_matches_list_model =
               ignore (Fpc_ifu.Return_stack.drop_oldest rs);
               model := List.filteri (fun i _ -> i < List.length !model - 1) !model
             end;
-            Fpc_ifu.Return_stack.push rs (entry (4 * (1 + List.length !model)));
+            Fpc_ifu.Return_stack.push_entry rs (entry (4 * (1 + List.length !model)));
             model := 4 * (1 + List.length !model) :: !model;
             true
           | 1 -> (

@@ -373,7 +373,7 @@ let test_interface_module_api () =
         (Char.code c))
     body;
   Fpc_machine.Memory.poke image.mem (cb + pi.pi_ev) new_off;
-  Hashtbl.replace image.procs ("M", "main")
+  Hashtbl.replace image.Fpc_mesa.Image.dir.Fpc_mesa.Image.procs ("M", "main")
     { pi with Fpc_mesa.Image.pi_entry_offset = new_off;
       pi_body_bytes = Bytes.length body };
   let run () =

@@ -457,6 +457,152 @@ let test_traced_job () =
   Alcotest.(check bool) "rs pushes visible on i3" true
     (traced.stats.Job.fastpath.Fpc_interp.Interp.f_rs_pushes > 0)
 
+(* ---- arena reuse ---- *)
+
+(* One engine's worth of machinery for the arena-vs-clone comparisons. *)
+let engine_named name =
+  match Job.engine_of_name name with
+  | Ok e -> e
+  | Error m -> failwith m
+
+let pristine_for cache ~engine ~source =
+  let convention = Fpc_compiler.Convention.for_engine engine in
+  match Image_cache.find_pristine cache ~convention ~source with
+  | Ok (pristine, key, _hit, _dt) -> (pristine, key)
+  | Error m -> failwith m
+
+let run_to_outcome st =
+  Fpc_interp.Interp.run ~max_steps:200_000 st;
+  Fpc_interp.Interp.outcome st
+
+(* Run [source] on a fresh clone of [pristine] — the baseline the arena
+   path must be indistinguishable from. *)
+let clone_run ~pristine ~engine =
+  let image = Fpc_mesa.Image.clone pristine in
+  let st =
+    Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+      ~args:[] ()
+  in
+  run_to_outcome st
+
+let arena_run arena ~key ~engine ~engine_name ~pristine =
+  let slot = Arena.acquire arena ~key ~engine ~engine_name ~pristine in
+  let st = Arena.checkout slot in
+  Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
+  run_to_outcome st
+
+let clone_traced_run ~pristine ~engine =
+  let image = Fpc_mesa.Image.clone pristine in
+  let p = Fpc_interp.Profiler.create ~image ~engine () in
+  let st =
+    Fpc_interp.Interp.boot ~tracer:p.Fpc_interp.Profiler.sink ~image ~engine
+      ~instance:"Main" ~proc:"main" ~args:[] ()
+  in
+  let o = run_to_outcome st in
+  ignore
+    (Fpc_trace.Profile.finish p.Fpc_interp.Profiler.profile
+       ~cycles:o.Fpc_interp.Interp.o_cycles
+       ~mem_refs:o.Fpc_interp.Interp.o_mem_refs);
+  (o, Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile)
+
+let arena_traced_run arena ~key ~engine ~engine_name ~pristine =
+  let slot = Arena.acquire arena ~key ~engine ~engine_name ~pristine in
+  let p = Fpc_interp.Profiler.create ~image:(Arena.image slot) ~engine () in
+  let st = Arena.checkout ~tracer:p.Fpc_interp.Profiler.sink slot in
+  Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
+  let o = run_to_outcome st in
+  ignore
+    (Fpc_trace.Profile.finish p.Fpc_interp.Profiler.profile
+       ~cycles:o.Fpc_interp.Interp.o_cycles
+       ~mem_refs:o.Fpc_interp.Interp.o_mem_refs);
+  (o, Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile)
+
+(* The tentpole property: a random program run repeatedly through ONE
+   reused arena slot is indistinguishable — status, output, meters,
+   fast-path counters, traced profile — from runs on fresh clones.  The
+   third arena pass per engine runs traced, so the property also covers
+   resetting a slot whose previous run had a tracer attached. *)
+let arena_reuse_equivalence_prop =
+  let cache = Image_cache.create ~capacity:64 () in
+  let arena = Arena.create () in
+  QCheck.Test.make ~count:15
+    ~name:"arena reuse == fresh clones (outcome + profile, all engines)"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
+    (fun seed ->
+      let source = Fpc_workload.Synthetic.random_program ~seed in
+      List.for_all
+        (fun engine_name ->
+          let engine = engine_named engine_name in
+          let pristine, key = pristine_for cache ~engine ~source in
+          let c1 = clone_run ~pristine ~engine in
+          let c2 = clone_run ~pristine ~engine in
+          let a1 = arena_run arena ~key ~engine ~engine_name ~pristine in
+          let a2 = arena_run arena ~key ~engine ~engine_name ~pristine in
+          let ct, cp = clone_traced_run ~pristine ~engine in
+          let at, ap =
+            arena_traced_run arena ~key ~engine ~engine_name ~pristine
+          in
+          if not (c1 = c2 && a1 = c1 && a2 = c1) then
+            QCheck.Test.fail_reportf "seed %d, %s: arena outcome diverged" seed
+              engine_name
+          else if not (at = ct && ap = cp) then
+            QCheck.Test.fail_reportf "seed %d, %s: traced run diverged" seed
+              engine_name
+          else true)
+        [ "i1"; "i2"; "i3"; "i4" ])
+
+(* After a trapping run dirtied the arena image, a re-acquire must leave
+   its store word-for-word equal to a fresh clone's (equivalently, to the
+   pristine's) with no dirty pages left behind. *)
+let test_arena_reset_restores_store () =
+  let cache = Image_cache.create () in
+  let engine = engine_named "i2" in
+  let pristine, key = pristine_for cache ~engine ~source:infinite_loop_src in
+  let arena = Arena.create () in
+  let slot = Arena.acquire arena ~key ~engine ~engine_name:"i2" ~pristine in
+  let st = Arena.checkout slot in
+  Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
+  Fpc_interp.Interp.run ~max_steps:10_000 st;
+  (match st.Fpc_core.State.status with
+  | Fpc_core.State.Trapped Fpc_core.State.Step_limit -> ()
+  | _ -> Alcotest.fail "expected the loop to trap on the step limit");
+  let mem slot = (Arena.image slot).Fpc_mesa.Image.mem in
+  Alcotest.(check bool) "the run dirtied pages" true
+    (Fpc_machine.Memory.dirty_pages (mem slot) > 0);
+  let slot2 = Arena.acquire arena ~key ~engine ~engine_name:"i2" ~pristine in
+  Alcotest.(check bool) "same physical slot reused" true (slot == slot2);
+  Alcotest.(check int) "reset leaves no dirty pages" 0
+    (Fpc_machine.Memory.dirty_pages (mem slot2));
+  let fresh = (Fpc_mesa.Image.clone pristine).Fpc_mesa.Image.mem in
+  let n = Fpc_machine.Memory.size (mem slot2) in
+  Alcotest.(check int) "same store size" n (Fpc_machine.Memory.size fresh);
+  let diff = ref 0 in
+  for a = 0 to n - 1 do
+    if Fpc_machine.Memory.peek (mem slot2) a <> Fpc_machine.Memory.peek fresh a
+    then incr diff
+  done;
+  Alcotest.(check int) "reset store word-equal to a fresh clone" 0 !diff;
+  let s = Arena.stats arena in
+  Alcotest.(check int) "one miss, one hit" 1 s.Arena.hits;
+  Alcotest.(check int) "one miss, one hit (misses)" 1 s.Arena.misses
+
+(* End-to-end through the pool: arena reuse on (the default) and off must
+   produce identical results, job for job. *)
+let test_pool_arena_matches_clone_path () =
+  let specs = suite_specs () in
+  let specs = specs @ specs in
+  let ra, ma = Pool.run_jobs ~domains:2 ~arena_reuse:true specs in
+  let rc, mc = Pool.run_jobs ~domains:2 ~arena_reuse:false specs in
+  Alcotest.(check int) "all jobs ran (arena)" (List.length specs) ma.Metrics.jobs;
+  Alcotest.(check int) "all jobs ran (clone)" (List.length specs) mc.Metrics.jobs;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "job %d identical with and without arena" a.Job.id)
+        true
+        (fingerprint a = fingerprint b))
+    ra rc
+
 let () =
   Alcotest.run "svc"
     [
@@ -484,6 +630,14 @@ let () =
           Alcotest.test_case "one convention, one entry" `Quick
             test_cache_shared_across_engines_of_one_convention;
           Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+        ] );
+      ( "arena",
+        [
+          QCheck_alcotest.to_alcotest arena_reuse_equivalence_prop;
+          Alcotest.test_case "reset restores the store" `Quick
+            test_arena_reset_restores_store;
+          Alcotest.test_case "pool results identical with arena off" `Slow
+            test_pool_arena_matches_clone_path;
         ] );
       ( "job",
         [
