@@ -132,6 +132,62 @@ let bench_engine name engine =
          in
          assert (st.Fpc_core.State.status = Fpc_core.State.Halted)))
 
+let median_run_s ?(samples = 7) ?(runs = 5) f =
+  f ();
+  (* warm up caches and the minor heap *)
+  let samples =
+    List.init samples (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to runs do
+          f ()
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int runs)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (List.length sorted / 2)
+
+(* The compiled tier on the same workload: boot is shared with the
+   interpreter path, so the delta between interp/fib/* and tier/fib/* is
+   exactly the dispatch loop versus threaded code. *)
+let bench_tier name engine =
+  let image = fib_image engine in
+  let tier, _ = Fpc_tier.Tier.of_image image in
+  Bechamel.Test.make ~name:(Printf.sprintf "tier/fib/%s" name)
+    (Bechamel.Staged.stage (fun () ->
+         let st =
+           Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+             ~args:[] ()
+         in
+         Fpc_tier.Tier.run tier st;
+         assert (st.Fpc_core.State.status = Fpc_core.State.Halted)))
+
+(* Translation time: what attaching the compiled tier to a freshly
+   linked image costs, per engine, on the call-heavy fib image.  One-time
+   per cached image, but it sits on the first-request path. *)
+let run_tier_compile () =
+  let open Fpc_util.Tablefmt in
+  let tb =
+    create ~title:"tier translation time (fib image, host wall-clock)"
+      ~columns:
+        [ ("engine", Left); ("boundaries", Right); ("fused", Right);
+          ("translate", Right) ]
+  in
+  List.iter
+    (fun (name, engine) ->
+      let image = fib_image engine in
+      let t = Fpc_tier.Tier.translate image in
+      let ms = median_run_s (fun () -> ignore (Fpc_tier.Tier.translate image)) *. 1e3 in
+      record ("compile/fib/" ^ name) "translate_ms" ms;
+      add_row tb
+        [ name; cell_int (Fpc_tier.Tier.boundaries t);
+          cell_int (Fpc_tier.Tier.fused_boundaries t);
+          Printf.sprintf "%.3f ms" ms ])
+    [ ("I1", Fpc_core.Engine.i1); ("I2", Fpc_core.Engine.i2);
+      ("I3", Fpc_core.Engine.i3 ()); ("I4", Fpc_core.Engine.i4 ()) ];
+  add_note tb "translate once per cached image; every clone shares the result";
+  print tb;
+  print_newline ()
+
 let bench_allocator =
   Bechamel.Test.make ~name:"allocator/alloc+free"
     (Bechamel.Staged.stage (fun () ->
@@ -188,22 +244,30 @@ let bench_banks =
 
    Recorded as the `svc/scaling` section; the older end-to-end
    `svc/throughput` keys are left in BENCH_results.json (carried over by
-   the merge) so the trajectory across methodologies stays visible. *)
+   the merge) so the trajectory across methodologies stays visible.
+
+   Both execution tiers run the same sweep.  The historical
+   `svc/scaling/*` keys pin tier=interp explicitly (Auto now resolves to
+   the compiled tier, and silently rebasing those keys would corrupt the
+   cross-PR trajectory); the compiled tier records alongside as
+   `svc/scaling/tier/*`. *)
 let run_svc ?(smoke = false) () =
   let programs =
     if smoke then [ "fib"; "hanoi" ] else Fpc_workload.Programs.names
   in
-  let specs =
-    List.concat_map
-      (fun name ->
-        List.map
-          (fun engine -> Fpc_svc.Job.spec ~engine (Fpc_svc.Job.Suite name))
-          [ "i1"; "i2"; "i3"; "i4" ])
-      programs
+  let specs_for tier =
+    let specs =
+      List.concat_map
+        (fun name ->
+          List.map
+            (fun engine ->
+              Fpc_svc.Job.spec ~engine ~tier (Fpc_svc.Job.Suite name))
+            [ "i1"; "i2"; "i3"; "i4" ])
+        programs
+    in
+    if smoke then specs else specs @ specs
   in
-  let specs = if smoke then specs else specs @ specs in
   let widths = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
-  let njobs = List.length specs in
   let check_all_ok results =
     List.iter
       (fun (r : Fpc_svc.Job.result) ->
@@ -213,45 +277,58 @@ let run_svc ?(smoke = false) () =
           failwith (Printf.sprintf "svc bench job %d failed: %s" r.Fpc_svc.Job.id m))
       results
   in
-  (* Warm the shared cache: every distinct image compiled (and its
-     predecode table built) before any measurement. *)
-  let cache = Fpc_svc.Image_cache.create () in
-  let warm_results, _ = Fpc_svc.Pool.run_jobs ~domains:1 ~cache specs in
-  check_all_ok warm_results;
   let open Fpc_util.Tablefmt in
   let tb =
     create
       ~title:
-        (Printf.sprintf "svc pool scaling (suite x 4 engines%s, warmed cache)"
+        (Printf.sprintf
+           "svc pool scaling (suite x 4 engines%s, warmed cache, both tiers)"
            (if smoke then "" else ", x2"))
       ~columns:
-        [ ("domains", Right); ("jobs", Right); ("submit->await", Right);
-          ("jobs/sec", Right); ("speedup", Right); ("cache hit", Right) ]
+        [ ("tier", Left); ("domains", Right); ("jobs", Right);
+          ("submit->await", Right); ("jobs/sec", Right); ("speedup", Right);
+          ("cache hit", Right) ]
   in
-  let base = ref 0.0 in
   List.iter
-    (fun domains ->
-      let pool = Fpc_svc.Pool.create ~domains ~cache () in
-      let t0 = Unix.gettimeofday () in
-      List.iter (fun spec -> ignore (Fpc_svc.Pool.submit pool spec)) specs;
-      let results = Fpc_svc.Pool.await pool in
-      let wall = Unix.gettimeofday () -. t0 in
-      let metrics = Fpc_svc.Pool.metrics pool in
-      Fpc_svc.Pool.shutdown pool;
-      check_all_ok results;
-      if List.length results <> njobs then
-        failwith "svc bench: not every job came back";
-      let jps = float_of_int njobs /. wall in
-      if !base = 0.0 then base := jps;
-      if not smoke then begin
-        record (Printf.sprintf "svc/scaling/%dd" domains) "jobs_per_sec" jps;
-        record (Printf.sprintf "svc/scaling/%dd" domains) "speedup" (jps /. !base)
-      end;
-      add_row tb
-        [ cell_int domains; cell_int njobs; Printf.sprintf "%.3fs" wall;
-          cell_float ~decimals:1 jps; cell_ratio ~decimals:2 (jps /. !base);
-          cell_pct (Fpc_svc.Image_cache.hit_rate metrics.Fpc_svc.Metrics.cache) ])
-    widths;
+    (fun (tier_label, tier, key_prefix) ->
+      let specs = specs_for tier in
+      let njobs = List.length specs in
+      (* Warm the shared cache: every distinct image compiled (predecode
+         built, and on the compiled tier the translation attached) before
+         any measurement.  The cache is per tier — pristine entries are
+         tier-keyed. *)
+      let cache = Fpc_svc.Image_cache.create () in
+      let warm_results, _ = Fpc_svc.Pool.run_jobs ~domains:1 ~cache specs in
+      check_all_ok warm_results;
+      let base = ref 0.0 in
+      List.iter
+        (fun domains ->
+          let pool = Fpc_svc.Pool.create ~domains ~cache () in
+          let t0 = Unix.gettimeofday () in
+          List.iter (fun spec -> ignore (Fpc_svc.Pool.submit pool spec)) specs;
+          let results = Fpc_svc.Pool.await pool in
+          let wall = Unix.gettimeofday () -. t0 in
+          let metrics = Fpc_svc.Pool.metrics pool in
+          Fpc_svc.Pool.shutdown pool;
+          check_all_ok results;
+          if List.length results <> njobs then
+            failwith "svc bench: not every job came back";
+          let jps = float_of_int njobs /. wall in
+          if !base = 0.0 then base := jps;
+          if not smoke then begin
+            record (Printf.sprintf "%s/%dd" key_prefix domains) "jobs_per_sec" jps;
+            record (Printf.sprintf "%s/%dd" key_prefix domains) "speedup"
+              (jps /. !base)
+          end;
+          add_row tb
+            [ tier_label; cell_int domains; cell_int njobs;
+              Printf.sprintf "%.3fs" wall; cell_float ~decimals:1 jps;
+              cell_ratio ~decimals:2 (jps /. !base);
+              cell_pct
+                (Fpc_svc.Image_cache.hit_rate metrics.Fpc_svc.Metrics.cache) ])
+        widths)
+    [ ("interp", Fpc_svc.Job.Interp, "svc/scaling");
+      ("compiled", Fpc_svc.Job.Compiled, "svc/scaling/tier") ];
   if not smoke then
     record "svc/scaling" "host_recommended_domains"
       (float_of_int (Fpc_svc.Pool.recommended_domains ()));
@@ -369,20 +446,6 @@ let run_svc_alloc ?(smoke = false) () =
    trajectory shows whether carrying the subsystem costs anything
    ([off_drift_pct] against the previous recorded run).  The on side
    attaches a full streaming profile, the worst case [trace=1] pays. *)
-let median_run_s ?(samples = 7) ?(runs = 5) f =
-  f ();
-  (* warm up caches and the minor heap *)
-  let samples =
-    List.init samples (fun _ ->
-        let t0 = Unix.gettimeofday () in
-        for _ = 1 to runs do
-          f ()
-        done;
-        (Unix.gettimeofday () -. t0) /. float_of_int runs)
-  in
-  let sorted = List.sort compare samples in
-  List.nth sorted (List.length sorted / 2)
-
 let run_trace ?(smoke = false) () =
   let prior = read_prior "BENCH_results.json" in
   let open Fpc_util.Tablefmt in
@@ -456,6 +519,10 @@ let run_micro () =
         bench_engine "I2" Fpc_core.Engine.i2;
         bench_engine "I3" (Fpc_core.Engine.i3 ());
         bench_engine "I4" (Fpc_core.Engine.i4 ());
+        bench_tier "I1" Fpc_core.Engine.i1;
+        bench_tier "I2" Fpc_core.Engine.i2;
+        bench_tier "I3" (Fpc_core.Engine.i3 ());
+        bench_tier "I4" (Fpc_core.Engine.i4 ());
         bench_allocator;
         bench_return_stack;
         bench_banks;
@@ -613,7 +680,10 @@ let () =
     filter = [] && (not micro) && (not svc) && (not trace) && not net
   in
   if everything || filter <> [] then run_experiments filter;
-  if micro || everything then run_micro ();
+  if micro || everything then begin
+    run_micro ();
+    run_tier_compile ()
+  end;
   if svc || everything then begin
     run_svc ~smoke ();
     run_svc_alloc ~smoke ()

@@ -31,6 +31,17 @@ let engine_arg =
          ~doc:"Transfer engine: i1 (simple), i2 (Mesa), i3 (+IFU return \
                stack), i4 (+register banks).")
 
+let tier_of_string s =
+  match Fpc_svc.Job.tier_of_name s with
+  | Ok t -> t
+  | Error m -> failwith m
+
+let tier_arg =
+  Arg.(value & opt string "auto" & info [ "tier" ] ~docv:"TIER"
+         ~doc:"Execution tier: interp (the dispatch-loop interpreter), \
+               compiled (threaded code; every simulated meter is \
+               bit-identical), or auto (compiled except under a tracer).")
+
 let source_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE"
          ~doc:"A mini-Mesa source file, or the name of a built-in suite \
@@ -41,9 +52,10 @@ let handle f = try `Ok (f ()) with Failure m | Invalid_argument m -> `Error (fal
 (* ---- run ---- *)
 
 let run_cmd =
-  let action source engine_name steps stats =
+  let action source engine_name tier_name steps stats =
     handle (fun () ->
         let engine = engine_of_string engine_name in
+        let tier = tier_of_string tier_name in
         let convention = Fpc_compiler.Convention.for_engine engine in
         let src = read_source source in
         let image =
@@ -52,9 +64,14 @@ let run_cmd =
           | Error m -> failwith m
         in
         let st =
-          Fpc_interp.Interp.run_program ~max_steps:steps ~image ~engine
-            ~instance:"Main" ~proc:"main" ~args:[] ()
+          Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+            ~args:[] ()
         in
+        (match tier with
+        | Fpc_svc.Job.Interp -> Fpc_interp.Interp.run ~max_steps:steps st
+        | Fpc_svc.Job.Compiled | Fpc_svc.Job.Auto ->
+          let tr, _hit = Fpc_tier.Tier.of_image image in
+          Fpc_tier.Tier.run ~max_steps:steps tr st);
         let o = Fpc_interp.Interp.outcome st in
         List.iter (fun v -> Printf.printf "%d\n" v) o.o_output;
         (match o.o_status with
@@ -76,7 +93,7 @@ let run_cmd =
            ~doc:"Print the full machine-statistics table (to stderr).")
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute Main.main, printing OUTPUT words.")
-    Term.(ret (const action $ source_arg $ engine_arg $ steps $ stats))
+    Term.(ret (const action $ source_arg $ engine_arg $ tier_arg $ steps $ stats))
 
 (* ---- disasm ---- *)
 
@@ -365,14 +382,21 @@ let domains_arg =
 
 let resolve_domains n = if n <= 0 then Fpc_svc.Pool.recommended_domains () else n
 
-let suite_specs ~engines ~fuel =
+let suite_specs ~engines ~tier ~fuel =
   List.concat_map
     (fun name ->
       List.map
         (fun engine ->
-          Fpc_svc.Job.spec ~engine ~fuel (Fpc_svc.Job.Suite name))
+          Fpc_svc.Job.spec ~engine ~tier ~fuel (Fpc_svc.Job.Suite name))
         engines)
     Fpc_workload.Programs.names
+
+(* The command-line tier is the default for requests that left the tier
+   to the service; an explicit tier= in the jobfile line wins. *)
+let apply_tier_default tier (spec : Fpc_svc.Job.spec) =
+  match spec.tier with
+  | Fpc_svc.Job.Auto -> { spec with Fpc_svc.Job.tier }
+  | _ -> spec
 
 let read_jobfile path =
   let ic = open_in path in
@@ -394,7 +418,7 @@ let read_jobfile path =
   List.rev !specs
 
 let batch_cmd =
-  let action jobfile domains engines_csv fuel json =
+  let action jobfile domains engines_csv tier_name fuel json =
     handle (fun () ->
         let engines =
           String.split_on_char ',' engines_csv
@@ -407,11 +431,13 @@ let batch_cmd =
             | Ok _ -> ()
             | Error m -> failwith m)
           engines;
+        let tier = tier_of_string tier_name in
         let specs =
           match jobfile with
-          | Some path when Sys.file_exists path -> read_jobfile path
+          | Some path when Sys.file_exists path ->
+            List.map (apply_tier_default tier) (read_jobfile path)
           | Some path -> failwith (Printf.sprintf "%s: no such jobfile" path)
-          | None -> suite_specs ~engines ~fuel
+          | None -> suite_specs ~engines ~tier ~fuel
         in
         if specs = [] then failwith "no jobs to run";
         let results, metrics =
@@ -451,9 +477,12 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Run many jobs across a pool of worker domains, with a shared \
              compilation cache; per-job results (stdout, in submission \
-             order) are byte-identical at any domain count.  Pool metrics \
-             go to stderr.")
-    Term.(ret (const action $ jobfile $ domains_arg $ engines $ fuel $ json))
+             order) are byte-identical at any domain count and across \
+             execution tiers.  Pool metrics go to stderr.")
+    Term.(
+      ret
+        (const action $ jobfile $ domains_arg $ engines $ tier_arg $ fuel
+        $ json))
 
 (* ---- serve ---- *)
 
@@ -461,7 +490,7 @@ let batch_cmd =
    (Fpc_net.Protocol) and same line-length discipline (Fpc_net.Framing)
    as the TCP server, but single-connection and order-relaxed: results
    stream out as jobs complete. *)
-let serve_stdin ~domains ~times ~max_line =
+let serve_stdin ~domains ~times ~tier ~max_line =
   let pool = Fpc_svc.Pool.create ~domains:(resolve_domains domains) () in
   let emit line =
     print_endline line;
@@ -495,7 +524,8 @@ let serve_stdin ~domains ~times ~max_line =
           stop := true
         | None -> (
           match Fpc_svc.Job.parse_request s with
-          | Ok spec -> ignore (Fpc_svc.Pool.submit pool spec)
+          | Ok spec ->
+            ignore (Fpc_svc.Pool.submit pool (apply_tier_default tier spec))
           | Error m ->
             emit (Fpc_net.Protocol.error_line ~error:"bad-request" ~message:m))));
     drain_ready ()
@@ -505,7 +535,7 @@ let serve_stdin ~domains ~times ~max_line =
   Fpc_svc.Pool.shutdown pool;
   prerr_string (Fpc_svc.Metrics.render metrics)
 
-let serve_tcp ~domains ~times ~host ~port ~max_connections ~max_pending
+let serve_tcp ~domains ~times ~tier ~host ~port ~max_connections ~max_pending
     ~max_line =
   (* Every server thread blocks in C (select, cond_wait), where a
      Sys.Signal_handle closure may never get to run.  Instead: block the
@@ -514,7 +544,7 @@ let serve_tcp ~domains ~times ~host ~port ~max_connections ~max_pending
   ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
   let server =
     Fpc_net.Server.create ~host ~port ~domains:(resolve_domains domains)
-      ~max_connections ~max_pending ~max_line ~times ()
+      ~max_connections ~max_pending ~max_line ~times ~tier ()
   in
   let (_ : Thread.t) =
     Thread.create
@@ -536,17 +566,19 @@ let serve_tcp ~domains ~times ~host ~port ~max_connections ~max_pending
   prerr_string (Fpc_svc.Metrics.render snap)
 
 let serve_cmd =
-  let action domains no_times tcp host max_connections max_pending max_line =
+  let action domains no_times tier_name tcp host max_connections max_pending
+      max_line =
     handle (fun () ->
         let times = not no_times in
+        let tier = tier_of_string tier_name in
         match tcp with
         | Some port ->
-          serve_tcp ~domains ~times ~host ~port ~max_connections ~max_pending
-            ~max_line
+          serve_tcp ~domains ~times ~tier ~host ~port ~max_connections
+            ~max_pending ~max_line
         | None ->
           if host <> "127.0.0.1" then
             failwith "--host only makes sense with --tcp";
-          serve_stdin ~domains ~times ~max_line)
+          serve_stdin ~domains ~times ~tier ~max_line)
   in
   let no_times =
     Arg.(value & flag & info [ "no-times" ]
@@ -584,12 +616,12 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve job requests (prog=NAME or src=TEXT, optional engine=, \
-             fuel=, trace= and deadline_ms=) over stdin or --tcp, \
+             tier=, fuel=, trace= and deadline_ms=) over stdin or --tcp, \
              executing them on a worker-domain pool with admission \
              control; one JSON result line per job.  Admin lines: /stats \
              (counters as JSON), shutdown (graceful drain).")
     Term.(ret
-            (const action $ domains_arg $ no_times $ tcp $ host
+            (const action $ domains_arg $ no_times $ tier_arg $ tcp $ host
              $ max_connections $ max_pending $ max_line))
 
 let main_cmd =

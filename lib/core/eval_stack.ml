@@ -24,6 +24,20 @@ let peek t =
   if t.depth = 0 then raise Underflow;
   t.data.(t.depth - 1)
 
+(* The unchecked variants back the compiled tier's fused fast path, which
+   proves [depth] bounds for a whole run of instructions before executing
+   any of them; word truncation still applies so a value read back later
+   is bit-identical to one that went through [push]. *)
+let unsafe_push t v =
+  Array.unsafe_set t.data t.depth (Fpc_util.Bits.to_word v);
+  t.depth <- t.depth + 1
+
+let unsafe_pop t =
+  t.depth <- t.depth - 1;
+  Array.unsafe_get t.data t.depth
+
+let unsafe_peek t = Array.unsafe_get t.data (t.depth - 1)
+
 let clear t = t.depth <- 0
 let contents t = Array.sub t.data 0 t.depth
 

@@ -23,6 +23,18 @@ val pop : t -> int
 val peek : t -> int
 val clear : t -> unit
 
+(** {1 Unchecked access}
+
+    For callers that have already proved the depth bounds of a whole run
+    of operations — the compiled tier's fused superinstructions, which
+    guard once per block instead of once per push.  Same word truncation
+    as {!push}; out-of-bounds behaviour is undefined, so these must only
+    run under a proven guard. *)
+
+val unsafe_push : t -> int -> unit
+val unsafe_pop : t -> int
+val unsafe_peek : t -> int
+
 val contents : t -> int array
 (** Bottom first; a fresh copy. *)
 

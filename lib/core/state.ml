@@ -53,6 +53,9 @@ type metrics = {
   mutable call_depth : int;
   mutable run_length : int;  (* consecutive same-direction transfers *)
   mutable run_dir : int;  (* +1 call run, -1 return run, 0 none *)
+  mutable tier_fast_instrs : int;  (* retired on the compiled tier's fused path *)
+  mutable tier_super_instrs : int;  (* of those, inside multi-op superinstructions *)
+  mutable tier_deopts : int;  (* compiled-tier falls back to the interpreter *)
 }
 
 let fresh_metrics () =
@@ -76,6 +79,9 @@ let fresh_metrics () =
     call_depth = 0;
     run_length = 0;
     run_dir = 0;
+    tier_fast_instrs = 0;
+    tier_super_instrs = 0;
+    tier_deopts = 0;
   }
 
 let zero_metrics m =
@@ -97,7 +103,10 @@ let zero_metrics m =
   m.frame_frees <- 0;
   m.call_depth <- 0;
   m.run_length <- 0;
-  m.run_dir <- 0
+  m.run_dir <- 0;
+  m.tier_fast_instrs <- 0;
+  m.tier_super_instrs <- 0;
+  m.tier_deopts <- 0
 
 type process = { p_id : int; p_lf : int; p_stack : int array }
 

@@ -49,6 +49,13 @@ type metrics = {
   mutable call_depth : int;  (** current dynamic nesting depth *)
   mutable run_length : int;
   mutable run_dir : int;
+  mutable tier_fast_instrs : int;
+      (** instructions retired on the compiled tier's fused fast path
+          (host-speed accounting only; invisible to the simulated meters) *)
+  mutable tier_super_instrs : int;
+      (** of those, instructions retired inside a multi-op superinstruction *)
+  mutable tier_deopts : int;
+      (** compiled-tier fallbacks to the interpreter's single-step path *)
 }
 
 type process = { p_id : int; p_lf : int; p_stack : int array }

@@ -74,3 +74,35 @@ val trap : State.t -> State.trap_reason -> unit
 (** Deliver a trap: recoverable reasons XFER to the installed handler
     (returnContext = the faulting frame, argument = the trap code); without
     a handler, or for fatal reasons, the machine stops. *)
+
+(** {1 Building blocks}
+
+    The pieces a call or return is made of, exported for the compiled
+    tier: its specialised transfer nodes re-sequence exactly these (with
+    destination resolution folded to translate-time constants), so every
+    metered reference, counter and sub-event stays bit-identical to the
+    interpreter's transfer path.  Nothing here is useful to ordinary
+    clients. *)
+
+val alloc_frame : State.t -> fsi:int -> int
+(** Allocate an activation frame of size class [fsi], preferring the
+    processor free-frame stack.  Returns [(lf lsl 8) lor granted_fsi];
+    raises {!Machine_trap}[ Frame_heap_exhausted] like a call would. *)
+
+val free_frame : State.t -> lf:int -> unit
+(** Return a frame to the free-frame stack or the AV free list. *)
+
+val suspend_current : State.t -> unit
+(** Store the PC (and, in deferred mode, the globalFrame word) into the
+    current frame, as leaving by a slow transfer requires. *)
+
+val resume_frame : State.t -> dest_lf:int -> unit
+(** Restore the register file from frame [dest_lf] and aim the PC at its
+    saved resume point. *)
+
+val classify : State.t -> int -> unit
+(** Count the just-finished transfer as fast or slow by comparing the
+    storage-reference meter against the given baseline. *)
+
+val payload_of_fsi : State.t -> int -> int
+(** Locals payload (block words minus overhead) of size class [fsi]. *)

@@ -15,6 +15,7 @@ let all =
     ("short_reach", E13_short_reach.run);
     ("equivalence", E14_equivalence.run);
     ("ablation", E15_ablation.run);
+    ("tier", E16_tier.run);
   ]
 
 let keys = List.map fst all
@@ -26,6 +27,7 @@ let ids =
     ("e7", "frame_sizes"); ("e8", "arg_passing"); ("e9", "bank_vs_cache");
     ("e10", "call_density"); ("e11", "nonlifo"); ("e12", "ptr_locals");
     ("e13", "short_reach"); ("e14", "equivalence"); ("e15", "ablation");
+    ("e16", "tier");
   ]
 
 let find name =

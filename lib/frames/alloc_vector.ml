@@ -173,6 +173,37 @@ let alloc_fsi_requested t ~cost ~fsi ~requested =
 let alloc_fsi t ~cost ~fsi =
   alloc_fsi_requested t ~cost ~fsi ~requested:(Size_class.block_words t.ladder fsi)
 
+(* Prepaid variants of the fast paths, for the compiled tier's
+   specialised transfer nodes: the caller runs untraced and the storage
+   bill is charged as one batch ({!Cost.refs_n}), so the free-list words
+   are touched without per-access metering.  Counter totals equal the
+   metered paths exactly.  Anything off the fast shape — software mode,
+   an empty free list, a bad class or a dead block — falls back to the
+   metered path unchanged (which also keeps the trap and abort behaviour
+   literally the same code path). *)
+
+let alloc_fsi_prepaid t ~cost ~fsi =
+  if fsi < 0 || fsi >= Size_class.class_count t.ladder then
+    invalid_arg (Printf.sprintf "Alloc_vector.alloc_fsi: bad class %d" fsi);
+  match t.mode with
+  | Software_only ->
+    alloc_software t ~cost ~fsi ~requested:(Size_class.block_words t.ladder fsi)
+  | Fast ->
+    let head = Memory.peek t.mem (t.av_base + fsi) in
+    if head = 0 then
+      alloc_fast t ~cost ~fsi ~requested:(Size_class.block_words t.ladder fsi)
+    else begin
+      Cost.refs_n cost ~reads:2 ~writes:1;
+      let next = Memory.peek t.mem (head + 1) in
+      Memory.poke t.mem (t.av_base + fsi) next;
+      t.fast_allocs <- t.fast_allocs + 1;
+      let words = Size_class.block_words t.ladder fsi in
+      t.free_pool_words <- t.free_pool_words - words;
+      let lf = Frame.lf_of_block head in
+      record_alloc t ~lf ~fsi ~requested:words;
+      lf
+    end
+
 let fsi_for_locals t n =
   match Size_class.index_for_block t.ladder (Frame.block_words_for_locals n) with
   | Some fsi -> fsi
@@ -218,6 +249,28 @@ let free t ~cost ~lf =
     match t.on_event with
     | Some f -> f (Fpc_trace.Event.Frame_free { words; to_ff = false })
     | None -> ()
+  end
+
+let free_prepaid t ~cost ~lf =
+  let idx = live_index t ~lf in
+  let slot = if idx < 0 then -1 else t.live.(idx) in
+  if slot < 0 || t.mode <> Fast then free t ~cost ~lf
+  else begin
+    let fsi_known = slot land 0xFF in
+    let requested = slot lsr 8 in
+    t.live.(idx) <- -1;
+    t.live_blocks <- t.live_blocks - 1;
+    let block = Frame.block_of_lf lf in
+    let words = Size_class.block_words t.ladder fsi_known in
+    t.live_words <- t.live_words - words;
+    t.requested_words <- t.requested_words - requested;
+    t.frees <- t.frees + 1;
+    Cost.refs_n cost ~reads:2 ~writes:2;
+    let fsi = Frame.peek_fsi t.mem ~lf in
+    let head = Memory.peek t.mem (t.av_base + fsi) in
+    Memory.poke t.mem (block + 1) head;
+    Memory.poke t.mem (t.av_base + fsi) block;
+    t.free_pool_words <- t.free_pool_words + words
   end
 
 let is_live t ~lf =

@@ -64,6 +64,17 @@ val free : t -> cost:Fpc_machine.Cost.t -> lf:int -> unit
 (** Return the block at LF to its free list.  Raises [Invalid_argument] if
     [lf] is not currently allocated (double free, wild pointer). *)
 
+val alloc_fsi_prepaid : t -> cost:Fpc_machine.Cost.t -> fsi:int -> int
+(** [alloc_fsi] with the fast path's three storage references charged as
+    one batch and performed raw.  For the compiled tier's specialised
+    call nodes, which only run untraced; counter totals are identical to
+    {!alloc_fsi}, and any non-fast shape (software mode, empty free
+    list) falls back to the metered path. *)
+
+val free_prepaid : t -> cost:Fpc_machine.Cost.t -> lf:int -> unit
+(** [free] with the fast path's four storage references batch-charged;
+    same contract as {!alloc_fsi_prepaid}. *)
+
 val fsi_for_locals : t -> int -> int
 (** The fsi the compiler should store for a procedure with [n] words of
     arguments + locals.  Raises [Invalid_argument] if too large. *)

@@ -59,6 +59,14 @@ val boot :
 val step : Fpc_core.State.t -> unit
 (** Execute one instruction (no-op unless the status is [Running]). *)
 
+val exec : Fpc_core.State.t -> instr_pc:int -> Fpc_isa.Opcode.t -> unit
+(** The effect of one decoded instruction, exactly as the dispatch loop
+    performs it — the PC must already have been advanced past the
+    instruction.  May raise [Eval_stack.Overflow]/[Underflow] or
+    {!Fpc_core.Transfer.Machine_trap}; {!step} converts those to traps.
+    Exposed so the compiled tier ({!Fpc_tier}) can reuse the single
+    authoritative opcode semantics instead of duplicating it. *)
+
 val run : ?max_steps:int -> Fpc_core.State.t -> unit
 (** Step until the machine halts or traps; [max_steps] (default 20
     million) guards against runaways, recording a [Step_limit] trap. *)

@@ -49,6 +49,23 @@ let dispatch t =
   t.dispatches <- t.dispatches + 1;
   t.cycles <- t.cycles + t.p.dispatch_cycles
 
+let dispatch_n t n =
+  t.dispatches <- t.dispatches + n;
+  t.cycles <- t.cycles + (n * t.p.dispatch_cycles)
+
+let refs_n t ~reads ~writes =
+  t.mem_reads <- t.mem_reads + reads;
+  t.mem_writes <- t.mem_writes + writes;
+  t.cycles <- t.cycles + ((reads + writes) * t.p.mem_ref_cycles)
+
+let block_bill t ~instrs ~reads ~writes =
+  t.dispatches <- t.dispatches + instrs;
+  t.mem_reads <- t.mem_reads + reads;
+  t.mem_writes <- t.mem_writes + writes;
+  t.cycles <-
+    t.cycles + (instrs * t.p.dispatch_cycles)
+    + ((reads + writes) * t.p.mem_ref_cycles)
+
 let jump t = t.cycles <- t.cycles + t.p.jump_cycles
 let trap t = t.cycles <- t.cycles + t.p.trap_cycles
 let software_alloc t = t.cycles <- t.cycles + t.p.software_alloc_cycles

@@ -37,6 +37,23 @@ val mem_read : t -> unit
 val mem_write : t -> unit
 val bank_ref : t -> unit
 val dispatch : t -> unit
+
+val dispatch_n : t -> int -> unit
+(** [n] dispatches charged at once — what a fused superinstruction pays
+    up front for the run of instructions it retires.  Totals equal [n]
+    calls of {!dispatch} exactly. *)
+
+val refs_n : t -> reads:int -> writes:int -> unit
+(** Batched storage references: totals equal [reads] calls of {!mem_read}
+    plus [writes] calls of {!mem_write} exactly.  Pairs with
+    {!Memory.prepaid_read}/{!Memory.prepaid_write}: a compiled block whose
+    addresses are guard-checked up front charges its whole storage bill
+    here and then touches the store raw. *)
+
+val block_bill : t -> instrs:int -> reads:int -> writes:int -> unit
+(** [dispatch_n] and [refs_n] in one call — a compiled block's whole
+    static bill. *)
+
 val jump : t -> unit
 val trap : t -> unit
 val software_alloc : t -> unit

@@ -69,6 +69,19 @@ let reset_from t ~pristine =
 let charge_read t = match t.cost with Some c -> Cost.mem_read c | None -> ()
 let charge_write t = match t.cost with Some c -> Cost.mem_write c | None -> ()
 
+let charge t ~reads ~writes =
+  match t.cost with Some c -> Cost.refs_n c ~reads ~writes | None -> ()
+
+(* Prepaid access: the caller has already charged the reference (via
+   [charge]) and proven the address in range, so both the meter and the
+   bounds check are skipped.  Writes still truncate and mark the page
+   dirty — the reset invariant does not bend for speed. *)
+let prepaid_read t addr = Array.unsafe_get t.store addr
+
+let prepaid_write t addr v =
+  Bytes.unsafe_set t.dirty (addr lsr page_words_log2) '\001';
+  Array.unsafe_set t.store addr (Fpc_util.Bits.to_word v)
+
 let read t addr =
   charge_read t;
   peek t addr

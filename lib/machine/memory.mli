@@ -70,6 +70,28 @@ val read_code_byte : t -> code_base:address -> pc:int -> int
 (** Fetch the byte at byte-offset [pc] from [code_base].  Charges one
     storage reference (the word containing the byte). *)
 
+(** {1 Prepaid access}
+
+    The compiled tier batches a block's storage bill into one {!charge}
+    and then touches the store with [prepaid_read]/[prepaid_write], whose
+    addresses its guard has already proven in range.  Prepaid writes still
+    truncate to a word and mark the page dirty, so {!reset_from} remains
+    sound; the only things skipped are the per-access meter and bounds
+    check.  Totals equal the same accesses made through {!read}/{!write}
+    exactly. *)
+
+val charge : t -> reads:int -> writes:int -> unit
+(** Charge [reads] + [writes] storage references against the attached
+    meter (no-op when unmetered), without touching the store. *)
+
+val prepaid_read : t -> address -> int
+(** Unmetered, unchecked word fetch; the caller guarantees the address is
+    in range and already charged. *)
+
+val prepaid_write : t -> address -> int -> unit
+(** Unmetered, unchecked word store (truncated, page marked dirty); the
+    caller guarantees the address is in range and already charged. *)
+
 (** {1 Unmetered access} *)
 
 val peek : t -> address -> int

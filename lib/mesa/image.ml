@@ -28,6 +28,9 @@ type instance_info = {
 (* The OCaml-side directory: everything written at link time and read-only
    afterwards.  One directory is shared by a pristine image and all its
    clones — cloning an image copies simulated storage, never this. *)
+
+type attachment = ..
+
 type directory = {
   mutable instances : instance_info list;
   procs : (string * string, proc_info) Hashtbl.t;
@@ -35,6 +38,7 @@ type directory = {
   mutable code_cursor : int;
   mutable gfi_cursor : int;
   mutable predecode : Fpc_isa.Predecode.t option;
+  mutable attachment : attachment option;
 }
 
 type t = {

@@ -44,6 +44,11 @@ type instance_info = {
     done, so one directory is {e shared} by a pristine image and every
     clone of it (the old per-clone [List.map]/[Hashtbl.copy] duplicated it
     to no effect — no field ever changed after link). *)
+type attachment = ..
+(** Extension point for execution-tier data derived from the code region —
+    e.g. the compiled tier's translation ([Fpc_tier] adds its constructor).
+    Kept abstract here so fpc.mesa needn't depend on the tiers. *)
+
 type directory = {
   mutable instances : instance_info list;
   procs : (string * string, proc_info) Hashtbl.t;  (** (instance, proc) *)
@@ -52,6 +57,10 @@ type directory = {
   mutable gfi_cursor : int;  (** next unassigned GFT index *)
   mutable predecode : Fpc_isa.Predecode.t option;
       (** lazily built by {!predecode}; shared (not copied) by {!clone} *)
+  mutable attachment : attachment option;
+      (** like [predecode]: derived from immutable code bytes on first
+          demand, shared by every clone, benign if racing domains both
+          build it (identical contents, either wins) *)
 }
 
 type t = {

@@ -245,6 +245,7 @@ let link ?(linkage = Image.External) ?(memory_words = 65536) ?ladder ?cost_param
           code_cursor = layout.code_region_base;
           gfi_cursor = 1;
           predecode = None;
+          attachment = None;
         }
       in
       let image =

@@ -26,6 +26,7 @@ type t = {
   pipe_wr : Unix.file_descr;
   stopping : bool Atomic.t;
   times : bool;
+  tier : Job.tier;  (** default for requests without an explicit tier= *)
   max_line : int;
   (* accepted sockets waiting for a handler; None is the stop sentinel *)
   conn_queue : Unix.file_descr option Queue.t;
@@ -116,6 +117,13 @@ let handle_job t conn line =
   match Job.parse_request line with
   | Error msg -> conn_write conn (Protocol.error_line ~error:"bad-request" ~message:msg)
   | Ok spec ->
+    (* A request that left the tier to the service gets the server's
+       default; an explicit tier= always wins. *)
+    let spec =
+      match spec.Job.tier with
+      | Job.Auto -> { spec with Job.tier = t.tier }
+      | _ -> spec
+    in
     if Atomic.get t.stopping then begin
       note_shed t;
       conn_write conn (Protocol.shed_line ~message:"server is draining")
@@ -316,7 +324,8 @@ let resolve_host host =
       invalid_arg (Printf.sprintf "Server.create: cannot resolve host %S" host))
 
 let create ?(host = "127.0.0.1") ?(port = 0) ?domains ?max_connections
-    ?max_pending ?(max_line = Framing.default_max_line) ?(times = true) () =
+    ?max_pending ?(max_line = Framing.default_max_line) ?(times = true)
+    ?(tier = Fpc_svc.Job.Auto) () =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let limiter = Limiter.create ?max_connections ?max_pending () in
   let routes = Hashtbl.create 64 in
@@ -363,6 +372,7 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?domains ?max_connections
       pipe_wr;
       stopping = Atomic.make false;
       times;
+      tier;
       max_line;
       conn_queue = Queue.create ();
       qm = Mutex.create ();

@@ -40,15 +40,18 @@ val create :
   ?max_pending:int ->
   ?max_line:int ->
   ?times:bool ->
+  ?tier:Fpc_svc.Job.tier ->
   unit ->
   t
 (** Bind, listen and start serving.  Defaults: host ["127.0.0.1"], port
     [0] (ephemeral — read it back with {!port}), {!Fpc_svc.Pool}'s
     recommended domain count, {!Limiter}'s caps,
     {!Framing.default_max_line}, [times:true] (include host timings in
-    result JSON; [false] gives fully deterministic output).  Installs a
-    SIGPIPE-ignore handler (a dead peer must read as an I/O error, not
-    kill the process). *)
+    result JSON; [false] gives fully deterministic output), [tier:Auto]
+    (the default execution tier for requests that carry no explicit
+    [tier=] key; an explicit key always wins).  Installs a SIGPIPE-ignore
+    handler (a dead peer must read as an I/O error, not kill the
+    process). *)
 
 val port : t -> int
 (** The bound port (useful with [port:0]). *)

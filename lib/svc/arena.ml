@@ -5,6 +5,7 @@
 type slot = {
   sl_cache_key : string;  (* the image cache's content key *)
   sl_engine : string;  (* engine name, the key's second component *)
+  sl_tier : string;  (* execution tier, the key's third component *)
   sl_image : Fpc_mesa.Image.t;  (* this slot's private arena clone *)
   sl_st : Fpc_core.State.t;
   mutable sl_last_used : int;
@@ -56,7 +57,7 @@ let stats (t : t) =
     pages_blitted = t.pages_blitted;
   }
 
-let slot_key ~key ~engine_name = key ^ "|" ^ engine_name
+let slot_key ~key ~engine_name ~tier_name = key ^ "|" ^ engine_name ^ "|" ^ tier_name
 
 let evict_lru t =
   let victim = ref None in
@@ -70,7 +71,10 @@ let evict_lru t =
   | Some (key, _) ->
     Hashtbl.remove t.slots key;
     (match t.last with
-    | Some s when slot_key ~key:s.sl_cache_key ~engine_name:s.sl_engine = key ->
+    | Some s
+      when slot_key ~key:s.sl_cache_key ~engine_name:s.sl_engine
+             ~tier_name:s.sl_tier
+           = key ->
       t.last <- None
     | _ -> ());
     t.evictions <- t.evictions + 1
@@ -89,17 +93,18 @@ let reset_hit (t : t) slot ~pristine =
    on a hit, a fresh clone on a miss); the slot's state is NOT yet reset —
    the caller builds its tracer against [image slot] first, then
    [checkout]s. *)
-let acquire t ~key ~engine ~engine_name ~pristine =
+let acquire t ~key ~engine ~engine_name ?(tier_name = "") ~pristine () =
   t.tick <- t.tick + 1;
   match t.last with
   | Some slot
     when String.equal slot.sl_cache_key key
-         && String.equal slot.sl_engine engine_name ->
+         && String.equal slot.sl_engine engine_name
+         && String.equal slot.sl_tier tier_name ->
     (* The streak path: same job shape as last time, no hashing at all. *)
     reset_hit t slot ~pristine;
     slot
   | _ -> (
-    let sk = slot_key ~key ~engine_name in
+    let sk = slot_key ~key ~engine_name ~tier_name in
     match Hashtbl.find_opt t.slots sk with
     | Some slot ->
       reset_hit t slot ~pristine;
@@ -114,6 +119,7 @@ let acquire t ~key ~engine ~engine_name ~pristine =
         {
           sl_cache_key = key;
           sl_engine = engine_name;
+          sl_tier = tier_name;
           sl_image = image;
           sl_st = st;
           sl_last_used = t.tick;

@@ -44,16 +44,20 @@ val acquire :
   key:string ->
   engine:Fpc_core.Engine.t ->
   engine_name:string ->
+  ?tier_name:string ->
   pristine:Fpc_mesa.Image.t ->
+  unit ->
   slot
-(** Find or build the slot for [(key, engine_name)].  On a hit the
-    slot's image is reset from [pristine] (dirty pages only); on a miss
-    a fresh clone and state are built and cached.  Either way the
+(** Find or build the slot for [(key, engine_name, tier_name)].  On a
+    hit the slot's image is reset from [pristine] (dirty pages only); on
+    a miss a fresh clone and state are built and cached.  Either way the
     returned slot's image equals [pristine] word-for-word.  The slot's
     {e state} is not yet reset — build any tracer against {!image} first,
     then {!checkout}.  [key] must be [pristine]'s content key
     (see {!Image_cache.find_pristine}); [engine_name] distinguishes
-    engine configurations sharing an image. *)
+    engine configurations sharing an image, and [tier_name] (default
+    [""]) keeps compiled-tier slots — whose images carry the shared
+    translation attachment — apart from interpreter-tier ones. *)
 
 val image : slot -> Fpc_mesa.Image.t
 (** The slot's private runnable image (for {!Fpc_interp.Profiler.create}

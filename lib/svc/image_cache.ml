@@ -52,8 +52,14 @@ let convention_tag (c : Fpc_compiler.Convention.t) =
   in
   if c.args_in_place then linkage ^ "+aip" else linkage
 
-let key_of ~convention ~source =
-  Digest.to_hex (Digest.string source) ^ "/" ^ convention_tag convention
+(* The tier tag keeps per-tier pristine entries apart: the compiled
+   tier's translation attaches to the image's shared directory, so
+   tagging the key guarantees an interp-tier entry (and every arena slot
+   keyed by it) never aliases a translated one. *)
+let key_of ~convention ~source ~tier =
+  Digest.to_hex (Digest.string source)
+  ^ "/" ^ convention_tag convention
+  ^ (if tier = "" then "" else "@" ^ tier)
 
 (* Under the mutex. *)
 let evict_lru t =
@@ -105,8 +111,8 @@ let insert t key image =
   Mutex.unlock t.mutex;
   kept
 
-let find_pristine t ~convention ~source =
-  let key = key_of ~convention ~source in
+let find_pristine ?(tier = "") t ~convention ~source =
+  let key = key_of ~convention ~source ~tier in
   match lookup t key with
   | Some image -> Ok (image, key, true, 0.0)
   | None -> (

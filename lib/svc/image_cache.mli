@@ -47,6 +47,7 @@ val find_or_compile :
     dropped — wasted work, never wrong results. *)
 
 val find_pristine :
+  ?tier:string ->
   t ->
   convention:Fpc_compiler.Convention.t ->
   source:string ->
@@ -57,4 +58,10 @@ val find_pristine :
     {!Fpc_mesa.Image.clone} or the arena's [clone_into] reset.  The key
     is content-derived, so an arena slot keyed by it stays valid even if
     the entry is evicted and later recompiled: the recompiled pristine is
-    word-identical. *)
+    word-identical.
+
+    [tier] (default [""], untagged) is folded into the key, giving each
+    execution tier its own pristine entry: the compiled tier attaches its
+    translation to the image's shared directory, and the tag keeps that
+    off the interpreter tier's entry (and off every arena slot keyed by
+    it). *)

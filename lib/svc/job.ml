@@ -1,8 +1,10 @@
 type source = Suite of string | Inline of string
+type tier = Interp | Compiled | Auto
 
 type spec = {
   source : source;
   engine : string;
+  tier : tier;
   fuel : int;
   trace : bool;
   deadline_ms : int option;
@@ -10,9 +12,21 @@ type spec = {
 
 let default_fuel = 20_000_000
 
-let spec ?(engine = "i2") ?(fuel = default_fuel) ?(trace = false) ?deadline_ms
-    source =
-  { source; engine; fuel; trace; deadline_ms }
+let spec ?(engine = "i2") ?(tier = Auto) ?(fuel = default_fuel)
+    ?(trace = false) ?deadline_ms source =
+  { source; engine; tier; fuel; trace; deadline_ms }
+
+let tier_of_name name =
+  match String.lowercase_ascii name with
+  | "interp" -> Ok Interp
+  | "compiled" -> Ok Compiled
+  | "auto" -> Ok Auto
+  | s -> Error (Printf.sprintf "unknown tier %s (use interp, compiled or auto)" s)
+
+let tier_to_string = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
+  | Auto -> "auto"
 
 type error_kind =
   | Bad_request
@@ -32,11 +46,16 @@ let error_kind_to_string = function
 
 type outcome = Output of int list | Failed of error_kind * string
 
+type translation =
+  | No_translation
+  | Translated of { hit : bool; translate_s : float }
+
 type stats = {
   cache_hit : bool;
   compile_s : float;
   run_s : float;
   minor_words : int;
+  translation : translation;
   instructions : int;
   cycles : int;
   mem_refs : int;
@@ -49,6 +68,7 @@ let no_stats =
     compile_s = 0.0;
     run_s = 0.0;
     minor_words = 0;
+    translation = No_translation;
     instructions = 0;
     cycles = 0;
     mem_refs = 0;
@@ -131,45 +151,51 @@ let parse_request line =
     |> List.filter (fun f -> f <> "")
   in
   let ( let* ) = Result.bind in
-  let parse_field (src, engine, fuel, trace, deadline) field =
+  let parse_field (src, engine, tier, fuel, trace, deadline) field =
     match String.index_opt field '=' with
     | None -> Error (Printf.sprintf "malformed field %S (want key=value)" field)
     | Some eq -> (
       let key = String.sub field 0 eq in
       let value = String.sub field (eq + 1) (String.length field - eq - 1) in
       match key with
-      | "prog" -> Ok (Some (Suite value), engine, fuel, trace, deadline)
+      | "prog" -> Ok (Some (Suite value), engine, tier, fuel, trace, deadline)
       | "src" ->
-        Ok (Some (Inline (unescape_src value)), engine, fuel, trace, deadline)
-      | "engine" -> Ok (src, value, fuel, trace, deadline)
+        Ok
+          (Some (Inline (unescape_src value)), engine, tier, fuel, trace,
+           deadline)
+      | "engine" -> Ok (src, value, tier, fuel, trace, deadline)
+      | "tier" ->
+        let* t = tier_of_name value in
+        Ok (src, engine, t, fuel, trace, deadline)
       | "fuel" -> (
         match int_of_string_opt value with
-        | Some n when n > 0 -> Ok (src, engine, Some n, trace, deadline)
+        | Some n when n > 0 -> Ok (src, engine, tier, Some n, trace, deadline)
         | Some _ | None ->
           Error (Printf.sprintf "fuel=%s is not a positive integer" value))
       | "trace" -> (
         match value with
-        | "1" | "true" -> Ok (src, engine, fuel, true, deadline)
-        | "0" | "false" -> Ok (src, engine, fuel, false, deadline)
+        | "1" | "true" -> Ok (src, engine, tier, fuel, true, deadline)
+        | "0" | "false" -> Ok (src, engine, tier, fuel, false, deadline)
         | v -> Error (Printf.sprintf "trace=%s is not 0/1" v))
       | "deadline_ms" -> (
         match int_of_string_opt value with
-        | Some n when n > 0 -> Ok (src, engine, fuel, trace, Some n)
+        | Some n when n > 0 -> Ok (src, engine, tier, fuel, trace, Some n)
         | Some _ | None ->
           Error
             (Printf.sprintf "deadline_ms=%s is not a positive integer" value))
       | k ->
         Error
           (Printf.sprintf
-             "unknown key %s (use prog, src, engine, fuel, trace, deadline_ms)"
+             "unknown key %s (use prog, src, engine, tier, fuel, trace, \
+              deadline_ms)"
              k))
   in
-  let* src, engine, fuel, trace, deadline =
+  let* src, engine, tier, fuel, trace, deadline =
     List.fold_left
       (fun acc field ->
         let* acc = acc in
         parse_field acc field)
-      (Ok (None, "i2", None, false, None))
+      (Ok (None, "i2", Auto, None, false, None))
       fields
   in
   match src with
@@ -179,6 +205,7 @@ let parse_request line =
       {
         source;
         engine;
+        tier;
         fuel = Option.value fuel ~default:default_fuel;
         trace;
         deadline_ms = deadline;
@@ -190,7 +217,10 @@ let request_of_spec s =
     | Suite name -> "prog=" ^ name
     | Inline text -> "src=" ^ escape_src text
   in
-  Printf.sprintf "%s engine=%s fuel=%d%s%s" src s.engine s.fuel
+  Printf.sprintf "%s engine=%s fuel=%d%s%s%s" src s.engine s.fuel
+    (match s.tier with
+    | Auto -> ""  (* the default, omitted to keep request lines stable *)
+    | t -> " tier=" ^ tier_to_string t)
     (if s.trace then " trace=1" else "")
     (match s.deadline_ms with
     | None -> ""
@@ -257,6 +287,9 @@ let result_to_json ?(times = true) r =
     | Some s -> [ ("profile", Fpc_trace.Profile.summary_to_json s) ]
   in
   let time_fields =
+    (* Which tier actually ran (and what translating cost) is a host-side
+       observation like [run_s]: the simulated fields above are identical
+       either way, which is what keeps [--json] byte-stable across tiers. *)
     if times then
       [
         ("cache_hit", Bool r.stats.cache_hit);
@@ -264,6 +297,14 @@ let result_to_json ?(times = true) r =
         ("run_s", Float r.stats.run_s);
         ("minor_words", Int r.stats.minor_words);
       ]
+      @ (match r.stats.translation with
+        | No_translation -> [ ("tier", String "interp") ]
+        | Translated { hit; translate_s } ->
+          [
+            ("tier", String "compiled");
+            ("translation_hit", Bool hit);
+            ("translate_s", Float translate_s);
+          ])
     else []
   in
   Obj

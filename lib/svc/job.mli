@@ -14,9 +14,17 @@ type source =
   | Suite of string  (** a built-in workload program, by name *)
   | Inline of string  (** mini-Mesa source text *)
 
+(** Which execution strategy runs the job.  [Interp] is the dispatch-loop
+    interpreter; [Compiled] is the threaded-code tier ({!Fpc_tier.Tier}),
+    bit-identical on every simulated meter; [Auto] (the default) lets the
+    pool choose — compiled, except for traced jobs, where the tier would
+    deopt every instruction anyway. *)
+type tier = Interp | Compiled | Auto
+
 type spec = {
   source : source;
   engine : string;  (** "i1".."i4" (case-insensitive) *)
+  tier : tier;
   fuel : int;  (** interpreter step budget; exhausting it fails the job *)
   trace : bool;  (** run under the XFER tracer, returning a profile summary *)
   deadline_ms : int option;
@@ -32,9 +40,20 @@ val default_fuel : int
 (** 20 million steps, matching [fpc run]'s default. *)
 
 val spec :
-  ?engine:string -> ?fuel:int -> ?trace:bool -> ?deadline_ms:int -> source -> spec
-(** Defaults: engine ["i2"], fuel {!default_fuel}, trace [false], no
-    deadline. *)
+  ?engine:string ->
+  ?tier:tier ->
+  ?fuel:int ->
+  ?trace:bool ->
+  ?deadline_ms:int ->
+  source ->
+  spec
+(** Defaults: engine ["i2"], tier [Auto], fuel {!default_fuel}, trace
+    [false], no deadline. *)
+
+val tier_of_name : string -> (tier, string) Stdlib.result
+(** ["interp"], ["compiled"] or ["auto"] (case-insensitive). *)
+
+val tier_to_string : tier -> string
 
 type error_kind =
   | Bad_request  (** unparseable request, unknown engine or suite program *)
@@ -50,6 +69,15 @@ type outcome =
   | Output of int list  (** halted normally; the OUTPUT words in order *)
   | Failed of error_kind * string
 
+(** Whether the job ran on the compiled tier, and what the translation
+    cost this execution: [hit] means the image's shared translation was
+    already attached (translate-once, like predecode), so [translate_s]
+    is just the lookup.  A host observation like [run_s] — the simulated
+    meters are identical across tiers by construction. *)
+type translation =
+  | No_translation  (** the job ran on the interpreter tier *)
+  | Translated of { hit : bool; translate_s : float }
+
 type stats = {
   cache_hit : bool;  (** the image came from the cache (no compile) *)
   compile_s : float;  (** host seconds spent compiling; 0.0 on a hit *)
@@ -61,6 +89,7 @@ type stats = {
           depends on whether the worker's arena had a warm slot, so it is
           excluded from deterministic output ([result_line],
           [result_to_json ~times:false]). *)
+  translation : translation;
   instructions : int;  (** simulated instructions executed *)
   cycles : int;  (** simulated cycles (the paper's cost model) *)
   mem_refs : int;  (** simulated storage references *)
@@ -97,10 +126,10 @@ val outcome_equal : outcome -> outcome -> bool
     [fpc serve] and [fpc batch] jobfiles use one line per job:
     whitespace-separated [key=value] fields.  Keys: [prog] (suite program
     name) or [src] (inline source, with [\n] [\t] [\s] [\\] escapes for
-    newline, tab, space and backslash), plus optional [engine], [fuel],
-    [trace] (0/1: run under the XFER tracer) and [deadline_ms]
-    (wall-clock budget for the execution).  Blank lines and lines
-    starting with [#] are skipped by callers. *)
+    newline, tab, space and backslash), plus optional [engine], [tier]
+    (interp/compiled/auto), [fuel], [trace] (0/1: run under the XFER
+    tracer) and [deadline_ms] (wall-clock budget for the execution).
+    Blank lines and lines starting with [#] are skipped by callers. *)
 
 val parse_request : string -> (spec, string) Stdlib.result
 

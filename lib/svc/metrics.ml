@@ -15,6 +15,9 @@ type t = {
   mutable max_pending_observed : int;
   mutable compile_s : float;
   mutable run_s : float;
+  mutable translate_s : float;
+  mutable translation_hits : int;
+  mutable translation_misses : int;
   mutable minor_words : int;
   mutable instructions : int;
   mutable cycles : int;
@@ -37,6 +40,9 @@ let create ~domains =
     max_pending_observed = 0;
     compile_s = 0.0;
     run_s = 0.0;
+    translate_s = 0.0;
+    translation_hits = 0;
+    translation_misses = 0;
     minor_words = 0;
     instructions = 0;
     cycles = 0;
@@ -57,6 +63,12 @@ let record t (r : Job.result) =
       t.deadline_exceeded <- t.deadline_exceeded + 1);
   t.compile_s <- t.compile_s +. r.stats.Job.compile_s;
   t.run_s <- t.run_s +. r.stats.Job.run_s;
+  (match r.stats.Job.translation with
+  | Job.No_translation -> ()
+  | Job.Translated { hit; translate_s } ->
+    t.translate_s <- t.translate_s +. translate_s;
+    if hit then t.translation_hits <- t.translation_hits + 1
+    else t.translation_misses <- t.translation_misses + 1);
   t.minor_words <- t.minor_words + r.stats.Job.minor_words;
   t.instructions <- t.instructions + r.stats.Job.instructions;
   t.cycles <- t.cycles + r.stats.Job.cycles;
@@ -97,6 +109,9 @@ let merge_into ~src ~into =
     max into.max_pending_observed src.max_pending_observed;
   into.compile_s <- into.compile_s +. src.compile_s;
   into.run_s <- into.run_s +. src.run_s;
+  into.translate_s <- into.translate_s +. src.translate_s;
+  into.translation_hits <- into.translation_hits + src.translation_hits;
+  into.translation_misses <- into.translation_misses + src.translation_misses;
   into.minor_words <- into.minor_words + src.minor_words;
   into.instructions <- into.instructions + src.instructions;
   into.cycles <- into.cycles + src.cycles;
@@ -137,6 +152,9 @@ type snapshot = {
   cache : Image_cache.stats;
   compile_s : float;
   run_s : float;
+  translate_s : float;
+  translation_hits : int;
+  translation_misses : int;
   wall_s : float;
   jobs_per_sec : float;
   minor_words : int;
@@ -178,6 +196,9 @@ let snapshot (t : t) ~wall_s ~cache =
     cache;
     compile_s = t.compile_s;
     run_s = t.run_s;
+    translate_s = t.translate_s;
+    translation_hits = t.translation_hits;
+    translation_misses = t.translation_misses;
     wall_s;
     jobs_per_sec =
       (if wall_s > 0.0 then float_of_int t.jobs /. wall_s else 0.0);
@@ -212,6 +233,11 @@ let render (s : snapshot) =
     (Printf.sprintf "%d (%d)" s.cache.Image_cache.entries
        s.cache.Image_cache.evictions);
   row "compile time (summed)" (Printf.sprintf "%.3fs" s.compile_s);
+  if s.translation_hits + s.translation_misses > 0 then begin
+    row "translation hits / misses"
+      (Printf.sprintf "%d / %d" s.translation_hits s.translation_misses);
+    row "translate time (summed)" (Printf.sprintf "%.3fs" s.translate_s)
+  end;
   row "run time (summed)" (Printf.sprintf "%.3fs" s.run_s);
   row "wall time" (Printf.sprintf "%.3fs" s.wall_s);
   row "throughput" (Printf.sprintf "%s jobs/s" (cell_float ~decimals:1 s.jobs_per_sec));
@@ -258,6 +284,13 @@ let to_json (s : snapshot) =
             ("hit_rate", Float (Image_cache.hit_rate s.cache));
           ] );
       ("compile_s", Float s.compile_s);
+      ( "translation",
+        Obj
+          [
+            ("hits", Int s.translation_hits);
+            ("misses", Int s.translation_misses);
+            ("translate_s", Float s.translate_s);
+          ] );
       ("run_s", Float s.run_s);
       ("wall_s", Float s.wall_s);
       ("jobs_per_sec", Float s.jobs_per_sec);

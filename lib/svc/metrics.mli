@@ -53,6 +53,12 @@ type snapshot = {
   cache : Image_cache.stats;
   compile_s : float;  (** summed across jobs (overlaps across domains) *)
   run_s : float;  (** summed across jobs (overlaps across domains) *)
+  translate_s : float;
+      (** host seconds spent obtaining compiled-tier translations, summed
+          (on a translation-cache hit this is just the lookup) *)
+  translation_hits : int;
+      (** compiled-tier jobs whose image already carried its translation *)
+  translation_misses : int;  (** compiled-tier jobs that had to translate *)
   wall_s : float;
   jobs_per_sec : float;  (** jobs / wall_s; 0 when wall_s is 0 *)
   minor_words : int;

@@ -42,21 +42,22 @@ let failed ?(stats = Job.no_stats) id spec kind msg =
    reset) vanishes against the interpreter loop. *)
 let deadline_slice = 50_000
 
-(* Run [st] for up to [fuel] steps.  With a deadline, run in slices and
-   check the clock between them; returns [true] iff the deadline fired
-   while the program was still running.  [Step_limit] is only ever set by
-   the interpreter's own step counter (the trap machinery never raises
-   it), so a mid-slice [Step_limit] with fuel remaining is safely resumed
-   by resetting the status to [Running]. *)
-let run_with_deadline ?deadline_at ~fuel st =
+(* Run [st] for up to [fuel] steps with [step] (one tier's run function).
+   With a deadline, run in slices and check the clock between them;
+   returns [true] iff the deadline fired while the program was still
+   running.  [Step_limit] is only ever set by the tier's own step counter
+   (the trap machinery never raises it), so a mid-slice [Step_limit] with
+   fuel remaining is safely resumed by resetting the status to [Running]
+   — both tiers resume at the exact boundary where the budget ran out. *)
+let run_with_deadline ?deadline_at ~step ~fuel st =
   match deadline_at with
   | None ->
-    Fpc_interp.Interp.run ~max_steps:fuel st;
+    step fuel st;
     false
   | Some deadline ->
     let rec go remaining =
       let s = min deadline_slice remaining in
-      Fpc_interp.Interp.run ~max_steps:s st;
+      step s st;
       match st.Fpc_core.State.status with
       | Fpc_core.State.Trapped Fpc_core.State.Step_limit when remaining > s ->
         if now () > deadline then true
@@ -68,12 +69,25 @@ let run_with_deadline ?deadline_at ~fuel st =
     in
     if fuel <= 0 then false else go fuel
 
+let interp_step fuel st = Fpc_interp.Interp.run ~max_steps:fuel st
+
 let execute ?arena cache id (spec : Job.spec) =
   match (Job.engine_of_name spec.engine, Job.source_text spec.source) with
   | Error m, _ | _, Error m -> failed id spec Job.Bad_request m
   | Ok engine, Ok source -> (
     let convention = Fpc_compiler.Convention.for_engine engine in
-    match Image_cache.find_pristine cache ~convention ~source with
+    (* Auto resolves to the compiled tier except under a tracer, where
+       every instruction deopts to the exact chain anyway; an explicit
+       tier=compiled trace=1 still runs compiled (the event stream is
+       bit-identical, just slower). *)
+    let compiled_tier =
+      match spec.tier with
+      | Job.Interp -> false
+      | Job.Compiled -> true
+      | Job.Auto -> not spec.trace
+    in
+    let tier_name = if compiled_tier then "compiled" else "interp" in
+    match Image_cache.find_pristine cache ~tier:tier_name ~convention ~source with
     | Error m -> failed id spec Job.Compile_error m
     | exception e -> failed id spec Job.Internal (Printexc.to_string e)
     | Ok (pristine, key, cache_hit, compile_s) -> (
@@ -82,18 +96,30 @@ let execute ?arena cache id (spec : Job.spec) =
       let deadline_at =
         Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) spec.deadline_ms
       in
+      let translation = ref Job.No_translation in
+      (* The compiled tier's run function for [image]: reuses the
+         translation attached to the image's shared directory or builds
+         and attaches it (a translation-cache miss, once per pristine). *)
+      let tier_step image =
+        let tt0 = now () in
+        let tr, hit = Fpc_tier.Tier.of_image image in
+        translation := Job.Translated { hit; translate_s = now () -. tt0 };
+        fun fuel st -> Fpc_tier.Tier.run ~max_steps:fuel tr st
+      in
       (* With an arena (the worker's private one), reuse its slot for
-         this (image, engine) pair: dirty-page image reset + in-place
-         state reset.  Without one, fall back to clone-per-job.  The
-         steady-state branch is written flat — no [go]/[boot] closures,
-         no shared [image] binding — because every capture here is a
-         per-job minor allocation the arena exists to eliminate. *)
+         this (image, engine, tier) triple: dirty-page image reset +
+         in-place state reset.  Without one, fall back to clone-per-job.
+         The steady-state branch is written flat — no [go]/[boot]
+         closures, no shared [image] binding — because every capture here
+         is a per-job minor allocation the arena exists to eliminate. *)
       match
         if spec.trace then begin
           let slot =
             match arena with
             | Some a ->
-              Some (Arena.acquire a ~key ~engine ~engine_name:spec.engine ~pristine)
+              Some
+                (Arena.acquire a ~key ~engine ~engine_name:spec.engine
+                   ~tier_name ~pristine ())
             | None -> None
           in
           let image =
@@ -112,7 +138,10 @@ let execute ?arena cache id (spec : Job.spec) =
               Fpc_interp.Interp.boot ~tracer:p.Fpc_interp.Profiler.sink ~image
                 ~engine ~instance:"Main" ~proc:"main" ~args:[] ()
           in
-          let deadline_hit = run_with_deadline ?deadline_at ~fuel:spec.fuel st in
+          let step = if compiled_tier then tier_step image else interp_step in
+          let deadline_hit =
+            run_with_deadline ?deadline_at ~step ~fuel:spec.fuel st
+          in
           let o = Fpc_interp.Interp.outcome st in
           ignore
             (Fpc_trace.Profile.finish p.Fpc_interp.Profiler.profile
@@ -122,6 +151,29 @@ let execute ?arena cache id (spec : Job.spec) =
             Some (Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile),
             deadline_hit )
         end
+        else if compiled_tier then begin
+          let slot_image, st =
+            match arena with
+            | Some a ->
+              let slot =
+                Arena.acquire a ~key ~engine ~engine_name:spec.engine
+                  ~tier_name ~pristine ()
+              in
+              let st = Arena.checkout slot in
+              Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
+              (Arena.image slot, st)
+            | None ->
+              let image = Fpc_mesa.Image.clone pristine in
+              ( image,
+                Fpc_interp.Interp.boot ~image ~engine ~instance:"Main"
+                  ~proc:"main" ~args:[] () )
+          in
+          let deadline_hit =
+            run_with_deadline ?deadline_at ~step:(tier_step slot_image)
+              ~fuel:spec.fuel st
+          in
+          (st, None, deadline_hit)
+        end
         else begin
           let st =
             match arena with
@@ -129,7 +181,7 @@ let execute ?arena cache id (spec : Job.spec) =
               let st =
                 Arena.checkout
                   (Arena.acquire a ~key ~engine ~engine_name:spec.engine
-                     ~pristine)
+                     ~tier_name ~pristine ())
               in
               Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
               st
@@ -137,7 +189,9 @@ let execute ?arena cache id (spec : Job.spec) =
               Fpc_interp.Interp.boot ~image:(Fpc_mesa.Image.clone pristine)
                 ~engine ~instance:"Main" ~proc:"main" ~args:[] ()
           in
-          let deadline_hit = run_with_deadline ?deadline_at ~fuel:spec.fuel st in
+          let deadline_hit =
+            run_with_deadline ?deadline_at ~step:interp_step ~fuel:spec.fuel st
+          in
           (st, None, deadline_hit)
         end
       with
@@ -153,6 +207,7 @@ let execute ?arena cache id (spec : Job.spec) =
             compile_s;
             run_s = now () -. t0;
             minor_words;
+            translation = !translation;
             instructions = o.o_instructions;
             cycles = o.o_cycles;
             mem_refs = o.o_mem_refs;

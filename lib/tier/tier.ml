@@ -1,0 +1,1069 @@
+open Fpc_machine
+open Fpc_core
+module Opcode = Fpc_isa.Opcode
+module Predecode = Fpc_isa.Predecode
+module Image = Fpc_mesa.Image
+module Descriptor = Fpc_mesa.Descriptor
+module Frame = Fpc_frames.Frame
+module Alloc_vector = Fpc_frames.Alloc_vector
+module Return_stack = Fpc_ifu.Return_stack
+module Bank_file = Fpc_regbank.Bank_file
+module Interp = Fpc_interp.Interp
+
+let word = Fpc_util.Bits.to_word
+let signed v = Fpc_util.Bits.signed_of_unsigned ~width:16 v
+
+(* A node covers the straight-line block starting at its boundary: at
+   most [block_cap] instructions, ending early at a terminator (anything
+   that moves control) or at undecodable bytes.  Every byte boundary gets
+   its own node (suffix blocks overlap), so a fuel-sliced resume or a
+   computed transfer always lands on compiled code. *)
+let block_cap = 24
+
+type t = {
+  base : int;  (** first byte PC covered *)
+  counts : int array;
+      (** instructions the node at [pc - base] can retire; 0 = no node *)
+  nodes : (State.t -> unit) array;
+  mutable n_boundaries : int;
+  mutable n_fused : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Instruction classification.
+
+   A terminator moves control (or always traps) and so ends a block; it
+   may still execute inside the node, as its final instruction.  A pure
+   instruction touches only the evaluation stack, variables and meters:
+   it cannot raise a machine trap (the only exceptions it can produce
+   are stack bounds — discharged by the block guard — and a storage
+   [Invalid_argument], which aborts the whole job identically in both
+   tiers), cannot move the PC and cannot change the status.  Pure
+   instructions are the fusable ones: their per-instruction accounting
+   can be batched and their stack traffic collapsed.  [Div]/[Mod]/
+   [Newrec]/[Freerec] are excluded because they can trap mid-block, and
+   a catchable trap suspends the current frame with the {e exact} PC of
+   the next instruction — so they must run with per-instruction PC
+   updates (an "exact chain"). *)
+
+let is_terminator (op : Opcode.t) =
+  match op with
+  | J _ | Jz _ | Jnz _ | Efc _ | Lfc _ | Dfc _ | Sdfc _ | Xf | Ret | Fork _
+  | Yield | Stopproc | Halt | Brk ->
+    true
+  | _ -> false
+
+let is_pure (op : Opcode.t) =
+  match op with
+  | Li _ | Lpd _ | Ll _ | Sl _ | Lg _ | Sg _ | Lla _ | Lga _ | Llx _ | Slx _
+  | Lgx _ | Sgx _ | Rload | Rstore | Ldfld _ | Stfld _ | Dup | Drop | Swap
+  | Over | Add | Sub | Mul | Neg | Band | Bor | Bxor | Bnot | Lt | Le | Eq
+  | Ne | Ge | Gt | Lrc | Out | Nop ->
+    true
+  | _ -> false
+
+(* Terminators that are still fusable inline: they end the block but
+   need no transfer machinery, so they can be the last instruction of a
+   fully fused fast path. *)
+let is_fused_terminator (op : Opcode.t) =
+  match op with J _ | Jz _ | Jnz _ | Halt -> true | _ -> false
+
+(* Stack-depth effect of a fusable instruction: [(need, delta)] — words
+   that must be on the stack before it, and its net depth change.  For
+   every fusable instruction the transient depth during execution never
+   exceeds the boundary depths (pops precede pushes, except the pushes
+   of [Dup]/[Over] whose result depth {e is} the maximum), so checking
+   boundary depths once per block is a sound guard for a whole run of
+   unchecked pushes and pops. *)
+let depth_effect (op : Opcode.t) =
+  match op with
+  | Li _ | Lpd _ | Ll _ | Lg _ | Lla _ | Lga _ | Lrc -> (0, 1)
+  | Sl _ | Sg _ | Drop | Out | Jz _ | Jnz _ -> (1, -1)
+  | Llx _ | Lgx _ | Rload | Ldfld _ | Neg | Bnot -> (1, 0)
+  | Slx _ | Sgx _ | Rstore -> (2, -2)
+  | Stfld _ -> (2, -1)
+  | Dup -> (1, 1)
+  | Swap -> (2, 0)
+  | Over -> (2, 1)
+  | Add | Sub | Mul | Band | Bor | Bxor | Lt | Le | Eq | Ne | Ge | Gt -> (2, -1)
+  | Nop | J _ | Halt -> (0, 0)
+  | _ -> invalid_arg "Tier.depth_effect: not fusable"
+
+let guard_params ops =
+  let need = ref 0 and maxd = ref 0 and d = ref 0 in
+  List.iter
+    (fun (_, op, _) ->
+      let n, delta = depth_effect op in
+      if n - !d > !need then need := n - !d;
+      d := !d + delta;
+      if !d > !maxd then maxd := !d)
+    ops;
+  (!need, !maxd)
+
+(* ------------------------------------------------------------------ *)
+(* Static accounting for a prepaid block.
+
+   A fusable run's storage traffic splits into two kinds.  Ops with
+   {e static} addresses (LL/SL/LG/SG at fixed frame offsets) have their
+   whole bill — storage references, local/global ref counters — computable
+   at translate time; when the block's runtime guard holds (no data
+   trace, no register banks shadowing the touched frame, every static
+   address in range) the bill is charged in one batch and the ops touch
+   the store raw.  Ops with {e dynamic} addresses (indexed, indirect)
+   still have a {e static} bill — one reference, one local/global/indirect
+   counter tick — with only the address unknown; they join the batch too,
+   going through the unmetered {!Memory.peek}/{!poke}, whose bounds check
+   aborts exactly like the metered access (which charges before
+   checking, so the prepaid batch matches even on the abort path). *)
+
+type acct = {
+  a_reads : int;
+  a_writes : int;
+  a_lrefs : int;
+  a_grefs : int;
+  a_irefs : int;
+  a_max_l : int;  (** highest static local offset dereferenced; -1 none *)
+  a_max_g : int;  (** highest static global offset dereferenced; -1 none *)
+  a_no_banks : bool;
+      (** block touches locals or data space raw: banks must be absent *)
+}
+
+let acct_of ops =
+  let reads = ref 0
+  and writes = ref 0
+  and lrefs = ref 0
+  and grefs = ref 0
+  and irefs = ref 0
+  and max_l = ref (-1)
+  and max_g = ref (-1)
+  and nb = ref false in
+  List.iter
+    (fun (_, (op : Opcode.t), _) ->
+      match op with
+      | Ll n ->
+        incr reads;
+        incr lrefs;
+        if n > !max_l then max_l := n;
+        nb := true
+      | Sl n ->
+        incr writes;
+        incr lrefs;
+        if n > !max_l then max_l := n;
+        nb := true
+      | Lg n ->
+        incr reads;
+        incr grefs;
+        if n > !max_g then max_g := n
+      | Sg n ->
+        incr writes;
+        incr grefs;
+        if n > !max_g then max_g := n
+      | Lla _ -> nb := true  (* flag_frame under banks: address formation only *)
+      | Llx _ ->
+        incr reads;
+        incr lrefs;
+        nb := true
+      | Slx _ ->
+        incr writes;
+        incr lrefs;
+        nb := true
+      | Lgx _ ->
+        incr reads;
+        incr grefs
+      | Sgx _ ->
+        incr writes;
+        incr grefs
+      | Rload | Ldfld _ ->
+        incr reads;
+        incr irefs;
+        nb := true
+      | Rstore | Stfld _ ->
+        incr writes;
+        incr irefs;
+        nb := true
+      | _ -> ())
+    ops;
+  {
+    a_reads = !reads;
+    a_writes = !writes;
+    a_lrefs = !lrefs;
+    a_grefs = !grefs;
+    a_irefs = !irefs;
+    a_max_l = !max_l;
+    a_max_g = !max_g;
+    a_no_banks = !nb;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Peephole dataflow for fused runs.  A "source" is an instruction whose
+   value is known without touching the stack; when a peephole consumes
+   it directly the elided push must still truncate to a word, exactly as
+   {!Eval_stack.push} would have.  [raw] selects the prepaid access plane
+   (bill already charged, addresses already guarded); the branch on it is
+   perfectly predicted, and stored words are already truncated. *)
+
+type sval = Sconst of int | Slocal of int | Sglobal of int
+
+let sval_of (op : Opcode.t) =
+  match op with
+  | Li n -> Some (Sconst (word n))
+  | Lpd w -> Some (Sconst (word w))
+  | Ll n -> Some (Slocal n)
+  | Lg n -> Some (Sglobal n)
+  | _ -> None
+
+let is_src op = sval_of op <> None
+let sval op = match sval_of op with Some s -> s | None -> assert false
+
+let load ~raw (st : State.t) = function
+  | Sconst n -> n
+  | Slocal n ->
+    if raw then Memory.prepaid_read st.mem (st.lf + n)
+    else word (State.read_local st n)
+  | Sglobal n ->
+    if raw then Memory.prepaid_read st.mem (st.gf + Image.global_base + n)
+    else word (State.read_global st n)
+
+let arith_fn (op : Opcode.t) : (int -> int -> int) option =
+  match op with
+  | Add -> Some (fun a b -> word (signed a + signed b))
+  | Sub -> Some (fun a b -> word (signed a - signed b))
+  | Mul -> Some (fun a b -> word (signed a * signed b))
+  | Band -> Some (fun a b -> a land b)
+  | Bor -> Some (fun a b -> a lor b)
+  | Bxor -> Some (fun a b -> a lxor b)
+  | _ -> None
+
+let is_arith op = arith_fn op <> None
+let arithf op = match arith_fn op with Some f -> f | None -> assert false
+
+let cmp_fn (op : Opcode.t) : (int -> int -> bool) option =
+  match op with
+  | Lt -> Some (fun a b -> signed a < signed b)
+  | Le -> Some (fun a b -> signed a <= signed b)
+  | Eq -> Some (fun a b -> signed a = signed b)
+  | Ne -> Some (fun a b -> signed a <> signed b)
+  | Ge -> Some (fun a b -> signed a >= signed b)
+  | Gt -> Some (fun a b -> signed a > signed b)
+  | _ -> None
+
+let is_cmp op = cmp_fn op <> None
+let cmpf op = match cmp_fn op with Some f -> f | None -> assert false
+
+let is_cond (op : Opcode.t) = match op with Jz _ | Jnz _ -> true | _ -> false
+
+(* [(jump_if_true, displacement)]: JZ jumps when the (elided) comparison
+   came out false, JNZ when it came out true. *)
+let cond (op : Opcode.t) =
+  match op with Jz d -> (false, d) | Jnz d -> (true, d) | _ -> assert false
+
+(* Exactly {!Interp}'s [taken]. *)
+let take_jump (st : State.t) target =
+  st.metrics.jumps_taken <- st.metrics.jumps_taken + 1;
+  Cost.jump st.cost;
+  st.pc_abs <- target
+
+let stop (_ : State.t) = ()
+
+(* One fusable instruction as a direct closure over unchecked stack
+   access — semantics identical to {!Interp.exec} under the block guard
+   ([unsafe_push] still truncates to a word).  Static-address variable
+   ops come in two planes: accessor-metered, or raw under a prepaid
+   bill; dynamic-address ops always meter themselves. *)
+let compile_one ~raw ((pc, (op : Opcode.t), _) : int * Opcode.t * int)
+    (k : State.t -> unit) : State.t -> unit =
+  match op with
+  | Li n ->
+    let n = word n in
+    fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack n;
+      k st
+  | Lpd w ->
+    let w = word w in
+    fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack w;
+      k st
+  | Ll n ->
+    if raw then fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack (Memory.prepaid_read st.mem (st.lf + n));
+      k st
+    else fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack (State.read_local st n);
+      k st
+  | Sl n ->
+    if raw then fun (st : State.t) ->
+      Memory.prepaid_write st.mem (st.lf + n) (Eval_stack.unsafe_pop st.stack);
+      k st
+    else fun (st : State.t) ->
+      State.write_local st n (Eval_stack.unsafe_pop st.stack);
+      k st
+  | Lg n ->
+    if raw then fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack
+        (Memory.prepaid_read st.mem (st.gf + Image.global_base + n));
+      k st
+    else fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack (State.read_global st n);
+      k st
+  | Sg n ->
+    if raw then fun (st : State.t) ->
+      Memory.prepaid_write st.mem
+        (st.gf + Image.global_base + n)
+        (Eval_stack.unsafe_pop st.stack);
+      k st
+    else fun (st : State.t) ->
+      State.write_global st n (Eval_stack.unsafe_pop st.stack);
+      k st
+  | Lla n ->
+    if raw then fun (st : State.t) ->
+      (* banks are absent under the prepaid guard, so no frame to flag *)
+      Eval_stack.unsafe_push st.stack (st.lf + n);
+      k st
+    else fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack (State.local_addr st n);
+      k st
+  | Lga n ->
+    fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack (State.global_addr st n);
+      k st
+  | Llx n ->
+    if raw then fun (st : State.t) ->
+      let i = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (Memory.peek st.mem (st.lf + n + i));
+      k st
+    else fun (st : State.t) ->
+      let i = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (State.read_local st (n + i));
+      k st
+  | Slx n ->
+    if raw then fun (st : State.t) ->
+      let v = Eval_stack.unsafe_pop st.stack in
+      let i = Eval_stack.unsafe_pop st.stack in
+      Memory.poke st.mem (st.lf + n + i) v;
+      k st
+    else fun (st : State.t) ->
+      let v = Eval_stack.unsafe_pop st.stack in
+      let i = Eval_stack.unsafe_pop st.stack in
+      State.write_local st (n + i) v;
+      k st
+  | Lgx n ->
+    if raw then fun (st : State.t) ->
+      let i = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack
+        (Memory.peek st.mem (st.gf + Image.global_base + n + i));
+      k st
+    else fun (st : State.t) ->
+      let i = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (State.read_global st (n + i));
+      k st
+  | Sgx n ->
+    if raw then fun (st : State.t) ->
+      let v = Eval_stack.unsafe_pop st.stack in
+      let i = Eval_stack.unsafe_pop st.stack in
+      Memory.poke st.mem (st.gf + Image.global_base + n + i) v;
+      k st
+    else fun (st : State.t) ->
+      let v = Eval_stack.unsafe_pop st.stack in
+      let i = Eval_stack.unsafe_pop st.stack in
+      State.write_global st (n + i) v;
+      k st
+  | Rload ->
+    if raw then fun (st : State.t) ->
+      let a = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (Memory.peek st.mem a);
+      k st
+    else fun (st : State.t) ->
+      let a = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (State.data_read st ~addr:a);
+      k st
+  | Rstore ->
+    if raw then fun (st : State.t) ->
+      let v = Eval_stack.unsafe_pop st.stack in
+      let a = Eval_stack.unsafe_pop st.stack in
+      Memory.poke st.mem a v;
+      k st
+    else fun (st : State.t) ->
+      let v = Eval_stack.unsafe_pop st.stack in
+      let a = Eval_stack.unsafe_pop st.stack in
+      State.data_write st ~addr:a v;
+      k st
+  | Ldfld i ->
+    if raw then fun (st : State.t) ->
+      let a = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (Memory.peek st.mem (a + i));
+      k st
+    else fun (st : State.t) ->
+      let a = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (State.data_read st ~addr:(a + i));
+      k st
+  | Stfld i ->
+    if raw then fun (st : State.t) ->
+      let v = Eval_stack.unsafe_pop st.stack in
+      let a = Eval_stack.unsafe_peek st.stack in
+      Memory.poke st.mem (a + i) v;
+      k st
+    else fun (st : State.t) ->
+      let v = Eval_stack.unsafe_pop st.stack in
+      let a = Eval_stack.unsafe_peek st.stack in
+      State.data_write st ~addr:(a + i) v;
+      k st
+  | Dup ->
+    fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack (Eval_stack.unsafe_peek st.stack);
+      k st
+  | Drop ->
+    fun (st : State.t) ->
+      ignore (Eval_stack.unsafe_pop st.stack);
+      k st
+  | Swap ->
+    fun (st : State.t) ->
+      let b = Eval_stack.unsafe_pop st.stack in
+      let a = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack b;
+      Eval_stack.unsafe_push st.stack a;
+      k st
+  | Over ->
+    fun (st : State.t) ->
+      let b = Eval_stack.unsafe_pop st.stack in
+      let a = Eval_stack.unsafe_peek st.stack in
+      Eval_stack.unsafe_push st.stack b;
+      Eval_stack.unsafe_push st.stack a;
+      k st
+  | Add | Sub | Mul | Band | Bor | Bxor ->
+    let f = arithf op in
+    fun (st : State.t) ->
+      let b = Eval_stack.unsafe_pop st.stack in
+      let a = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (f a b);
+      k st
+  | Neg ->
+    fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack (-signed (Eval_stack.unsafe_pop st.stack));
+      k st
+  | Bnot ->
+    fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack (Eval_stack.unsafe_pop st.stack lxor 0xFFFF);
+      k st
+  | Lt | Le | Eq | Ne | Ge | Gt ->
+    let f = cmpf op in
+    fun (st : State.t) ->
+      let b = Eval_stack.unsafe_pop st.stack in
+      let a = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (if f a b then 1 else 0);
+      k st
+  | Lrc ->
+    fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack st.return_ctx;
+      k st
+  | Out ->
+    fun (st : State.t) ->
+      State.emit st (Eval_stack.unsafe_pop st.stack);
+      k st
+  | Nop -> k
+  | J d ->
+    let target = pc + d in
+    fun (st : State.t) -> take_jump st target
+  | Jz d ->
+    let target = pc + d in
+    fun (st : State.t) ->
+      if Eval_stack.unsafe_pop st.stack = 0 then take_jump st target
+  | Jnz d ->
+    let target = pc + d in
+    fun (st : State.t) ->
+      if Eval_stack.unsafe_pop st.stack <> 0 then take_jump st target
+  | Halt -> fun (st : State.t) -> st.status <- State.Halted
+  | _ -> invalid_arg "Tier.compile_one: not fusable"
+
+(* The fused fast path for a run of fusable instructions: a closure
+   chain with peephole-collapsed idioms.  Side-effect order (variable
+   reads, output, data refs) is exactly the interpreter's; elided stack
+   crossings apply [word] wherever a push would have truncated. *)
+let rec compile ~raw (ops : (int * Opcode.t * int) list) : State.t -> unit =
+  match ops with
+  | [] -> stop
+  (* LOAD a; LOAD b; CMP; Jcond — the compare-and-branch idiom *)
+  | (_, o1, _) :: (_, o2, _) :: (_, o3, _) :: [ (jp, jop, _) ]
+    when is_src o1 && is_src o2 && is_cmp o3 && is_cond jop ->
+    let a = sval o1 and b = sval o2 and f = cmpf o3 in
+    let jnz, d = cond jop in
+    let target = jp + d in
+    fun (st : State.t) ->
+      let av = load ~raw st a in
+      let bv = load ~raw st b in
+      if f av bv = jnz then take_jump st target
+  (* LOAD b; CMP; Jcond — left operand from the stack *)
+  | (_, o1, _) :: (_, o2, _) :: [ (jp, jop, _) ]
+    when is_src o1 && is_cmp o2 && is_cond jop ->
+    let b = sval o1 and f = cmpf o2 in
+    let jnz, d = cond jop in
+    let target = jp + d in
+    fun (st : State.t) ->
+      let bv = load ~raw st b in
+      let av = Eval_stack.unsafe_pop st.stack in
+      if f av bv = jnz then take_jump st target
+  (* CMP; Jcond — both operands from the stack *)
+  | (_, o1, _) :: [ (jp, jop, _) ] when is_cmp o1 && is_cond jop ->
+    let f = cmpf o1 in
+    let jnz, d = cond jop in
+    let target = jp + d in
+    fun (st : State.t) ->
+      let b = Eval_stack.unsafe_pop st.stack in
+      let a = Eval_stack.unsafe_pop st.stack in
+      if f a b = jnz then take_jump st target
+  (* LOAD a; LOAD b; ARITH *)
+  | (_, o1, _) :: (_, o2, _) :: (_, o3, _) :: rest
+    when is_src o1 && is_src o2 && is_arith o3 ->
+    let a = sval o1 and b = sval o2 and f = arithf o3 in
+    let k = compile ~raw rest in
+    fun (st : State.t) ->
+      let av = load ~raw st a in
+      let bv = load ~raw st b in
+      Eval_stack.unsafe_push st.stack (f av bv);
+      k st
+  (* LOAD b; ARITH — left operand from the stack *)
+  | (_, o1, _) :: (_, o2, _) :: rest when is_src o1 && is_arith o2 ->
+    let b = sval o1 and f = arithf o2 in
+    let k = compile ~raw rest in
+    fun (st : State.t) ->
+      let bv = load ~raw st b in
+      let av = Eval_stack.unsafe_pop st.stack in
+      Eval_stack.unsafe_push st.stack (f av bv);
+      k st
+  (* LOAD; store — straight-through variable copy *)
+  | (_, o1, _) :: (_, Sl n, _) :: rest when is_src o1 ->
+    let a = sval o1 in
+    let k = compile ~raw rest in
+    if raw then fun (st : State.t) ->
+      Memory.prepaid_write st.mem (st.lf + n) (load ~raw:true st a);
+      k st
+    else fun (st : State.t) ->
+      State.write_local st n (load ~raw:false st a);
+      k st
+  | (_, o1, _) :: (_, Sg n, _) :: rest when is_src o1 ->
+    let a = sval o1 in
+    let k = compile ~raw rest in
+    if raw then fun (st : State.t) ->
+      Memory.prepaid_write st.mem
+        (st.gf + Image.global_base + n)
+        (load ~raw:true st a);
+      k st
+    else fun (st : State.t) ->
+      State.write_global st n (load ~raw:false st a);
+      k st
+  (* LOAD; Jcond — loop latches like LL n; JNZ *)
+  | (_, o1, _) :: [ (jp, jop, _) ] when is_src o1 && is_cond jop ->
+    let a = sval o1 in
+    let jnz, d = cond jop in
+    let target = jp + d in
+    fun (st : State.t) ->
+      if (load ~raw st a <> 0) = jnz then take_jump st target
+  (* A followed jump mid-chain: the jump's accounting without the PC
+     move — the successor closure is the target's code. *)
+  | (_, J _, _) :: (_ :: _ as rest) ->
+    let k = compile ~raw rest in
+    fun (st : State.t) ->
+      st.metrics.jumps_taken <- st.metrics.jumps_taken + 1;
+      Cost.jump st.cost;
+      k st
+  | o :: rest -> compile_one ~raw o (compile ~raw rest)
+
+(* ------------------------------------------------------------------ *)
+(* Exact chains: per-instruction accounting identical to [Interp.step]
+   over a predecoded instruction — counter, dispatch cost, PC advanced
+   {e before} the effect, then the single authoritative [Interp.exec].
+   No inter-instruction checks are needed: a fusable instruction cannot
+   move control, a trap-capable one signals by raising (unwinding the
+   rest of the chain to the node's handler), and terminators are last. *)
+let rec exact_chain (ops : (int * Opcode.t * int) list) : State.t -> unit =
+  match ops with
+  | [] -> stop
+  | (pc, op, len) :: rest ->
+    let next = pc + len in
+    let k = exact_chain rest in
+    fun (st : State.t) ->
+      st.metrics.instructions <- st.metrics.instructions + 1;
+      Cost.dispatch st.cost;
+      st.pc_abs <- next;
+      Interp.exec st ~instr_pc:pc op;
+      k st
+
+(* ------------------------------------------------------------------ *)
+(* Specialised transfer nodes.
+
+   The interpreter's call path resolves its destination at run time: an
+   entry-vector read, a code-byte fetch for the frame-size index, a
+   DIRECTCALL header fetch.  All of those inputs live in the code region,
+   which is immutable once linked — the same assumption the predecode
+   table already rests on — so a translate-time node can bake in the
+   resolved destination and charge the elided fetches as a batch.  Every
+   counter, metered reference and sub-event of the interpreter's path is
+   reproduced; anything off the specialised shape (wrong engine flavour,
+   unmaterialised CB, a full return stack, a rebound or NIL link) falls
+   back to the generic [Interp.exec] {e before} mutating anything.  The
+   specialised bodies run only under the fast path's tracer-absent
+   branch, where transfer event emission is a no-op by construction. *)
+
+(* Code bases of all linked modules, sorted: the module owning a byte PC
+   is the one with the greatest [2 * code_base <= pc]. *)
+let code_bases (image : Image.t) =
+  Array.of_list
+    (List.sort_uniq compare
+       (List.map
+          (fun ii -> ii.Image.ii_code_base)
+          image.Image.dir.instances))
+
+let cb_of_pc cbs pc =
+  let best = ref (-1) in
+  Array.iter (fun cb -> if 2 * cb <= pc then best := max !best cb) cbs;
+  if !best >= 0 then Some !best else None
+
+(* Prepaid frame traffic: [Transfer.alloc_frame]/[free_frame] with the
+   AV fast path's storage references batch-charged inside the allocator
+   ({!Alloc_vector.alloc_fsi_prepaid}/{!free_prepaid}).  These run only
+   under the tracer-absent branch, where the sub-events the metered
+   paths would emit are no-ops by construction; every counter total is
+   identical. *)
+let av_alloc_prepaid (st : State.t) fsi =
+  match Alloc_vector.alloc_fsi_prepaid st.allocator ~cost:st.cost ~fsi with
+  | lf -> (lf lsl 8) lor fsi
+  | exception Alloc_vector.Out_of_frame_heap ->
+    raise (Transfer.Machine_trap State.Frame_heap_exhausted)
+
+let alloc_frame_prepaid (st : State.t) ~fsi =
+  let m = st.metrics in
+  m.frame_allocs <- m.frame_allocs + 1;
+  if st.ff_fsi >= 0 && fsi <= st.ff_fsi then
+    if st.ff_top > 0 then begin
+      st.ff_top <- st.ff_top - 1;
+      let lf = st.free_frames.(st.ff_top) in
+      m.ff_hits <- m.ff_hits + 1;
+      (lf lsl 8) lor st.ff_fsi
+    end
+    else begin
+      m.ff_misses <- m.ff_misses + 1;
+      av_alloc_prepaid st st.ff_fsi
+    end
+  else av_alloc_prepaid st fsi
+
+let free_frame_prepaid (st : State.t) ~lf =
+  st.metrics.frame_frees <- st.metrics.frame_frees + 1;
+  (match st.banks with
+  | Some b -> Bank_file.release_frame b ~lf
+  | None -> ());
+  if
+    st.ff_fsi >= 0
+    && Frame.peek_fsi st.mem ~lf = st.ff_fsi
+    && st.ff_top < Array.length st.free_frames
+  then begin
+    st.free_frames.(st.ff_top) <- lf;
+    st.ff_top <- st.ff_top + 1
+  end
+  else Alloc_vector.free_prepaid st.allocator ~cost:st.cost ~lf
+
+(* RETURN via the IFU return stack, or the plain frame-link return of the
+   stackless engines.  The empty-rstack and non-frame-link shapes go
+   generic: they carry their own bookkeeping (empty-pop counts, process
+   end, fresh-activation links). *)
+let spec_ret ~tpc =
+  fun (st : State.t) ->
+    let m = st.metrics in
+    match st.rstack with
+    | Some rs when Return_stack.length rs > 0 ->
+      m.returns <- m.returns + 1;
+      State.note_transfer_direction st (-1);
+      let before = Cost.mem_refs st.cost in
+      let returning = st.lf in
+      ignore (Return_stack.try_pop rs : bool);
+      free_frame_prepaid st ~lf:returning;
+      let e = Return_stack.popped rs in
+      st.lf <- e.Return_stack.r_lf;
+      st.gf <- e.Return_stack.r_gf;
+      st.cb <- e.Return_stack.r_cb;
+      st.pc_abs <- e.Return_stack.r_pc_abs;
+      st.return_ctx <- 0;
+      (match st.banks with
+      | Some b -> Bank_file.ensure_bank b ~lf:st.lf
+      | None -> ());
+      Cost.jump st.cost;
+      Transfer.classify st before
+    | Some _ -> Interp.exec st ~instr_pc:tpc Ret
+    | None ->
+      let returning = st.lf in
+      let rl = Frame.peek_return_link st.mem ~lf:returning in
+      if rl <> 0 && Descriptor.word_kind rl = Descriptor.word_frame then begin
+        m.returns <- m.returns + 1;
+        State.note_transfer_direction st (-1);
+        (* the returnLink fetch plus resume's pc/gf/cb fetches, one batch;
+           references are charged, so this is statically a slow transfer *)
+        Memory.charge st.mem ~reads:4 ~writes:0;
+        free_frame_prepaid st ~lf:returning;
+        st.return_ctx <- 0;
+        let pc = Frame.peek_pc st.mem ~lf:rl in
+        let gf = Frame.peek_global_frame st.mem ~lf:rl in
+        let cb = Memory.peek st.mem gf in
+        st.lf <- rl;
+        st.gf <- gf;
+        st.cb <- cb;
+        st.pc_abs <- (2 * cb) + pc;
+        (match st.banks with
+        | Some b -> Bank_file.ensure_bank b ~lf:rl
+        | None -> ());
+        Cost.jump st.cost;
+        m.slow_transfers <- m.slow_transfers + 1
+      end
+      else Interp.exec st ~instr_pc:tpc Ret
+
+(* LOCALCALL with the destination resolved at translate time: same
+   environment, same code base, entry offset and callee size class read
+   from the (immutable) entry vector once.  Mesa flavour without a return
+   stack or banks — the shape the external-linkage convention emits. *)
+let spec_lfc ~tpc ~ev_index ~cb ~fsi ~target_pc =
+  fun (st : State.t) ->
+    match (st.engine.Engine.kind, st.rstack, st.banks) with
+    | Engine.Mesa, None, None when st.cb = cb ->
+      let m = st.metrics in
+      m.calls <- m.calls + 1;
+      State.note_transfer_direction st 1;
+      let ret_word = st.lf in
+      (* the elided resolution (EV word + entry's fsi byte) plus the PC
+         save and the callee's returnLink/globalFrame stores, one batch;
+         references are charged, so this is statically a slow transfer *)
+      Memory.charge st.mem ~reads:2 ~writes:3;
+      Memory.poke st.mem (st.lf + Frame.off_pc) (st.pc_abs - (2 * cb));
+      let packed = alloc_frame_prepaid st ~fsi in
+      let lf_new = packed lsr 8 in
+      Memory.poke st.mem (lf_new + Frame.off_return_link) ret_word;
+      Memory.poke st.mem (lf_new + Frame.off_global_frame) st.gf;
+      m.arg_words_stored <- m.arg_words_stored + Eval_stack.depth st.stack;
+      st.return_ctx <- ret_word;
+      st.lf <- lf_new;
+      st.pc_abs <- target_pc;
+      Cost.jump st.cost;
+      m.slow_transfers <- m.slow_transfers + 1
+    | _ -> Interp.exec st ~instr_pc:tpc (Lfc ev_index)
+
+(* DIRECTCALL with the header (gf, fsi) folded in: under a return stack
+   the header rides the IFU prefetch (peeked, uncharged), which is
+   exactly what baking it in reproduces.  The no-rstack flavour pays
+   metered header fetches and goes generic. *)
+let spec_dfc ~tpc ~(op : Opcode.t) ~gf_t ~fsi ~target_pc =
+  fun (st : State.t) ->
+    match st.rstack with
+    | Some rs when not (Return_stack.is_full rs) ->
+      let m = st.metrics in
+      m.calls <- m.calls + 1;
+      State.note_transfer_direction st 1;
+      let before = Cost.mem_refs st.cost in
+      (match st.banks with
+      | Some bk -> Bank_file.on_leave bk ~lf:st.lf
+      | None -> ());
+      let ret_word = st.lf in
+      let e_bank =
+        match st.banks with
+        | Some bk -> Bank_file.bank_index bk ~lf:st.lf
+        | None -> Return_stack.no_bank
+      in
+      Return_stack.push rs ~lf:st.lf ~gf:st.gf ~cb:st.cb ~pc_abs:st.pc_abs
+        ~bank:e_bank;
+      let packed = alloc_frame_prepaid st ~fsi in
+      let lf_new = packed lsr 8 and granted_fsi = packed land 0xFF in
+      (match st.banks with
+      | Some banks ->
+        let depth = Eval_stack.depth st.stack in
+        m.arg_words_renamed <- m.arg_words_renamed + depth;
+        Bank_file.on_call_n banks ~nargs:depth ~callee_lf:lf_new
+          ~payload_words:(Transfer.payload_of_fsi st granted_fsi)
+          ~args:(Eval_stack.buffer st.stack);
+        Eval_stack.clear st.stack
+      | None ->
+        m.arg_words_stored <- m.arg_words_stored + Eval_stack.depth st.stack);
+      st.return_ctx <- ret_word;
+      st.lf <- lf_new;
+      st.gf <- gf_t;
+      st.cb <- State.no_cb;
+      st.pc_abs <- target_pc;
+      Cost.jump st.cost;
+      Transfer.classify st before
+    | _ -> Interp.exec st ~instr_pc:tpc op
+
+(* Build the specialised node for a block-ending transfer, or [None] when
+   the shape (or its translate-time resolution) is not specialisable. *)
+let specialize (image : Image.t) cbs ~tpc (op : Opcode.t) =
+  let mem = image.Image.mem in
+  match op with
+  | Ret -> Some (spec_ret ~tpc)
+  | Lfc n -> (
+    match cb_of_pc cbs tpc with
+    | None -> None
+    | Some cb -> (
+      try
+        let entry_off = Memory.peek mem (cb + n) in
+        let fsi = Memory.peek_code_byte mem ~code_base:cb ~pc:entry_off in
+        Some
+          (spec_lfc ~tpc ~ev_index:n ~cb ~fsi
+             ~target_pc:((2 * cb) + entry_off + 1))
+      with Invalid_argument _ -> None))
+  | Dfc _ | Sdfc _ -> (
+    let target_abs =
+      match op with Dfc t -> t | Sdfc d -> tpc + d | _ -> assert false
+    in
+    try
+      let b0 = Memory.peek_code_byte mem ~code_base:0 ~pc:target_abs in
+      let b1 = Memory.peek_code_byte mem ~code_base:0 ~pc:(target_abs + 1) in
+      let b2 = Memory.peek_code_byte mem ~code_base:0 ~pc:(target_abs + 2) in
+      Some
+        (spec_dfc ~tpc ~op ~gf_t:((b0 lsl 8) lor b1) ~fsi:b2
+           ~target_pc:(target_abs + 3))
+    with Invalid_argument _ -> None)
+  | _ -> None
+
+(* A followed unconditional jump (one with more instructions collected
+   after it) is fusable: inside a chain it costs its dispatch and jump
+   accounting but moves no PC — the chain {e is} the jump.  In final
+   position it is the ordinary fused terminator. *)
+let rec split_fusable acc (ops : (int * Opcode.t * int) list) =
+  match ops with
+  | [] -> (List.rev acc, [])
+  | [ ((_, Opcode.J _, _) as o) ] -> (List.rev (o :: acc), [])
+  | ((_, Opcode.J _, _) as o) :: rest -> split_fusable (o :: acc) rest
+  | ((_, op, _) as o) :: rest ->
+    if is_pure op then split_fusable (o :: acc) rest
+    else if is_fused_terminator op then (List.rev (o :: acc), [])
+    else (List.rev acc, ops)
+
+(* Superblock formation: an unconditional jump to a decodable target does
+   not end collection — the block continues at the target, turning a loop
+   body's back-edge or a forward hop into straight-line code.  [block_cap]
+   bounds the chase (a self-jump simply fills the block with jumps). *)
+let collect_block pd pc0 =
+  let rec go pc n acc =
+    if n >= block_cap then List.rev acc
+    else
+      let len = Predecode.len_at pd pc in
+      if len = 0 then List.rev acc
+      else
+        let op = Predecode.op_at pd pc in
+        let acc = (pc, op, len) :: acc in
+        match op with
+        | Opcode.J d when n + 1 < block_cap && Predecode.len_at pd (pc + d) > 0
+          ->
+          go (pc + d) (n + 1) acc
+        | _ -> if is_terminator op then List.rev acc else go (pc + len) (n + 1) acc
+  in
+  go pc0 0 []
+
+let has_banks (st : State.t) = match st.banks with Some _ -> true | None -> false
+let has_data_trace (st : State.t) =
+  match st.data_trace with Some _ -> true | None -> false
+
+(* Build the node for one boundary.  [fused] is true when the fast path
+   covers two or more instructions in one batch. *)
+let build_node image cbs ops : int * bool * (State.t -> unit) =
+  let n_ops = List.length ops in
+  let fusable, tail = split_fusable [] ops in
+  let f = List.length fusable in
+  (* Guard-failure / tracer fallback: the whole block, exactly. *)
+  let exact_all = exact_chain ops in
+  let body =
+    if f = 0 then
+      match tail with
+      | [ (tpc, top, tlen) ] -> (
+        match specialize image cbs ~tpc top with
+        | Some sp ->
+          (* A lone transfer at the boundary (a jump target landing on a
+             RET or a call): same per-instruction accounting as the exact
+             chain, then the specialised transfer. *)
+          let t_next = tpc + tlen in
+          fun (st : State.t) ->
+            (match st.tracer with
+            | Some _ -> exact_all st
+            | None ->
+              let m = st.metrics in
+              m.instructions <- m.instructions + 1;
+              m.tier_fast_instrs <- m.tier_fast_instrs + 1;
+              Cost.dispatch st.cost;
+              st.pc_abs <- t_next;
+              sp st)
+        | None -> exact_all)
+      | _ -> exact_all
+    else begin
+      let need, maxd = guard_params fusable in
+      let a = acct_of fusable in
+      let fused_mid = compile ~raw:false fusable in
+      let fused_raw = compile ~raw:true fusable in
+      (* The first non-fusable instruction (a transfer terminator, or a
+         trap-capable op like DIV) still joins the batch: the interpreter
+         counts an instruction before executing it, so pre-counting the
+         batch leaves every meter exactly right even if it traps — but
+         its PC must be exact, so it runs via [Interp.exec] after the
+         fused prefix, never inside it. *)
+      let batch = if tail = [] then f else f + 1 in
+      let super = if batch >= 2 then batch else 0 in
+      let reads = a.a_reads and writes = a.a_writes in
+      let lrefs = a.a_lrefs and grefs = a.a_grefs and irefs = a.a_irefs in
+      let max_l = a.a_max_l and max_g = a.a_max_g in
+      let no_banks = a.a_no_banks in
+      (* The prepaid plane applies when nothing can observe or alter the
+         batched accesses: no data trace, no bank shadowing the touched
+         locals, and every static address proven in range (dynamic
+         addresses bounds-check themselves in the chain). *)
+      let prepaid_ok (st : State.t) =
+        (not (has_data_trace st))
+        && ((not no_banks) || not (has_banks st))
+        &&
+        let sz = Memory.size st.mem in
+        (max_l < 0 || st.lf + max_l < sz)
+        && (max_g < 0 || st.gf + Image.global_base + max_g < sz)
+      in
+      match tail with
+      | [] ->
+        (* Fully fused block: PC goes to the block end up front (only a
+           final fused jump may overwrite it), exactly where the
+           interpreter's per-instruction advances would leave it. *)
+        let p_end =
+          match List.rev fusable with
+          | (pc, _, len) :: _ -> pc + len
+          | [] -> assert false
+        in
+        fun (st : State.t) ->
+          (match st.tracer with
+          | Some _ -> exact_all st
+          | None ->
+            let d = Eval_stack.depth st.stack in
+            if d >= need && d + maxd <= Eval_stack.capacity st.stack then begin
+              let m = st.metrics in
+              m.instructions <- m.instructions + batch;
+              m.tier_fast_instrs <- m.tier_fast_instrs + batch;
+              m.tier_super_instrs <- m.tier_super_instrs + super;
+              if prepaid_ok st then begin
+                Cost.block_bill st.cost ~instrs:batch ~reads ~writes;
+                m.local_refs <- m.local_refs + lrefs;
+                m.global_refs <- m.global_refs + grefs;
+                m.indirect_refs <- m.indirect_refs + irefs;
+                st.pc_abs <- p_end;
+                fused_raw st
+              end
+              else begin
+                Cost.dispatch_n st.cost batch;
+                st.pc_abs <- p_end;
+                fused_mid st
+              end
+            end
+            else exact_all st)
+      | (tpc, top, tlen) :: rest ->
+        let t_next = tpc + tlen in
+        let term =
+          match rest with
+          | [] -> (
+            match specialize image cbs ~tpc top with
+            | Some sp -> sp
+            | None -> fun (st : State.t) -> Interp.exec st ~instr_pc:tpc top)
+          | _ ->
+            let rest_chain = exact_chain rest in
+            fun (st : State.t) ->
+              Interp.exec st ~instr_pc:tpc top;
+              rest_chain st
+        in
+        fun (st : State.t) ->
+          (match st.tracer with
+          | Some _ -> exact_all st
+          | None ->
+            let d = Eval_stack.depth st.stack in
+            if d >= need && d + maxd <= Eval_stack.capacity st.stack then begin
+              let m = st.metrics in
+              m.instructions <- m.instructions + batch;
+              m.tier_fast_instrs <- m.tier_fast_instrs + batch;
+              m.tier_super_instrs <- m.tier_super_instrs + super;
+              if prepaid_ok st then begin
+                Cost.block_bill st.cost ~instrs:batch ~reads ~writes;
+                m.local_refs <- m.local_refs + lrefs;
+                m.global_refs <- m.global_refs + grefs;
+                m.indirect_refs <- m.indirect_refs + irefs;
+                fused_raw st
+              end
+              else begin
+                Cost.dispatch_n st.cost batch;
+                fused_mid st
+              end;
+              st.pc_abs <- t_next;
+              term st
+            end
+            else exact_all st)
+    end
+  in
+  let fused_node = f >= 2 || (f >= 1 && tail <> []) in
+  let exec (st : State.t) =
+    try body st with
+    | Eval_stack.Overflow -> Transfer.trap st State.Eval_overflow
+    | Eval_stack.Underflow -> Transfer.trap st State.Eval_underflow
+    | Transfer.Machine_trap reason -> Transfer.trap st reason
+  in
+  (n_ops, fused_node, exec)
+
+(* ------------------------------------------------------------------ *)
+
+let translate image =
+  let pd = Image.predecode image in
+  let cbs = code_bases image in
+  let base = Predecode.base pd and limit = Predecode.limit pd in
+  let size = max 0 (limit - base) in
+  let t =
+    {
+      base;
+      counts = Array.make size 0;
+      nodes = Array.make size stop;
+      n_boundaries = 0;
+      n_fused = 0;
+    }
+  in
+  for pc = base to limit - 1 do
+    if Predecode.len_at pd pc > 0 then begin
+      let n, fused, exec = build_node image cbs (collect_block pd pc) in
+      t.counts.(pc - base) <- n;
+      t.nodes.(pc - base) <- exec;
+      t.n_boundaries <- t.n_boundaries + 1;
+      if fused then t.n_fused <- t.n_fused + 1
+    end
+  done;
+  t
+
+type Image.attachment += Translation of t
+
+let of_image (image : Image.t) =
+  match image.dir.attachment with
+  | Some (Translation t) -> (t, true)
+  | _ ->
+    let t = translate image in
+    image.dir.attachment <- Some (Translation t);
+    (t, false)
+
+let boundaries t = t.n_boundaries
+let fused_boundaries t = t.n_fused
+
+let run ?(max_steps = 20_000_000) t (st : State.t) =
+  let m = st.metrics in
+  let limit = m.instructions + max_steps in
+  let base = t.base in
+  let counts = t.counts and nodes = t.nodes in
+  let size = Array.length counts in
+  let rec go () =
+    if st.status = State.Running then
+      if m.instructions >= limit then st.status <- State.Trapped State.Step_limit
+      else begin
+        let idx = st.pc_abs - base in
+        if
+          idx >= 0 && idx < size
+          && (let n = Array.unsafe_get counts idx in
+              n > 0 && m.instructions + n <= limit)
+        then (Array.unsafe_get nodes idx) st
+        else begin
+          (* No node (undecodable or uncovered PC), or the remaining
+             budget cannot cover a whole block: one interpreter step —
+             by construction it lands back on an exact boundary. *)
+          m.tier_deopts <- m.tier_deopts + 1;
+          Interp.step st
+        end;
+        go ()
+      end
+  in
+  go ()

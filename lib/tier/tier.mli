@@ -1,0 +1,63 @@
+(** The compiled execution tier: threaded code over the predecoded image.
+
+    The interpreter pays a fetch/decode dispatch per instruction even
+    though the predecode table already did the decoding at link time.
+    This tier goes one step further and translates the code region into
+    an array of OCaml closures — one per reachable instruction boundary —
+    so steady-state execution is a chain of direct calls with {e no}
+    dispatch loop at all.  Straight-line runs of pure stack/variable
+    instructions are fused into superinstructions: one stack-depth guard,
+    one batched meter update ({!Fpc_machine.Cost.dispatch_n}), and
+    peephole-collapsed dataflow (load/load/arith, compare-and-branch,
+    push/DIRECTCALL) that keeps intermediate values in OCaml locals
+    instead of bouncing them through the evaluation stack.
+
+    Equivalence is the contract: a translated run is {e bit-identical} to
+    the interpreter — outcome, output, cycle / storage-reference /
+    transfer meters, trap behaviour, and (under a tracer) the exact event
+    stream.  Anything the fast path cannot prove — a stack-depth guard
+    failure, an installed tracer, a trap-capable instruction, undecodable
+    bytes, a transfer into untranslated code, fuel expiry mid-block —
+    deopts to the interpreter's own semantics at an exact instruction
+    boundary: fused blocks fall back to per-instruction "exact chains"
+    that replicate {!Fpc_interp.Interp.step}'s accounting, and PCs with
+    no node at all are stepped by the interpreter itself.
+
+    A translation is derived purely from the immutable code bytes, so —
+    like the predecode table it is built from — one translation is shared
+    read-only by a pristine image and every clone, cached on the image
+    directory ({!Fpc_mesa.Image.attachment}).  Racing domains may both
+    build it; the results are semantically identical and either wins
+    benignly.  Host-speed only: simulated meters are unaffected by
+    whether a run used this tier (that is the whole point). *)
+
+type t
+
+val translate : Fpc_mesa.Image.t -> t
+(** Translate the image's carved code region (every decodable byte
+    boundary gets a node, so any PC the machine can reach — including
+    computed XFERs and mid-block fuel resumes — lands on compiled code).
+    Does not consult or update the image's cached attachment. *)
+
+val of_image : Fpc_mesa.Image.t -> t * bool
+(** The image's shared translation: reuses the one cached on the image
+    directory or builds and attaches it.  Returns [true] iff it was
+    already attached (a translation-cache hit). *)
+
+val run : ?max_steps:int -> t -> Fpc_core.State.t -> unit
+(** Drive [st] to completion on the compiled tier: exactly
+    {!Fpc_interp.Interp.run} (default [max_steps] 20 million, recording a
+    [Step_limit] trap on expiry), including resumability — a fuel-sliced
+    caller may reset the status to [Running] and call again, and the next
+    instruction executes at the exact boundary where the budget ran out.
+    Instructions whose remaining budget cannot cover a whole block, and
+    PCs without a node, are stepped by the interpreter (counted in
+    [metrics.tier_deopts]); fast-path instructions are counted in
+    [metrics.tier_fast_instrs] / [tier_super_instrs]. *)
+
+val boundaries : t -> int
+(** Number of byte boundaries with a compiled node. *)
+
+val fused_boundaries : t -> int
+(** Of {!boundaries}, how many have a multi-instruction fused fast path
+    (a superinstruction of two or more instructions). *)

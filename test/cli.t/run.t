@@ -10,6 +10,16 @@ Pick an engine:
   111
   2
 
+Pick an execution tier: the compiled (threaded-code) tier produces the
+same output and bit-identical simulated meters as the interpreter:
+
+  $ fpc run fib --tier=compiled
+  377
+  engine=i2 instructions=15845 cycles=123964 storage-refs=26218
+  $ fpc run fib --tier=interp
+  377
+  engine=i2 instructions=15845 cycles=123964 storage-refs=26218
+
 List the built-in suite:
 
   $ fpc suite | head -4
@@ -62,6 +72,15 @@ and in submission order (metrics go to stderr):
   #0 fib i2 ok output=377 instructions=15845 cycles=123964 mem-refs=26218
   #1 hanoi i4 ok output=127 instructions=3569 cycles=7045 mem-refs=342
   #2 inline:015ae353 i3 ok output=42 instructions=5 cycles=149 mem-refs=11
+
+Batch output is byte-identical across execution tiers — the compiled
+tier's fingerprints (output and all simulated meters) match the
+interpreter's on every job:
+
+  $ fpc batch jobs.txt --tier=interp 2>/dev/null > tier-interp.out
+  $ fpc batch jobs.txt --tier=compiled 2>/dev/null > tier-compiled.out
+  $ cmp tier-interp.out tier-compiled.out && echo tiers-agree
+  tiers-agree
 
 A poisoned job fails alone; the pool keeps serving:
 

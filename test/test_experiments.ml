@@ -130,6 +130,16 @@ let test_e14 () =
     (headline "equivalence" "relocation_failures");
   check_band ~what:"instances ok" ~lo:1.0 ~hi:1.0 (headline "equivalence" "instances_ok")
 
+(* E16: the compiled tier is bit-identical and most instructions fuse.
+   Speedup is host wall clock — asserted positive, not banded, so a noisy
+   CI machine cannot fail the gate. *)
+let test_e16 () =
+  check_band ~what:"tier mismatches" ~lo:0.0 ~hi:0.0 (headline "tier" "mismatches");
+  check_band ~what:"fusion coverage %" ~lo:50.0 ~hi:100.0
+    (headline "tier" "fusion_coverage_pct");
+  check_band ~what:"I2 speedup > 0" ~lo:0.000001 ~hi:1000.0
+    (headline "tier" "speedup_i2")
+
 let () =
   let case name f = Alcotest.test_case name `Slow f in
   Alcotest.run "experiments"
@@ -151,5 +161,6 @@ let () =
           case "E12 pointers to locals" test_e12;
           case "E13 short reach" test_e13;
           case "E14 equivalence" test_e14;
+          case "E16 compiled tier" test_e16;
         ] );
     ]

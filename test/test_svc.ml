@@ -248,6 +248,8 @@ let test_request_line_roundtrip () =
     [
       Job.spec ~engine:"i3" ~fuel:1234 (Job.Suite "fib");
       Job.spec ~trace:true (Job.Suite "hanoi");
+      Job.spec ~tier:Job.Compiled (Job.Suite "sieve");
+      Job.spec ~tier:Job.Interp ~engine:"i4" (Job.Suite "fib");
       Job.spec (Job.Inline "MODULE Main;\nPROC main() =\n  OUTPUT 1;\nEND;\nEND;\n");
     ]
   in
@@ -261,9 +263,15 @@ let test_request_line_roundtrip () =
   (match Job.parse_request "fuel=10" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "a request without a source must be rejected");
-  match Job.parse_request "prog=fib fuel=banana" with
+  (match Job.parse_request "prog=fib fuel=banana" with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "non-numeric fuel must be rejected"
+  | Ok _ -> Alcotest.fail "non-numeric fuel must be rejected");
+  (match Job.parse_request "prog=fib tier=compiled" with
+  | Ok s -> Alcotest.(check bool) "tier parses" true (s.Job.tier = Job.Compiled)
+  | Error m -> Alcotest.fail m);
+  match Job.parse_request "prog=fib tier=jit" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tier must be rejected"
 
 (* Random specs (all engines, suite and inline sources with every escape
    class, optional fuel/trace/deadline) must render to a request line
@@ -285,10 +293,11 @@ let request_roundtrip_prop =
     in
     let* source = source in
     let* engine = oneofl [ "i1"; "i2"; "i3"; "i4" ] in
+    let* tier = oneofl [ Job.Interp; Job.Compiled; Job.Auto ] in
     let* fuel = int_range 1 10_000_000 in
     let* trace = bool in
     let* deadline_ms = opt (int_range 1 100_000) in
-    return (Job.spec ~engine ~fuel ~trace ?deadline_ms source)
+    return (Job.spec ~engine ~tier ~fuel ~trace ?deadline_ms source)
   in
   let print_spec spec = Job.request_of_spec spec in
   QCheck.Test.make ~count:500 ~name:"request line round-trips any spec"
@@ -486,7 +495,7 @@ let clone_run ~pristine ~engine =
   run_to_outcome st
 
 let arena_run arena ~key ~engine ~engine_name ~pristine =
-  let slot = Arena.acquire arena ~key ~engine ~engine_name ~pristine in
+  let slot = Arena.acquire arena ~key ~engine ~engine_name ~pristine () in
   let st = Arena.checkout slot in
   Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
   run_to_outcome st
@@ -506,7 +515,7 @@ let clone_traced_run ~pristine ~engine =
   (o, Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile)
 
 let arena_traced_run arena ~key ~engine ~engine_name ~pristine =
-  let slot = Arena.acquire arena ~key ~engine ~engine_name ~pristine in
+  let slot = Arena.acquire arena ~key ~engine ~engine_name ~pristine () in
   let p = Fpc_interp.Profiler.create ~image:(Arena.image slot) ~engine () in
   let st = Arena.checkout ~tracer:p.Fpc_interp.Profiler.sink slot in
   Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
@@ -559,7 +568,7 @@ let test_arena_reset_restores_store () =
   let engine = engine_named "i2" in
   let pristine, key = pristine_for cache ~engine ~source:infinite_loop_src in
   let arena = Arena.create () in
-  let slot = Arena.acquire arena ~key ~engine ~engine_name:"i2" ~pristine in
+  let slot = Arena.acquire arena ~key ~engine ~engine_name:"i2" ~pristine () in
   let st = Arena.checkout slot in
   Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
   Fpc_interp.Interp.run ~max_steps:10_000 st;
@@ -569,7 +578,7 @@ let test_arena_reset_restores_store () =
   let mem slot = (Arena.image slot).Fpc_mesa.Image.mem in
   Alcotest.(check bool) "the run dirtied pages" true
     (Fpc_machine.Memory.dirty_pages (mem slot) > 0);
-  let slot2 = Arena.acquire arena ~key ~engine ~engine_name:"i2" ~pristine in
+  let slot2 = Arena.acquire arena ~key ~engine ~engine_name:"i2" ~pristine () in
   Alcotest.(check bool) "same physical slot reused" true (slot == slot2);
   Alcotest.(check int) "reset leaves no dirty pages" 0
     (Fpc_machine.Memory.dirty_pages (mem slot2));
@@ -603,6 +612,49 @@ let test_pool_arena_matches_clone_path () =
         (fingerprint a = fingerprint b))
     ra rc
 
+(* The tier is invisible in deterministic output: the whole suite x all
+   engines produces identical fingerprints (result lines, simulated
+   meters) whether the pool interprets or runs threaded code — and the
+   compiled run's metrics account one translation per job (misses for
+   each distinct pristine image, hits for the rest). *)
+let test_pool_tiers_agree () =
+  let with_tier tier =
+    List.map (fun s -> { s with Job.tier }) (suite_specs ())
+  in
+  let ri, mi = Pool.run_jobs ~domains:2 (with_tier Job.Interp) in
+  let rc, mc = Pool.run_jobs ~domains:2 (with_tier Job.Compiled) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "job %d identical across tiers" a.Job.id)
+        true
+        (fingerprint a = fingerprint b))
+    ri rc;
+  Alcotest.(check int) "interp tier never translates" 0
+    (mi.Metrics.translation_hits + mi.Metrics.translation_misses);
+  Alcotest.(check int) "compiled tier translates once per job"
+    mc.Metrics.jobs
+    (mc.Metrics.translation_hits + mc.Metrics.translation_misses);
+  Alcotest.(check bool) "some translations were shared" true
+    (mc.Metrics.translation_hits > 0)
+
+(* The deadline slicer drives the compiled tier too: a runaway loop on
+   tier=compiled comes back Deadline_exceeded despite a huge fuel
+   budget (Tier.run resumes across Step_limit slices). *)
+let test_deadline_exceeded_compiled_tier () =
+  let results, m =
+    Pool.run_jobs ~domains:1
+      [
+        Job.spec ~tier:Job.Compiled ~fuel:2_000_000_000 ~deadline_ms:100
+          (Job.Inline infinite_loop_src);
+      ]
+  in
+  (match (List.hd results).Job.outcome with
+  | Job.Failed (Job.Deadline_exceeded, _) -> ()
+  | _ -> Alcotest.fail "compiled runaway should fail with Deadline_exceeded");
+  Alcotest.(check int) "metrics counted the deadline" 1
+    m.Metrics.deadline_exceeded
+
 let () =
   Alcotest.run "svc"
     [
@@ -622,6 +674,13 @@ let () =
             test_deliver_mode;
           Alcotest.test_case "deadline fails the job, not the worker" `Quick
             test_deadline_exceeded;
+        ] );
+      ( "tier",
+        [
+          Alcotest.test_case "fingerprints agree across tiers" `Slow
+            test_pool_tiers_agree;
+          Alcotest.test_case "deadline through the compiled tier" `Quick
+            test_deadline_exceeded_compiled_tier;
         ] );
       ( "cache",
         [

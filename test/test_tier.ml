@@ -1,0 +1,286 @@
+(* The compiled tier's contract: bit-identical to the interpreter — on
+   outcome, output, every simulated meter, traps, fuel slicing and (under
+   a tracer) the per-procedure profile — across all four engines, for the
+   whole suite and for random synthetic programs.  The speedup is allowed
+   to vary; the semantics are not. *)
+
+let engines () =
+  [
+    ("i1", Fpc_core.Engine.i1);
+    ("i2", Fpc_core.Engine.i2);
+    ("i3", Fpc_core.Engine.i3 ());
+    ("i4", Fpc_core.Engine.i4 ());
+  ]
+
+let image_for ~engine source =
+  match Fpc_compiler.Compile.image_for_engine ~engine source with
+  | Ok image -> image
+  | Error m -> Alcotest.fail ("compile: " ^ m)
+
+let boot ?tracer ~engine image =
+  Fpc_interp.Interp.boot ?tracer ~image ~engine ~instance:"Main" ~proc:"main"
+    ~args:[] ()
+
+(* Everything observable about a finished run: the interpreter outcome
+   record plus the metrics the outcome does not fold in.  The tier's own
+   host-speed counters (the tier_ fields) are deliberately excluded —
+   they are the only fields allowed to differ. *)
+let observe (st : Fpc_core.State.t) =
+  let m = st.metrics in
+  ( Fpc_interp.Interp.outcome st,
+    ( m.jumps_taken,
+      m.local_refs,
+      m.global_refs,
+      m.indirect_refs,
+      m.arg_words_stored,
+      m.arg_words_renamed,
+      m.call_depth ) )
+
+let interp_observe ?handler ~engine ~max_steps source =
+  let image = image_for ~engine source in
+  (match handler with
+  | Some proc ->
+    Fpc_mesa.Image.set_trap_handler image
+      (Fpc_mesa.Image.descriptor_of image ~instance:"Main" ~proc)
+  | None -> ());
+  let st = boot ~engine image in
+  Fpc_interp.Interp.run ~max_steps st;
+  observe st
+
+let tier_observe ?handler ~engine ~max_steps source =
+  let image = image_for ~engine source in
+  (match handler with
+  | Some proc ->
+    Fpc_mesa.Image.set_trap_handler image
+      (Fpc_mesa.Image.descriptor_of image ~instance:"Main" ~proc)
+  | None -> ());
+  let st = boot ~engine image in
+  let tier, hit = Fpc_tier.Tier.of_image image in
+  let tier2, hit2 = Fpc_tier.Tier.of_image image in
+  Alcotest.(check bool) "first of_image builds" false hit;
+  Alcotest.(check bool) "second of_image reuses" true hit2;
+  Alcotest.(check bool) "cached translation is shared" true (tier == tier2);
+  Fpc_tier.Tier.run ~max_steps tier st;
+  (observe st, st.metrics)
+
+let check_equiv ?handler ?(max_steps = 2_000_000) ~name source =
+  List.iter
+    (fun (en, engine) ->
+      let reference = interp_observe ?handler ~engine ~max_steps source in
+      let got, _m = tier_observe ?handler ~engine ~max_steps source in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: tier == interp" name en)
+        true
+        (got = reference))
+    (engines ())
+
+(* ---- whole-suite equivalence, all four engines ---- *)
+
+let test_suite_equivalence () =
+  List.iter
+    (fun prog -> check_equiv ~name:prog (Fpc_workload.Programs.find prog))
+    Fpc_workload.Programs.names
+
+(* The fast path must actually engage: fib is straight-line enough that
+   most retired instructions should ride fused superinstructions. *)
+let test_fusion_engages () =
+  let src = Fpc_workload.Programs.find "fib" in
+  let _obs, m = tier_observe ~engine:Fpc_core.Engine.i2 ~max_steps:2_000_000 src in
+  Alcotest.(check bool) "fast-path instructions retired" true
+    (m.Fpc_core.State.tier_fast_instrs > 0);
+  Alcotest.(check bool) "superinstructions retired" true
+    (m.Fpc_core.State.tier_super_instrs > 0);
+  Alcotest.(check bool) "fast path dominates" true
+    (2 * m.Fpc_core.State.tier_fast_instrs > m.Fpc_core.State.instructions)
+
+(* ---- traps ---- *)
+
+let div_zero_src =
+  "MODULE Main;\nPROC f(n: INT): INT =\n  RETURN n / (n - n);\nEND;\n\
+   PROC main() =\n  OUTPUT f(7);\nEND;\nEND;\n"
+
+let handled_trap_src =
+  "MODULE Main;\n\
+   PROC handler(code: INT) =\n  OUTPUT 9000 + code;\n  STOP;\nEND;\n\
+   PROC f(n: INT): INT =\n  RETURN n / (n - n);\nEND;\n\
+   PROC main() =\n  OUTPUT f(7);\nEND;\nEND;\n"
+
+let test_trap_equivalence () =
+  (* Uncaught: the machine parks in [Trapped Div_zero] mid-block. *)
+  check_equiv ~name:"div-zero-fatal" div_zero_src;
+  (* Caught: the trap XFERs into the handler — a deopt at an exact
+     boundary with the handler observing exact meters. *)
+  check_equiv ~handler:"handler" ~name:"div-zero-handled" handled_trap_src
+
+(* ---- fuel expiry and slicing ---- *)
+
+let infinite_loop_src =
+  "MODULE Main;\nPROC main() =\n  VAR i: INT := 0;\n  WHILE TRUE DO\n    i := i + 1;\n  END;\nEND;\nEND;\n"
+
+let test_fuel_exhaustion_equivalence () =
+  (* Exact budgets, including ones that expire mid-superinstruction. *)
+  List.iter
+    (fun max_steps ->
+      check_equiv ~max_steps
+        ~name:(Printf.sprintf "fuel-%d" max_steps)
+        infinite_loop_src)
+    [ 1; 7; 100; 1_001; 50_000 ]
+
+(* The pool's deadline path: run in slices, resetting [Step_limit]
+   between them.  The tier must resume at the exact boundary where the
+   previous slice ran out. *)
+let run_sliced runner st ~fuel ~slice =
+  let rec go remaining =
+    let s = min slice remaining in
+    runner ~max_steps:s st;
+    match st.Fpc_core.State.status with
+    | Fpc_core.State.Trapped Fpc_core.State.Step_limit when remaining > s ->
+      st.Fpc_core.State.status <- Fpc_core.State.Running;
+      go (remaining - s)
+    | _ -> ()
+  in
+  if fuel > 0 then go fuel
+
+let test_sliced_resume_equivalence () =
+  List.iter
+    (fun (prog, fuel, slice) ->
+      let source =
+        match prog with
+        | `Suite p -> Fpc_workload.Programs.find p
+        | `Inline s -> s
+      in
+      List.iter
+        (fun (en, engine) ->
+          let reference =
+            let st = boot ~engine (image_for ~engine source) in
+            run_sliced (fun ~max_steps st -> Fpc_interp.Interp.run ~max_steps st)
+              st ~fuel ~slice;
+            observe st
+          in
+          let got =
+            let image = image_for ~engine source in
+            let st = boot ~engine image in
+            let tier, _ = Fpc_tier.Tier.of_image image in
+            run_sliced (fun ~max_steps st -> Fpc_tier.Tier.run ~max_steps tier st)
+              st ~fuel ~slice;
+            observe st
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "sliced %s/%s" en
+               (match prog with `Suite p -> p | `Inline _ -> "loop"))
+            true (got = reference))
+        (engines ()))
+    [
+      (`Suite "fib", 2_000_000, 777);
+      (`Inline infinite_loop_src, 20_000, 133);
+    ]
+
+(* ---- traced runs: the profile is part of the contract ---- *)
+
+let profile_of runner ~engine source =
+  let image = image_for ~engine source in
+  let p = Fpc_interp.Profiler.create ~image ~engine () in
+  let st = boot ~tracer:p.Fpc_interp.Profiler.sink ~engine image in
+  runner image st;
+  let o = Fpc_interp.Interp.outcome st in
+  ignore
+    (Fpc_trace.Profile.finish p.Fpc_interp.Profiler.profile
+       ~cycles:o.Fpc_interp.Interp.o_cycles
+       ~mem_refs:o.Fpc_interp.Interp.o_mem_refs);
+  (observe st, Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile)
+
+let test_traced_profile_equivalence () =
+  List.iter
+    (fun source ->
+      List.iter
+        (fun (en, engine) ->
+          let ro, rp =
+            profile_of
+              (fun _image st -> Fpc_interp.Interp.run ~max_steps:500_000 st)
+              ~engine source
+          in
+          let go, gp =
+            profile_of
+              (fun image st ->
+                let tier, _ = Fpc_tier.Tier.of_image image in
+                Fpc_tier.Tier.run ~max_steps:500_000 tier st)
+              ~engine source
+          in
+          Alcotest.(check bool) ("traced outcome/" ^ en) true (go = ro);
+          Alcotest.(check bool) ("traced profile/" ^ en) true (gp = rp))
+        (engines ()))
+    [ Fpc_workload.Programs.find "fib"; div_zero_src ]
+
+(* ---- the differential property: random programs, all engines ---- *)
+
+let tier_differential_prop =
+  QCheck.Test.make ~count:40
+    ~name:"compiled tier == interpreter on random programs (all engines)"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
+    (fun seed ->
+      let source = Fpc_workload.Synthetic.random_program ~seed in
+      List.for_all
+        (fun (en, engine) ->
+          let reference = interp_observe ~engine ~max_steps:300_000 source in
+          let got, _ = tier_observe ~engine ~max_steps:300_000 source in
+          if got <> reference then
+            QCheck.Test.fail_reportf "seed %d diverged under %s" seed en
+          else
+            let r_traced, r_prof =
+              profile_of
+                (fun _image st -> Fpc_interp.Interp.run ~max_steps:300_000 st)
+                ~engine source
+            in
+            let g_traced, g_prof =
+              profile_of
+                (fun image st ->
+                  let tier, _ = Fpc_tier.Tier.of_image image in
+                  Fpc_tier.Tier.run ~max_steps:300_000 tier st)
+                ~engine source
+            in
+            if (g_traced, g_prof) <> (r_traced, r_prof) then
+              QCheck.Test.fail_reportf "seed %d traced run diverged under %s"
+                seed en
+            else true)
+        (engines ()))
+
+(* ---- translation bookkeeping ---- *)
+
+let test_translation_shape () =
+  let src = Fpc_workload.Programs.find "fib" in
+  let image = image_for ~engine:Fpc_core.Engine.i2 src in
+  let tier = Fpc_tier.Tier.translate image in
+  Alcotest.(check bool) "has boundaries" true (Fpc_tier.Tier.boundaries tier > 0);
+  Alcotest.(check bool) "has fused blocks" true
+    (Fpc_tier.Tier.fused_boundaries tier > 0);
+  Alcotest.(check bool) "fused subset of boundaries" true
+    (Fpc_tier.Tier.fused_boundaries tier <= Fpc_tier.Tier.boundaries tier);
+  (* A clone shares the pristine image's attached translation. *)
+  let t1, _ = Fpc_tier.Tier.of_image image in
+  let clone = Fpc_mesa.Image.clone image in
+  let t2, hit = Fpc_tier.Tier.of_image clone in
+  Alcotest.(check bool) "clone hits the shared translation" true hit;
+  Alcotest.(check bool) "same translation object" true (t1 == t2)
+
+let () =
+  Alcotest.run "tier"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "whole suite, all engines" `Slow
+            test_suite_equivalence;
+          Alcotest.test_case "fusion engages on fib" `Quick test_fusion_engages;
+          Alcotest.test_case "traps, caught and fatal" `Quick
+            test_trap_equivalence;
+          Alcotest.test_case "fuel exhaustion at exact budgets" `Quick
+            test_fuel_exhaustion_equivalence;
+          Alcotest.test_case "sliced resume (deadline path)" `Quick
+            test_sliced_resume_equivalence;
+          Alcotest.test_case "traced profiles" `Slow
+            test_traced_profile_equivalence;
+          QCheck_alcotest.to_alcotest tier_differential_prop;
+        ] );
+      ( "translation",
+        [ Alcotest.test_case "shape and sharing" `Quick test_translation_shape ]
+      );
+    ]
