@@ -25,7 +25,13 @@
       the cost of the lib/trace subsystem — off and on — is a recorded
       number rather than a claim.
 
-   5. The TCP serving benchmark (`net` argument): an in-process
+   5. The session-scheduler benchmark (`sched` argument): the generated
+      session workload streamed through the lib/sched green-thread
+      scheduler at 100/1k/10k sessions under both execution tiers,
+      recording throughput and the frame-heap-vs-LIFO footprint keys
+      (the `sched/sessions` section).
+
+   6. The TCP serving benchmark (`net` argument): an in-process
       lib/net server driven closed-loop by Fpc_net.Loadgen at 1, 2 and
       4 connections, recording throughput and round-trip latency
       percentiles (the `net/latency` section).  With `--port` it
@@ -33,8 +39,8 @@
       serve-smoke step), and `--shutdown` sends the server a graceful
       drain afterwards.
 
-   With no arguments all five layers run.  `--smoke` shrinks the svc,
-   trace and net layers to a seconds-long CI sanity pass (tiny job set,
+   With no arguments all six layers run.  `--smoke` shrinks the svc,
+   trace, sched and net layers to a seconds-long CI sanity pass (tiny job set,
    widths 1-2, nothing recorded).  `--json` additionally writes
    every recorded (name, metric, value) measurement to
    BENCH_results.json, the perf-trajectory file tracked across PRs:
@@ -638,6 +644,89 @@ let run_net ?(smoke = false) ?port ?(host = "127.0.0.1") ?(shutdown = false) ()
   print tb;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+
+(* Session-scheduler throughput and footprint (the `sched` argument):
+   the generated session workload (Fpc_workload.Sessions) streamed
+   through the green-thread scheduler at 100 / 1k / 10k sessions on I2,
+   run-to-yield, under both execution tiers.  Throughput is host
+   wall-clock (compile excluded — the image is built once per scale);
+   the footprint keys are simulated meters and therefore exact.  The
+   smoke variant runs one tiny scale and records nothing. *)
+let run_sched ?(smoke = false) () =
+  let engine = Fpc_core.Engine.i2 in
+  let scales = if smoke then [ ("64", 64) ] else [ ("100", 100); ("1k", 1_000); ("10k", 10_000) ] in
+  let open Fpc_util.Tablefmt in
+  let tb =
+    create ~title:"sched session throughput (i2, run-to-yield, both tiers)"
+      ~columns:
+        [ ("sessions", Right); ("interp sess/s", Right); ("tier sess/s", Right);
+          ("frame peak", Right); ("LIFO reserve", Right); ("ratio", Right) ]
+  in
+  List.iter
+    (fun (label, total) ->
+      let config = Fpc_workload.Sessions.default ~total in
+      let convention = Fpc_compiler.Convention.for_engine engine in
+      let image =
+        match
+          Fpc_compiler.Compile.image ~convention
+            (Fpc_workload.Sessions.program config)
+        with
+        | Ok i -> i
+        | Error m -> failwith ("sched bench compile: " ^ m)
+      in
+      let translation = Fpc_tier.Tier.translate image in
+      let drive step =
+        let im = Fpc_mesa.Image.clone image in
+        let st =
+          Fpc_interp.Interp.boot ~image:im ~engine ~instance:"Main"
+            ~proc:"main" ~args:[] ()
+        in
+        let stats = Fpc_sched.Sched.run ~step ~fuel:50_000_000 st in
+        if st.Fpc_core.State.status <> Fpc_core.State.Halted then
+          failwith "sched bench: workload did not halt";
+        (st, stats)
+      in
+      let interp_step n st = Fpc_interp.Interp.run ~max_steps:n st in
+      let tier_step n st = Fpc_tier.Tier.run ~max_steps:n translation st in
+      let throughput step =
+        let s =
+          median_run_s ~samples:(if smoke then 3 else 5) ~runs:1 (fun () ->
+              ignore (drive step))
+        in
+        float_of_int total /. s
+      in
+      let interp_sps = throughput interp_step in
+      let tier_sps = throughput tier_step in
+      let st, stats = drive interp_step in
+      let lifo_reserved =
+        st.Fpc_core.State.metrics.Fpc_core.State.peak_live_procs
+        * Fpc_workload.Sessions.worst_extent_words config ~image
+      in
+      let r = Fpc_sched.Sched.report ~lifo_reserved ~stats st in
+      if not smoke then begin
+        let sec = "sched/sessions/" ^ label in
+        record sec "sessions_per_sec_interp" interp_sps;
+        record sec "sessions_per_sec_tier" tier_sps;
+        record sec "frame_peak_words"
+          (float_of_int r.Fpc_sched.Sched.frame_peak_words);
+        record sec "lifo_reserved_words"
+          (float_of_int r.Fpc_sched.Sched.lifo_reserved_words);
+        record sec "footprint_ratio" r.Fpc_sched.Sched.footprint_ratio
+      end;
+      add_row tb
+        [ label; cell_float ~decimals:0 interp_sps;
+          cell_float ~decimals:0 tier_sps;
+          Printf.sprintf "%dw" r.Fpc_sched.Sched.frame_peak_words;
+          Printf.sprintf "%dw" r.Fpc_sched.Sched.lifo_reserved_words;
+          Printf.sprintf "%.4f" r.Fpc_sched.Sched.footprint_ratio ])
+    scales;
+  add_note tb
+    "host wall-clock, image compiled once per scale; footprint columns are \
+     simulated meters (exact and engine-deterministic)";
+  print tb;
+  print_newline ()
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* --port N / --host H take a value; pull them out before the
@@ -668,16 +757,19 @@ let () =
   let svc = List.mem "svc" args in
   let trace = List.mem "trace" args in
   let net = List.mem "net" args in
+  let sched = List.mem "sched" args in
   let filter =
     List.filter
       (fun a ->
         not
           (List.mem a
-             [ "micro"; "svc"; "trace"; "net"; "--json"; "--smoke"; "--shutdown" ]))
+             [ "micro"; "svc"; "trace"; "net"; "sched"; "--json"; "--smoke";
+               "--shutdown" ]))
       args
   in
   let everything =
-    filter = [] && (not micro) && (not svc) && (not trace) && not net
+    filter = [] && (not micro) && (not svc) && (not trace) && (not net)
+    && not sched
   in
   if everything || filter <> [] then run_experiments filter;
   if micro || everything then begin
@@ -689,5 +781,6 @@ let () =
     run_svc_alloc ~smoke ()
   end;
   if trace || everything then run_trace ~smoke ();
+  if sched || everything then run_sched ~smoke ();
   if net || everything then run_net ~smoke ?port ~host ~shutdown ();
   if json then write_json "BENCH_results.json"

@@ -624,10 +624,105 @@ let serve_cmd =
             (const action $ domains_arg $ no_times $ tier_arg $ tcp $ host
              $ max_connections $ max_pending $ max_line))
 
+(* ---- sched ---- *)
+
+let sched_cmd =
+  let action sessions window seed engine_name tier_name policy_name fuel =
+    handle (fun () ->
+        let engine = engine_of_string engine_name in
+        let tier = tier_of_string tier_name in
+        let policy =
+          match Fpc_sched.Sched.policy_of_string policy_name with
+          | Ok p -> p
+          | Error m -> failwith m
+        in
+        let config =
+          let c = Fpc_workload.Sessions.default ~total:sessions in
+          { c with Fpc_workload.Sessions.window; seed }
+        in
+        let src = Fpc_workload.Sessions.program config in
+        let convention = Fpc_compiler.Convention.for_engine engine in
+        let image =
+          match Fpc_compiler.Compile.image ~convention src with
+          | Ok i -> i
+          | Error m -> failwith m
+        in
+        let st =
+          Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+            ~args:[] ()
+        in
+        let step =
+          match tier with
+          | Fpc_svc.Job.Interp ->
+            fun n st -> Fpc_interp.Interp.run ~max_steps:n st
+          | Fpc_svc.Job.Compiled | Fpc_svc.Job.Auto ->
+            let tr, _hit = Fpc_tier.Tier.of_image image in
+            fun n st -> Fpc_tier.Tier.run ~max_steps:n tr st
+        in
+        let t0 = Unix.gettimeofday () in
+        let stats = Fpc_sched.Sched.run ~policy ~step ~fuel st in
+        let run_s = Unix.gettimeofday () -. t0 in
+        let o = Fpc_interp.Interp.outcome st in
+        (match o.o_status with
+        | Fpc_core.State.Halted -> ()
+        | Fpc_core.State.Running -> failwith "still running"
+        | Fpc_core.State.Trapped r ->
+          failwith ("trapped: " ^ Fpc_core.State.trap_reason_to_string r));
+        let lifo_reserved =
+          st.Fpc_core.State.metrics.peak_live_procs
+          * Fpc_workload.Sessions.worst_extent_words config ~image
+        in
+        let report = Fpc_sched.Sched.report ~lifo_reserved ~stats st in
+        (* stdout stays deterministic (simulated meters only, cram-safe);
+           host throughput goes to stderr like run's timing line *)
+        Printf.printf "output=%s\n"
+          (String.concat "," (List.map string_of_int o.o_output));
+        List.iter print_endline (Fpc_sched.Sched.report_lines report);
+        Printf.eprintf
+          "engine=%s policy=%s instructions=%d cycles=%d sessions/s=%.0f\n"
+          engine_name
+          (Fpc_sched.Sched.policy_to_string policy)
+          o.o_instructions o.o_cycles
+          (float_of_int sessions /. max run_s 1e-9))
+  in
+  let sessions =
+    Arg.(value & opt int 256 & info [ "sessions" ] ~docv:"N"
+           ~doc:"Total sessions streamed through the machine.")
+  in
+  let window =
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"N"
+           ~doc:"Admission window: at most $(docv) sessions live at once.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Perturbs every session's think-time and call-depth draw.")
+  in
+  let policy =
+    Arg.(value & opt string "yield" & info [ "sched" ] ~docv:"POLICY"
+           ~doc:"Switching policy: yield (sessions run to their own switch \
+                 points; outputs are engine-independent) or preempt[:N] \
+                 (inject a round-robin switch about every N steps, default \
+                 1000, at the next statement boundary).")
+  in
+  let fuel =
+    Arg.(value & opt int Fpc_svc.Job.default_fuel & info [ "fuel" ] ~docv:"N"
+           ~doc:"Total step budget for the whole workload.")
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:"Run a generated session workload (thousands of green-thread \
+             sessions multiplexed over one machine by coroutine XFER) under \
+             the scheduler, printing the deterministic scheduling report; \
+             host throughput goes to stderr.")
+    Term.(
+      ret
+        (const action $ sessions $ window $ seed $ engine_arg $ tier_arg
+        $ policy $ fuel))
+
 let main_cmd =
   let doc = "the Fast Procedure Calls (Lampson, ASPLOS 1982) reproduction" in
   Cmd.group (Cmd.info "fpc" ~doc)
     [ run_cmd; disasm_cmd; trace_cmd; profile_cmd; image_cmd; experiment_cmd;
-      suite_cmd; batch_cmd; serve_cmd ]
+      suite_cmd; batch_cmd; serve_cmd; sched_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -53,6 +53,9 @@ type metrics = {
   mutable call_depth : int;
   mutable run_length : int;  (* consecutive same-direction transfers *)
   mutable run_dir : int;  (* +1 call run, -1 return run, 0 none *)
+  mutable procs_forked : int;  (* processes queued by FORK *)
+  mutable procs_ended : int;  (* processes retired (root return or STOP) *)
+  mutable peak_live_procs : int;  (* running + ready high-water mark *)
   mutable tier_fast_instrs : int;  (* retired on the compiled tier's fused path *)
   mutable tier_super_instrs : int;  (* of those, inside multi-op superinstructions *)
   mutable tier_deopts : int;  (* compiled-tier falls back to the interpreter *)
@@ -79,6 +82,9 @@ let fresh_metrics () =
     call_depth = 0;
     run_length = 0;
     run_dir = 0;
+    procs_forked = 0;
+    procs_ended = 0;
+    peak_live_procs = 1;
     tier_fast_instrs = 0;
     tier_super_instrs = 0;
     tier_deopts = 0;
@@ -104,11 +110,14 @@ let zero_metrics m =
   m.call_depth <- 0;
   m.run_length <- 0;
   m.run_dir <- 0;
+  m.procs_forked <- 0;
+  m.procs_ended <- 0;
+  m.peak_live_procs <- 1;
   m.tier_fast_instrs <- 0;
   m.tier_super_instrs <- 0;
   m.tier_deopts <- 0
 
-type process = { p_id : int; p_lf : int; p_stack : int array }
+type process = { p_id : int; p_lf : int; p_stack : int array; p_rctx : int }
 
 let no_cb = -1
 

@@ -49,6 +49,15 @@ type metrics = {
   mutable call_depth : int;  (** current dynamic nesting depth *)
   mutable run_length : int;
   mutable run_dir : int;
+  mutable procs_forked : int;  (** processes queued by FORK *)
+  mutable procs_ended : int;
+      (** processes retired — a root return with returnLink NIL, or STOP.
+          The boot process counts too, so a halted single-process run
+          reads 1.  Maintained in {!Transfer} (the compiled tier deopts
+          every process operation there), so both tiers agree exactly. *)
+  mutable peak_live_procs : int;
+      (** high-water mark of running + ready processes; starts at 1 (the
+          boot process) and moves only at FORK *)
   mutable tier_fast_instrs : int;
       (** instructions retired on the compiled tier's fused fast path
           (host-speed accounting only; invisible to the simulated meters) *)
@@ -58,7 +67,17 @@ type metrics = {
       (** compiled-tier fallbacks to the interpreter's single-step path *)
 }
 
-type process = { p_id : int; p_lf : int; p_stack : int array }
+type process = {
+  p_id : int;
+  p_lf : int;
+  p_stack : int array;
+  p_rctx : int;
+      (** the suspended process's returnContext.  Part of the saved state
+          vector so a round-robin switch is transparent: a process
+          preempted between an XFER resumption and its [RETCTX] read must
+          see the same context word when it runs again.  0 (NIL) for a
+          freshly FORKed process. *)
+}
 
 type t = {
   image : Fpc_mesa.Image.t;

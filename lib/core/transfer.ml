@@ -391,10 +391,14 @@ let resume_process (st : State.t) (p : State.process) =
      storage. *)
   Array.iter (fun _ -> Cost.mem_read st.cost) p.p_stack;
   Eval_stack.replace st.stack p.p_stack;
-  st.return_ctx <- 0;
+  (* the returnContext register rides the state vector (its save/restore
+     is folded into the switch cost, like LF) so a switch is transparent
+     even between an XFER resumption and the RETCTX read *)
+  st.return_ctx <- p.p_rctx;
   resume_frame st ~dest_lf:p.p_lf
 
 let end_process (st : State.t) =
+  st.metrics.procs_ended <- st.metrics.procs_ended + 1;
   match Queue.take_opt st.ready with
   | None -> st.status <- State.Halted
   | Some p ->
@@ -497,6 +501,14 @@ let xfer (st : State.t) ~dest_word =
       end
       else raise (Machine_trap State.Nil_context))
 
+(* A FORK grows the live-process set (the running process plus the ready
+   queue); nothing else does, so the peak is tracked here alone. *)
+let note_fork (st : State.t) =
+  let m = st.metrics in
+  m.procs_forked <- m.procs_forked + 1;
+  let live = 1 + Queue.length st.ready in
+  if live > m.peak_live_procs then m.peak_live_procs <- live
+
 let fork_body (st : State.t) ~nargs =
   let desc = Eval_stack.pop st.stack in
   let args = Array.make nargs 0 in
@@ -505,8 +517,11 @@ let fork_body (st : State.t) ~nargs =
   done;
   let k = Descriptor.word_kind desc in
   if k = Descriptor.word_frame then begin
-    Queue.add { State.p_id = st.next_pid; p_lf = desc; p_stack = args } st.ready;
-    st.next_pid <- st.next_pid + 1
+    Queue.add
+      { State.p_id = st.next_pid; p_lf = desc; p_stack = args; p_rctx = 0 }
+      st.ready;
+    st.next_pid <- st.next_pid + 1;
+    note_fork st
   end
   else if k = Descriptor.word_proc then begin
     resolve_into st ~tag:tag_desc ~a:(Descriptor.word_gfi desc)
@@ -524,8 +539,11 @@ let fork_body (st : State.t) ~nargs =
       end
       else args
     in
-    Queue.add { State.p_id = st.next_pid; p_lf = lf_new; p_stack } st.ready;
-    st.next_pid <- st.next_pid + 1
+    Queue.add
+      { State.p_id = st.next_pid; p_lf = lf_new; p_stack; p_rctx = 0 }
+      st.ready;
+    st.next_pid <- st.next_pid + 1;
+    note_fork st
   end
   else raise (Machine_trap State.Nil_context)
 
@@ -552,7 +570,14 @@ let yield (st : State.t) =
         suspend_current st;
         let stack = Eval_stack.contents st.stack in
         Array.iter (fun _ -> Cost.mem_write st.cost) stack;
-        Queue.add { State.p_id = st.current_pid; p_lf = st.lf; p_stack = stack } st.ready;
+        Queue.add
+          {
+            State.p_id = st.current_pid;
+            p_lf = st.lf;
+            p_stack = stack;
+            p_rctx = st.return_ctx;
+          }
+          st.ready;
         match Queue.take_opt st.ready with
         | Some p -> resume_process st p
         | None -> assert false)

@@ -1,0 +1,196 @@
+(** E17 — thousands of sessions over coroutine XFER (extension).
+
+    The paper's setting is a timesharing machine: "a large number of
+    processes" multiplexed over one processor, with the frame heap holding
+    only the frames that are actually live instead of reserving a
+    contiguous stack per process (§5).  E17 streams 100 / 1 000 / 10 000
+    generated sessions ({!Fpc_workload.Sessions}) through the green-thread
+    scheduler ({!Fpc_sched.Sched}) on every engine under both execution
+    tiers and holds the stack to three claims:
+
+    - {e determinism}: the workload's OUTPUT is byte-identical across all
+      four engines, both tiers and both scheduling policies at every
+      scale, and every simulated meter is bit-identical between tiers per
+      engine;
+    - {e fast-path degradation is graceful}: under run-to-yield every
+      switch point sits at a session's top level (all calls returned, so
+      the return stack is empty and nothing flushes); under fuel
+      preemption switches land mid-call-chain and the banked engines pay
+      real return-stack flushes — but only a few per hundred transfers;
+    - {e the frame heap beats LIFO reservation}: peak live frame-heap
+      words stay well below what dedicated per-session stacks would
+      reserve (peak live processes x worst per-session extent), except
+      under I4 where the free-frame stack parks recycled frames and the
+      measured peak is a documented over-count. *)
+
+open Fpc_util
+
+let fuel = 50_000_000
+
+let fingerprint (st : Fpc_core.State.t) =
+  let m = st.metrics in
+  ( m.instructions,
+    Fpc_machine.Cost.cycles st.cost,
+    Fpc_machine.Cost.mem_refs st.cost,
+    (m.calls, m.returns, m.other_xfers, m.fast_transfers),
+    (m.procs_forked, m.procs_ended, m.peak_live_procs) )
+
+(* One engine x tier run: boot the compiled session workload, drive it with
+   the scheduler, and return the output alongside the scheduling report. *)
+let run_tier ~policy ~config ~image ~engine ~compiled =
+  let image = Fpc_mesa.Image.clone image in
+  let st =
+    Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+      ~args:[] ()
+  in
+  let step =
+    if compiled then (
+      let tr = Fpc_tier.Tier.translate image in
+      fun n st -> Fpc_tier.Tier.run ~max_steps:n tr st)
+    else fun n st -> Fpc_interp.Interp.run ~max_steps:n st
+  in
+  let stats = Fpc_sched.Sched.run ~policy ~step ~fuel st in
+  Harness.must_halt st;
+  let lifo_reserved =
+    st.metrics.peak_live_procs
+    * Fpc_workload.Sessions.worst_extent_words config ~image
+  in
+  let report = Fpc_sched.Sched.report ~lifo_reserved ~stats st in
+  (Fpc_core.State.output st, fingerprint st, report)
+
+let scales = [ ("100", 100); ("1k", 1_000); ("10k", 10_000) ]
+let preempt_quantum = 200
+
+type acc = {
+  mutable output_mismatches : int;
+  mutable meter_mismatches : int;
+  mutable ratios : (string * string * float) list;
+  mutable flush_rates : (string * float) list;  (* preempt, per engine *)
+}
+
+(* Run all four engines under both tiers for one (policy, scale) point;
+   render a table row per engine and fold mismatches into [acc].  Returns
+   the run-to-yield reference output so the preempt pass can be held to
+   the same bytes. *)
+let run_point acc ~policy ~policy_label ~scale_label ~total ~reference =
+  let config = Fpc_workload.Sessions.default ~total in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf "%s sessions (window %d, %s)" scale_label
+           config.Fpc_workload.Sessions.window policy_label)
+      ~columns:
+        [
+          ("engine", Tablefmt.Left);
+          ("switch xfers", Tablefmt.Right);
+          ("rs flush/xfer", Tablefmt.Right);
+          ("bank ovf/call", Tablefmt.Right);
+          ("frame peak", Tablefmt.Right);
+          ("LIFO reserve", Tablefmt.Right);
+          ("ratio", Tablefmt.Right);
+        ]
+  in
+  let first = ref reference in
+  List.iter
+    (fun (name, engine) ->
+      let convention = Fpc_compiler.Convention.for_engine engine in
+      let src = Fpc_workload.Sessions.program config in
+      let image =
+        match Fpc_compiler.Compile.image ~convention src with
+        | Ok i -> i
+        | Error m -> failwith ("E17 compile: " ^ m)
+      in
+      let out_i, fp_i, report =
+        run_tier ~policy ~config ~image ~engine ~compiled:false
+      in
+      let out_c, fp_c, _ =
+        run_tier ~policy ~config ~image ~engine ~compiled:true
+      in
+      if out_i <> out_c then acc.output_mismatches <- acc.output_mismatches + 1;
+      if fp_i <> fp_c then acc.meter_mismatches <- acc.meter_mismatches + 1;
+      (match !first with
+      | None -> first := Some out_i
+      | Some o ->
+        if out_i <> o then acc.output_mismatches <- acc.output_mismatches + 1);
+      let r = report in
+      acc.ratios <-
+        (name, scale_label ^ "/" ^ policy_label, r.Fpc_sched.Sched.footprint_ratio)
+        :: acc.ratios;
+      (match policy with
+      | Fpc_sched.Sched.Preempt _ ->
+        acc.flush_rates <-
+          (name, r.Fpc_sched.Sched.rs_flush_rate) :: acc.flush_rates
+      | Fpc_sched.Sched.Run_to_yield -> ());
+      Tablefmt.add_row t
+        [
+          name;
+          Tablefmt.cell_int r.Fpc_sched.Sched.switch_xfers;
+          Printf.sprintf "%.4f" r.Fpc_sched.Sched.rs_flush_rate;
+          Printf.sprintf "%.4f" r.Fpc_sched.Sched.bank_overflow_rate;
+          Printf.sprintf "%dw" r.Fpc_sched.Sched.frame_peak_words;
+          Printf.sprintf "%dw" r.Fpc_sched.Sched.lifo_reserved_words;
+          Printf.sprintf "%.4f" r.Fpc_sched.Sched.footprint_ratio;
+        ])
+    Harness.engines;
+  Tablefmt.add_note t
+    "ratio = peak live frame-heap words / LIFO per-session reservation; \
+     I4's peak counts frames parked on the free-frame stack (bounded \
+     over-count)";
+  (Tablefmt.render t, !first)
+
+let run () =
+  let acc =
+    {
+      output_mismatches = 0;
+      meter_mismatches = 0;
+      ratios = [];
+      flush_rates = [];
+    }
+  in
+  let yield_tables = ref [] in
+  let yield_out_1k = ref None in
+  List.iter
+    (fun (scale_label, total) ->
+      let table, out =
+        run_point acc ~policy:Fpc_sched.Sched.Run_to_yield
+          ~policy_label:"run-to-yield" ~scale_label ~total ~reference:None
+      in
+      if total = 1_000 then yield_out_1k := out;
+      yield_tables := table :: !yield_tables)
+    scales;
+  (* The preempt pass reuses the 1k run-to-yield output as its reference:
+     statement-boundary injection preserves each session's sequential
+     semantics and the checksum is commutative, so even host-chosen switch
+     points must reproduce the same bytes. *)
+  let preempt_table, _ =
+    run_point acc
+      ~policy:(Fpc_sched.Sched.Preempt { quantum = preempt_quantum })
+      ~policy_label:(Printf.sprintf "preempt:%d" preempt_quantum)
+      ~scale_label:"1k" ~total:1_000 ~reference:!yield_out_1k
+  in
+  let ratio_of engine point =
+    let _, _, r =
+      List.find (fun (n, p, _) -> n = engine && p = point) acc.ratios
+    in
+    r
+  in
+  {
+    Exp.id = "E17";
+    key = "sessions";
+    title = "Session scheduler: the frame heap vs per-process stacks";
+    paper_claim =
+      "there may be a large number of processes, and the frame heap holds \
+       only the frames that are actually live, instead of reserving a \
+       maximum-size stack for every process (\xC2\xA75)";
+    tables = List.rev !yield_tables @ [ preempt_table ];
+    headlines =
+      [
+        ("output_mismatches", float_of_int acc.output_mismatches);
+        ("meter_mismatches", float_of_int acc.meter_mismatches);
+        ("footprint_ratio_i2_10k", ratio_of "I2" "10k/run-to-yield");
+        ("footprint_ratio_i1_10k", ratio_of "I1" "10k/run-to-yield");
+        ("footprint_ratio_i4_10k", ratio_of "I4" "10k/run-to-yield");
+        ("i4_rs_flush_per_xfer_preempt", List.assoc "I4" acc.flush_rates);
+        ("i3_rs_flush_per_xfer_preempt", List.assoc "I3" acc.flush_rates);
+      ];
+  }

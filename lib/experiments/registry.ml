@@ -16,6 +16,7 @@ let all =
     ("equivalence", E14_equivalence.run);
     ("ablation", E15_ablation.run);
     ("tier", E16_tier.run);
+    ("sessions", E17_sessions.run);
   ]
 
 let keys = List.map fst all
@@ -27,7 +28,7 @@ let ids =
     ("e7", "frame_sizes"); ("e8", "arg_passing"); ("e9", "bank_vs_cache");
     ("e10", "call_density"); ("e11", "nonlifo"); ("e12", "ptr_locals");
     ("e13", "short_reach"); ("e14", "equivalence"); ("e15", "ablation");
-    ("e16", "tier");
+    ("e16", "tier"); ("e17", "sessions");
   ]
 
 let find name =

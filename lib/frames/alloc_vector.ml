@@ -24,6 +24,7 @@ type t = {
   mutable frees : int;
   mutable software_traps : int;
   mutable live_words : int;
+  mutable peak_live_words : int;
   mutable requested_words : int;
   mutable free_pool_words : int;
   mutable on_event : (Fpc_trace.Event.kind -> unit) option;
@@ -55,6 +56,7 @@ let create ?(mode = Fast) ?(replenish_count = 8) ~mem ~ladder ~av_base ~heap_bas
     frees = 0;
     software_traps = 0;
     live_words = 0;
+    peak_live_words = 0;
     requested_words = 0;
     free_pool_words = 0;
     on_event = None;
@@ -82,6 +84,7 @@ let reset t =
   t.frees <- 0;
   t.software_traps <- 0;
   t.live_words <- 0;
+  t.peak_live_words <- 0;
   t.requested_words <- 0;
   t.free_pool_words <- 0
 
@@ -117,14 +120,28 @@ let record_alloc t ~lf ~fsi ~requested =
   if t.live.(idx) < 0 then t.live_blocks <- t.live_blocks + 1;
   t.live.(idx) <- (requested lsl 8) lor fsi;
   t.live_words <- t.live_words + words;
+  if t.live_words > t.peak_live_words then t.peak_live_words <- t.live_words;
   t.requested_words <- t.requested_words + requested
 
 (* The I1 general heap: every allocation and deallocation goes through the
-   software allocator; no AV fast path exists. *)
+   software allocator; no AV fast path exists.  Like any general-purpose
+   allocator it reuses freed blocks before carving fresh ones — its list
+   walking is folded into the [software_alloc] cost constant (raw
+   accesses), so the charge is identical either way; only the heap's
+   capacity behaviour differs (a long-running workload no longer exhausts
+   the wilderness while most of it sits freed). *)
 let alloc_software t ~cost ~fsi ~requested =
   Cost.software_alloc cost;
   t.software_traps <- t.software_traps + 1;
-  let block = carve t ~fsi in
+  let block =
+    let head = Memory.peek t.mem (t.av_base + fsi) in
+    if head = 0 then carve t ~fsi
+    else begin
+      Memory.poke t.mem (t.av_base + fsi) (Memory.peek t.mem (head + 1));
+      t.free_pool_words <- t.free_pool_words - Size_class.block_words t.ladder fsi;
+      head
+    end
+  in
   let lf = Frame.lf_of_block block in
   record_alloc t ~lf ~fsi ~requested;
   (match t.on_event with
@@ -283,6 +300,7 @@ type stats = {
   software_traps : int;
   live_blocks : int;
   live_words : int;
+  peak_live_words : int;
   requested_words : int;
   free_pool_words : int;
   wilderness_used : int;
@@ -295,6 +313,7 @@ let stats (t : t) =
     software_traps = t.software_traps;
     live_blocks = t.live_blocks;
     live_words = t.live_words;
+    peak_live_words = t.peak_live_words;
     requested_words = t.requested_words;
     free_pool_words = t.free_pool_words;
     wilderness_used = t.wilderness - t.heap_base;

@@ -95,6 +95,12 @@ type stats = {
   software_traps : int;  (** free-list refills *)
   live_blocks : int;
   live_words : int;  (** block words currently allocated *)
+  peak_live_words : int;
+      (** high-water mark of [live_words] over the run — what the frame
+          heap actually had to hold.  Frames parked on the processor
+          free-frame stack still count as live (they were never freed to
+          the AV), a bounded over-count of at most the stack's depth times
+          its block size. *)
   requested_words : int;  (** exact need of the live blocks *)
   free_pool_words : int;  (** words parked on free lists *)
   wilderness_used : int;  (** heap words ever carved *)

@@ -1,4 +1,8 @@
-type source = Suite of string | Inline of string
+type source =
+  | Suite of string
+  | Inline of string
+  | Sessions of Fpc_workload.Sessions.config
+
 type tier = Interp | Compiled | Auto
 
 type spec = {
@@ -8,13 +12,23 @@ type spec = {
   fuel : int;
   trace : bool;
   deadline_ms : int option;
+  sched : Fpc_sched.Sched.policy option;
 }
 
 let default_fuel = 20_000_000
 
 let spec ?(engine = "i2") ?(tier = Auto) ?(fuel = default_fuel)
-    ?(trace = false) ?deadline_ms source =
-  { source; engine; tier; fuel; trace; deadline_ms }
+    ?(trace = false) ?deadline_ms ?sched source =
+  { source; engine; tier; fuel; trace; deadline_ms; sched }
+
+(* A job runs under the scheduler iff it asked for a policy or its source
+   is a session workload (which defaults to run-to-yield, the policy whose
+   outputs are engine-independent). *)
+let effective_sched s =
+  match (s.sched, s.source) with
+  | (Some _ as p), _ -> p
+  | None, Sessions _ -> Some Fpc_sched.Sched.Run_to_yield
+  | None, (Suite _ | Inline _) -> None
 
 let tier_of_name name =
   match String.lowercase_ascii name with
@@ -81,6 +95,7 @@ type result = {
   outcome : outcome;
   stats : stats;
   profile : Fpc_trace.Profile.summary option;
+  sched : Fpc_sched.Sched.report option;
 }
 
 let engine_of_name name =
@@ -93,6 +108,10 @@ let engine_of_name name =
 
 let source_text = function
   | Inline src -> Ok src
+  | Sessions c -> (
+    match Fpc_workload.Sessions.program c with
+    | src -> Ok src
+    | exception Invalid_argument m -> Error m)
   | Suite name -> (
     match Fpc_workload.Programs.find name with
     | src -> Ok src
@@ -103,6 +122,7 @@ let source_text = function
 
 let source_label = function
   | Suite name -> name
+  | Sessions c -> Printf.sprintf "sessions:%d" c.Fpc_workload.Sessions.total
   | Inline src ->
     "inline:" ^ String.sub (Digest.to_hex (Digest.string src)) 0 8
 
@@ -151,73 +171,127 @@ let parse_request line =
     |> List.filter (fun f -> f <> "")
   in
   let ( let* ) = Result.bind in
-  let parse_field (src, engine, tier, fuel, trace, deadline) field =
+  (* Eleven independent keys: refs beat an eleven-tuple accumulator. *)
+  let src = ref None and engine = ref "i2" and tier = ref Auto in
+  let fuel = ref None and trace = ref false and deadline = ref None in
+  let sessions = ref None and window = ref None and seed = ref None in
+  let sched = ref None and quantum = ref None in
+  let pos_int key value store =
+    match int_of_string_opt value with
+    | Some n when n > 0 ->
+      store n;
+      Ok ()
+    | Some _ | None ->
+      Error (Printf.sprintf "%s=%s is not a positive integer" key value)
+  in
+  let parse_field field =
     match String.index_opt field '=' with
     | None -> Error (Printf.sprintf "malformed field %S (want key=value)" field)
     | Some eq -> (
       let key = String.sub field 0 eq in
       let value = String.sub field (eq + 1) (String.length field - eq - 1) in
       match key with
-      | "prog" -> Ok (Some (Suite value), engine, tier, fuel, trace, deadline)
+      | "prog" ->
+        src := Some (Suite value);
+        Ok ()
       | "src" ->
-        Ok
-          (Some (Inline (unescape_src value)), engine, tier, fuel, trace,
-           deadline)
-      | "engine" -> Ok (src, value, tier, fuel, trace, deadline)
+        src := Some (Inline (unescape_src value));
+        Ok ()
+      | "engine" ->
+        engine := value;
+        Ok ()
       | "tier" ->
         let* t = tier_of_name value in
-        Ok (src, engine, t, fuel, trace, deadline)
-      | "fuel" -> (
-        match int_of_string_opt value with
-        | Some n when n > 0 -> Ok (src, engine, tier, Some n, trace, deadline)
-        | Some _ | None ->
-          Error (Printf.sprintf "fuel=%s is not a positive integer" value))
+        tier := t;
+        Ok ()
+      | "fuel" -> pos_int "fuel" value (fun n -> fuel := Some n)
       | "trace" -> (
         match value with
-        | "1" | "true" -> Ok (src, engine, tier, fuel, true, deadline)
-        | "0" | "false" -> Ok (src, engine, tier, fuel, false, deadline)
+        | "1" | "true" ->
+          trace := true;
+          Ok ()
+        | "0" | "false" ->
+          trace := false;
+          Ok ()
         | v -> Error (Printf.sprintf "trace=%s is not 0/1" v))
-      | "deadline_ms" -> (
+      | "deadline_ms" ->
+        pos_int "deadline_ms" value (fun n -> deadline := Some n)
+      | "sessions" -> pos_int "sessions" value (fun n -> sessions := Some n)
+      | "window" -> pos_int "window" value (fun n -> window := Some n)
+      | "seed" -> (
         match int_of_string_opt value with
-        | Some n when n > 0 -> Ok (src, engine, tier, fuel, trace, Some n)
+        | Some n when n >= 0 ->
+          seed := Some n;
+          Ok ()
         | Some _ | None ->
-          Error
-            (Printf.sprintf "deadline_ms=%s is not a positive integer" value))
+          Error (Printf.sprintf "seed=%s is not a non-negative integer" value))
+      | "sched" ->
+        let* p = Fpc_sched.Sched.policy_of_string value in
+        sched := Some p;
+        Ok ()
+      | "quantum" -> pos_int "quantum" value (fun n -> quantum := Some n)
       | k ->
         Error
           (Printf.sprintf
-             "unknown key %s (use prog, src, engine, tier, fuel, trace, \
-              deadline_ms)"
+             "unknown key %s (use prog, src, sessions, window, seed, engine, \
+              tier, fuel, trace, deadline_ms, sched, quantum)"
              k))
   in
-  let* src, engine, tier, fuel, trace, deadline =
+  let* () =
     List.fold_left
       (fun acc field ->
-        let* acc = acc in
-        parse_field acc field)
-      (Ok (None, "i2", Auto, None, false, None))
-      fields
+        let* () = acc in
+        parse_field field)
+      (Ok ()) fields
   in
-  match src with
-  | None -> Error "request needs prog=NAME or src=TEXT"
-  | Some source ->
-    Ok
-      {
-        source;
-        engine;
-        tier;
-        fuel = Option.value fuel ~default:default_fuel;
-        trace;
-        deadline_ms = deadline;
-      }
+  let* source =
+    match (!src, !sessions) with
+    | Some _, Some _ -> Error "give one of prog/src or sessions=, not both"
+    | None, None -> Error "request needs prog=NAME, src=TEXT or sessions=N"
+    | Some s, None ->
+      if !window <> None || !seed <> None then
+        Error "window=/seed= only apply to sessions= jobs"
+      else Ok s
+    | None, Some total ->
+      let c = Fpc_workload.Sessions.default ~total in
+      Ok
+        (Sessions
+           {
+             c with
+             Fpc_workload.Sessions.window =
+               Option.value !window ~default:c.Fpc_workload.Sessions.window;
+             seed = Option.value !seed ~default:c.Fpc_workload.Sessions.seed;
+           })
+  in
+  let* sched =
+    match (!sched, !quantum) with
+    | Some (Fpc_sched.Sched.Preempt _), Some q ->
+      Ok (Some (Fpc_sched.Sched.Preempt { quantum = q }))
+    | (Some Fpc_sched.Sched.Run_to_yield | None), Some _ ->
+      Error "quantum= requires sched=preempt"
+    | p, None -> Ok p
+  in
+  Ok
+    {
+      source;
+      engine = !engine;
+      tier = !tier;
+      fuel = Option.value !fuel ~default:default_fuel;
+      trace = !trace;
+      deadline_ms = !deadline;
+      sched;
+    }
 
 let request_of_spec s =
   let src =
     match s.source with
     | Suite name -> "prog=" ^ name
     | Inline text -> "src=" ^ escape_src text
+    | Sessions c ->
+      Printf.sprintf "sessions=%d window=%d seed=%d" c.Fpc_workload.Sessions.total
+        c.Fpc_workload.Sessions.window c.Fpc_workload.Sessions.seed
   in
-  Printf.sprintf "%s engine=%s fuel=%d%s%s%s" src s.engine s.fuel
+  Printf.sprintf "%s engine=%s fuel=%d%s%s%s%s" src s.engine s.fuel
     (match s.tier with
     | Auto -> ""  (* the default, omitted to keep request lines stable *)
     | t -> " tier=" ^ tier_to_string t)
@@ -225,6 +299,11 @@ let request_of_spec s =
     (match s.deadline_ms with
     | None -> ""
     | Some ms -> Printf.sprintf " deadline_ms=%d" ms)
+    (match s.sched with
+    | None -> ""
+    | Some Fpc_sched.Sched.Run_to_yield -> " sched=yield"
+    | Some (Fpc_sched.Sched.Preempt { quantum }) ->
+      Printf.sprintf " sched=preempt quantum=%d" quantum)
 
 (* ---- rendering ---- *)
 
@@ -233,11 +312,22 @@ let result_line r =
     Printf.sprintf "#%d %s %s" r.id (source_label r.spec.source)
       (String.lowercase_ascii r.spec.engine)
   in
+  let sched_tail =
+    (* preemption/slice counts are fuel-dependent host policy; the line
+       keeps only the simulated-meter fields, like everything else here *)
+    match r.sched with
+    | None -> ""
+    | Some s ->
+      Printf.sprintf " sessions=%d peak-live=%d frame-peak=%dw"
+        s.Fpc_sched.Sched.forked s.Fpc_sched.Sched.peak_live
+        s.Fpc_sched.Sched.frame_peak_words
+  in
   match r.outcome with
   | Output words ->
-    Printf.sprintf "%s ok output=%s instructions=%d cycles=%d mem-refs=%d" head
+    Printf.sprintf "%s ok output=%s instructions=%d cycles=%d mem-refs=%d%s"
+      head
       (String.concat "," (List.map string_of_int words))
-      r.stats.instructions r.stats.cycles r.stats.mem_refs
+      r.stats.instructions r.stats.cycles r.stats.mem_refs sched_tail
   | Failed (kind, msg) ->
     Printf.sprintf "%s error %s: %s" head (error_kind_to_string kind) msg
 
@@ -286,6 +376,26 @@ let result_to_json ?(times = true) r =
     | None -> []
     | Some s -> [ ("profile", Fpc_trace.Profile.summary_to_json s) ]
   in
+  let sched_fields =
+    (* all simulated meters — deterministic, so not gated on [times] *)
+    match r.sched with
+    | None -> []
+    | Some s ->
+      [
+        ( "sched",
+          Obj
+            [
+              ("forked", Int s.Fpc_sched.Sched.forked);
+              ("ended", Int s.ended);
+              ("peak_live", Int s.peak_live);
+              ("switch_xfers", Int s.switch_xfers);
+              ("rs_flushes", Int s.rs_flushes);
+              ("bank_overflows", Int s.bank_overflows);
+              ("frame_peak_words", Int s.frame_peak_words);
+              ("lifo_reserved_words", Int s.lifo_reserved_words);
+            ] );
+      ]
+  in
   let time_fields =
     (* Which tier actually ran (and what translating cost) is a host-side
        observation like [run_s]: the simulated fields above are identical
@@ -318,4 +428,5 @@ let result_to_json ?(times = true) r =
       | None -> []
       | Some ms -> [ ("deadline_ms", Int ms) ])
     @ (if r.spec.trace then [ ("trace", Bool true) ] else [])
-    @ outcome_fields @ sim_fields @ profile_fields @ time_fields)
+    @ outcome_fields @ sim_fields @ profile_fields @ sched_fields
+    @ time_fields)

@@ -13,6 +13,10 @@
 type source =
   | Suite of string  (** a built-in workload program, by name *)
   | Inline of string  (** mini-Mesa source text *)
+  | Sessions of Fpc_workload.Sessions.config
+      (** a generated session workload ({!Fpc_workload.Sessions.program});
+          deterministic in the config, so its image caches like a suite
+          program *)
 
 (** Which execution strategy runs the job.  [Interp] is the dispatch-loop
     interpreter; [Compiled] is the threaded-code tier ({!Fpc_tier.Tier}),
@@ -34,6 +38,10 @@ type spec = {
           [Failed Deadline_exceeded] instead of wedging a worker.  A job
           that completes within its current slice is returned even if it
           finished marginally late (slice granularity, not a host timer). *)
+  sched : Fpc_sched.Sched.policy option;
+      (** run under the green-thread scheduler ({!Fpc_sched.Sched.run})
+          with this switching policy; any job may ask for it, and a
+          [Sessions] job defaults to run-to-yield even without it *)
 }
 
 val default_fuel : int
@@ -45,10 +53,15 @@ val spec :
   ?fuel:int ->
   ?trace:bool ->
   ?deadline_ms:int ->
+  ?sched:Fpc_sched.Sched.policy ->
   source ->
   spec
 (** Defaults: engine ["i2"], tier [Auto], fuel {!default_fuel}, trace
-    [false], no deadline. *)
+    [false], no deadline, no explicit scheduling policy. *)
+
+val effective_sched : spec -> Fpc_sched.Sched.policy option
+(** The policy the pool will actually schedule under: the spec's own, or
+    run-to-yield for a [Sessions] source, or none. *)
 
 val tier_of_name : string -> (tier, string) Stdlib.result
 (** ["interp"], ["compiled"] or ["auto"] (case-insensitive). *)
@@ -108,6 +121,9 @@ type result = {
   profile : Fpc_trace.Profile.summary option;
       (** present iff the spec asked for [trace] and the job reached the
           machine *)
+  sched : Fpc_sched.Sched.report option;
+      (** present iff the job ran under the scheduler; every field is a
+          simulated meter, so it is as deterministic as [stats.fastpath] *)
 }
 
 val engine_of_name : string -> (Fpc_core.Engine.t, string) Stdlib.result
@@ -125,11 +141,14 @@ val outcome_equal : outcome -> outcome -> bool
 
     [fpc serve] and [fpc batch] jobfiles use one line per job:
     whitespace-separated [key=value] fields.  Keys: [prog] (suite program
-    name) or [src] (inline source, with [\n] [\t] [\s] [\\] escapes for
-    newline, tab, space and backslash), plus optional [engine], [tier]
-    (interp/compiled/auto), [fuel], [trace] (0/1: run under the XFER
-    tracer) and [deadline_ms] (wall-clock budget for the execution).
-    Blank lines and lines starting with [#] are skipped by callers. *)
+    name), [src] (inline source, with [\n] [\t] [\s] [\\] escapes for
+    newline, tab, space and backslash) or [sessions] (session-workload
+    total, with optional [window] and [seed]), plus optional [engine],
+    [tier] (interp/compiled/auto), [fuel], [trace] (0/1: run under the
+    XFER tracer), [deadline_ms] (wall-clock budget for the execution),
+    [sched] (yield / preempt / preempt:N) and [quantum] (preemption
+    quantum in steps; requires [sched=preempt]).  Blank lines and lines
+    starting with [#] are skipped by callers. *)
 
 val parse_request : string -> (spec, string) Stdlib.result
 

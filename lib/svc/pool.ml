@@ -34,7 +34,14 @@ let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 let now = Unix.gettimeofday
 
 let failed ?(stats = Job.no_stats) id spec kind msg =
-  { Job.id; spec; outcome = Job.Failed (kind, msg); stats; profile = None }
+  {
+    Job.id;
+    spec;
+    outcome = Job.Failed (kind, msg);
+    stats;
+    profile = None;
+    sched = None;
+  }
 
 (* Deadlined jobs run in slices of this many steps, with a wall-clock
    check between slices.  Small enough for few-ms deadline granularity,
@@ -97,6 +104,20 @@ let execute ?arena cache id (spec : Job.spec) =
         Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) spec.deadline_ms
       in
       let translation = ref Job.No_translation in
+      (* Scheduled jobs (an explicit policy, or any Sessions workload)
+         drive the machine through the green-thread scheduler instead of
+         the plain deadline slicer; both leave the same terminal status
+         on [st], so the outcome classification below is shared. *)
+      let sched_policy = Job.effective_sched spec in
+      let drive ~step st =
+        match sched_policy with
+        | None -> (run_with_deadline ?deadline_at ~step ~fuel:spec.fuel st, None)
+        | Some policy ->
+          let s =
+            Fpc_sched.Sched.run ~policy ?deadline_at ~step ~fuel:spec.fuel st
+          in
+          (s.Fpc_sched.Sched.deadline_hit, Some s)
+      in
       (* The compiled tier's run function for [image]: reuses the
          translation attached to the image's shared directory or builds
          and attaches it (a translation-cache miss, once per pristine). *)
@@ -139,9 +160,7 @@ let execute ?arena cache id (spec : Job.spec) =
                 ~engine ~instance:"Main" ~proc:"main" ~args:[] ()
           in
           let step = if compiled_tier then tier_step image else interp_step in
-          let deadline_hit =
-            run_with_deadline ?deadline_at ~step ~fuel:spec.fuel st
-          in
+          let deadline_hit, sstats = drive ~step st in
           let o = Fpc_interp.Interp.outcome st in
           ignore
             (Fpc_trace.Profile.finish p.Fpc_interp.Profiler.profile
@@ -149,7 +168,8 @@ let execute ?arena cache id (spec : Job.spec) =
                ~mem_refs:o.Fpc_interp.Interp.o_mem_refs);
           ( st,
             Some (Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile),
-            deadline_hit )
+            deadline_hit,
+            sstats )
         end
         else if compiled_tier then begin
           let slot_image, st =
@@ -168,11 +188,8 @@ let execute ?arena cache id (spec : Job.spec) =
                 Fpc_interp.Interp.boot ~image ~engine ~instance:"Main"
                   ~proc:"main" ~args:[] () )
           in
-          let deadline_hit =
-            run_with_deadline ?deadline_at ~step:(tier_step slot_image)
-              ~fuel:spec.fuel st
-          in
-          (st, None, deadline_hit)
+          let deadline_hit, sstats = drive ~step:(tier_step slot_image) st in
+          (st, None, deadline_hit, sstats)
         end
         else begin
           let st =
@@ -189,16 +206,14 @@ let execute ?arena cache id (spec : Job.spec) =
               Fpc_interp.Interp.boot ~image:(Fpc_mesa.Image.clone pristine)
                 ~engine ~instance:"Main" ~proc:"main" ~args:[] ()
           in
-          let deadline_hit =
-            run_with_deadline ?deadline_at ~step:interp_step ~fuel:spec.fuel st
-          in
-          (st, None, deadline_hit)
+          let deadline_hit, sstats = drive ~step:interp_step st in
+          (st, None, deadline_hit, sstats)
         end
       with
       | exception Not_found ->
         failed id spec Job.Compile_error "program has no Main.main()"
       | exception e -> failed id spec Job.Internal (Printexc.to_string e)
-      | st, profile, deadline_hit ->
+      | st, profile, deadline_hit, sstats ->
         let o = Fpc_interp.Interp.outcome st in
         let minor_words = int_of_float (Gc.minor_words () -. mw0) in
         let stats =
@@ -233,7 +248,23 @@ let execute ?arena cache id (spec : Job.spec) =
               Job.Failed
                 (Job.Trapped (Fpc_core.State.trap_reason_to_string r), "machine trap")
         in
-        { Job.id; spec; outcome; stats; profile }))
+        let sched =
+          match sstats with
+          | None -> None
+          | Some stats ->
+            (* The LIFO-reservation baseline only exists for session
+               workloads, whose generator knows its own worst case. *)
+            let lifo_reserved =
+              match spec.source with
+              | Job.Sessions c ->
+                st.Fpc_core.State.metrics.peak_live_procs
+                * Fpc_workload.Sessions.worst_extent_words c
+                    ~image:st.Fpc_core.State.image
+              | Job.Suite _ | Job.Inline _ -> 0
+            in
+            Some (Fpc_sched.Sched.report ~lifo_reserved ~stats st)
+        in
+        { Job.id; spec; outcome; stats; profile; sched }))
 
 (* ---- the worker loop ---- *)
 

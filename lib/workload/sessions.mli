@@ -1,0 +1,54 @@
+(** Session workloads: thousands of users inside the machine.
+
+    The paper's setting is a timesharing system where "a large number of
+    processes" share one processor and the frame heap replaces per-process
+    contiguous stacks (§5).  This generator reproduces that shape as a
+    single self-driving mini-Mesa program:
+
+    - a driver ([main]) FORKs up to [window] concurrent sessions, admitting
+      a new one whenever a slot frees, until [total] sessions have run —
+      an open/burst/close lifecycle rather than [total] simultaneous
+      processes, which a 64K-word store could never hold;
+    - each session derives a think count and a call depth from its id (a
+      tiny in-program hash seeded by [seed]), opens a {e channel} — a
+      bounded-life echo coroutine built on XFER — and alternates guarded
+      recursive [work] calls with channel round-trips;
+    - the peer coroutine is handed its exact receive budget at creation and
+      RETURNs when it is spent, so its frame is freed through the ordinary
+      return path and nothing leaks across ten thousand sessions;
+    - completion updates a commutative checksum, so the program's OUTPUT is
+      one [finished] count and one [check] word whose values do not depend
+      on the interleaving of sessions.
+
+    Because the whole lifecycle is machine instructions, running the same
+    config on any engine under either tier produces byte-identical outputs
+    when context switches happen at program-defined points (the scheduler's
+    run-to-yield policy). *)
+
+type config = {
+  total : int;  (** sessions over the whole run *)
+  window : int;  (** maximum concurrently-live sessions *)
+  seed : int;  (** perturbs every session's think/depth draw *)
+  think_lo : int;
+  think_hi : int;  (** channel round-trips per session, inclusive range *)
+  depth_lo : int;
+  depth_hi : int;  (** [work] recursion depth, inclusive range *)
+}
+
+val default : total:int -> config
+(** Window 32, seed 42, 1-4 thinks, depth 1-4. *)
+
+val program : config -> string
+(** The mini-Mesa source.  Deterministic in [config] (the seed is baked
+    into the text), so compiled images cache across jobs.  Raises
+    [Invalid_argument] on an empty or oversized config ([total] must fit
+    comfortably in a 16-bit counter). *)
+
+val worst_extent_words : config -> image:Fpc_mesa.Image.t -> int
+(** The LIFO-reservation model: the block words a dedicated per-session
+    stack would reserve for one session's worst case (session frame + peer
+    frame + deepest [work] chain), using the compiled image's actual
+    frame-size classes.  Multiply by peak live processes to get what
+    contiguous per-process stacks would cost where the frame heap holds
+    only what is actually live.  Raises [Not_found] if [image] was not
+    compiled from {!program}. *)

@@ -75,8 +75,17 @@ let generate ~seed ?(profile = default_profile) ~length () =
 (* Random but always-terminating mini-Mesa programs: procedures p0..pN
    form a DAG (pi only calls pj with j > i) and self-recursion is guarded
    by a strictly decreasing first argument, so every run halts under any
-   engine.  Expressions stick to +, - and * (no division, no traps). *)
-let random_program ~seed =
+   engine.  Expressions stick to +, - and * (no division, no traps).
+
+   With [coroutine_rate] > 0, [main] additionally opens a bounded-life
+   echo coroutine (the Sessions idiom: the peer is handed its exact
+   receive budget at creation and RETURNs when it is spent) and inserts a
+   channel round-trip after each OUTPUT with that probability, so the
+   differential suites exercise non-LIFO XFER and RETCTX alongside the
+   call DAG.  At the default rate 0.0 the extra draws are short-circuited
+   and the generated text is byte-identical to what this function has
+   always produced for a given seed. *)
+let random_program ?(coroutine_rate = 0.0) ~seed () =
   let open Fpc_util in
   let rng = Prng.create ~seed in
   let nprocs = 2 + Prng.int rng ~bound:4 in
@@ -135,13 +144,44 @@ let random_program ~seed =
     Buffer.add_string buf
       (Printf.sprintf "  RETURN %s;\nEND;\n" (expr ~self ~depth:2))
   done;
-  Buffer.add_string buf "PROC main() =\n";
+  (* main's statements are collected first so the peer's receive budget
+     can be counted before either procedure is emitted *)
+  let main_lines = ref [] in
+  let round_trips = ref 0 in
   for _ = 1 to 1 + Prng.int rng ~bound:3 do
-    Buffer.add_string buf
-      (Printf.sprintf "  OUTPUT p0(%d, %d);\n"
-         (3 + Prng.int rng ~bound:4)
-         (Prng.int rng ~bound:10))
+    main_lines :=
+      Printf.sprintf "  OUTPUT p0(%d, %d);\n"
+        (3 + Prng.int rng ~bound:4)
+        (Prng.int rng ~bound:10)
+      :: !main_lines;
+    if coroutine_rate > 0.0 && Prng.chance rng ~p:coroutine_rate then begin
+      incr round_trips;
+      main_lines :=
+        "  x := TRANSFER(co, x + 1);\n  co := RETCTX;\n  OUTPUT x;\n"
+        :: !main_lines
+    end
   done;
+  if coroutine_rate > 0.0 then begin
+    Buffer.add_string buf "PROC peer(n: INT, x: INT): INT =\n";
+    Buffer.add_string buf "  VAR who: CONTEXT := RETCTX;\n";
+    Buffer.add_string buf "  VAR acc: INT := x;\n";
+    Buffer.add_string buf "  WHILE n > 1 DO\n";
+    Buffer.add_string buf "    acc := TRANSFER(who, acc + p0(2, acc));\n";
+    Buffer.add_string buf "    who := RETCTX;\n";
+    Buffer.add_string buf "    n := n - 1;\n";
+    Buffer.add_string buf "  END;\n";
+    Buffer.add_string buf "  RETURN acc;\nEND;\n"
+  end;
+  Buffer.add_string buf "PROC main() =\n";
+  if coroutine_rate > 0.0 then begin
+    Buffer.add_string buf
+      (Printf.sprintf "  VAR x: INT := TRANSFER(@peer, %d, %d);\n"
+         (!round_trips + 1)
+         (Prng.int rng ~bound:10));
+    Buffer.add_string buf "  VAR co: CONTEXT := RETCTX;\n"
+  end;
+  List.iter (Buffer.add_string buf) (List.rev !main_lines);
+  if coroutine_rate > 0.0 then Buffer.add_string buf "  OUTPUT x;\n";
   Buffer.add_string buf "END;\nEND;\n";
   Buffer.contents buf
 

@@ -116,6 +116,35 @@ The shutdown admin command is acknowledged, then the server drains:
   $ printf 'prog=fib engine=i2\nshutdown\nprog=hanoi\n' | fpc serve --no-times 2>/dev/null | grep -c '"status":\("draining"\|"ok"\)'
   2
 
+The green-thread scheduler: a session workload multiplexed over one
+machine by coroutine XFER.  Stdout is the deterministic scheduling
+report — simulated meters only — and both execution tiers produce the
+same bytes (host throughput goes to stderr):
+
+  $ fpc sched --sessions 64 2>/dev/null
+  output=64,2423
+  sessions forked=64 ended=65 peak-live=33
+  slices=1 preemptions=0 switch-xfers=514
+  rs-flushes=0 (0.0000/xfer) bank-overflows=0 (0.0000/call)
+  frame-peak=560w lifo-reserved=2112w ratio=0.2652
+  $ fpc sched --sessions 64 --tier=compiled 2>/dev/null
+  output=64,2423
+  sessions forked=64 ended=65 peak-live=33
+  slices=1 preemptions=0 switch-xfers=514
+  rs-flushes=0 (0.0000/xfer) bank-overflows=0 (0.0000/call)
+  frame-peak=560w lifo-reserved=2112w ratio=0.2652
+
+Forcing switches with a preemption quantum keeps the answer identical —
+injected yields land only at statement boundaries — while the footprint
+report shows the cost of switching mid-conversation:
+
+  $ fpc sched --sessions 64 --sched preempt:300 2>/dev/null
+  output=64,2423
+  sessions forked=64 ended=65 peak-live=32
+  slices=80 preemptions=78 switch-xfers=594
+  rs-flushes=0 (0.0000/xfer) bank-overflows=0 (0.0000/call)
+  frame-peak=776w lifo-reserved=2048w ratio=0.3789
+
 Profile a run: per-procedure cost attribution whose totals equal the
 machine's meters for the same run (the conservation property):
 

@@ -140,6 +140,22 @@ let test_e16 () =
   check_band ~what:"I2 speedup > 0" ~lo:0.000001 ~hi:1000.0
     (headline "tier" "speedup_i2")
 
+(* E17: byte-identical outputs and meters across engines, tiers and
+   policies; the frame heap needs a fraction of the LIFO per-session
+   reservation; preemption makes the banked engines flush the return
+   stack, but only a few times per hundred transfers. *)
+let test_e17 () =
+  check_band ~what:"output mismatches" ~lo:0.0 ~hi:0.0
+    (headline "sessions" "output_mismatches");
+  check_band ~what:"meter mismatches" ~lo:0.0 ~hi:0.0
+    (headline "sessions" "meter_mismatches");
+  check_band ~what:"I2 footprint ratio" ~lo:0.05 ~hi:0.6
+    (headline "sessions" "footprint_ratio_i2_10k");
+  check_band ~what:"I1 footprint ratio" ~lo:0.05 ~hi:0.6
+    (headline "sessions" "footprint_ratio_i1_10k");
+  check_band ~what:"I4 preempt flush rate" ~lo:0.001 ~hi:0.5
+    (headline "sessions" "i4_rs_flush_per_xfer_preempt")
+
 let () =
   let case name f = Alcotest.test_case name `Slow f in
   Alcotest.run "experiments"
@@ -162,5 +178,6 @@ let () =
           case "E13 short reach" test_e13;
           case "E14 equivalence" test_e14;
           case "E16 compiled tier" test_e16;
+          case "E17 session scheduler" test_e17;
         ] );
     ]

@@ -1,0 +1,223 @@
+(* lib/sched: scheduling must never change what a program computes.
+   The qcheck property drives one session workload (random seed and
+   shape) through the scheduler on all four engines under both execution
+   tiers — plain and traced — and requires byte-identical outputs
+   everywhere plus bit-identical meters between tiers per engine.  The
+   unit tests pin the policy parser, fuel-slice resumability and the
+   preemptive policy's determinism. *)
+
+let engines =
+  [
+    ("i1", Fpc_core.Engine.i1);
+    ("i2", Fpc_core.Engine.i2);
+    ("i3", Fpc_core.Engine.i3 ());
+    ("i4", Fpc_core.Engine.i4 ());
+  ]
+
+let image_for ~engine source =
+  let convention = Fpc_compiler.Convention.for_engine engine in
+  match Fpc_compiler.Compile.image ~convention source with
+  | Ok i -> i
+  | Error m -> failwith m
+
+let fingerprint (st : Fpc_core.State.t) =
+  let m = st.metrics in
+  ( Fpc_core.State.output st,
+    m.instructions,
+    Fpc_machine.Cost.cycles st.cost,
+    Fpc_machine.Cost.mem_refs st.cost,
+    (m.calls, m.returns, m.other_xfers, m.fast_transfers),
+    (m.procs_forked, m.procs_ended, m.peak_live_procs) )
+
+(* One scheduled run: boot a fresh clone, drive it with Sched.run under
+   [policy] on the chosen tier, optionally traced, and require a clean
+   halt.  Returns the fingerprint (plus the traced profile summary when
+   tracing). *)
+let sched_run ?(policy = Fpc_sched.Sched.Run_to_yield) ?(traced = false)
+    ~engine ~compiled source =
+  let image = Fpc_mesa.Image.clone (image_for ~engine source) in
+  let profiler =
+    if traced then Some (Fpc_interp.Profiler.create ~image ~engine ())
+    else None
+  in
+  let st =
+    Fpc_interp.Interp.boot
+      ?tracer:(Option.map (fun p -> p.Fpc_interp.Profiler.sink) profiler)
+      ~image ~engine ~instance:"Main" ~proc:"main" ~args:[] ()
+  in
+  let step =
+    if compiled then (
+      let tr = Fpc_tier.Tier.translate image in
+      fun n st -> Fpc_tier.Tier.run ~max_steps:n tr st)
+    else fun n st -> Fpc_interp.Interp.run ~max_steps:n st
+  in
+  let stats = Fpc_sched.Sched.run ~policy ~step ~fuel:5_000_000 st in
+  (match st.Fpc_core.State.status with
+  | Fpc_core.State.Halted -> ()
+  | _ -> failwith "scheduled workload did not halt");
+  let profile =
+    Option.map
+      (fun p ->
+        ignore
+          (Fpc_trace.Profile.finish p.Fpc_interp.Profiler.profile
+             ~cycles:(Fpc_machine.Cost.cycles st.cost)
+             ~mem_refs:(Fpc_machine.Cost.mem_refs st.cost));
+        Fpc_trace.Profile.summary p.Fpc_interp.Profiler.profile)
+      profiler
+  in
+  (fingerprint st, stats, profile)
+
+let source_of ~seed ~total ~window =
+  let c = Fpc_workload.Sessions.default ~total in
+  Fpc_workload.Sessions.program
+    { c with Fpc_workload.Sessions.window; seed }
+
+(* ---- the determinism property ---- *)
+
+let determinism_prop =
+  QCheck.Test.make ~count:12
+    ~name:
+      "scheduler determinism: outputs across engines, meters across tiers \
+       (incl. traced)"
+    QCheck.(
+      make
+        ~print:(fun (s, t, w) -> Printf.sprintf "seed=%d total=%d window=%d" s t w)
+        Gen.(triple (int_range 0 10_000) (int_range 4 48) (int_range 2 8)))
+    (fun (seed, total, window) ->
+      let source = source_of ~seed ~total ~window in
+      let runs =
+        List.map
+          (fun (en, engine) ->
+            let fp_i, _, _ = sched_run ~engine ~compiled:false source in
+            let fp_c, _, _ = sched_run ~engine ~compiled:true source in
+            let fp_it, _, p_i = sched_run ~traced:true ~engine ~compiled:false source in
+            let fp_ct, _, p_c = sched_run ~traced:true ~engine ~compiled:true source in
+            if fp_i <> fp_c then
+              QCheck.Test.fail_reportf "tiers diverged under %s" en;
+            if fp_it <> fp_i then
+              QCheck.Test.fail_reportf "tracing changed the run under %s" en;
+            if fp_ct <> fp_it || p_i <> p_c then
+              QCheck.Test.fail_reportf
+                "traced tier run diverged under %s" en;
+            (en, fp_i))
+          engines
+      in
+      let output (_, (o, _, _, _, _, _)) = o in
+      match runs with
+      | [] -> true
+      | first :: rest ->
+        List.for_all
+          (fun r ->
+            if output r <> output first then
+              QCheck.Test.fail_reportf "outputs differ: %s vs %s" (fst first)
+                (fst r)
+            else true)
+          rest)
+
+(* Preemption must preserve per-engine tier identity (and, because the
+   generated workload's checksum is interleaving-insensitive and injected
+   yields sit at statement boundaries, the bytes of the output too). *)
+let preempt_determinism_prop =
+  QCheck.Test.make ~count:8
+    ~name:"preempt: tier-identical meters, yield-identical output"
+    QCheck.(
+      make
+        ~print:(fun (s, q) -> Printf.sprintf "seed=%d quantum=%d" s q)
+        Gen.(pair (int_range 0 10_000) (int_range 50 800)))
+    (fun (seed, quantum) ->
+      let source = source_of ~seed ~total:24 ~window:4 in
+      let policy = Fpc_sched.Sched.Preempt { quantum } in
+      List.for_all
+        (fun (en, engine) ->
+          let fp_y, _, _ = sched_run ~engine ~compiled:false source in
+          let fp_i, _, _ = sched_run ~policy ~engine ~compiled:false source in
+          let fp_c, _, _ = sched_run ~policy ~engine ~compiled:true source in
+          if fp_i <> fp_c then
+            QCheck.Test.fail_reportf "preempt tiers diverged under %s" en
+          else
+            let output (o, _, _, _, _, _) = o in
+            if output fp_i <> output fp_y then
+              QCheck.Test.fail_reportf
+                "preempt changed the output under %s" en
+            else true)
+        engines)
+
+(* ---- unit tests ---- *)
+
+let test_policy_strings () =
+  let roundtrip p =
+    match Fpc_sched.Sched.(policy_of_string (policy_to_string p)) with
+    | Ok p' -> Alcotest.(check string) "round trip"
+        (Fpc_sched.Sched.policy_to_string p)
+        (Fpc_sched.Sched.policy_to_string p')
+    | Error m -> Alcotest.fail m
+  in
+  roundtrip Fpc_sched.Sched.Run_to_yield;
+  roundtrip (Fpc_sched.Sched.Preempt { quantum = 250 });
+  (match Fpc_sched.Sched.policy_of_string "preempt" with
+  | Ok (Fpc_sched.Sched.Preempt { quantum = 1000 }) -> ()
+  | _ -> Alcotest.fail "bare preempt should use the default quantum");
+  match Fpc_sched.Sched.policy_of_string "fifo" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown policy must be rejected"
+
+(* Fuel exhaustion is a resumable boundary: a starved run is left
+   Trapped Step_limit, and handing the same machine back to Sched.run
+   with more fuel finishes the workload with the one-shot answer. *)
+let test_fuel_exhaustion_resumes () =
+  let source = source_of ~seed:7 ~total:16 ~window:4 in
+  let engine = Fpc_core.Engine.i2 in
+  let one_shot, _, _ = sched_run ~engine ~compiled:false source in
+  let image = Fpc_mesa.Image.clone (image_for ~engine source) in
+  let st =
+    Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+      ~args:[] ()
+  in
+  let step n st = Fpc_interp.Interp.run ~max_steps:n st in
+  ignore (Fpc_sched.Sched.run ~step ~fuel:300 st);
+  (match st.Fpc_core.State.status with
+  | Fpc_core.State.Trapped Fpc_core.State.Step_limit -> ()
+  | _ -> Alcotest.fail "starved run should be left at the fuel boundary");
+  ignore (Fpc_sched.Sched.run ~step ~fuel:5_000_000 st);
+  Alcotest.(check bool) "resumed run matches the one-shot run" true
+    (fingerprint st = one_shot)
+
+(* The report is pure simulated meters; spot-check its arithmetic and the
+   stable rendering the cram test pins. *)
+let test_report_shape () =
+  let source = source_of ~seed:3 ~total:12 ~window:3 in
+  let engine = Fpc_core.Engine.i2 in
+  let image = Fpc_mesa.Image.clone (image_for ~engine source) in
+  let st =
+    Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+      ~args:[] ()
+  in
+  let step n st = Fpc_interp.Interp.run ~max_steps:n st in
+  let stats = Fpc_sched.Sched.run ~step ~fuel:5_000_000 st in
+  let r = Fpc_sched.Sched.report ~lifo_reserved:1000 ~stats st in
+  Alcotest.(check int) "every session forked" 12 r.Fpc_sched.Sched.forked;
+  Alcotest.(check int) "every process retired (boot included)" 13
+    r.Fpc_sched.Sched.ended;
+  Alcotest.(check bool) "peak within the window (+driver)" true
+    (r.Fpc_sched.Sched.peak_live <= 4);
+  Alcotest.(check bool) "footprint ratio computed" true
+    (r.Fpc_sched.Sched.footprint_ratio > 0.0);
+  Alcotest.(check int) "four stable report lines" 4
+    (List.length (Fpc_sched.Sched.report_lines r))
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest determinism_prop;
+          QCheck_alcotest.to_alcotest preempt_determinism_prop;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "policy strings" `Quick test_policy_strings;
+          Alcotest.test_case "fuel exhaustion resumes" `Quick
+            test_fuel_exhaustion_resumes;
+          Alcotest.test_case "report shape" `Quick test_report_shape;
+        ] );
+    ]

@@ -538,7 +538,12 @@ let arena_reuse_equivalence_prop =
     ~name:"arena reuse == fresh clones (outcome + profile, all engines)"
     QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
     (fun seed ->
-      let source = Fpc_workload.Synthetic.random_program ~seed in
+      (* odd seeds add coroutine round-trips so the same differential
+         sweep also covers non-LIFO XFER and RETCTX *)
+      let coroutine_rate = if seed mod 2 = 0 then 0.0 else 0.5 in
+      let source =
+        Fpc_workload.Synthetic.random_program ~coroutine_rate ~seed ()
+      in
       List.for_all
         (fun engine_name ->
           let engine = engine_named engine_name in
@@ -594,6 +599,37 @@ let test_arena_reset_restores_store () =
   let s = Arena.stats arena in
   Alcotest.(check int) "one miss, one hit" 1 s.Arena.hits;
   Alcotest.(check int) "one miss, one hit (misses)" 1 s.Arena.misses
+
+(* A fuel-exhausted scheduler job must leave its arena slot reusable:
+   abandoning a half-run session workload mid-slice (status
+   Trapped Step_limit, live forked processes, half-consumed frame heap)
+   and reacquiring the same slot has to produce a run indistinguishable
+   from a fresh clone. *)
+let test_arena_mid_slice_reuse () =
+  let cache = Image_cache.create () in
+  let arena = Arena.create () in
+  let source =
+    Fpc_workload.Sessions.program (Fpc_workload.Sessions.default ~total:16)
+  in
+  let engine_name = "i2" in
+  let engine = engine_named engine_name in
+  let pristine, key = pristine_for cache ~engine ~source in
+  let baseline = clone_run ~pristine ~engine in
+  let slot = Arena.acquire arena ~key ~engine ~engine_name ~pristine () in
+  let st = Arena.checkout slot in
+  Fpc_core.Transfer.start st ~instance:"Main" ~proc:"main" ~args:[];
+  let step n st = Fpc_interp.Interp.run ~max_steps:n st in
+  ignore (Fpc_sched.Sched.run ~step ~fuel:500 st);
+  (match st.Fpc_core.State.status with
+  | Fpc_core.State.Trapped Fpc_core.State.Step_limit -> ()
+  | _ -> Alcotest.fail "tiny-fuel scheduler run should exhaust mid-workload");
+  let again = arena_run arena ~key ~engine ~engine_name ~pristine in
+  Alcotest.(check bool) "reused slot indistinguishable from a fresh clone"
+    true
+    (again = baseline);
+  let s = Arena.stats arena in
+  Alcotest.(check int) "the rerun reset the abandoned slot (hit)" 1
+    s.Arena.hits
 
 (* End-to-end through the pool: arena reuse on (the default) and off must
    produce identical results, job for job. *)
@@ -695,6 +731,8 @@ let () =
           QCheck_alcotest.to_alcotest arena_reuse_equivalence_prop;
           Alcotest.test_case "reset restores the store" `Quick
             test_arena_reset_restores_store;
+          Alcotest.test_case "fuel-exhausted sched job leaves slot reusable"
+            `Quick test_arena_mid_slice_reuse;
           Alcotest.test_case "pool results identical with arena off" `Slow
             test_pool_arena_matches_clone_path;
         ] );

@@ -218,7 +218,12 @@ let tier_differential_prop =
     ~name:"compiled tier == interpreter on random programs (all engines)"
     QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
     (fun seed ->
-      let source = Fpc_workload.Synthetic.random_program ~seed in
+      (* odd seeds add coroutine round-trips so the same differential
+         sweep also covers non-LIFO XFER and RETCTX *)
+      let coroutine_rate = if seed mod 2 = 0 then 0.0 else 0.5 in
+      let source =
+        Fpc_workload.Synthetic.random_program ~coroutine_rate ~seed ()
+      in
       List.for_all
         (fun (en, engine) ->
           let reference = interp_observe ~engine ~max_steps:300_000 source in

@@ -134,7 +134,12 @@ let conservation_random =
     ~name:"profile totals equal outcome counters on random programs"
     QCheck.(int_range 0 9999)
     (fun seed ->
-      let src = Fpc_workload.Synthetic.random_program ~seed in
+      (* odd seeds add coroutine round-trips so tracing also sees
+         non-LIFO XFER *)
+      let coroutine_rate = if seed mod 2 = 0 then 0.0 else 0.5 in
+      let src =
+        Fpc_workload.Synthetic.random_program ~coroutine_rate ~seed ()
+      in
       List.for_all
         (fun (en, engine) ->
           let p, o = run_profiled ~engine src in
