@@ -194,6 +194,107 @@ let run_tier_compile () =
   print tb;
   print_newline ()
 
+(* Cross-call fusion on the call-dense kernels: the interpreter versus
+   the compiled tier, per engine, on loops that are almost entirely leaf
+   procedure calls.  The tier side uses the lazy of_image path, so the
+   observation run also yields the fusion/laziness counters recorded to
+   BENCH_results.json: fused-call coverage (fused calls / all calls),
+   lazy translation misses (procedures translated on first entry, cold)
+   and hits (warm-run procedure entries served by already-filled slots —
+   spliced leaves never even need their own translation). *)
+let run_tier_calls ?(smoke = false) () =
+  let open Fpc_util.Tablefmt in
+  let tb =
+    create
+      ~title:"cross-call fusion on call-dense kernels (host wall-clock)"
+      ~columns:
+        [ ("prog", Left); ("engine", Left); ("interp", Right); ("tier", Right);
+          ("speedup", Right); ("fused cov", Right); ("lazy m/h", Right) ]
+  in
+  List.iter
+    (fun prog ->
+      List.iter
+        (fun (ename, engine) ->
+          let convention = Fpc_compiler.Convention.for_engine engine in
+          let image =
+            match
+              Fpc_compiler.Compile.image ~convention
+                (Fpc_workload.Programs.find prog)
+            with
+            | Ok i -> i
+            | Error m -> failwith ("tier calls bench compile: " ^ m)
+          in
+          let tier, _ = Fpc_tier.Tier.of_image image in
+          let boot () =
+            Fpc_interp.Interp.boot ~image ~engine ~instance:"Main" ~proc:"main"
+              ~args:[] ()
+          in
+          let run_tier () =
+            let st = boot () in
+            Fpc_tier.Tier.run tier st;
+            assert (st.Fpc_core.State.status = Fpc_core.State.Halted);
+            st
+          in
+          (* cold observation run: lazy translation happens here *)
+          let cold = run_tier () in
+          let lazy_miss =
+            cold.Fpc_core.State.metrics.Fpc_core.State.tier_lazy_translations
+          in
+          (* warm observation run: every entered procedure finds its slots *)
+          let warm = run_tier () in
+          assert (
+            warm.Fpc_core.State.metrics.Fpc_core.State.tier_lazy_translations
+            = 0);
+          let wm = warm.Fpc_core.State.metrics in
+          let coverage =
+            if wm.Fpc_core.State.calls = 0 then 0.0
+            else
+              float_of_int wm.Fpc_core.State.tier_fused_calls
+              /. float_of_int wm.Fpc_core.State.calls
+          in
+          let lazy_hit = Fpc_tier.Tier.procs_translated tier in
+          let samples = if smoke then 3 else 7 in
+          let interp_s =
+            median_run_s ~samples ~runs:1 (fun () ->
+                let st = boot () in
+                Fpc_interp.Interp.run st;
+                assert (st.Fpc_core.State.status = Fpc_core.State.Halted))
+          in
+          let tier_s =
+            median_run_s ~samples ~runs:1 (fun () -> ignore (run_tier ()))
+          in
+          let speedup = interp_s /. tier_s in
+          if not smoke then begin
+            let name =
+              Printf.sprintf "micro/fpc/tier/calls/%s/%s" prog ename
+            in
+            record name "interp_ns_per_run" (interp_s *. 1e9);
+            record name "tier_ns_per_run" (tier_s *. 1e9);
+            record name "speedup" speedup;
+            record name "fused_call_coverage" coverage;
+            record name "lazy_miss" (float_of_int lazy_miss);
+            record name "lazy_hit" (float_of_int lazy_hit);
+            record name "procs" (float_of_int (Fpc_tier.Tier.procs tier));
+            record name "procs_translated"
+              (float_of_int (Fpc_tier.Tier.procs_translated tier))
+          end;
+          add_row tb
+            [ prog; ename;
+              Printf.sprintf "%.2f ms" (interp_s *. 1e3);
+              Printf.sprintf "%.2f ms" (tier_s *. 1e3);
+              Printf.sprintf "%.2fx" speedup;
+              Printf.sprintf "%.0f%%" (coverage *. 100.0);
+              Printf.sprintf "%d/%d" lazy_miss lazy_hit ])
+        [ ("i1", Fpc_core.Engine.i1); ("i2", Fpc_core.Engine.i2);
+          ("i3", Fpc_core.Engine.i3 ()); ("i4", Fpc_core.Engine.i4 ()) ])
+    Fpc_workload.Programs.call_dense;
+  add_note tb
+    "fused cov = fused calls / all calls (simulated, exact); lazy m/h = \
+     procedures translated on first entry / warm-run entries served from \
+     filled slots";
+  print tb;
+  print_newline ()
+
 let bench_allocator =
   Bechamel.Test.make ~name:"allocator/alloc+free"
     (Bechamel.Staged.stage (fun () ->
@@ -774,7 +875,8 @@ let () =
   if everything || filter <> [] then run_experiments filter;
   if micro || everything then begin
     run_micro ();
-    run_tier_compile ()
+    run_tier_compile ();
+    run_tier_calls ~smoke ()
   end;
   if svc || everything then begin
     run_svc ~smoke ();

@@ -354,7 +354,7 @@ let experiment_cmd =
   let exp_name =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME"
            ~doc:"Experiment key (fastpath, bank_overflow, ...) or id \
-                 (E1..E14).  Omit to run all.")
+                 (E1..E18).  Omit to run all.")
   in
   Cmd.v
     (Cmd.info "experiment"

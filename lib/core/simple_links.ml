@@ -5,6 +5,10 @@ type t = {
   slv : (string, int) Hashtbl.t;
   sev : (string, int) Hashtbl.t;
   by_gf : (int, string) Hashtbl.t;
+  slv_by_gf : (int, int) Hashtbl.t;
+      (** gf -> import-table base: the int-keyed index the per-call guard
+          peeks through (one int hash instead of two string hashes) *)
+  sev_by_gf : (int, int) Hashtbl.t;  (** gf -> own-entry-table base *)
   mutable words : int;
   mutable replay : int array;
       (** flattened (addr, word) pairs install wrote, for {!reinstall} *)
@@ -51,7 +55,9 @@ let install_into t image =
         m.Compiled.m_procs;
       Hashtbl.replace t.slv ii.ii_name slv_base;
       Hashtbl.replace t.sev ii.ii_name sev_base;
-      Hashtbl.replace t.by_gf ii.ii_gf_addr ii.ii_name)
+      Hashtbl.replace t.by_gf ii.ii_gf_addr ii.ii_name;
+      Hashtbl.replace t.slv_by_gf ii.ii_gf_addr slv_base;
+      Hashtbl.replace t.sev_by_gf ii.ii_gf_addr sev_base)
     image.dir.instances;
   (* [written] is newest-first (word, addr, word, addr, ...): materialise
      the replay tape oldest-first as addr-then-word pairs. *)
@@ -71,6 +77,8 @@ let install image =
       slv = Hashtbl.create 8;
       sev = Hashtbl.create 8;
       by_gf = Hashtbl.create 8;
+      slv_by_gf = Hashtbl.create 8;
+      sev_by_gf = Hashtbl.create 8;
       words = 0;
       replay = [||];
       cursor_after = 0;
@@ -87,6 +95,7 @@ let reinstall t image =
   let i = ref 0 in
   while !i < n do
     Memory.poke image.Image.mem tape.(!i) tape.(!i + 1);
+    Image.notify_relink image ~addr:tape.(!i) ~word:tape.(!i + 1);
     i := !i + 2
   done;
   image.Image.static_cursor <- t.cursor_after
@@ -94,6 +103,24 @@ let reinstall t image =
 let read_pair image base index =
   let w0 = Memory.read image.Image.mem (base + (2 * index)) in
   let w1 = Memory.read image.Image.mem (base + (2 * index) + 1) in
+  let gf = w1 land 0xFFFC in
+  let abs = ((w1 land 1) lsl 16) lor w0 in
+  (abs lsl 16) lor gf
+
+(* Unmetered twin of {!read_pair} for the compiled tier's fused-call
+   guards: the tier compares the table's current contents against the
+   resolution it baked at translate time, and that comparison is a host
+   observation, not a simulated reference (the metered reads are charged
+   by the fused bill exactly as the interpreter would have). *)
+let peek_pair image base index =
+  let w0 = Memory.peek image.Image.mem (base + (2 * index)) in
+  let w1 = Memory.peek image.Image.mem (base + (2 * index) + 1) in
+  let gf = w1 land 0xFFFC in
+  let abs = ((w1 land 1) lsl 16) lor w0 in
+  (abs lsl 16) lor gf
+
+let expected_pair image ~target_instance ~target_proc =
+  let w0, w1 = pack_entry image ~target_instance ~target_proc in
   let gf = w1 land 0xFFFC in
   let abs = ((w1 land 1) lsl 16) lor w0 in
   (abs lsl 16) lor gf
@@ -111,6 +138,35 @@ let resolve_import_by_gf t image ~gf ~lv_index =
 
 let resolve_own_by_gf t image ~gf ~ev_index =
   resolve_own t image ~instance:(instance_of_gf t ~gf) ~ev_index
+
+(* Peek variants keyed by the GF register, returning [-1] (never a valid
+   packed pair — bit 16 of the entry address caps abs below 2^17, and a
+   pair is non-negative) when the gf is unknown or the table is absent. *)
+let peek_resolve_import_by_gf t image ~gf ~lv_index =
+  match Hashtbl.find_opt t.slv_by_gf gf with
+  | None -> -1
+  | Some base -> peek_pair image base lv_index
+
+let peek_resolve_own_by_gf t image ~gf ~ev_index =
+  match Hashtbl.find_opt t.sev_by_gf gf with
+  | None -> -1
+  | Some base -> peek_pair image base ev_index
+
+(* Host-side relink for I1, the simple-table analogue of
+   {!Fpc_mesa.Linker.rebind_lv}: re-point one import pair at a new
+   target and tell the relink observer.  Not recorded on the replay
+   tape — an arena reset restores the pristine binding, exactly like
+   the Mesa LV words it mirrors. *)
+let rebind t image ~instance ~lv_index ~target:(tm, tp) =
+  let ii = Image.find_instance image instance in
+  if lv_index < 0 || lv_index >= Array.length ii.Image.ii_imports then
+    invalid_arg "Simple_links.rebind: LV index out of range";
+  let base = Hashtbl.find t.slv instance in
+  let w0, w1 = pack_entry image ~target_instance:tm ~target_proc:tp in
+  Memory.poke image.Image.mem (base + (2 * lv_index)) w0;
+  Memory.poke image.Image.mem (base + (2 * lv_index) + 1) w1;
+  Image.notify_relink image ~addr:(base + (2 * lv_index)) ~word:w0;
+  Image.notify_relink image ~addr:(base + (2 * lv_index) + 1) ~word:w1
 
 let resolve_descriptor t image ~gfi ~ev =
   (* Identify the instance owning this gfi (directory lookup models the

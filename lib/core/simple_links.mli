@@ -50,6 +50,33 @@ val resolve_import_by_gf : t -> Fpc_mesa.Image.t -> gf:int -> lv_index:int -> in
 
 val resolve_own_by_gf : t -> Fpc_mesa.Image.t -> gf:int -> ev_index:int -> int
 
+val peek_resolve_import_by_gf :
+  t -> Fpc_mesa.Image.t -> gf:int -> lv_index:int -> int
+(** Unmetered {!resolve_import_by_gf} for the compiled tier's fused-call
+    guards; returns [-1] when [gf] names no installed instance. *)
+
+val peek_resolve_own_by_gf :
+  t -> Fpc_mesa.Image.t -> gf:int -> ev_index:int -> int
+(** Unmetered {!resolve_own_by_gf}; [-1] when [gf] is unknown. *)
+
+val expected_pair :
+  Fpc_mesa.Image.t -> target_instance:string -> target_proc:string -> int
+(** The packed pair {!install} writes for this target — what a table read
+    returns while the binding is pristine.  Lets the tier bake a
+    resolution at translate time and compare at run time. *)
+
+val rebind :
+  t ->
+  Fpc_mesa.Image.t ->
+  instance:string ->
+  lv_index:int ->
+  target:string * string ->
+  unit
+(** Re-point one import pair at a new target (the I1 analogue of
+    {!Fpc_mesa.Linker.rebind_lv}), notifying the image's relink observer.
+    Raises [Invalid_argument] on a bad index, [Not_found] on unknown
+    names. *)
+
 val resolve_descriptor : t -> Fpc_mesa.Image.t -> gfi:int -> ev:int -> int
 (** Resolve a packed descriptor context under I1 semantics (an XFER with a
     first-class procedure value): the descriptor record is read at

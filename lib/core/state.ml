@@ -59,6 +59,8 @@ type metrics = {
   mutable tier_fast_instrs : int;  (* retired on the compiled tier's fused path *)
   mutable tier_super_instrs : int;  (* of those, inside multi-op superinstructions *)
   mutable tier_deopts : int;  (* compiled-tier falls back to the interpreter *)
+  mutable tier_fused_calls : int;  (* calls retired through a fused call site *)
+  mutable tier_lazy_translations : int;  (* procedures translated during this run *)
 }
 
 let fresh_metrics () =
@@ -88,6 +90,8 @@ let fresh_metrics () =
     tier_fast_instrs = 0;
     tier_super_instrs = 0;
     tier_deopts = 0;
+    tier_fused_calls = 0;
+    tier_lazy_translations = 0;
   }
 
 let zero_metrics m =
@@ -115,7 +119,9 @@ let zero_metrics m =
   m.peak_live_procs <- 1;
   m.tier_fast_instrs <- 0;
   m.tier_super_instrs <- 0;
-  m.tier_deopts <- 0
+  m.tier_deopts <- 0;
+  m.tier_fused_calls <- 0;
+  m.tier_lazy_translations <- 0
 
 type process = { p_id : int; p_lf : int; p_stack : int array; p_rctx : int }
 
@@ -138,6 +144,13 @@ type t = {
   mutable gf : int;
   mutable cb : int;
   mutable pc_abs : int;
+  mutable fuel_limit : int;
+  (* Host-side step budget for the compiled tier's self-looping nodes:
+     the absolute [metrics.instructions] bound the current [Tier.run]
+     call enforces, mirrored here so a node whose back-edge targets its
+     own boundary can iterate in place under exactly the admission check
+     the dispatch loop would have applied.  Not part of the simulated
+     machine: never read by the interpreter, no effect on meters. *)
   mutable return_ctx : int;
   (* Scratch destination registers written by the transfer engine's
      resolver and consumed by procedure entry — a [resolved] record per
@@ -234,6 +247,7 @@ let create ?tracer ~image ~engine () =
     gf = 0;
     cb = no_cb;
     pc_abs = 0;
+    fuel_limit = max_int;
     return_ctx = 0;
     xr_gf = 0;
     xr_cb = no_cb;
@@ -274,6 +288,7 @@ let reset ?tracer t =
   t.gf <- 0;
   t.cb <- no_cb;
   t.pc_abs <- 0;
+  t.fuel_limit <- max_int;
   t.return_ctx <- 0;
   t.xr_gf <- 0;
   t.xr_cb <- no_cb;

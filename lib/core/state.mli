@@ -65,6 +65,13 @@ type metrics = {
       (** of those, instructions retired inside a multi-op superinstruction *)
   mutable tier_deopts : int;
       (** compiled-tier fallbacks to the interpreter's single-step path *)
+  mutable tier_fused_calls : int;
+      (** calls retired through a fused call site — the callee's body ran
+          spliced into the caller's superinstruction (host-speed
+          accounting only; invisible to the simulated meters) *)
+  mutable tier_lazy_translations : int;
+      (** procedures translated lazily during this run (first XFER into a
+          not-yet-translated procedure) *)
 }
 
 type process = {
@@ -100,6 +107,10 @@ type t = {
   mutable gf : int;
   mutable cb : int;  (** current code base; {!no_cb} when invalid *)
   mutable pc_abs : int;
+  mutable fuel_limit : int;
+      (** host-side absolute [metrics.instructions] bound for the
+          compiled tier's self-looping nodes — set by [Tier.run], never
+          read by the interpreter, no effect on meters *)
   mutable return_ctx : int;  (** packed context word; 0 is NIL *)
   mutable xr_gf : int;
   mutable xr_cb : int;

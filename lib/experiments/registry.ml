@@ -17,6 +17,7 @@ let all =
     ("ablation", E15_ablation.run);
     ("tier", E16_tier.run);
     ("sessions", E17_sessions.run);
+    ("calls", E18_calls.run);
   ]
 
 let keys = List.map fst all
@@ -28,7 +29,7 @@ let ids =
     ("e7", "frame_sizes"); ("e8", "arg_passing"); ("e9", "bank_vs_cache");
     ("e10", "call_density"); ("e11", "nonlifo"); ("e12", "ptr_locals");
     ("e13", "short_reach"); ("e14", "equivalence"); ("e15", "ablation");
-    ("e16", "tier"); ("e17", "sessions");
+    ("e16", "tier"); ("e17", "sessions"); ("e18", "calls");
   ]
 
 let find name =

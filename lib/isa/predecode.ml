@@ -34,6 +34,19 @@ let len_at t pc =
 
 let op_at t pc = Array.unsafe_get t.ops (pc - t.base)
 
+let straight_run t ~pc ~cap ~ends =
+  let rec go pc left acc =
+    if left = 0 then None
+    else
+      match len_at t pc with
+      | 0 -> None
+      | len ->
+        let op = op_at t pc in
+        let acc = (pc, op, len) :: acc in
+        if ends op then Some (List.rev acc) else go (pc + len) (left - 1) acc
+  in
+  go pc cap []
+
 let decoded t =
   let rec go pc acc =
     if pc >= t.limit then List.rev acc

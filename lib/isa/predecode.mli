@@ -41,6 +41,16 @@ val op_at : t -> int -> Opcode.t
 (** The instruction starting at [pc].  Only meaningful when
     [len_at t pc > 0]; unchecked otherwise. *)
 
+val straight_run :
+  t -> pc:int -> cap:int -> ends:(Opcode.t -> bool) -> (int * Opcode.t * int) list option
+(** The straight-line run starting at [pc]: instructions followed by
+    their encoded lengths only (no jump targets), ending at — and
+    including — the first instruction satisfying [ends].  [None] when an
+    undecodable position is reached first, or no ending instruction
+    appears within [cap] instructions.  This is the leaf analysis the
+    compiled tier's cross-call fusion rests on: a procedure body that is
+    one such run ending in RETURN can be spliced into its caller. *)
+
 val decoded : t -> (int * Opcode.t * int) list
 (** Every decodable position as [(pc, op, len)], ascending — the whole
     table, for tests and tools. *)

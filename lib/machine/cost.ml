@@ -45,6 +45,10 @@ let bank_ref t =
   t.bank_refs <- t.bank_refs + 1;
   t.cycles <- t.cycles + t.p.bank_ref_cycles
 
+let bank_ref_n t n =
+  t.bank_refs <- t.bank_refs + n;
+  t.cycles <- t.cycles + (n * t.p.bank_ref_cycles)
+
 let dispatch t =
   t.dispatches <- t.dispatches + 1;
   t.cycles <- t.cycles + t.p.dispatch_cycles

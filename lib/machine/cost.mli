@@ -38,6 +38,11 @@ val mem_write : t -> unit
 val bank_ref : t -> unit
 val dispatch : t -> unit
 
+val bank_ref_n : t -> int -> unit
+(** [n] bank references charged at once: totals equal [n] calls of
+    {!bank_ref} exactly.  Pairs with {!Bank_file.raw_read}/[raw_write]
+    the way {!refs_n} pairs with the prepaid storage accessors. *)
+
 val dispatch_n : t -> int -> unit
 (** [n] dispatches charged at once — what a fused superinstruction pays
     up front for the run of instructions it retires.  Totals equal [n]

@@ -246,6 +246,7 @@ let link ?(linkage = Image.External) ?(memory_words = 65536) ?ladder ?cost_param
           gfi_cursor = 1;
           predecode = None;
           attachment = None;
+          on_relink = None;
         }
       in
       let image =
@@ -353,14 +354,19 @@ let rebind_lv (image : Image.t) ~instance ~lv_index ~target:(ti, tp) =
   if lv_index < 0 || lv_index >= Array.length ii.ii_imports then
     invalid_arg "rebind_lv: LV index out of range";
   let d = Image.descriptor_of image ~instance:ti ~proc:tp in
-  Memory.poke image.mem (ii.ii_gf_addr - 1 - lv_index) (Descriptor.pack d)
+  let addr = ii.ii_gf_addr - 1 - lv_index in
+  let word = Descriptor.pack d in
+  Memory.poke image.mem addr word;
+  Image.notify_relink image ~addr ~word
 
 let rebind_lv_to_frame (image : Image.t) ~instance ~lv_index ~lf =
   let ii = Image.find_instance image instance in
   if lv_index < 0 || lv_index >= Array.length ii.ii_imports then
     invalid_arg "rebind_lv_to_frame: LV index out of range";
-  Memory.poke image.mem (ii.ii_gf_addr - 1 - lv_index)
-    (Descriptor.pack (Descriptor.Frame lf))
+  let addr = ii.ii_gf_addr - 1 - lv_index in
+  let word = Descriptor.pack (Descriptor.Frame lf) in
+  Memory.poke image.mem addr word;
+  Image.notify_relink image ~addr ~word
 
 let require_external (image : Image.t) what =
   if image.linkage <> Image.External then

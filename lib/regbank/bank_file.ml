@@ -56,6 +56,13 @@ type t = {
   banks : bank array;
   flagged : (int, unit) Hashtbl.t;
   mutable stack_bank : int; (* bank id, or -1 *)
+  mutable last_bi : int;
+      (* one-entry [bank_index] cache: straight-line code touches the
+         same frame's bank access after access, so remembering the last
+         hit skips the comparator scan.  Self-validating — a hit counts
+         only if that bank still owns the requested lf — so owner
+         changes never need to invalidate it.  Host-side only: the
+         simulated comparator cost is unchanged. *)
   mutable clock : int;
   mutable s_xfers : int;
   mutable s_overflows : int;
@@ -89,6 +96,7 @@ let create ?(config = default_config) ~mem ~cost ~ladder () =
           });
     flagged = Hashtbl.create 16;
     stack_bank = -1;
+    last_bi = -1;
     clock = 0;
     s_xfers = 0;
     s_overflows = 0;
@@ -138,8 +146,17 @@ let rec scan_owner banks n target i =
   else if banks.(i).owner = target then i
   else scan_owner banks n target (i + 1)
 
-(* Index of the bank shadowing [lf], or -1.  Allocation-free. *)
-let bank_index t ~lf = scan_owner t.banks (Array.length t.banks) lf 0
+(* Index of the bank shadowing [lf], or -1.  Allocation-free; the
+   one-entry cache makes the common straight-line case a single
+   compare. *)
+let bank_index t ~lf =
+  let bi = t.last_bi in
+  if bi >= 0 && t.banks.(bi).owner = lf then bi
+  else begin
+    let bi = scan_owner t.banks (Array.length t.banks) lf 0 in
+    if bi >= 0 then t.last_bi <- bi;
+    bi
+  end
 
 (* Write a bank's shadow back to its frame.  Dirty tracking lets the
    machine skip registers that were never written (§7.1). *)
@@ -372,6 +389,25 @@ let data_write t ~addr v =
     b.data.(addr - lf) <- v;
     b.dirty.(addr - lf) <- true
   end
+
+(* Raw window access for a prepaid compiled block: the caller has already
+   checked residency with {!resident_len} (and nothing between the check
+   and the accesses can change bank ownership), charged the bank
+   references as a batch, and counted the metric — so these touch the
+   shadow directly.  Identical data movement to {!read_local}/
+   [write_local] on their bank-hit path, with the accounting hoisted. *)
+let raw_read t ~lf ~index = t.banks.(bank_index t ~lf).data.(index)
+
+let raw_write t ~lf ~index v =
+  let b = t.banks.(bank_index t ~lf) in
+  b.data.(index) <- Fpc_util.Bits.to_word v;
+  b.dirty.(index) <- true
+
+(* Words of [lf]'s resident shadow window, or -1 when no bank owns it:
+   the residency guard for the raw accessors above. *)
+let resident_len t ~lf =
+  let bi = bank_index t ~lf in
+  if bi < 0 then -1 else t.banks.(bi).shadow_len
 
 let has_bank t ~lf = bank_index t ~lf >= 0
 

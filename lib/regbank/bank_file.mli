@@ -117,6 +117,21 @@ val data_read : t -> addr:int -> int
 
 val data_write : t -> addr:int -> int -> unit
 
+val resident_len : t -> lf:int -> int
+(** Words of [lf]'s resident shadow window, or -1 when no bank owns it —
+    the residency guard for the raw accessors below. *)
+
+val raw_read : t -> lf:int -> index:int -> int
+(** Unmetered window access for a prepaid compiled block.  The caller
+    must have checked [index < resident_len ~lf] with no intervening
+    ownership change, charged the bank references ({!Cost.bank_ref_n})
+    and counted the metric; data movement is then identical to
+    {!read_local}'s bank-hit path. *)
+
+val raw_write : t -> lf:int -> index:int -> int -> unit
+(** As {!raw_read} for a write: truncates to a word and marks the
+    register dirty, exactly like {!write_local}'s bank-hit path. *)
+
 val has_bank : t -> lf:int -> bool
 
 val bank_index : t -> lf:int -> int

@@ -62,7 +62,15 @@ type outcome = Output of int list | Failed of error_kind * string
 
 type translation =
   | No_translation
-  | Translated of { hit : bool; translate_s : float }
+  | Translated of {
+      hit : bool;  (** the image's translation was already attached *)
+      translate_s : float;
+      lazy_translated : int;  (** procedures this run translated on entry *)
+      fused_calls : int;  (** calls retired through fused call sites *)
+      procs : int;  (** procedure bodies the translation covers *)
+      procs_translated : int;  (** of those, translated so far (shared) *)
+      invalidations : int;  (** relink invalidations observed (shared) *)
+    }
 
 type stats = {
   cache_hit : bool;
@@ -409,11 +417,25 @@ let result_to_json ?(times = true) r =
       ]
       @ (match r.stats.translation with
         | No_translation -> [ ("tier", String "interp") ]
-        | Translated { hit; translate_s } ->
+        | Translated
+            {
+              hit;
+              translate_s;
+              lazy_translated;
+              fused_calls;
+              procs;
+              procs_translated;
+              invalidations;
+            } ->
           [
             ("tier", String "compiled");
             ("translation_hit", Bool hit);
             ("translate_s", Float translate_s);
+            ("lazy_translated", Int lazy_translated);
+            ("fused_calls", Int fused_calls);
+            ("procs", Int procs);
+            ("procs_translated", Int procs_translated);
+            ("invalidations", Int invalidations);
           ])
     else []
   in

@@ -86,10 +86,22 @@ type outcome =
     cost this execution: [hit] means the image's shared translation was
     already attached (translate-once, like predecode), so [translate_s]
     is just the lookup.  A host observation like [run_s] — the simulated
-    meters are identical across tiers by construction. *)
+    meters are identical across tiers by construction.  The counts
+    describe lazy translation and cross-call fusion: [lazy_translated]
+    and [fused_calls] accrued during {e this} run; [procs],
+    [procs_translated] and [invalidations] describe the shared
+    translation as of this job's completion. *)
 type translation =
   | No_translation  (** the job ran on the interpreter tier *)
-  | Translated of { hit : bool; translate_s : float }
+  | Translated of {
+      hit : bool;
+      translate_s : float;
+      lazy_translated : int;
+      fused_calls : int;
+      procs : int;
+      procs_translated : int;
+      invalidations : int;
+    }
 
 type stats = {
   cache_hit : bool;  (** the image came from the cache (no compile) *)

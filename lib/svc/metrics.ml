@@ -18,6 +18,9 @@ type t = {
   mutable translate_s : float;
   mutable translation_hits : int;
   mutable translation_misses : int;
+  mutable lazy_translated : int;
+  mutable fused_calls : int;
+  mutable invalidations : int;
   mutable minor_words : int;
   mutable instructions : int;
   mutable cycles : int;
@@ -43,6 +46,9 @@ let create ~domains =
     translate_s = 0.0;
     translation_hits = 0;
     translation_misses = 0;
+    lazy_translated = 0;
+    fused_calls = 0;
+    invalidations = 0;
     minor_words = 0;
     instructions = 0;
     cycles = 0;
@@ -65,10 +71,14 @@ let record t (r : Job.result) =
   t.run_s <- t.run_s +. r.stats.Job.run_s;
   (match r.stats.Job.translation with
   | Job.No_translation -> ()
-  | Job.Translated { hit; translate_s } ->
+  | Job.Translated { hit; translate_s; lazy_translated; fused_calls; invalidations; _ } ->
     t.translate_s <- t.translate_s +. translate_s;
     if hit then t.translation_hits <- t.translation_hits + 1
-    else t.translation_misses <- t.translation_misses + 1);
+    else t.translation_misses <- t.translation_misses + 1;
+    t.lazy_translated <- t.lazy_translated + lazy_translated;
+    t.fused_calls <- t.fused_calls + fused_calls;
+    (* shared per-translation counter: keep the high-water mark, not a sum *)
+    if invalidations > t.invalidations then t.invalidations <- invalidations);
   t.minor_words <- t.minor_words + r.stats.Job.minor_words;
   t.instructions <- t.instructions + r.stats.Job.instructions;
   t.cycles <- t.cycles + r.stats.Job.cycles;
@@ -112,6 +122,9 @@ let merge_into ~src ~into =
   into.translate_s <- into.translate_s +. src.translate_s;
   into.translation_hits <- into.translation_hits + src.translation_hits;
   into.translation_misses <- into.translation_misses + src.translation_misses;
+  into.lazy_translated <- into.lazy_translated + src.lazy_translated;
+  into.fused_calls <- into.fused_calls + src.fused_calls;
+  into.invalidations <- max into.invalidations src.invalidations;
   into.minor_words <- into.minor_words + src.minor_words;
   into.instructions <- into.instructions + src.instructions;
   into.cycles <- into.cycles + src.cycles;
@@ -155,6 +168,9 @@ type snapshot = {
   translate_s : float;
   translation_hits : int;
   translation_misses : int;
+  lazy_translated : int;
+  fused_calls : int;
+  invalidations : int;
   wall_s : float;
   jobs_per_sec : float;
   minor_words : int;
@@ -199,6 +215,9 @@ let snapshot (t : t) ~wall_s ~cache =
     translate_s = t.translate_s;
     translation_hits = t.translation_hits;
     translation_misses = t.translation_misses;
+    lazy_translated = t.lazy_translated;
+    fused_calls = t.fused_calls;
+    invalidations = t.invalidations;
     wall_s;
     jobs_per_sec =
       (if wall_s > 0.0 then float_of_int t.jobs /. wall_s else 0.0);
@@ -236,7 +255,10 @@ let render (s : snapshot) =
   if s.translation_hits + s.translation_misses > 0 then begin
     row "translation hits / misses"
       (Printf.sprintf "%d / %d" s.translation_hits s.translation_misses);
-    row "translate time (summed)" (Printf.sprintf "%.3fs" s.translate_s)
+    row "translate time (summed)" (Printf.sprintf "%.3fs" s.translate_s);
+    row "procedures lazily translated" (cell_int s.lazy_translated);
+    row "fused calls retired" (cell_int s.fused_calls);
+    row "fusion invalidations" (cell_int s.invalidations)
   end;
   row "run time (summed)" (Printf.sprintf "%.3fs" s.run_s);
   row "wall time" (Printf.sprintf "%.3fs" s.wall_s);
@@ -290,6 +312,9 @@ let to_json (s : snapshot) =
             ("hits", Int s.translation_hits);
             ("misses", Int s.translation_misses);
             ("translate_s", Float s.translate_s);
+            ("lazy_translated", Int s.lazy_translated);
+            ("fused_calls", Int s.fused_calls);
+            ("invalidations", Int s.invalidations);
           ] );
       ("run_s", Float s.run_s);
       ("wall_s", Float s.wall_s);

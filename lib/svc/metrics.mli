@@ -59,6 +59,9 @@ type snapshot = {
   translation_hits : int;
       (** compiled-tier jobs whose image already carried its translation *)
   translation_misses : int;  (** compiled-tier jobs that had to translate *)
+  lazy_translated : int;  (** procedures translated lazily, summed over jobs *)
+  fused_calls : int;  (** calls retired through fused call sites, summed *)
+  invalidations : int;  (** fusion relink invalidations (high-water mark) *)
   wall_s : float;
   jobs_per_sec : float;  (** jobs / wall_s; 0 when wall_s is 0 *)
   minor_words : int;

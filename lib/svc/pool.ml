@@ -104,6 +104,7 @@ let execute ?arena cache id (spec : Job.spec) =
         Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) spec.deadline_ms
       in
       let translation = ref Job.No_translation in
+      let tier_used = ref None in
       (* Scheduled jobs (an explicit policy, or any Sessions workload)
          drive the machine through the green-thread scheduler instead of
          the plain deadline slicer; both leave the same terminal status
@@ -124,7 +125,20 @@ let execute ?arena cache id (spec : Job.spec) =
       let tier_step image =
         let tt0 = now () in
         let tr, hit = Fpc_tier.Tier.of_image image in
-        translation := Job.Translated { hit; translate_s = now () -. tt0 };
+        tier_used := Some tr;
+        (* Counts that accrue during the run (lazy translations, fused
+           calls) are filled in after it completes. *)
+        translation :=
+          Job.Translated
+            {
+              hit;
+              translate_s = now () -. tt0;
+              lazy_translated = 0;
+              fused_calls = 0;
+              procs = Fpc_tier.Tier.procs tr;
+              procs_translated = Fpc_tier.Tier.procs_translated tr;
+              invalidations = Fpc_tier.Tier.invalidations tr;
+            };
         fun fuel st -> Fpc_tier.Tier.run ~max_steps:fuel tr st
       in
       (* With an arena (the worker's private one), reuse its slot for
@@ -216,6 +230,19 @@ let execute ?arena cache id (spec : Job.spec) =
       | st, profile, deadline_hit, sstats ->
         let o = Fpc_interp.Interp.outcome st in
         let minor_words = int_of_float (Gc.minor_words () -. mw0) in
+        (match (!translation, !tier_used) with
+        | Job.Translated rec_, Some tr ->
+          let m = st.Fpc_core.State.metrics in
+          translation :=
+            Job.Translated
+              {
+                rec_ with
+                lazy_translated = m.Fpc_core.State.tier_lazy_translations;
+                fused_calls = m.Fpc_core.State.tier_fused_calls;
+                procs_translated = Fpc_tier.Tier.procs_translated tr;
+                invalidations = Fpc_tier.Tier.invalidations tr;
+              }
+        | _ -> ());
         let stats =
           {
             Job.cache_hit;

@@ -4,6 +4,7 @@ module Opcode = Fpc_isa.Opcode
 module Predecode = Fpc_isa.Predecode
 module Image = Fpc_mesa.Image
 module Descriptor = Fpc_mesa.Descriptor
+module Gft = Fpc_mesa.Gft
 module Frame = Fpc_frames.Frame
 module Alloc_vector = Fpc_frames.Alloc_vector
 module Return_stack = Fpc_ifu.Return_stack
@@ -15,18 +16,56 @@ let signed v = Fpc_util.Bits.signed_of_unsigned ~width:16 v
 
 (* A node covers the straight-line block starting at its boundary: at
    most [block_cap] instructions, ending early at a terminator (anything
-   that moves control) or at undecodable bytes.  Every byte boundary gets
-   its own node (suffix blocks overlap), so a fuel-sliced resume or a
-   computed transfer always lands on compiled code. *)
-let block_cap = 24
+   that moves control) or at undecodable bytes.  Calls do {e not} end
+   collection: a fused call returns to the next instruction, so the
+   caller's continuation rides the same node (see the segment chain in
+   [build_node]).  Every byte boundary gets its own node (suffix blocks
+   overlap), so a fuel-sliced resume or a computed transfer always lands
+   on compiled code. *)
+let block_cap = 32
+
+(* A known-leaf callee of at most this many body instructions may be
+   spliced into its caller's node (cross-call fusion).  Lampson reports
+   procedures averaging ~20 instructions; the cap sits just above that
+   so a realistic straight-line leaf (argument-store prologue included)
+   still qualifies, while staying under [block_cap]. *)
+let leaf_cap = 24
+
+let stop (_ : State.t) = ()
+
+(* One translated boundary.  Count and closure travel in one immutable
+   record so lazily published slots are read with a single load: a racing
+   domain sees either the sentinel or a fully initialised node, never a
+   count without its code. *)
+type node = { n_count : int; n_exec : State.t -> unit }
+
+let no_node = { n_count = 0; n_exec = stop }
 
 type t = {
   base : int;  (** first byte PC covered *)
-  counts : int array;
-      (** instructions the node at [pc - base] can retire; 0 = no node *)
-  nodes : (State.t -> unit) array;
+  slots : node array;  (** per byte boundary; [no_node] = untranslated *)
+  image : Image.t;  (** translate-time resolutions peek this store *)
+  pd : Predecode.t;
+  cbs : int array;
+  proc_of : int array;  (** byte PC - base -> procedure id, or -1 *)
+  ranges : (int * int) array;  (** proc id -> body [first_pc, limit_pc) *)
+  translated : bool array;  (** per procedure, set under [lock] *)
+  lock : Mutex.t;
+  fuse_valid : bool ref;
+      (** cleared when a relink overwrites a word some fused call site's
+          baked resolution depends on; fused external calls check it *)
+  deps_tbl : (int, int) Hashtbl.t;  (** addr -> baked word (under lock) *)
+  seen_sites : (int, unit) Hashtbl.t;  (** call-site PCs already counted *)
+  leaf_memo : (int, (int * (State.t -> unit)) option) Hashtbl.t;
+      (** callee entry PC -> spliced continuation (under lock): every
+          suffix block containing a call site resolves the same leaf *)
+  mutable deps : (int * int) array;
+      (** published snapshot of [deps_tbl] for the relink observer *)
   mutable n_boundaries : int;
   mutable n_fused : int;
+  mutable n_fused_calls : int;
+  mutable n_translated : int;
+  mutable n_invalidations : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -52,6 +91,13 @@ let is_terminator (op : Opcode.t) =
   | Yield | Stopproc | Halt | Brk ->
     true
   | _ -> false
+
+(* Calls are terminators (they move control), but distinguished ones:
+   when the callee splices, control is known to come straight back to the
+   next instruction, so block collection continues through them and the
+   node chains into the caller's continuation. *)
+let is_call (op : Opcode.t) =
+  match op with Lfc _ | Efc _ | Dfc _ | Sdfc _ -> true | _ -> false
 
 let is_pure (op : Opcode.t) =
   match op with
@@ -119,6 +165,8 @@ let guard_params ops =
 type acct = {
   a_reads : int;
   a_writes : int;
+  a_g_reads : int;  (** the global-frame share of [a_reads] *)
+  a_g_writes : int;  (** the global-frame share of [a_writes] *)
   a_lrefs : int;
   a_grefs : int;
   a_irefs : int;
@@ -126,17 +174,24 @@ type acct = {
   a_max_g : int;  (** highest static global offset dereferenced; -1 none *)
   a_no_banks : bool;
       (** block touches locals or data space raw: banks must be absent *)
+  a_bankable : bool;
+      (** local traffic is entirely static Ll/Sl: under banks, a resident
+          shadow window covering [a_max_l] admits the prepaid bank plane
+          (dynamic local offsets, indirect refs and LLA disqualify) *)
 }
 
 let acct_of ops =
   let reads = ref 0
   and writes = ref 0
+  and g_reads = ref 0
+  and g_writes = ref 0
   and lrefs = ref 0
   and grefs = ref 0
   and irefs = ref 0
   and max_l = ref (-1)
   and max_g = ref (-1)
-  and nb = ref false in
+  and nb = ref false
+  and bankable = ref true in
   List.iter
     (fun (_, (op : Opcode.t), _) ->
       match op with
@@ -152,55 +207,93 @@ let acct_of ops =
         nb := true
       | Lg n ->
         incr reads;
+        incr g_reads;
         incr grefs;
         if n > !max_g then max_g := n
       | Sg n ->
         incr writes;
+        incr g_writes;
         incr grefs;
         if n > !max_g then max_g := n
-      | Lla _ -> nb := true  (* flag_frame under banks: address formation only *)
+      | Lla _ ->
+        (* flag_frame under banks: address formation only *)
+        nb := true;
+        bankable := false
       | Llx _ ->
         incr reads;
         incr lrefs;
-        nb := true
+        nb := true;
+        bankable := false
       | Slx _ ->
         incr writes;
         incr lrefs;
-        nb := true
+        nb := true;
+        bankable := false
       | Lgx _ ->
         incr reads;
+        incr g_reads;
         incr grefs
       | Sgx _ ->
         incr writes;
+        incr g_writes;
         incr grefs
       | Rload | Ldfld _ ->
         incr reads;
         incr irefs;
-        nb := true
+        nb := true;
+        bankable := false
       | Rstore | Stfld _ ->
         incr writes;
         incr irefs;
-        nb := true
+        nb := true;
+        bankable := false
       | _ -> ())
     ops;
   {
     a_reads = !reads;
     a_writes = !writes;
+    a_g_reads = !g_reads;
+    a_g_writes = !g_writes;
     a_lrefs = !lrefs;
     a_grefs = !grefs;
     a_irefs = !irefs;
     a_max_l = !max_l;
     a_max_g = !max_g;
     a_no_banks = !nb;
+    a_bankable = !bankable;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Peephole dataflow for fused runs.  A "source" is an instruction whose
    value is known without touching the stack; when a peephole consumes
    it directly the elided push must still truncate to a word, exactly as
-   {!Eval_stack.push} would have.  [raw] selects the prepaid access plane
-   (bill already charged, addresses already guarded); the branch on it is
-   perfectly predicted, and stored words are already truncated. *)
+   {!Eval_stack.push} would have.  [plane] selects the access plane the
+   compiled closures touch variables through — chosen per batch at run
+   time, after the bill for that plane has been charged:
+
+   - [Mid]: the metered accessors, each reference charging itself (the
+     fallback when no static bill applies);
+   - [Raw]: the prepaid storage plane — bill already charged, addresses
+     already guarded, banks absent;
+   - [Bank]: the prepaid {e bank} plane for banked engines: every static
+     local offset proven inside the frame's resident shadow window, the
+     bank references charged as a batch ({!Cost.bank_ref_n}), locals
+     touching the bank registers raw and globals the prepaid store (the
+     global frame is never shadowed).  Only batches whose local traffic
+     is entirely static Ll/Sl qualify: dynamic local offsets can fall
+     outside the window mid-batch, indirect refs consult the window
+     comparator, and LLA flags the frame — all excluded statically.
+
+   The branch on the plane is resolved at closure-build time, and stored
+   words are already truncated. *)
+
+type plane = Mid | Raw | Bank
+
+(* The bank file, on a plane the guard proved banked.  [assert false] is
+   unreachable: the [Bank] variants run only after the residency check
+   matched on [Some]. *)
+let bank_of (st : State.t) =
+  match st.banks with Some b -> b | None -> assert false
 
 type sval = Sconst of int | Slocal of int | Sglobal of int
 
@@ -215,40 +308,48 @@ let sval_of (op : Opcode.t) =
 let is_src op = sval_of op <> None
 let sval op = match sval_of op with Some s -> s | None -> assert false
 
-let load ~raw (st : State.t) = function
+let load ~plane (st : State.t) = function
   | Sconst n -> n
-  | Slocal n ->
-    if raw then Memory.prepaid_read st.mem (st.lf + n)
-    else word (State.read_local st n)
-  | Sglobal n ->
-    if raw then Memory.prepaid_read st.mem (st.gf + Image.global_base + n)
-    else word (State.read_global st n)
+  | Slocal n -> (
+    match plane with
+    | Mid -> word (State.read_local st n)
+    | Raw -> Memory.prepaid_read st.mem (st.lf + n)
+    | Bank -> Bank_file.raw_read (bank_of st) ~lf:st.lf ~index:n)
+  | Sglobal n -> (
+    match plane with
+    | Mid -> word (State.read_global st n)
+    | Raw | Bank -> Memory.prepaid_read st.mem (st.gf + Image.global_base + n))
 
-let arith_fn (op : Opcode.t) : (int -> int -> int) option =
+(* Operator dispatch through a known function: the operator is a
+   translation-time constant, so each call is a direct entry into a
+   short jump table — where calling a stored [int -> int -> int]
+   closure would go through the runtime's unknown-arity apply path on
+   every fused ALU op (measurably hot on the call-dense kernels). *)
+let exec_arith (op : Opcode.t) a b =
   match op with
-  | Add -> Some (fun a b -> word (signed a + signed b))
-  | Sub -> Some (fun a b -> word (signed a - signed b))
-  | Mul -> Some (fun a b -> word (signed a * signed b))
-  | Band -> Some (fun a b -> a land b)
-  | Bor -> Some (fun a b -> a lor b)
-  | Bxor -> Some (fun a b -> a lxor b)
-  | _ -> None
+  | Add -> word (signed a + signed b)
+  | Sub -> word (signed a - signed b)
+  | Mul -> word (signed a * signed b)
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | _ -> assert false
 
-let is_arith op = arith_fn op <> None
-let arithf op = match arith_fn op with Some f -> f | None -> assert false
+let is_arith (op : Opcode.t) =
+  match op with Add | Sub | Mul | Band | Bor | Bxor -> true | _ -> false
 
-let cmp_fn (op : Opcode.t) : (int -> int -> bool) option =
+let exec_cmp (op : Opcode.t) a b =
   match op with
-  | Lt -> Some (fun a b -> signed a < signed b)
-  | Le -> Some (fun a b -> signed a <= signed b)
-  | Eq -> Some (fun a b -> signed a = signed b)
-  | Ne -> Some (fun a b -> signed a <> signed b)
-  | Ge -> Some (fun a b -> signed a >= signed b)
-  | Gt -> Some (fun a b -> signed a > signed b)
-  | _ -> None
+  | Lt -> signed a < signed b
+  | Le -> signed a <= signed b
+  | Eq -> signed a = signed b
+  | Ne -> signed a <> signed b
+  | Ge -> signed a >= signed b
+  | Gt -> signed a > signed b
+  | _ -> assert false
 
-let is_cmp op = cmp_fn op <> None
-let cmpf op = match cmp_fn op with Some f -> f | None -> assert false
+let is_cmp (op : Opcode.t) =
+  match op with Lt | Le | Eq | Ne | Ge | Gt -> true | _ -> false
 
 let is_cond (op : Opcode.t) = match op with Jz _ | Jnz _ -> true | _ -> false
 
@@ -263,14 +364,13 @@ let take_jump (st : State.t) target =
   Cost.jump st.cost;
   st.pc_abs <- target
 
-let stop (_ : State.t) = ()
-
 (* One fusable instruction as a direct closure over unchecked stack
    access — semantics identical to {!Interp.exec} under the block guard
    ([unsafe_push] still truncates to a word).  Static-address variable
-   ops come in two planes: accessor-metered, or raw under a prepaid
-   bill; dynamic-address ops always meter themselves. *)
-let compile_one ~raw ((pc, (op : Opcode.t), _) : int * Opcode.t * int)
+   ops come in three planes (see [plane] above); dynamic-address and
+   indirect ops never qualify for [Bank] and compile its arm to the raw
+   shape, which that plane's static eligibility keeps unreachable. *)
+let compile_one ~plane ((pc, (op : Opcode.t), _) : int * Opcode.t * int)
     (k : State.t -> unit) : State.t -> unit =
   match op with
   | Li n ->
@@ -283,130 +383,179 @@ let compile_one ~raw ((pc, (op : Opcode.t), _) : int * Opcode.t * int)
     fun (st : State.t) ->
       Eval_stack.unsafe_push st.stack w;
       k st
-  | Ll n ->
-    if raw then fun (st : State.t) ->
-      Eval_stack.unsafe_push st.stack (Memory.prepaid_read st.mem (st.lf + n));
-      k st
-    else fun (st : State.t) ->
-      Eval_stack.unsafe_push st.stack (State.read_local st n);
-      k st
-  | Sl n ->
-    if raw then fun (st : State.t) ->
-      Memory.prepaid_write st.mem (st.lf + n) (Eval_stack.unsafe_pop st.stack);
-      k st
-    else fun (st : State.t) ->
-      State.write_local st n (Eval_stack.unsafe_pop st.stack);
-      k st
-  | Lg n ->
-    if raw then fun (st : State.t) ->
-      Eval_stack.unsafe_push st.stack
-        (Memory.prepaid_read st.mem (st.gf + Image.global_base + n));
-      k st
-    else fun (st : State.t) ->
-      Eval_stack.unsafe_push st.stack (State.read_global st n);
-      k st
-  | Sg n ->
-    if raw then fun (st : State.t) ->
-      Memory.prepaid_write st.mem
-        (st.gf + Image.global_base + n)
-        (Eval_stack.unsafe_pop st.stack);
-      k st
-    else fun (st : State.t) ->
-      State.write_global st n (Eval_stack.unsafe_pop st.stack);
-      k st
-  | Lla n ->
-    if raw then fun (st : State.t) ->
-      (* banks are absent under the prepaid guard, so no frame to flag *)
-      Eval_stack.unsafe_push st.stack (st.lf + n);
-      k st
-    else fun (st : State.t) ->
-      Eval_stack.unsafe_push st.stack (State.local_addr st n);
-      k st
+  | Ll n -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        Eval_stack.unsafe_push st.stack (State.read_local st n);
+        k st
+    | Raw ->
+      fun (st : State.t) ->
+        Eval_stack.unsafe_push st.stack (Memory.prepaid_read st.mem (st.lf + n));
+        k st
+    | Bank ->
+      fun (st : State.t) ->
+        Eval_stack.unsafe_push st.stack
+          (Bank_file.raw_read (bank_of st) ~lf:st.lf ~index:n);
+        k st)
+  | Sl n -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        State.write_local st n (Eval_stack.unsafe_pop st.stack);
+        k st
+    | Raw ->
+      fun (st : State.t) ->
+        Memory.prepaid_write st.mem (st.lf + n) (Eval_stack.unsafe_pop st.stack);
+        k st
+    | Bank ->
+      fun (st : State.t) ->
+        Bank_file.raw_write (bank_of st) ~lf:st.lf ~index:n
+          (Eval_stack.unsafe_pop st.stack);
+        k st)
+  | Lg n -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        Eval_stack.unsafe_push st.stack (State.read_global st n);
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        Eval_stack.unsafe_push st.stack
+          (Memory.prepaid_read st.mem (st.gf + Image.global_base + n));
+        k st)
+  | Sg n -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        State.write_global st n (Eval_stack.unsafe_pop st.stack);
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        Memory.prepaid_write st.mem
+          (st.gf + Image.global_base + n)
+          (Eval_stack.unsafe_pop st.stack);
+        k st)
+  | Lla n -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        Eval_stack.unsafe_push st.stack (State.local_addr st n);
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        (* banks are absent under the prepaid guard, so no frame to flag *)
+        Eval_stack.unsafe_push st.stack (st.lf + n);
+        k st)
   | Lga n ->
     fun (st : State.t) ->
       Eval_stack.unsafe_push st.stack (State.global_addr st n);
       k st
-  | Llx n ->
-    if raw then fun (st : State.t) ->
-      let i = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (Memory.peek st.mem (st.lf + n + i));
-      k st
-    else fun (st : State.t) ->
-      let i = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (State.read_local st (n + i));
-      k st
-  | Slx n ->
-    if raw then fun (st : State.t) ->
-      let v = Eval_stack.unsafe_pop st.stack in
-      let i = Eval_stack.unsafe_pop st.stack in
-      Memory.poke st.mem (st.lf + n + i) v;
-      k st
-    else fun (st : State.t) ->
-      let v = Eval_stack.unsafe_pop st.stack in
-      let i = Eval_stack.unsafe_pop st.stack in
-      State.write_local st (n + i) v;
-      k st
-  | Lgx n ->
-    if raw then fun (st : State.t) ->
-      let i = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack
-        (Memory.peek st.mem (st.gf + Image.global_base + n + i));
-      k st
-    else fun (st : State.t) ->
-      let i = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (State.read_global st (n + i));
-      k st
-  | Sgx n ->
-    if raw then fun (st : State.t) ->
-      let v = Eval_stack.unsafe_pop st.stack in
-      let i = Eval_stack.unsafe_pop st.stack in
-      Memory.poke st.mem (st.gf + Image.global_base + n + i) v;
-      k st
-    else fun (st : State.t) ->
-      let v = Eval_stack.unsafe_pop st.stack in
-      let i = Eval_stack.unsafe_pop st.stack in
-      State.write_global st (n + i) v;
-      k st
-  | Rload ->
-    if raw then fun (st : State.t) ->
-      let a = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (Memory.peek st.mem a);
-      k st
-    else fun (st : State.t) ->
-      let a = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (State.data_read st ~addr:a);
-      k st
-  | Rstore ->
-    if raw then fun (st : State.t) ->
-      let v = Eval_stack.unsafe_pop st.stack in
-      let a = Eval_stack.unsafe_pop st.stack in
-      Memory.poke st.mem a v;
-      k st
-    else fun (st : State.t) ->
-      let v = Eval_stack.unsafe_pop st.stack in
-      let a = Eval_stack.unsafe_pop st.stack in
-      State.data_write st ~addr:a v;
-      k st
-  | Ldfld i ->
-    if raw then fun (st : State.t) ->
-      let a = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (Memory.peek st.mem (a + i));
-      k st
-    else fun (st : State.t) ->
-      let a = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (State.data_read st ~addr:(a + i));
-      k st
-  | Stfld i ->
-    if raw then fun (st : State.t) ->
-      let v = Eval_stack.unsafe_pop st.stack in
-      let a = Eval_stack.unsafe_peek st.stack in
-      Memory.poke st.mem (a + i) v;
-      k st
-    else fun (st : State.t) ->
-      let v = Eval_stack.unsafe_pop st.stack in
-      let a = Eval_stack.unsafe_peek st.stack in
-      State.data_write st ~addr:(a + i) v;
-      k st
+  | Llx n -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        let i = Eval_stack.unsafe_pop st.stack in
+        Eval_stack.unsafe_push st.stack (State.read_local st (n + i));
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        let i = Eval_stack.unsafe_pop st.stack in
+        Eval_stack.unsafe_push st.stack (Memory.peek st.mem (st.lf + n + i));
+        k st)
+  | Slx n -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        let v = Eval_stack.unsafe_pop st.stack in
+        let i = Eval_stack.unsafe_pop st.stack in
+        State.write_local st (n + i) v;
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        let v = Eval_stack.unsafe_pop st.stack in
+        let i = Eval_stack.unsafe_pop st.stack in
+        Memory.poke st.mem (st.lf + n + i) v;
+        k st)
+  | Lgx n -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        let i = Eval_stack.unsafe_pop st.stack in
+        Eval_stack.unsafe_push st.stack (State.read_global st (n + i));
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        let i = Eval_stack.unsafe_pop st.stack in
+        Eval_stack.unsafe_push st.stack
+          (Memory.peek st.mem (st.gf + Image.global_base + n + i));
+        k st)
+  | Sgx n -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        let v = Eval_stack.unsafe_pop st.stack in
+        let i = Eval_stack.unsafe_pop st.stack in
+        State.write_global st (n + i) v;
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        let v = Eval_stack.unsafe_pop st.stack in
+        let i = Eval_stack.unsafe_pop st.stack in
+        Memory.poke st.mem (st.gf + Image.global_base + n + i) v;
+        k st)
+  | Rload -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        let a = Eval_stack.unsafe_pop st.stack in
+        Eval_stack.unsafe_push st.stack (State.data_read st ~addr:a);
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        let a = Eval_stack.unsafe_pop st.stack in
+        Eval_stack.unsafe_push st.stack (Memory.peek st.mem a);
+        k st)
+  | Rstore -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        let v = Eval_stack.unsafe_pop st.stack in
+        let a = Eval_stack.unsafe_pop st.stack in
+        State.data_write st ~addr:a v;
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        let v = Eval_stack.unsafe_pop st.stack in
+        let a = Eval_stack.unsafe_pop st.stack in
+        Memory.poke st.mem a v;
+        k st)
+  | Ldfld i -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        let a = Eval_stack.unsafe_pop st.stack in
+        Eval_stack.unsafe_push st.stack (State.data_read st ~addr:(a + i));
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        let a = Eval_stack.unsafe_pop st.stack in
+        Eval_stack.unsafe_push st.stack (Memory.peek st.mem (a + i));
+        k st)
+  | Stfld i -> (
+    match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        let v = Eval_stack.unsafe_pop st.stack in
+        let a = Eval_stack.unsafe_peek st.stack in
+        State.data_write st ~addr:(a + i) v;
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        let v = Eval_stack.unsafe_pop st.stack in
+        let a = Eval_stack.unsafe_peek st.stack in
+        Memory.poke st.mem (a + i) v;
+        k st)
   | Dup ->
     fun (st : State.t) ->
       Eval_stack.unsafe_push st.stack (Eval_stack.unsafe_peek st.stack);
@@ -430,11 +579,10 @@ let compile_one ~raw ((pc, (op : Opcode.t), _) : int * Opcode.t * int)
       Eval_stack.unsafe_push st.stack a;
       k st
   | Add | Sub | Mul | Band | Bor | Bxor ->
-    let f = arithf op in
     fun (st : State.t) ->
       let b = Eval_stack.unsafe_pop st.stack in
       let a = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (f a b);
+      Eval_stack.unsafe_push st.stack (exec_arith op a b);
       k st
   | Neg ->
     fun (st : State.t) ->
@@ -445,11 +593,10 @@ let compile_one ~raw ((pc, (op : Opcode.t), _) : int * Opcode.t * int)
       Eval_stack.unsafe_push st.stack (Eval_stack.unsafe_pop st.stack lxor 0xFFFF);
       k st
   | Lt | Le | Eq | Ne | Ge | Gt ->
-    let f = cmpf op in
     fun (st : State.t) ->
       let b = Eval_stack.unsafe_pop st.stack in
       let a = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (if f a b then 1 else 0);
+      Eval_stack.unsafe_push st.stack (if exec_cmp op a b then 1 else 0);
       k st
   | Lrc ->
     fun (st : State.t) ->
@@ -478,94 +625,150 @@ let compile_one ~raw ((pc, (op : Opcode.t), _) : int * Opcode.t * int)
    chain with peephole-collapsed idioms.  Side-effect order (variable
    reads, output, data refs) is exactly the interpreter's; elided stack
    crossings apply [word] wherever a push would have truncated. *)
-let rec compile ~raw (ops : (int * Opcode.t * int) list) : State.t -> unit =
+let rec compile ~plane (ops : (int * Opcode.t * int) list) : State.t -> unit =
   match ops with
   | [] -> stop
   (* LOAD a; LOAD b; CMP; Jcond — the compare-and-branch idiom *)
   | (_, o1, _) :: (_, o2, _) :: (_, o3, _) :: [ (jp, jop, _) ]
     when is_src o1 && is_src o2 && is_cmp o3 && is_cond jop ->
-    let a = sval o1 and b = sval o2 and f = cmpf o3 in
+    let a = sval o1 and b = sval o2 in
     let jnz, d = cond jop in
     let target = jp + d in
     fun (st : State.t) ->
-      let av = load ~raw st a in
-      let bv = load ~raw st b in
-      if f av bv = jnz then take_jump st target
+      let av = load ~plane st a in
+      let bv = load ~plane st b in
+      if exec_cmp o3 av bv = jnz then take_jump st target
   (* LOAD b; CMP; Jcond — left operand from the stack *)
   | (_, o1, _) :: (_, o2, _) :: [ (jp, jop, _) ]
     when is_src o1 && is_cmp o2 && is_cond jop ->
-    let b = sval o1 and f = cmpf o2 in
+    let b = sval o1 in
     let jnz, d = cond jop in
     let target = jp + d in
     fun (st : State.t) ->
-      let bv = load ~raw st b in
+      let bv = load ~plane st b in
       let av = Eval_stack.unsafe_pop st.stack in
-      if f av bv = jnz then take_jump st target
+      if exec_cmp o2 av bv = jnz then take_jump st target
   (* CMP; Jcond — both operands from the stack *)
   | (_, o1, _) :: [ (jp, jop, _) ] when is_cmp o1 && is_cond jop ->
-    let f = cmpf o1 in
     let jnz, d = cond jop in
     let target = jp + d in
     fun (st : State.t) ->
       let b = Eval_stack.unsafe_pop st.stack in
       let a = Eval_stack.unsafe_pop st.stack in
-      if f a b = jnz then take_jump st target
+      if exec_cmp o1 a b = jnz then take_jump st target
+  (* LOAD a; LOAD b; ARITH; store — the assignment statement idiom
+     (x := a OP b), with no stack traffic at all *)
+  | (_, o1, _) :: (_, o2, _) :: (_, o3, _) :: (_, Sl n, _) :: rest
+    when is_src o1 && is_src o2 && is_arith o3 ->
+    let a = sval o1 and b = sval o2 in
+    let k = compile ~plane rest in
+    (match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        State.write_local st n
+          (exec_arith o3 (load ~plane:Mid st a) (load ~plane:Mid st b));
+        k st
+    | Raw ->
+      fun (st : State.t) ->
+        Memory.prepaid_write st.mem (st.lf + n)
+          (exec_arith o3 (load ~plane:Raw st a) (load ~plane:Raw st b));
+        k st
+    | Bank ->
+      fun (st : State.t) ->
+        Bank_file.raw_write (bank_of st) ~lf:st.lf ~index:n
+          (exec_arith o3 (load ~plane:Bank st a) (load ~plane:Bank st b));
+        k st)
+  | (_, o1, _) :: (_, o2, _) :: (_, o3, _) :: (_, Sg n, _) :: rest
+    when is_src o1 && is_src o2 && is_arith o3 ->
+    let a = sval o1 and b = sval o2 in
+    let k = compile ~plane rest in
+    (match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        State.write_global st n
+          (exec_arith o3 (load ~plane:Mid st a) (load ~plane:Mid st b));
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        Memory.prepaid_write st.mem
+          (st.gf + Image.global_base + n)
+          (exec_arith o3 (load ~plane st a) (load ~plane st b));
+        k st)
   (* LOAD a; LOAD b; ARITH *)
   | (_, o1, _) :: (_, o2, _) :: (_, o3, _) :: rest
     when is_src o1 && is_src o2 && is_arith o3 ->
-    let a = sval o1 and b = sval o2 and f = arithf o3 in
-    let k = compile ~raw rest in
+    let a = sval o1 and b = sval o2 in
+    let k = compile ~plane rest in
     fun (st : State.t) ->
-      let av = load ~raw st a in
-      let bv = load ~raw st b in
-      Eval_stack.unsafe_push st.stack (f av bv);
+      let av = load ~plane st a in
+      let bv = load ~plane st b in
+      Eval_stack.unsafe_push st.stack (exec_arith o3 av bv);
       k st
   (* LOAD b; ARITH — left operand from the stack *)
   | (_, o1, _) :: (_, o2, _) :: rest when is_src o1 && is_arith o2 ->
-    let b = sval o1 and f = arithf o2 in
-    let k = compile ~raw rest in
+    let b = sval o1 in
+    let k = compile ~plane rest in
     fun (st : State.t) ->
-      let bv = load ~raw st b in
+      let bv = load ~plane st b in
       let av = Eval_stack.unsafe_pop st.stack in
-      Eval_stack.unsafe_push st.stack (f av bv);
+      Eval_stack.unsafe_push st.stack (exec_arith o2 av bv);
       k st
   (* LOAD; store — straight-through variable copy *)
   | (_, o1, _) :: (_, Sl n, _) :: rest when is_src o1 ->
     let a = sval o1 in
-    let k = compile ~raw rest in
-    if raw then fun (st : State.t) ->
-      Memory.prepaid_write st.mem (st.lf + n) (load ~raw:true st a);
-      k st
-    else fun (st : State.t) ->
-      State.write_local st n (load ~raw:false st a);
-      k st
+    let k = compile ~plane rest in
+    (match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        State.write_local st n (load ~plane:Mid st a);
+        k st
+    | Raw ->
+      fun (st : State.t) ->
+        Memory.prepaid_write st.mem (st.lf + n) (load ~plane:Raw st a);
+        k st
+    | Bank ->
+      fun (st : State.t) ->
+        Bank_file.raw_write (bank_of st) ~lf:st.lf ~index:n
+          (load ~plane:Bank st a);
+        k st)
   | (_, o1, _) :: (_, Sg n, _) :: rest when is_src o1 ->
     let a = sval o1 in
-    let k = compile ~raw rest in
-    if raw then fun (st : State.t) ->
-      Memory.prepaid_write st.mem
-        (st.gf + Image.global_base + n)
-        (load ~raw:true st a);
-      k st
-    else fun (st : State.t) ->
-      State.write_global st n (load ~raw:false st a);
-      k st
+    let k = compile ~plane rest in
+    (match plane with
+    | Mid ->
+      fun (st : State.t) ->
+        State.write_global st n (load ~plane:Mid st a);
+        k st
+    | Raw | Bank ->
+      fun (st : State.t) ->
+        Memory.prepaid_write st.mem
+          (st.gf + Image.global_base + n)
+          (load ~plane st a);
+        k st)
   (* LOAD; Jcond — loop latches like LL n; JNZ *)
   | (_, o1, _) :: [ (jp, jop, _) ] when is_src o1 && is_cond jop ->
     let a = sval o1 in
     let jnz, d = cond jop in
     let target = jp + d in
     fun (st : State.t) ->
-      if (load ~raw st a <> 0) = jnz then take_jump st target
+      if (load ~plane st a <> 0) = jnz then take_jump st target
+  (* LOAD a; LOAD b — paired pushes (argument staging before a call) *)
+  | (_, o1, _) :: (_, o2, _) :: rest when is_src o1 && is_src o2 ->
+    let a = sval o1 and b = sval o2 in
+    let k = compile ~plane rest in
+    fun (st : State.t) ->
+      Eval_stack.unsafe_push st.stack (load ~plane st a);
+      Eval_stack.unsafe_push st.stack (load ~plane st b);
+      k st
   (* A followed jump mid-chain: the jump's accounting without the PC
      move — the successor closure is the target's code. *)
   | (_, J _, _) :: (_ :: _ as rest) ->
-    let k = compile ~raw rest in
+    let k = compile ~plane rest in
     fun (st : State.t) ->
       st.metrics.jumps_taken <- st.metrics.jumps_taken + 1;
       Cost.jump st.cost;
       k st
-  | o :: rest -> compile_one ~raw o (compile ~raw rest)
+  | o :: rest -> compile_one ~plane o (compile ~plane rest)
 
 (* ------------------------------------------------------------------ *)
 (* Exact chains: per-instruction accounting identical to [Interp.step]
@@ -592,14 +795,20 @@ let rec exact_chain (ops : (int * Opcode.t * int) list) : State.t -> unit =
 
    The interpreter's call path resolves its destination at run time: an
    entry-vector read, a code-byte fetch for the frame-size index, a
-   DIRECTCALL header fetch.  All of those inputs live in the code region,
-   which is immutable once linked — the same assumption the predecode
-   table already rests on — so a translate-time node can bake in the
-   resolved destination and charge the elided fetches as a batch.  Every
-   counter, metered reference and sub-event of the interpreter's path is
-   reproduced; anything off the specialised shape (wrong engine flavour,
-   unmaterialised CB, a full return stack, a rebound or NIL link) falls
-   back to the generic [Interp.exec] {e before} mutating anything.  The
+   DIRECTCALL header fetch, a link-vector descriptor chased through the
+   GFT.  The inputs in the code region are immutable once linked — the
+   same assumption the predecode table already rests on — so a
+   translate-time node can bake in the resolved destination and charge
+   the elided fetches as a batch.  Inputs {e outside} the code region
+   (the LV descriptor word, the GFT entry, the environment's code-base
+   word, I1's link-table pairs) are writable at run time: the fused path
+   re-peeks them and compares against the baked resolution — a host
+   observation, with the metered reads still charged in the batch — and
+   the relink observer invalidates the whole translation's fused
+   external calls when a host-side rebind overwrites a depended-on word.
+   Every counter, metered reference and sub-event of the interpreter's
+   path is reproduced; anything off the specialised shape falls back to
+   the generic [Interp.exec] {e before} mutating anything.  The
    specialised bodies run only under the fast path's tracer-absent
    branch, where transfer event emission is a no-op by construction. *)
 
@@ -660,6 +869,81 @@ let free_frame_prepaid (st : State.t) ~lf =
   end
   else Alloc_vector.free_prepaid st.allocator ~cost:st.cost ~lf
 
+let has_banks (st : State.t) = match st.banks with Some _ -> true | None -> false
+let has_data_trace (st : State.t) =
+  match st.data_trace with Some _ -> true | None -> false
+
+(* Count one admitted batch, charge its static bill on the widest plane
+   the runtime guard allows, and run the matching compiled variant.  The
+   caller has already passed the depth guard.
+
+   Plane choice, in order:
+   - prepaid storage ([Raw]): nothing can observe or alter the batched
+     accesses — no data trace, no bank shadowing the touched locals,
+     every static address proven in range (dynamic addresses
+     bounds-check themselves in the chain);
+   - prepaid bank ([Bank]): a banked engine whose batch's local traffic
+     is all static Ll/Sl, with the frame's resident shadow window
+     covering the highest offset — every local access would have hit
+     the bank and every global access the store, so the bill is the
+     globals' storage references plus one batch of bank references;
+   - metered ([Mid]): everything else — each reference charges itself.
+
+   Within a batch nothing changes bank ownership or window sizes (the
+   ops are pure), so residency checked at the head holds for every
+   access, and the batched bill equals the interpreter's per-access sum
+   exactly. *)
+let charge_and_run ~batch ~super ~(a : acct) ~fused_mid ~fused_raw ~fused_bank
+    =
+  let reads = a.a_reads and writes = a.a_writes in
+  let g_reads = a.a_g_reads and g_writes = a.a_g_writes in
+  let lrefs = a.a_lrefs and grefs = a.a_grefs and irefs = a.a_irefs in
+  let max_l = a.a_max_l and max_g = a.a_max_g in
+  let no_banks = a.a_no_banks in
+  let bankable = a.a_bankable && lrefs > 0 in
+  fun (st : State.t) ->
+    let m = st.metrics in
+    m.instructions <- m.instructions + batch;
+    m.tier_fast_instrs <- m.tier_fast_instrs + batch;
+    m.tier_super_instrs <- m.tier_super_instrs + super;
+    let sz = Memory.size st.mem in
+    let trace_free = not (has_data_trace st) in
+    let globals_ok = max_g < 0 || st.gf + Image.global_base + max_g < sz in
+    if
+      trace_free
+      && ((not no_banks) || not (has_banks st))
+      && (max_l < 0 || st.lf + max_l < sz)
+      && globals_ok
+    then begin
+      Cost.block_bill st.cost ~instrs:batch ~reads ~writes;
+      m.local_refs <- m.local_refs + lrefs;
+      m.global_refs <- m.global_refs + grefs;
+      m.indirect_refs <- m.indirect_refs + irefs;
+      fused_raw st
+    end
+    else if
+      bankable && trace_free && globals_ok
+      &&
+      match st.banks with
+      | Some bf -> max_l < Bank_file.resident_len bf ~lf:st.lf
+      | None -> false
+    then begin
+      Cost.block_bill st.cost ~instrs:batch ~reads:g_reads ~writes:g_writes;
+      Cost.bank_ref_n st.cost lrefs;
+      m.local_refs <- m.local_refs + lrefs;
+      m.global_refs <- m.global_refs + grefs;
+      fused_bank st
+    end
+    else begin
+      Cost.dispatch_n st.cost batch;
+      fused_mid st
+    end
+
+(* The bank-plane variant of a batch, or its metered fallback when the
+   shape can never qualify (no static-Ll/Sl local traffic to hoist). *)
+let compile_bank ~(a : acct) ops ~fallback =
+  if a.a_bankable && a.a_lrefs > 0 then compile ~plane:Bank ops else fallback
+
 (* RETURN via the IFU return stack, or the plain frame-link return of the
    stackless engines.  The empty-rstack and non-frame-link shapes go
    generic: they carry their own bookkeeping (empty-pop counts, process
@@ -713,11 +997,79 @@ let spec_ret ~tpc =
       end
       else Interp.exec st ~instr_pc:tpc Ret
 
+(* ------------------------------------------------------------------ *)
+(* Cross-call fusion: splicing a known-leaf callee into the call site.
+
+   A leaf procedure is a straight-line run of pure instructions ending
+   in RETURN — no outgoing transfer, no trap-capable op, at most
+   [leaf_cap] body instructions.  Its body can ride the caller's node:
+   after the specialised call completes (machine exactly at the callee's
+   entry boundary), one combined stack-depth guard admits the whole
+   body-plus-RETURN batch, the meters are billed in one
+   {!Cost.block_bill} — batched, but {e not} reordered across the call's
+   allocation trap point, which already fired — and the RETURN runs the
+   same specialised shape a lone RET node would.  If the depth guard
+   fails the continuation simply returns: the call has completed at an
+   exact boundary, and the dispatch loop carries on at the callee's
+   entry with nothing to undo. *)
+
+let leaf_body t ~entry_pc =
+  match
+    Predecode.straight_run t.pd ~pc:entry_pc ~cap:(leaf_cap + 1)
+      ~ends:is_terminator
+  with
+  | None -> None
+  | Some run -> (
+    match List.rev run with
+    | (rpc, Opcode.Ret, rlen) :: rev_body
+      when List.for_all (fun (_, op, _) -> is_pure op) rev_body ->
+      Some (List.rev rev_body, rpc, rlen)
+    | _ -> None)
+
+let compile_callee t ~entry_pc =
+  match leaf_body t ~entry_pc with
+  | None -> None
+  | Some (body, ret_pc, ret_len) ->
+    let n_body = List.length body in
+    let need, maxd = guard_params body in
+    let a = acct_of body in
+    let body_mid = compile ~plane:Mid body in
+    let body_raw = compile ~plane:Raw body in
+    let body_bank = compile_bank ~a body ~fallback:body_mid in
+    let batch = n_body + 1 (* the RETURN joins the batch *) in
+    let super = if batch >= 2 then batch else 0 in
+    let ret = spec_ret ~tpc:ret_pc in
+    let p_end = ret_pc + ret_len in
+    let run =
+      charge_and_run ~batch ~super ~a ~fused_mid:body_mid ~fused_raw:body_raw
+        ~fused_bank:body_bank
+    in
+    let cont (st : State.t) =
+      let d = Eval_stack.depth st.stack in
+      if d >= need && d + maxd <= Eval_stack.capacity st.stack then begin
+        st.metrics.tier_fused_calls <- st.metrics.tier_fused_calls + 1;
+        st.pc_abs <- p_end;
+        run st;
+        ret st
+      end
+      (* depth guard failed: stay at the callee's entry boundary *)
+    in
+    Some (batch, cont)
+
 (* LOCALCALL with the destination resolved at translate time: same
    environment, same code base, entry offset and callee size class read
-   from the (immutable) entry vector once.  Mesa flavour without a return
-   stack or banks — the shape the external-linkage convention emits. *)
-let spec_lfc ~tpc ~ev_index ~cb ~fsi ~target_pc =
+   from the (immutable) entry vector once.  Two stackless flavours share
+   the site — the external-linkage image is cached by convention, so I1
+   and I2 jobs can run the same translation:
+
+   - Mesa: EV word and fsi byte elided (code region); the reference
+     batch interleaves with the allocation trap point exactly as the
+     interpreter does — resolution reads and the PC save precede the
+     allocation, the callee's returnLink/globalFrame stores follow it.
+   - Simple (I1): resolution reads the own-entry pair (two words) then
+     the environment's code-base word; both live outside the code region
+     and are re-peeked against the baked resolution. *)
+let spec_lfc ~tpc ~ev_index ~cb ~fsi ~target_pc ~spair ~callee =
   fun (st : State.t) ->
     match (st.engine.Engine.kind, st.rstack, st.banks) with
     | Engine.Mesa, None, None when st.cb = cb ->
@@ -725,13 +1077,12 @@ let spec_lfc ~tpc ~ev_index ~cb ~fsi ~target_pc =
       m.calls <- m.calls + 1;
       State.note_transfer_direction st 1;
       let ret_word = st.lf in
-      (* the elided resolution (EV word + entry's fsi byte) plus the PC
-         save and the callee's returnLink/globalFrame stores, one batch;
-         references are charged, so this is statically a slow transfer *)
-      Memory.charge st.mem ~reads:2 ~writes:3;
+      (* EV word + entry's fsi byte reads, and the PC save *)
+      Memory.charge st.mem ~reads:2 ~writes:1;
       Memory.poke st.mem (st.lf + Frame.off_pc) (st.pc_abs - (2 * cb));
       let packed = alloc_frame_prepaid st ~fsi in
       let lf_new = packed lsr 8 in
+      Memory.charge st.mem ~reads:0 ~writes:2;
       Memory.poke st.mem (lf_new + Frame.off_return_link) ret_word;
       Memory.poke st.mem (lf_new + Frame.off_global_frame) st.gf;
       m.arg_words_stored <- m.arg_words_stored + Eval_stack.depth st.stack;
@@ -739,14 +1090,141 @@ let spec_lfc ~tpc ~ev_index ~cb ~fsi ~target_pc =
       st.lf <- lf_new;
       st.pc_abs <- target_pc;
       Cost.jump st.cost;
-      m.slow_transfers <- m.slow_transfers + 1
+      m.slow_transfers <- m.slow_transfers + 1;
+      callee st
+    | Engine.Simple, None, None -> (
+      match st.simple with
+      | Some sl
+        when st.cb = cb && spair >= 0
+             && Simple_links.peek_resolve_own_by_gf sl st.image ~gf:st.gf
+                  ~ev_index
+                = spair
+             && Memory.peek st.mem st.gf = cb ->
+        let m = st.metrics in
+        m.calls <- m.calls + 1;
+        State.note_transfer_direction st 1;
+        let ret_word = st.lf in
+        (* pair (2) + environment's code-base word + fsi byte reads, and
+           the PC save *)
+        Memory.charge st.mem ~reads:4 ~writes:1;
+        Memory.poke st.mem (st.lf + Frame.off_pc) (st.pc_abs - (2 * cb));
+        let packed = alloc_frame_prepaid st ~fsi in
+        let lf_new = packed lsr 8 in
+        Memory.charge st.mem ~reads:0 ~writes:2;
+        Memory.poke st.mem (lf_new + Frame.off_return_link) ret_word;
+        Memory.poke st.mem (lf_new + Frame.off_global_frame) st.gf;
+        m.arg_words_stored <- m.arg_words_stored + Eval_stack.depth st.stack;
+        st.return_ctx <- ret_word;
+        st.lf <- lf_new;
+        st.pc_abs <- target_pc;
+        Cost.jump st.cost;
+        m.slow_transfers <- m.slow_transfers + 1;
+        callee st
+      | _ -> Interp.exec st ~instr_pc:tpc (Lfc ev_index))
     | _ -> Interp.exec st ~instr_pc:tpc (Lfc ev_index)
+
+(* EXTERNALCALL baked through the whole Figure-1 chain (Mesa) or the I1
+   pair tables.  Every input outside the code region — the LV descriptor
+   word, the GFT entry, the target environment's code-base word, the I1
+   pair — is re-peeked and compared against the baked resolution, so a
+   program that overwrites any of them (RSTORE into link space) or a
+   host-side rebind gets the generic path and exact interpreter
+   semantics.  The Mesa flavour additionally honours [valid]: the relink
+   observer clears it when a rebind overwrites a depended-on word. *)
+type efc_mesa = {
+  em_lv_word : int;  (** the import's descriptor word, as linked *)
+  em_gft_addr : int;
+  em_gft_word : int;
+  em_gf : int;  (** target global frame *)
+  em_cb : int;  (** target code base *)
+  em_fsi : int;
+  em_target : int;  (** byte PC of the callee's first instruction *)
+}
+
+type efc_simple = {
+  es_pair : int;  (** expected packed (entry, gf) pair *)
+  es_gf : int;
+  es_cb : int;
+  es_fsi : int;
+  es_target : int;
+}
+
+let spec_efc ~tpc ~lv_index ~cb ~valid ~(mesa : efc_mesa option)
+    ~(simple : efc_simple option) ~callee =
+  fun (st : State.t) ->
+    match (st.engine.Engine.kind, st.rstack, st.banks) with
+    | Engine.Mesa, None, None -> (
+      match mesa with
+      | Some em
+        when st.cb = cb && !valid
+             && st.gf - 1 - lv_index >= 0
+             && Memory.peek st.mem (st.gf - 1 - lv_index) = em.em_lv_word
+             && Memory.peek st.mem em.em_gft_addr = em.em_gft_word
+             && Memory.peek st.mem em.em_gf = em.em_cb ->
+        let m = st.metrics in
+        m.calls <- m.calls + 1;
+        State.note_transfer_direction st 1;
+        let ret_word = st.lf in
+        (* LV word + GFT entry + environment's code base + EV word + fsi
+           byte reads, and the PC save; the returnLink/globalFrame
+           stores follow the allocation, as the interpreter interleaves
+           them — the batch is never reordered across the trap point *)
+        Memory.charge st.mem ~reads:5 ~writes:1;
+        Memory.poke st.mem (st.lf + Frame.off_pc) (st.pc_abs - (2 * cb));
+        let packed = alloc_frame_prepaid st ~fsi:em.em_fsi in
+        let lf_new = packed lsr 8 in
+        Memory.charge st.mem ~reads:0 ~writes:2;
+        Memory.poke st.mem (lf_new + Frame.off_return_link) ret_word;
+        Memory.poke st.mem (lf_new + Frame.off_global_frame) em.em_gf;
+        m.arg_words_stored <- m.arg_words_stored + Eval_stack.depth st.stack;
+        st.return_ctx <- ret_word;
+        st.lf <- lf_new;
+        st.gf <- em.em_gf;
+        st.cb <- em.em_cb;
+        st.pc_abs <- em.em_target;
+        Cost.jump st.cost;
+        m.slow_transfers <- m.slow_transfers + 1;
+        callee st
+      | _ -> Interp.exec st ~instr_pc:tpc (Efc lv_index))
+    | Engine.Simple, None, None -> (
+      match (simple, st.simple) with
+      | Some es, Some sl
+        when st.cb = cb
+             && Simple_links.peek_resolve_import_by_gf sl st.image ~gf:st.gf
+                  ~lv_index
+                = es.es_pair
+             && Memory.peek st.mem es.es_gf = es.es_cb ->
+        let m = st.metrics in
+        m.calls <- m.calls + 1;
+        State.note_transfer_direction st 1;
+        let ret_word = st.lf in
+        (* pair (2) + target environment's code base + fsi byte reads,
+           and the PC save *)
+        Memory.charge st.mem ~reads:4 ~writes:1;
+        Memory.poke st.mem (st.lf + Frame.off_pc) (st.pc_abs - (2 * cb));
+        let packed = alloc_frame_prepaid st ~fsi:es.es_fsi in
+        let lf_new = packed lsr 8 in
+        Memory.charge st.mem ~reads:0 ~writes:2;
+        Memory.poke st.mem (lf_new + Frame.off_return_link) ret_word;
+        Memory.poke st.mem (lf_new + Frame.off_global_frame) es.es_gf;
+        m.arg_words_stored <- m.arg_words_stored + Eval_stack.depth st.stack;
+        st.return_ctx <- ret_word;
+        st.lf <- lf_new;
+        st.gf <- es.es_gf;
+        st.cb <- es.es_cb;
+        st.pc_abs <- es.es_target;
+        Cost.jump st.cost;
+        m.slow_transfers <- m.slow_transfers + 1;
+        callee st
+      | _ -> Interp.exec st ~instr_pc:tpc (Efc lv_index))
+    | _ -> Interp.exec st ~instr_pc:tpc (Efc lv_index)
 
 (* DIRECTCALL with the header (gf, fsi) folded in: under a return stack
    the header rides the IFU prefetch (peeked, uncharged), which is
-   exactly what baking it in reproduces.  The no-rstack flavour pays
-   metered header fetches and goes generic. *)
-let spec_dfc ~tpc ~(op : Opcode.t) ~gf_t ~fsi ~target_pc =
+   exactly what baking it in reproduces.  Direct linkage froze the
+   addresses at link time (D3), so no dependency guard is needed.  The
+   no-rstack flavour pays metered header fetches and goes generic. *)
+let spec_dfc ~tpc ~(op : Opcode.t) ~gf_t ~fsi ~target_pc ~callee =
   fun (st : State.t) ->
     match st.rstack with
     | Some rs when not (Return_stack.is_full rs) ->
@@ -783,37 +1261,196 @@ let spec_dfc ~tpc ~(op : Opcode.t) ~gf_t ~fsi ~target_pc =
       st.cb <- State.no_cb;
       st.pc_abs <- target_pc;
       Cost.jump st.cost;
-      Transfer.classify st before
+      Transfer.classify st before;
+      callee st
     | _ -> Interp.exec st ~instr_pc:tpc op
 
+(* ------------------------------------------------------------------ *)
+(* Translate-time resolution through the host directory. *)
+
+let instances_of_cb t cb =
+  List.filter
+    (fun ii -> ii.Image.ii_code_base = cb)
+    t.image.Image.dir.instances
+
+let proc_by_ev t ~instance ~ev =
+  Hashtbl.fold
+    (fun (inst, _) (pi : Image.proc_info) acc ->
+      if acc = None && String.equal inst instance && pi.Image.pi_ev = ev then
+        Some pi
+      else acc)
+    t.image.Image.dir.procs None
+
+(* Record that a fused site's baked resolution read [word] at [addr]; the
+   relink observer compares notifications against this table. *)
+let add_dep t addr word =
+  if not (Hashtbl.mem t.deps_tbl addr) then Hashtbl.replace t.deps_tbl addr word
+
+(* The packed pair I1's own-entry table holds for entry [ev_index] of the
+   instance owning code base [cb] — [-1] when the owning instance is not
+   unique (a multi-instantiated module shares its code, and each
+   instance's table resolves to its own environment) or the resolution
+   disagrees with the Mesa bake. *)
+let simple_own_pair t ~cb ~ev_index ~target_pc =
+  match instances_of_cb t cb with
+  | [ ii ] -> (
+    match proc_by_ev t ~instance:ii.Image.ii_name ~ev:ev_index with
+    | None -> -1
+    | Some pi -> (
+      match
+        Simple_links.expected_pair t.image ~target_instance:ii.Image.ii_name
+          ~target_proc:pi.Image.pi_proc
+      with
+      | pair ->
+        if
+          Simple_links.pair_abs pair + 1 = target_pc
+          && Simple_links.pair_gf pair = ii.Image.ii_gf_addr
+          && Memory.peek t.image.Image.mem ii.Image.ii_gf_addr = cb
+        then pair
+        else -1
+      | exception (Not_found | Invalid_argument _) -> -1))
+  | _ -> -1
+
+let efc_mesa_bake t ~cb ~lv_index =
+  match instances_of_cb t cb with
+  | [ ii ] -> (
+    let mem = t.image.Image.mem in
+    let lv_addr = ii.Image.ii_gf_addr - 1 - lv_index in
+    match Memory.peek mem lv_addr with
+    | exception Invalid_argument _ -> None
+    | lv_word when Descriptor.word_kind lv_word = Descriptor.word_proc -> (
+      let gfi = Descriptor.word_gfi lv_word
+      and ev = Descriptor.word_ev lv_word in
+      if gfi < 1 || gfi >= Gft.capacity then None
+      else
+        try
+          let gft_addr = Gft.base t.image.Image.gft + gfi in
+          let gft_word = Memory.peek mem gft_addr in
+          let gf = gft_word land 0xFFFC and bias = gft_word land 3 in
+          let cb_t = Memory.peek mem gf in
+          let entry_off = Memory.peek mem (cb_t + (bias * 32) + ev) in
+          let fsi = Memory.peek_code_byte mem ~code_base:cb_t ~pc:entry_off in
+          add_dep t lv_addr lv_word;
+          add_dep t gft_addr gft_word;
+          add_dep t gf cb_t;
+          Some
+            {
+              em_lv_word = lv_word;
+              em_gft_addr = gft_addr;
+              em_gft_word = gft_word;
+              em_gf = gf;
+              em_cb = cb_t;
+              em_fsi = fsi;
+              em_target = (2 * cb_t) + entry_off + 1;
+            }
+        with Invalid_argument _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let efc_simple_bake t ~cb ~lv_index =
+  match instances_of_cb t cb with
+  | [ ii ] ->
+    if lv_index < 0 || lv_index >= Array.length ii.Image.ii_imports then None
+    else begin
+      let tm, tp = ii.Image.ii_imports.(lv_index) in
+      match
+        ( Simple_links.expected_pair t.image ~target_instance:tm
+            ~target_proc:tp,
+          Image.find_instance t.image tm,
+          Image.find_proc t.image ~instance:tm ~proc:tp )
+      with
+      | pair, tii, pi ->
+        let gf = Simple_links.pair_gf pair in
+        let cb_t = Memory.peek t.image.Image.mem gf in
+        if cb_t = tii.Image.ii_code_base then
+          Some
+            {
+              es_pair = pair;
+              es_gf = gf;
+              es_cb = cb_t;
+              es_fsi = pi.Image.pi_fsi;
+              es_target = Simple_links.pair_abs pair + 1;
+            }
+        else None
+      | exception (Not_found | Invalid_argument _) -> None
+    end
+  | _ -> None
+
+(* The fused continuation for the callee entered at [entry_pc], when it
+   is a known leaf; [tpc] identifies the call site so overlapping suffix
+   blocks count it once. *)
+let callee_for t ~tpc ~entry_pc =
+  let compiled =
+    match Hashtbl.find_opt t.leaf_memo entry_pc with
+    | Some c -> c
+    | None ->
+      let c = compile_callee t ~entry_pc in
+      Hashtbl.replace t.leaf_memo entry_pc c;
+      c
+  in
+  match compiled with
+  | Some (batch, k) ->
+    if not (Hashtbl.mem t.seen_sites tpc) then begin
+      Hashtbl.replace t.seen_sites tpc ();
+      t.n_fused_calls <- t.n_fused_calls + 1
+    end;
+    (k, batch)
+  | None -> (stop, 0)
+
 (* Build the specialised node for a block-ending transfer, or [None] when
-   the shape (or its translate-time resolution) is not specialisable. *)
-let specialize (image : Image.t) cbs ~tpc (op : Opcode.t) =
-  let mem = image.Image.mem in
+   the shape (or its translate-time resolution) is not specialisable.
+   Returns the extra instruction headroom a spliced callee can retire on
+   top of the block's own count. *)
+let specialize t ~tpc (op : Opcode.t) : (int * (State.t -> unit)) option =
+  let mem = t.image.Image.mem in
   match op with
-  | Ret -> Some (spec_ret ~tpc)
+  | Ret -> Some (0, spec_ret ~tpc)
   | Lfc n -> (
-    match cb_of_pc cbs tpc with
+    match cb_of_pc t.cbs tpc with
     | None -> None
     | Some cb -> (
       try
         let entry_off = Memory.peek mem (cb + n) in
         let fsi = Memory.peek_code_byte mem ~code_base:cb ~pc:entry_off in
-        Some
-          (spec_lfc ~tpc ~ev_index:n ~cb ~fsi
-             ~target_pc:((2 * cb) + entry_off + 1))
+        let target_pc = (2 * cb) + entry_off + 1 in
+        let spair = simple_own_pair t ~cb ~ev_index:n ~target_pc in
+        let callee, extra = callee_for t ~tpc ~entry_pc:target_pc in
+        Some (extra, spec_lfc ~tpc ~ev_index:n ~cb ~fsi ~target_pc ~spair ~callee)
       with Invalid_argument _ -> None))
+  | Efc n -> (
+    match cb_of_pc t.cbs tpc with
+    | None -> None
+    | Some cb -> (
+      let mesa = efc_mesa_bake t ~cb ~lv_index:n in
+      let simple = efc_simple_bake t ~cb ~lv_index:n in
+      match (mesa, simple) with
+      | None, None -> None
+      | _ ->
+        let callee, extra =
+          match (mesa, simple) with
+          | Some em, Some es when em.em_target <> es.es_target -> (stop, 0)
+          | Some em, _ -> callee_for t ~tpc ~entry_pc:em.em_target
+          | None, Some es -> callee_for t ~tpc ~entry_pc:es.es_target
+          | None, None -> (stop, 0)
+        in
+        Some
+          ( extra,
+            spec_efc ~tpc ~lv_index:n ~cb ~valid:t.fuse_valid ~mesa ~simple
+              ~callee )))
   | Dfc _ | Sdfc _ -> (
     let target_abs =
-      match op with Dfc t -> t | Sdfc d -> tpc + d | _ -> assert false
+      match op with Dfc tgt -> tgt | Sdfc d -> tpc + d | _ -> assert false
     in
     try
       let b0 = Memory.peek_code_byte mem ~code_base:0 ~pc:target_abs in
       let b1 = Memory.peek_code_byte mem ~code_base:0 ~pc:(target_abs + 1) in
       let b2 = Memory.peek_code_byte mem ~code_base:0 ~pc:(target_abs + 2) in
+      let target_pc = target_abs + 3 in
+      let callee, extra = callee_for t ~tpc ~entry_pc:target_pc in
       Some
-        (spec_dfc ~tpc ~op ~gf_t:((b0 lsl 8) lor b1) ~fsi:b2
-           ~target_pc:(target_abs + 3))
+        ( extra,
+          spec_dfc ~tpc ~op ~gf_t:((b0 lsl 8) lor b1) ~fsi:b2 ~target_pc
+            ~callee )
     with Invalid_argument _ -> None)
   | _ -> None
 
@@ -833,8 +1470,11 @@ let rec split_fusable acc (ops : (int * Opcode.t * int) list) =
 
 (* Superblock formation: an unconditional jump to a decodable target does
    not end collection — the block continues at the target, turning a loop
-   body's back-edge or a forward hop into straight-line code.  [block_cap]
-   bounds the chase (a self-jump simply fills the block with jumps). *)
+   body's back-edge or a forward hop into straight-line code — and
+   neither does a call, whose fused fast path returns control to the
+   next instruction (the segment chain in [build_node] verifies that it
+   did before running the continuation).  [block_cap] bounds the chase
+   (a self-jump simply fills the block with jumps). *)
 let collect_block pd pc0 =
   let rec go pc n acc =
     if n >= block_cap then List.rev acc
@@ -848,214 +1488,389 @@ let collect_block pd pc0 =
         | Opcode.J d when n + 1 < block_cap && Predecode.len_at pd (pc + d) > 0
           ->
           go (pc + d) (n + 1) acc
-        | _ -> if is_terminator op then List.rev acc else go (pc + len) (n + 1) acc
+        | _ ->
+          if is_terminator op && not (is_call op) then List.rev acc
+          else go (pc + len) (n + 1) acc
   in
   go pc0 0 []
 
-let has_banks (st : State.t) = match st.banks with Some _ -> true | None -> false
-let has_data_trace (st : State.t) =
-  match st.data_trace with Some _ -> true | None -> false
+(* Build the node for one boundary.
 
-(* Build the node for one boundary.  [fused] is true when the fast path
+   The block is decomposed into a chain of {e steps}: each a (possibly
+   empty) run of fusable instructions plus at most one follower — the
+   first non-fusable instruction after the run.  Followers come in three
+   kinds:
+
+   - a {e terminator} (RETURN, XFER, FORK, ...): joins the step's batch
+     for counting, then runs its specialised or generic transfer,
+     ending the node;
+   - a {e call}: joins the batch, runs its specialised shape (which may
+     splice a known-leaf callee and return), and — when control
+     provably came straight back to the next instruction with the
+     machine still running — chains into the following step, so a
+     call-dense loop body is one node, not one dispatch per call site;
+   - a {e trap-capable} instruction (DIV, MOD, NEWREC, FREEREC): joins
+     the batch, runs under exact PC via [Interp.exec] (a catchable trap
+     signals by raising, unwinding the chain to the node's handler),
+     then chains into the following step.
+
+   Every step guards, counts and bills only its own batch, in program
+   order: the meters are batched but never reordered across a potential
+   trap point.  A step boundary is an exact machine boundary — if a
+   later step's depth guard fails, the node simply returns: the
+   previous follower left the PC on the step's first instruction, and
+   the dispatch loop re-enters there (that boundary's own node falls
+   back to an exact chain when its first guard fails, so progress is
+   guaranteed).  The exact fallback itself never runs past the first
+   control-moving instruction: a generic call leaves the PC in the
+   callee, which is where per-instruction execution leaves the node
+   anyway.
+
+   The returned count is an {e upper bound} on instructions the node
+   can retire (block plus any spliced callee batches) — the run loop
+   admits a node only when the whole bound fits the remaining budget,
+   so fuel expiry stays exact.  [fused] is true when some fast path
    covers two or more instructions in one batch. *)
-let build_node image cbs ops : int * bool * (State.t -> unit) =
+
+type follower =
+  | F_end  (** fully fused to the block's end (or to [block_cap]) *)
+  | F_term of int * Opcode.t * int
+  | F_call of int * Opcode.t * int
+  | F_exact of int * Opcode.t * int
+
+let rec steps_of ops =
+  match ops with
+  | [] -> []
+  | _ -> (
+    let fusable, tail = split_fusable [] ops in
+    match tail with
+    | [] -> [ (fusable, F_end) ]
+    | (tpc, top, tlen) :: rest ->
+      if is_call top then (fusable, F_call (tpc, top, tlen)) :: steps_of rest
+      else if is_terminator top then [ (fusable, F_term (tpc, top, tlen)) ]
+      else (fusable, F_exact (tpc, top, tlen)) :: steps_of rest)
+
+let rec exact_prefix ops =
+  match ops with
+  | [] -> []
+  | ((_, op, _) as o) :: rest ->
+    if is_call op || is_terminator op then [ o ] else o :: exact_prefix rest
+
+let build_node t ops : int * bool * (State.t -> unit) =
   let n_ops = List.length ops in
-  let fusable, tail = split_fusable [] ops in
-  let f = List.length fusable in
-  (* Guard-failure / tracer fallback: the whole block, exactly. *)
-  let exact_all = exact_chain ops in
-  let body =
-    if f = 0 then
-      match tail with
-      | [ (tpc, top, tlen) ] -> (
-        match specialize image cbs ~tpc top with
-        | Some sp ->
-          (* A lone transfer at the boundary (a jump target landing on a
-             RET or a call): same per-instruction accounting as the exact
-             chain, then the specialised transfer. *)
+  let extra = ref 0 in
+  let any_super = ref false in
+  (* Tracer / first-guard-failure fallback: exact, up to and including
+     the first control-moving instruction. *)
+  let exact_head = exact_chain (exact_prefix ops) in
+  let rec comp ~first steps : State.t -> unit =
+    match steps with
+    | [] -> stop
+    | (fusable, follower) :: rest_steps ->
+      let k = comp ~first:false rest_steps in
+      let f = List.length fusable in
+      let tail_fn =
+        match follower with
+        | F_end -> stop
+        | F_term (tpc, top, tlen) ->
+          let t_next = tpc + tlen in
+          let term =
+            match specialize t ~tpc top with
+            | Some (e, sp) ->
+              extra := !extra + e;
+              sp
+            | None -> fun (st : State.t) -> Interp.exec st ~instr_pc:tpc top
+          in
+          fun (st : State.t) ->
+            st.pc_abs <- t_next;
+            term st
+        | F_call (tpc, top, tlen) ->
+          let t_next = tpc + tlen in
+          let call =
+            match specialize t ~tpc top with
+            | Some (e, sp) ->
+              extra := !extra + e;
+              sp
+            | None -> fun (st : State.t) -> Interp.exec st ~instr_pc:tpc top
+          in
+          fun (st : State.t) ->
+            st.pc_abs <- t_next;
+            call st;
+            (* Chain on only when the call provably completed and
+               returned: spliced fast path, machine still running, PC
+               back on the continuation.  Anything else — generic path
+               now sitting in the callee, a depth-guard bail at the
+               callee's entry, a handled trap — leaves the node at an
+               exact boundary for the dispatch loop. *)
+            (match st.status with
+            | State.Running when st.pc_abs = t_next -> k st
+            | _ -> ())
+        | F_exact (tpc, top, tlen) ->
           let t_next = tpc + tlen in
           fun (st : State.t) ->
-            (match st.tracer with
-            | Some _ -> exact_all st
-            | None ->
-              let m = st.metrics in
-              m.instructions <- m.instructions + 1;
-              m.tier_fast_instrs <- m.tier_fast_instrs + 1;
-              Cost.dispatch st.cost;
-              st.pc_abs <- t_next;
-              sp st)
-        | None -> exact_all)
-      | _ -> exact_all
-    else begin
-      let need, maxd = guard_params fusable in
-      let a = acct_of fusable in
-      let fused_mid = compile ~raw:false fusable in
-      let fused_raw = compile ~raw:true fusable in
-      (* The first non-fusable instruction (a transfer terminator, or a
-         trap-capable op like DIV) still joins the batch: the interpreter
-         counts an instruction before executing it, so pre-counting the
-         batch leaves every meter exactly right even if it traps — but
-         its PC must be exact, so it runs via [Interp.exec] after the
-         fused prefix, never inside it. *)
-      let batch = if tail = [] then f else f + 1 in
-      let super = if batch >= 2 then batch else 0 in
-      let reads = a.a_reads and writes = a.a_writes in
-      let lrefs = a.a_lrefs and grefs = a.a_grefs and irefs = a.a_irefs in
-      let max_l = a.a_max_l and max_g = a.a_max_g in
-      let no_banks = a.a_no_banks in
-      (* The prepaid plane applies when nothing can observe or alter the
-         batched accesses: no data trace, no bank shadowing the touched
-         locals, and every static address proven in range (dynamic
-         addresses bounds-check themselves in the chain). *)
-      let prepaid_ok (st : State.t) =
-        (not (has_data_trace st))
-        && ((not no_banks) || not (has_banks st))
-        &&
-        let sz = Memory.size st.mem in
-        (max_l < 0 || st.lf + max_l < sz)
-        && (max_g < 0 || st.gf + Image.global_base + max_g < sz)
+            st.pc_abs <- t_next;
+            Interp.exec st ~instr_pc:tpc top;
+            k st
       in
-      match tail with
-      | [] ->
-        (* Fully fused block: PC goes to the block end up front (only a
-           final fused jump may overwrite it), exactly where the
-           interpreter's per-instruction advances would leave it. *)
-        let p_end =
-          match List.rev fusable with
-          | (pc, _, len) :: _ -> pc + len
-          | [] -> assert false
+      if f = 0 then (
+        match follower with
+        | F_end -> stop
+        | _ ->
+          (* A lone follower at the boundary (a jump target landing on
+             a RET, a call, or a trap-capable op): per-instruction
+             accounting, then the follower. *)
+          fun (st : State.t) ->
+            let m = st.metrics in
+            m.instructions <- m.instructions + 1;
+            m.tier_fast_instrs <- m.tier_fast_instrs + 1;
+            Cost.dispatch st.cost;
+            tail_fn st)
+      else begin
+        let fail = if first then exact_head else stop in
+        let need, maxd = guard_params fusable in
+        let a = acct_of fusable in
+        let fused_mid = compile ~plane:Mid fusable in
+        let fused_raw = compile ~plane:Raw fusable in
+        let fused_bank = compile_bank ~a fusable ~fallback:fused_mid in
+        (* The follower joins the batch: the interpreter counts an
+           instruction before executing it, so pre-counting leaves every
+           meter exactly right even if the follower traps — but its PC
+           must be exact, so it runs after the fused prefix, never
+           inside it. *)
+        let joined = match follower with F_end -> false | _ -> true in
+        let batch = if joined then f + 1 else f in
+        let super = if batch >= 2 then batch else 0 in
+        if super > 0 then any_super := true;
+        let run =
+          charge_and_run ~batch ~super ~a ~fused_mid ~fused_raw ~fused_bank
         in
-        fun (st : State.t) ->
-          (match st.tracer with
-          | Some _ -> exact_all st
-          | None ->
+        match follower with
+        | F_end ->
+          (* Fully fused tail: PC goes to the block end up front (only
+             a final fused jump may overwrite it), exactly where the
+             interpreter's per-instruction advances would leave it. *)
+          let p_end =
+            match List.rev fusable with
+            | (pc, _, len) :: _ -> pc + len
+            | [] -> assert false
+          in
+          fun (st : State.t) ->
             let d = Eval_stack.depth st.stack in
             if d >= need && d + maxd <= Eval_stack.capacity st.stack then begin
-              let m = st.metrics in
-              m.instructions <- m.instructions + batch;
-              m.tier_fast_instrs <- m.tier_fast_instrs + batch;
-              m.tier_super_instrs <- m.tier_super_instrs + super;
-              if prepaid_ok st then begin
-                Cost.block_bill st.cost ~instrs:batch ~reads ~writes;
-                m.local_refs <- m.local_refs + lrefs;
-                m.global_refs <- m.global_refs + grefs;
-                m.indirect_refs <- m.indirect_refs + irefs;
-                st.pc_abs <- p_end;
-                fused_raw st
-              end
-              else begin
-                Cost.dispatch_n st.cost batch;
-                st.pc_abs <- p_end;
-                fused_mid st
-              end
+              st.pc_abs <- p_end;
+              run st
             end
-            else exact_all st)
-      | (tpc, top, tlen) :: rest ->
-        let t_next = tpc + tlen in
-        let term =
-          match rest with
-          | [] -> (
-            match specialize image cbs ~tpc top with
-            | Some sp -> sp
-            | None -> fun (st : State.t) -> Interp.exec st ~instr_pc:tpc top)
-          | _ ->
-            let rest_chain = exact_chain rest in
-            fun (st : State.t) ->
-              Interp.exec st ~instr_pc:tpc top;
-              rest_chain st
-        in
-        fun (st : State.t) ->
-          (match st.tracer with
-          | Some _ -> exact_all st
-          | None ->
+            else fail st
+        | _ ->
+          fun (st : State.t) ->
             let d = Eval_stack.depth st.stack in
             if d >= need && d + maxd <= Eval_stack.capacity st.stack then begin
-              let m = st.metrics in
-              m.instructions <- m.instructions + batch;
-              m.tier_fast_instrs <- m.tier_fast_instrs + batch;
-              m.tier_super_instrs <- m.tier_super_instrs + super;
-              if prepaid_ok st then begin
-                Cost.block_bill st.cost ~instrs:batch ~reads ~writes;
-                m.local_refs <- m.local_refs + lrefs;
-                m.global_refs <- m.global_refs + grefs;
-                m.indirect_refs <- m.indirect_refs + irefs;
-                fused_raw st
-              end
-              else begin
-                Cost.dispatch_n st.cost batch;
-                fused_mid st
-              end;
-              st.pc_abs <- t_next;
-              term st
+              run st;
+              tail_fn st
             end
-            else exact_all st)
-    end
+            else fail st
+      end
   in
-  let fused_node = f >= 2 || (f >= 1 && tail <> []) in
+  let body = comp ~first:true (steps_of ops) in
+  let total = n_ops + !extra in
+  let pc0 = match ops with (pc, _, _) :: _ -> pc | [] -> -1 in
+  (* Self-looping node: when the body's back-edge lands on this node's
+     own boundary, iterate in place instead of returning to the
+     dispatch loop — under exactly its admission check (still running,
+     PC on the boundary, the whole bound fits the remaining budget).
+     Each iteration re-runs the same guards and bills as a fresh
+     dispatch would; only the host-side table lookup is elided. *)
+  let rec spin (st : State.t) =
+    body st;
+    match st.status with
+    | State.Running
+      when st.pc_abs = pc0
+           && st.metrics.instructions + total <= st.fuel_limit ->
+      spin st
+    | _ -> ()
+  in
   let exec (st : State.t) =
-    try body st with
+    try
+      match st.tracer with Some _ -> exact_head st | None -> spin st
+    with
     | Eval_stack.Overflow -> Transfer.trap st State.Eval_overflow
     | Eval_stack.Underflow -> Transfer.trap st State.Eval_underflow
     | Transfer.Machine_trap reason -> Transfer.trap st reason
   in
-  (n_ops, fused_node, exec)
+  (total, !any_super, exec)
 
 (* ------------------------------------------------------------------ *)
+(* Lazy per-procedure translation.
 
-let translate image =
-  let pd = Image.predecode image in
-  let cbs = code_bases image in
+   Procedure body ranges come from the host directory (deduplicated
+   across instances sharing a module's code); every PC the machine can
+   dispatch lies inside one — execution enters a procedure at its first
+   instruction and control flow (jumps, returns, resumes, trap handlers)
+   stays inside bodies.  A procedure's boundaries are translated on the
+   first XFER into it, under a mutex so concurrent domains sharing the
+   attachment race safely; slots are published as immutable [node]
+   records (a racing reader sees [no_node] or a whole node, and a stale
+   read merely deopts one interpreter step). *)
+
+let proc_tables (image : Image.t) pd =
   let base = Predecode.base pd and limit = Predecode.limit pd in
   let size = max 0 (limit - base) in
-  let t =
-    {
-      base;
-      counts = Array.make size 0;
-      nodes = Array.make size stop;
-      n_boundaries = 0;
-      n_fused = 0;
-    }
+  let proc_of = Array.make size (-1) in
+  let by_entry = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (inst, _) (pi : Image.proc_info) ->
+      match Image.find_instance image inst with
+      | ii ->
+        let entry =
+          (2 * ii.Image.ii_code_base) + pi.Image.pi_entry_offset + 1
+        in
+        Hashtbl.replace by_entry entry (entry + pi.Image.pi_body_bytes)
+      | exception Not_found -> ())
+    image.Image.dir.procs;
+  let ranges =
+    Array.of_list
+      (List.sort compare
+         (Hashtbl.fold (fun lo hi acc -> (lo, hi) :: acc) by_entry []))
   in
-  for pc = base to limit - 1 do
-    if Predecode.len_at pd pc > 0 then begin
-      let n, fused, exec = build_node image cbs (collect_block pd pc) in
-      t.counts.(pc - base) <- n;
-      t.nodes.(pc - base) <- exec;
+  Array.iteri
+    (fun p (lo, hi) ->
+      let lo = max lo base and hi = min hi limit in
+      for pc = lo to hi - 1 do
+        proc_of.(pc - base) <- p
+      done)
+    ranges;
+  (proc_of, ranges)
+
+let create (image : Image.t) =
+  let pd = Image.predecode image in
+  let base = Predecode.base pd and limit = Predecode.limit pd in
+  let size = max 0 (limit - base) in
+  let proc_of, ranges = proc_tables image pd in
+  {
+    base;
+    slots = Array.make size no_node;
+    image;
+    pd;
+    cbs = code_bases image;
+    proc_of;
+    ranges;
+    translated = Array.make (Array.length ranges) false;
+    lock = Mutex.create ();
+    fuse_valid = ref true;
+    deps_tbl = Hashtbl.create 16;
+    seen_sites = Hashtbl.create 16;
+    leaf_memo = Hashtbl.create 16;
+    deps = [||];
+    n_boundaries = 0;
+    n_fused = 0;
+    n_fused_calls = 0;
+    n_translated = 0;
+    n_invalidations = 0;
+  }
+
+let fill_range t lo hi =
+  let lo = max lo t.base and hi = min hi (t.base + Array.length t.slots) in
+  for pc = lo to hi - 1 do
+    if Predecode.len_at t.pd pc > 0 then begin
+      let count, fused, exec = build_node t (collect_block t.pd pc) in
+      t.slots.(pc - t.base) <- { n_count = count; n_exec = exec };
       t.n_boundaries <- t.n_boundaries + 1;
       if fused then t.n_fused <- t.n_fused + 1
     end
-  done;
+  done
+
+(* First XFER into procedure [p]: translate its body's boundaries and
+   publish the nodes.  Returns true when this call did the work (false:
+   another domain won the race, or it was already done). *)
+let ensure_proc t p =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.translated.(p) then false
+      else begin
+        let lo, hi = t.ranges.(p) in
+        fill_range t lo hi;
+        t.deps <-
+          Array.of_list
+            (Hashtbl.fold (fun a w acc -> (a, w) :: acc) t.deps_tbl []);
+        t.n_translated <- t.n_translated + 1;
+        t.translated.(p) <- true;
+        true
+      end)
+
+let translate image =
+  let t = create image in
+  Array.iteri (fun p _ -> ignore (ensure_proc t p : bool)) t.ranges;
   t
 
 type Image.attachment += Translation of t
+
+(* A host-side rebind overwrote a link word: if some fused site's baked
+   resolution read the old contents of that address, the translation's
+   fused external calls are no longer trustworthy — deopt them all (they
+   fall back to [Interp.exec]'s live resolution).  Replayed identical
+   words (an arena reset reinstalling I1 tables) compare equal and leave
+   fusion alive. *)
+let note_relink t ~addr ~word =
+  let deps = t.deps in
+  let n = Array.length deps in
+  let hit = ref false in
+  for i = 0 to n - 1 do
+    let a, w = deps.(i) in
+    if a = addr && w <> word then hit := true
+  done;
+  if !hit then begin
+    t.fuse_valid := false;
+    t.n_invalidations <- t.n_invalidations + 1
+  end
 
 let of_image (image : Image.t) =
   match image.dir.attachment with
   | Some (Translation t) -> (t, true)
   | _ ->
-    let t = translate image in
+    let t = create image in
     image.dir.attachment <- Some (Translation t);
+    Image.set_relink_hook image
+      (Some (fun ~addr ~word -> note_relink t ~addr ~word));
     (t, false)
 
 let boundaries t = t.n_boundaries
 let fused_boundaries t = t.n_fused
+let fused_call_sites t = t.n_fused_calls
+let procs t = Array.length t.ranges
+let procs_translated t = t.n_translated
+let invalidations t = t.n_invalidations
+let fusion_valid t = !(t.fuse_valid)
 
 let run ?(max_steps = 20_000_000) t (st : State.t) =
   let m = st.metrics in
   let limit = m.instructions + max_steps in
+  st.fuel_limit <- limit;
   let base = t.base in
-  let counts = t.counts and nodes = t.nodes in
-  let size = Array.length counts in
+  let slots = t.slots and proc_of = t.proc_of in
+  let size = Array.length slots in
   let rec go () =
     if st.status = State.Running then
       if m.instructions >= limit then st.status <- State.Trapped State.Step_limit
       else begin
         let idx = st.pc_abs - base in
-        if
-          idx >= 0 && idx < size
-          && (let n = Array.unsafe_get counts idx in
-              n > 0 && m.instructions + n <= limit)
-        then (Array.unsafe_get nodes idx) st
+        let nd =
+          if idx >= 0 && idx < size then Array.unsafe_get slots idx else no_node
+        in
+        if nd.n_count > 0 && m.instructions + nd.n_count <= limit then
+          nd.n_exec st
+        else if
+          nd.n_count = 0 && idx >= 0 && idx < size
+          &&
+          let p = Array.unsafe_get proc_of idx in
+          p >= 0 && not (Array.unsafe_get t.translated p)
+        then begin
+          (* First XFER into an untranslated procedure: translate it now
+             and retry this PC without retiring an instruction. *)
+          if ensure_proc t (Array.unsafe_get proc_of idx) then
+            m.tier_lazy_translations <- m.tier_lazy_translations + 1
+        end
         else begin
           (* No node (undecodable or uncovered PC), or the remaining
              budget cannot cover a whole block: one interpreter step —

@@ -7,42 +7,71 @@
     so steady-state execution is a chain of direct calls with {e no}
     dispatch loop at all.  Straight-line runs of pure stack/variable
     instructions are fused into superinstructions: one stack-depth guard,
-    one batched meter update ({!Fpc_machine.Cost.dispatch_n}), and
-    peephole-collapsed dataflow (load/load/arith, compare-and-branch,
-    push/DIRECTCALL) that keeps intermediate values in OCaml locals
-    instead of bouncing them through the evaluation stack.
+    one batched meter update ({!Fpc_machine.Cost.block_bill}), and
+    peephole-collapsed dataflow (load/load/arith, compare-and-branch)
+    that keeps intermediate values in OCaml locals instead of bouncing
+    them through the evaluation stack.
+
+    {2 Cross-call fusion}
+
+    Call sites whose destination is resolvable at translate time —
+    DIRECTCALL / SHORTDIRECTCALL headers, LOCALCALL entry-vector slots,
+    EXTERNALCALL descriptors chased through the link vector and GFT —
+    are compiled into specialised transfer nodes with the resolution
+    baked in.  When the callee is a {e known leaf} (a straight run of
+    pure instructions ending in RETURN, with a bounded frame and no
+    trap-capable op), its body is spliced into the caller's node: one
+    combined stack-depth guard admits body-plus-RETURN, and the meters
+    are charged in one batch — batched, but never {e reordered} across
+    the call's frame-allocation trap point, which the specialised call
+    has already passed.  Baked resolutions that read link words outside
+    the immutable code region (LV descriptors, GFT entries, environment
+    code-base words, I1 pair tables) are re-checked against the live
+    store on every execution, and a host-side rebind
+    ({!Fpc_mesa.Linker.rebind_lv}, {!Fpc_core.Simple_links.rebind})
+    that overwrites a depended-on word invalidates the translation's
+    fused external calls via the image's relink observer — subsequent
+    executions deopt to the interpreter's live resolution.
+
+    {2 Lazy per-procedure translation}
+
+    Translation is performed per procedure, on the first XFER into it,
+    rather than for the whole image at attach time: a served job that
+    touches three procedures of a fifty-procedure image translates
+    three.  Procedure body ranges come from the image directory; every
+    PC the machine dispatches lies inside one (control enters a
+    procedure at its entry and jumps/returns/resumes stay inside
+    bodies).  The translation — slots, procedure table, and translated
+    flags — is shared by the pristine image and every clone; filling is
+    serialised by a mutex and published per-boundary as immutable node
+    records, so concurrent domains race safely (a stale read costs one
+    deopted interpreter step, never an error).
 
     Equivalence is the contract: a translated run is {e bit-identical} to
     the interpreter — outcome, output, cycle / storage-reference /
     transfer meters, trap behaviour, and (under a tracer) the exact event
     stream.  Anything the fast path cannot prove — a stack-depth guard
     failure, an installed tracer, a trap-capable instruction, undecodable
-    bytes, a transfer into untranslated code, fuel expiry mid-block —
-    deopts to the interpreter's own semantics at an exact instruction
-    boundary: fused blocks fall back to per-instruction "exact chains"
-    that replicate {!Fpc_interp.Interp.step}'s accounting, and PCs with
-    no node at all are stepped by the interpreter itself.
-
-    A translation is derived purely from the immutable code bytes, so —
-    like the predecode table it is built from — one translation is shared
-    read-only by a pristine image and every clone, cached on the image
-    directory ({!Fpc_mesa.Image.attachment}).  Racing domains may both
-    build it; the results are semantically identical and either wins
-    benignly.  Host-speed only: simulated meters are unaffected by
-    whether a run used this tier (that is the whole point). *)
+    bytes, an invalidated or mismatched baked resolution, fuel expiry
+    mid-block — deopts to the interpreter's own semantics at an exact
+    instruction boundary.  Host-speed only: simulated meters are
+    unaffected by whether a run used this tier (that is the whole
+    point). *)
 
 type t
 
 val translate : Fpc_mesa.Image.t -> t
-(** Translate the image's carved code region (every decodable byte
-    boundary gets a node, so any PC the machine can reach — including
-    computed XFERs and mid-block fuel resumes — lands on compiled code).
-    Does not consult or update the image's cached attachment. *)
+(** Translate the image's carved code region {e eagerly}: every
+    procedure's boundaries are filled up front (tests and tools; the
+    serving path uses {!of_image}'s lazy filling).  Does not consult or
+    update the image's cached attachment. *)
 
 val of_image : Fpc_mesa.Image.t -> t * bool
-(** The image's shared translation: reuses the one cached on the image
-    directory or builds and attaches it.  Returns [true] iff it was
-    already attached (a translation-cache hit). *)
+(** The image's shared translation skeleton: reuses the one cached on
+    the image directory or builds, attaches it, and registers the relink
+    observer that invalidates fused calls.  Procedures translate lazily
+    on first entry.  Returns [true] iff it was already attached (a
+    translation-cache hit). *)
 
 val run : ?max_steps:int -> t -> Fpc_core.State.t -> unit
 (** Drive [st] to completion on the compiled tier: exactly
@@ -50,14 +79,40 @@ val run : ?max_steps:int -> t -> Fpc_core.State.t -> unit
     [Step_limit] trap on expiry), including resumability — a fuel-sliced
     caller may reset the status to [Running] and call again, and the next
     instruction executes at the exact boundary where the budget ran out.
-    Instructions whose remaining budget cannot cover a whole block, and
-    PCs without a node, are stepped by the interpreter (counted in
-    [metrics.tier_deopts]); fast-path instructions are counted in
-    [metrics.tier_fast_instrs] / [tier_super_instrs]. *)
+    The first XFER into an untranslated procedure translates it (counted
+    in [metrics.tier_lazy_translations]) and retries the same PC without
+    retiring an instruction.  Instructions whose remaining budget cannot
+    cover a whole block, and PCs without a node, are stepped by the
+    interpreter (counted in [metrics.tier_deopts]); fast-path
+    instructions are counted in [metrics.tier_fast_instrs] /
+    [tier_super_instrs], and each fused-call execution in
+    [metrics.tier_fused_calls].  A node's instruction count is an upper
+    bound (block plus spliced callee), so fuel admission is conservative
+    and expiry stays exact. *)
 
 val boundaries : t -> int
-(** Number of byte boundaries with a compiled node. *)
+(** Number of byte boundaries with a compiled node (translated so far). *)
 
 val fused_boundaries : t -> int
 (** Of {!boundaries}, how many have a multi-instruction fused fast path
     (a superinstruction of two or more instructions). *)
+
+val fused_call_sites : t -> int
+(** Distinct call sites whose known-leaf callee was spliced into the
+    caller's node. *)
+
+val procs : t -> int
+(** Procedure bodies the translation covers (deduplicated across
+    instances sharing a module's code). *)
+
+val procs_translated : t -> int
+(** Of {!procs}, how many have been translated so far — under lazy
+    filling, the procedures actually entered. *)
+
+val invalidations : t -> int
+(** Relink notifications that overwrote a word some fused call site's
+    baked resolution depends on (each clears {!fusion_valid}). *)
+
+val fusion_valid : t -> bool
+(** False once a relink invalidated the baked external-call resolutions;
+    fused external calls then deopt to live resolution. *)

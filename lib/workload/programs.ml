@@ -404,6 +404,119 @@ END;
 END;
 |}
 
+(* Call-dense kernels: tight loops whose work is almost entirely leaf
+   procedure calls — the cross-call-fusion stress shapes.  Leaf bodies
+   avoid DIV/MOD (trap-capable ops disqualify a body from splicing) and
+   values wrap at the 16-bit word like every other arithmetic result, so
+   no bounding arithmetic dilutes the call density.  [fibleaf] and
+   [xleaf] are fully fusable; [ackerlite] keeps a MOD at the call
+   boundary so the measurement set also covers a trap-capable op
+   riding mid-node between fused batches. *)
+
+let fibleaf =
+  {|
+MODULE Main;
+PROC add2(a: INT, b: INT): INT =
+  RETURN a + b;
+END;
+PROC main() =
+  VAR a: INT := 0;
+  VAR b: INT := 1;
+  VAR i: INT := 0;
+  WHILE i < 1250 DO
+    a := add2(a, b);
+    b := add2(b, a);
+    i := i + 1;
+  END;
+  OUTPUT a;
+  OUTPUT b;
+END;
+END;
+|}
+
+let ackerlite =
+  {|
+MODULE Main;
+PROC inc(x: INT): INT =
+  RETURN x + 1;
+END;
+PROC dbl(x: INT): INT =
+  RETURN x + x;
+END;
+PROC mix(a: INT, b: INT): INT =
+  RETURN a * 3 + b;
+END;
+PROC main() =
+  VAR acc: INT := 1;
+  VAR i: INT := 0;
+  WHILE i < 1500 DO
+    acc := mix(inc(acc), dbl(i)) MOD 30011;
+    i := i + 1;
+  END;
+  OUTPUT acc;
+END;
+END;
+|}
+
+let xleaf =
+  {|
+MODULE XL;
+PROC inc(x: INT): INT =
+  RETURN x + 1;
+END;
+PROC sum3(a: INT, b: INT, c: INT): INT =
+  RETURN a + b + c;
+END;
+END;
+
+MODULE Main;
+IMPORT XL;
+PROC main() =
+  VAR acc: INT := 0;
+  VAR i: INT := 0;
+  WHILE i < 1500 DO
+    acc := XL.sum3(acc, XL.inc(i), 7);
+    i := i + 1;
+  END;
+  OUTPUT acc;
+END;
+END;
+|}
+
+(* Richer leaves: the paper's §2 observation is a call every ~20
+   instructions; [fibleaf]/[xleaf] are far denser than that (a call every
+   4–6), which puts the bit-identical call/return machinery — shared with
+   the interpreter — in the denominator of any speedup.  [polyleaf] keeps
+   the loop just as thin but gives each leaf a realistic straight-line
+   body (~14 compiled ops, still under the splice cap), so the fused
+   batches carry enough prepaid work to show what fusion buys on
+   paper-shaped code. *)
+
+let polyleaf =
+  {|
+MODULE Main;
+PROC horner3(x: INT, a: INT, b: INT, c: INT): INT =
+  VAR t: INT := a * x + b;
+  t := t * x + c;
+  RETURN t;
+END;
+PROC blend(u: INT, v: INT): INT =
+  VAR s: INT := u + v;
+  VAR d: INT := u - v;
+  RETURN s * 3 + d;
+END;
+PROC main() =
+  VAR acc: INT := 1;
+  VAR i: INT := 0;
+  WHILE i < 900 DO
+    acc := blend(horner3(i, acc, 7, 11), horner3(acc, 3, i, 5));
+    i := i + 1;
+  END;
+  OUTPUT acc;
+END;
+END;
+|}
+
 let all =
   [
     ("fib", fib);
@@ -420,14 +533,26 @@ let all =
     ("bsearch", bsearch);
     ("matmul", matmul);
     ("knapsack", knapsack);
+    ("fibleaf", fibleaf);
+    ("ackerlite", ackerlite);
+    ("xleaf", xleaf);
+    ("polyleaf", polyleaf);
   ]
 
 let find name = List.assoc name all
 let names = List.map fst all
-let call_intensive = [ "fib"; "ackermann"; "callchain"; "leafcalls"; "deep"; "hanoi"; "knapsack" ]
+
+let call_intensive =
+  [
+    "fib"; "ackermann"; "callchain"; "leafcalls"; "deep"; "hanoi"; "knapsack";
+    "fibleaf"; "ackerlite"; "xleaf"; "polyleaf";
+  ]
+
+let call_dense = [ "fibleaf"; "ackerlite"; "xleaf"; "polyleaf" ]
 
 let sequential =
   [
     "fib"; "ackermann"; "sieve"; "isort"; "callchain"; "leafcalls"; "mixed";
-    "deep"; "hanoi"; "bsearch"; "matmul"; "knapsack";
+    "deep"; "hanoi"; "bsearch"; "matmul"; "knapsack"; "fibleaf"; "ackerlite";
+    "xleaf"; "polyleaf";
   ]

@@ -17,6 +17,11 @@ val names : string list
 val call_intensive : string list
 (** Subset suited to call-cost experiments (E1, E3, E10). *)
 
+val call_dense : string list
+(** The leaf-call kernels (fibleaf, ackerlite, xleaf): tight loops whose
+    work is almost entirely calls to small pure leaves — the shapes
+    cross-call fusion targets (E18). *)
+
 val sequential : string list
 (** Programs without FORK/YIELD (usable where process switches would
     perturb the measurement). *)

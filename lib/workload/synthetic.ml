@@ -82,10 +82,17 @@ let generate ~seed ?(profile = default_profile) ~length () =
    receive budget at creation and RETURNs when it is spent) and inserts a
    channel round-trip after each OUTPUT with that probability, so the
    differential suites exercise non-LIFO XFER and RETCTX alongside the
-   call DAG.  At the default rate 0.0 the extra draws are short-circuited
-   and the generated text is byte-identical to what this function has
-   always produced for a given seed. *)
-let random_program ?(coroutine_rate = 0.0) ~seed () =
+   call DAG.
+
+   With [leaf_call_rate] > 0, two tiny pure leaf procedures are emitted
+   and each generated statement is followed, with that probability, by a
+   call to one of them — tilting the program toward the call-dense
+   shapes cross-call fusion targets.
+
+   At the default rates 0.0 the extra draws are short-circuited and the
+   generated text is byte-identical to what this function has always
+   produced for a given seed. *)
+let random_program ?(coroutine_rate = 0.0) ?(leaf_call_rate = 0.0) ~seed () =
   let open Fpc_util in
   let rng = Prng.create ~seed in
   let nprocs = 2 + Prng.int rng ~bound:4 in
@@ -122,6 +129,16 @@ let random_program ?(coroutine_rate = 0.0) ~seed () =
       | _ -> atom ~self
   in
   Buffer.add_string buf "MODULE Main;\n";
+  if leaf_call_rate > 0.0 then begin
+    Buffer.add_string buf "PROC l0(x: INT): INT =\n";
+    Buffer.add_string buf "  RETURN x + x + 1;\nEND;\n";
+    Buffer.add_string buf "PROC l1(x: INT, y: INT): INT =\n";
+    Buffer.add_string buf "  RETURN x * 2 + y;\nEND;\n"
+  end;
+  let leaf_call v =
+    if Prng.int rng ~bound:2 = 0 then Printf.sprintf "l0(%s)" v
+    else Printf.sprintf "l1(%s, %d)" v (Prng.int rng ~bound:10)
+  in
   for self = 0 to nprocs - 1 do
     Buffer.add_string buf
       (Printf.sprintf "PROC p%d(a: INT, b: INT): INT =\n" self);
@@ -132,7 +149,11 @@ let random_program ?(coroutine_rate = 0.0) ~seed () =
     for _ = 1 to 1 + Prng.int rng ~bound:2 do
       Buffer.add_string buf
         (Printf.sprintf "  v%d := %s;\n" (Prng.int rng ~bound:2)
-           (expr ~self ~depth:2))
+           (expr ~self ~depth:2));
+      if leaf_call_rate > 0.0 && Prng.chance rng ~p:leaf_call_rate then
+        Buffer.add_string buf
+          (Printf.sprintf "  v%d := %s;\n" (Prng.int rng ~bound:2)
+             (leaf_call (Prng.choose rng [| "v0"; "v1"; "a" |])))
     done;
     if Prng.chance rng ~p:0.7 then
       (* the guarded self-recursion that makes the traces call-heavy *)
@@ -154,6 +175,11 @@ let random_program ?(coroutine_rate = 0.0) ~seed () =
         (3 + Prng.int rng ~bound:4)
         (Prng.int rng ~bound:10)
       :: !main_lines;
+    if leaf_call_rate > 0.0 && Prng.chance rng ~p:leaf_call_rate then
+      main_lines :=
+        Printf.sprintf "  OUTPUT %s;\n"
+          (leaf_call (string_of_int (Prng.int rng ~bound:10)))
+        :: !main_lines;
     if coroutine_rate > 0.0 && Prng.chance rng ~p:coroutine_rate then begin
       incr round_trips;
       main_lines :=

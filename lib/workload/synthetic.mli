@@ -37,7 +37,8 @@ val generate : seed:int -> ?profile:profile -> length:int -> unit -> event list
 val depth_profile : event list -> Fpc_util.Histogram.t
 (** Distribution of call depth over the trace. *)
 
-val random_program : ?coroutine_rate:float -> seed:int -> unit -> string
+val random_program :
+  ?coroutine_rate:float -> ?leaf_call_rate:float -> seed:int -> unit -> string
 (** A random mini-Mesa program over a DAG of procedures with guarded
     self-recursion: always compiles, always halts, on every engine —
     the driver for differential and conservation property tests.
@@ -45,5 +46,12 @@ val random_program : ?coroutine_rate:float -> seed:int -> unit -> string
     [coroutine_rate] (default 0.0) is the per-OUTPUT probability that
     [main] inserts a round-trip with a bounded-life echo coroutine, so
     the same differential suites also exercise non-LIFO XFER and RETCTX.
-    At 0.0 the coroutine draws are short-circuited and the text is
-    byte-identical to the historical generator for every seed. *)
+
+    [leaf_call_rate] (default 0.0) is the per-statement probability of
+    injecting a call to one of two tiny pure leaf procedures (emitted
+    only when the rate is positive), tilting the generated programs
+    toward the call-dense shapes cross-call fusion targets.
+
+    At rate 0.0 the corresponding draws are short-circuited and the
+    text is byte-identical to the historical generator for every
+    seed. *)

@@ -51,7 +51,7 @@ Disassemble a tiny program:
 Unknown programs fail cleanly:
 
   $ fpc run no_such_program 2>&1 | head -1
-  fpc: no_such_program: not a file and not a suite program (suite: fib, ackermann, sieve, isort, callchain, leafcalls, coroutine, processes, mixed, deep, hanoi, bsearch, matmul, knapsack)
+  fpc: no_such_program: not a file and not a suite program (suite: fib, ackermann, sieve, isort, callchain, leafcalls, coroutine, processes, mixed, deep, hanoi, bsearch, matmul, knapsack, fibleaf, ackerlite, xleaf, polyleaf)
 
 An experiment renders:
 

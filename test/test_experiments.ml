@@ -156,6 +156,21 @@ let test_e17 () =
   check_band ~what:"I4 preempt flush rate" ~lo:0.001 ~hi:0.5
     (headline "sessions" "i4_rs_flush_per_xfer_preempt")
 
+(* E18: fusing through leaf calls changes nothing observable — on the
+   suite, on call-dense synthetic programs, and across forced mid-run
+   relinks — while the fused sites cover essentially every call on the
+   call-dense kernels.  Speedup is host wall clock, asserted positive
+   like E16's. *)
+let test_e18 () =
+  check_band ~what:"fused-call mismatches" ~lo:0.0 ~hi:0.0
+    (headline "calls" "mismatches");
+  check_band ~what:"fused-call coverage %" ~lo:80.0 ~hi:100.0
+    (headline "calls" "fused_call_coverage_pct");
+  check_band ~what:"warm lazy translations" ~lo:0.0 ~hi:0.0
+    (headline "calls" "lazy_warm_translations");
+  check_band ~what:"I2 speedup > 0" ~lo:0.000001 ~hi:1000.0
+    (headline "calls" "speedup_i2")
+
 let () =
   let case name f = Alcotest.test_case name `Slow f in
   Alcotest.run "experiments"
@@ -179,5 +194,6 @@ let () =
           case "E14 equivalence" test_e14;
           case "E16 compiled tier" test_e16;
           case "E17 session scheduler" test_e17;
+          case "E18 cross-call fusion" test_e18;
         ] );
     ]

@@ -219,10 +219,14 @@ let tier_differential_prop =
     QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
     (fun seed ->
       (* odd seeds add coroutine round-trips so the same differential
-         sweep also covers non-LIFO XFER and RETCTX *)
+         sweep also covers non-LIFO XFER and RETCTX; every third seed
+         tilts call-dense so fusable and unfusable call shapes both
+         appear (rate 0.0 keeps the historical programs byte-identical) *)
       let coroutine_rate = if seed mod 2 = 0 then 0.0 else 0.5 in
+      let leaf_call_rate = if seed mod 3 = 0 then 0.0 else 0.4 in
       let source =
-        Fpc_workload.Synthetic.random_program ~coroutine_rate ~seed ()
+        Fpc_workload.Synthetic.random_program ~coroutine_rate ~leaf_call_rate
+          ~seed ()
       in
       List.for_all
         (fun (en, engine) ->
@@ -248,6 +252,194 @@ let tier_differential_prop =
                 seed en
             else true)
         (engines ()))
+
+(* ---- cross-call fusion engages on the call-dense kernels ---- *)
+
+(* Every engine must retire fused calls on the kernels built for them —
+   coverage is exact (simulated counters), so this pins the optimisation
+   on rather than trusting the wall clock. *)
+let test_fused_calls_engage () =
+  List.iter
+    (fun prog ->
+      let src = Fpc_workload.Programs.find prog in
+      List.iter
+        (fun (en, engine) ->
+          let _obs, m = tier_observe ~engine ~max_steps:2_000_000 src in
+          let label what = Printf.sprintf "%s/%s: %s" prog en what in
+          Alcotest.(check bool) (label "fused calls retired") true
+            (m.Fpc_core.State.tier_fused_calls > 0);
+          Alcotest.(check bool) (label "fused within calls") true
+            (m.Fpc_core.State.tier_fused_calls <= m.Fpc_core.State.calls))
+        (engines ()))
+    Fpc_workload.Programs.call_dense;
+  (* The fully-fusable kernels reach 100% coverage: every call retires
+     through a spliced leaf. *)
+  List.iter
+    (fun prog ->
+      let src = Fpc_workload.Programs.find prog in
+      let _obs, m =
+        tier_observe ~engine:Fpc_core.Engine.i2 ~max_steps:2_000_000 src
+      in
+      Alcotest.(check int)
+        (prog ^ ": full fused-call coverage")
+        m.Fpc_core.State.calls m.Fpc_core.State.tier_fused_calls)
+    [ "fibleaf"; "xleaf"; "polyleaf" ]
+
+(* ---- lazy per-procedure translation ---- *)
+
+(* A procedure nothing calls must never be translated; procedures are
+   translated on first entry (cold) and found already filled on the next
+   run over the shared attachment (warm). *)
+let lazy_src =
+  "MODULE Main;\n\
+   PROC used(x: INT): INT =\n  RETURN x + 1;\nEND;\n\
+   PROC unused(x: INT): INT =\n  RETURN x * 37;\nEND;\n\
+   PROC main() =\n  OUTPUT used(41);\nEND;\nEND;\n"
+
+let test_lazy_translation () =
+  let engine = Fpc_core.Engine.i2 in
+  let image = image_for ~engine lazy_src in
+  let tier, _ = Fpc_tier.Tier.of_image image in
+  Alcotest.(check int) "nothing translated at attach" 0
+    (Fpc_tier.Tier.procs_translated tier);
+  let cold = boot ~engine image in
+  Fpc_tier.Tier.run tier cold;
+  Alcotest.(check bool) "cold run translates on entry" true
+    (cold.Fpc_core.State.metrics.Fpc_core.State.tier_lazy_translations > 0);
+  Alcotest.(check bool) "translation count < procedure count" true
+    (Fpc_tier.Tier.procs_translated tier < Fpc_tier.Tier.procs tier);
+  let warm = boot ~engine image in
+  Fpc_tier.Tier.run tier warm;
+  Alcotest.(check int) "warm run translates nothing" 0
+    (warm.Fpc_core.State.metrics.Fpc_core.State.tier_lazy_translations);
+  Alcotest.(check bool) "both runs halted" true
+    (cold.Fpc_core.State.status = Fpc_core.State.Halted
+    && warm.Fpc_core.State.status = Fpc_core.State.Halted)
+
+(* ---- relink after translate: the deopt protocol ---- *)
+
+(* External-linkage conventions for every engine, so each has a live LV
+   table to rebind mid-run. *)
+let relink_engines () =
+  [
+    ("i1", Fpc_core.Engine.i1, Fpc_compiler.Convention.external_);
+    ("i2", Fpc_core.Engine.i2, Fpc_compiler.Convention.external_);
+    ("i3", Fpc_core.Engine.i3 (), Fpc_compiler.Convention.external_);
+    ( "i4",
+      Fpc_core.Engine.i4 (),
+      Fpc_compiler.Convention.banked ~linkage:Fpc_mesa.Image.External () );
+  ]
+
+let relink_source ~n ~c =
+  Printf.sprintf
+    "MODULE Lib;\n\
+     PROC inc(x: INT): INT =\n  RETURN x + %d;\nEND;\n\
+     PROC trip(x: INT): INT =\n  RETURN x * 3 + 1;\nEND;\nEND;\n\n\
+     MODULE Main;\nIMPORT Lib;\n\
+     PROC main() =\n\
+     \  VAR acc: INT := 1;\n\
+     \  VAR i: INT := 0;\n\
+     \  WHILE i < %d DO\n\
+     \    acc := Lib.inc(acc);\n\
+     \    i := i + 1;\n\
+     \  END;\n\
+     \  OUTPUT acc;\n\
+     END;\nEND;\n"
+    c n
+
+let relink_image ~convention source =
+  match Fpc_compiler.Compile.image ~convention source with
+  | Ok image -> image
+  | Error m -> Alcotest.fail ("relink compile: " ^ m)
+
+let lv_index_of image ~instance ~target =
+  let ii = Fpc_mesa.Image.find_instance image instance in
+  let imports = ii.Fpc_mesa.Image.ii_imports in
+  let rec go i =
+    if i >= Array.length imports then
+      Alcotest.fail "relink: import not found"
+    else if imports.(i) = target then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Pause the run at [pause] retired instructions, re-point Main's import
+   of Lib.inc at Lib.trip, and continue to completion. *)
+let run_with_relink ~pause runner image (st : Fpc_core.State.t) =
+  runner ~max_steps:pause st;
+  (match st.status with
+  | Fpc_core.State.Trapped Fpc_core.State.Step_limit ->
+    st.status <- Fpc_core.State.Running
+  | _ -> ());
+  let lv_index = lv_index_of image ~instance:"Main" ~target:("Lib", "inc") in
+  (match st.simple with
+  | Some sl ->
+    Fpc_core.Simple_links.rebind sl image ~instance:"Main" ~lv_index
+      ~target:("Lib", "trip")
+  | None ->
+    Fpc_mesa.Linker.rebind_lv image ~instance:"Main" ~lv_index
+      ~target:("Lib", "trip"));
+  runner ~max_steps:2_000_000 st
+
+let relink_deopt_prop =
+  QCheck.Test.make ~count:25
+    ~name:"mid-run relink deopts cleanly (all engines, both tiers)"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
+    (fun seed ->
+      let n = 40 + (seed mod 120) in
+      let c = 1 + (seed mod 9) in
+      let pause = 20 + (7 * seed mod 700) in
+      let source = relink_source ~n ~c in
+      List.for_all
+        (fun (en, engine, convention) ->
+          let reference =
+            let image = relink_image ~convention source in
+            let st = boot ~engine image in
+            run_with_relink ~pause
+              (fun ~max_steps st -> Fpc_interp.Interp.run ~max_steps st)
+              image st;
+            observe st
+          in
+          let image = relink_image ~convention source in
+          let st = boot ~engine image in
+          let tier, _ = Fpc_tier.Tier.of_image image in
+          run_with_relink ~pause
+            (fun ~max_steps st -> Fpc_tier.Tier.run ~max_steps tier st)
+            image st;
+          if observe st <> reference then
+            QCheck.Test.fail_reportf "seed %d relink diverged under %s" seed en
+          else true)
+        (relink_engines ()))
+
+(* The deterministic half of the protocol: the rebind really lands (the
+   output changes) and really invalidates the baked resolutions. *)
+let test_relink_invalidates () =
+  let convention = Fpc_compiler.Convention.external_ in
+  let engine = Fpc_core.Engine.i2 in
+  let source = relink_source ~n:50 ~c:1 in
+  let plain =
+    let image = relink_image ~convention source in
+    let st = boot ~engine image in
+    let tier, _ = Fpc_tier.Tier.of_image image in
+    Fpc_tier.Tier.run tier st;
+    Fpc_core.State.output st
+  in
+  let image = relink_image ~convention source in
+  let st = boot ~engine image in
+  let tier, _ = Fpc_tier.Tier.of_image image in
+  Alcotest.(check bool) "fusion valid before relink" true
+    (Fpc_tier.Tier.fusion_valid tier);
+  run_with_relink ~pause:100
+    (fun ~max_steps st -> Fpc_tier.Tier.run ~max_steps tier st)
+    image st;
+  Alcotest.(check bool) "relink invalidated fused resolutions" false
+    (Fpc_tier.Tier.fusion_valid tier);
+  Alcotest.(check bool) "invalidation counted" true
+    (Fpc_tier.Tier.invalidations tier > 0);
+  Alcotest.(check bool) "rebound run halts" true
+    (st.Fpc_core.State.status = Fpc_core.State.Halted);
+  Alcotest.(check bool) "rebind changed the output" true
+    (Fpc_core.State.output st <> plain)
 
 (* ---- translation bookkeeping ---- *)
 
@@ -285,7 +477,18 @@ let () =
             test_traced_profile_equivalence;
           QCheck_alcotest.to_alcotest tier_differential_prop;
         ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "fused calls engage (call-dense suite)" `Quick
+            test_fused_calls_engage;
+          Alcotest.test_case "relink invalidates fused resolutions" `Quick
+            test_relink_invalidates;
+          QCheck_alcotest.to_alcotest relink_deopt_prop;
+        ] );
       ( "translation",
-        [ Alcotest.test_case "shape and sharing" `Quick test_translation_shape ]
-      );
+        [
+          Alcotest.test_case "shape and sharing" `Quick test_translation_shape;
+          Alcotest.test_case "lazy per-procedure translation" `Quick
+            test_lazy_translation;
+        ] );
     ]
