@@ -37,7 +37,16 @@
       percentiles (the `net/latency` section).  With `--port` it
       targets an already-running `fpc serve --tcp` instead (the CI
       serve-smoke step), and `--shutdown` sends the server a graceful
-      drain afterwards.
+      drain afterwards.  The non-smoke run continues into the
+      high-concurrency ladder: a spawned `fpc serve --tcp` subprocess
+      driven at 100 and 1000 pipelined connections while a poller
+      samples the server's /proc thread and fd tables, recording
+      latency percentiles plus the observed footprint
+      (`net/latency/100c`, `net/latency/1000c`) and failing if the
+      server's OS thread count ever exceeds the reactor's constant
+      bound.  `--conns N [--pipeline K]` runs just that ladder, capped
+      at N connections — the CI reactor-smoke step is
+      `bench net --conns 200`.
 
    With no arguments all six layers run.  `--smoke` shrinks the svc,
    trace, sched and net layers to a seconds-long CI sanity pass (tiny job set,
@@ -745,6 +754,203 @@ let run_net ?(smoke = false) ?port ?(host = "127.0.0.1") ?(shutdown = false) ()
   print tb;
   print_newline ()
 
+(* The high-concurrency ladder.  The server runs as a spawned
+   `fpc serve --tcp` subprocess rather than in-process, for two
+   reasons: its fd numbers stay small (the select backend caps fds at
+   FD_SETSIZE, and the generator's own 1000 client sockets would blow
+   through that in a shared process), and /proc/<pid> then describes
+   the server alone — the thread and fd tables ARE the claim under
+   test, so they must not include the generator's thousand client
+   threads. *)
+
+let fpc_binary () =
+  (* bench runs from _build/default/bench/main.exe; fpc sits next door. *)
+  let dir = Filename.dirname Sys.executable_name in
+  let candidate =
+    Filename.concat (Filename.dirname dir) (Filename.concat "bin" "fpc.exe")
+  in
+  if Sys.file_exists candidate then candidate
+  else failwith ("net bench: cannot find the fpc binary at " ^ candidate)
+
+let spawn_server ~domains ~max_conns ~max_pending =
+  let fpc = fpc_binary () in
+  let err_rd, err_wr = Unix.pipe () in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process fpc
+      [| fpc; "serve"; "--tcp"; "0"; "--no-times";
+         "-j"; string_of_int domains;
+         "--max-conns"; string_of_int max_conns;
+         "--max-pending"; string_of_int max_pending |]
+      devnull devnull err_wr
+  in
+  Unix.close err_wr;
+  Unix.close devnull;
+  let ic = Unix.in_channel_of_descr err_rd in
+  (* The server announces "serving on HOST:PORT" on stderr once the
+     listener is live; wait for it, then keep draining stderr in the
+     background so the drain-time metrics dump cannot wedge the server
+     on a full pipe. *)
+  let port = ref None in
+  (try
+     while !port = None do
+       let line = input_line ic in
+       try
+         Scanf.sscanf line "fpc: serving on %s@:%d" (fun _ p ->
+             port := Some p)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+     done
+   with End_of_file -> ());
+  ignore
+    (Thread.create
+       (fun () ->
+         try
+           while true do
+             ignore (input_line ic)
+           done
+         with End_of_file | Sys_error _ -> ())
+       ());
+  match !port with
+  | Some p -> (pid, p)
+  | None ->
+    ignore (Unix.waitpid [] pid);
+    failwith "net bench: spawned server never announced its port"
+
+(* Peak OS-thread and open-fd counts for [pid], sampled from /proc
+   every few milliseconds until [stop] flips.  Plain int refs are fine:
+   systhreads serialize on the runtime lock. *)
+let proc_poller pid stop peak_threads peak_fds =
+  let status = Printf.sprintf "/proc/%d/status" pid in
+  let fddir = Printf.sprintf "/proc/%d/fd" pid in
+  let sample () =
+    (try
+       let ic = open_in status in
+       (try
+          while true do
+            let line = input_line ic in
+            try
+              Scanf.sscanf line "Threads: %d" (fun n ->
+                  if n > !peak_threads then peak_threads := n)
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+          done
+        with End_of_file -> ());
+       close_in ic
+     with Sys_error _ -> ());
+    try
+      let n = Array.length (Sys.readdir fddir) in
+      if n > !peak_fds then peak_fds := n
+    with Sys_error _ -> ()
+  in
+  while not (Atomic.get stop) do
+    sample ();
+    Thread.delay 0.01
+  done;
+  sample ()
+
+let run_net_conns ?(pipeline = 4) ?(record_keys = true) ~conns () =
+  let domains = 2 in
+  let host = "127.0.0.1" in
+  let ladder =
+    List.sort_uniq compare
+      (conns :: List.filter (fun c -> c < conns) [ 100; 1000 ])
+  in
+  (* Every connection keeps [pipeline] requests outstanding, and all of
+     them must be admitted: a shed round trip is a bench failure. *)
+  let max_conns = conns + 100 in
+  let max_pending = max 256 (2 * conns * pipeline) in
+  let pid, port = spawn_server ~domains ~max_conns ~max_pending in
+  let stop = Atomic.make false in
+  let peak_threads = ref 0 and peak_fds = ref 0 in
+  let poller =
+    Thread.create (fun () -> proc_poller pid stop peak_threads peak_fds) ()
+  in
+  let request_line = "prog=fib engine=i2" in
+  let finish () =
+    Atomic.set stop true;
+    Thread.join poller;
+    (try
+       let c = Fpc_net.Client.connect ~host ~port () in
+       Fpc_net.Client.send_line c "shutdown";
+       ignore (Fpc_net.Client.recv_line c);
+       Fpc_net.Client.close c
+     with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid)
+  in
+  Fun.protect ~finally:finish @@ fun () ->
+  let warm =
+    Fpc_net.Loadgen.run ~host ~port ~connections:1 ~requests:3 ~request_line ()
+  in
+  if warm.Fpc_net.Loadgen.ok <> 3 then
+    failwith "net bench: high-concurrency warmup did not come back ok";
+  let open Fpc_util.Tablefmt in
+  let tb =
+    create
+      ~title:
+        (Printf.sprintf
+           "net high-concurrency ladder (fib/i2, pipeline %d, %d-domain \
+            spawned server)"
+           pipeline domains)
+      ~columns:
+        [ ("conns", Right); ("req/conn", Right); ("answered", Right);
+          ("jobs/sec", Right); ("p50", Right); ("p99", Right);
+          ("srv thr", Right); ("srv fds", Right) ]
+  in
+  List.iter
+    (fun connections ->
+      peak_threads := 0;
+      peak_fds := 0;
+      let requests = max 5 (5_000 / connections) in
+      let rep =
+        Fpc_net.Loadgen.run ~host ~port ~connections ~requests ~pipeline
+          ~request_line ()
+      in
+      let expected = connections * requests in
+      if rep.Fpc_net.Loadgen.ok <> expected then
+        failwith
+          (Printf.sprintf
+             "net bench: %d pipelined connections: %d of %d round trips ok \
+              (%d shed, %d failed)"
+             connections rep.Fpc_net.Loadgen.ok expected
+             rep.Fpc_net.Loadgen.shed rep.Fpc_net.Loadgen.failed);
+      (* The reactor's whole point: OS threads stay constant while
+         connections scale.  The OCaml-level count is domains + 3 (main,
+         signal waiter, loop); the runtime adds a tick thread and at
+         most one backup thread per domain, hence the bound. *)
+      let thread_bound = (2 * domains) + 5 in
+      if !peak_threads > thread_bound then
+        failwith
+          (Printf.sprintf
+             "net bench: server used %d OS threads at %d connections \
+              (bound %d): the reactor is leaking threads"
+             !peak_threads connections thread_bound);
+      let pct q =
+        float_of_int
+          (Fpc_util.Histogram.percentile rep.Fpc_net.Loadgen.latency_us q)
+      in
+      if record_keys then begin
+        let name = Printf.sprintf "net/latency/%dc" connections in
+        record name "jobs_per_sec" rep.Fpc_net.Loadgen.jobs_per_sec;
+        record name "p50_us" (pct 50.0);
+        record name "p99_us" (pct 99.0);
+        record name "server_threads" (float_of_int !peak_threads);
+        record name "server_fds" (float_of_int !peak_fds)
+      end;
+      add_row tb
+        [ cell_int connections; cell_int requests;
+          cell_int rep.Fpc_net.Loadgen.answered;
+          cell_float ~decimals:1 rep.Fpc_net.Loadgen.jobs_per_sec;
+          Printf.sprintf "%.0fus" (pct 50.0);
+          Printf.sprintf "%.0fus" (pct 99.0);
+          cell_int !peak_threads; cell_int !peak_fds ])
+    ladder;
+  add_note tb
+    (Printf.sprintf
+       "open-loop pipelined clients; srv thr/fds are /proc peaks of the \
+        spawned server (thread bound %d enforced)"
+       ((2 * domains) + 5));
+  print tb;
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 
 (* Session-scheduler throughput and footprint (the `sched` argument):
@@ -842,14 +1048,16 @@ let () =
   in
   let port_s, args = extract_opt "--port" args in
   let host_s, args = extract_opt "--host" args in
-  let port =
-    Option.map
-      (fun s ->
-        match int_of_string_opt s with
-        | Some p -> p
-        | None -> failwith ("bench: --port expects an integer, got " ^ s))
-      port_s
+  let conns_s, args = extract_opt "--conns" args in
+  let pipeline_s, args = extract_opt "--pipeline" args in
+  let int_opt flag s =
+    match int_of_string_opt s with
+    | Some p -> p
+    | None -> failwith (Printf.sprintf "bench: %s expects an integer, got %s" flag s)
   in
+  let port = Option.map (int_opt "--port") port_s in
+  let conns = Option.map (int_opt "--conns") conns_s in
+  let pipeline = Option.map (int_opt "--pipeline") pipeline_s in
   let host = Option.value host_s ~default:"127.0.0.1" in
   let shutdown = List.mem "--shutdown" args in
   let json = List.mem "--json" args in
@@ -884,5 +1092,18 @@ let () =
   end;
   if trace || everything then run_trace ~smoke ();
   if sched || everything then run_sched ~smoke ();
-  if net || everything then run_net ~smoke ?port ~host ~shutdown ();
+  (match conns with
+  | Some c ->
+    (* `bench net --conns N [--pipeline K]`: just the high-concurrency
+       ladder, its own spawned server, record nothing beyond stdout
+       unless --json asked for the trajectory keys. *)
+    run_net_conns ?pipeline ~record_keys:json ~conns:c ()
+  | None ->
+    if net || everything then begin
+      run_net ~smoke ?port ~host ~shutdown ();
+      (* The high-concurrency ladder spawns its own server; skip it in
+         smoke mode and when the run targets an external --port. *)
+      if (not smoke) && port = None then
+        run_net_conns ?pipeline ~conns:1000 ()
+    end);
   if json then write_json "BENCH_results.json"

@@ -624,6 +624,53 @@ let serve_cmd =
             (const action $ domains_arg $ no_times $ tier_arg $ tcp $ host
              $ max_connections $ max_pending $ max_line))
 
+(* ---- request ---- *)
+
+(* A pipelined client for a running [fpc serve --tcp]: write every
+   request line up front, then read exactly one response line per
+   request, in order.  What the cram tests (and quick manual pokes) use
+   to prove the serve path against [fpc batch]. *)
+let request_cmd =
+  let action host port lines =
+    handle (fun () ->
+        if lines = [] then failwith "request: no request lines given";
+        match Fpc_net.Client.connect ~host ~port () with
+        | exception Unix.Unix_error (e, _, _) ->
+          failwith
+            (Printf.sprintf "request: cannot connect to %s:%d (%s)" host port
+               (Unix.error_message e))
+        | client ->
+          List.iter (Fpc_net.Client.send_line client) lines;
+          List.iter
+            (fun line ->
+              match Fpc_net.Client.recv_line client with
+              | Some resp -> print_endline resp
+              | None ->
+                failwith
+                  (Printf.sprintf
+                     "request: connection closed before %S was answered" line))
+            lines;
+          Fpc_net.Client.close client)
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+           ~doc:"Server address.")
+  in
+  let port =
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Server port (from the 'serving on' line).")
+  in
+  let lines =
+    Arg.(value & pos_all string [] & info [] ~docv:"LINE"
+           ~doc:"Request lines (jobs or admin commands), sent pipelined in \
+                 the order given.")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send request lines to a running fpc serve --tcp, pipelined on \
+             one connection, and print the response lines in order.")
+    Term.(ret (const action $ host $ port $ lines))
+
 (* ---- sched ---- *)
 
 let sched_cmd =
@@ -723,6 +770,6 @@ let main_cmd =
   let doc = "the Fast Procedure Calls (Lampson, ASPLOS 1982) reproduction" in
   Cmd.group (Cmd.info "fpc" ~doc)
     [ run_cmd; disasm_cmd; trace_cmd; profile_cmd; image_cmd; experiment_cmd;
-      suite_cmd; batch_cmd; serve_cmd; sched_cmd ]
+      suite_cmd; batch_cmd; serve_cmd; request_cmd; sched_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

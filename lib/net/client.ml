@@ -1,6 +1,6 @@
 type t = { fd : Unix.file_descr; framing : Framing.t }
 
-let connect ?max_line ~host ~port () =
+let connect ?max_line ?rcvbuf ~host ~port () =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let addr =
     try Unix.inet_addr_of_string host
@@ -11,6 +11,9 @@ let connect ?max_line ~host ~port () =
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
+     (match rcvbuf with
+     | Some n -> Unix.setsockopt_int fd Unix.SO_RCVBUF n
+     | None -> ());
      Unix.connect fd (Unix.ADDR_INET (addr, port));
      Unix.setsockopt fd Unix.TCP_NODELAY true
    with e ->

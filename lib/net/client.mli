@@ -4,8 +4,10 @@
 
 type t
 
-val connect : ?max_line:int -> host:string -> port:int -> unit -> t
-(** Raises [Unix.Unix_error] if the connection is refused. *)
+val connect : ?max_line:int -> ?rcvbuf:int -> host:string -> port:int -> unit -> t
+(** Raises [Unix.Unix_error] if the connection is refused.  [rcvbuf]
+    (a test hook) sets SO_RCVBUF before connecting, so a deliberately
+    tiny client window can force the server into partial writes. *)
 
 val send_line : t -> string -> unit
 (** Write one request line (the newline is added here). *)

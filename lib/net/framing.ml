@@ -2,6 +2,14 @@ type item = Line of string | Overlong of int | Eof
 
 let default_max_line = 65536
 
+(* Push-mode input staging: bytes arrive via [feed], are consumed by the
+   codec's [read], and [closed] latches once the producer says so. *)
+type push = {
+  pending : Buffer.t;
+  mutable pq_off : int;  (** consumed prefix of [pending] *)
+  mutable closed : bool;
+}
+
 type t = {
   read : bytes -> int -> int -> int;
   max_line : int;
@@ -11,9 +19,10 @@ type t = {
   mutable len : int;  (** valid bytes in [chunk] *)
   mutable discarding : int;  (** >0: inside an overlong line; bytes dropped *)
   mutable eof : bool;
+  push : push option;  (** [Some _] iff built by {!pushable} *)
 }
 
-let create ?(max_line = default_max_line) ~read () =
+let make ?(max_line = default_max_line) ~read ~push () =
   if max_line < 1 then invalid_arg "Framing.create: max_line must be positive";
   {
     read;
@@ -24,7 +33,10 @@ let create ?(max_line = default_max_line) ~read () =
     len = 0;
     discarding = 0;
     eof = false;
+    push;
   }
+
+let create ?max_line ~read () = make ?max_line ~read ~push:None ()
 
 let of_fd ?max_line fd =
   let read buf pos len =
@@ -53,37 +65,76 @@ let of_string ?max_line s =
   in
   create ?max_line ~read ()
 
+let pushable ?max_line () =
+  let p = { pending = Buffer.create 1024; pq_off = 0; closed = false } in
+  let read buf pos len =
+    let avail = Buffer.length p.pending - p.pq_off in
+    if avail = 0 then begin
+      (* fully drained: reclaim the buffer before the next burst *)
+      if Buffer.length p.pending > 0 then begin
+        Buffer.clear p.pending;
+        p.pq_off <- 0
+      end;
+      if p.closed then 0 else -1
+    end
+    else begin
+      let n = min avail len in
+      Buffer.blit p.pending p.pq_off buf pos n;
+      p.pq_off <- p.pq_off + n;
+      n
+    end
+  in
+  make ?max_line ~read ~push:(Some p) ()
+
+let feed t s off len =
+  match t.push with
+  | None -> invalid_arg "Framing.feed: not a push-mode framing"
+  | Some p ->
+    if p.closed then invalid_arg "Framing.feed: input already closed";
+    Buffer.add_substring p.pending s off len
+
+let input_closed t =
+  match t.push with
+  | None -> invalid_arg "Framing.input_closed: not a push-mode framing"
+  | Some p -> p.closed <- true
+
 let max_line t = t.max_line
 
 let strip_cr s =
   let n = String.length s in
   if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
 
+(* [read] returning a negative count means "no bytes right now" — the
+   push-mode would-block signal.  It must NOT latch [eof]. *)
 let refill t =
-  if not t.eof then begin
+  if t.eof then 0
+  else begin
     let n = t.read t.chunk 0 (Bytes.length t.chunk) in
-    t.pos <- 0;
-    t.len <- n;
-    if n = 0 then t.eof <- true
+    if n >= 0 then begin
+      t.pos <- 0;
+      t.len <- n;
+      if n = 0 then t.eof <- true
+    end;
+    n
   end
 
-let rec next t =
+let rec poll t =
   if t.pos >= t.len then begin
-    refill t;
-    if t.eof then
+    if refill t < 0 then None
+    else if t.eof then
       (* Flush whatever the truncated stream left behind. *)
       if t.discarding > 0 then begin
         let n = t.discarding in
         t.discarding <- 0;
-        Overlong n
+        Some (Overlong n)
       end
       else if Buffer.length t.line > 0 then begin
         let s = strip_cr (Buffer.contents t.line) in
         Buffer.clear t.line;
-        Line s
+        Some (Line s)
       end
-      else Eof
-    else next t
+      else Some Eof
+    else poll t
   end
   else begin
     let nl = Bytes.index_from_opt t.chunk t.pos '\n' in
@@ -98,9 +149,9 @@ let rec next t =
       if found then begin
         let n = t.discarding in
         t.discarding <- 0;
-        Overlong n
+        Some (Overlong n)
       end
-      else next t
+      else poll t
     end
     else begin
       Buffer.add_subbytes t.line t.chunk t.pos avail;
@@ -113,15 +164,22 @@ let rec next t =
         if found then begin
           let n = t.discarding in
           t.discarding <- 0;
-          Overlong n
+          Some (Overlong n)
         end
-        else next t
+        else poll t
       end
       else if found then begin
         let s = strip_cr (Buffer.contents t.line) in
         Buffer.clear t.line;
-        Line s
+        Some (Line s)
       end
-      else next t
+      else poll t
     end
   end
+
+let next t =
+  match poll t with
+  | Some item -> item
+  | None ->
+    (* only a push-mode [read] can would-block; blocking pull is misuse *)
+    invalid_arg "Framing.next: push-mode framing needs poll"

@@ -25,7 +25,9 @@ type item =
 val create : ?max_line:int -> read:(bytes -> int -> int -> int) -> unit -> t
 (** [read buf pos len] must behave like [Unix.read]: block until at least
     one byte is available, return [0] at end of stream.  Short reads are
-    fine — that is the point. *)
+    fine — that is the point.  A [read] may instead return a negative
+    count to mean "no bytes right now" (see {!poll}); it will be called
+    again on the next poll. *)
 
 val of_fd : ?max_line:int -> Unix.file_descr -> t
 (** Framing over a file descriptor.  [EINTR] is retried; connection-reset
@@ -37,6 +39,29 @@ val of_string : ?max_line:int -> string -> t
     worst-case partial-read schedule, for tests. *)
 
 val next : t -> item
-(** The next line, blocking on [read] as needed. *)
+(** The next line, blocking on [read] as needed.  Raises
+    [Invalid_argument] on a push-mode framing (whose reads cannot block);
+    use {!poll} there. *)
+
+val pushable : ?max_line:int -> unit -> t
+(** A push-mode framing for readiness-driven callers (the reactor
+    server): bytes are supplied with {!feed} as the transport delivers
+    them, lines are drained with {!poll}, and {!input_closed} marks the
+    end of the stream.  The line-assembly state machine — overlong
+    discard and resync, [\r] stripping, final-unterminated-line flush —
+    is byte-for-byte the same code the blocking transports run. *)
+
+val feed : t -> string -> int -> int -> unit
+(** [feed t s off len] appends bytes the transport just delivered.
+    Raises [Invalid_argument] on a pull-mode framing, or after
+    {!input_closed}. *)
+
+val input_closed : t -> unit
+(** No more bytes will ever be fed: the next {!poll} past the buffered
+    data flushes any final unterminated line, then yields [Eof]. *)
+
+val poll : t -> item option
+(** The next complete item, or [None] when the framing needs more input
+    (push mode with nothing buffered, and the stream still open). *)
 
 val max_line : t -> int

@@ -1,19 +1,27 @@
-(** A closed-loop load generator for {!Server}, driving [bench net] and
-    the CI serve-smoke step.
+(** A load generator for {!Server}, driving [bench net] and the CI
+    smoke steps.
 
     [connections] client threads each open one TCP connection and play
-    the same request line [requests] times, synchronously: send, block
-    for the response, record the round-trip.  Closed-loop means offered
-    load tracks service rate — the numbers measure the server, not a
-    queue exploding in the generator. *)
+    the same request line [requests] times.  With [pipeline = 1] (the
+    default) each thread is a classic closed loop: send, block for the
+    response, record the round trip — offered load tracks service rate,
+    so the numbers measure the server, not a queue exploding in the
+    generator.  With [pipeline = k] each thread keeps up to [k] requests
+    outstanding (send until the window is full, then read), exercising
+    the server's per-connection response ordering under real protocol
+    pipelining; per-request latency still pairs exactly, because the
+    server answers a connection's jobs in request order. *)
 
 type report = {
   connections : int;
-  sent : int;
+  pipeline : int;  (** requested per-connection window *)
+  sent : int;  (** request lines written *)
   answered : int;  (** responses received (any status) *)
   ok : int;  (** [status:"ok"] results *)
   failed : int;  (** job results with a non-ok status *)
   shed : int;  (** [status:"shed"] refusals *)
+  in_flight_hwm : int;
+      (** the deepest any connection's outstanding window actually got *)
   wall_s : float;
   jobs_per_sec : float;  (** answered / wall_s *)
   latency_us : Fpc_util.Histogram.t;
@@ -25,9 +33,11 @@ val run :
   port:int ->
   connections:int ->
   requests:int ->
+  ?pipeline:int ->
   request_line:string ->
   unit ->
   report
 (** Raises [Unix.Unix_error] if the server cannot be reached at all; a
     connection dying mid-run just stops that thread's remaining
-    requests. *)
+    requests.  Raises [Invalid_argument] for a non-positive
+    [connections] or [pipeline]. *)

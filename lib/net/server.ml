@@ -1,49 +1,62 @@
 open Fpc_svc
+open Fpc_reactor
 
-(* One live connection.  [expected] is the submission-order queue of pool
-   job ids this connection is still owed; [ready] holds results that have
-   been delivered but whose turn has not come.  The writer thread blocks
-   on [cond] until the head of [expected] shows up in [ready], keeping
-   responses in request order however the pool reorders completion. *)
+(* Backpressure bounds on a connection's output backlog: past the high
+   water mark we stop reading its requests (the kernel then pushes back
+   on the client); below the low mark we resume. *)
+let out_hwm = 1 lsl 20
+let out_lwm = 64 * 1024
+
+(* One live connection — owned entirely by the loop thread, so no field
+   here needs a lock.  [expected] is the submission-order queue of pool
+   job ids this connection is still owed; [ready] holds rendered result
+   lines whose turn has not come.  Responses leave in request order
+   however the pool reorders completion. *)
 type conn = {
   c_id : int;
   fd : Unix.file_descr;
-  m : Mutex.t;
-  cond : Condition.t;
+  mutable watcher : Loop.watcher option;
+  fr : Framing.t;  (** push-mode line assembly *)
+  ob : Outbuf.t;
   expected : int Queue.t;
-  ready : (int, Job.result) Hashtbl.t;
-  mutable no_more : bool;  (** reader finished; writer exits once drained *)
-  out_m : Mutex.t;
-  mutable dead : bool;  (** a write failed; keep consuming, stop writing *)
+  ready : (int, string) Hashtbl.t;
+  mutable input_done : bool;  (** EOF / half-close seen; drain and close *)
+  mutable want_write : bool;
+  mutable paused : bool;  (** read interest dropped: output backlog high *)
+  mutable closed : bool;
+}
+
+(* Where a job's answer goes, plus the deadline timer racing it. *)
+type route = {
+  r_conn : conn;
+  r_spec : Job.spec;
+  mutable r_timer : Wheel.timer option;
 }
 
 type t = {
   pool : Pool.t;
   limiter : Limiter.t;
+  loop : Loop.t;
   listen_fd : Unix.file_descr;
   port : int;
-  pipe_rd : Unix.file_descr;
-  pipe_wr : Unix.file_descr;
   stopping : bool Atomic.t;
   times : bool;
   tier : Job.tier;  (** default for requests without an explicit tier= *)
   max_line : int;
-  (* accepted sockets waiting for a handler; None is the stop sentinel *)
-  conn_queue : Unix.file_descr option Queue.t;
-  qm : Mutex.t;
-  qc : Condition.t;
-  (* job id -> connection awaiting that result *)
-  routes : (int, conn) Hashtbl.t;
-  routes_m : Mutex.t;
-  live : (int, conn) Hashtbl.t;
-  live_m : Mutex.t;
-  conn_ids : int Atomic.t;
-  (* server-side counters (sheds, pending watermark) folded into the
-     pool tally at snapshot time *)
+  sndbuf : int option;  (** test hook: SO_SNDBUF for accepted sockets *)
+  read_buf : Bytes.t;  (** loop-confined read scratch *)
+  (* job id -> route; loop-confined *)
+  routes : (int, route) Hashtbl.t;
+  (* live connections by id; loop-confined *)
+  conns : (int, conn) Hashtbl.t;
+  mutable listen_w : Loop.watcher option;
+  mutable conn_ids : int;
+  (* server-side counters (sheds, pending watermark, timer deadlines)
+     folded into the pool tally at snapshot time.  The mutex covers the
+     one cross-thread reader: a snapshot taken from [wait]. *)
   server_metrics : Metrics.t;
   sm_m : Mutex.t;
-  mutable acceptor : Thread.t option;
-  mutable handlers : Thread.t array;
+  mutable loop_thread : Thread.t option;
 }
 
 let write_all fd s =
@@ -57,24 +70,11 @@ let write_all fd s =
   in
   go 0
 
-(* All writes to a connection go through here: serialized by [out_m], and
-   a failed write (peer gone) marks the connection dead rather than
-   raising — the reader and writer keep draining so bookkeeping stays
-   consistent. *)
-let conn_write conn line =
-  Mutex.lock conn.out_m;
-  (if not conn.dead then
-     try write_all conn.fd (line ^ "\n")
-     with Unix.Unix_error _ | Sys_error _ -> conn.dead <- true);
-  Mutex.unlock conn.out_m
+let shutdown_receive fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ()
 
 let port t = t.port
 let draining t = Atomic.get t.stopping
-
-let request_drain t =
-  if Atomic.compare_and_set t.stopping false true then
-    try ignore (Unix.write t.pipe_wr (Bytes.make 1 'x') 0 1)
-    with Unix.Unix_error _ -> ()
 
 let merged_tally t =
   let tally = Pool.metrics_tally t.pool in
@@ -98,6 +98,7 @@ let stats_json t =
         Obj
           [
             ("port", Int t.port);
+            ("backend", String (Loop.backend_name t.loop));
             ("draining", Bool (Atomic.get t.stopping));
             ("connections", Int ls.connections);
             ("max_connections", Int ls.max_connections);
@@ -113,9 +114,157 @@ let note_shed t =
   Metrics.note_shed t.server_metrics;
   Mutex.unlock t.sm_m
 
-let handle_job t conn line =
+(* ---- the connection state machine (loop thread only) ---- *)
+
+let update_interest t conn =
+  match conn.watcher with
+  | None -> ()
+  | Some w ->
+    if not conn.closed then
+      Loop.interest t.loop w
+        ~read:((not conn.input_done) && not conn.paused)
+        ~write:conn.want_write
+
+let rec close_conn t conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (match conn.watcher with Some w -> Loop.unwatch t.loop w | None -> ());
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove t.conns conn.c_id;
+    (* orphan any jobs still owed: their results (and timers) are
+       dropped on arrival.  The limiter's pending slots stay held until
+       the pool actually answers, which keeps the execution backlog
+       bounded even when clients vanish. *)
+    Queue.iter
+      (fun id ->
+        match Hashtbl.find_opt t.routes id with
+        | None -> ()
+        | Some rt ->
+          (match rt.r_timer with
+          | Some tm ->
+            Loop.cancel t.loop tm;
+            rt.r_timer <- None
+          | None -> ());
+          Hashtbl.remove t.routes id)
+      conn.expected;
+    Queue.clear conn.expected;
+    Hashtbl.reset conn.ready;
+    Limiter.release_connection t.limiter;
+    if Atomic.get t.stopping && Hashtbl.length t.conns = 0 then
+      Loop.stop t.loop
+  end
+
+and maybe_close t conn =
+  if
+    (not conn.closed) && conn.input_done
+    && Queue.is_empty conn.expected
+    && Outbuf.is_empty conn.ob
+  then close_conn t conn
+
+and update_backpressure t conn =
+  if not conn.closed then begin
+    let len = Outbuf.length conn.ob in
+    if (not conn.paused) && len > out_hwm then conn.paused <- true
+    else if conn.paused && len <= out_lwm then conn.paused <- false;
+    update_interest t conn
+  end
+
+and flush_conn t conn =
+  if not conn.closed then
+    match Outbuf.flush conn.ob conn.fd with
+    | Outbuf.Error -> close_conn t conn
+    | Outbuf.Flushed ->
+      conn.want_write <- false;
+      update_backpressure t conn;
+      maybe_close t conn
+    | Outbuf.Partial ->
+      conn.want_write <- true;
+      update_backpressure t conn
+
+(* Refusals and admin responses go straight out (possibly ahead of
+   earlier jobs' results — they carry id:null so clients can tell);
+   job results wait their ordered turn in [pump_ready]. *)
+and conn_send t conn line =
+  if not conn.closed then begin
+    Outbuf.add_string conn.ob line;
+    Outbuf.add_string conn.ob "\n";
+    flush_conn t conn
+  end
+
+and pump_ready t conn =
+  if not conn.closed then begin
+    let progressed = ref false in
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt conn.expected with
+      | None -> continue := false
+      | Some id -> (
+        match Hashtbl.find_opt conn.ready id with
+        | None -> continue := false
+        | Some line ->
+          Hashtbl.remove conn.ready id;
+          ignore (Queue.pop conn.expected);
+          Outbuf.add_string conn.ob line;
+          Outbuf.add_string conn.ob "\n";
+          progressed := true)
+    done;
+    if !progressed then flush_conn t conn else maybe_close t conn
+  end
+
+(* A worker finished job [id]; [line] was rendered on the worker domain.
+   Runs on the loop thread (posted). *)
+and on_result t id line =
+  match Hashtbl.find_opt t.routes id with
+  | None -> ()  (* connection gone, or the deadline timer already answered *)
+  | Some rt ->
+    (match rt.r_timer with
+    | Some tm ->
+      Loop.cancel t.loop tm;
+      rt.r_timer <- None
+    | None -> ());
+    Hashtbl.remove t.routes id;
+    if not rt.r_conn.closed then begin
+      Hashtbl.replace rt.r_conn.ready id line;
+      pump_ready t rt.r_conn
+    end
+
+(* Job [id]'s deadline elapsed with the answer still owed (queued or
+   executing): synthesize the deadline reply into its ordered slot now.
+   The pool's own result is dropped when it lands (no route), and only
+   that delivery releases the limiter slot — never this path. *)
+and on_deadline t id =
+  match Hashtbl.find_opt t.routes id with
+  | None -> ()
+  | Some rt ->
+    rt.r_timer <- None;
+    Hashtbl.remove t.routes id;
+    Mutex.lock t.sm_m;
+    Metrics.note_timer_deadline t.server_metrics;
+    Mutex.unlock t.sm_m;
+    if not rt.r_conn.closed then begin
+      let ms = Option.value rt.r_spec.Job.deadline_ms ~default:0 in
+      let reply =
+        {
+          Job.id;
+          spec = rt.r_spec;
+          outcome =
+            Job.Failed
+              ( Job.Deadline_exceeded,
+                Printf.sprintf "deadline of %d ms exceeded" ms );
+          stats = Job.no_stats;
+          profile = None;
+          sched = None;
+        }
+      in
+      Hashtbl.replace rt.r_conn.ready id
+        (Fpc_util.Jsonout.to_string (Job.result_to_json ~times:t.times reply));
+      pump_ready t rt.r_conn
+    end
+
+and handle_job t conn line =
   match Job.parse_request line with
-  | Error msg -> conn_write conn (Protocol.error_line ~error:"bad-request" ~message:msg)
+  | Error msg ->
+    conn_send t conn (Protocol.error_line ~error:"bad-request" ~message:msg)
   | Ok spec ->
     (* A request that left the tier to the service gets the server's
        default; an explicit tier= always wins. *)
@@ -126,195 +275,171 @@ let handle_job t conn line =
     in
     if Atomic.get t.stopping then begin
       note_shed t;
-      conn_write conn (Protocol.shed_line ~message:"server is draining")
+      conn_send t conn (Protocol.shed_line ~message:"server is draining")
     end
     else begin
       match Limiter.try_admit_job t.limiter with
       | None ->
         note_shed t;
-        conn_write conn
+        conn_send t conn
           (Protocol.shed_line ~message:"pending-jobs limit reached")
       | Some depth ->
         Mutex.lock t.sm_m;
         Metrics.observe_pending t.server_metrics depth;
         Mutex.unlock t.sm_m;
-        (* Register the route and the expected id under both locks
-           before any worker can deliver the result, so delivery never
-           races registration.  Pool.submit takes the pool's own lock
-           inside; lock order is routes_m -> conn.m -> pool, same
-           everywhere. *)
-        Mutex.lock t.routes_m;
-        Mutex.lock conn.m;
+        (* No registration race: delivery reaches this state only via a
+           post, which cannot run before this callback returns. *)
         let id = Pool.submit t.pool spec in
-        Hashtbl.replace t.routes id conn;
+        let rt = { r_conn = conn; r_spec = spec; r_timer = None } in
+        Hashtbl.replace t.routes id rt;
         Queue.push id conn.expected;
-        Mutex.unlock conn.m;
-        Mutex.unlock t.routes_m
+        (* The timer is armed at admission, so the deadline covers queue
+           wait as well as execution — a job stuck behind a full pool is
+           answered on time, which threads could never do. *)
+        match spec.Job.deadline_ms with
+        | Some ms ->
+          rt.r_timer <- Some (Loop.after t.loop ~ms (fun () -> on_deadline t id))
+        | None -> ()
     end
 
-let reader_loop t conn =
-  let fr = Framing.of_fd ~max_line:t.max_line conn.fd in
-  let rec loop () =
-    match Framing.next fr with
-    | Framing.Eof -> ()
-    | Framing.Overlong n ->
-      conn_write conn
+and process_items t conn =
+  if not conn.closed then
+    match Framing.poll conn.fr with
+    | None -> ()
+    | Some Framing.Eof ->
+      conn.input_done <- true;
+      update_interest t conn;
+      maybe_close t conn
+    | Some (Framing.Overlong n) ->
+      conn_send t conn
         (Protocol.error_line ~error:"overlong-line"
-           ~message:(Protocol.overlong_message ~bytes_discarded:n ~limit:t.max_line));
-      loop ()
-    | Framing.Line line ->
+           ~message:
+             (Protocol.overlong_message ~bytes_discarded:n ~limit:t.max_line));
+      process_items t conn
+    | Some (Framing.Line line) ->
       let s = String.trim line in
-      if String.length s = 0 || s.[0] = '#' then loop ()
+      if String.length s = 0 || s.[0] = '#' then process_items t conn
       else begin
         (match Protocol.admin_of_line s with
         | Some Protocol.Stats ->
-          conn_write conn (Fpc_util.Jsonout.to_string (stats_json t))
+          conn_send t conn (Fpc_util.Jsonout.to_string (stats_json t))
         | Some Protocol.Shutdown ->
-          conn_write conn Protocol.draining_line;
+          conn_send t conn Protocol.draining_line;
           request_drain t
         | None -> handle_job t conn s);
-        loop ()
+        process_items t conn
       end
-  in
-  loop ()
 
-let writer_loop t conn =
-  let rec next_result () =
-    Mutex.lock conn.m;
-    let rec wait () =
-      if Queue.is_empty conn.expected then
-        if conn.no_more then None
-        else begin
-          Condition.wait conn.cond conn.m;
-          wait ()
-        end
-      else
-        let id = Queue.peek conn.expected in
-        match Hashtbl.find_opt conn.ready id with
-        | Some r ->
-          Hashtbl.remove conn.ready id;
-          ignore (Queue.pop conn.expected);
-          Some r
-        | None ->
-          Condition.wait conn.cond conn.m;
-          wait ()
-    in
-    let r = wait () in
-    Mutex.unlock conn.m;
-    match r with
-    | None -> ()
-    | Some r ->
-      conn_write conn
-        (Fpc_util.Jsonout.to_string (Job.result_to_json ~times:t.times r));
-      next_result ()
-  in
-  next_result ()
+and finish_input t conn =
+  if (not conn.closed) && not conn.input_done then begin
+    Framing.input_closed conn.fr;
+    (* flushes a final unterminated line, then yields Eof *)
+    process_items t conn
+  end
 
-let shutdown_receive fd =
-  try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ()
+and on_conn_readable t conn =
+  if not conn.closed then begin
+    (* one bounded read per readiness event: level-triggered polling
+       re-reports leftover bytes, and no connection can starve the rest *)
+    match Unix.read conn.fd t.read_buf 0 (Bytes.length t.read_buf) with
+    | 0 -> finish_input t conn
+    | n ->
+      Framing.feed conn.fr (Bytes.sub_string t.read_buf 0 n) 0 n;
+      process_items t conn
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+      (* reset mid-request: nothing more can be written either *)
+      close_conn t conn
+  end
 
-let serve_connection t fd =
+and new_conn t fd =
+  let c_id = t.conn_ids in
+  t.conn_ids <- t.conn_ids + 1;
   let conn =
     {
-      c_id = Atomic.fetch_and_add t.conn_ids 1;
+      c_id;
       fd;
-      m = Mutex.create ();
-      cond = Condition.create ();
+      watcher = None;
+      fr = Framing.pushable ~max_line:t.max_line ();
+      ob = Outbuf.create ();
       expected = Queue.create ();
-      ready = Hashtbl.create 16;
-      no_more = false;
-      out_m = Mutex.create ();
-      dead = false;
+      ready = Hashtbl.create 8;
+      input_done = false;
+      want_write = false;
+      paused = false;
+      closed = false;
     }
   in
-  Mutex.lock t.live_m;
-  Hashtbl.replace t.live conn.c_id conn;
-  Mutex.unlock t.live_m;
-  (* A drain may have swept [live] between our pop and the registration
-     above; re-check so this connection's read side is shut too. *)
-  if Atomic.get t.stopping then shutdown_receive fd;
-  let writer = Thread.create (fun () -> writer_loop t conn) () in
-  (try reader_loop t conn with _ -> ());
-  Mutex.lock conn.m;
-  conn.no_more <- true;
-  Condition.signal conn.cond;
-  Mutex.unlock conn.m;
-  Thread.join writer;
-  Mutex.lock t.live_m;
-  Hashtbl.remove t.live conn.c_id;
-  Mutex.unlock t.live_m;
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  Limiter.release_connection t.limiter
-
-let handler_loop t =
-  let rec loop () =
-    Mutex.lock t.qm;
-    while Queue.is_empty t.conn_queue do
-      Condition.wait t.qc t.qm
-    done;
-    let item = Queue.pop t.conn_queue in
-    Mutex.unlock t.qm;
-    match item with
-    | None -> ()
-    | Some fd ->
-      (if Atomic.get t.stopping then begin
-         (* accepted before the drain, never served: shed, don't wedge *)
-         (try write_all fd (Protocol.shed_line ~message:"server is draining" ^ "\n")
-          with Unix.Unix_error _ | Sys_error _ -> ());
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         Limiter.release_connection t.limiter
-       end
-       else serve_connection t fd);
-      loop ()
+  let w =
+    Loop.watch t.loop fd
+      ~on_readable:(fun () -> on_conn_readable t conn)
+      ~on_writable:(fun () -> flush_conn t conn)
+      ()
   in
-  loop ()
+  conn.watcher <- Some w;
+  Hashtbl.replace t.conns c_id conn;
+  Loop.interest t.loop w ~read:true ~write:false
 
-let acceptor_loop t =
-  let rec loop () =
-    if Atomic.get t.stopping then ()
-    else
-      match Unix.select [ t.listen_fd; t.pipe_rd ] [] [] (-1.0) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | readable, _, _ ->
-        if Atomic.get t.stopping || List.mem t.pipe_rd readable then ()
-        else begin
-          (match Unix.accept t.listen_fd with
-          | exception
-              Unix.Unix_error
-                ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-            ->
-            ()
-          | fd, _ ->
-            (try Unix.setsockopt fd Unix.TCP_NODELAY true
-             with Unix.Unix_error _ -> ());
-            if Limiter.try_admit_connection t.limiter then begin
-              Mutex.lock t.qm;
-              Queue.push (Some fd) t.conn_queue;
-              Condition.signal t.qc;
-              Mutex.unlock t.qm
-            end
-            else begin
-              (try
-                 write_all fd
-                   (Protocol.shed_line ~message:"connection limit reached" ^ "\n")
-               with Unix.Unix_error _ | Sys_error _ -> ());
-              try Unix.close fd with Unix.Unix_error _ -> ()
-            end);
-          loop ()
-        end
-  in
-  loop ();
-  (* Drain begins: stop listening, wake every blocked reader by shutting
-     the read side of live connections (their in-flight jobs still
-     flush), and release the handler threads. *)
+and on_accept t =
+  if not (Atomic.get t.stopping) then begin
+    match Unix.accept t.listen_fd with
+    | exception
+        Unix.Unix_error
+          ( (Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK),
+            _,
+            _ ) ->
+      ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      (match t.sndbuf with
+      | Some n -> (
+        try Unix.setsockopt_int fd Unix.SO_SNDBUF n
+        with Unix.Unix_error _ -> ())
+      | None -> ());
+      if Limiter.try_admit_connection t.limiter then begin
+        Unix.set_nonblock fd;
+        new_conn t fd
+      end
+      else begin
+        (try
+           write_all fd
+             (Protocol.shed_line ~message:"connection limit reached" ^ "\n")
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end;
+      (* accept the whole burst before returning to the backend *)
+      on_accept t
+  end
+
+(* Drain, on the loop thread: stop listening, mark every connection's
+   input as over (in-flight jobs still flush in order), and let the loop
+   stop once the last connection closes. *)
+and begin_drain t =
+  (match t.listen_w with
+  | Some w ->
+    Loop.unwatch t.loop w;
+    t.listen_w <- None
+  | None -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  Mutex.lock t.live_m;
-  Hashtbl.iter (fun _ conn -> shutdown_receive conn.fd) t.live;
-  Mutex.unlock t.live_m;
-  Mutex.lock t.qm;
-  Array.iter (fun _ -> Queue.push None t.conn_queue) t.handlers;
-  Condition.broadcast t.qc;
-  Mutex.unlock t.qm
+  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  List.iter
+    (fun conn ->
+      if not conn.closed then begin
+        shutdown_receive conn.fd;
+        finish_input t conn;
+        update_interest t conn
+      end)
+    cs;
+  if Hashtbl.length t.conns = 0 then Loop.stop t.loop
+
+and request_drain t =
+  if Atomic.compare_and_set t.stopping false true then
+    Loop.post t.loop (fun () -> begin_drain t)
 
 let resolve_host host =
   try Unix.inet_addr_of_string host
@@ -325,33 +450,33 @@ let resolve_host host =
 
 let create ?(host = "127.0.0.1") ?(port = 0) ?domains ?max_connections
     ?max_pending ?(max_line = Framing.default_max_line) ?(times = true)
-    ?(tier = Fpc_svc.Job.Auto) () =
+    ?(tier = Fpc_svc.Job.Auto) ?backend ?sndbuf () =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let limiter = Limiter.create ?max_connections ?max_pending () in
-  let routes = Hashtbl.create 64 in
-  let routes_m = Mutex.create () in
-  (* The zero-copy handoff: the worker domain hands the result record to
-     the owning connection and pokes its writer.  Runs on the execution
-     path, so it is a couple of table operations under short locks. *)
+  let loop = Loop.create ?backend () in
+  (* The result handoff: the worker domain that completed the job
+     renders its JSON line right there (spreading the serialization cost
+     across domains), releases the admission slot, and posts the line
+     into the loop, which owns all routing state. *)
+  let t_ref = ref None in
   let deliver (r : Job.result) =
     Limiter.release_job limiter;
-    Mutex.lock routes_m;
-    (match Hashtbl.find_opt routes r.Job.id with
-    | Some conn ->
-      Hashtbl.remove routes r.Job.id;
-      Mutex.lock conn.m;
-      Hashtbl.replace conn.ready r.Job.id r;
-      Condition.signal conn.cond;
-      Mutex.unlock conn.m
-    | None -> ());
-    Mutex.unlock routes_m
+    match !t_ref with
+    | None -> ()
+    | Some t ->
+      let line =
+        Fpc_util.Jsonout.to_string (Job.result_to_json ~times r)
+      in
+      Loop.post loop (fun () -> on_result t r.Job.id line)
   in
   let pool = Pool.create ?domains ~deliver () in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
      Unix.bind listen_fd (Unix.ADDR_INET (resolve_host host, port));
-     Unix.listen listen_fd 64
+     (* a C10K accept storm arrives faster than one thread can accept *)
+     Unix.listen listen_fd 1024;
+     Unix.set_nonblock listen_fd
    with e ->
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      Pool.shutdown pool;
@@ -361,44 +486,38 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?domains ?max_connections
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
-  let pipe_rd, pipe_wr = Unix.pipe () in
   let t =
     {
       pool;
       limiter;
+      loop;
       listen_fd;
       port;
-      pipe_rd;
-      pipe_wr;
       stopping = Atomic.make false;
       times;
       tier;
       max_line;
-      conn_queue = Queue.create ();
-      qm = Mutex.create ();
-      qc = Condition.create ();
-      routes;
-      routes_m;
-      live = Hashtbl.create 16;
-      live_m = Mutex.create ();
-      conn_ids = Atomic.make 0;
+      sndbuf;
+      read_buf = Bytes.create 65536;
+      routes = Hashtbl.create 64;
+      conns = Hashtbl.create 64;
+      listen_w = None;
+      conn_ids = 0;
       server_metrics = Metrics.create ~domains:1;
       sm_m = Mutex.create ();
-      acceptor = None;
-      handlers = [||];
+      loop_thread = None;
     }
   in
-  let n_handlers = (Limiter.stats limiter).Limiter.max_connections in
-  t.handlers <- Array.init n_handlers (fun _ -> Thread.create handler_loop t);
-  t.acceptor <- Some (Thread.create acceptor_loop t);
+  t_ref := Some t;
+  let lw = Loop.watch loop listen_fd ~on_readable:(fun () -> on_accept t) () in
+  t.listen_w <- Some lw;
+  Loop.interest loop lw ~read:true ~write:false;
+  t.loop_thread <- Some (Thread.create Loop.run loop);
   t
 
 let wait t =
-  (match t.acceptor with Some th -> Thread.join th | None -> ());
-  Array.iter Thread.join t.handlers;
+  (match t.loop_thread with Some th -> Thread.join th | None -> ());
   Pool.drain t.pool;
   let snap = snapshot_now t in
   Pool.shutdown t.pool;
-  (try Unix.close t.pipe_rd with Unix.Unix_error _ -> ());
-  (try Unix.close t.pipe_wr with Unix.Unix_error _ -> ());
   snap

@@ -1,34 +1,45 @@
 (** The TCP front-end over {!Fpc_svc.Pool}: newline-delimited
     {!Fpc_svc.Job} request lines in, one JSON result line per job out.
 
-    Thread/domain layout: one acceptor thread multiplexes the listening
-    socket against a self-pipe (the drain signal); a fixed set of
-    connection-handler threads (one per admissible connection) runs each
-    connection's read side; each live connection gets one writer thread
-    that emits results {e in submission order}; and the jobs themselves
-    execute on the {!Fpc_svc.Pool}'s worker domains.  Results travel
-    from worker to writer through the pool's [deliver] hook — the record
-    is handed over directly, with no shard list, no sort and no second
-    copy.
+    Thread/domain layout — the point of the design is that it is {e
+    constant in the connection count}: one reactor thread
+    ({!Fpc_reactor.Loop}) owns the listening socket, every connection
+    socket, all routing state and all timers; the jobs themselves execute
+    on the {!Fpc_svc.Pool}'s worker domains.  A connection is a small
+    state machine (push-mode {!Framing} in, {!Fpc_reactor.Outbuf} out)
+    driven by readiness callbacks, so ten connections and ten thousand
+    cost the same number of threads.  Results travel from worker to loop
+    through the pool's [deliver] hook: the worker renders the JSON line
+    and posts it to the loop's self-pipe; the loop routes it to its
+    connection.
 
     Per connection, job results come back in the order the requests were
-    sent, so a single connection's output for a jobfile is byte-identical
-    to [fpc batch --json] on the same file.  Refusals (bad request,
-    overlong line, shed) and admin responses are written as soon as the
-    offending line is read, and may therefore interleave ahead of
-    earlier jobs' results; they carry [id:null] so clients can tell.
+    sent — protocol pipelining is first-class — so a single connection's
+    output for a jobfile is byte-identical to [fpc batch --json] on the
+    same file.  Refusals (bad request, overlong line, shed) and admin
+    responses are written as soon as the offending line is read, and may
+    therefore interleave ahead of earlier jobs' results; they carry
+    [id:null] so clients can tell.
 
     Admission control ({!Limiter}): over the connection cap, the
     connection is answered with one shed line and closed; over the
     pending-jobs bound, the request is answered with a shed line and not
-    executed.  Nothing queues without bound.
+    executed.  Nothing queues without bound: a connection whose client
+    stops reading accumulates at most ~1MB of responses before the
+    reactor stops reading its requests.
+
+    Deadlines ([deadline_ms=] on a request) are armed on the loop's
+    timer wheel {e at admission}, so they cover queue wait as well as
+    execution: if the wheel fires first, the client receives the
+    deadline-exceeded reply in that job's ordered slot and the pool's
+    eventual result is dropped.  The pool's own fuel-sliced deadline
+    enforcement still runs (it is what keeps a hot job from wedging a
+    worker); whichever side answers first wins the route.
 
     Graceful drain ({!request_drain}, a [shutdown] admin line, or — wired
-    in [bin/fpc] — SIGTERM): stop accepting, shed queued-but-unserved
-    connections, shut the read side of live connections, flush every
-    in-flight job's result, then {!wait} returns the final metrics.
-    {!request_drain} itself only sets a flag and writes the self-pipe, so
-    it is safe from a signal handler. *)
+    in [bin/fpc] — SIGTERM): stop accepting, mark every live
+    connection's input as over, flush every in-flight job's result in
+    order, then {!wait} returns the final metrics. *)
 
 type t
 
@@ -41,6 +52,8 @@ val create :
   ?max_line:int ->
   ?times:bool ->
   ?tier:Fpc_svc.Job.tier ->
+  ?backend:Fpc_reactor.Backend.t ->
+  ?sndbuf:int ->
   unit ->
   t
 (** Bind, listen and start serving.  Defaults: host ["127.0.0.1"], port
@@ -49,26 +62,31 @@ val create :
     {!Framing.default_max_line}, [times:true] (include host timings in
     result JSON; [false] gives fully deterministic output), [tier:Auto]
     (the default execution tier for requests that carry no explicit
-    [tier=] key; an explicit key always wins).  Installs a SIGPIPE-ignore
-    handler (a dead peer must read as an I/O error, not kill the
-    process). *)
+    [tier=] key; an explicit key always wins),
+    [backend:{!Fpc_reactor.Backend.default}] (the readiness backend —
+    [select] today, shaped so an epoll backend slots in), [sndbuf] unset
+    (a test hook: SO_SNDBUF for accepted sockets, to force partial
+    writes).  Installs a SIGPIPE-ignore handler (a dead peer must read
+    as an I/O error, not kill the process). *)
 
 val port : t -> int
 (** The bound port (useful with [port:0]). *)
 
 val request_drain : t -> unit
-(** Begin a graceful drain; idempotent, non-blocking, async-signal-safe
-    (one atomic store and one pipe write). *)
+(** Begin a graceful drain; idempotent, non-blocking, callable from any
+    thread (one atomic swap and a loop post — from a dedicated
+    signal-relay thread, not a raw signal handler). *)
 
 val draining : t -> bool
 
 val stats_json : t -> Fpc_util.Jsonout.t
-(** The [/stats] payload: a ["server"] object (port, draining flag,
-    limiter counters) and a ["pool"] object ({!Fpc_svc.Metrics.to_json}
-    of the live tally, shed and pending-watermark counters folded in). *)
+(** The [/stats] payload: a ["server"] object (port, reactor backend,
+    draining flag, limiter counters) and a ["pool"] object
+    ({!Fpc_svc.Metrics.to_json} of the live tally, shed /
+    pending-watermark / timer-deadline counters folded in). *)
 
 val wait : t -> Fpc_svc.Metrics.snapshot
 (** Block until a drain is requested and completes: every accepted
-    request answered, every thread joined, the pool shut down.  Returns
+    request answered, the reactor stopped, the pool shut down.  Returns
     the final metrics (the "stats line" of the drain protocol).  Call
     once. *)

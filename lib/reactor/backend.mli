@@ -1,0 +1,35 @@
+(** The readiness API the event loop drives: register file descriptors,
+    declare read/write interest, block until something is ready.
+
+    A backend is a record of operations, so alternatives slot in without
+    a functor dance: {!select} is the portable one ([Unix.select], fd
+    numbers below FD_SETSIZE — 1024 on Linux — O(registered) per wait);
+    an epoll backend would return the same record from C stubs and scale
+    past that.  {!Loop.create} takes the backend as a parameter and
+    never looks inside it. *)
+
+type ready = {
+  r_fd : Unix.file_descr;
+  r_readable : bool;
+  r_writable : bool;
+}
+
+type t = {
+  name : string;
+  add : Unix.file_descr -> unit;
+      (** register with no interest; raises [Invalid_argument] if the fd
+          is already registered *)
+  modify : Unix.file_descr -> read:bool -> write:bool -> unit;
+      (** replace the fd's interest set *)
+  remove : Unix.file_descr -> unit;  (** forget the fd (idempotent) *)
+  wait : float -> ready list;
+      (** block up to [timeout] seconds (negative = forever) for
+          readiness on the registered interest; an empty list is a
+          legitimate timeout or spurious (EINTR) wake *)
+}
+
+val select : unit -> t
+(** The [Unix.select] backend. *)
+
+val default : unit -> t
+(** The best backend available on this host (today: {!select}). *)

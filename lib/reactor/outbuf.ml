@@ -1,0 +1,66 @@
+type t = {
+  mutable buf : Bytes.t;
+  mutable off : int;  (** first unwritten byte *)
+  mutable fill : int;  (** end of valid data *)
+  mutable hwm : int;
+}
+
+let create ?(initial = 4096) () =
+  if initial < 1 then invalid_arg "Outbuf.create: initial must be positive";
+  { buf = Bytes.create initial; off = 0; fill = 0; hwm = 0 }
+
+let length t = t.fill - t.off
+let is_empty t = t.fill = t.off
+let high_water t = t.hwm
+
+let reserve t extra =
+  if t.fill + extra > Bytes.length t.buf then begin
+    let used = length t in
+    (* compact first; grow only if the hole was not enough *)
+    if t.off > 0 then begin
+      Bytes.blit t.buf t.off t.buf 0 used;
+      t.off <- 0;
+      t.fill <- used
+    end;
+    if used + extra > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while used + extra > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 used;
+      t.buf <- bigger
+    end
+  end
+
+let add_string t s =
+  let n = String.length s in
+  reserve t n;
+  Bytes.blit_string s 0 t.buf t.fill n;
+  t.fill <- t.fill + n;
+  if length t > t.hwm then t.hwm <- length t
+
+type status = Flushed | Partial | Error
+
+(* Write as much as the socket takes right now.  [Partial] means the
+   kernel buffer is full — the caller arms write-readiness and comes
+   back; [Error] means the peer is gone. *)
+let flush t fd =
+  let rec go () =
+    let n = length t in
+    if n = 0 then begin
+      t.off <- 0;
+      t.fill <- 0;
+      Flushed
+    end
+    else
+      match Unix.write fd t.buf t.off n with
+      | written ->
+        t.off <- t.off + written;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Partial
+      | exception (Unix.Unix_error _ | Sys_error _) -> Error
+  in
+  go ()

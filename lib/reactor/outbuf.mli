@@ -1,0 +1,27 @@
+(** A per-connection write buffer for non-blocking sockets: append
+    whole response lines, flush as much as the kernel will take, keep
+    the rest for the next write-readiness event.  One linear byte
+    buffer, compacted in place — steady state writes allocate nothing. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+
+val add_string : t -> string -> unit
+
+val length : t -> int
+(** Bytes buffered and not yet accepted by the socket. *)
+
+val is_empty : t -> bool
+
+val high_water : t -> int
+(** The largest backlog this buffer ever held — the per-connection
+    memory the serving stack actually risked. *)
+
+type status =
+  | Flushed  (** everything out; write interest can be dropped *)
+  | Partial  (** kernel buffer full; arm write-readiness and return *)
+  | Error  (** the peer is gone; close the connection *)
+
+val flush : t -> Unix.file_descr -> status
+(** Write until empty, [EAGAIN], or a hard error.  [EINTR] is retried. *)

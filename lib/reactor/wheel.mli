@@ -1,0 +1,34 @@
+(** A hashed timer wheel: O(1) arm and cancel, expiry by sweeping the
+    slots the clock has passed.  Times are absolute host seconds (the
+    caller picks the clock and hands it to {!advance}); granularity is
+    the firing resolution, not a tick the caller must drive — a slot
+    holds entries for any future revolution and due-ness is re-checked
+    per entry.
+
+    Built for the reactor's per-job deadlines: many short-lived timers,
+    most of them cancelled (the job finished in time) before they fire.
+    Not thread-safe; the owning loop is single-threaded by design. *)
+
+type timer
+
+type t
+
+val create : ?granularity_ms:int -> ?slots:int -> now:float -> unit -> t
+(** Defaults: 2 ms granularity, 512 slots (≈1 s per revolution). *)
+
+val add : t -> at:float -> (unit -> unit) -> timer
+(** Arm a timer to fire at absolute time [at] (may be in the past: it
+    fires on the next {!advance}). *)
+
+val cancel : t -> timer -> unit
+(** Disarm; idempotent, and a no-op after the timer fired. *)
+
+val advance : t -> now:float -> unit
+(** Fire every live timer with [fire_at <= now], in slot order. *)
+
+val next_due : t -> now:float -> float option
+(** Seconds until the earliest live timer ([Some 0.] if overdue), [None]
+    if nothing is armed — the loop's wait timeout. *)
+
+val live : t -> int
+val fired : t -> int

@@ -11,6 +11,7 @@ type t = {
   mutable failed : int;
   mutable fuel_exhausted : int;
   mutable deadline_exceeded : int;
+  mutable timer_deadlines : int;
   mutable shed : int;
   mutable max_pending_observed : int;
   mutable compile_s : float;
@@ -39,6 +40,7 @@ let create ~domains =
     failed = 0;
     fuel_exhausted = 0;
     deadline_exceeded = 0;
+    timer_deadlines = 0;
     shed = 0;
     max_pending_observed = 0;
     compile_s = 0.0;
@@ -105,6 +107,10 @@ let record t (r : Job.result) =
 
 let note_shed t = t.shed <- t.shed + 1
 
+(* The job itself is still counted by the worker that eventually runs
+   it; this only counts the reply the reactor synthesized in its place. *)
+let note_timer_deadline t = t.timer_deadlines <- t.timer_deadlines + 1
+
 let observe_pending t pending =
   if pending > t.max_pending_observed then t.max_pending_observed <- pending
 
@@ -114,6 +120,7 @@ let merge_into ~src ~into =
   into.failed <- into.failed + src.failed;
   into.fuel_exhausted <- into.fuel_exhausted + src.fuel_exhausted;
   into.deadline_exceeded <- into.deadline_exceeded + src.deadline_exceeded;
+  into.timer_deadlines <- into.timer_deadlines + src.timer_deadlines;
   into.shed <- into.shed + src.shed;
   into.max_pending_observed <-
     max into.max_pending_observed src.max_pending_observed;
@@ -160,6 +167,7 @@ type snapshot = {
   failed : int;
   fuel_exhausted : int;
   deadline_exceeded : int;
+  timer_deadlines : int;
   shed : int;
   max_pending_observed : int;
   cache : Image_cache.stats;
@@ -207,6 +215,7 @@ let snapshot (t : t) ~wall_s ~cache =
     failed = t.failed;
     fuel_exhausted = t.fuel_exhausted;
     deadline_exceeded = t.deadline_exceeded;
+    timer_deadlines = t.timer_deadlines;
     shed = t.shed;
     max_pending_observed = t.max_pending_observed;
     cache;
@@ -243,6 +252,8 @@ let render (s : snapshot) =
   row "  failed" (cell_int s.failed);
   row "    of which fuel-exhausted" (cell_int s.fuel_exhausted);
   row "    of which deadline-exceeded" (cell_int s.deadline_exceeded);
+  if s.timer_deadlines > 0 then
+    row "deadlines answered by timer" (cell_int s.timer_deadlines);
   row "shed (admission control)" (cell_int s.shed);
   row "max pending observed" (cell_int s.max_pending_observed);
   row "cache hits / misses"
@@ -294,6 +305,7 @@ let to_json (s : snapshot) =
       ("failed", Int s.failed);
       ("fuel_exhausted", Int s.fuel_exhausted);
       ("deadline_exceeded", Int s.deadline_exceeded);
+      ("timer_deadlines", Int s.timer_deadlines);
       ("shed", Int s.shed);
       ("max_pending_observed", Int s.max_pending_observed);
       ( "cache",

@@ -24,6 +24,12 @@ val note_shed : t -> unit
 val observe_pending : t -> int -> unit
 (** Raise the pending-jobs high-water mark if [pending] exceeds it. *)
 
+val note_timer_deadline : t -> unit
+(** Count one reply the reactor's timer wheel synthesized because a job's
+    [deadline_ms] elapsed before its result came back (queue wait
+    included).  The job itself still runs to a pool outcome — recorded by
+    its worker as usual — so this counts extra replies, not jobs. *)
+
 val merge_into : src:t -> into:t -> unit
 (** Fold every count of [src] into [into] ([src] is left untouched).
     Counters add; the pending high-water mark merges with [max].  The
@@ -48,6 +54,10 @@ type snapshot = {
   failed : int;  (** all failures, {e including} fuel/deadline exhaustion *)
   fuel_exhausted : int;
   deadline_exceeded : int;  (** jobs whose wall-clock deadline fired *)
+  timer_deadlines : int;
+      (** replies synthesized by the serving reactor's timer wheel when a
+          deadline elapsed before the pool answered (see
+          {!note_timer_deadline}) *)
   shed : int;  (** requests refused by admission control (never ran) *)
   max_pending_observed : int;  (** pending-jobs high-water mark *)
   cache : Image_cache.stats;

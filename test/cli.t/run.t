@@ -116,6 +116,32 @@ The shutdown admin command is acknowledged, then the server drains:
   $ printf 'prog=fib engine=i2\nshutdown\nprog=hanoi\n' | fpc serve --no-times 2>/dev/null | grep -c '"status":\("draining"\|"ok"\)'
   2
 
+The TCP transport (the reactor): the same job keys — including session
+workloads and green-thread scheduling — travel over a live socket, and
+a pipelined connection's responses are byte-identical to fpc batch on
+the same jobfile:
+
+  $ cat > tcp-jobs.txt <<'EOF'
+  > sessions=48 window=8 seed=7 engine=i3 sched=yield
+  > prog=fib engine=i2 sched=preempt quantum=500
+  > sessions=32 engine=i4
+  > prog=hanoi engine=i3
+  > EOF
+  $ fpc serve --tcp 0 --no-times -j 2 >server.out 2>server.err &
+  $ for _ in $(seq 1 100); do grep -q 'serving on' server.err 2>/dev/null && break; sleep 0.1; done
+  $ PORT=$(sed -n 's/.*serving on 127.0.0.1:\([0-9]*\).*/\1/p' server.err)
+  $ fpc batch --json -j 2 tcp-jobs.txt 2>/dev/null > batch.out
+  $ fpc request --port "$PORT" \
+  >   'sessions=48 window=8 seed=7 engine=i3 sched=yield' \
+  >   'prog=fib engine=i2 sched=preempt quantum=500' \
+  >   'sessions=32 engine=i4' \
+  >   'prog=hanoi engine=i3' > tcp.out
+  $ cmp batch.out tcp.out && echo byte-identical
+  byte-identical
+  $ fpc request --port "$PORT" shutdown
+  {"status":"draining"}
+  $ wait
+
 The green-thread scheduler: a session workload multiplexed over one
 machine by coroutine XFER.  Stdout is the deterministic scheduling
 report — simulated meters only — and both execution tiers produce the

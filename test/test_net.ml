@@ -65,6 +65,34 @@ let test_framing_large_random () =
     (List.map line lines)
     (items_of_string s)
 
+let test_framing_push_mode () =
+  (* push mode must produce the same items as pull mode for the same
+     bytes, with None whenever the buffered input runs dry *)
+  let fr = Framing.pushable ~max_line:4 () in
+  Alcotest.(check (option string)) "empty framing has nothing" None
+    (Option.map item_str (Framing.poll fr));
+  Framing.feed fr "ok\n01" 0 5;
+  Alcotest.(check (option string)) "first line out" (Some (item_str (line "ok")))
+    (Option.map item_str (Framing.poll fr));
+  Alcotest.(check (option string)) "mid-overlong: need more" None
+    (Option.map item_str (Framing.poll fr));
+  Framing.feed fr "23456789\nfi" 0 11;
+  Alcotest.(check (option string)) "overlong flushed on resync"
+    (Some (item_str (overlong 10)))
+    (Option.map item_str (Framing.poll fr));
+  Alcotest.(check (option string)) "partial good line: need more" None
+    (Option.map item_str (Framing.poll fr));
+  Framing.feed fr "ne" 0 2;
+  Framing.input_closed fr;
+  Alcotest.(check (option string)) "unterminated tail flushed at close"
+    (Some (item_str (line "fine")))
+    (Option.map item_str (Framing.poll fr));
+  Alcotest.(check (option string)) "then Eof" (Some "Eof")
+    (Option.map item_str (Framing.poll fr));
+  Alcotest.check_raises "next on push mode is misuse"
+    (Invalid_argument "Framing.next: push-mode framing needs poll") (fun () ->
+      ignore (Framing.next (Framing.pushable ())))
+
 (* ---- limiter ---- *)
 
 let test_limiter () =
@@ -320,6 +348,183 @@ let test_graceful_drain () =
        answer — EOF or nothing *)
     Client.close client
 
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec at k = k + n <= h && (String.sub hay k n = needle || at (k + 1)) in
+  at 0
+
+let test_partial_writes_over_tcp () =
+  (* tiny socket buffers on both sides, and a client that sends its
+     whole pipeline before reading a byte: the server's write path must
+     ride Partial -> write-readiness -> resume, and every response must
+     still arrive complete and in request order *)
+  let n = 200 in
+  let server =
+    Server.create ~domains:2 ~max_pending:(n + 10) ~times:false ~sndbuf:4096 ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_drain server;
+      ignore (Server.wait server))
+    (fun () ->
+      let client =
+        Client.connect ~rcvbuf:4096 ~host:"127.0.0.1"
+          ~port:(Server.port server) ()
+      in
+      List.iter (Client.send_line client) (List.init n (fun _ -> "prog=fib"));
+      let got = List.init n (fun _ ->
+          match Client.recv_line client with
+          | Some l -> l
+          | None -> Alcotest.fail "closed before all responses") in
+      Client.close client;
+      List.iteri
+        (fun i resp ->
+          Alcotest.(check bool)
+            (Printf.sprintf "reply %d ok" i)
+            true
+            (contains resp "\"status\":\"ok\"");
+          Scanf.sscanf resp "{\"id\":%d," (fun id ->
+              Alcotest.(check int)
+                (Printf.sprintf "reply %d in request order" i)
+                i id))
+        got)
+
+let test_overlong_shed_midstream () =
+  (* an overlong request in the middle of a pipelined stream is refused
+     and discarded; the requests on either side of it still run *)
+  with_server ~max_line:64 (fun server ->
+      let client =
+        Client.connect ~host:"127.0.0.1" ~port:(Server.port server) ()
+      in
+      Client.send_line client "prog=fib";
+      Client.send_line client (String.make 200 'x');
+      Client.send_line client "prog=fib";
+      Client.shutdown_send client;
+      let rec collect acc =
+        match Client.recv_line client with
+        | Some l -> collect (l :: acc)
+        | None -> List.rev acc
+      in
+      let got = collect [] in
+      Client.close client;
+      Alcotest.(check int) "three responses" 3 (List.length got);
+      Alcotest.(check int) "both good jobs ran" 2
+        (List.length
+           (List.filter (fun r -> contains r "\"status\":\"ok\"") got));
+      Alcotest.(check int) "the overlong line was refused" 1
+        (List.length
+           (List.filter (fun r -> contains r "\"error\":\"overlong-line\"") got)))
+
+let test_half_close_drains () =
+  (* SHUT_WR with jobs still in flight: the server sees EOF, keeps the
+     connection open until every owed response is flushed, then closes *)
+  with_server ~domains:1 (fun server ->
+      let client =
+        Client.connect ~host:"127.0.0.1" ~port:(Server.port server) ()
+      in
+      Client.send_line client slow_line;
+      Client.send_line client "prog=fib";
+      Client.send_line client "prog=hanoi";
+      Client.shutdown_send client;
+      let got =
+        List.init 3 (fun _ ->
+            match Client.recv_line client with
+            | Some l -> l
+            | None -> Alcotest.fail "closed before owed responses were flushed")
+      in
+      Alcotest.(check int) "all three answered after half-close" 3
+        (List.length
+           (List.filter (fun r -> contains r "\"status\":\"ok\"") got));
+      (match Client.recv_line client with
+      | None -> ()
+      | Some l -> Alcotest.failf "expected EOF after the drain, got %s" l);
+      Client.close client)
+
+let test_ordering_under_reordered_completion () =
+  (* domains=2 and alternating slow/fast jobs on one connection: the
+     fast job finishes first on the other domain, but the wire order
+     must still be the request order *)
+  let lines = [ slow_line; "prog=fib"; slow_line; "prog=fib" ] in
+  with_server ~domains:2 (fun server ->
+      let client =
+        Client.connect ~host:"127.0.0.1" ~port:(Server.port server) ()
+      in
+      let got = send_and_collect client lines (List.length lines) in
+      Client.close client;
+      List.iteri
+        (fun i resp ->
+          Scanf.sscanf resp "{\"id\":%d," (fun id ->
+              Alcotest.(check int)
+                (Printf.sprintf "reply %d carries job id %d" i i)
+                i id))
+        got)
+
+(* ~12M simulated steps: long enough (hundreds of ms) to pin the single
+   worker while the timer wheel answers a queued job's deadline. *)
+let hog_src =
+  {|
+MODULE Main;
+PROC main() =
+  VAR i: INT := 0;
+  VAR j: INT := 0;
+  VAR n: INT := 0;
+  i := 0;
+  WHILE i < 1700 DO
+    j := 0;
+    WHILE j < 1700 DO
+      j := j + 1;
+      n := n + 1;
+    END;
+    i := i + 1;
+  END;
+  OUTPUT 1;
+END;
+END;
+|}
+
+let test_timer_answers_queued_deadline () =
+  (* one worker, pinned by a hog on connection A: connection B's
+     deadlined job never starts executing, so only the reactor's timer
+     wheel (armed at admission) can answer it on time *)
+  let hog_line =
+    Fpc_svc.Job.request_of_spec
+      (Fpc_svc.Job.spec ~fuel:200_000_000 (Fpc_svc.Job.Inline hog_src))
+  in
+  let server = Server.create ~domains:1 ~times:false () in
+  let port = Server.port server in
+  let hog_done = ref 0.0 in
+  let hog_thread =
+    Thread.create
+      (fun () ->
+        let a = Client.connect ~host:"127.0.0.1" ~port () in
+        (match send_and_collect a [ hog_line ] 1 with
+        | [ r ] ->
+          Alcotest.(check bool) "hog completed ok" true
+            (contains r "\"status\":\"ok\"")
+        | _ -> Alcotest.fail "hog got no response");
+        hog_done := Unix.gettimeofday ();
+        Client.close a)
+      ()
+  in
+  Thread.delay 0.05 (* let the hog occupy the only worker *);
+  let b = Client.connect ~host:"127.0.0.1" ~port () in
+  let b_answered =
+    match send_and_collect b [ "prog=fib deadline_ms=20" ] 1 with
+    | [ r ] ->
+      Alcotest.(check bool) "queued job answered deadline-exceeded" true
+        (contains r "\"error\":\"deadline-exceeded\"");
+      Unix.gettimeofday ()
+    | _ -> Alcotest.fail "no response for the deadlined job"
+  in
+  Client.close b;
+  Thread.join hog_thread;
+  Alcotest.(check bool) "the timer beat the pool to the answer" true
+    (b_answered < !hog_done);
+  Server.request_drain server;
+  let snap = Server.wait server in
+  Alcotest.(check int) "counted as a timer-answered deadline" 1
+    snap.Fpc_svc.Metrics.timer_deadlines
+
 let () =
   Alcotest.run "net"
     [
@@ -331,6 +536,8 @@ let () =
             test_framing_overlong_resync;
           Alcotest.test_case "200-line reassembly" `Quick
             test_framing_large_random;
+          Alcotest.test_case "push mode feeds and polls" `Quick
+            test_framing_push_mode;
         ] );
       ("limiter", [ Alcotest.test_case "caps and counters" `Quick test_limiter ]);
       ( "server",
@@ -344,5 +551,15 @@ let () =
           Alcotest.test_case "deadline over TCP" `Quick test_deadline_over_tcp;
           Alcotest.test_case "graceful drain flushes in-flight" `Quick
             test_graceful_drain;
+          Alcotest.test_case "partial writes under tiny buffers" `Quick
+            test_partial_writes_over_tcp;
+          Alcotest.test_case "overlong refusal mid-stream" `Quick
+            test_overlong_shed_midstream;
+          Alcotest.test_case "half-close drains owed responses" `Quick
+            test_half_close_drains;
+          Alcotest.test_case "request order survives reordered completion"
+            `Quick test_ordering_under_reordered_completion;
+          Alcotest.test_case "timer wheel answers a queued deadline" `Quick
+            test_timer_answers_queued_deadline;
         ] );
     ]

@@ -1,0 +1,232 @@
+(* Tests for the event-loop building blocks: the timer wheel's firing /
+   cancellation / revolution behaviour, the output buffer's partial-write
+   handling against a really-full socket, and the loop's readiness,
+   timer and cross-thread post paths over real pipes. *)
+
+open Fpc_reactor
+
+(* ---- timer wheel ---- *)
+
+let test_wheel_fires_in_order () =
+  let w = Wheel.create ~granularity_ms:2 ~slots:16 ~now:0.0 () in
+  let log = ref [] in
+  let arm at tag = ignore (Wheel.add w ~at (fun () -> log := tag :: !log)) in
+  arm 0.050 "c";
+  arm 0.010 "a";
+  arm 0.030 "b";
+  Alcotest.(check int) "3 live" 3 (Wheel.live w);
+  Wheel.advance w ~now:0.005;
+  Alcotest.(check (list string)) "nothing due yet" [] (List.rev !log);
+  Wheel.advance w ~now:0.012;
+  Alcotest.(check (list string)) "first due" [ "a" ] (List.rev !log);
+  Wheel.advance w ~now:0.060;
+  Alcotest.(check (list string)) "rest in time order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  Alcotest.(check int) "none live" 0 (Wheel.live w);
+  Alcotest.(check int) "three fired" 3 (Wheel.fired w)
+
+let test_wheel_cancel () =
+  let w = Wheel.create ~granularity_ms:2 ~slots:16 ~now:0.0 () in
+  let fired = ref 0 in
+  let t1 = Wheel.add w ~at:0.010 (fun () -> incr fired) in
+  let _t2 = Wheel.add w ~at:0.010 (fun () -> incr fired) in
+  Wheel.cancel w t1;
+  Wheel.cancel w t1 (* idempotent *);
+  Alcotest.(check int) "one live after cancel" 1 (Wheel.live w);
+  Wheel.advance w ~now:0.020;
+  Alcotest.(check int) "only the uncancelled fired" 1 !fired;
+  (* cancelling after the fire is a no-op, not a count underflow *)
+  Wheel.cancel w t1;
+  Alcotest.(check int) "live count intact" 0 (Wheel.live w)
+
+let test_wheel_beyond_horizon () =
+  (* 8 slots x 2ms = a 16ms revolution; a 100ms timer shares a slot with
+     earlier revolutions and must survive every sweep until its time *)
+  let w = Wheel.create ~granularity_ms:2 ~slots:8 ~now:0.0 () in
+  let fired = ref false in
+  ignore (Wheel.add w ~at:0.100 (fun () -> fired := true));
+  let t = ref 0.0 in
+  while !t < 0.095 do
+    t := !t +. 0.004;
+    Wheel.advance w ~now:!t
+  done;
+  Alcotest.(check bool) "survived 6 revolutions" false !fired;
+  Alcotest.(check (option (float 0.02)))
+    "next_due sees it" (Some 0.005)
+    (Wheel.next_due w ~now:0.095);
+  Wheel.advance w ~now:0.101;
+  Alcotest.(check bool) "fired at its time" true !fired
+
+let test_wheel_overdue_insert () =
+  let w = Wheel.create ~now:10.0 () in
+  let fired = ref false in
+  ignore (Wheel.add w ~at:9.0 (fun () -> fired := true));
+  Alcotest.(check (option (float 0.001))) "overdue reads as 0" (Some 0.0)
+    (Wheel.next_due w ~now:10.0);
+  Wheel.advance w ~now:10.0;
+  Alcotest.(check bool) "fires on the next advance" true !fired
+
+(* ---- outbuf ---- *)
+
+let test_outbuf_partial_writes () =
+  (* a socketpair with a tiny send buffer: flush must stop at Partial,
+     resume after the reader drains, and deliver every byte in order *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  Unix.setsockopt_int a Unix.SO_SNDBUF 4096;
+  let ob = Outbuf.create ~initial:64 () in
+  let payload = String.init (512 * 1024) (fun i -> Char.chr (i mod 251)) in
+  Outbuf.add_string ob payload;
+  Alcotest.(check int) "buffered" (String.length payload) (Outbuf.length ob);
+  let got = Buffer.create (String.length payload) in
+  let chunk = Bytes.create 65536 in
+  let rec drain_reader () =
+    match Unix.read b chunk 0 (Bytes.length chunk) with
+    | n when n > 0 ->
+      Buffer.add_subbytes got chunk 0 n;
+      drain_reader ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  Unix.set_nonblock b;
+  let partials = ref 0 in
+  let rec pump () =
+    match Outbuf.flush ob a with
+    | Outbuf.Flushed -> ()
+    | Outbuf.Partial ->
+      incr partials;
+      drain_reader ();
+      pump ()
+    | Outbuf.Error -> Alcotest.fail "unexpected write error"
+  in
+  pump ();
+  drain_reader ();
+  Alcotest.(check bool) "socket really filled up at least once" true
+    (!partials > 0);
+  Alcotest.(check int) "every byte arrived" (String.length payload)
+    (Buffer.length got);
+  Alcotest.(check bool) "bytes identical" true
+    (String.equal payload (Buffer.contents got));
+  Alcotest.(check int) "high-water saw the full backlog"
+    (String.length payload) (Outbuf.high_water ob);
+  Unix.close a;
+  Unix.close b
+
+let test_outbuf_peer_gone () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  Unix.close b;
+  let ob = Outbuf.create () in
+  Outbuf.add_string ob (String.make 100_000 'x');
+  let rec pump n =
+    if n > 20 then Alcotest.fail "no error after 20 flushes"
+    else
+      match Outbuf.flush ob a with
+      | Outbuf.Error -> ()
+      | Outbuf.Flushed | Outbuf.Partial -> pump (n + 1)
+  in
+  pump 0;
+  Unix.close a
+
+(* ---- the loop ---- *)
+
+let test_loop_readiness_and_stop () =
+  let loop = Loop.create () in
+  let rd, wr = Unix.pipe () in
+  Unix.set_nonblock rd;
+  let seen = Buffer.create 16 in
+  let buf = Bytes.create 64 in
+  let w = ref None in
+  let on_readable () =
+    match Unix.read rd buf 0 (Bytes.length buf) with
+    | 0 ->
+      Option.iter (Loop.unwatch loop) !w;
+      Loop.stop loop
+    | n -> Buffer.add_subbytes seen buf 0 n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  let watcher = Loop.watch loop rd ~on_readable () in
+  w := Some watcher;
+  Loop.interest loop watcher ~read:true ~write:false;
+  let writer =
+    Thread.create
+      (fun () ->
+        ignore (Unix.write_substring wr "hello " 0 6);
+        Thread.delay 0.02;
+        ignore (Unix.write_substring wr "loop" 0 4);
+        Unix.close wr)
+      ()
+  in
+  Loop.run loop;
+  Thread.join writer;
+  Unix.close rd;
+  Alcotest.(check string) "all bytes dispatched" "hello loop"
+    (Buffer.contents seen);
+  let s = Loop.stats loop in
+  Alcotest.(check bool) "loop iterated" true (s.Loop.iterations >= 2)
+
+let test_loop_post_from_thread () =
+  let loop = Loop.create () in
+  let hits = ref [] in
+  let poster =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.02;
+        Loop.post loop (fun () -> hits := "one" :: !hits);
+        Loop.post loop (fun () -> hits := "two" :: !hits);
+        Loop.request_stop loop)
+      ()
+  in
+  (* nothing watched, no timers: the loop must still wake for the posts *)
+  Loop.run loop;
+  Thread.join poster;
+  Alcotest.(check (list string)) "posted thunks ran in order" [ "one"; "two" ]
+    (List.rev !hits)
+
+let test_loop_timer_fires () =
+  let loop = Loop.create () in
+  let t0 = Unix.gettimeofday () in
+  let elapsed = ref 0.0 in
+  ignore
+    (Loop.after loop ~ms:30 (fun () ->
+         elapsed := Unix.gettimeofday () -. t0;
+         Loop.stop loop));
+  let cancelled_fired = ref false in
+  let c = Loop.after loop ~ms:5 (fun () -> cancelled_fired := true) in
+  Loop.cancel loop c;
+  Loop.run loop;
+  Alcotest.(check bool) "cancelled timer never fired" false !cancelled_fired;
+  Alcotest.(check bool) "fired no earlier than armed" true (!elapsed >= 0.025);
+  Alcotest.(check bool) "fired reasonably promptly" true (!elapsed < 2.0)
+
+let () =
+  (* writes to a dead peer must surface as Outbuf.Error, not kill us *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Alcotest.run "reactor"
+    [
+      ( "wheel",
+        [
+          Alcotest.test_case "fires in time order" `Quick
+            test_wheel_fires_in_order;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "beyond one revolution" `Quick
+            test_wheel_beyond_horizon;
+          Alcotest.test_case "overdue insert" `Quick test_wheel_overdue_insert;
+        ] );
+      ( "outbuf",
+        [
+          Alcotest.test_case "partial writes on a full socket" `Quick
+            test_outbuf_partial_writes;
+          Alcotest.test_case "peer gone reads as Error" `Quick
+            test_outbuf_peer_gone;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "readiness dispatch and stop" `Quick
+            test_loop_readiness_and_stop;
+          Alcotest.test_case "cross-thread post wakes the loop" `Quick
+            test_loop_post_from_thread;
+          Alcotest.test_case "timers fire, cancels hold" `Quick
+            test_loop_timer_fires;
+        ] );
+    ]
