@@ -304,6 +304,87 @@ let run_tier_calls ?(smoke = false) () =
   print tb;
   print_newline ()
 
+(* Link-time devirtualization on the cross-module kernels: the
+   late-bound image versus the devirtualized image, interpreter under
+   I1/I2 (the externally-linked pairings — I3/I4 bind early and have no
+   sites).  The simulated cycle and storage-reference meters are exact;
+   wall clock rides along so the host-side effect of fewer link-vector
+   loads is also on the trajectory. *)
+let run_devirt ?(smoke = false) () =
+  let open Fpc_util.Tablefmt in
+  let tb =
+    create
+      ~title:"link-time devirtualization on cross-module kernels (interp)"
+      ~columns:
+        [ ("prog", Left); ("engine", Left); ("sites", Right); ("refs", Right);
+          ("cycles", Right); ("refs saved", Right); ("host", Right) ]
+  in
+  List.iter
+    (fun prog ->
+      List.iter
+        (fun (ename, engine) ->
+          let convention = Fpc_compiler.Convention.for_engine engine in
+          let source = Fpc_workload.Programs.find prog in
+          let build devirt =
+            match Fpc_compiler.Compile.image ~convention ~devirt source with
+            | Ok i -> i
+            | Error m -> failwith ("devirt bench compile: " ^ m)
+          in
+          let base = build false and dv = build true in
+          let measure image =
+            let st =
+              Fpc_interp.Interp.run_program
+                ~image:(Fpc_mesa.Image.clone image) ~engine ~instance:"Main"
+                ~proc:"main" ~args:[] ()
+            in
+            assert (st.Fpc_core.State.status = Fpc_core.State.Halted);
+            ( Fpc_machine.Cost.cycles st.Fpc_core.State.cost,
+              Fpc_machine.Cost.mem_refs st.Fpc_core.State.cost )
+          in
+          let cycles_b, refs_b = measure base in
+          let cycles_d, refs_d = measure dv in
+          let samples = if smoke then 3 else 7 in
+          let host image =
+            median_run_s ~samples ~runs:1 (fun () ->
+                let st =
+                  Fpc_interp.Interp.run_program
+                    ~image:(Fpc_mesa.Image.clone image) ~engine
+                    ~instance:"Main" ~proc:"main" ~args:[] ()
+                in
+                assert (st.Fpc_core.State.status = Fpc_core.State.Halted))
+          in
+          let host_b = host base and host_d = host dv in
+          let rewritten =
+            match dv.Fpc_mesa.Image.dir.Fpc_mesa.Image.devirt with
+            | Some d -> d.Fpc_mesa.Image.dv_rewritten
+            | None -> 0
+          in
+          let saved = float_of_int (refs_b - refs_d) /. float_of_int refs_b in
+          if not smoke then begin
+            let name = Printf.sprintf "micro/fpc/devirt/%s/%s" prog ename in
+            record name "sites_rewritten" (float_of_int rewritten);
+            record name "mem_refs_base" (float_of_int refs_b);
+            record name "mem_refs_devirt" (float_of_int refs_d);
+            record name "cycles_base" (float_of_int cycles_b);
+            record name "cycles_devirt" (float_of_int cycles_d);
+            record name "refs_saved_pct" (100.0 *. saved);
+            record name "interp_ns_per_run_base" (host_b *. 1e9);
+            record name "interp_ns_per_run_devirt" (host_d *. 1e9)
+          end;
+          add_row tb
+            [ prog; ename; cell_int rewritten;
+              Printf.sprintf "%d -> %d" refs_b refs_d;
+              Printf.sprintf "%d -> %d" cycles_b cycles_d;
+              Printf.sprintf "%.1f%%" (100.0 *. saved);
+              Printf.sprintf "%.2f -> %.2f ms" (host_b *. 1e3) (host_d *. 1e3) ])
+        [ ("i1", Fpc_core.Engine.i1); ("i2", Fpc_core.Engine.i2) ])
+    [ "callchain"; "leafcalls"; "xleaf" ];
+  add_note tb
+    "refs and cycles are simulated meters (exact); host is wall-clock \
+     median; sites = EXTERNALCALL sites rewritten to DIRECTCALL";
+  print tb;
+  print_newline ()
+
 let bench_allocator =
   Bechamel.Test.make ~name:"allocator/alloc+free"
     (Bechamel.Staged.stage (fun () ->
@@ -1084,7 +1165,8 @@ let () =
   if micro || everything then begin
     run_micro ();
     run_tier_compile ();
-    run_tier_calls ~smoke ()
+    run_tier_calls ~smoke ();
+    run_devirt ~smoke ()
   end;
   if svc || everything then begin
     run_svc ~smoke ();

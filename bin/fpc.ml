@@ -47,19 +47,26 @@ let source_arg =
          ~doc:"A mini-Mesa source file, or the name of a built-in suite \
                program (e.g. fib, coroutine).")
 
+let devirt_arg =
+  Arg.(value & opt bool true & info [ "devirt" ] ~docv:"BOOL"
+         ~doc:"Run the link-time devirtualization pass (rewrite provably \
+               single-target external calls to DIRECTCALL).  On by \
+               default; outputs never change, only the meters.  \
+               $(b,--devirt=false) keeps the late-bound baseline.")
+
 let handle f = try `Ok (f ()) with Failure m | Invalid_argument m -> `Error (false, m)
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let action source engine_name tier_name steps stats =
+  let action source engine_name tier_name devirt steps stats =
     handle (fun () ->
         let engine = engine_of_string engine_name in
         let tier = tier_of_string tier_name in
         let convention = Fpc_compiler.Convention.for_engine engine in
         let src = read_source source in
         let image =
-          match Fpc_compiler.Compile.image ~convention src with
+          match Fpc_compiler.Compile.image ~convention ~devirt src with
           | Ok i -> i
           | Error m -> failwith m
         in
@@ -79,6 +86,16 @@ let run_cmd =
         | Fpc_core.State.Running -> failwith "still running"
         | Fpc_core.State.Trapped r ->
           failwith ("trapped: " ^ Fpc_core.State.trap_reason_to_string r));
+        (* What the pass did, but only for images that had any late-bound
+           sites at all — single-module programs keep their historical
+           stderr shape. *)
+        (match image.Fpc_mesa.Image.dir.Fpc_mesa.Image.devirt with
+        | Some d when d.Fpc_mesa.Image.dv_sites > 0 ->
+          Printf.eprintf
+            "devirt: sites=%d proven=%d rewritten=%d short=%d abstained=%d\n"
+            d.Fpc_mesa.Image.dv_sites d.dv_proven d.dv_rewritten d.dv_short
+            d.dv_abstained
+        | _ -> ());
         if stats then prerr_string (Fpc_interp.Report.render st)
         else
           Printf.eprintf "engine=%s instructions=%d cycles=%d storage-refs=%d\n"
@@ -93,7 +110,8 @@ let run_cmd =
            ~doc:"Print the full machine-statistics table (to stderr).")
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute Main.main, printing OUTPUT words.")
-    Term.(ret (const action $ source_arg $ engine_arg $ tier_arg $ steps $ stats))
+    Term.(ret (const action $ source_arg $ engine_arg $ tier_arg $ devirt_arg
+               $ steps $ stats))
 
 (* ---- disasm ---- *)
 
@@ -392,11 +410,17 @@ let suite_specs ~engines ~tier ~fuel =
     Fpc_workload.Programs.names
 
 (* The command-line tier is the default for requests that left the tier
-   to the service; an explicit tier= in the jobfile line wins. *)
+   to the service; an explicit tier= in the jobfile line wins.  Same
+   story for --devirt and devirt=. *)
 let apply_tier_default tier (spec : Fpc_svc.Job.spec) =
   match spec.tier with
   | Fpc_svc.Job.Auto -> { spec with Fpc_svc.Job.tier }
   | _ -> spec
+
+let apply_devirt_default devirt (spec : Fpc_svc.Job.spec) =
+  match spec.devirt with
+  | None -> { spec with Fpc_svc.Job.devirt = Some devirt }
+  | Some _ -> spec
 
 let read_jobfile path =
   let ic = open_in path in
@@ -418,7 +442,7 @@ let read_jobfile path =
   List.rev !specs
 
 let batch_cmd =
-  let action jobfile domains engines_csv tier_name fuel json =
+  let action jobfile domains engines_csv tier_name devirt fuel json =
     handle (fun () ->
         let engines =
           String.split_on_char ',' engines_csv
@@ -433,11 +457,12 @@ let batch_cmd =
           engines;
         let tier = tier_of_string tier_name in
         let specs =
-          match jobfile with
+          (match jobfile with
           | Some path when Sys.file_exists path ->
             List.map (apply_tier_default tier) (read_jobfile path)
           | Some path -> failwith (Printf.sprintf "%s: no such jobfile" path)
-          | None -> suite_specs ~engines ~tier ~fuel
+          | None -> suite_specs ~engines ~tier ~fuel)
+          |> List.map (apply_devirt_default devirt)
         in
         if specs = [] then failwith "no jobs to run";
         let results, metrics =
@@ -481,8 +506,8 @@ let batch_cmd =
              execution tiers.  Pool metrics go to stderr.")
     Term.(
       ret
-        (const action $ jobfile $ domains_arg $ engines $ tier_arg $ fuel
-        $ json))
+        (const action $ jobfile $ domains_arg $ engines $ tier_arg
+        $ devirt_arg $ fuel $ json))
 
 (* ---- serve ---- *)
 
@@ -490,7 +515,7 @@ let batch_cmd =
    (Fpc_net.Protocol) and same line-length discipline (Fpc_net.Framing)
    as the TCP server, but single-connection and order-relaxed: results
    stream out as jobs complete. *)
-let serve_stdin ~domains ~times ~tier ~max_line =
+let serve_stdin ~domains ~times ~tier ~devirt ~max_line =
   let pool = Fpc_svc.Pool.create ~domains:(resolve_domains domains) () in
   let emit line =
     print_endline line;
@@ -525,7 +550,9 @@ let serve_stdin ~domains ~times ~tier ~max_line =
         | None -> (
           match Fpc_svc.Job.parse_request s with
           | Ok spec ->
-            ignore (Fpc_svc.Pool.submit pool (apply_tier_default tier spec))
+            ignore
+              (Fpc_svc.Pool.submit pool
+                 (apply_devirt_default devirt (apply_tier_default tier spec)))
           | Error m ->
             emit (Fpc_net.Protocol.error_line ~error:"bad-request" ~message:m))));
     drain_ready ()
@@ -535,8 +562,8 @@ let serve_stdin ~domains ~times ~tier ~max_line =
   Fpc_svc.Pool.shutdown pool;
   prerr_string (Fpc_svc.Metrics.render metrics)
 
-let serve_tcp ~domains ~times ~tier ~host ~port ~max_connections ~max_pending
-    ~max_line =
+let serve_tcp ~domains ~times ~tier ~devirt ~host ~port ~max_connections
+    ~max_pending ~max_line =
   (* Every server thread blocks in C (select, cond_wait), where a
      Sys.Signal_handle closure may never get to run.  Instead: block the
      drain signals before any thread is spawned (threads inherit the
@@ -544,7 +571,7 @@ let serve_tcp ~domains ~times ~tier ~host ~port ~max_connections ~max_pending
   ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
   let server =
     Fpc_net.Server.create ~host ~port ~domains:(resolve_domains domains)
-      ~max_connections ~max_pending ~max_line ~times ~tier ()
+      ~max_connections ~max_pending ~max_line ~times ~tier ~devirt ()
   in
   let (_ : Thread.t) =
     Thread.create
@@ -566,19 +593,19 @@ let serve_tcp ~domains ~times ~tier ~host ~port ~max_connections ~max_pending
   prerr_string (Fpc_svc.Metrics.render snap)
 
 let serve_cmd =
-  let action domains no_times tier_name tcp host max_connections max_pending
-      max_line =
+  let action domains no_times tier_name devirt tcp host max_connections
+      max_pending max_line =
     handle (fun () ->
         let times = not no_times in
         let tier = tier_of_string tier_name in
         match tcp with
         | Some port ->
-          serve_tcp ~domains ~times ~tier ~host ~port ~max_connections
+          serve_tcp ~domains ~times ~tier ~devirt ~host ~port ~max_connections
             ~max_pending ~max_line
         | None ->
           if host <> "127.0.0.1" then
             failwith "--host only makes sense with --tcp";
-          serve_stdin ~domains ~times ~tier ~max_line)
+          serve_stdin ~domains ~times ~tier ~devirt ~max_line)
   in
   let no_times =
     Arg.(value & flag & info [ "no-times" ]
@@ -621,8 +648,8 @@ let serve_cmd =
              control; one JSON result line per job.  Admin lines: /stats \
              (counters as JSON), shutdown (graceful drain).")
     Term.(ret
-            (const action $ domains_arg $ no_times $ tier_arg $ tcp $ host
-             $ max_connections $ max_pending $ max_line))
+            (const action $ domains_arg $ no_times $ tier_arg $ devirt_arg
+             $ tcp $ host $ max_connections $ max_pending $ max_line))
 
 (* ---- request ---- *)
 

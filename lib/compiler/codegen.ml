@@ -7,6 +7,9 @@ type proc_ctx = {
   env : Fpc_lang.Typecheck.env;
   current : string;
   conv : Convention.t;
+  devirt : bool;
+      (** emit external calls in their padded 4-byte shape and record
+          them, so the link-time CFA pass can rewrite proven sites *)
   imports : (string * string, int) Hashtbl.t;
   globals : (string, int) Hashtbl.t;
   proc_evs : (string, int) Hashtbl.t;
@@ -15,6 +18,7 @@ type proc_ctx = {
   b : Builder.t;
   mutable dfc_fixups : (int * int) list;
   mutable lpd_fixups : (int * int) list;
+  mutable efc_sites : (int * int) list;
 }
 
 let resolve_callee ctx (c : callee) =
@@ -127,7 +131,12 @@ and gen_call ctx (c : callee) args =
        included: the address is known at link time, so the IFU can follow
        the call.  The target is named through a self-import. *)
     direct_via (descriptor_lv ctx c)
-  | `Import lv, Fpc_mesa.Image.External -> Builder.emit ctx.b (Opcode.Efc lv)
+  | `Import lv, Fpc_mesa.Image.External ->
+    if ctx.devirt then begin
+      let pos = Builder.emit_efc_padded ctx.b lv in
+      ctx.efc_sites <- (pos, lv) :: ctx.efc_sites
+    end
+    else Builder.emit ctx.b (Opcode.Efc lv)
   | `Import lv, (Fpc_mesa.Image.Direct | Fpc_mesa.Image.Short_direct) ->
     direct_via lv
 
@@ -275,12 +284,13 @@ let import_order ~current ~direct (m : module_decl) =
 
 (* ---- module assembly ---- *)
 
-let gen_proc ~env ~conv ~current ~imports ~globals ~proc_evs (p : proc) =
+let gen_proc ~env ~conv ~devirt ~current ~imports ~globals ~proc_evs (p : proc) =
   let ctx =
     {
       env;
       current;
       conv;
+      devirt;
       imports;
       globals;
       proc_evs;
@@ -289,6 +299,7 @@ let gen_proc ~env ~conv ~current ~imports ~globals ~proc_evs (p : proc) =
       b = Builder.create ();
       dfc_fixups = [];
       lpd_fixups = [];
+      efc_sites = [];
     }
   in
   let nparams = List.length p.pr_params in
@@ -308,9 +319,10 @@ let gen_proc ~env ~conv ~current ~imports ~globals ~proc_evs (p : proc) =
     p_nargs = nparams;
     p_dfc_fixups = List.rev ctx.dfc_fixups;
     p_lpd_fixups = List.rev ctx.lpd_fixups;
+    p_efc_sites = List.rev ctx.efc_sites;
   }
 
-let module_decl ~env ~convention (m : module_decl) =
+let module_decl ~env ~convention ?(devirt = false) (m : module_decl) =
   let current = m.md_name in
   let direct =
     match convention.Convention.linkage with
@@ -332,7 +344,7 @@ let module_decl ~env ~convention (m : module_decl) =
   List.iteri (fun i p -> Hashtbl.replace proc_evs p.pr_name i) m.md_procs;
   let procs =
     List.map
-      (gen_proc ~env ~conv:convention ~current ~imports ~globals ~proc_evs)
+      (gen_proc ~env ~conv:convention ~devirt ~current ~imports ~globals ~proc_evs)
       m.md_procs
   in
   let global_init =

@@ -14,8 +14,15 @@
 val module_decl :
   env:Fpc_lang.Typecheck.env ->
   convention:Convention.t ->
+  ?devirt:bool ->
   Fpc_lang.Ast.module_decl ->
   Fpc_mesa.Compiled.t
 (** The module must already be type-checked and lowered.  Raises
     [Invalid_argument] on capacity violations (too many locals, imports or
-    entry points for the encoding). *)
+    entry points for the encoding).
+
+    With [~devirt:true] (default false), EXTERNALCALL sites are emitted in
+    their padded 4-byte shape and recorded in
+    {!Fpc_mesa.Compiled.proc.p_efc_sites} so the link-time control-flow
+    analysis ({!Fpc_cfa.Cfa}) can rewrite proven-single-target sites to
+    DIRECTCALL in place. *)

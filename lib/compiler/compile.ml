@@ -5,24 +5,35 @@ let front_end src =
   let* env = Fpc_lang.Typecheck.check prog in
   Ok (prog, env)
 
-let modules ?(convention = Convention.external_) src =
+let modules ?(convention = Convention.external_) ?(devirt = false) src =
   let* prog, env = front_end src in
   let lowered = Lower.program prog in
-  match List.map (Codegen.module_decl ~env ~convention) lowered with
+  match List.map (Codegen.module_decl ~env ~convention ~devirt) lowered with
   | compiled -> Ok compiled
   | exception Invalid_argument msg -> Error msg
 
-let image ?(convention = Convention.external_) ?memory_words ?extra_instances src =
-  let* compiled = modules ~convention src in
-  Fpc_mesa.Linker.link ~linkage:convention.Convention.linkage ?memory_words
-    ?extra_instances compiled
+let image ?(convention = Convention.external_) ?(devirt = false) ?memory_words
+    ?extra_instances src =
+  let* compiled = modules ~convention ~devirt src in
+  let* img =
+    Fpc_mesa.Linker.link ~linkage:convention.Convention.linkage ~devirt ?memory_words
+      ?extra_instances compiled
+  in
+  (* The rewrite happens on the pristine image, before any execution
+     state (and thus the predecode table) is derived from it, so every
+     clone — tier translations included — sees the rewritten sites. *)
+  if devirt then
+    match Fpc_cfa.Cfa.devirtualize img with
+    | _stats -> Ok img
+    | exception Invalid_argument msg -> Error msg
+  else Ok img
 
-let image_for_engine ~engine ?memory_words src =
-  image ~convention:(Convention.for_engine engine) ?memory_words src
+let image_for_engine ~engine ?devirt ?memory_words src =
+  image ~convention:(Convention.for_engine engine) ?devirt ?memory_words src
 
-let run ?(engine = Fpc_core.Engine.i2) ?max_steps ?(instance = "Main")
+let run ?(engine = Fpc_core.Engine.i2) ?devirt ?max_steps ?(instance = "Main")
     ?(proc = "main") ?(args = []) src =
-  let* img = image_for_engine ~engine src in
+  let* img = image_for_engine ~engine ?devirt src in
   match
     Fpc_interp.Interp.run_program ?max_steps ~image:img ~engine ~instance ~proc
       ~args ()

@@ -6,22 +6,31 @@ val front_end : string -> (Fpc_lang.Ast.program * Fpc_lang.Typecheck.env, string
 
 val modules :
   ?convention:Convention.t ->
+  ?devirt:bool ->
   string ->
   (Fpc_mesa.Compiled.t list, string) result
 (** Compile every module in the source (default convention
-    {!Convention.external_}). *)
+    {!Convention.external_}).  With [~devirt:true] (default false),
+    external call sites are emitted in their rewritable padded shape (see
+    {!Codegen.module_decl}). *)
 
 val image :
   ?convention:Convention.t ->
+  ?devirt:bool ->
   ?memory_words:int ->
   ?extra_instances:string list ->
   string ->
   (Fpc_mesa.Image.t, string) result
 (** Compile and link in one step; the image's linkage follows the
-    convention. *)
+    convention.  With [~devirt:true] (default false) the link-time
+    devirtualization pass ({!Fpc_cfa.Cfa.devirtualize}) runs on the
+    freshly linked image, rewriting provably single-target external
+    calls to DIRECTCALL in place; its outcome is recorded on
+    [image.dir.devirt]. *)
 
 val image_for_engine :
   engine:Fpc_core.Engine.t ->
+  ?devirt:bool ->
   ?memory_words:int ->
   string ->
   (Fpc_mesa.Image.t, string) result
@@ -30,6 +39,7 @@ val image_for_engine :
 
 val run :
   ?engine:Fpc_core.Engine.t ->
+  ?devirt:bool ->
   ?max_steps:int ->
   ?instance:string ->
   ?proc:string ->

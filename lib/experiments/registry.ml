@@ -18,6 +18,7 @@ let all =
     ("tier", E16_tier.run);
     ("sessions", E17_sessions.run);
     ("calls", E18_calls.run);
+    ("devirt", E19_devirt.run);
   ]
 
 let keys = List.map fst all
@@ -30,6 +31,7 @@ let ids =
     ("e10", "call_density"); ("e11", "nonlifo"); ("e12", "ptr_locals");
     ("e13", "short_reach"); ("e14", "equivalence"); ("e15", "ablation");
     ("e16", "tier"); ("e17", "sessions"); ("e18", "calls");
+    ("e19", "devirt");
   ]
 
 let find name =

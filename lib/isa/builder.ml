@@ -18,6 +18,20 @@ let emit_placeholder t op =
   emit t op;
   pos
 
+(* EXTERNALCALL in the linker's D2 fallback shape: the wide (2-byte) EFC
+   followed by two NOP pads, so the site occupies the 4 bytes a
+   DIRECTCALL needs.  A link-time analysis that proves the site
+   single-target can patch a [Dfc] (or [Sdfc] + NOP) over it in place;
+   an unproven site simply executes the pads on return. *)
+let emit_efc_padded t lv =
+  if lv < 0 || lv > 0xFF then invalid_arg "Builder.emit_efc_padded: LV index";
+  let pos = here t in
+  Buffer.add_char t.buf '\x90';
+  Buffer.add_char t.buf (Char.chr lv);
+  Buffer.add_char t.buf '\000';
+  Buffer.add_char t.buf '\000';
+  pos
+
 let new_label t =
   let l = t.next_label in
   t.next_label <- l + 1;

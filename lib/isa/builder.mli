@@ -22,6 +22,14 @@ val emit_placeholder : t -> Opcode.t -> int
 (** Append an instruction whose operand will be patched after linking
     (e.g. [Dfc 0]); returns the byte offset of its first byte. *)
 
+val emit_efc_padded : t -> int -> int
+(** Append an EXTERNALCALL through LV index [lv] in its 4-byte padded
+    shape (wide EFC + two NOP pads — the same bytes the linker's D2
+    fallback writes), returning the byte offset of its first byte.  The
+    pads reserve room for a link-time rewrite to [Dfc]/[Sdfc] when an
+    analysis proves the site single-target; unrewritten sites execute
+    the pads on return. *)
+
 type label
 
 val new_label : t -> label

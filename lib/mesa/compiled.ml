@@ -5,6 +5,9 @@ type proc = {
   p_nargs : int;
   p_dfc_fixups : (int * int) list;
   p_lpd_fixups : (int * int) list;
+  p_efc_sites : (int * int) list;
+      (** [(pos, lv_index)]: EXTERNALCALL sites emitted in the 4-byte
+          padded shape, eligible for a link-time devirtualizing rewrite *)
 }
 
 type t = {
@@ -74,5 +77,6 @@ let validate t =
           acc fixups
       in
       let acc = check_fixups acc ~width:4 p.p_dfc_fixups in
-      check_fixups acc ~width:3 p.p_lpd_fixups)
+      let acc = check_fixups acc ~width:3 p.p_lpd_fixups in
+      check_fixups acc ~width:4 p.p_efc_sites)
     (Ok ()) t.m_procs

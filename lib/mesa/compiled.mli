@@ -18,6 +18,11 @@ type proc = {
           becomes the packed procedure descriptor of that import — the
           "procedure descriptor as a literal in the program" of §4, used
           for FORK and first-class procedure values *)
+  p_efc_sites : (int * int) list;
+      (** (byte offset of a padded 4-byte EXTERNALCALL within [p_body],
+          LV index): sites the compiler left rewritable so a link-time
+          control-flow analysis can devirtualize them to
+          [Dfc]/[Sdfc] in place (see {!Builder.emit_efc_padded}) *)
 }
 
 type t = {

@@ -31,6 +31,14 @@ type instance_info = {
 
 type attachment = ..
 
+type devirt_stats = {
+  dv_sites : int;
+  dv_proven : int;
+  dv_rewritten : int;
+  dv_short : int;
+  dv_abstained : int;
+}
+
 type directory = {
   mutable instances : instance_info list;
   procs : (string * string, proc_info) Hashtbl.t;
@@ -40,6 +48,7 @@ type directory = {
   mutable predecode : Fpc_isa.Predecode.t option;
   mutable attachment : attachment option;
   mutable on_relink : (addr:int -> word:int -> unit) option;
+  mutable devirt : devirt_stats option;
 }
 
 type t = {

@@ -49,6 +49,18 @@ type attachment = ..
     e.g. the compiled tier's translation ([Fpc_tier] adds its constructor).
     Kept abstract here so fpc.mesa needn't depend on the tiers. *)
 
+(** What the link-time devirtualization pass ({!Fpc_cfa.Cfa}) did to this
+    image: how many padded EXTERNALCALL sites it saw, proved
+    single-target, and rewrote ([dv_short] of those to the 3-byte
+    SHORTDIRECTCALL form). *)
+type devirt_stats = {
+  dv_sites : int;  (** padded EFC sites examined *)
+  dv_proven : int;  (** proven single-target *)
+  dv_rewritten : int;  (** patched to [Dfc]/[Sdfc] in place *)
+  dv_short : int;  (** of the rewritten, within SHORTDIRECTCALL reach *)
+  dv_abstained : int;  (** left on the late-bound path *)
+}
+
 type directory = {
   mutable instances : instance_info list;
   procs : (string * string, proc_info) Hashtbl.t;  (** (instance, proc) *)
@@ -68,6 +80,9 @@ type directory = {
           this to invalidate fused call sites whose baked resolution
           depended on the old word.  Shared across clones, like the
           attachment it guards. *)
+  mutable devirt : devirt_stats option;
+      (** set by the devirtualization pass when it ran over this image;
+          [None] means the pass never ran *)
 }
 
 type t = {

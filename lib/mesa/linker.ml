@@ -60,9 +60,14 @@ let validate_modules modules =
     (Ok ()) modules
 
 (* Phase 1: compute each module's code-segment layout (no memory writes). *)
-let layout_module (image : Image.t) ~linkage ~instances (m : Compiled.t) =
+let layout_module (image : Image.t) ~linkage ~devirt ~instances (m : Compiled.t) =
   let nprocs = List.length m.m_procs in
-  let headers = (match linkage with Image.External -> false | _ -> true) && instances = 1 in
+  (* Under devirtualization, single-instance procedures get DIRECTCALL
+     headers even with external linkage, so a proven call site has a
+     landing pad to rewrite onto. *)
+  let headers =
+    (devirt || (match linkage with Image.External -> false | _ -> true)) && instances = 1
+  in
   let off = ref (2 * nprocs) in
   let procs =
     m.m_procs
@@ -222,8 +227,8 @@ let write_segment (image : Image.t) ~linkage ~layouts (ml : module_layout) =
     ml.l_procs;
   Memory.blit_bytes image.mem ~code_base:ml.l_code_base seg
 
-let link ?(linkage = Image.External) ?(memory_words = 65536) ?ladder ?cost_params
-    ?(extra_instances = []) modules =
+let link ?(linkage = Image.External) ?(devirt = false) ?(memory_words = 65536) ?ladder
+    ?cost_params ?(extra_instances = []) modules =
   match validate_modules modules with
   | Error _ as e -> e
   | Ok () -> (
@@ -247,6 +252,7 @@ let link ?(linkage = Image.External) ?(memory_words = 65536) ?ladder ?cost_param
           predecode = None;
           attachment = None;
           on_relink = None;
+          devirt = None;
         }
       in
       let image =
@@ -274,7 +280,7 @@ let link ?(linkage = Image.External) ?(memory_words = 65536) ?ladder ?cost_param
       let layouts =
         List.map
           (fun (m : Compiled.t) ->
-            layout_module image ~linkage ~instances:(count_instances m.m_name) m)
+            layout_module image ~linkage ~devirt ~instances:(count_instances m.m_name) m)
           modules
       in
       List.iter

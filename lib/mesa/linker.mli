@@ -24,6 +24,7 @@
 
 val link :
   ?linkage:Image.linkage ->
+  ?devirt:bool ->
   ?memory_words:int ->
   ?ladder:Fpc_frames.Size_class.t ->
   ?cost_params:Fpc_machine.Cost.params ->
@@ -32,7 +33,12 @@ val link :
   (Image.t, string) result
 (** [extra_instances] lists module names that get one additional instance
     each (repeat a name for more).  Modules listed there are linked with
-    external calls even under direct linkage (D2). *)
+    external calls even under direct linkage (D2).
+
+    [~devirt:true] (default false) lays out DIRECTCALL headers for
+    single-instance procedures even under [External] linkage, so the
+    post-link devirtualization pass ({!Fpc_cfa.Cfa.devirtualize}) has
+    landing pads to rewrite proven call sites onto. *)
 
 val instantiate : Image.t -> module_name:string -> (string, string) result
 (** Create another instance at run time; External-linkage images only.

@@ -42,6 +42,7 @@ type t = {
   stopping : bool Atomic.t;
   times : bool;
   tier : Job.tier;  (** default for requests without an explicit tier= *)
+  devirt : bool;  (** default for requests without an explicit devirt= *)
   max_line : int;
   sndbuf : int option;  (** test hook: SO_SNDBUF for accepted sockets *)
   read_buf : Bytes.t;  (** loop-confined read scratch *)
@@ -266,12 +267,17 @@ and handle_job t conn line =
   | Error msg ->
     conn_send t conn (Protocol.error_line ~error:"bad-request" ~message:msg)
   | Ok spec ->
-    (* A request that left the tier to the service gets the server's
-       default; an explicit tier= always wins. *)
+    (* A request that left the tier (or devirt) to the service gets the
+       server's default; an explicit key always wins. *)
     let spec =
       match spec.Job.tier with
       | Job.Auto -> { spec with Job.tier = t.tier }
       | _ -> spec
+    in
+    let spec =
+      match spec.Job.devirt with
+      | None -> { spec with Job.devirt = Some t.devirt }
+      | Some _ -> spec
     in
     if Atomic.get t.stopping then begin
       note_shed t;
@@ -450,7 +456,7 @@ let resolve_host host =
 
 let create ?(host = "127.0.0.1") ?(port = 0) ?domains ?max_connections
     ?max_pending ?(max_line = Framing.default_max_line) ?(times = true)
-    ?(tier = Fpc_svc.Job.Auto) ?backend ?sndbuf () =
+    ?(tier = Fpc_svc.Job.Auto) ?(devirt = true) ?backend ?sndbuf () =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let limiter = Limiter.create ?max_connections ?max_pending () in
   let loop = Loop.create ?backend () in
@@ -496,6 +502,7 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?domains ?max_connections
       stopping = Atomic.make false;
       times;
       tier;
+      devirt;
       max_line;
       sndbuf;
       read_buf = Bytes.create 65536;

@@ -52,6 +52,7 @@ val create :
   ?max_line:int ->
   ?times:bool ->
   ?tier:Fpc_svc.Job.tier ->
+  ?devirt:bool ->
   ?backend:Fpc_reactor.Backend.t ->
   ?sndbuf:int ->
   unit ->
@@ -62,7 +63,9 @@ val create :
     {!Framing.default_max_line}, [times:true] (include host timings in
     result JSON; [false] gives fully deterministic output), [tier:Auto]
     (the default execution tier for requests that carry no explicit
-    [tier=] key; an explicit key always wins),
+    [tier=] key; an explicit key always wins), [devirt:true] (the default
+    link-time-devirtualization choice for requests that carry no explicit
+    [devirt=] key),
     [backend:{!Fpc_reactor.Backend.default}] (the readiness backend —
     [select] today, shaped so an epoll backend slots in), [sndbuf] unset
     (a test hook: SO_SNDBUF for accepted sockets, to force partial

@@ -55,10 +55,15 @@ let convention_tag (c : Fpc_compiler.Convention.t) =
 (* The tier tag keeps per-tier pristine entries apart: the compiled
    tier's translation attaches to the image's shared directory, so
    tagging the key guarantees an interp-tier entry (and every arena slot
-   keyed by it) never aliases a translated one. *)
-let key_of ~convention ~source ~tier =
+   keyed by it) never aliases a translated one.  The devirt tag does the
+   same for the devirtualized variant: its code bytes differ (rewritten
+   call sites), so it must never share an entry — or an arena slot, whose
+   replay tape records operand patches against these exact bytes — with
+   the late-bound baseline. *)
+let key_of ~convention ~source ~tier ~devirt =
   Digest.to_hex (Digest.string source)
   ^ "/" ^ convention_tag convention
+  ^ (if devirt then "+dv" else "")
   ^ (if tier = "" then "" else "@" ^ tier)
 
 (* Under the mutex. *)
@@ -111,20 +116,20 @@ let insert t key image =
   Mutex.unlock t.mutex;
   kept
 
-let find_pristine ?(tier = "") t ~convention ~source =
-  let key = key_of ~convention ~source ~tier in
+let find_pristine ?(tier = "") ?(devirt = false) t ~convention ~source =
+  let key = key_of ~convention ~source ~tier ~devirt in
   match lookup t key with
   | Some image -> Ok (image, key, true, 0.0)
   | None -> (
     let t0 = Unix.gettimeofday () in
-    match Fpc_compiler.Compile.image ~convention source with
+    match Fpc_compiler.Compile.image ~convention ~devirt source with
     | Error m -> Error m
     | Ok image ->
       let dt = Unix.gettimeofday () -. t0 in
       let image = insert t key image in
       Ok (image, key, false, dt))
 
-let find_or_compile t ~convention ~source =
-  match find_pristine t ~convention ~source with
+let find_or_compile ?devirt t ~convention ~source =
+  match find_pristine ?devirt t ~convention ~source with
   | Error m -> Error m
   | Ok (image, _key, hit, dt) -> Ok (Fpc_mesa.Image.clone image, hit, dt)

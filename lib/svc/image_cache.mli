@@ -36,6 +36,7 @@ val hit_rate : stats -> float
 (** [hits / (hits + misses)]; 0.0 when the cache is untouched. *)
 
 val find_or_compile :
+  ?devirt:bool ->
   t ->
   convention:Fpc_compiler.Convention.t ->
   source:string ->
@@ -48,6 +49,7 @@ val find_or_compile :
 
 val find_pristine :
   ?tier:string ->
+  ?devirt:bool ->
   t ->
   convention:Fpc_compiler.Convention.t ->
   source:string ->
@@ -64,4 +66,11 @@ val find_pristine :
     execution tier its own pristine entry: the compiled tier attaches its
     translation to the image's shared directory, and the tag keeps that
     off the interpreter tier's entry (and off every arena slot keyed by
-    it). *)
+    it).
+
+    [devirt] (default [false]) is likewise folded into the key and passed
+    to {!Fpc_compiler.Compile.image}: the devirtualized variant has
+    different code bytes (call sites rewritten to DIRECTCALL), so it gets
+    its own pristine entry and its own arena slots — an arena reset
+    replays operand patches against the slot's recorded pristine, which
+    must be the same variant. *)

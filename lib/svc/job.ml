@@ -13,13 +13,14 @@ type spec = {
   trace : bool;
   deadline_ms : int option;
   sched : Fpc_sched.Sched.policy option;
+  devirt : bool option;
 }
 
 let default_fuel = 20_000_000
 
 let spec ?(engine = "i2") ?(tier = Auto) ?(fuel = default_fuel)
-    ?(trace = false) ?deadline_ms ?sched source =
-  { source; engine; tier; fuel; trace; deadline_ms; sched }
+    ?(trace = false) ?deadline_ms ?sched ?devirt source =
+  { source; engine; tier; fuel; trace; deadline_ms; sched; devirt }
 
 (* A job runs under the scheduler iff it asked for a policy or its source
    is a session workload (which defaults to run-to-yield, the policy whose
@@ -82,6 +83,7 @@ type stats = {
   cycles : int;
   mem_refs : int;
   fastpath : Fpc_interp.Interp.fastpath;
+  devirt_stats : Fpc_mesa.Image.devirt_stats option;
 }
 
 let no_stats =
@@ -95,6 +97,7 @@ let no_stats =
     cycles = 0;
     mem_refs = 0;
     fastpath = Fpc_interp.Interp.no_fastpath;
+    devirt_stats = None;
   }
 
 type result = {
@@ -179,11 +182,11 @@ let parse_request line =
     |> List.filter (fun f -> f <> "")
   in
   let ( let* ) = Result.bind in
-  (* Eleven independent keys: refs beat an eleven-tuple accumulator. *)
+  (* Twelve independent keys: refs beat a twelve-tuple accumulator. *)
   let src = ref None and engine = ref "i2" and tier = ref Auto in
   let fuel = ref None and trace = ref false and deadline = ref None in
   let sessions = ref None and window = ref None and seed = ref None in
-  let sched = ref None and quantum = ref None in
+  let sched = ref None and quantum = ref None and devirt = ref None in
   let pos_int key value store =
     match int_of_string_opt value with
     | Some n when n > 0 ->
@@ -238,11 +241,20 @@ let parse_request line =
         sched := Some p;
         Ok ()
       | "quantum" -> pos_int "quantum" value (fun n -> quantum := Some n)
+      | "devirt" -> (
+        match value with
+        | "1" | "true" ->
+          devirt := Some true;
+          Ok ()
+        | "0" | "false" ->
+          devirt := Some false;
+          Ok ()
+        | v -> Error (Printf.sprintf "devirt=%s is not 0/1" v))
       | k ->
         Error
           (Printf.sprintf
              "unknown key %s (use prog, src, sessions, window, seed, engine, \
-              tier, fuel, trace, deadline_ms, sched, quantum)"
+              tier, fuel, trace, deadline_ms, sched, quantum, devirt)"
              k))
   in
   let* () =
@@ -288,6 +300,7 @@ let parse_request line =
       trace = !trace;
       deadline_ms = !deadline;
       sched;
+      devirt = !devirt;
     }
 
 let request_of_spec s =
@@ -299,7 +312,7 @@ let request_of_spec s =
       Printf.sprintf "sessions=%d window=%d seed=%d" c.Fpc_workload.Sessions.total
         c.Fpc_workload.Sessions.window c.Fpc_workload.Sessions.seed
   in
-  Printf.sprintf "%s engine=%s fuel=%d%s%s%s%s" src s.engine s.fuel
+  Printf.sprintf "%s engine=%s fuel=%d%s%s%s%s%s" src s.engine s.fuel
     (match s.tier with
     | Auto -> ""  (* the default, omitted to keep request lines stable *)
     | t -> " tier=" ^ tier_to_string t)
@@ -312,6 +325,9 @@ let request_of_spec s =
     | Some Fpc_sched.Sched.Run_to_yield -> " sched=yield"
     | Some (Fpc_sched.Sched.Preempt { quantum }) ->
       Printf.sprintf " sched=preempt quantum=%d" quantum)
+    (match s.devirt with
+    | None -> ""  (* left to the service default, omitted like tier *)
+    | Some b -> " devirt=" ^ if b then "1" else "0")
 
 (* ---- rendering ---- *)
 
@@ -437,6 +453,24 @@ let result_to_json ?(times = true) r =
             ("procs_translated", Int procs_translated);
             ("invalidations", Int invalidations);
           ])
+      @
+      (* Which image variant the cache served (devirtualized or not) is a
+         host/service choice like the tier: the meters already reflect it,
+         so the breakdown rides with the non-deterministic fields. *)
+      (match r.stats.devirt_stats with
+      | None -> []
+      | Some d ->
+        [
+          ( "devirt",
+            Obj
+              [
+                ("sites", Int d.Fpc_mesa.Image.dv_sites);
+                ("proven", Int d.dv_proven);
+                ("rewritten", Int d.dv_rewritten);
+                ("short", Int d.dv_short);
+                ("abstained", Int d.dv_abstained);
+              ] );
+        ])
     else []
   in
   Obj

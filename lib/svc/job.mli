@@ -42,6 +42,13 @@ type spec = {
       (** run under the green-thread scheduler ({!Fpc_sched.Sched.run})
           with this switching policy; any job may ask for it, and a
           [Sessions] job defaults to run-to-yield even without it *)
+  devirt : bool option;
+      (** run on a link-time-devirtualized image
+          ({!Fpc_cfa.Cfa.devirtualize}): [None] leaves the choice to the
+          service, whose default is {e on} — the pass only rewrites
+          provably single-target sites, so outputs never change, only
+          meters improve.  [Some false] forces the late-bound baseline
+          (what the relink experiments need). *)
 }
 
 val default_fuel : int
@@ -54,10 +61,12 @@ val spec :
   ?trace:bool ->
   ?deadline_ms:int ->
   ?sched:Fpc_sched.Sched.policy ->
+  ?devirt:bool ->
   source ->
   spec
 (** Defaults: engine ["i2"], tier [Auto], fuel {!default_fuel}, trace
-    [false], no deadline, no explicit scheduling policy. *)
+    [false], no deadline, no explicit scheduling policy, devirt left to
+    the service (which defaults it on). *)
 
 val effective_sched : spec -> Fpc_sched.Sched.policy option
 (** The policy the pool will actually schedule under: the spec's own, or
@@ -120,6 +129,12 @@ type stats = {
   mem_refs : int;  (** simulated storage references *)
   fastpath : Fpc_interp.Interp.fastpath;
       (** where the engine's fast paths hit and missed (deterministic) *)
+  devirt_stats : Fpc_mesa.Image.devirt_stats option;
+      (** what link-time devirtualization did to the image this job ran
+          on: present iff the job's image was linked with the pass
+          enabled.  Deterministic in the spec, but reported with the
+          host-side fields ([result_to_json ~times:true] only) because
+          which image variant ran is a service choice like the tier. *)
 }
 
 val no_stats : stats
@@ -158,9 +173,11 @@ val outcome_equal : outcome -> outcome -> bool
     total, with optional [window] and [seed]), plus optional [engine],
     [tier] (interp/compiled/auto), [fuel], [trace] (0/1: run under the
     XFER tracer), [deadline_ms] (wall-clock budget for the execution),
-    [sched] (yield / preempt / preempt:N) and [quantum] (preemption
-    quantum in steps; requires [sched=preempt]).  Blank lines and lines
-    starting with [#] are skipped by callers. *)
+    [sched] (yield / preempt / preempt:N), [quantum] (preemption
+    quantum in steps; requires [sched=preempt]) and [devirt] (0/1: force
+    the link-time devirtualization pass off/on; omitted, the service
+    default — on — applies).  Blank lines and lines starting with [#]
+    are skipped by callers. *)
 
 val parse_request : string -> (spec, string) Stdlib.result
 

@@ -22,6 +22,11 @@ type t = {
   mutable lazy_translated : int;
   mutable fused_calls : int;
   mutable invalidations : int;
+  mutable devirt_jobs : int;
+  mutable devirt_sites : int;
+  mutable devirt_proven : int;
+  mutable devirt_rewritten : int;
+  mutable devirt_short : int;
   mutable minor_words : int;
   mutable instructions : int;
   mutable cycles : int;
@@ -51,6 +56,11 @@ let create ~domains =
     lazy_translated = 0;
     fused_calls = 0;
     invalidations = 0;
+    devirt_jobs = 0;
+    devirt_sites = 0;
+    devirt_proven = 0;
+    devirt_rewritten = 0;
+    devirt_short = 0;
     minor_words = 0;
     instructions = 0;
     cycles = 0;
@@ -81,6 +91,14 @@ let record t (r : Job.result) =
     t.fused_calls <- t.fused_calls + fused_calls;
     (* shared per-translation counter: keep the high-water mark, not a sum *)
     if invalidations > t.invalidations then t.invalidations <- invalidations);
+  (match r.stats.Job.devirt_stats with
+  | None -> ()
+  | Some d ->
+    t.devirt_jobs <- t.devirt_jobs + 1;
+    t.devirt_sites <- t.devirt_sites + d.Fpc_mesa.Image.dv_sites;
+    t.devirt_proven <- t.devirt_proven + d.dv_proven;
+    t.devirt_rewritten <- t.devirt_rewritten + d.dv_rewritten;
+    t.devirt_short <- t.devirt_short + d.dv_short);
   t.minor_words <- t.minor_words + r.stats.Job.minor_words;
   t.instructions <- t.instructions + r.stats.Job.instructions;
   t.cycles <- t.cycles + r.stats.Job.cycles;
@@ -132,6 +150,11 @@ let merge_into ~src ~into =
   into.lazy_translated <- into.lazy_translated + src.lazy_translated;
   into.fused_calls <- into.fused_calls + src.fused_calls;
   into.invalidations <- max into.invalidations src.invalidations;
+  into.devirt_jobs <- into.devirt_jobs + src.devirt_jobs;
+  into.devirt_sites <- into.devirt_sites + src.devirt_sites;
+  into.devirt_proven <- into.devirt_proven + src.devirt_proven;
+  into.devirt_rewritten <- into.devirt_rewritten + src.devirt_rewritten;
+  into.devirt_short <- into.devirt_short + src.devirt_short;
   into.minor_words <- into.minor_words + src.minor_words;
   into.instructions <- into.instructions + src.instructions;
   into.cycles <- into.cycles + src.cycles;
@@ -179,6 +202,11 @@ type snapshot = {
   lazy_translated : int;
   fused_calls : int;
   invalidations : int;
+  devirt_jobs : int;
+  devirt_sites : int;
+  devirt_proven : int;
+  devirt_rewritten : int;
+  devirt_short : int;
   wall_s : float;
   jobs_per_sec : float;
   minor_words : int;
@@ -227,6 +255,11 @@ let snapshot (t : t) ~wall_s ~cache =
     lazy_translated = t.lazy_translated;
     fused_calls = t.fused_calls;
     invalidations = t.invalidations;
+    devirt_jobs = t.devirt_jobs;
+    devirt_sites = t.devirt_sites;
+    devirt_proven = t.devirt_proven;
+    devirt_rewritten = t.devirt_rewritten;
+    devirt_short = t.devirt_short;
     wall_s;
     jobs_per_sec =
       (if wall_s > 0.0 then float_of_int t.jobs /. wall_s else 0.0);
@@ -270,6 +303,14 @@ let render (s : snapshot) =
     row "procedures lazily translated" (cell_int s.lazy_translated);
     row "fused calls retired" (cell_int s.fused_calls);
     row "fusion invalidations" (cell_int s.invalidations)
+  end;
+  (* shown only when some job's image actually had late-bound sites, so
+     single-module workloads keep their historical table shape *)
+  if s.devirt_sites > 0 then begin
+    row "devirt sites (summed per job)" (cell_int s.devirt_sites);
+    row "  proven single-target" (cell_int s.devirt_proven);
+    row "  rewritten to DIRECTCALL" (cell_int s.devirt_rewritten);
+    row "    of which short form" (cell_int s.devirt_short)
   end;
   row "run time (summed)" (Printf.sprintf "%.3fs" s.run_s);
   row "wall time" (Printf.sprintf "%.3fs" s.wall_s);
@@ -327,6 +368,15 @@ let to_json (s : snapshot) =
             ("lazy_translated", Int s.lazy_translated);
             ("fused_calls", Int s.fused_calls);
             ("invalidations", Int s.invalidations);
+          ] );
+      ( "devirt",
+        Obj
+          [
+            ("jobs", Int s.devirt_jobs);
+            ("sites", Int s.devirt_sites);
+            ("proven", Int s.devirt_proven);
+            ("rewritten", Int s.devirt_rewritten);
+            ("short", Int s.devirt_short);
           ] );
       ("run_s", Float s.run_s);
       ("wall_s", Float s.wall_s);

@@ -72,6 +72,13 @@ type snapshot = {
   lazy_translated : int;  (** procedures translated lazily, summed over jobs *)
   fused_calls : int;  (** calls retired through fused call sites, summed *)
   invalidations : int;  (** fusion relink invalidations (high-water mark) *)
+  devirt_jobs : int;  (** jobs that ran a link-time-devirtualized image *)
+  devirt_sites : int;
+      (** late-bound call sites eligible for devirtualization, summed per
+          job (a hot image's sites count once per job that ran it) *)
+  devirt_proven : int;  (** of those, proven single-target *)
+  devirt_rewritten : int;  (** of those, rewritten to DIRECTCALL *)
+  devirt_short : int;  (** of the rewritten, the short ±512 KB form *)
   wall_s : float;
   jobs_per_sec : float;  (** jobs / wall_s; 0 when wall_s is 0 *)
   minor_words : int;

@@ -94,7 +94,14 @@ let execute ?arena cache id (spec : Job.spec) =
       | Job.Auto -> not spec.trace
     in
     let tier_name = if compiled_tier then "compiled" else "interp" in
-    match Image_cache.find_pristine cache ~tier:tier_name ~convention ~source with
+    (* The service default is devirt on: the pass only rewrites provably
+       single-target sites, so outputs are unchanged and meters improve.
+       An explicit devirt=0 gets the late-bound baseline. *)
+    let devirt = Option.value spec.devirt ~default:true in
+    match
+      Image_cache.find_pristine cache ~tier:tier_name ~devirt ~convention
+        ~source
+    with
     | Error m -> failed id spec Job.Compile_error m
     | exception e -> failed id spec Job.Internal (Printexc.to_string e)
     | Ok (pristine, key, cache_hit, compile_s) -> (
@@ -254,6 +261,7 @@ let execute ?arena cache id (spec : Job.spec) =
             cycles = o.o_cycles;
             mem_refs = o.o_mem_refs;
             fastpath = o.o_fastpath;
+            devirt_stats = pristine.Fpc_mesa.Image.dir.Fpc_mesa.Image.devirt;
           }
         in
         let outcome =

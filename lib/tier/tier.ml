@@ -41,6 +41,21 @@ type node = { n_count : int; n_exec : State.t -> unit }
 
 let no_node = { n_count = 0; n_exec = stop }
 
+(* A memoised leaf callee, kept in pieces rather than as one finished
+   continuation: the RETURN shape depends on the {e call site} (a
+   store-free leaf's return can bake the link words the call itself just
+   wrote — see [spec_ret_baked]), so each site assembles its own
+   continuation from the shared pieces. *)
+type leaf = {
+  lf_batch : int;  (** body + RETURN instruction count *)
+  lf_need : int;  (** stack words required on entry *)
+  lf_maxd : int;  (** peak extra depth of the body *)
+  lf_run : State.t -> unit;  (** the charged body batch *)
+  lf_ret_pc : int;  (** byte PC of the RETURN *)
+  lf_p_end : int;  (** byte PC just past the RETURN *)
+  lf_store_free : bool;  (** body contains no store of any kind *)
+}
+
 type t = {
   base : int;  (** first byte PC covered *)
   slots : node array;  (** per byte boundary; [no_node] = untranslated *)
@@ -56,8 +71,8 @@ type t = {
           baked resolution depends on; fused external calls check it *)
   deps_tbl : (int, int) Hashtbl.t;  (** addr -> baked word (under lock) *)
   seen_sites : (int, unit) Hashtbl.t;  (** call-site PCs already counted *)
-  leaf_memo : (int, (int * (State.t -> unit)) option) Hashtbl.t;
-      (** callee entry PC -> spliced continuation (under lock): every
+  leaf_memo : (int, leaf option) Hashtbl.t;
+      (** callee entry PC -> compiled leaf pieces (under lock): every
           suffix block containing a call site resolves the same leaf *)
   mutable deps : (int * int) array;
       (** published snapshot of [deps_tbl] for the relink observer *)
@@ -997,6 +1012,48 @@ let spec_ret ~tpc =
       end
       else Interp.exec st ~instr_pc:tpc Ret
 
+(* The stackless return of a fused {e store-free} leaf, with two of the
+   four link-word fetches resolved at translate time: the returnLink is
+   whatever the fused call just stored (mirrored in [st.return_ctx]) and
+   the saved PC is the word the call's own PC save wrote — a
+   translate-time constant of the call site ([next instruction - 2 x the
+   site's code base]).  A store-free body cannot overwrite either frame
+   word between call and return, and leaves are straight-line (no
+   intervening transfer touches [return_ctx]), so the baked values equal
+   what [spec_ret] would re-fetch.  The caller's globalFrame word and
+   code base are still peeked — they were written when the {e caller}
+   was activated, unknown at translate time.  All four reads stay
+   charged: the meters are interpreter-exact, only host-side peeks are
+   saved.  Anything but the plain stackless frame-link shape delegates
+   to the generic [spec_ret]. *)
+let spec_ret_baked ~tpc ~pc_word =
+  let generic = spec_ret ~tpc in
+  fun (st : State.t) ->
+    match st.rstack with
+    | None ->
+      let rl = st.return_ctx in
+      if rl <> 0 && Descriptor.word_kind rl = Descriptor.word_frame then begin
+        let m = st.metrics in
+        m.returns <- m.returns + 1;
+        State.note_transfer_direction st (-1);
+        Memory.charge st.mem ~reads:4 ~writes:0;
+        free_frame_prepaid st ~lf:st.lf;
+        st.return_ctx <- 0;
+        let gf = Frame.peek_global_frame st.mem ~lf:rl in
+        let cb = Memory.peek st.mem gf in
+        st.lf <- rl;
+        st.gf <- gf;
+        st.cb <- cb;
+        st.pc_abs <- (2 * cb) + pc_word;
+        (match st.banks with
+        | Some b -> Bank_file.ensure_bank b ~lf:rl
+        | None -> ());
+        Cost.jump st.cost;
+        m.slow_transfers <- m.slow_transfers + 1
+      end
+      else generic st
+    | Some _ -> generic st
+
 (* ------------------------------------------------------------------ *)
 (* Cross-call fusion: splicing a known-leaf callee into the call site.
 
@@ -1026,6 +1083,11 @@ let leaf_body t ~entry_pc =
       Some (List.rev rev_body, rpc, rlen)
     | _ -> None)
 
+let is_store (op : Opcode.t) =
+  match op with
+  | Sl _ | Sg _ | Slx _ | Sgx _ | Stfld _ | Rstore -> true
+  | _ -> false
+
 let compile_callee t ~entry_pc =
   match leaf_body t ~entry_pc with
   | None -> None
@@ -1038,23 +1100,20 @@ let compile_callee t ~entry_pc =
     let body_bank = compile_bank ~a body ~fallback:body_mid in
     let batch = n_body + 1 (* the RETURN joins the batch *) in
     let super = if batch >= 2 then batch else 0 in
-    let ret = spec_ret ~tpc:ret_pc in
-    let p_end = ret_pc + ret_len in
     let run =
       charge_and_run ~batch ~super ~a ~fused_mid:body_mid ~fused_raw:body_raw
         ~fused_bank:body_bank
     in
-    let cont (st : State.t) =
-      let d = Eval_stack.depth st.stack in
-      if d >= need && d + maxd <= Eval_stack.capacity st.stack then begin
-        st.metrics.tier_fused_calls <- st.metrics.tier_fused_calls + 1;
-        st.pc_abs <- p_end;
-        run st;
-        ret st
-      end
-      (* depth guard failed: stay at the callee's entry boundary *)
-    in
-    Some (batch, cont)
+    Some
+      {
+        lf_batch = batch;
+        lf_need = need;
+        lf_maxd = maxd;
+        lf_run = run;
+        lf_ret_pc = ret_pc;
+        lf_p_end = ret_pc + ret_len;
+        lf_store_free = not (List.exists (fun (_, op, _) -> is_store op) body);
+      }
 
 (* LOCALCALL with the destination resolved at translate time: same
    environment, same code base, entry offset and callee size class read
@@ -1222,9 +1281,15 @@ let spec_efc ~tpc ~lv_index ~cb ~valid ~(mesa : efc_mesa option)
 (* DIRECTCALL with the header (gf, fsi) folded in: under a return stack
    the header rides the IFU prefetch (peeked, uncharged), which is
    exactly what baking it in reproduces.  Direct linkage froze the
-   addresses at link time (D3), so no dependency guard is needed.  The
-   no-rstack flavour pays metered header fetches and goes generic. *)
-let spec_dfc ~tpc ~(op : Opcode.t) ~gf_t ~fsi ~target_pc ~callee =
+   addresses at link time (D3), so no dependency guard is needed; on a
+   devirtualized external-linkage image the CFA pass only rewrote sites
+   no program store (and no serving-layer relink) can invalidate.  The
+   stackless flavour pays the three metered header fetches — plus the
+   deferred code-base fetch when the caller's CB register is
+   unmaterialised — and otherwise follows the same frame-link call shape
+   as the fused EXTERNALCALL; [cb] pins the site's code base so the PC
+   save is the translate-time constant a baked leaf return relies on. *)
+let spec_dfc ~tpc ~(op : Opcode.t) ~cb ~gf_t ~fsi ~target_pc ~callee =
   fun (st : State.t) ->
     match st.rstack with
     | Some rs when not (Return_stack.is_full rs) ->
@@ -1263,6 +1328,39 @@ let spec_dfc ~tpc ~(op : Opcode.t) ~gf_t ~fsi ~target_pc ~callee =
       Cost.jump st.cost;
       Transfer.classify st before;
       callee st
+    | None -> (
+      match (st.banks, cb) with
+      | None, Some cb
+        when st.cb = cb
+             || (st.cb = State.no_cb && Memory.peek st.mem st.gf = cb) ->
+        let m = st.metrics in
+        m.calls <- m.calls + 1;
+        State.note_transfer_direction st 1;
+        let ret_word = st.lf in
+        (* the header's gf word and fsi byte (three code reads), the
+           deferred code-base fetch if the CB register was
+           unmaterialised, and the PC save; returnLink/globalFrame
+           stores follow the allocation, as the interpreter interleaves
+           them *)
+        let deferred = if st.cb = State.no_cb then 1 else 0 in
+        st.cb <- cb;
+        Memory.charge st.mem ~reads:(3 + deferred) ~writes:1;
+        Memory.poke st.mem (st.lf + Frame.off_pc) (st.pc_abs - (2 * cb));
+        let packed = alloc_frame_prepaid st ~fsi in
+        let lf_new = packed lsr 8 in
+        Memory.charge st.mem ~reads:0 ~writes:2;
+        Memory.poke st.mem (lf_new + Frame.off_return_link) ret_word;
+        Memory.poke st.mem (lf_new + Frame.off_global_frame) gf_t;
+        m.arg_words_stored <- m.arg_words_stored + Eval_stack.depth st.stack;
+        st.return_ctx <- ret_word;
+        st.lf <- lf_new;
+        st.gf <- gf_t;
+        st.cb <- State.no_cb;
+        st.pc_abs <- target_pc;
+        Cost.jump st.cost;
+        m.slow_transfers <- m.slow_transfers + 1;
+        callee st
+      | _ -> Interp.exec st ~instr_pc:tpc op)
     | _ -> Interp.exec st ~instr_pc:tpc op
 
 (* ------------------------------------------------------------------ *)
@@ -1378,8 +1476,11 @@ let efc_simple_bake t ~cb ~lv_index =
 
 (* The fused continuation for the callee entered at [entry_pc], when it
    is a known leaf; [tpc] identifies the call site so overlapping suffix
-   blocks count it once. *)
-let callee_for t ~tpc ~entry_pc =
+   blocks count it once.  [ret_pc_word] is the PC word the site's fused
+   call stores into the caller frame (next instruction relative to the
+   site's code base) — when the leaf is store-free its return bakes that
+   word instead of re-fetching it ([spec_ret_baked]). *)
+let callee_for t ~tpc ?ret_pc_word ~entry_pc () =
   let compiled =
     match Hashtbl.find_opt t.leaf_memo entry_pc with
     | Some c -> c
@@ -1389,20 +1490,40 @@ let callee_for t ~tpc ~entry_pc =
       c
   in
   match compiled with
-  | Some (batch, k) ->
+  | Some l ->
     if not (Hashtbl.mem t.seen_sites tpc) then begin
       Hashtbl.replace t.seen_sites tpc ();
       t.n_fused_calls <- t.n_fused_calls + 1
     end;
-    (k, batch)
+    let ret =
+      match ret_pc_word with
+      | Some w when l.lf_store_free -> spec_ret_baked ~tpc:l.lf_ret_pc ~pc_word:w
+      | _ -> spec_ret ~tpc:l.lf_ret_pc
+    in
+    let cont (st : State.t) =
+      let d = Eval_stack.depth st.stack in
+      if d >= l.lf_need && d + l.lf_maxd <= Eval_stack.capacity st.stack
+      then begin
+        st.metrics.tier_fused_calls <- st.metrics.tier_fused_calls + 1;
+        st.pc_abs <- l.lf_p_end;
+        l.lf_run st;
+        ret st
+      end
+      (* depth guard failed: stay at the callee's entry boundary *)
+    in
+    (cont, l.lf_batch)
   | None -> (stop, 0)
 
 (* Build the specialised node for a block-ending transfer, or [None] when
    the shape (or its translate-time resolution) is not specialisable.
    Returns the extra instruction headroom a spliced callee can retire on
-   top of the block's own count. *)
-let specialize t ~tpc (op : Opcode.t) : (int * (State.t -> unit)) option =
+   top of the block's own count.  [tlen] is the transfer's decoded byte
+   length: the fused call arms save [tpc + tlen - 2 x cb] as the return
+   PC word, which a spliced store-free leaf's return bakes back in. *)
+let specialize t ~tpc ~tlen (op : Opcode.t) : (int * (State.t -> unit)) option
+    =
   let mem = t.image.Image.mem in
+  let ret_word ~cb = tpc + tlen - (2 * cb) in
   match op with
   | Ret -> Some (0, spec_ret ~tpc)
   | Lfc n -> (
@@ -1414,7 +1535,9 @@ let specialize t ~tpc (op : Opcode.t) : (int * (State.t -> unit)) option =
         let fsi = Memory.peek_code_byte mem ~code_base:cb ~pc:entry_off in
         let target_pc = (2 * cb) + entry_off + 1 in
         let spair = simple_own_pair t ~cb ~ev_index:n ~target_pc in
-        let callee, extra = callee_for t ~tpc ~entry_pc:target_pc in
+        let callee, extra =
+          callee_for t ~tpc ~ret_pc_word:(ret_word ~cb) ~entry_pc:target_pc ()
+        in
         Some (extra, spec_lfc ~tpc ~ev_index:n ~cb ~fsi ~target_pc ~spair ~callee)
       with Invalid_argument _ -> None))
   | Efc n -> (
@@ -1429,8 +1552,12 @@ let specialize t ~tpc (op : Opcode.t) : (int * (State.t -> unit)) option =
         let callee, extra =
           match (mesa, simple) with
           | Some em, Some es when em.em_target <> es.es_target -> (stop, 0)
-          | Some em, _ -> callee_for t ~tpc ~entry_pc:em.em_target
-          | None, Some es -> callee_for t ~tpc ~entry_pc:es.es_target
+          | Some em, _ ->
+            callee_for t ~tpc ~ret_pc_word:(ret_word ~cb)
+              ~entry_pc:em.em_target ()
+          | None, Some es ->
+            callee_for t ~tpc ~ret_pc_word:(ret_word ~cb)
+              ~entry_pc:es.es_target ()
           | None, None -> (stop, 0)
         in
         Some
@@ -1446,10 +1573,15 @@ let specialize t ~tpc (op : Opcode.t) : (int * (State.t -> unit)) option =
       let b1 = Memory.peek_code_byte mem ~code_base:0 ~pc:(target_abs + 1) in
       let b2 = Memory.peek_code_byte mem ~code_base:0 ~pc:(target_abs + 2) in
       let target_pc = target_abs + 3 in
-      let callee, extra = callee_for t ~tpc ~entry_pc:target_pc in
+      let cb = cb_of_pc t.cbs tpc in
+      let callee, extra =
+        callee_for t ~tpc
+          ?ret_pc_word:(Option.map (fun cb -> ret_word ~cb) cb)
+          ~entry_pc:target_pc ()
+      in
       Some
         ( extra,
-          spec_dfc ~tpc ~op ~gf_t:((b0 lsl 8) lor b1) ~fsi:b2 ~target_pc
+          spec_dfc ~tpc ~op ~cb ~gf_t:((b0 lsl 8) lor b1) ~fsi:b2 ~target_pc
             ~callee )
     with Invalid_argument _ -> None)
   | _ -> None
@@ -1575,7 +1707,7 @@ let build_node t ops : int * bool * (State.t -> unit) =
         | F_term (tpc, top, tlen) ->
           let t_next = tpc + tlen in
           let term =
-            match specialize t ~tpc top with
+            match specialize t ~tpc ~tlen:tlen top with
             | Some (e, sp) ->
               extra := !extra + e;
               sp
@@ -1587,7 +1719,7 @@ let build_node t ops : int * bool * (State.t -> unit) =
         | F_call (tpc, top, tlen) ->
           let t_next = tpc + tlen in
           let call =
-            match specialize t ~tpc top with
+            match specialize t ~tpc ~tlen:tlen top with
             | Some (e, sp) ->
               extra := !extra + e;
               sp

@@ -89,10 +89,16 @@ let generate ~seed ?(profile = default_profile) ~length () =
    call to one of them — tilting the program toward the call-dense
    shapes cross-call fusion targets.
 
+   With [late_bound_rate] > 0 the same trick targets devirtualization
+   instead: the two extra leaves live in a separate module [XLeaf] that
+   [Main] imports, so under the EXTERNALCALL convention every injected
+   call is a late-bound site the CFA pass can prove single-target.
+
    At the default rates 0.0 the extra draws are short-circuited and the
    generated text is byte-identical to what this function has always
    produced for a given seed. *)
-let random_program ?(coroutine_rate = 0.0) ?(leaf_call_rate = 0.0) ~seed () =
+let random_program ?(coroutine_rate = 0.0) ?(leaf_call_rate = 0.0)
+    ?(late_bound_rate = 0.0) ~seed () =
   let open Fpc_util in
   let rng = Prng.create ~seed in
   let nprocs = 2 + Prng.int rng ~bound:4 in
@@ -128,7 +134,15 @@ let random_program ?(coroutine_rate = 0.0) ?(leaf_call_rate = 0.0) ~seed () =
           (expr ~self ~depth:(depth - 1))
       | _ -> atom ~self
   in
+  if late_bound_rate > 0.0 then begin
+    Buffer.add_string buf "MODULE XLeaf;\n";
+    Buffer.add_string buf "PROC x0(x: INT): INT =\n";
+    Buffer.add_string buf "  RETURN x + x - 3;\nEND;\n";
+    Buffer.add_string buf "PROC x1(x: INT, y: INT): INT =\n";
+    Buffer.add_string buf "  RETURN x * 2 - y;\nEND;\nEND;\n\n"
+  end;
   Buffer.add_string buf "MODULE Main;\n";
+  if late_bound_rate > 0.0 then Buffer.add_string buf "IMPORT XLeaf;\n";
   if leaf_call_rate > 0.0 then begin
     Buffer.add_string buf "PROC l0(x: INT): INT =\n";
     Buffer.add_string buf "  RETURN x + x + 1;\nEND;\n";
@@ -138,6 +152,10 @@ let random_program ?(coroutine_rate = 0.0) ?(leaf_call_rate = 0.0) ~seed () =
   let leaf_call v =
     if Prng.int rng ~bound:2 = 0 then Printf.sprintf "l0(%s)" v
     else Printf.sprintf "l1(%s, %d)" v (Prng.int rng ~bound:10)
+  in
+  let late_call v =
+    if Prng.int rng ~bound:2 = 0 then Printf.sprintf "XLeaf.x0(%s)" v
+    else Printf.sprintf "XLeaf.x1(%s, %d)" v (Prng.int rng ~bound:10)
   in
   for self = 0 to nprocs - 1 do
     Buffer.add_string buf
@@ -153,7 +171,11 @@ let random_program ?(coroutine_rate = 0.0) ?(leaf_call_rate = 0.0) ~seed () =
       if leaf_call_rate > 0.0 && Prng.chance rng ~p:leaf_call_rate then
         Buffer.add_string buf
           (Printf.sprintf "  v%d := %s;\n" (Prng.int rng ~bound:2)
-             (leaf_call (Prng.choose rng [| "v0"; "v1"; "a" |])))
+             (leaf_call (Prng.choose rng [| "v0"; "v1"; "a" |])));
+      if late_bound_rate > 0.0 && Prng.chance rng ~p:late_bound_rate then
+        Buffer.add_string buf
+          (Printf.sprintf "  v%d := %s;\n" (Prng.int rng ~bound:2)
+             (late_call (Prng.choose rng [| "v0"; "v1"; "a" |])))
     done;
     if Prng.chance rng ~p:0.7 then
       (* the guarded self-recursion that makes the traces call-heavy *)
@@ -179,6 +201,11 @@ let random_program ?(coroutine_rate = 0.0) ?(leaf_call_rate = 0.0) ~seed () =
       main_lines :=
         Printf.sprintf "  OUTPUT %s;\n"
           (leaf_call (string_of_int (Prng.int rng ~bound:10)))
+        :: !main_lines;
+    if late_bound_rate > 0.0 && Prng.chance rng ~p:late_bound_rate then
+      main_lines :=
+        Printf.sprintf "  OUTPUT %s;\n"
+          (late_call (string_of_int (Prng.int rng ~bound:10)))
         :: !main_lines;
     if coroutine_rate > 0.0 && Prng.chance rng ~p:coroutine_rate then begin
       incr round_trips;

@@ -38,7 +38,12 @@ val depth_profile : event list -> Fpc_util.Histogram.t
 (** Distribution of call depth over the trace. *)
 
 val random_program :
-  ?coroutine_rate:float -> ?leaf_call_rate:float -> seed:int -> unit -> string
+  ?coroutine_rate:float ->
+  ?leaf_call_rate:float ->
+  ?late_bound_rate:float ->
+  seed:int ->
+  unit ->
+  string
 (** A random mini-Mesa program over a DAG of procedures with guarded
     self-recursion: always compiles, always halts, on every engine —
     the driver for differential and conservation property tests.
@@ -51,6 +56,13 @@ val random_program :
     injecting a call to one of two tiny pure leaf procedures (emitted
     only when the rate is positive), tilting the generated programs
     toward the call-dense shapes cross-call fusion targets.
+
+    [late_bound_rate] (default 0.0) is the per-statement probability of
+    injecting a call to one of two leaf procedures living in a {e
+    separate} module (emitted only when the rate is positive), imported
+    by [Main] — so under the EXTERNALCALL convention every injected call
+    is a late-bound site, the raw material of link-time
+    devirtualization.
 
     At rate 0.0 the corresponding draws are short-circuited and the
     text is byte-identical to the historical generator for every

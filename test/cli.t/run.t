@@ -213,3 +213,18 @@ jobs (only the deterministic rows shown):
   | trace events                   |                                  4880 |
   |   Main.fib                     | 1219 calls, 123792 cycles, 26201 refs |
   |   Main.main                    |           1 calls, 56 cycles, 13 refs |
+
+Link-time devirtualization is on by default: the CFA pass proves the
+cross-module calls single-target, rewrites them to the DIRECTCALL fast
+path (reported on stderr), and the cycle and storage-reference meters
+drop while the answer stays put.  `--devirt false` runs the late-bound
+§5 image unchanged:
+
+  $ fpc run xleaf
+  22138
+  devirt: sites=2 proven=2 rewritten=2 short=2 abstained=0
+  engine=i2 instructions=49511 cycles=357172 storage-refs=75015
+
+  $ fpc run xleaf --devirt false
+  22138
+  engine=i2 instructions=46511 cycles=378172 storage-refs=81015

@@ -171,6 +171,19 @@ let test_e18 () =
   check_band ~what:"I2 speedup > 0" ~lo:0.000001 ~hi:1000.0
     (headline "calls" "speedup_i2")
 
+(* E19: devirtualization changes no output and keeps both tiers
+   bit-identical, while the cross-module kernels retire essentially no
+   late-bound calls and the storage-reference meter drops. *)
+let test_e19 () =
+  check_band ~what:"devirt mismatches" ~lo:0.0 ~hi:0.0
+    (headline "devirt" "mismatches");
+  check_band ~what:"dynamic devirtualization %" ~lo:80.0 ~hi:100.0
+    (headline "devirt" "devirt_dynamic_pct");
+  check_band ~what:"refs saved %" ~lo:0.5 ~hi:50.0
+    (headline "devirt" "refs_saved_pct");
+  check_band ~what:"sites rewritten %" ~lo:80.0 ~hi:100.0
+    (headline "devirt" "sites_rewritten_pct")
+
 let () =
   let case name f = Alcotest.test_case name `Slow f in
   Alcotest.run "experiments"
@@ -195,5 +208,6 @@ let () =
           case "E16 compiled tier" test_e16;
           case "E17 session scheduler" test_e17;
           case "E18 cross-call fusion" test_e18;
+          case "E19 link-time devirtualization" test_e19;
         ] );
     ]

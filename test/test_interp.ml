@@ -16,6 +16,7 @@ let proc ?(fixups = []) ?(lpd = []) ~name ~locals ~nargs ops =
     p_nargs = nargs;
     p_dfc_fixups = fixups;
     p_lpd_fixups = lpd;
+    p_efc_sites = [];
   }
 
 (* fib as hand-written byte code; fib is entry 1 of the module. *)
@@ -56,6 +57,7 @@ let fib_proc ~args_in_place =
     p_nargs = 1;
     p_dfc_fixups = [];
     p_lpd_fixups = [];
+    p_efc_sites = [];
   }
 
 let fib_module ~args_in_place =
@@ -193,7 +195,7 @@ let test_eval_overflow_trap () =
     link_exn
       [ one_module
           [ { Fpc_mesa.Compiled.p_name = "main"; p_body = Builder.to_bytes b;
-              p_locals_words = 1; p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = [] } ] ]
+              p_locals_words = 1; p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = []; p_efc_sites = [] } ] ]
   in
   let st =
     Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
@@ -246,7 +248,7 @@ let test_illegal_instruction_fatal () =
     link_exn
       [ one_module
           [ { Fpc_mesa.Compiled.p_name = "main"; p_body = body; p_locals_words = 1;
-              p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = [] } ] ]
+              p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = []; p_efc_sites = [] } ] ]
   in
   let st =
     Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"
@@ -266,7 +268,7 @@ let test_step_limit () =
     link_exn
       [ one_module
           [ { Fpc_mesa.Compiled.p_name = "main"; p_body = Builder.to_bytes b;
-              p_locals_words = 1; p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = [] } ] ]
+              p_locals_words = 1; p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = []; p_efc_sites = [] } ] ]
   in
   let st =
     Fpc_interp.Interp.run_program ~max_steps:1000 ~image ~engine:Fpc_core.Engine.i2
@@ -494,7 +496,7 @@ let test_runaway_recursion_stops () =
     link_exn
       [ one_module
           [ { Fpc_mesa.Compiled.p_name = "main"; p_body = Builder.to_bytes b;
-              p_locals_words = 1; p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = [] } ] ]
+              p_locals_words = 1; p_nargs = 0; p_dfc_fixups = []; p_lpd_fixups = []; p_efc_sites = [] } ] ]
   in
   let st =
     Fpc_interp.Interp.run_program ~image ~engine:Fpc_core.Engine.i2 ~instance:"M"

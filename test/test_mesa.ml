@@ -85,6 +85,7 @@ let leaf_module =
           p_nargs = 1;
           p_dfc_fixups = [];
           p_lpd_fixups = [];
+          p_efc_sites = [];
         };
       ];
   }
@@ -107,6 +108,7 @@ let main_module =
           p_nargs = 0;
           p_dfc_fixups = [];
           p_lpd_fixups = [];
+          p_efc_sites = [];
         };
       ];
   }
@@ -164,6 +166,7 @@ let big_module =
       p_nargs = 0;
       p_dfc_fixups = [];
       p_lpd_fixups = [];
+          p_efc_sites = [];
     }
   in
   {
